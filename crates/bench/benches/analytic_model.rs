@@ -1,0 +1,40 @@
+//! Eq. 1 / Eq. 2 validation: compares the analytic Predis TPS bound with a
+//! short saturated simulation and benches the mini run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use predis::experiments::{NetEnv, Protocol, ThroughputSetup};
+use predis::model::{predis_tps, ModelInputs};
+
+fn mini(n_c: usize) -> ThroughputSetup {
+    ThroughputSetup {
+        protocol: Protocol::PPbft,
+        n_c,
+        clients: 8,
+        offered_tps: 50_000.0, // saturating
+        env: NetEnv::Lan,
+        duration_secs: 6,
+        warmup_secs: 2,
+        seed: 21,
+        ..Default::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    for n_c in [4usize, 8] {
+        let model = predis_tps(ModelInputs::paper_default(n_c));
+        let sim = mini(n_c).run();
+        eprintln!(
+            "analytic-model n_c={n_c}: Eq.2 bound {:.0} tps, simulated {:.0} tps ({:.0}% of bound)",
+            model,
+            sim.throughput_tps,
+            100.0 * sim.throughput_tps / model
+        );
+    }
+    let mut g = c.benchmark_group("analytic_model");
+    g.sample_size(10);
+    g.bench_function("mini_saturated_run_n4", |b| b.iter(|| mini(4).run()));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Microbenchmarks of the from-scratch crypto substrate: SHA-256, Merkle
+//! roots over a bundle's transactions, and simulated signatures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use predis_crypto::{Hash, Keypair, MerkleTree, SignerId};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    let data = vec![0xabu8; 1024];
+    g.bench_function("sha256_1kib", |b| {
+        b.iter(|| Hash::digest(std::hint::black_box(&data)))
+    });
+    let leaves: Vec<Hash> = (0..50u64).map(|i| Hash::digest(&i.to_be_bytes())).collect();
+    g.bench_function("merkle_root_50_leaves", |b| {
+        b.iter(|| MerkleTree::from_leaves(std::hint::black_box(leaves.clone())).root())
+    });
+    let key = Keypair::for_node(SignerId(0));
+    let msg = Hash::digest(b"bundle header");
+    g.bench_function("sign", |b| b.iter(|| key.sign(std::hint::black_box(msg))));
+    let sig = key.sign(msg);
+    g.bench_function("verify", |b| b.iter(|| sig.verify(std::hint::black_box(msg))));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

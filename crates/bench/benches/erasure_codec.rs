@@ -1,0 +1,44 @@
+//! §V-B: Reed-Solomon encode/decode cost for one bundle ("several
+//! microseconds" in the paper). Encodes a 50x512 B bundle at the paper's
+//! rates (k = n_c − f of n = n_c).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use predis_erasure::ReedSolomon;
+
+fn bundle_bytes() -> Vec<u8> {
+    (0..50 * 512).map(|i| (i % 251) as u8).collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("erasure_codec");
+    for (k, n) in [(3usize, 4usize), (6, 8), (11, 16)] {
+        let rs = ReedSolomon::new(k, n).unwrap();
+        let blob = bundle_bytes();
+        g.bench_function(format!("encode_bundle_{k}of{n}"), |b| {
+            b.iter(|| rs.encode_blob(std::hint::black_box(&blob)))
+        });
+        let shards = rs.encode_blob(&blob);
+        g.bench_function(format!("decode_bundle_{k}of{n}_worstloss"), |b| {
+            b.iter_batched(
+                || {
+                    let mut received: Vec<Option<Vec<u8>>> =
+                        shards.iter().cloned().map(Some).collect();
+                    for slot in received.iter_mut().take(n - k) {
+                        *slot = None; // lose the maximum tolerable stripes
+                    }
+                    received
+                },
+                |mut received| rs.decode_blob(&mut received, blob.len()).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

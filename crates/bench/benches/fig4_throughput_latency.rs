@@ -1,0 +1,44 @@
+//! Fig. 4 (scaled down): one throughput–latency point per protocol at
+//! n_c = 4 in the WAN. The full sweep is `cargo run --bin fig4 --release`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use predis::experiments::{NetEnv, Protocol, ThroughputSetup};
+
+fn mini(protocol: Protocol) -> ThroughputSetup {
+    ThroughputSetup {
+        protocol,
+        n_c: 4,
+        clients: 4,
+        offered_tps: 2_000.0,
+        env: NetEnv::Wan,
+        duration_secs: 4,
+        warmup_secs: 1,
+        seed: 42,
+        ..Default::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    // Print one mini figure row per protocol so `cargo bench` regenerates
+    // the comparison alongside the timing.
+    for p in [Protocol::Pbft, Protocol::PPbft, Protocol::HotStuff, Protocol::PHs] {
+        let s = mini(p).run();
+        eprintln!(
+            "fig4-mini {:>8}: {:>6.0} tps  {:>6.1} ms mean",
+            p.name(),
+            s.throughput_tps,
+            s.mean_latency_ms
+        );
+    }
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    for p in [Protocol::Pbft, Protocol::PPbft] {
+        g.bench_function(format!("mini_run_{}", p.name()), |b| {
+            b.iter(|| mini(p).run())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Fig. 5 (scaled down): Predis vs Narwhal-lite vs Stratus-lite, one LAN
+//! point each. Full sweep: `cargo run --bin fig5 --release`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use predis::experiments::{NetEnv, Protocol, ThroughputSetup};
+
+fn mini(protocol: Protocol) -> ThroughputSetup {
+    ThroughputSetup {
+        protocol,
+        n_c: 4,
+        clients: 4,
+        offered_tps: 4_000.0,
+        env: NetEnv::Lan,
+        duration_secs: 4,
+        warmup_secs: 1,
+        seed: 7,
+        ..Default::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    for p in [Protocol::PHs, Protocol::Narwhal, Protocol::Stratus] {
+        let s = mini(p).run();
+        eprintln!(
+            "fig5-mini {:>8}: {:>6.0} tps  {:>6.1} ms mean",
+            p.name(),
+            s.throughput_tps,
+            s.mean_latency_ms
+        );
+    }
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("mini_run_narwhal", |b| b.iter(|| mini(Protocol::Narwhal).run()));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

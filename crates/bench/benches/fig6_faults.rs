@@ -1,0 +1,50 @@
+//! Fig. 6 (scaled down): P-PBFT with one silent node vs fault-free.
+//! Full sweep: `cargo run --bin fig6 --release`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use predis::experiments::{FaultSpec, NetEnv, Protocol, ThroughputSetup};
+
+fn mini(faults: FaultSpec) -> ThroughputSetup {
+    ThroughputSetup {
+        protocol: Protocol::PPbft,
+        n_c: 8,
+        clients: 8,
+        offered_tps: 8_000.0,
+        env: NetEnv::Lan,
+        duration_secs: 5,
+        warmup_secs: 2,
+        seed: 11,
+        faults,
+        ..Default::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let normal = mini(FaultSpec::none()).run();
+    let silent = mini(FaultSpec {
+        silent: vec![7],
+        selective: vec![],
+    })
+    .run();
+    eprintln!(
+        "fig6-mini: normal {:.0} tps, 1 silent node {:.0} tps (ratio {:.2})",
+        normal.throughput_tps,
+        silent.throughput_tps,
+        silent.throughput_tps / normal.throughput_tps
+    );
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("mini_run_one_silent", |b| {
+        b.iter(|| {
+            mini(FaultSpec {
+                silent: vec![7],
+                selective: vec![],
+            })
+            .run()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

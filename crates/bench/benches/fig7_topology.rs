@@ -1,0 +1,36 @@
+//! Fig. 7 (scaled down): consensus throughput with star vs Multi-Zone
+//! dissemination duty. Full sweep: `cargo run --bin fig7 --release`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use predis::experiments::{DistMode, TopologySetup};
+
+fn mini(mode: DistMode, fulls: usize) -> TopologySetup {
+    TopologySetup {
+        n_c: 4,
+        full_nodes: fulls,
+        mode,
+        duration_secs: 6,
+        warmup_secs: 2,
+        seed: 5,
+        ..Default::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    for (mode, label) in [
+        (DistMode::Star, "star"),
+        (DistMode::MultiZone { zones: 12 }, "multizone-12"),
+    ] {
+        for fulls in [12usize, 48] {
+            let r = mini(mode, fulls).run();
+            eprintln!("fig7-mini {label:>12} fulls={fulls:>2}: {:>6.0} tps", r.throughput_tps);
+        }
+    }
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("mini_run_star_24", |b| b.iter(|| mini(DistMode::Star, 24).run()));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

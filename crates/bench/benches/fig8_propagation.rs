@@ -1,0 +1,48 @@
+//! Fig. 8 (scaled down): block propagation latency of the three topologies
+//! at one block size. Full sweep: `cargo run --bin fig8 --release`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use predis::experiments::{PropagationSetup, Topology};
+use predis::multizone::FegConfig;
+use predis::sim::SimDuration;
+
+fn mini() -> PropagationSetup {
+    PropagationSetup {
+        n_c: 8,
+        full_nodes: 40,
+        block_bytes: 10_000_000,
+        interval: SimDuration::from_secs(5),
+        blocks: 2,
+        seed: 3,
+        ..Default::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    for (topo, label) in [
+        (Topology::Star, "star"),
+        (
+            Topology::Random {
+                degree: 8,
+                feg: FegConfig::default(),
+            },
+            "random-feg",
+        ),
+        (Topology::MultiZone { zones: 12 }, "multizone-12"),
+    ] {
+        let r = mini().run(&topo);
+        eprintln!(
+            "fig8-mini {label:>12} 10MB: to100 {:>8.0} ms ({}/{} complete)",
+            r.to_100_ms, r.complete_blocks, r.produced_blocks
+        );
+    }
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("mini_run_multizone12", |b| {
+        b.iter(|| mini().run(&Topology::MultiZone { zones: 12 }))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

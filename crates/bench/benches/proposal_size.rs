@@ -1,0 +1,63 @@
+//! §V-A proposal sizes: benches building a Predis block over a populated
+//! mempool and prints the size comparison (Predis constant vs digest-list
+//! linear).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use predis_crypto::{Hash, Keypair, SignerId};
+use predis_mempool::Mempool;
+use predis_types::{
+    Bundle, ChainId, ClientId, Height, ProposalPayload, TipList, Transaction, TxId, View,
+    WireSize,
+};
+
+fn filled_pool(n_c: usize, heights: u64) -> Mempool {
+    let f = (n_c - 1) / 3;
+    let mut pool = Mempool::new(n_c, f, Some(ChainId(0)));
+    let mut id = 0u64;
+    for h in 1..=heights {
+        for c in 0..n_c as u32 {
+            let parent = pool.chain(ChainId(c)).hash_at(Height(h - 1)).unwrap();
+            let txs: Vec<Transaction> = (0..50)
+                .map(|_| {
+                    id += 1;
+                    Transaction::new(TxId(id), ClientId(0), 0)
+                })
+                .collect();
+            let bundle = Bundle::build(
+                ChainId(c),
+                Height(h),
+                parent,
+                TipList::from(vec![Height(h); n_c]),
+                txs,
+                Hash::ZERO,
+                &Keypair::for_node(SignerId(c)),
+            );
+            pool.insert_bundle(bundle).unwrap();
+        }
+    }
+    pool
+}
+
+fn bench(c: &mut Criterion) {
+    let pool = filled_pool(16, 10);
+    let base = pool.committed_base();
+    let key = Keypair::for_node(SignerId(0));
+    let block = pool.build_block(View(1), Hash::ZERO, &base, &key).unwrap();
+    let payload = ProposalPayload::Predis(Box::new(block));
+    eprintln!(
+        "proposal-size-mini: n_c=16, {} txs -> predis block {} B",
+        16 * 10 * 50,
+        payload.wire_size()
+    );
+    assert!(payload.wire_size() < 2_500);
+
+    let mut g = c.benchmark_group("proposal_size");
+    g.sample_size(10);
+    g.bench_function("build_predis_block_16x10", |b| {
+        b.iter(|| pool.build_block(View(1), Hash::ZERO, &base, &key).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

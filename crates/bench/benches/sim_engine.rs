@@ -1,0 +1,50 @@
+//! Event throughput of the discrete-event engine (the substrate cost every
+//! experiment pays).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use predis_sim::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Tick;
+impl Payload for Tick {
+    fn wire_size(&self) -> usize {
+        64
+    }
+}
+
+/// A ring of nodes forwarding a token as fast as links allow.
+#[derive(Debug)]
+struct Ring;
+impl Actor<Tick> for Ring {
+    fn on_start(&mut self, ctx: &mut Context<'_, Tick>) {
+        if ctx.node().0 == 0 {
+            let next = NodeId((ctx.node().0 + 1) % ctx.node_count());
+            ctx.send(next, Tick);
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_, Tick>, _from: NodeId, _msg: Tick) {
+        let next = NodeId((ctx.node().0 + 1) % ctx.node_count());
+        ctx.send(next, Tick);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("sim_ring_10s_16nodes", |b| {
+        b.iter(|| {
+            let net = Network::new(LatencyModel::Uniform(SimDuration::from_micros(100)), SimDuration::ZERO);
+            let mut sim: Sim<Tick> = Sim::new(1, net);
+            for _ in 0..16 {
+                sim.add_node(LinkConfig::paper_default(), Box::new(Ring), SimTime::ZERO);
+            }
+            sim.run_until(SimTime::from_secs(10));
+            sim.events_processed()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

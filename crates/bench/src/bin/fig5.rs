@@ -1,0 +1,58 @@
+//! Fig. 5 — Predis vs the open-source SOTA (Narwhal-style RBC, Stratus-style
+//! PAB) in WAN and LAN, throughput–latency curves.
+//!
+//! As in the paper: one worker per node, ≤50 transactions per
+//! bundle/microblock, up to 1000 digests per Narwhal/Stratus proposal.
+//!
+//! Usage: `cargo run -p predis-bench --release --bin fig5 [--quick]`
+
+use predis::experiments::{NetEnv, Protocol, ThroughputSetup};
+use predis_bench::{f0, f1, print_table};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let secs = if quick { 9 } else { 15 };
+    let loads: &[f64] = if quick {
+        &[4_000.0, 20_000.0]
+    } else {
+        &[2_000.0, 5_000.0, 10_000.0, 20_000.0, 30_000.0, 40_000.0]
+    };
+
+    for env in [NetEnv::Wan, NetEnv::Lan] {
+        let mut rows = Vec::new();
+        for proto in [Protocol::PHs, Protocol::Narwhal, Protocol::Stratus] {
+            for &load in loads {
+                let s = ThroughputSetup {
+                    protocol: proto,
+                    n_c: 4,
+                    clients: 8,
+                    offered_tps: load,
+                    bundle_size: 50,
+                    env,
+                    duration_secs: secs,
+                    warmup_secs: secs / 3,
+                    seed: 7,
+                    ..Default::default()
+                }
+                .run();
+                let name = if proto == Protocol::PHs { "Predis" } else { proto.name() };
+                rows.push(vec![
+                    name.to_string(),
+                    f0(load),
+                    f0(s.throughput_tps),
+                    f1(s.mean_latency_ms),
+                    f1(s.p99_latency_ms),
+                ]);
+            }
+        }
+        let title = match env {
+            NetEnv::Wan => "Fig.5 (WAN) Predis vs Narwhal vs Stratus",
+            NetEnv::Lan => "Fig.5 (LAN) Predis vs Narwhal vs Stratus",
+        };
+        print_table(
+            title,
+            &["protocol", "offered", "tps", "mean_ms", "p99_ms"],
+            &rows,
+        );
+    }
+}

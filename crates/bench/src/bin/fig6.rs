@@ -1,0 +1,77 @@
+//! Fig. 6 — Predis under faults, 8 consensus nodes.
+//!
+//! Case 1: `f` malicious nodes are silent (neither produce bundles nor
+//! vote) — throughput drops to roughly `(8 − f)/8` of normal.
+//! Case 2: `f` malicious nodes refuse to vote and send each bundle to only
+//! `n_c − f − 1` random peers — throughput sits between case 1 and normal
+//! (the malicious bundles still count once recovered), at higher latency.
+//!
+//! Usage: `cargo run -p predis-bench --release --bin fig6 [--quick]`
+
+use predis::experiments::{FaultSpec, NetEnv, Protocol, ThroughputSetup};
+use predis_bench::{f0, f1, print_table};
+
+fn run(faults: FaultSpec, secs: u64) -> predis::RunSummary {
+    ThroughputSetup {
+        protocol: Protocol::PPbft,
+        n_c: 8,
+        clients: 8,
+        offered_tps: 40_000.0, // saturating load: measures capacity
+        env: NetEnv::Lan,
+        duration_secs: secs,
+        warmup_secs: secs / 3,
+        seed: 11,
+        faults,
+        ..Default::default()
+    }
+    .run()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let secs = if quick { 9 } else { 18 };
+    let f_max = 2; // n_c = 8 -> f = 2
+
+    let mut rows = Vec::new();
+    let normal = run(FaultSpec::none(), secs);
+    rows.push(vec![
+        "normal".into(),
+        "0".into(),
+        f0(normal.throughput_tps),
+        f1(normal.mean_latency_ms),
+        "1.00".into(),
+    ]);
+    for f in 1..=f_max {
+        // Case 1: silent nodes (indices chosen among non-initial-leaders).
+        let silent = FaultSpec {
+            silent: (8 - f..8).collect(),
+            selective: vec![],
+        };
+        let s = run(silent, secs);
+        rows.push(vec![
+            "case1-silent".into(),
+            f.to_string(),
+            f0(s.throughput_tps),
+            f1(s.mean_latency_ms),
+            format!("{:.2}", s.throughput_tps / normal.throughput_tps),
+        ]);
+        // Case 2: selective senders that never vote.
+        let selective = FaultSpec {
+            silent: vec![],
+            selective: (8 - f..8).collect(),
+        };
+        let s = run(selective, secs);
+        rows.push(vec![
+            "case2-selective".into(),
+            f.to_string(),
+            f0(s.throughput_tps),
+            f1(s.mean_latency_ms),
+            format!("{:.2}", s.throughput_tps / normal.throughput_tps),
+        ]);
+    }
+    print_table(
+        "Fig.6 P-PBFT under faults (n_c=8, LAN, saturating load)",
+        &["scenario", "f", "tps", "mean_ms", "vs_normal"],
+        &rows,
+    );
+}

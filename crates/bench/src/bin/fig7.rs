@@ -1,0 +1,75 @@
+//! Fig. 7 — impact of the dissemination topology on consensus throughput.
+//!
+//! P-PBFT consensus nodes also serve the full-node network from the same
+//! 100 Mbps uplinks; generation is fixed at 26,000 tx/s. Star throughput
+//! declines as full nodes are added; Multi-Zone's stays flat once every
+//! zone is populated, and rises with `n_c`.
+//!
+//! Usage: `cargo run -p predis-bench --release --bin fig7 [--quick]`
+
+use predis::experiments::{DistMode, TopologySetup};
+use predis_bench::{f0, print_table};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let secs = if quick { 10 } else { 16 };
+    let full_counts: &[usize] = if quick { &[12, 48] } else { &[8, 16, 24, 48, 72, 96] };
+
+    // ---- star vs Multi-Zone over full-node count ----
+    let mut rows = Vec::new();
+    for (mode, label) in [
+        (DistMode::Star, "star"),
+        (DistMode::MultiZone { zones: 4 }, "multizone-4"),
+        (DistMode::MultiZone { zones: 12 }, "multizone-12"),
+    ] {
+        for &fulls in full_counts {
+            let r = TopologySetup {
+                n_c: 4,
+                full_nodes: fulls,
+                mode,
+                duration_secs: secs,
+                warmup_secs: secs / 3,
+                seed: 5,
+                ..Default::default()
+            }
+            .run();
+            rows.push(vec![
+                label.to_string(),
+                fulls.to_string(),
+                f0(r.throughput_tps),
+                (r.consensus_upload_bytes / 1_000_000).to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "Fig.7 consensus throughput vs full nodes (n_c=4, 26k tx/s offered)",
+        &["topology", "full_nodes", "tps", "consensus_upload_MB"],
+        &rows,
+    );
+
+    // ---- throughput grows with n_c at a fixed full-node count ----
+    let mut rows = Vec::new();
+    for (mode, label) in [
+        (DistMode::Star, "star"),
+        (DistMode::MultiZone { zones: 12 }, "multizone-12"),
+    ] {
+        for n_c in [4usize, 8, 16] {
+            let r = TopologySetup {
+                n_c,
+                full_nodes: 48,
+                mode,
+                duration_secs: secs,
+                warmup_secs: secs / 3,
+                seed: 5,
+                ..Default::default()
+            }
+            .run();
+            rows.push(vec![label.to_string(), n_c.to_string(), f0(r.throughput_tps)]);
+        }
+    }
+    print_table(
+        "Fig.7 (cont.) throughput vs n_c at 48 full nodes",
+        &["topology", "n_c", "tps"],
+        &rows,
+    );
+}

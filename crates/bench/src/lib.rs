@@ -1,0 +1,50 @@
+//! Shared helpers for the figure-regeneration harness.
+//!
+//! Each `src/bin/fig*.rs` binary reproduces one table/figure of the paper;
+//! the Criterion benches under `benches/` run scaled-down versions of the
+//! same experiments so `cargo bench` exercises every harness.
+
+/// Prints a fixed-width table with a title (the figures' output format).
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{h:>w$}", w = widths[i]))
+        .collect();
+    println!("{}", header_line.join("  "));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Formats a float with no decimals (throughput cells).
+pub fn f0(x: f64) -> String {
+    if x.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{x:.0}")
+    }
+}
+
+/// Formats a float with one decimal (latency cells).
+pub fn f1(x: f64) -> String {
+    if x.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{x:.1}")
+    }
+}

@@ -1,0 +1,241 @@
+//! Open-loop clients driving the throughput–latency experiments.
+//!
+//! Each client submits transactions at a fixed offered rate to its entry
+//! replica and records end-to-end latency (submit → first commit reply),
+//! exactly the latency definition the paper uses ("the time elapsed from
+//! when a client sends a transaction to replicas to when the client
+//! receives a reply").
+
+use std::collections::BTreeMap;
+
+use predis_sim::{Codec, NarrowContext, NodeId, ProtocolCore, SimDuration, TimerTag};
+use predis_types::{ClientId, Transaction, TxId};
+
+use crate::config::{timers, Roster};
+use crate::msg::ConsMsg;
+
+/// Metric name under which client latencies are recorded.
+pub const CLIENT_LATENCY: &str = "client_latency";
+
+/// An open-loop transaction generator.
+#[derive(Debug)]
+pub struct ClientCore {
+    id: ClientId,
+    roster: Roster,
+    /// Offered load in transactions per second for this client.
+    rate_tps: f64,
+    tx_size: u32,
+    next_seq: u64,
+    /// Submission tick period and the (possibly fractional) transactions
+    /// to emit per tick, accumulated to an integer.
+    tick: SimDuration,
+    per_tick: f64,
+    carry: f64,
+    /// Total transactions submitted.
+    pub submitted: u64,
+    /// Total commit confirmations received.
+    pub confirmed: u64,
+    /// Broadcast each submission to every replica (classic PBFT clients,
+    /// used by the batch protocols) instead of just the entry replica
+    /// (Predis/Narwhal-style load spreading).
+    broadcast: bool,
+    /// §III-E censorship defence: if set, transactions unconfirmed after
+    /// this long are consigned to the next replica (at most `f + 1`
+    /// attempts reach an honest one).
+    resubmit_after: Option<SimDuration>,
+    /// Outstanding transactions awaiting confirmation: id -> (tx, attempts).
+    outstanding: BTreeMap<TxId, (Transaction, u32)>,
+    /// Transactions that were resubmitted at least once.
+    pub resubmitted: u64,
+    started_at_nanos: u64,
+}
+
+impl ClientCore {
+    /// Creates a client submitting `rate_tps` transactions per second of
+    /// `tx_size` bytes each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_tps` is not positive.
+    pub fn new(id: ClientId, roster: Roster, rate_tps: f64, tx_size: u32) -> ClientCore {
+        assert!(rate_tps > 0.0, "client rate must be positive");
+        // Tick every 5 ms (or slower for very low rates) and emit a
+        // fractional batch per tick.
+        let tick = SimDuration::from_millis(5).max(SimDuration::from_secs_f64(
+            (1.0 / rate_tps).min(1.0),
+        ));
+        let per_tick = rate_tps * tick.as_secs_f64();
+        ClientCore {
+            id,
+            roster,
+            rate_tps,
+            tx_size,
+            next_seq: 0,
+            tick,
+            per_tick,
+            carry: 0.0,
+            submitted: 0,
+            confirmed: 0,
+            broadcast: false,
+            resubmit_after: None,
+            outstanding: BTreeMap::new(),
+            resubmitted: 0,
+            started_at_nanos: 0,
+        }
+    }
+
+    /// Enables the censorship defence of §III-E: a transaction unconfirmed
+    /// after `after` is consigned to the next consensus node, so it reaches
+    /// an honest replica within `f + 1` attempts.
+    pub fn resubmit_unconfirmed_after(mut self, after: SimDuration) -> ClientCore {
+        self.resubmit_after = Some(after);
+        self
+    }
+
+    /// Classic-PBFT submission: every transaction goes to all replicas, so
+    /// whichever node is leader can batch it. Used for the Batch data
+    /// plane; Predis and microblock planes want entry-replica submission so
+    /// the load spreads over all producers.
+    pub fn broadcast_submissions(mut self) -> ClientCore {
+        self.broadcast = true;
+        self
+    }
+
+    /// The configured offered rate.
+    pub fn rate_tps(&self) -> f64 {
+        self.rate_tps
+    }
+
+    fn entry_node(&self) -> NodeId {
+        self.roster
+            .consensus_node(self.roster.entry_replica(self.id))
+    }
+
+    fn fresh_tx(&mut self, now_nanos: u64) -> Transaction {
+        // Globally unique id: client in the top bits.
+        let id = TxId(((self.id.0 as u64) << 40) | self.next_seq);
+        self.next_seq += 1;
+        Transaction::with_size(id, self.id, now_nanos, self.tx_size)
+    }
+}
+
+impl ProtocolCore<ConsMsg> for ClientCore {
+    fn start<M: Codec<ConsMsg>>(&mut self, ctx: &mut NarrowContext<'_, '_, M, ConsMsg>) {
+        self.started_at_nanos = ctx.now().as_nanos();
+        ctx.set_timer(self.tick, TimerTag::of_kind(timers::CLIENT_SUBMIT));
+    }
+
+    fn message<M: Codec<ConsMsg>>(
+        &mut self,
+        ctx: &mut NarrowContext<'_, '_, M, ConsMsg>,
+        _from: NodeId,
+        msg: ConsMsg,
+    ) {
+        if let ConsMsg::Reply { txs } = msg {
+            let now = ctx.now().as_nanos();
+            for (id, submitted_at) in txs {
+                // With resubmission tracking, duplicate replies (several
+                // repliers, or replies to both submissions) count once.
+                if self.resubmit_after.is_some() && self.outstanding.remove(&id).is_none() {
+                    continue;
+                }
+                self.confirmed += 1;
+                let latency = SimDuration::from_nanos(now.saturating_sub(submitted_at));
+                ctx.metrics().record_latency(CLIENT_LATENCY, latency);
+            }
+        }
+    }
+
+    fn timer<M: Codec<ConsMsg>>(
+        &mut self,
+        ctx: &mut NarrowContext<'_, '_, M, ConsMsg>,
+        tag: TimerTag,
+    ) {
+        if tag.kind != timers::CLIENT_SUBMIT {
+            return;
+        }
+        self.carry += self.per_tick;
+        let n = self.carry as u64;
+        self.carry -= n as f64;
+        let entry = self.entry_node();
+        let now_nanos = ctx.now().as_nanos();
+        for _ in 0..n {
+            let tx = self.fresh_tx(now_nanos);
+            if self.broadcast {
+                let all = self.roster.consensus.clone();
+                ctx.multicast(all, ConsMsg::Submit(tx));
+            } else {
+                ctx.send(entry, ConsMsg::Submit(tx));
+            }
+            if self.resubmit_after.is_some() {
+                self.outstanding.insert(tx.id, (tx, 0));
+            }
+            self.submitted += 1;
+        }
+        // §III-E censorship defence: consign stale transactions to the
+        // next replica (round-robin from the entry), up to f + 1 attempts.
+        if let Some(after) = self.resubmit_after {
+            let cutoff = ctx.now().as_nanos().saturating_sub(after.as_nanos());
+            let max_attempts = self.roster.f() as u32 + 1;
+            let entry_idx = self.roster.entry_replica(self.id);
+            let stale: Vec<TxId> = self
+                .outstanding
+                .iter()
+                .filter(|(_, (tx, attempts))| {
+                    tx.submitted_at_nanos <= cutoff && *attempts < max_attempts
+                })
+                .map(|(&id, _)| id)
+                .collect();
+            for id in stale {
+                let (mut tx, attempts) = self.outstanding.remove(&id).expect("present");
+                let target = self
+                    .roster
+                    .consensus_node(entry_idx + 1 + attempts as usize);
+                tx.submitted_at_nanos = now_nanos; // restart the clock
+                ctx.send(target, ConsMsg::Submit(tx));
+                self.resubmitted += 1;
+                self.outstanding.insert(id, (tx, attempts + 1));
+            }
+        }
+        let tick = self.tick;
+        ctx.set_timer(tick, TimerTag::of_kind(timers::CLIENT_SUBMIT));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roster() -> Roster {
+        Roster::new(vec![NodeId(0), NodeId(1)], vec![NodeId(2)])
+    }
+
+    #[test]
+    fn rate_splits_into_ticks() {
+        let c = ClientCore::new(ClientId(0), roster(), 1000.0, 512);
+        // 5 ms tick at 1000 tps = 5 txs per tick.
+        assert!((c.per_tick - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn low_rates_use_longer_ticks() {
+        let c = ClientCore::new(ClientId(0), roster(), 2.0, 512);
+        assert_eq!(c.tick, SimDuration::from_millis(500));
+        assert!((c.per_tick - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tx_ids_are_unique_per_client() {
+        let mut c = ClientCore::new(ClientId(3), roster(), 10.0, 512);
+        let a = c.fresh_tx(0);
+        let b = c.fresh_tx(0);
+        assert_ne!(a.id, b.id);
+        assert_eq!(a.id.0 >> 40, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = ClientCore::new(ClientId(0), roster(), 0.0, 512);
+    }
+}

@@ -1,0 +1,349 @@
+//! The consensus-layer message vocabulary.
+//!
+//! One enum covers every evaluated protocol (PBFT, chained HotStuff, their
+//! Predis variants, and the Narwhal-style / Stratus-style baselines) so that
+//! all of them run over the same simulated wire with the same size
+//! accounting.
+
+use predis_crypto::Hash;
+use predis_sim::Payload;
+use predis_types::{
+    Bundle, ChainId, ConflictProof, Height, ProposalPayload, SeqNum, Transaction, TxId, View,
+    WireSize, FRAME_OVERHEAD, HASH_WIRE, SIG_WIRE, U32_WIRE, U64_WIRE,
+};
+use serde::{Deserialize, Serialize};
+
+/// A quorum certificate over a block (HotStuff). Signature aggregation is
+/// assumed, so the wire cost is one signature plus metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Qc {
+    /// The certified block.
+    pub block: Hash,
+    /// The round the block was proposed in.
+    pub round: View,
+}
+
+impl Qc {
+    /// The genesis QC, certifying the zero block at round 0.
+    pub const GENESIS: Qc = Qc {
+        block: Hash::ZERO,
+        round: View(0),
+    };
+}
+
+impl WireSize for Qc {
+    fn wire_size(&self) -> usize {
+        HASH_WIRE + U64_WIRE + SIG_WIRE
+    }
+}
+
+/// A chained-HotStuff block proposal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HsBlockMsg {
+    /// The block's identity (hash over parent/round/payload digest).
+    pub hash: Hash,
+    /// Parent block hash (must equal `justify.block`).
+    pub parent: Hash,
+    /// Proposal round.
+    pub round: View,
+    /// The carried payload.
+    pub payload: ProposalPayload,
+    /// QC justifying the parent.
+    pub justify: Qc,
+}
+
+impl HsBlockMsg {
+    /// Computes the canonical hash of a block's contents.
+    pub fn compute_hash(parent: Hash, round: View, payload: &ProposalPayload) -> Hash {
+        Hash::digest_parts(&[
+            b"hs-block",
+            parent.as_bytes(),
+            &round.0.to_be_bytes(),
+            payload.digest().as_bytes(),
+        ])
+    }
+}
+
+/// A Narwhal/Stratus-style microblock: a producer-sequenced batch of
+/// transactions multicast ahead of consensus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MicroBlock {
+    /// The producing node's chain id.
+    pub producer: ChainId,
+    /// Producer-local sequence number.
+    pub seq: u64,
+    /// The batched transactions.
+    pub txs: Vec<Transaction>,
+}
+
+impl MicroBlock {
+    /// The microblock's digest.
+    pub fn digest(&self) -> Hash {
+        let mut parts: Vec<Vec<u8>> = vec![
+            b"micro".to_vec(),
+            self.producer.0.to_be_bytes().to_vec(),
+            self.seq.to_be_bytes().to_vec(),
+        ];
+        for tx in &self.txs {
+            parts.push(tx.hash().as_bytes().to_vec());
+        }
+        let refs: Vec<&[u8]> = parts.iter().map(Vec::as_slice).collect();
+        Hash::digest_parts(&refs)
+    }
+}
+
+impl WireSize for MicroBlock {
+    fn wire_size(&self) -> usize {
+        U32_WIRE
+            + U64_WIRE
+            + self.txs.iter().map(WireSize::wire_size).sum::<usize>()
+            + SIG_WIRE
+            + FRAME_OVERHEAD
+    }
+}
+
+/// Every message exchanged by consensus-layer actors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConsMsg {
+    // ---- client traffic ----
+    /// A client submits a transaction to a consensus node.
+    Submit(Transaction),
+    /// A consensus node confirms committed transactions to a client; each
+    /// entry carries the id and original submit time (for latency
+    /// measurement at the client).
+    Reply {
+        /// `(tx id, submitted_at_nanos)` per confirmed transaction.
+        txs: Vec<(TxId, u64)>,
+    },
+
+    // ---- Predis data plane ----
+    /// A pre-distributed bundle.
+    Bundle(Box<Bundle>),
+    /// Request for a missing bundle (§III-D liveness path).
+    BundleRequest {
+        /// The chain to fetch from.
+        chain: ChainId,
+        /// The wanted height.
+        height: Height,
+    },
+    /// Gossiped equivocation evidence (§III-E).
+    ConflictGossip(Box<ConflictProof>),
+
+    // ---- Narwhal/Stratus data plane ----
+    /// A microblock broadcast.
+    Micro(Box<MicroBlock>),
+    /// An availability acknowledgement (one signature) for a microblock.
+    MicroAck {
+        /// Digest of the acknowledged microblock.
+        digest: Hash,
+        /// Its producer.
+        producer: ChainId,
+    },
+    /// Request to refetch a microblock body by digest.
+    MicroRequest {
+        /// Digest of the wanted microblock.
+        digest: Hash,
+    },
+    /// The producer announces a formed certificate so everyone may treat
+    /// the microblock as available.
+    MicroCert {
+        /// Digest of the certified microblock.
+        digest: Hash,
+        /// Its producer.
+        producer: ChainId,
+        /// Transactions in the certified microblock (metadata).
+        txs: u32,
+    },
+
+    // ---- PBFT ----
+    /// Leader's pre-prepare carrying the proposal.
+    PrePrepare {
+        /// Current view.
+        view: View,
+        /// Slot number.
+        seq: SeqNum,
+        /// The proposal.
+        payload: ProposalPayload,
+    },
+    /// Prepare vote.
+    Prepare {
+        /// Current view.
+        view: View,
+        /// Slot number.
+        seq: SeqNum,
+        /// Digest of the proposal being prepared.
+        digest: Hash,
+    },
+    /// Commit vote.
+    Commit {
+        /// Current view.
+        view: View,
+        /// Slot number.
+        seq: SeqNum,
+        /// Digest of the proposal being committed.
+        digest: Hash,
+    },
+    /// View-change request.
+    ViewChange {
+        /// The view being moved to.
+        new_view: View,
+        /// The sender's last executed slot.
+        last_exec: SeqNum,
+    },
+    /// New-view announcement by the incoming leader.
+    NewView {
+        /// The established view.
+        view: View,
+        /// The slot to resume proposing from.
+        resume_from: SeqNum,
+    },
+
+    /// A lagging replica asks a peer for executed proposals from `from`
+    /// (crash-recovery catch-up). Responses are served from the peer's
+    /// retained window; in this simulation peers are trusted to respond
+    /// honestly (full PBFT would carry checkpoint certificates).
+    CatchUpRequest {
+        /// First slot the requester is missing.
+        from: SeqNum,
+    },
+    /// A batch of executed proposals answering a catch-up request, with
+    /// the executed transactions (Predis bundles are pruned once committed,
+    /// so state transfer must ship the content, not just the metadata).
+    CatchUpResponse {
+        /// `(slot, payload, executed transactions)`, consecutive from the
+        /// requested slot.
+        slots: Vec<(SeqNum, ProposalPayload, Vec<Transaction>)>,
+    },
+
+    // ---- chained HotStuff ----
+    /// Leader's block proposal.
+    HsProposal(Box<HsBlockMsg>),
+    /// A replica's vote, sent to the next leader.
+    HsVote {
+        /// Voted block.
+        block: Hash,
+        /// Voted round.
+        round: View,
+    },
+    /// Pacemaker timeout message carrying the sender's highest QC.
+    HsNewView {
+        /// The round being entered.
+        round: View,
+        /// The sender's highest QC.
+        qc: Qc,
+    },
+}
+
+impl Payload for ConsMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            ConsMsg::Submit(tx) => tx.wire_size() + FRAME_OVERHEAD,
+            ConsMsg::Reply { txs } => txs.len() * (U64_WIRE + U64_WIRE) + SIG_WIRE + FRAME_OVERHEAD,
+            ConsMsg::Bundle(b) => b.wire_size() + FRAME_OVERHEAD,
+            ConsMsg::BundleRequest { .. } => U32_WIRE + U64_WIRE + FRAME_OVERHEAD,
+            ConsMsg::ConflictGossip(p) => p.wire_size() + FRAME_OVERHEAD,
+            ConsMsg::Micro(m) => m.wire_size() + FRAME_OVERHEAD,
+            ConsMsg::MicroAck { .. } => HASH_WIRE + U32_WIRE + SIG_WIRE + FRAME_OVERHEAD,
+            ConsMsg::MicroRequest { .. } => HASH_WIRE + FRAME_OVERHEAD,
+            ConsMsg::MicroCert { .. } => HASH_WIRE + U32_WIRE * 2 + SIG_WIRE + FRAME_OVERHEAD,
+            ConsMsg::PrePrepare { payload, .. } => {
+                U64_WIRE * 2 + payload.wire_size() + SIG_WIRE + FRAME_OVERHEAD
+            }
+            ConsMsg::Prepare { .. } | ConsMsg::Commit { .. } => {
+                U64_WIRE * 2 + HASH_WIRE + SIG_WIRE + FRAME_OVERHEAD
+            }
+            ConsMsg::ViewChange { .. } => U64_WIRE * 2 + SIG_WIRE + FRAME_OVERHEAD,
+            ConsMsg::CatchUpRequest { .. } => U64_WIRE + SIG_WIRE + FRAME_OVERHEAD,
+            ConsMsg::CatchUpResponse { slots } => {
+                slots
+                    .iter()
+                    .map(|(_, p, txs)| {
+                        U64_WIRE
+                            + p.wire_size()
+                            + txs.iter().map(WireSize::wire_size).sum::<usize>()
+                    })
+                    .sum::<usize>()
+                    + SIG_WIRE
+                    + FRAME_OVERHEAD
+            }
+            ConsMsg::NewView { .. } => U64_WIRE * 2 + SIG_WIRE + FRAME_OVERHEAD,
+            ConsMsg::HsProposal(b) => {
+                HASH_WIRE * 2
+                    + U64_WIRE
+                    + b.payload.wire_size()
+                    + b.justify.wire_size()
+                    + SIG_WIRE
+                    + FRAME_OVERHEAD
+            }
+            ConsMsg::HsVote { .. } => HASH_WIRE + U64_WIRE + SIG_WIRE + FRAME_OVERHEAD,
+            ConsMsg::HsNewView { qc, .. } => U64_WIRE + qc.wire_size() + SIG_WIRE + FRAME_OVERHEAD,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predis_types::ClientId;
+
+    #[test]
+    fn vote_messages_are_small() {
+        let prep = ConsMsg::Prepare {
+            view: View(1),
+            seq: SeqNum(2),
+            digest: Hash::ZERO,
+        };
+        assert!(prep.wire_size() < 200);
+        let vote = ConsMsg::HsVote {
+            block: Hash::ZERO,
+            round: View(1),
+        };
+        assert!(vote.wire_size() < 200);
+    }
+
+    #[test]
+    fn batch_preprepare_dominated_by_txs() {
+        let txs: Vec<Transaction> = (0..800)
+            .map(|i| Transaction::new(TxId(i), ClientId(0), 0))
+            .collect();
+        let msg = ConsMsg::PrePrepare {
+            view: View(0),
+            seq: SeqNum(1),
+            payload: ProposalPayload::Batch(txs),
+        };
+        assert!(msg.wire_size() > 800 * 512);
+        assert!(msg.wire_size() < 800 * 512 + 1000);
+    }
+
+    #[test]
+    fn microblock_digest_changes_with_content() {
+        let mk = |seq: u64, tx: u64| MicroBlock {
+            producer: ChainId(1),
+            seq,
+            txs: vec![Transaction::new(TxId(tx), ClientId(0), 0)],
+        };
+        assert_ne!(mk(0, 1).digest(), mk(0, 2).digest());
+        assert_ne!(mk(0, 1).digest(), mk(1, 1).digest());
+        assert_eq!(mk(0, 1).digest(), mk(0, 1).digest());
+    }
+
+    #[test]
+    fn hs_block_hash_is_content_addressed() {
+        let p = ProposalPayload::Batch(vec![]);
+        let a = HsBlockMsg::compute_hash(Hash::ZERO, View(1), &p);
+        let b = HsBlockMsg::compute_hash(Hash::ZERO, View(2), &p);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn reply_size_scales_with_tx_count() {
+        let one = ConsMsg::Reply {
+            txs: vec![(TxId(1), 0)],
+        };
+        let many = ConsMsg::Reply {
+            txs: (0..100).map(|i| (TxId(i), 0)).collect(),
+        };
+        assert!(many.wire_size() > one.wire_size());
+        assert_eq!(many.wire_size() - one.wire_size(), 99 * 16);
+    }
+}

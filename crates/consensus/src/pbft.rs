@@ -1,0 +1,682 @@
+//! A PBFT consensus shell over a pluggable [`DataPlane`].
+//!
+//! Three-phase PBFT (pre-prepare / prepare / commit) with slot pipelining,
+//! rotating-leader views, and a timeout-driven view change. Combined with
+//! [`crate::planes::BatchPlane`] it is the paper's PBFT baseline; with
+//! [`crate::planes::PredisPlane`] it is **P-PBFT**.
+//!
+//! The view change is deliberately simplified relative to full PBFT: on a
+//! `2f + 1` quorum of view-change messages the new leader resumes proposing
+//! from the last *executed* slot, without re-certifying prepared-but-
+//! unexecuted slots. This preserves liveness under the crash/mute faults
+//! the paper's Fig. 6 injects (which is what the experiments exercise), but
+//! is not a full treatment of cross-view prepared certificates; DESIGN.md
+//! records the simplification.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use predis_crypto::Hash;
+use predis_sim::{Codec, NarrowContext, NodeId, ProtocolCore, TimerTag};
+use predis_types::{ProposalPayload, SeqNum, Transaction, TxId, View};
+
+use crate::config::{timers, ConsensusConfig, Roster};
+use crate::msg::ConsMsg;
+use crate::plane::{DataPlane, ProposalCheck};
+
+/// Per-slot consensus state.
+#[derive(Debug)]
+struct Slot {
+    digest: Hash,
+    payload: Option<ProposalPayload>,
+    /// Payload digest of the predecessor proposal (the plane's `parent`).
+    parent: Hash,
+    /// This node validated the payload and prepared.
+    validated: bool,
+    /// Validation returned `Defer`; retry when the plane progresses.
+    deferred: bool,
+    prepares: HashSet<usize>,
+    commits: HashSet<usize>,
+    sent_commit: bool,
+    committed: bool,
+    executed: bool,
+    /// Executed transactions, retained (within the GC window) for serving
+    /// crash-recovery state transfer.
+    kept_txs: Option<Vec<Transaction>>,
+}
+
+impl Slot {
+    fn new(digest: Hash, parent: Hash) -> Slot {
+        Slot {
+            digest,
+            payload: None,
+            parent,
+            validated: false,
+            deferred: false,
+            prepares: HashSet::new(),
+            commits: HashSet::new(),
+            sent_commit: false,
+            committed: false,
+            executed: false,
+            kept_txs: None,
+        }
+    }
+}
+
+/// A PBFT replica parameterised by its data plane.
+///
+/// # Examples
+///
+/// ```
+/// use predis_consensus::planes::PredisPlane;
+/// use predis_consensus::{ConsensusConfig, PbftNode, Roster};
+/// use predis_sim::NodeId;
+///
+/// let roster = Roster::new(vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)], vec![]);
+/// let cfg = ConsensusConfig::default();
+/// // Replica 1 of a P-PBFT committee; install with ActorOf::new(node).
+/// let node = PbftNode::new(1, roster.clone(), cfg.clone(),
+///                          PredisPlane::new(1, roster, cfg));
+/// assert_eq!(node.view(), predis_types::View(0));
+/// ```
+#[derive(Debug)]
+pub struct PbftNode<P> {
+    me: usize,
+    roster: Roster,
+    cfg: ConsensusConfig,
+    plane: P,
+    view: View,
+    next_seq: SeqNum,
+    last_exec: SeqNum,
+    slots: BTreeMap<SeqNum, Slot>,
+    view_votes: HashMap<View, HashSet<usize>>,
+    progressed: bool,
+    /// Consecutive fruitless view changes (drives exponential timeout
+    /// backoff, reset on execution progress).
+    backoff: u32,
+    /// Highest slot seen referenced by any peer message (lag detector).
+    highest_seen: SeqNum,
+    /// A catch-up request is in flight (cleared when a response arrives).
+    syncing: bool,
+    /// Byzantine mute mode: track state but never propose or vote (Fig. 6).
+    mute: bool,
+    /// Total transactions this replica has executed.
+    pub executed_txs: u64,
+    /// Total proposals this replica has executed.
+    pub executed_blocks: u64,
+}
+
+impl<P: DataPlane> PbftNode<P> {
+    /// Creates a replica for committee member `me`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is out of committee range.
+    pub fn new(me: usize, roster: Roster, cfg: ConsensusConfig, plane: P) -> PbftNode<P> {
+        assert!(me < roster.n(), "committee index out of range");
+        PbftNode {
+            me,
+            roster,
+            cfg,
+            plane,
+            view: View(0),
+            next_seq: SeqNum(1),
+            last_exec: SeqNum(0),
+            slots: BTreeMap::new(),
+            view_votes: HashMap::new(),
+            progressed: false,
+            backoff: 0,
+            highest_seen: SeqNum(0),
+            syncing: false,
+            mute: false,
+            executed_txs: 0,
+            executed_blocks: 0,
+        }
+    }
+
+    /// Byzantine variant: never proposes or votes (Fig. 6 "refuse to vote").
+    pub fn muted(mut self) -> Self {
+        self.mute = true;
+        self
+    }
+
+    /// The data plane (post-run inspection).
+    pub fn plane(&self) -> &P {
+        &self.plane
+    }
+
+    /// Mutable access to the data plane (composed actors drain produced
+    /// bundles through this).
+    pub fn plane_mut(&mut self) -> &mut P {
+        &mut self.plane
+    }
+
+    /// The replica's current view.
+    pub fn view(&self) -> View {
+        self.view
+    }
+
+    /// The last executed slot.
+    pub fn last_exec(&self) -> SeqNum {
+        self.last_exec
+    }
+
+    /// Number of slots currently retained (bounded by garbage collection).
+    pub fn retained_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn is_leader(&self) -> bool {
+        self.roster.leader_of(self.view.0) == self.me
+    }
+
+    fn parent_digest(&self, seq: SeqNum) -> Hash {
+        if seq.0 <= 1 {
+            return Hash::ZERO;
+        }
+        self.slots
+            .get(&SeqNum(seq.0 - 1))
+            .map(|s| s.digest)
+            .unwrap_or(Hash::ZERO)
+    }
+
+    fn try_propose<M: Codec<ConsMsg>>(&mut self, ctx: &mut NarrowContext<'_, '_, M, ConsMsg>) {
+        if self.mute || !self.is_leader() {
+            return;
+        }
+        while self.next_seq.0 - self.last_exec.0 <= self.cfg.pipeline as u64 {
+            let seq = self.next_seq;
+            let parent = self.parent_digest(seq);
+            let Some(payload) = self.plane.make_proposal(ctx, parent, self.view) else {
+                break;
+            };
+            let digest = payload.digest();
+            let mut slot = Slot::new(digest, parent);
+            slot.payload = Some(payload.clone());
+            slot.validated = true;
+            slot.prepares.insert(self.me);
+            self.slots.insert(seq, slot);
+            ctx.multicast(
+                self.roster.peers_of(self.me),
+                ConsMsg::PrePrepare {
+                    view: self.view,
+                    seq,
+                    payload,
+                },
+            );
+            ctx.metrics().incr("pbft.proposals", 1);
+            self.next_seq = seq.next();
+        }
+    }
+
+    fn on_preprepare<M: Codec<ConsMsg>>(
+        &mut self,
+        ctx: &mut NarrowContext<'_, '_, M, ConsMsg>,
+        from: NodeId,
+        view: View,
+        seq: SeqNum,
+        payload: ProposalPayload,
+    ) {
+        if view != self.view || self.roster.index_of(from) != Some(self.roster.leader_of(view.0))
+        {
+            return;
+        }
+        if seq <= self.last_exec {
+            return;
+        }
+        let digest = payload.digest();
+        let parent = self.parent_digest(seq);
+        let slot = self
+            .slots
+            .entry(seq)
+            .or_insert_with(|| Slot::new(digest, parent));
+        if slot.payload.is_none() {
+            slot.digest = digest;
+            slot.parent = parent;
+            slot.payload = Some(payload);
+            // The leader's pre-prepare doubles as its prepare.
+            slot.prepares.insert(self.roster.leader_of(view.0));
+        } else if slot.digest != digest {
+            // Equivocating leader: refuse; the view timer handles it.
+            return;
+        }
+        self.revalidate_slot(ctx, seq);
+    }
+
+    /// (Re-)validates a slot's payload and sends our prepare when accepted.
+    fn revalidate_slot<M: Codec<ConsMsg>>(
+        &mut self,
+        ctx: &mut NarrowContext<'_, '_, M, ConsMsg>,
+        seq: SeqNum,
+    ) {
+        let Some(slot) = self.slots.get(&seq) else { return };
+        if slot.validated || slot.payload.is_none() {
+            return;
+        }
+        let payload = slot.payload.clone().expect("checked");
+        let parent = slot.parent;
+        let id = slot.digest;
+        let proposer = self.roster.leader_of(self.view.0);
+        match self.plane.validate(ctx, proposer, parent, id, &payload) {
+            ProposalCheck::Accept => {
+                let slot = self.slots.get_mut(&seq).expect("exists");
+                slot.validated = true;
+                slot.deferred = false;
+                slot.prepares.insert(self.me);
+                if !self.mute {
+                    ctx.multicast(
+                        self.roster.peers_of(self.me),
+                        ConsMsg::Prepare {
+                            view: self.view,
+                            seq,
+                            digest: slot.digest,
+                        },
+                    );
+                }
+                self.check_quorums(ctx, seq);
+            }
+            ProposalCheck::Defer => {
+                self.slots.get_mut(&seq).expect("exists").deferred = true;
+            }
+            ProposalCheck::Reject => {
+                ctx.metrics().incr("pbft.rejected_proposals", 1);
+            }
+        }
+    }
+
+    fn check_quorums<M: Codec<ConsMsg>>(
+        &mut self,
+        ctx: &mut NarrowContext<'_, '_, M, ConsMsg>,
+        seq: SeqNum,
+    ) {
+        let quorum = self.roster.quorum();
+        let Some(slot) = self.slots.get_mut(&seq) else { return };
+        if slot.validated && !slot.sent_commit && slot.prepares.len() >= quorum {
+            slot.sent_commit = true;
+            slot.commits.insert(self.me);
+            let digest = slot.digest;
+            if !self.mute {
+                ctx.multicast(
+                    self.roster.peers_of(self.me),
+                    ConsMsg::Commit {
+                        view: self.view,
+                        seq,
+                        digest,
+                    },
+                );
+            }
+        }
+        let Some(slot) = self.slots.get_mut(&seq) else { return };
+        if !slot.committed && slot.commits.len() >= quorum && slot.payload.is_some() {
+            slot.committed = true;
+            self.try_execute(ctx);
+        }
+    }
+
+    fn try_execute<M: Codec<ConsMsg>>(&mut self, ctx: &mut NarrowContext<'_, '_, M, ConsMsg>) {
+        loop {
+            let next = self.last_exec.next();
+            let ready = match self.slots.get(&next) {
+                Some(s) => s.committed && !s.executed && s.payload.is_some(),
+                None => false,
+            };
+            if !ready {
+                break;
+            }
+            let (payload, parent, id) = {
+                let s = self.slots.get(&next).expect("checked");
+                (s.payload.clone().expect("checked"), s.parent, s.digest)
+            };
+            let Some(txs) = self.plane.commit(ctx, parent, id, &payload) else {
+                break; // data still missing; plane progress will retry
+            };
+            let slot = self.slots.get_mut(&next).expect("checked");
+            slot.executed = true;
+            slot.kept_txs = Some(txs.clone());
+            self.last_exec = next;
+            self.progressed = true;
+            self.backoff = 0;
+            // Checkpoint-style garbage collection: keep a retention window
+            // of executed slots for crash-recovery catch-up, drop the rest.
+            let keep_from =
+                SeqNum(self.last_exec.0.saturating_sub(self.cfg.retention as u64));
+            self.slots = self.slots.split_off(&keep_from);
+            self.executed_blocks += 1;
+            self.executed_txs += txs.len() as u64;
+            deliver_commit(ctx, self.me, &self.roster, &self.cfg, &txs);
+        }
+    }
+
+    /// Crash-recovery: when peers reference slots far beyond our execution
+    /// point, fetch the gap from the sender.
+    fn note_peer_seq<M: Codec<ConsMsg>>(
+        &mut self,
+        ctx: &mut NarrowContext<'_, '_, M, ConsMsg>,
+        from: NodeId,
+        seq: SeqNum,
+    ) {
+        if seq > self.highest_seen {
+            self.highest_seen = seq;
+        }
+        let behind = seq.0 > self.last_exec.0 + 2 * self.cfg.pipeline as u64;
+        if behind && !self.syncing && !self.mute {
+            self.syncing = true;
+            ctx.metrics().incr("pbft.catchup_requests", 1);
+            ctx.send(
+                from,
+                ConsMsg::CatchUpRequest {
+                    from: self.last_exec.next(),
+                },
+            );
+        }
+    }
+
+    fn on_plane_progress<M: Codec<ConsMsg>>(
+        &mut self,
+        ctx: &mut NarrowContext<'_, '_, M, ConsMsg>,
+    ) {
+        let deferred: Vec<SeqNum> = self
+            .slots
+            .iter()
+            .filter(|(_, s)| s.deferred && !s.validated)
+            .map(|(&q, _)| q)
+            .collect();
+        for seq in deferred {
+            self.revalidate_slot(ctx, seq);
+        }
+        self.try_execute(ctx);
+    }
+
+    fn start_view_change<M: Codec<ConsMsg>>(
+        &mut self,
+        ctx: &mut NarrowContext<'_, '_, M, ConsMsg>,
+    ) {
+        if self.mute {
+            return;
+        }
+        let new_view = self.view.next();
+        ctx.metrics().incr("pbft.view_changes_started", 1);
+        self.view_votes.entry(new_view).or_default().insert(self.me);
+        ctx.multicast(
+            self.roster.peers_of(self.me),
+            ConsMsg::ViewChange {
+                new_view,
+                last_exec: self.last_exec,
+            },
+        );
+        self.maybe_enter_view(ctx, new_view);
+    }
+
+    fn maybe_enter_view<M: Codec<ConsMsg>>(
+        &mut self,
+        ctx: &mut NarrowContext<'_, '_, M, ConsMsg>,
+        v: View,
+    ) {
+        if v <= self.view {
+            return;
+        }
+        let votes = self.view_votes.get(&v).map_or(0, HashSet::len);
+        if votes < self.roster.quorum() {
+            return;
+        }
+        self.enter_view(ctx, v);
+        if self.is_leader() && !self.mute {
+            ctx.multicast(
+                self.roster.peers_of(self.me),
+                ConsMsg::NewView {
+                    view: v,
+                    resume_from: self.last_exec.next(),
+                },
+            );
+            self.try_propose(ctx);
+        }
+    }
+
+    fn enter_view<M: Codec<ConsMsg>>(
+        &mut self,
+        ctx: &mut NarrowContext<'_, '_, M, ConsMsg>,
+        v: View,
+    ) {
+        self.view = v;
+        ctx.metrics().incr("pbft.views_entered", 1);
+        // Abandon unexecuted slots: their payloads will be re-proposed by
+        // the new leader (Predis bundles and batch transactions survive in
+        // the planes).
+        let keep: Vec<SeqNum> = self
+            .slots
+            .iter()
+            .filter(|(_, s)| s.executed)
+            .map(|(&q, _)| q)
+            .collect();
+        let mut kept = BTreeMap::new();
+        for q in keep {
+            if let Some(s) = self.slots.remove(&q) {
+                kept.insert(q, s);
+            }
+        }
+        self.slots = kept;
+        self.next_seq = self.last_exec.next();
+        self.progressed = true; // fresh view: give the new leader a full timeout
+    }
+}
+
+/// Sends commit metrics and client replies for an executed proposal.
+/// Shared by the PBFT and HotStuff shells.
+pub(crate) fn deliver_commit<M: Codec<ConsMsg>>(
+    ctx: &mut NarrowContext<'_, '_, M, ConsMsg>,
+    me: usize,
+    roster: &Roster,
+    cfg: &ConsensusConfig,
+    txs: &[Transaction],
+) {
+    if me == cfg.metrics_replica {
+        ctx.metrics().incr("txs_committed", txs.len() as u64);
+        let now = ctx.now();
+        ctx.metrics().record_commit(now, txs.len() as u64);
+    }
+    // Each replica replies to the clients whose entry replica it is; with
+    // `reply_spread > 1` the next replicas also reply, so a faulty entry
+    // cannot suppress confirmations (clients deduplicate).
+    // BTreeMap: reply emission order must be deterministic.
+    let mut per_client: std::collections::BTreeMap<u32, Vec<(TxId, u64)>> =
+        std::collections::BTreeMap::new();
+    let n = roster.n();
+    for tx in txs {
+        let entry = roster.entry_replica(tx.client);
+        let offset = (me + n - entry) % n;
+        if offset < cfg.reply_spread.max(1) {
+            per_client
+                .entry(tx.client.0)
+                .or_default()
+                .push((tx.id, tx.submitted_at_nanos));
+        }
+    }
+    for (client, confirmed) in per_client {
+        if (client as usize) < roster.clients.len() {
+            let dst = roster.clients[client as usize];
+            ctx.send(dst, ConsMsg::Reply { txs: confirmed });
+        }
+    }
+}
+
+impl<P: DataPlane> ProtocolCore<ConsMsg> for PbftNode<P> {
+    fn start<M: Codec<ConsMsg>>(&mut self, ctx: &mut NarrowContext<'_, '_, M, ConsMsg>) {
+        self.plane.init(ctx);
+        ctx.set_timer(
+            self.cfg.view_timeout,
+            TimerTag::of_kind(timers::PBFT_VIEW),
+        );
+        ctx.set_timer(
+            self.cfg.propose_interval,
+            TimerTag::of_kind(timers::PBFT_PROPOSE),
+        );
+    }
+
+    fn message<M: Codec<ConsMsg>>(
+        &mut self,
+        ctx: &mut NarrowContext<'_, '_, M, ConsMsg>,
+        from: NodeId,
+        msg: ConsMsg,
+    ) {
+        let outcome = self.plane.handle(ctx, from, &msg);
+        if outcome.progressed {
+            self.on_plane_progress(ctx);
+        }
+        if outcome.consumed {
+            return;
+        }
+        let Some(sender) = self.roster.index_of(from) else {
+            return;
+        };
+        match msg {
+            ConsMsg::PrePrepare { view, seq, payload } => {
+                self.on_preprepare(ctx, from, view, seq, payload)
+            }
+            ConsMsg::Prepare { view, seq, digest } => {
+                self.note_peer_seq(ctx, from, seq);
+                if view != self.view {
+                    return;
+                }
+                if let Some(slot) = self.slots.get_mut(&seq) {
+                    if slot.digest == digest {
+                        slot.prepares.insert(sender);
+                        self.check_quorums(ctx, seq);
+                    }
+                } else {
+                    // Prepare raced ahead of the pre-prepare: remember it.
+                    let mut slot = Slot::new(digest, Hash::ZERO);
+                    slot.prepares.insert(sender);
+                    self.slots.insert(seq, slot);
+                }
+            }
+            ConsMsg::Commit { view, seq, digest } => {
+                self.note_peer_seq(ctx, from, seq);
+                if view != self.view {
+                    return;
+                }
+                if let Some(slot) = self.slots.get_mut(&seq) {
+                    if slot.digest == digest {
+                        slot.commits.insert(sender);
+                        self.check_quorums(ctx, seq);
+                    }
+                } else {
+                    let mut slot = Slot::new(digest, Hash::ZERO);
+                    slot.commits.insert(sender);
+                    self.slots.insert(seq, slot);
+                }
+            }
+            ConsMsg::CatchUpRequest { from: start } => {
+                let mut slots = Vec::new();
+                let mut seq = start;
+                while slots.len() < 8 {
+                    match self.slots.get(&seq) {
+                        Some(s) if s.executed => {
+                            slots.push((
+                                seq,
+                                s.payload.clone().expect("executed slots have payloads"),
+                                s.kept_txs.clone().unwrap_or_default(),
+                            ));
+                            seq = seq.next();
+                        }
+                        _ => break,
+                    }
+                }
+                if !slots.is_empty() {
+                    ctx.send(from, ConsMsg::CatchUpResponse { slots });
+                }
+            }
+            ConsMsg::CatchUpResponse { slots } => {
+                self.syncing = false;
+                for (seq, payload, txs) in slots {
+                    if seq != self.last_exec.next()
+                        || self.slots.get(&seq).is_some_and(|s| s.executed)
+                    {
+                        continue;
+                    }
+                    // State transfer: the quorum already executed this slot
+                    // and replied to its clients; we apply it directly and
+                    // let the plane fast-forward its internal anchors.
+                    let digest = payload.digest();
+                    let parent = self.parent_digest(seq);
+                    let txs = self.plane.catch_up(ctx, parent, digest, &payload, txs);
+                    let slot = self
+                        .slots
+                        .entry(seq)
+                        .or_insert_with(|| Slot::new(digest, parent));
+                    slot.digest = digest;
+                    slot.parent = parent;
+                    slot.payload = Some(payload);
+                    slot.committed = true;
+                    slot.executed = true;
+                    slot.kept_txs = Some(txs.clone());
+                    self.last_exec = seq;
+                    self.progressed = true;
+                    self.executed_blocks += 1;
+                    self.executed_txs += txs.len() as u64;
+                    ctx.metrics().incr("pbft.slots_caught_up", 1);
+                }
+                self.try_execute(ctx);
+                // Still behind: fetch the next window.
+                if self.highest_seen.0 > self.last_exec.0 + 2 * self.cfg.pipeline as u64 {
+                    self.syncing = true;
+                    ctx.send(
+                        from,
+                        ConsMsg::CatchUpRequest {
+                            from: self.last_exec.next(),
+                        },
+                    );
+                }
+            }
+            ConsMsg::ViewChange { new_view, .. } => {
+                self.view_votes.entry(new_view).or_default().insert(sender);
+                self.maybe_enter_view(ctx, new_view);
+            }
+            ConsMsg::NewView { view, resume_from }
+                if view > self.view
+                    && self.roster.index_of(from) == Some(self.roster.leader_of(view.0))
+                => {
+                    self.enter_view(ctx, view);
+                    self.next_seq = resume_from.max(self.last_exec.next());
+                }
+            _ => {}
+        }
+    }
+
+    fn timer<M: Codec<ConsMsg>>(
+        &mut self,
+        ctx: &mut NarrowContext<'_, '_, M, ConsMsg>,
+        tag: TimerTag,
+    ) {
+        if self.plane.on_timer(ctx, tag) {
+            // Production may have refilled the pool; leaders try to propose.
+            self.try_propose(ctx);
+            return;
+        }
+        match tag.kind {
+            timers::PBFT_PROPOSE => {
+                self.try_propose(ctx);
+                ctx.set_timer(
+                    self.cfg.propose_interval,
+                    TimerTag::of_kind(timers::PBFT_PROPOSE),
+                );
+            }
+            timers::PBFT_VIEW => {
+                let idle = !self.progressed;
+                self.progressed = false;
+                // Suspect the leader when there is work outstanding — either
+                // in-flight slots or unordered data in the plane (§III-D:
+                // the bundle-arrival timer).
+                let outstanding =
+                    self.slots.values().any(|s| !s.executed) || self.plane.has_pending();
+                if idle && outstanding {
+                    self.start_view_change(ctx);
+                    self.backoff = (self.backoff + 1).min(6);
+                }
+                // Exponential backoff keeps successive view changes from
+                // racing the slower replicas during long outages.
+                let timeout = self.cfg.view_timeout * (1u64 << self.backoff.min(6));
+                ctx.set_timer(timeout, TimerTag::of_kind(timers::PBFT_VIEW));
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Data-plane implementations: [`BatchPlane`] (vanilla), [`PredisPlane`]
+//! (the paper's contribution), and [`MicroPlane`] (Narwhal-lite /
+//! Stratus-lite baselines).
+
+pub mod batch;
+pub mod micro;
+pub mod predis;
+
+pub use batch::BatchPlane;
+pub use micro::{AckRule, MicroPlane};
+pub use predis::PredisPlane;

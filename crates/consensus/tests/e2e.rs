@@ -1,0 +1,162 @@
+//! End-to-end consensus runs: every protocol variant the paper evaluates
+//! commits client transactions over the simulated network.
+
+use predis_consensus::planes::{AckRule, BatchPlane, MicroPlane, PredisPlane};
+use predis_consensus::{
+    ClientCore, ConsMsg, ConsensusConfig, HotStuffNode, PbftNode, Roster, CLIENT_LATENCY,
+};
+use predis_sim::prelude::*;
+
+const TX_SIZE: usize = 512;
+const MBPS: u64 = 100;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Proto {
+    Pbft,
+    PPbft,
+    Hs,
+    PHs,
+    Narwhal,
+    Stratus,
+}
+
+/// Builds and runs a network of `n` consensus nodes and `clients` clients
+/// offering `rate` tx/s total for `secs` simulated seconds. Returns the
+/// simulation for inspection.
+fn run(proto: Proto, n: usize, clients: usize, rate: f64, secs: u64, seed: u64) -> Sim<ConsMsg> {
+    let network = Network::new(LatencyModel::lan(), SimDuration::ZERO);
+    let mut sim: Sim<ConsMsg> = Sim::new(seed, network);
+    let cons: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+    let cli: Vec<NodeId> = (n as u32..(n + clients) as u32).map(NodeId).collect();
+    let roster = Roster::new(cons, cli);
+    let cfg = ConsensusConfig::default().paced_production(n, TX_SIZE, MBPS * 1_000_000);
+
+    for me in 0..n {
+        let actor: Box<dyn Actor<ConsMsg>> = match proto {
+            Proto::Pbft => Box::new(ActorOf::<_, ConsMsg>::new(PbftNode::new(
+                me,
+                roster.clone(),
+                cfg.clone(),
+                BatchPlane::new(cfg.batch_size),
+            ))),
+            Proto::PPbft => Box::new(ActorOf::<_, ConsMsg>::new(PbftNode::new(
+                me,
+                roster.clone(),
+                cfg.clone(),
+                PredisPlane::new(me, roster.clone(), cfg.clone()),
+            ))),
+            Proto::Hs => Box::new(ActorOf::<_, ConsMsg>::new(HotStuffNode::new(
+                me,
+                roster.clone(),
+                cfg.clone(),
+                BatchPlane::new(cfg.batch_size),
+            ))),
+            Proto::PHs => Box::new(ActorOf::<_, ConsMsg>::new(HotStuffNode::new(
+                me,
+                roster.clone(),
+                cfg.clone(),
+                PredisPlane::new(me, roster.clone(), cfg.clone()),
+            ))),
+            Proto::Narwhal => Box::new(ActorOf::<_, ConsMsg>::new(HotStuffNode::new(
+                me,
+                roster.clone(),
+                cfg.clone(),
+                MicroPlane::new(me, roster.clone(), cfg.clone(), AckRule::ReliableBroadcast),
+            ))),
+            Proto::Stratus => Box::new(ActorOf::<_, ConsMsg>::new(HotStuffNode::new(
+                me,
+                roster.clone(),
+                cfg.clone(),
+                MicroPlane::new(me, roster.clone(), cfg.clone(), AckRule::ProvablyAvailable),
+            ))),
+        };
+        sim.add_node(LinkConfig::paper_default().with_mbps(MBPS), actor, SimTime::ZERO);
+    }
+    let per_client = rate / clients as f64;
+    let broadcast = matches!(proto, Proto::Pbft | Proto::Hs);
+    for c in 0..clients {
+        let mut client = ClientCore::new(
+            predis_types::ClientId(c as u32),
+            roster.clone(),
+            per_client,
+            TX_SIZE as u32,
+        );
+        if broadcast {
+            client = client.broadcast_submissions();
+        }
+        sim.add_node(
+            LinkConfig::paper_default().with_mbps(MBPS),
+            Box::new(ActorOf::<_, ConsMsg>::new(client)),
+            SimTime::ZERO,
+        );
+    }
+    sim.run_until(SimTime::from_secs(secs));
+    sim
+}
+
+fn committed(sim: &Sim<ConsMsg>) -> u64 {
+    sim.metrics().counter("txs_committed")
+}
+
+#[test]
+fn pbft_batch_commits_transactions() {
+    let sim = run(Proto::Pbft, 4, 4, 2000.0, 10, 1);
+    let got = committed(&sim);
+    assert!(got > 5_000, "PBFT committed only {got} txs in 10s at 2k tps");
+    assert!(sim.metrics().latency_count(CLIENT_LATENCY) > 1000);
+}
+
+#[test]
+fn ppbft_commits_transactions() {
+    let sim = run(Proto::PPbft, 4, 4, 2000.0, 10, 2);
+    let got = committed(&sim);
+    assert!(got > 5_000, "P-PBFT committed only {got} txs");
+}
+
+#[test]
+fn hotstuff_batch_commits_transactions() {
+    let sim = run(Proto::Hs, 4, 4, 2000.0, 10, 3);
+    let got = committed(&sim);
+    assert!(got > 5_000, "HotStuff committed only {got} txs");
+}
+
+#[test]
+fn phs_commits_transactions() {
+    let sim = run(Proto::PHs, 4, 4, 2000.0, 10, 4);
+    let got = committed(&sim);
+    assert!(got > 5_000, "P-HS committed only {got} txs");
+}
+
+#[test]
+fn narwhal_commits_transactions() {
+    let sim = run(Proto::Narwhal, 4, 4, 2000.0, 10, 5);
+    let got = committed(&sim);
+    assert!(got > 5_000, "Narwhal-lite committed only {got} txs");
+}
+
+#[test]
+fn stratus_commits_transactions() {
+    let sim = run(Proto::Stratus, 4, 4, 2000.0, 10, 6);
+    let got = committed(&sim);
+    assert!(got > 5_000, "Stratus-lite committed only {got} txs");
+}
+
+#[test]
+fn predis_saturates_above_vanilla_pbft() {
+    // At a high offered load, P-PBFT should commit several times what PBFT
+    // does (the paper's 300-800%).
+    let load = 30_000.0;
+    let vanilla = committed(&run(Proto::Pbft, 4, 8, load, 10, 7));
+    let predis = committed(&run(Proto::PPbft, 4, 8, load, 10, 7));
+    assert!(
+        predis as f64 > 2.0 * vanilla as f64,
+        "expected Predis >> PBFT, got predis={predis} vanilla={vanilla}"
+    );
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let a = committed(&run(Proto::PPbft, 4, 2, 1000.0, 5, 42));
+    let b = committed(&run(Proto::PPbft, 4, 2, 1000.0, 5, 42));
+    assert_eq!(a, b);
+}

@@ -1,0 +1,14 @@
+//! Experiment runners reproducing the paper's evaluation:
+//!
+//! * [`throughput`] — throughput–latency sweeps (Fig. 4, Fig. 5) and fault
+//!   injection (Fig. 6);
+//! * [`topology`] — combined consensus + dissemination throughput (Fig. 7);
+//! * block propagation latency (Fig. 8) lives in
+//!   [`predis_multizone::PropagationSetup`], re-exported here.
+
+pub mod throughput;
+pub mod topology;
+
+pub use predis_multizone::{PropagationResult, PropagationSetup, Topology};
+pub use throughput::{FaultSpec, NetEnv, Protocol, ThroughputSetup};
+pub use topology::{DistMode, FlowConsensusNode, TopologyResult, TopologySetup};

@@ -1,0 +1,336 @@
+//! The combined consensus + dissemination experiment (Fig. 7): P-PBFT
+//! consensus nodes that *also* serve the full-node network out of the same
+//! upload links, under either the star topology (full blocks to every
+//! assigned full node — cost grows with the full-node count) or Multi-Zone
+//! (one stripe to ~one relayer per zone — cost stays O(n_c)).
+
+use predis_consensus::planes::PredisPlane;
+use predis_consensus::{ClientCore, ConsMsg, ConsensusConfig, PbftNode, Roster};
+use predis_multizone::{BlockSink, BundleId, MultiZoneNode, NetMsg, ZoneConfig, ZoneSource};
+use predis_sim::prelude::*;
+use predis_types::{Bundle, ClientId, WireSize};
+use serde::{Deserialize, Serialize};
+
+use crate::msg::FlowMsg;
+
+/// Which dissemination duty the consensus nodes carry (Fig. 7 compares
+/// star against Multi-Zone; the random topology is excluded there, as in
+/// the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DistMode {
+    /// Send every bundle's full content to each assigned full node.
+    Star,
+    /// Serve this node's stripe of every bundle to its zone relayers.
+    MultiZone {
+        /// Number of zones.
+        zones: usize,
+    },
+}
+
+/// A consensus node that both orders transactions (P-PBFT) and serves the
+/// full-node dissemination layer from the same upload link.
+#[derive(Debug)]
+pub struct FlowConsensusNode {
+    shell: PbftNode<PredisPlane>,
+    duty: Duty,
+}
+
+#[derive(Debug)]
+enum Duty {
+    Star { assigned: Vec<NodeId> },
+    Zone { source: ZoneSource },
+}
+
+impl FlowConsensusNode {
+    /// Creates a combined node with a star-distribution duty.
+    pub fn star(shell: PbftNode<PredisPlane>, assigned: Vec<NodeId>) -> FlowConsensusNode {
+        FlowConsensusNode {
+            shell,
+            duty: Duty::Star { assigned },
+        }
+    }
+
+    /// Creates a combined node with a Multi-Zone stripe-serving duty.
+    pub fn zone(shell: PbftNode<PredisPlane>, source: ZoneSource) -> FlowConsensusNode {
+        FlowConsensusNode {
+            shell,
+            duty: Duty::Zone { source },
+        }
+    }
+
+    /// The consensus shell (post-run inspection).
+    pub fn shell(&self) -> &PbftNode<PredisPlane> {
+        &self.shell
+    }
+
+    /// Subscribers of the Multi-Zone stripe source, if that is the duty.
+    pub fn zone_subscribers(&self) -> Option<usize> {
+        match &self.duty {
+            Duty::Zone { source } => Some(source.subscriber_count()),
+            Duty::Star { .. } => None,
+        }
+    }
+
+    fn distribute(&mut self, ctx: &mut Context<'_, FlowMsg>, bundle: &Bundle) {
+        let bytes = bundle.wire_size();
+        let id = bundle.hash().to_u64();
+        match &mut self.duty {
+            Duty::Star { assigned } => {
+                // Star: the full content goes to every assigned full node
+                // (block distribution, accounted at bundle granularity).
+                let mut net = ctx.narrow::<NetMsg>();
+                for &n in assigned.iter() {
+                    net.send(
+                        n,
+                        NetMsg::FullBlock {
+                            block: id,
+                            bytes: bytes as u64,
+                        },
+                    );
+                }
+            }
+            Duty::Zone { source } => {
+                source.offer_bundle(
+                    &mut ctx.narrow::<NetMsg>(),
+                    BundleId { block: id, idx: 0 },
+                    bytes as u32,
+                );
+            }
+        }
+    }
+
+    fn drain_produced(&mut self, ctx: &mut Context<'_, FlowMsg>) {
+        let produced = self.shell.plane_mut().drain_produced();
+        for b in produced {
+            self.distribute(ctx, &b);
+        }
+    }
+}
+
+impl Actor<FlowMsg> for FlowConsensusNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, FlowMsg>) {
+        self.shell.start(&mut ctx.narrow::<ConsMsg>());
+        self.drain_produced(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, FlowMsg>, from: NodeId, msg: FlowMsg) {
+        match msg {
+            FlowMsg::Cons(c) => {
+                // Every bundle this node learns (peers' included) is also
+                // disseminated to the full-node layer.
+                if let ConsMsg::Bundle(b) = &c {
+                    let bundle = (**b).clone();
+                    self.distribute(ctx, &bundle);
+                }
+                self.shell.message(&mut ctx.narrow::<ConsMsg>(), from, c);
+                self.drain_produced(ctx);
+            }
+            FlowMsg::Net(n) => {
+                if let Duty::Zone { source } = &mut self.duty {
+                    source.message(&mut ctx.narrow::<NetMsg>(), from, n);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, FlowMsg>, tag: TimerTag) {
+        self.shell.timer(&mut ctx.narrow::<ConsMsg>(), tag);
+        self.drain_produced(ctx);
+    }
+}
+
+/// Parameters of one Fig. 7 run.
+///
+/// # Examples
+///
+/// ```no_run
+/// use predis::experiments::{DistMode, TopologySetup};
+///
+/// let r = TopologySetup {
+///     n_c: 4,
+///     full_nodes: 48,
+///     mode: DistMode::MultiZone { zones: 12 },
+///     ..Default::default()
+/// }
+/// .run();
+/// println!("consensus sustains {:.0} tx/s while feeding 48 full nodes",
+///          r.throughput_tps);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologySetup {
+    /// Committee size.
+    pub n_c: usize,
+    /// Number of full nodes served by the consensus layer.
+    pub full_nodes: usize,
+    /// Dissemination duty.
+    pub mode: DistMode,
+    /// Fixed transaction generation rate (paper: 26,000 tx/s).
+    pub gen_tps: f64,
+    /// Number of client nodes producing that load.
+    pub clients: usize,
+    /// Transaction size in bytes.
+    pub tx_size: usize,
+    /// Upload bandwidth per node, Mbps.
+    pub mbps: u64,
+    /// Measurement horizon, simulated seconds.
+    pub duration_secs: u64,
+    /// Warm-up excluded from throughput.
+    pub warmup_secs: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TopologySetup {
+    fn default() -> Self {
+        TopologySetup {
+            n_c: 4,
+            full_nodes: 24,
+            mode: DistMode::MultiZone { zones: 12 },
+            gen_tps: 26_000.0,
+            clients: 4,
+            tx_size: 512,
+            mbps: 100,
+            duration_secs: 15,
+            warmup_secs: 5,
+            seed: 1,
+        }
+    }
+}
+
+/// Result of a Fig. 7 run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TopologyResult {
+    /// Sustained consensus throughput, tx/s.
+    pub throughput_tps: f64,
+    /// Bytes the consensus layer uploaded during the run.
+    pub consensus_upload_bytes: u64,
+}
+
+impl TopologySetup {
+    /// Builds, runs, and summarizes the experiment.
+    pub fn run(&self) -> TopologyResult {
+        let (result, _) = self.run_with_sim();
+        result
+    }
+
+    /// Like [`TopologySetup::run`] but also returns the finished simulation
+    /// for inspection.
+    pub fn run_with_sim(&self) -> (TopologyResult, Sim<FlowMsg>) {
+        let network = Network::new(LatencyModel::lan(), SimDuration::ZERO);
+        let mut sim: Sim<FlowMsg> = Sim::new(self.seed, network);
+        let link = LinkConfig::paper_default().with_mbps(self.mbps);
+        let cons: Vec<NodeId> = (0..self.n_c as u32).map(NodeId).collect();
+        let fulls: Vec<NodeId> = (self.n_c as u32..(self.n_c + self.full_nodes) as u32)
+            .map(NodeId)
+            .collect();
+        // Entry-replica submission: every replica needs at least one client.
+        let n_clients = self.clients.max(self.n_c);
+        let client_ids: Vec<NodeId> = ((self.n_c + self.full_nodes) as u32
+            ..(self.n_c + self.full_nodes + n_clients) as u32)
+            .map(NodeId)
+            .collect();
+        let roster = Roster::new(cons.clone(), client_ids.clone());
+        let cfg = ConsensusConfig::default().paced_production(
+            self.n_c,
+            self.tx_size,
+            self.mbps * 1_000_000,
+        );
+        let zcfg = ZoneConfig {
+            n_c: self.n_c,
+            f: roster.f(),
+            max_children: 24,
+            alive_interval: SimDuration::from_millis(250),
+            digest_interval: SimDuration::from_secs(1),
+            consensus: cons.clone(),
+        };
+
+        // Consensus nodes with their dissemination duty.
+        for me in 0..self.n_c {
+            let shell = PbftNode::new(
+                me,
+                roster.clone(),
+                cfg.clone(),
+                PredisPlane::new(me, roster.clone(), cfg.clone()),
+            );
+            let node = match self.mode {
+                DistMode::Star => {
+                    let assigned: Vec<NodeId> = fulls
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| j % self.n_c == me)
+                        .map(|(_, &n)| n)
+                        .collect();
+                    FlowConsensusNode::star(shell, assigned)
+                }
+                DistMode::MultiZone { .. } => FlowConsensusNode::zone(
+                    shell,
+                    ZoneSource::new(me as u32, zcfg.clone(), None),
+                ),
+            };
+            sim.add_node(link, Box::new(node), SimTime::ZERO);
+        }
+
+        // Full nodes.
+        match self.mode {
+            DistMode::Star => {
+                for _ in &fulls {
+                    sim.add_node(
+                        link,
+                        Box::new(ActorOf::<_, NetMsg>::new(BlockSink::new())),
+                        SimTime::ZERO,
+                    );
+                }
+            }
+            DistMode::MultiZone { zones } => {
+                let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); zones];
+                for (j, &fnode) in fulls.iter().enumerate() {
+                    members[j % zones].push(fnode);
+                }
+                for (j, &fnode) in fulls.iter().enumerate() {
+                    let mates: Vec<NodeId> = members[j % zones]
+                        .iter()
+                        .copied()
+                        .filter(|n| *n != fnode)
+                        .collect();
+                    sim.add_node(
+                        link,
+                        Box::new(ActorOf::<_, NetMsg>::new(MultiZoneNode::new(
+                            zcfg.clone(),
+                            j as u64,
+                            mates,
+                        ))),
+                        SimTime::from_millis(5 * j as u64),
+                    );
+                }
+            }
+        }
+
+        // Clients.
+        let per_client = self.gen_tps / n_clients as f64;
+        for c in 0..n_clients {
+            let client = ClientCore::new(
+                ClientId(c as u32),
+                roster.clone(),
+                per_client,
+                self.tx_size as u32,
+            );
+            sim.add_node(
+                link,
+                Box::new(ActorOf::<_, ConsMsg>::new(client)),
+                SimTime::ZERO,
+            );
+        }
+
+        sim.run_until(SimTime::from_secs(self.duration_secs));
+        let from = SimTime::from_secs(self.warmup_secs);
+        let to = SimTime::from_secs(self.duration_secs);
+        let consensus_upload_bytes = cons.iter().map(|&n| sim.network().bytes_sent(n)).sum();
+        (
+            TopologyResult {
+                throughput_tps: sim.metrics().throughput_tps(from, to),
+                consensus_upload_bytes,
+            },
+            sim,
+        )
+    }
+}

@@ -1,0 +1,80 @@
+//! The combined message type for full data-flow simulations.
+//!
+//! A deployment that runs both layers at once — Predis consensus *and*
+//! Multi-Zone/star dissemination, sharing the same upload links (Fig. 7) —
+//! needs one wire type carrying both vocabularies. [`FlowMsg`] is that
+//! union; it implements `Codec` for both [`ConsMsg`] and [`NetMsg`], so
+//! every protocol core from the consensus and multizone crates runs
+//! unchanged inside a `Sim<FlowMsg>`.
+
+use predis_consensus::ConsMsg;
+use predis_multizone::NetMsg;
+use predis_sim::{Codec, Payload};
+
+/// A consensus-layer or network-layer message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowMsg {
+    /// Consensus-layer traffic (bundles, votes, proposals, client I/O).
+    Cons(ConsMsg),
+    /// Network-layer traffic (stripes, announcements, membership).
+    Net(NetMsg),
+}
+
+impl Payload for FlowMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            FlowMsg::Cons(m) => m.wire_size(),
+            FlowMsg::Net(m) => m.wire_size(),
+        }
+    }
+}
+
+impl Codec<ConsMsg> for FlowMsg {
+    fn wrap(msg: ConsMsg) -> Self {
+        FlowMsg::Cons(msg)
+    }
+    fn unwrap(self) -> Option<ConsMsg> {
+        match self {
+            FlowMsg::Cons(m) => Some(m),
+            FlowMsg::Net(_) => None,
+        }
+    }
+}
+
+impl Codec<NetMsg> for FlowMsg {
+    fn wrap(msg: NetMsg) -> Self {
+        FlowMsg::Net(msg)
+    }
+    fn unwrap(self) -> Option<NetMsg> {
+        match self {
+            FlowMsg::Net(m) => Some(m),
+            FlowMsg::Cons(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predis_multizone::BundleId;
+    use predis_types::{ClientId, Transaction, TxId};
+
+    #[test]
+    fn codec_roundtrips_both_layers() {
+        let c = ConsMsg::Submit(Transaction::new(TxId(1), ClientId(0), 0));
+        let wrapped = <FlowMsg as Codec<ConsMsg>>::wrap(c.clone());
+        assert_eq!(wrapped.wire_size(), c.wire_size());
+        assert_eq!(<FlowMsg as Codec<ConsMsg>>::unwrap(wrapped.clone()), Some(c));
+        assert_eq!(<FlowMsg as Codec<NetMsg>>::unwrap(wrapped), None);
+
+        let n = NetMsg::Stripe {
+            bundle: BundleId { block: 1, idx: 2 },
+            stripe: 0,
+            k: 3,
+            bytes: 100,
+        };
+        let wrapped = <FlowMsg as Codec<NetMsg>>::wrap(n.clone());
+        assert_eq!(wrapped.wire_size(), n.wire_size());
+        assert_eq!(<FlowMsg as Codec<NetMsg>>::unwrap(wrapped), Some(n));
+    }
+}

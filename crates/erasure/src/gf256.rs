@@ -1,0 +1,257 @@
+//! Arithmetic in GF(2^8) with the AES/Reed-Solomon polynomial `0x11d`.
+//!
+//! Multiplication uses log/exp tables generated at compile time from the
+//! generator element 2, the classical construction used by every practical
+//! Reed-Solomon codec (including the Backblaze implementation the paper
+//! uses).
+
+/// The field polynomial: x^8 + x^4 + x^3 + x^2 + 1.
+pub const POLY: u16 = 0x11d;
+
+/// Number of elements in the field.
+pub const FIELD_SIZE: usize = 256;
+
+const fn build_exp_log() -> ([u8; 512], [u8; 256]) {
+    let mut exp = [0u8; 512];
+    let mut log = [0u8; 256];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        exp[i] = x as u8;
+        log[x as usize] = i as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= POLY;
+        }
+        i += 1;
+    }
+    // Duplicate the table so mul can skip the mod-255 reduction.
+    let mut j = 255;
+    while j < 512 {
+        exp[j] = exp[j - 255];
+        j += 1;
+    }
+    (exp, log)
+}
+
+const TABLES: ([u8; 512], [u8; 256]) = build_exp_log();
+const EXP: [u8; 512] = TABLES.0;
+const LOG: [u8; 256] = TABLES.1;
+
+/// An element of GF(2^8).
+///
+/// # Examples
+///
+/// ```
+/// use predis_erasure::gf256::Gf;
+///
+/// let a = Gf(0x53);
+/// assert_eq!(a + a, Gf(0)); // characteristic 2: addition is XOR
+/// assert_eq!(a * a.inv().unwrap(), Gf(1));
+/// assert_eq!(Gf(2) * Gf(0x80), Gf(0x1d)); // reduction by x^8+x^4+x^3+x^2+1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Gf(pub u8);
+
+impl Gf {
+    /// The additive identity.
+    pub const ZERO: Gf = Gf(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf = Gf(1);
+
+    /// The generator element (2) raised to `power`.
+    pub fn generator_pow(power: usize) -> Gf {
+        Gf(EXP[power % 255])
+    }
+
+    /// The multiplicative inverse, or `None` for zero.
+    pub fn inv(self) -> Option<Gf> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(Gf(EXP[255 - LOG[self.0 as usize] as usize]))
+        }
+    }
+
+    /// Exponentiation by squaring is unnecessary with log tables:
+    /// `self^e = exp(log(self) * e mod 255)`.
+    pub fn pow(self, e: usize) -> Gf {
+        if self.0 == 0 {
+            return if e == 0 { Gf::ONE } else { Gf::ZERO };
+        }
+        let l = LOG[self.0 as usize] as usize;
+        Gf(EXP[(l * e) % 255])
+    }
+}
+
+impl std::ops::Add for Gf {
+    type Output = Gf;
+    // In GF(2^8) addition *is* XOR; the lint expects integer arithmetic.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn add(self, rhs: Gf) -> Gf {
+        Gf(self.0 ^ rhs.0)
+    }
+}
+
+impl std::ops::Sub for Gf {
+    type Output = Gf;
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn sub(self, rhs: Gf) -> Gf {
+        Gf(self.0 ^ rhs.0) // addition and subtraction coincide in char 2
+    }
+}
+
+impl std::ops::Mul for Gf {
+    type Output = Gf;
+    fn mul(self, rhs: Gf) -> Gf {
+        if self.0 == 0 || rhs.0 == 0 {
+            return Gf(0);
+        }
+        Gf(EXP[LOG[self.0 as usize] as usize + LOG[rhs.0 as usize] as usize])
+    }
+}
+
+impl std::ops::Div for Gf {
+    type Output = Gf;
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    #[allow(clippy::suspicious_arithmetic_impl)] // division = multiply by inverse
+    fn div(self, rhs: Gf) -> Gf {
+        let inv = rhs.inv().expect("division by zero in GF(256)");
+        self * inv
+    }
+}
+
+/// Multiplies a byte slice by a scalar in place (the hot loop of encoding).
+pub fn mul_slice(scalar: Gf, input: &[u8], out: &mut [u8]) {
+    debug_assert_eq!(input.len(), out.len());
+    if scalar.0 == 0 {
+        out.fill(0);
+        return;
+    }
+    let ls = LOG[scalar.0 as usize] as usize;
+    for (o, &i) in out.iter_mut().zip(input) {
+        *o = if i == 0 { 0 } else { EXP[ls + LOG[i as usize] as usize] };
+    }
+}
+
+/// `out ^= scalar * input`, the accumulate variant of [`mul_slice`].
+pub fn mul_slice_xor(scalar: Gf, input: &[u8], out: &mut [u8]) {
+    debug_assert_eq!(input.len(), out.len());
+    if scalar.0 == 0 {
+        return;
+    }
+    let ls = LOG[scalar.0 as usize] as usize;
+    for (o, &i) in out.iter_mut().zip(input) {
+        if i != 0 {
+            *o ^= EXP[ls + LOG[i as usize] as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_is_xor_and_self_inverse() {
+        for a in 0..=255u8 {
+            assert_eq!(Gf(a) + Gf(a), Gf::ZERO);
+            assert_eq!(Gf(a) + Gf::ZERO, Gf(a));
+            assert_eq!(Gf(a) - Gf(a), Gf::ZERO);
+        }
+    }
+
+    #[test]
+    fn multiplication_identities() {
+        for a in 0..=255u8 {
+            assert_eq!(Gf(a) * Gf::ONE, Gf(a));
+            assert_eq!(Gf(a) * Gf::ZERO, Gf::ZERO);
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse() {
+        assert_eq!(Gf::ZERO.inv(), None);
+        for a in 1..=255u8 {
+            let inv = Gf(a).inv().unwrap();
+            assert_eq!(Gf(a) * inv, Gf::ONE, "a={a}");
+            assert_eq!(Gf(a) / Gf(a), Gf::ONE);
+        }
+    }
+
+    #[test]
+    fn multiplication_is_commutative_and_associative_spot() {
+        // Exhaustive commutativity; sampled associativity.
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(Gf(a) * Gf(b), Gf(b) * Gf(a));
+            }
+        }
+        for a in [1u8, 2, 3, 29, 76, 129, 254, 255] {
+            for b in [1u8, 5, 17, 99, 200, 255] {
+                for c in [2u8, 7, 31, 127, 255] {
+                    assert_eq!((Gf(a) * Gf(b)) * Gf(c), Gf(a) * (Gf(b) * Gf(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributivity_spot() {
+        for a in [1u8, 2, 87, 255] {
+            for b in [0u8, 3, 44, 254] {
+                for c in [1u8, 9, 100, 255] {
+                    assert_eq!(Gf(a) * (Gf(b) + Gf(c)), Gf(a) * Gf(b) + Gf(a) * Gf(c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..255 {
+            seen.insert(Gf::generator_pow(i).0);
+        }
+        assert_eq!(seen.len(), 255);
+        assert!(!seen.contains(&0));
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        for a in [0u8, 1, 2, 3, 91, 255] {
+            let mut acc = Gf::ONE;
+            for e in 0..10 {
+                assert_eq!(Gf(a).pow(e), acc, "a={a} e={e}");
+                acc = acc * Gf(a);
+            }
+        }
+    }
+
+    #[test]
+    fn slice_ops_match_scalar_ops() {
+        let input: Vec<u8> = (0..=255u8).collect();
+        let scalar = Gf(0x1b);
+        let mut out = vec![0u8; 256];
+        mul_slice(scalar, &input, &mut out);
+        for (i, &o) in out.iter().enumerate() {
+            assert_eq!(Gf(o), scalar * Gf(input[i]));
+        }
+        let mut acc = out.clone();
+        mul_slice_xor(Gf(0x02), &input, &mut acc);
+        for i in 0..256 {
+            assert_eq!(Gf(acc[i]), Gf(out[i]) + Gf(0x02) * Gf(input[i]));
+        }
+        // Zero scalar clears / leaves untouched.
+        mul_slice(Gf::ZERO, &input, &mut out);
+        assert!(out.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = Gf(5) / Gf(0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Dense matrices over GF(2^8), supporting the operations Reed-Solomon
+//! needs: multiplication, sub-matrix extraction, augmented inversion, and
+//! Vandermonde construction.
+
+use crate::gf256::Gf;
+
+/// A row-major matrix over GF(2^8).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Gf>,
+}
+
+impl Matrix {
+    /// A zero matrix of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zero(rows: usize, cols: usize) -> Matrix {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![Gf::ZERO; rows * cols],
+        }
+    }
+
+    /// The `n`-by-`n` identity.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zero(n, n);
+        for i in 0..n {
+            m[(i, i)] = Gf::ONE;
+        }
+        m
+    }
+
+    /// The `rows`-by-`cols` Vandermonde matrix `V[r][c] = r^c`, whose
+    /// square sub-matrices formed from distinct rows are invertible —
+    /// the property Reed-Solomon recovery relies on.
+    pub fn vandermonde(rows: usize, cols: usize) -> Matrix {
+        let mut m = Matrix::zero(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = Gf(r as u8).pow(c);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// A view of row `r`.
+    pub fn row(&self, r: usize) -> &[Gf] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn mul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        let mut out = Matrix::zero(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == Gf::ZERO {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    out[(r, c)] = out[(r, c)] + a * rhs[(k, c)];
+                }
+            }
+        }
+        out
+    }
+
+    /// A new matrix made of the given rows of `self`, in order.
+    pub fn select_rows(&self, rows: &[usize]) -> Matrix {
+        let mut out = Matrix::zero(rows.len(), self.cols);
+        for (i, &r) in rows.iter().enumerate() {
+            let (dst_start, src_start) = (i * self.cols, r * self.cols);
+            out.data[dst_start..dst_start + self.cols]
+                .copy_from_slice(&self.data[src_start..src_start + self.cols]);
+        }
+        out
+    }
+
+    /// The inverse, or `None` if singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn inverse(&self) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "only square matrices invert");
+        let n = self.rows;
+        let mut work = self.clone();
+        let mut inv = Matrix::identity(n);
+        for col in 0..n {
+            // Find a pivot.
+            let pivot = (col..n).find(|&r| work[(r, col)] != Gf::ZERO)?;
+            if pivot != col {
+                work.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            let scale = work[(col, col)].inv().expect("pivot nonzero");
+            work.scale_row(col, scale);
+            inv.scale_row(col, scale);
+            for r in 0..n {
+                if r != col && work[(r, col)] != Gf::ZERO {
+                    let factor = work[(r, col)];
+                    work.add_scaled_row(col, r, factor);
+                    inv.add_scaled_row(col, r, factor);
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        for c in 0..self.cols {
+            self.data.swap(a * self.cols + c, b * self.cols + c);
+        }
+    }
+
+    fn scale_row(&mut self, r: usize, s: Gf) {
+        for c in 0..self.cols {
+            self[(r, c)] = self[(r, c)] * s;
+        }
+    }
+
+    /// row[dst] += factor * row[src]
+    fn add_scaled_row(&mut self, src: usize, dst: usize, factor: Gf) {
+        for c in 0..self.cols {
+            let v = self[(src, c)] * factor;
+            self[(dst, c)] = self[(dst, c)] + v;
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = Gf;
+    fn index(&self, (r, c): (usize, usize)) -> &Gf {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Gf {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_neutral() {
+        let v = Matrix::vandermonde(4, 4);
+        let i = Matrix::identity(4);
+        assert_eq!(v.mul(&i), v);
+        assert_eq!(i.mul(&v), v);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        for n in 1..=8 {
+            let v = Matrix::vandermonde(n, n);
+            let inv = v.inverse().expect("vandermonde is invertible");
+            assert_eq!(v.mul(&inv), Matrix::identity(n), "n={n}");
+            assert_eq!(inv.mul(&v), Matrix::identity(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let mut m = Matrix::zero(2, 2);
+        m[(0, 0)] = Gf(1);
+        m[(0, 1)] = Gf(2);
+        m[(1, 0)] = Gf(1);
+        m[(1, 1)] = Gf(2);
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn vandermonde_square_submatrices_invert() {
+        // Any k distinct rows of an n x k Vandermonde form an invertible
+        // matrix: this is the erasure-recovery property.
+        let v = Matrix::vandermonde(8, 4);
+        let row_sets: [[usize; 4]; 5] = [
+            [0, 1, 2, 3],
+            [4, 5, 6, 7],
+            [0, 2, 4, 6],
+            [1, 3, 5, 7],
+            [0, 3, 5, 6],
+        ];
+        for rows in row_sets {
+            assert!(
+                v.select_rows(&rows).inverse().is_some(),
+                "rows {rows:?} should be invertible"
+            );
+        }
+    }
+
+    #[test]
+    fn select_rows_copies_in_order() {
+        let v = Matrix::vandermonde(5, 3);
+        let s = v.select_rows(&[4, 0]);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.row(0), v.row(4));
+        assert_eq!(s.row(1), v.row(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn mul_rejects_bad_shapes() {
+        let a = Matrix::zero(2, 3);
+        let b = Matrix::zero(2, 3);
+        let _ = a.mul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_rejected() {
+        let _ = Matrix::zero(0, 3);
+    }
+}

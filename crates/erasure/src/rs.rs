@@ -1,0 +1,418 @@
+//! Systematic Reed-Solomon erasure coding.
+//!
+//! Multi-Zone encodes every bundle into `n = n_c` stripes such that any
+//! `k = n_c − f` reconstruct the bundle (Section IV-D of the paper). The
+//! codec is systematic: the first `k` stripes are the data itself, the
+//! remaining `n − k` are parity, exactly like the Backblaze JavaReedSolomon
+//! library the paper's evaluation uses.
+//!
+//! The encoding matrix is a Vandermonde matrix normalised so its top `k`
+//! rows are the identity (multiply by the inverse of the top square), which
+//! preserves the any-k-rows-invertible property.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::gf256::mul_slice_xor;
+use crate::matrix::Matrix;
+
+/// Errors returned by [`ReedSolomon`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// `data_shards` or `total_shards` out of the supported range.
+    BadShardCounts {
+        /// Requested number of data shards.
+        data: usize,
+        /// Requested total number of shards.
+        total: usize,
+    },
+    /// Shards passed to encode/reconstruct have inconsistent lengths.
+    ShardLengthMismatch,
+    /// The number of shard slots differs from the codec's `total_shards`.
+    WrongShardSlots {
+        /// Number of slots the caller passed.
+        got: usize,
+        /// Number of slots the codec expects.
+        expected: usize,
+    },
+    /// Fewer than `data_shards` shards are present: reconstruction is
+    /// impossible.
+    NotEnoughShards {
+        /// Number of shards present.
+        present: usize,
+        /// Number of shards required.
+        required: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadShardCounts { data, total } => write!(
+                f,
+                "invalid shard counts: {data} data of {total} total (need 0 < data <= total <= 255)"
+            ),
+            CodecError::ShardLengthMismatch => write!(f, "shards have inconsistent lengths"),
+            CodecError::WrongShardSlots { got, expected } => {
+                write!(f, "got {got} shard slots, codec expects {expected}")
+            }
+            CodecError::NotEnoughShards { present, required } => {
+                write!(f, "only {present} shards present, {required} required")
+            }
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+/// A systematic Reed-Solomon codec with fixed shard counts.
+///
+/// # Examples
+///
+/// ```
+/// use predis_erasure::ReedSolomon;
+///
+/// // n_c = 4 consensus nodes, f = 1: any 3 of 4 stripes reconstruct.
+/// let rs = ReedSolomon::new(3, 4)?;
+/// let data = b"predis bundle payload bytes!".to_vec();
+/// let stripes = rs.encode_blob(&data);
+/// let mut received: Vec<Option<Vec<u8>>> =
+///     stripes.into_iter().map(Some).collect();
+/// received[1] = None; // one stripe lost
+/// let recovered = rs.decode_blob(&mut received, data.len())?;
+/// assert_eq!(recovered, data);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    data_shards: usize,
+    total_shards: usize,
+    /// `total x data` encoding matrix; top `data` rows are the identity.
+    encode_matrix: Matrix,
+}
+
+impl ReedSolomon {
+    /// Creates a codec producing `total_shards` shards of which any
+    /// `data_shards` reconstruct.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::BadShardCounts`] unless
+    /// `0 < data_shards <= total_shards <= 255`.
+    pub fn new(data_shards: usize, total_shards: usize) -> Result<ReedSolomon, CodecError> {
+        if data_shards == 0 || data_shards > total_shards || total_shards > 255 {
+            return Err(CodecError::BadShardCounts {
+                data: data_shards,
+                total: total_shards,
+            });
+        }
+        let vm = Matrix::vandermonde(total_shards, data_shards);
+        let top = vm.select_rows(&(0..data_shards).collect::<Vec<_>>());
+        let top_inv = top.inverse().expect("vandermonde top square invertible");
+        let encode_matrix = vm.mul(&top_inv);
+        Ok(ReedSolomon {
+            data_shards,
+            total_shards,
+            encode_matrix,
+        })
+    }
+
+    /// Number of data shards (`k`).
+    pub fn data_shards(&self) -> usize {
+        self.data_shards
+    }
+
+    /// Total shards (`n`).
+    pub fn total_shards(&self) -> usize {
+        self.total_shards
+    }
+
+    /// Number of parity shards (`n − k`).
+    pub fn parity_shards(&self) -> usize {
+        self.total_shards - self.data_shards
+    }
+
+    /// Encodes `data_shards` equal-length shards, returning all
+    /// `total_shards` shards (data shards first, verbatim).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::WrongShardSlots`] if the slice length differs from
+    /// `data_shards`; [`CodecError::ShardLengthMismatch`] if lengths differ.
+    pub fn encode(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, CodecError> {
+        if data.len() != self.data_shards {
+            return Err(CodecError::WrongShardSlots {
+                got: data.len(),
+                expected: self.data_shards,
+            });
+        }
+        let len = data[0].len();
+        if data.iter().any(|s| s.len() != len) {
+            return Err(CodecError::ShardLengthMismatch);
+        }
+        let mut shards: Vec<Vec<u8>> = data.to_vec();
+        for r in self.data_shards..self.total_shards {
+            let mut parity = vec![0u8; len];
+            for (c, d) in data.iter().enumerate() {
+                mul_slice_xor(self.encode_matrix[(r, c)], d, &mut parity);
+            }
+            shards.push(parity);
+        }
+        Ok(shards)
+    }
+
+    /// Splits a blob into `data_shards` equal shards (zero-padded) and
+    /// encodes. The shard length is `ceil(len / data_shards)`.
+    pub fn encode_blob(&self, blob: &[u8]) -> Vec<Vec<u8>> {
+        let shard_len = blob.len().div_ceil(self.data_shards).max(1);
+        let mut data = Vec::with_capacity(self.data_shards);
+        for i in 0..self.data_shards {
+            let start = (i * shard_len).min(blob.len());
+            let end = ((i + 1) * shard_len).min(blob.len());
+            let mut shard = blob[start..end].to_vec();
+            shard.resize(shard_len, 0);
+            data.push(shard);
+        }
+        self.encode(&data).expect("shards constructed consistently")
+    }
+
+    /// Reconstructs all missing shards in place. On success every slot is
+    /// `Some` and data shards hold the original content.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::WrongShardSlots`], [`CodecError::ShardLengthMismatch`],
+    /// or [`CodecError::NotEnoughShards`] if fewer than `data_shards`
+    /// survive.
+    pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), CodecError> {
+        if shards.len() != self.total_shards {
+            return Err(CodecError::WrongShardSlots {
+                got: shards.len(),
+                expected: self.total_shards,
+            });
+        }
+        let present: Vec<usize> = (0..self.total_shards)
+            .filter(|&i| shards[i].is_some())
+            .collect();
+        if present.len() < self.data_shards {
+            return Err(CodecError::NotEnoughShards {
+                present: present.len(),
+                required: self.data_shards,
+            });
+        }
+        let len = shards[present[0]].as_ref().expect("present").len();
+        if present
+            .iter()
+            .any(|&i| shards[i].as_ref().expect("present").len() != len)
+        {
+            return Err(CodecError::ShardLengthMismatch);
+        }
+        if present.len() == self.total_shards {
+            return Ok(());
+        }
+        // Solve for the data shards from any k surviving rows.
+        let rows: Vec<usize> = present[..self.data_shards].to_vec();
+        let sub = self.encode_matrix.select_rows(&rows);
+        let decode = sub.inverse().expect("any k rows of the encode matrix invert");
+        let mut data: Vec<Vec<u8>> = Vec::with_capacity(self.data_shards);
+        for r in 0..self.data_shards {
+            let mut shard = vec![0u8; len];
+            for (c, &row_idx) in rows.iter().enumerate() {
+                let src = shards[row_idx].as_ref().expect("present");
+                mul_slice_xor(decode[(r, c)], src, &mut shard);
+            }
+            data.push(shard);
+        }
+        // Re-encode to fill every missing slot (data and parity alike).
+        let full = self.encode(&data).expect("valid shards");
+        for (i, slot) in shards.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(full[i].clone());
+            }
+        }
+        // Restore recovered data shards verbatim.
+        for i in 0..self.data_shards {
+            if shards[i].is_none() {
+                shards[i] = Some(data[i].clone());
+            }
+        }
+        Ok(())
+    }
+
+    /// Reconstructs and reassembles a blob of `blob_len` bytes previously
+    /// split by [`ReedSolomon::encode_blob`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ReedSolomon::reconstruct`] errors.
+    pub fn decode_blob(
+        &self,
+        shards: &mut [Option<Vec<u8>>],
+        blob_len: usize,
+    ) -> Result<Vec<u8>, CodecError> {
+        self.reconstruct(shards)?;
+        let mut blob = Vec::with_capacity(blob_len);
+        for shard in shards.iter().take(self.data_shards) {
+            blob.extend_from_slice(shard.as_ref().expect("reconstructed"));
+        }
+        blob.truncate(blob_len);
+        Ok(blob)
+    }
+
+    /// The stripe length [`ReedSolomon::encode_blob`] produces for a blob of
+    /// `blob_len` bytes.
+    pub fn stripe_len(&self, blob_len: usize) -> usize {
+        blob_len.div_ceil(self.data_shards).max(1)
+    }
+
+    /// Checks that the parity shards are consistent with the data shards.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::WrongShardSlots`] / [`CodecError::ShardLengthMismatch`]
+    /// on malformed input.
+    pub fn verify(&self, shards: &[Vec<u8>]) -> Result<bool, CodecError> {
+        if shards.len() != self.total_shards {
+            return Err(CodecError::WrongShardSlots {
+                got: shards.len(),
+                expected: self.total_shards,
+            });
+        }
+        let recomputed = self.encode(&shards[..self.data_shards])?;
+        Ok(recomputed[self.data_shards..] == shards[self.data_shards..])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 31 % 251) as u8).collect()
+    }
+
+    #[test]
+    fn encode_is_systematic() {
+        let rs = ReedSolomon::new(4, 6).unwrap();
+        let data: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8; 16]).collect();
+        let shards = rs.encode(&data).unwrap();
+        assert_eq!(shards.len(), 6);
+        assert_eq!(&shards[..4], &data[..]);
+        assert!(rs.verify(&shards).unwrap());
+    }
+
+    #[test]
+    fn any_k_of_n_reconstructs() {
+        let rs = ReedSolomon::new(3, 5).unwrap();
+        let original = blob(100);
+        let shards = rs.encode_blob(&original);
+        // Try every way of losing 2 of 5 shards.
+        for a in 0..5 {
+            for b in (a + 1)..5 {
+                let mut received: Vec<Option<Vec<u8>>> =
+                    shards.iter().cloned().map(Some).collect();
+                received[a] = None;
+                received[b] = None;
+                let out = rs.decode_blob(&mut received, original.len()).unwrap();
+                assert_eq!(out, original, "lost {a},{b}");
+                assert!(received.iter().all(Option::is_some));
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_losses_fail() {
+        let rs = ReedSolomon::new(3, 5).unwrap();
+        let shards = rs.encode_blob(&blob(50));
+        let mut received: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        received[0] = None;
+        received[1] = None;
+        received[2] = None;
+        assert_eq!(
+            rs.reconstruct(&mut received),
+            Err(CodecError::NotEnoughShards {
+                present: 2,
+                required: 3
+            })
+        );
+    }
+
+    #[test]
+    fn paper_rate_nc_minus_f_of_nc() {
+        // n_c = 3f + 1: (k, n) = (2f+1, 3f+1).
+        for f in 1..=5usize {
+            let n = 3 * f + 1;
+            let k = n - f;
+            let rs = ReedSolomon::new(k, n).unwrap();
+            let original = blob(997);
+            let shards = rs.encode_blob(&original);
+            let mut received: Vec<Option<Vec<u8>>> =
+                shards.into_iter().map(Some).collect();
+            for lost in 0..f {
+                received[lost * 2 % n] = None;
+            }
+            let out = rs.decode_blob(&mut received, original.len()).unwrap();
+            assert_eq!(out, original, "f={f}");
+        }
+    }
+
+    #[test]
+    fn corrupted_parity_detected_by_verify() {
+        let rs = ReedSolomon::new(4, 6).unwrap();
+        let mut shards = rs.encode_blob(&blob(64));
+        shards[5][0] ^= 0xff;
+        assert!(!rs.verify(&shards).unwrap());
+    }
+
+    #[test]
+    fn blob_roundtrip_various_sizes() {
+        let rs = ReedSolomon::new(6, 8).unwrap();
+        for len in [1usize, 5, 6, 7, 48, 100, 1000, 25_600] {
+            let original = blob(len);
+            let shards = rs.encode_blob(&original);
+            assert_eq!(shards[0].len(), rs.stripe_len(len));
+            let mut received: Vec<Option<Vec<u8>>> =
+                shards.into_iter().map(Some).collect();
+            received[3] = None;
+            received[7] = None;
+            assert_eq!(rs.decode_blob(&mut received, len).unwrap(), original, "len={len}");
+        }
+    }
+
+    #[test]
+    fn k_equals_n_is_plain_splitting() {
+        let rs = ReedSolomon::new(4, 4).unwrap();
+        let original = blob(64);
+        let shards = rs.encode_blob(&original);
+        assert_eq!(rs.parity_shards(), 0);
+        let mut received: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        assert_eq!(rs.decode_blob(&mut received, 64).unwrap(), original);
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        assert!(ReedSolomon::new(0, 4).is_err());
+        assert!(ReedSolomon::new(5, 4).is_err());
+        assert!(ReedSolomon::new(10, 300).is_err());
+        let err = ReedSolomon::new(0, 4).unwrap_err();
+        assert!(err.to_string().contains("invalid shard counts"));
+    }
+
+    #[test]
+    fn mismatched_inputs_rejected() {
+        let rs = ReedSolomon::new(2, 4).unwrap();
+        assert_eq!(
+            rs.encode(&[vec![1, 2], vec![3]]),
+            Err(CodecError::ShardLengthMismatch)
+        );
+        assert!(matches!(
+            rs.encode(&[vec![1, 2]]),
+            Err(CodecError::WrongShardSlots { .. })
+        ));
+        let mut short: Vec<Option<Vec<u8>>> = vec![Some(vec![0u8; 4]); 3];
+        assert!(matches!(
+            rs.reconstruct(&mut short),
+            Err(CodecError::WrongShardSlots { .. })
+        ));
+    }
+}

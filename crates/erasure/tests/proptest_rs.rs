@@ -1,0 +1,73 @@
+//! Property tests: Reed-Solomon recovery over random blobs and loss
+//! patterns at the paper's code rates.
+
+use proptest::prelude::*;
+use predis_erasure::ReedSolomon;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any-k-of-n: for random data and any random survivor set of size >= k,
+    /// reconstruction returns the original blob.
+    #[test]
+    fn roundtrip_under_random_loss(
+        blob in proptest::collection::vec(any::<u8>(), 1..4096),
+        f in 1usize..5,
+        loss_seed in any::<u64>(),
+    ) {
+        let n = 3 * f + 1;
+        let k = n - f;
+        let rs = ReedSolomon::new(k, n).unwrap();
+        let shards = rs.encode_blob(&blob);
+        prop_assert!(rs.verify(&shards).unwrap());
+
+        // Deterministically pick exactly f shards to lose.
+        let mut received: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        let mut state = loss_seed | 1;
+        let mut lost = 0;
+        while lost < f {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let idx = (state >> 33) as usize % n;
+            if received[idx].is_some() {
+                received[idx] = None;
+                lost += 1;
+            }
+        }
+        let out = rs.decode_blob(&mut received, blob.len()).unwrap();
+        prop_assert_eq!(out, blob);
+    }
+
+    /// Corrupting any single byte of any shard is caught by verify().
+    #[test]
+    fn verify_catches_any_single_corruption(
+        blob in proptest::collection::vec(any::<u8>(), 8..512),
+        shard_idx in 0usize..8,
+        byte_sel in any::<u16>(),
+        flip in 1u8..=255,
+    ) {
+        let rs = ReedSolomon::new(6, 8).unwrap();
+        let mut shards = rs.encode_blob(&blob);
+        let shard = shard_idx % shards.len();
+        let byte = byte_sel as usize % shards[shard].len();
+        shards[shard][byte] ^= flip;
+        prop_assert!(!rs.verify(&shards).unwrap());
+    }
+
+    /// Reconstruction is agnostic to *which* k shards survive: any two
+    /// survivor sets give the same data shards.
+    #[test]
+    fn survivor_set_does_not_matter(
+        blob in proptest::collection::vec(any::<u8>(), 1..1024),
+        a in 0usize..10, b in 0usize..10,
+    ) {
+        let rs = ReedSolomon::new(3, 5).unwrap();
+        let shards = rs.encode_blob(&blob);
+        let drop_two = |x: usize, y: usize| {
+            let mut r: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
+            r[x % 5] = None;
+            r[(y % 4 + x % 5 + 1) % 5] = None;
+            rs.decode_blob(&mut r, blob.len()).unwrap()
+        };
+        prop_assert_eq!(drop_two(a, b), drop_two(b.wrapping_add(2), a.wrapping_add(3)));
+    }
+}

@@ -1,0 +1,126 @@
+//! The ban list: Predis's defence against forking attacks (§III-E).
+//!
+//! When an honest node detects two conflict bundles (same producer, same
+//! parent, different headers) it multicasts the [`ConflictProof`] and
+//! registers the producer. Honest leaders never cut banned chains and honest
+//! voters reject Predis blocks referencing them, so an equivocator's
+//! bundles stop entering blocks network-wide.
+
+use std::collections::HashMap;
+
+use predis_types::{ChainId, ConflictProof};
+
+/// Tracks banned bundle producers together with the evidence.
+#[derive(Debug, Clone, Default)]
+pub struct BanList {
+    banned: HashMap<ChainId, ConflictProof>,
+}
+
+impl BanList {
+    /// An empty ban list.
+    pub fn new() -> BanList {
+        BanList::default()
+    }
+
+    /// Registers a producer if the proof verifies. Returns `true` if the
+    /// producer is newly banned (i.e. the proof should be gossiped on).
+    pub fn register(&mut self, proof: ConflictProof) -> bool {
+        if !proof.verify() {
+            return false;
+        }
+        let offender = proof.offender();
+        if self.banned.contains_key(&offender) {
+            return false;
+        }
+        self.banned.insert(offender, proof);
+        true
+    }
+
+    /// True if `chain` is banned.
+    pub fn is_banned(&self, chain: ChainId) -> bool {
+        self.banned.contains_key(&chain)
+    }
+
+    /// The stored evidence against `chain`, if banned.
+    pub fn evidence(&self, chain: ChainId) -> Option<&ConflictProof> {
+        self.banned.get(&chain)
+    }
+
+    /// Number of banned producers.
+    pub fn len(&self) -> usize {
+        self.banned.len()
+    }
+
+    /// True if nobody is banned.
+    pub fn is_empty(&self) -> bool {
+        self.banned.is_empty()
+    }
+
+    /// Lifts a ban (the paper lets a banned node rejoin with a fresh genesis
+    /// bundle after a cooling-off period).
+    pub fn unban(&mut self, chain: ChainId) -> bool {
+        self.banned.remove(&chain).is_some()
+    }
+
+    /// Iterates the banned producers.
+    pub fn iter(&self) -> impl Iterator<Item = ChainId> + '_ {
+        self.banned.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predis_crypto::{Hash, Keypair, SignerId};
+    use predis_types::{Bundle, ClientId, Height, TipList, Transaction, TxId};
+
+    fn conflicting_pair(chain: u32) -> ConflictProof {
+        let key = Keypair::for_node(SignerId(chain));
+        let parent = Hash::digest(b"p");
+        let mk = |start: u64| {
+            Bundle::build(
+                ChainId(chain),
+                Height(3),
+                parent,
+                TipList::new(4),
+                vec![Transaction::new(TxId(start), ClientId(0), 0)],
+                Hash::ZERO,
+                &key,
+            )
+            .header
+        };
+        ConflictProof { a: mk(1), b: mk(2) }
+    }
+
+    #[test]
+    fn valid_proof_bans_once() {
+        let mut ban = BanList::new();
+        let proof = conflicting_pair(2);
+        assert!(ban.register(proof.clone()));
+        assert!(ban.is_banned(ChainId(2)));
+        assert!(!ban.is_banned(ChainId(1)));
+        // Re-registering is not "new".
+        assert!(!ban.register(proof));
+        assert_eq!(ban.len(), 1);
+        assert_eq!(ban.iter().collect::<Vec<_>>(), vec![ChainId(2)]);
+        assert!(ban.evidence(ChainId(2)).is_some());
+    }
+
+    #[test]
+    fn invalid_proof_rejected() {
+        let mut ban = BanList::new();
+        let mut proof = conflicting_pair(2);
+        proof.b = proof.a.clone(); // identical headers: no conflict
+        assert!(!ban.register(proof));
+        assert!(ban.is_empty());
+    }
+
+    #[test]
+    fn unban_allows_rejoin() {
+        let mut ban = BanList::new();
+        ban.register(conflicting_pair(0));
+        assert!(ban.unban(ChainId(0)));
+        assert!(!ban.is_banned(ChainId(0)));
+        assert!(!ban.unban(ChainId(0)));
+    }
+}

@@ -1,0 +1,271 @@
+//! A single bundle chain: one producer's totally ordered bundle sequence.
+
+use std::collections::BTreeMap;
+
+use predis_crypto::Hash;
+use predis_types::{Bundle, BundleHeader, ChainId, Height};
+
+/// The validated state of one bundle chain inside a node's mempool.
+///
+/// Heights start at 1; the chain is always contiguous: every height in
+/// `1..=tip` has a validated bundle (or had one before pruning). Bundles
+/// that arrive before their parent wait in `pending`.
+#[derive(Debug, Clone)]
+pub struct BundleChain {
+    chain: ChainId,
+    /// Validated bundles, contiguous up to `tip` (older ones may be pruned).
+    bundles: BTreeMap<Height, Bundle>,
+    /// Highest validated (contiguous) height.
+    tip: Height,
+    /// Highest committed height (all slices at or below are in blocks).
+    committed: Height,
+    /// Out-of-order arrivals waiting for their parents.
+    pending: BTreeMap<Height, Bundle>,
+    /// Header hash at each validated height (kept even after pruning the
+    /// body, so parent links can always be checked).
+    hashes: BTreeMap<Height, Hash>,
+}
+
+impl BundleChain {
+    /// An empty chain for `chain`.
+    pub fn new(chain: ChainId) -> BundleChain {
+        BundleChain {
+            chain,
+            bundles: BTreeMap::new(),
+            tip: Height(0),
+            committed: Height(0),
+            pending: BTreeMap::new(),
+            hashes: BTreeMap::new(),
+        }
+    }
+
+    /// Which chain this is.
+    pub fn id(&self) -> ChainId {
+        self.chain
+    }
+
+    /// Highest contiguous validated height.
+    pub fn tip(&self) -> Height {
+        self.tip
+    }
+
+    /// Highest committed height.
+    pub fn committed(&self) -> Height {
+        self.committed
+    }
+
+    /// The validated bundle at `h`, if present (and not pruned).
+    pub fn bundle(&self, h: Height) -> Option<&Bundle> {
+        self.bundles.get(&h)
+    }
+
+    /// The header of the validated bundle at `h`, if present.
+    pub fn header(&self, h: Height) -> Option<&BundleHeader> {
+        self.bundles.get(&h).map(|b| &b.header)
+    }
+
+    /// The header hash at `h` (survives pruning), if ever validated.
+    pub fn hash_at(&self, h: Height) -> Option<Hash> {
+        if h == Height(0) {
+            return Some(Hash::ZERO);
+        }
+        self.hashes.get(&h).copied()
+    }
+
+    /// Whether all bundles in `(from, to]` are held (bodies present).
+    pub fn holds_range(&self, from: Height, to: Height) -> bool {
+        (from.0 + 1..=to.0).all(|h| self.bundles.contains_key(&Height(h)))
+    }
+
+    /// Heights in `(from, to]` whose bodies are missing.
+    pub fn missing_in(&self, from: Height, to: Height) -> Vec<Height> {
+        (from.0 + 1..=to.0)
+            .map(Height)
+            .filter(|h| !self.bundles.contains_key(h))
+            .collect()
+    }
+
+    /// Stores a validated bundle at the tip (caller has checked parent
+    /// linkage, signature and body), advancing the tip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bundle is not exactly at `tip + 1`.
+    pub(crate) fn append(&mut self, bundle: Bundle) {
+        assert_eq!(bundle.header.height, self.tip.next(), "append must extend the tip");
+        let h = bundle.header.height;
+        self.hashes.insert(h, bundle.hash());
+        self.bundles.insert(h, bundle);
+        self.tip = h;
+    }
+
+    /// Parks an out-of-order bundle; returns `false` if a different bundle
+    /// already waits at that height (kept — first writer wins; a conflict,
+    /// if real, is detected when the height becomes the tip).
+    pub(crate) fn park(&mut self, bundle: Bundle) -> bool {
+        let h = bundle.header.height;
+        if self.pending.contains_key(&h) {
+            return false;
+        }
+        self.pending.insert(h, bundle);
+        true
+    }
+
+    /// Takes the parked bundle at `h`, if any.
+    pub(crate) fn take_parked(&mut self, h: Height) -> Option<Bundle> {
+        self.pending.remove(&h)
+    }
+
+    /// Number of parked (out-of-order) bundles.
+    pub fn parked_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Marks everything up to `h` as committed.
+    pub(crate) fn commit_to(&mut self, h: Height) {
+        if h > self.committed {
+            self.committed = h.min(self.tip);
+        }
+    }
+
+    /// Drops bundle bodies at or below the committed height (header hashes
+    /// are retained for parent-link checks). Returns the number of bundles
+    /// pruned.
+    pub fn prune_committed(&mut self) -> usize {
+        let keep = self.committed.next();
+        let before = self.bundles.len();
+        self.bundles = self.bundles.split_off(&keep);
+        before - self.bundles.len()
+    }
+
+    /// Fast-forwards the chain to a committed anchor learned via state
+    /// transfer: everything at or below `height` is discarded (those
+    /// bundles were pruned network-wide once committed) and the chain is
+    /// re-anchored so that live bundles at `height + 1` — whose parent is
+    /// `hash` — validate and append. Parked future bundles survive and
+    /// cascade after re-anchoring. No-op if the chain is already past
+    /// `height`.
+    pub fn fast_forward(&mut self, height: Height, hash: Hash) {
+        if height <= self.tip {
+            return;
+        }
+        self.bundles.clear();
+        self.hashes.clear();
+        self.hashes.insert(height, hash);
+        self.tip = height;
+        self.committed = height;
+        // Parked bundles at or below the anchor are stale now.
+        self.pending = self.pending.split_off(&height.next());
+    }
+
+    /// Rolls the chain back to the committed prefix: everything above the
+    /// committed height (validated or parked) is dropped, and the tip
+    /// returns to the committed height. Used when pardoning a banned
+    /// producer (§III-E rejoin): the committed prefix is consistent across
+    /// honest nodes (Theorem 3.3), so all of them restart the chain from
+    /// the same state.
+    pub fn rollback_to_committed(&mut self) {
+        let keep = self.committed.next();
+        self.bundles.split_off(&keep);
+        self.hashes.split_off(&keep);
+        self.pending.clear();
+        self.tip = self.committed;
+    }
+
+    /// Iterates validated bundles in `(from, to]`, in height order.
+    /// Empty when `from >= to`.
+    pub fn range(&self, from: Height, to: Height) -> impl Iterator<Item = &Bundle> {
+        let iter = if from < to {
+            Some(self.bundles.range(from.next()..=to))
+        } else {
+            None
+        };
+        iter.into_iter().flatten().map(|(_, b)| b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predis_crypto::{Keypair, SignerId};
+    use predis_types::{ClientId, TipList, Transaction, TxId};
+
+    fn mk(height: u64, parent: Hash) -> Bundle {
+        Bundle::build(
+            ChainId(0),
+            Height(height),
+            parent,
+            TipList::new(2),
+            vec![Transaction::new(TxId(height), ClientId(0), 0)],
+            Hash::ZERO,
+            &Keypair::for_node(SignerId(0)),
+        )
+    }
+
+    #[test]
+    fn append_advances_tip_and_keeps_hashes() {
+        let mut c = BundleChain::new(ChainId(0));
+        let b1 = mk(1, Hash::ZERO);
+        let h1 = b1.hash();
+        c.append(b1);
+        let b2 = mk(2, h1);
+        c.append(b2);
+        assert_eq!(c.tip(), Height(2));
+        assert_eq!(c.hash_at(Height(1)), Some(h1));
+        assert_eq!(c.hash_at(Height(0)), Some(Hash::ZERO));
+        assert_eq!(c.hash_at(Height(9)), None);
+        assert!(c.holds_range(Height(0), Height(2)));
+        assert_eq!(c.missing_in(Height(0), Height(3)), vec![Height(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "extend the tip")]
+    fn append_rejects_gaps() {
+        let mut c = BundleChain::new(ChainId(0));
+        c.append(mk(2, Hash::ZERO));
+    }
+
+    #[test]
+    fn park_and_take() {
+        let mut c = BundleChain::new(ChainId(0));
+        let b3 = mk(3, Hash::digest(b"x"));
+        assert!(c.park(b3.clone()));
+        assert!(!c.park(b3.clone()));
+        assert_eq!(c.parked_count(), 1);
+        assert_eq!(c.take_parked(Height(3)).unwrap().header.height, Height(3));
+        assert_eq!(c.parked_count(), 0);
+    }
+
+    #[test]
+    fn commit_and_prune() {
+        let mut c = BundleChain::new(ChainId(0));
+        let b1 = mk(1, Hash::ZERO);
+        let h1 = b1.hash();
+        c.append(b1);
+        c.append(mk(2, h1));
+        c.commit_to(Height(1));
+        assert_eq!(c.committed(), Height(1));
+        assert_eq!(c.prune_committed(), 1);
+        assert!(c.bundle(Height(1)).is_none());
+        assert!(c.bundle(Height(2)).is_some());
+        // Hash survives pruning.
+        assert_eq!(c.hash_at(Height(1)), Some(h1));
+        // Commit cannot exceed the tip.
+        c.commit_to(Height(99));
+        assert_eq!(c.committed(), Height(2));
+    }
+
+    #[test]
+    fn range_iterates_slice() {
+        let mut c = BundleChain::new(ChainId(0));
+        let b1 = mk(1, Hash::ZERO);
+        let h1 = b1.hash();
+        c.append(b1);
+        let b2 = mk(2, h1);
+        let h2 = b2.hash();
+        c.append(b2);
+        c.append(mk(3, h2));
+        let heights: Vec<u64> = c.range(Height(1), Height(3)).map(|b| b.header.height.0).collect();
+        assert_eq!(heights, vec![2, 3]);
+    }
+}

@@ -1,0 +1,283 @@
+//! Propagation-experiment wiring (Fig. 8): builds a complete simulated
+//! network for one of the three topologies, drives synthetic block load
+//! through it, and reports block propagation latency to any fraction of
+//! the full-node population.
+
+use predis_sim::prelude::*;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::msg::NetMsg;
+use crate::random::{FegConfig, FegNode, RandomSource};
+use crate::star::{BlockSink, StarSource};
+use crate::zone::{MultiZoneNode, SyntheticLoad, ZoneConfig, ZoneSource};
+
+/// Which dissemination topology to build.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Topology {
+    /// Consensus nodes push complete blocks to their assigned full nodes.
+    Star,
+    /// Random graph of the given degree with FEG gossip.
+    Random {
+        /// Peer-link degree per node (the paper uses 8).
+        degree: usize,
+        /// FEG parameters (fanout 4 in the paper).
+        feg: FegConfig,
+    },
+    /// Multi-Zone with the given zone count.
+    MultiZone {
+        /// Number of zones.
+        zones: usize,
+    },
+}
+
+/// Parameters of a propagation run.
+#[derive(Debug, Clone)]
+pub struct PropagationSetup {
+    /// Number of consensus nodes (the paper's Fig. 8 uses 8).
+    pub n_c: usize,
+    /// Number of full nodes (the paper uses 100).
+    pub full_nodes: usize,
+    /// Block size in bytes (1 MB – 40 MB in the paper).
+    pub block_bytes: u64,
+    /// Block interval.
+    pub interval: SimDuration,
+    /// How many blocks to measure.
+    pub blocks: u64,
+    /// Upload bandwidth per node, Mbps.
+    pub mbps: u64,
+    /// One-way latency model.
+    pub latency: LatencyModel,
+    /// Per-node subscriber cap in Multi-Zone (24 in the paper, matching
+    /// the random topology's bandwidth budget).
+    pub max_children: usize,
+    /// With a regional latency model: align zones with regions (the
+    /// paper's locality-based zone division, §IV-A "west-coast or
+    /// east-coast zones") instead of scattering each zone across regions.
+    pub locality_zones: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PropagationSetup {
+    fn default() -> Self {
+        PropagationSetup {
+            n_c: 8,
+            full_nodes: 100,
+            block_bytes: 5_000_000,
+            interval: SimDuration::from_secs(5),
+            blocks: 10,
+            mbps: 100,
+            latency: LatencyModel::lan(),
+            max_children: 24,
+            locality_zones: false,
+            seed: 1,
+        }
+    }
+}
+
+/// Result of a propagation run: per-fraction mean latencies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropagationResult {
+    /// Mean time for a block to reach 50% of full nodes, milliseconds.
+    pub to_50_ms: f64,
+    /// Mean time to reach 90%.
+    pub to_90_ms: f64,
+    /// Mean time to reach 100%.
+    pub to_100_ms: f64,
+    /// Blocks that reached 100% of full nodes within the run.
+    pub complete_blocks: u64,
+    /// Blocks produced.
+    pub produced_blocks: u64,
+}
+
+impl PropagationSetup {
+    fn load(&self) -> SyntheticLoad {
+        // Bundle granularity: the paper's 50x512B bundles, coarsened for
+        // simulation efficiency on very large blocks (bandwidth identical).
+        let bundles = (self.block_bytes / 25_600).clamp(1, 160) as u32;
+        let mut load = SyntheticLoad::for_block_size(self.block_bytes, bundles, self.interval);
+        load.blocks = self.blocks;
+        load
+    }
+
+    /// Builds and runs the experiment, returning per-fraction latencies.
+    pub fn run(&self, topology: &Topology) -> PropagationResult {
+        let network = Network::new(self.latency.clone(), SimDuration::from_nanos(0));
+        let mut sim: Sim<NetMsg> = Sim::new(self.seed, network);
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ 0xfeed_beef);
+        let link = LinkConfig::paper_default().with_mbps(self.mbps);
+        let regionize = |i: usize| match &self.latency {
+            LatencyModel::Uniform(_) => Region(0),
+            LatencyModel::Regional { matrix } => Region((i % matrix.len()) as u8),
+        };
+        let total = self.n_c + self.full_nodes;
+        let cons: Vec<NodeId> = (0..self.n_c as u32).map(NodeId).collect();
+        let fulls: Vec<NodeId> = (self.n_c as u32..total as u32).map(NodeId).collect();
+        let load = self.load();
+        let warmup = load.start_at;
+
+        match topology {
+            Topology::Star => {
+                // Full nodes assigned round-robin to consensus nodes.
+                let mut assigned: Vec<Vec<NodeId>> = vec![Vec::new(); self.n_c];
+                for (j, &fnode) in fulls.iter().enumerate() {
+                    assigned[j % self.n_c].push(fnode);
+                }
+                for (i, a) in assigned.into_iter().enumerate() {
+                    sim.add_node(
+                        link.in_region(regionize(i)),
+                        Box::new(ActorOf::<_, NetMsg>::new(StarSource::new(a, load.clone()))),
+                        SimTime::ZERO,
+                    );
+                }
+                for (j, _) in fulls.iter().enumerate() {
+                    sim.add_node(
+                        link.in_region(regionize(self.n_c + j)),
+                        Box::new(ActorOf::<_, NetMsg>::new(BlockSink::new())),
+                        SimTime::ZERO,
+                    );
+                }
+            }
+            Topology::Random { degree, feg } => {
+                // Undirected random graph: each node picks `degree` peers;
+                // adjacency is the union of picks.
+                let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); total];
+                let all: Vec<NodeId> = (0..total as u32).map(NodeId).collect();
+                for i in 0..total {
+                    let mut others: Vec<NodeId> =
+                        all.iter().copied().filter(|n| n.index() != i).collect();
+                    others.shuffle(&mut rng);
+                    for &peer in others.iter().take(*degree) {
+                        if !adj[i].contains(&peer) {
+                            adj[i].push(peer);
+                        }
+                        if !adj[peer.index()].contains(&all[i]) {
+                            adj[peer.index()].push(all[i]);
+                        }
+                    }
+                }
+                for (i, peers) in adj.iter().take(self.n_c).enumerate() {
+                    sim.add_node(
+                        link.in_region(regionize(i)),
+                        Box::new(ActorOf::<_, NetMsg>::new(RandomSource::new(
+                            peers.clone(),
+                            *feg,
+                            load.clone(),
+                        ))),
+                        SimTime::ZERO,
+                    );
+                }
+                for j in 0..self.full_nodes {
+                    let idx = self.n_c + j;
+                    sim.add_node(
+                        link.in_region(regionize(idx)),
+                        Box::new(ActorOf::<_, NetMsg>::new(FegNode::new(
+                            adj[idx].clone(),
+                            *feg,
+                        ))),
+                        SimTime::ZERO,
+                    );
+                }
+            }
+            Topology::MultiZone { zones } => {
+                let zcfg = ZoneConfig {
+                    n_c: self.n_c,
+                    f: (self.n_c - 1) / 3,
+                    max_children: self.max_children,
+                    alive_interval: SimDuration::from_millis(250),
+                    digest_interval: SimDuration::from_secs(1),
+                    consensus: cons.clone(),
+                };
+                for i in 0..self.n_c {
+                    sim.add_node(
+                        link.in_region(regionize(i)),
+                        Box::new(ActorOf::<_, NetMsg>::new(ZoneSource::new(
+                            i as u32,
+                            zcfg.clone(),
+                            Some(load.clone()),
+                        ))),
+                        SimTime::ZERO,
+                    );
+                }
+                // Zone membership: round-robin; join order = index order,
+                // staggered so subscription trees build deterministically.
+                let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); *zones];
+                for (j, &fnode) in fulls.iter().enumerate() {
+                    members[j % zones].push(fnode);
+                }
+                let regions = self.latency.region_count();
+                for (j, &fnode) in fulls.iter().enumerate() {
+                    let zone = j % zones;
+                    let mates: Vec<NodeId> = members[zone]
+                        .iter()
+                        .copied()
+                        .filter(|n| *n != fnode)
+                        .collect();
+                    // Backup connections: two nodes of the next zone.
+                    let next_zone = (zone + 1) % zones;
+                    let backups: Vec<NodeId> =
+                        members[next_zone].iter().copied().take(2).collect();
+                    let node = MultiZoneNode::new(zcfg.clone(), j as u64, mates)
+                        .with_backups(backups);
+                    // Locality-based division puts a whole zone in one
+                    // region, so intra-zone forwarding stays local; the
+                    // scattered baseline cycles each zone's members through
+                    // the regions instead.
+                    let region = if self.locality_zones {
+                        Region((zone % regions) as u8)
+                    } else {
+                        match &self.latency {
+                            LatencyModel::Uniform(_) => Region(0),
+                            LatencyModel::Regional { .. } => {
+                                Region(((j / zones) % regions) as u8)
+                            }
+                        }
+                    };
+                    sim.add_node(
+                        link.in_region(region),
+                        Box::new(ActorOf::<_, NetMsg>::new(node)),
+                        SimTime::from_millis(10 * j as u64),
+                    );
+                }
+            }
+        }
+
+        let horizon =
+            SimTime::ZERO + warmup + self.interval * (self.blocks + 3) + SimDuration::from_secs(30);
+        sim.run_until(horizon);
+
+        // Collect per-block fraction latencies, relative to each block's
+        // announcement time (the last bundle tick of the block).
+        let tick = self.interval / self.load().bundles_per_block as u64;
+        let mut sums = [0f64; 3];
+        let mut counts = [0u64; 3];
+        let mut complete = 0;
+        for block in 0..self.blocks {
+            let origin = SimTime::ZERO + warmup + self.interval * (block + 1) - tick;
+            for (slot, frac) in [(0usize, 0.5f64), (1, 0.9), (2, 1.0)] {
+                if let Some(d) = sim.metrics().propagation_to_fraction(
+                    block,
+                    origin,
+                    self.full_nodes,
+                    frac,
+                ) {
+                    sums[slot] += d.as_millis_f64();
+                    counts[slot] += 1;
+                    if frac == 1.0 {
+                        complete += 1;
+                    }
+                }
+            }
+        }
+        let mean = |i: usize| if counts[i] == 0 { f64::NAN } else { sums[i] / counts[i] as f64 };
+        PropagationResult {
+            to_50_ms: mean(0),
+            to_90_ms: mean(1),
+            to_100_ms: mean(2),
+            complete_blocks: complete,
+            produced_blocks: self.blocks,
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Network-layer message vocabulary: stripe dissemination, Multi-Zone
+//! membership (Algorithms 1–2 of the paper), and the star / random(FEG)
+//! baseline topologies.
+
+use predis_sim::{NodeId, Payload};
+use predis_types::{FRAME_OVERHEAD, HASH_WIRE, SIG_WIRE, U32_WIRE, U64_WIRE};
+use serde::{Deserialize, Serialize};
+
+/// Identity of a bundle inside the dissemination layer: the block it will
+/// belong to and its index within that block.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct BundleId {
+    /// The block this bundle's transactions end up in.
+    pub block: u64,
+    /// Index of the bundle within the block.
+    pub idx: u32,
+}
+
+/// Advertised state of a relayer (carried in `RelayersInfo`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelayerInfo {
+    /// The relayer node.
+    pub node: NodeId,
+    /// Its join order (earlier = smaller).
+    pub join_seq: u64,
+    /// The stripes it currently relays (receives from consensus nodes).
+    pub stripes: Vec<u32>,
+}
+
+/// Every message exchanged by network-layer actors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetMsg {
+    // ---- data plane ----
+    /// One erasure-coded stripe of a bundle, with the Merkle-proof overhead
+    /// the paper attaches for integrity checking folded into its wire size.
+    Stripe {
+        /// Which bundle this stripe belongs to.
+        bundle: BundleId,
+        /// Stripe index (0..n_c).
+        stripe: u32,
+        /// How many stripes reconstruct the bundle (`k = n_c − f`).
+        k: u32,
+        /// Stripe payload bytes.
+        bytes: u32,
+    },
+    /// A Predis block announcement: constant-size metadata from which a
+    /// node that holds the bundles reconstructs the block.
+    BlockAnn {
+        /// Block id.
+        block: u64,
+        /// Number of bundles the block confirms.
+        bundles: u32,
+        /// Wire size of the announcement (a Predis block: a few KB).
+        wire: u32,
+    },
+    /// A complete block, as pushed by the star topology and by gossip
+    /// pushes/pull responses in the random topology.
+    FullBlock {
+        /// Block id.
+        block: u64,
+        /// Full block size in bytes.
+        bytes: u64,
+    },
+
+    // ---- Multi-Zone membership (Algorithms 1-2) ----
+    /// Ask a zone member for the current relayer set.
+    GetRelayers,
+    /// Reply to [`NetMsg::GetRelayers`].
+    RelayersInfo {
+        /// The known relayers of the zone.
+        relayers: Vec<RelayerInfo>,
+    },
+    /// Subscribe to the given stripes at the receiver.
+    Subscribe {
+        /// Wanted stripe indices.
+        stripes: Vec<u32>,
+    },
+    /// The receiver accepted a subscription for these stripes.
+    AcceptSub {
+        /// Accepted stripe indices.
+        stripes: Vec<u32>,
+    },
+    /// The receiver is at capacity; try its children instead.
+    RejectSub {
+        /// The stripes that were rejected.
+        stripes: Vec<u32>,
+        /// Alternative providers (the receiver's children).
+        children: Vec<NodeId>,
+    },
+    /// Cancel a subscription for these stripes.
+    Unsubscribe {
+        /// Cancelled stripe indices.
+        stripes: Vec<u32>,
+    },
+    /// Periodic relayer announcement; an empty stripe set means the sender
+    /// stepped down to an ordinary node.
+    RelayerAlive {
+        /// The sender's join order.
+        join_seq: u64,
+        /// The stripes the sender relays (from consensus nodes).
+        stripes: Vec<u32>,
+    },
+    /// The sender is leaving the network.
+    Leave,
+    /// Liveness heartbeat between neighbors.
+    Heartbeat,
+
+    // ---- backup connections (inter-zone digests) ----
+    /// Digest of completed blocks, sent along backup connections.
+    Digest {
+        /// Recently completed block ids.
+        blocks: Vec<u64>,
+    },
+    /// Pull a block the sender is missing.
+    Pull {
+        /// Wanted block id.
+        block: u64,
+    },
+    /// Pull a single missing bundle (recovery after a provider switch).
+    BundlePull {
+        /// The wanted bundle.
+        bundle: BundleId,
+    },
+    /// A complete bundle, answering a [`NetMsg::BundlePull`].
+    FullBundle {
+        /// The bundle.
+        bundle: BundleId,
+        /// Its full payload size in bytes.
+        bytes: u32,
+    },
+
+    // ---- random topology with FEG gossip ----
+    /// Gossip push of a full block.
+    Push {
+        /// Block id.
+        block: u64,
+        /// Full block size in bytes.
+        bytes: u64,
+    },
+    /// FEG digest round: "I have these blocks".
+    GossipDigest {
+        /// Block ids the sender holds.
+        blocks: Vec<u64>,
+    },
+    /// FEG pull for a missing block.
+    GossipPull {
+        /// Wanted block id.
+        block: u64,
+    },
+}
+
+impl Payload for NetMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            NetMsg::Stripe { bytes, k, .. } => {
+                // Payload + bundle header + Merkle proof (log2 k siblings).
+                let proof = 8 + 32 * (32 - (*k.max(&1)).leading_zeros() as usize);
+                *bytes as usize + U64_WIRE + U32_WIRE * 3 + HASH_WIRE + proof + FRAME_OVERHEAD
+            }
+            NetMsg::BlockAnn { wire, .. } => *wire as usize + FRAME_OVERHEAD,
+            NetMsg::FullBlock { bytes, .. } | NetMsg::Push { bytes, .. } => {
+                *bytes as usize + U64_WIRE + FRAME_OVERHEAD
+            }
+            NetMsg::GetRelayers => FRAME_OVERHEAD,
+            NetMsg::RelayersInfo { relayers } => {
+                relayers
+                    .iter()
+                    .map(|r| U64_WIRE + U32_WIRE + r.stripes.len() * U32_WIRE + U32_WIRE)
+                    .sum::<usize>()
+                    + FRAME_OVERHEAD
+            }
+            NetMsg::Subscribe { stripes }
+            | NetMsg::AcceptSub { stripes }
+            | NetMsg::Unsubscribe { stripes } => stripes.len() * U32_WIRE + FRAME_OVERHEAD,
+            NetMsg::RejectSub { stripes, children } => {
+                stripes.len() * U32_WIRE + children.len() * U32_WIRE + FRAME_OVERHEAD
+            }
+            NetMsg::RelayerAlive { stripes, .. } => {
+                U64_WIRE + stripes.len() * U32_WIRE + SIG_WIRE + FRAME_OVERHEAD
+            }
+            NetMsg::Leave | NetMsg::Heartbeat => FRAME_OVERHEAD,
+            NetMsg::Digest { blocks } | NetMsg::GossipDigest { blocks } => {
+                blocks.len() * U64_WIRE + FRAME_OVERHEAD
+            }
+            NetMsg::Pull { .. } | NetMsg::GossipPull { .. } => U64_WIRE + FRAME_OVERHEAD,
+            NetMsg::BundlePull { .. } => U64_WIRE + U32_WIRE + FRAME_OVERHEAD,
+            NetMsg::FullBundle { bytes, .. } => {
+                *bytes as usize + U64_WIRE + U32_WIRE + FRAME_OVERHEAD
+            }
+        }
+    }
+}
+
+/// Timer kinds used by network-layer actors.
+pub mod net_timers {
+    /// Source bundle/block generation tick.
+    pub const SOURCE_TICK: u32 = 500;
+    /// Relayer-alive / zone maintenance tick.
+    pub const ZONE_MAINTAIN: u32 = 501;
+    /// Heartbeat tick.
+    pub const HEARTBEAT: u32 = 502;
+    /// Backup digest tick.
+    pub const DIGEST: u32 = 503;
+    /// FEG pull check.
+    pub const FEG_PULL: u32 = 504;
+    /// Scheduled voluntary leave (churn experiments).
+    pub const LEAVE: u32 = 505;
+    /// Join retry (ask for relayers again if no reply).
+    pub const JOIN_RETRY: u32 = 506;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripe_wire_includes_proof_overhead() {
+        let s = NetMsg::Stripe {
+            bundle: BundleId { block: 0, idx: 0 },
+            stripe: 0,
+            k: 6,
+            bytes: 4267,
+        };
+        assert!(s.wire_size() > 4267);
+        assert!(s.wire_size() < 4267 + 300);
+    }
+
+    #[test]
+    fn full_block_dominated_by_bytes() {
+        let b = NetMsg::FullBlock {
+            block: 1,
+            bytes: 5_000_000,
+        };
+        assert_eq!(b.wire_size(), 5_000_000 + 8 + 16);
+    }
+
+    #[test]
+    fn control_messages_are_small() {
+        for m in [
+            NetMsg::GetRelayers,
+            NetMsg::Subscribe { stripes: vec![0, 1] },
+            NetMsg::RelayerAlive {
+                join_seq: 3,
+                stripes: vec![2],
+            },
+            NetMsg::Leave,
+            NetMsg::Heartbeat,
+        ] {
+            assert!(m.wire_size() < 200, "{m:?}");
+        }
+    }
+}

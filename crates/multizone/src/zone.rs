@@ -1,0 +1,1335 @@
+//! Multi-Zone: zones, relayers, stripe subscription trees (§IV).
+//!
+//! [`MultiZoneNode`] implements the full-node side: Algorithm 1 (check and
+//! become a relayer), Algorithm 2 (process relayerAlive, redundancy
+//! shedding), stripe forwarding down subscription trees, bundle decoding
+//! (any `k = n_c − f` stripes), Predis-block announcements, leave/churn
+//! handling, and backup-connection digests to neighbouring zones.
+//! [`ZoneSource`] implements the consensus-node side: it serves exactly its
+//! own stripe index to its subscribers, keeping the consensus layer's
+//! dissemination cost at O(n_c) regardless of the full-node count.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+use predis_sim::{
+    Codec, NarrowContext, NodeId, ProtocolCore, SimDuration, SimTime, TimerTag,
+};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::msg::{net_timers, BundleId, NetMsg, RelayerInfo};
+
+/// Static parameters of a Multi-Zone deployment.
+#[derive(Debug, Clone)]
+pub struct ZoneConfig {
+    /// Number of consensus nodes (= number of stripes).
+    pub n_c: usize,
+    /// Fault bound: any `n_c − f` stripes reconstruct a bundle.
+    pub f: usize,
+    /// Maximum subscriber links one full node serves (the paper's Fig. 8
+    /// comparison caps this at 24).
+    pub max_children: usize,
+    /// Relayer-alive / zone maintenance period.
+    pub alive_interval: SimDuration,
+    /// Backup-connection digest period.
+    pub digest_interval: SimDuration,
+    /// The consensus (stripe source) nodes, indexed by stripe.
+    pub consensus: Vec<NodeId>,
+}
+
+impl ZoneConfig {
+    /// Stripes needed to reconstruct a bundle.
+    pub fn k(&self) -> usize {
+        self.n_c - self.f
+    }
+}
+
+/// Synthetic block/bundle generation for propagation experiments: the data
+/// of one `block_bytes`-sized block is produced as `bundles_per_block`
+/// bundles spread evenly over `interval`, matching Predis's continuous
+/// pre-distribution; at each block boundary a constant-size announcement
+/// (the Predis block) is emitted.
+#[derive(Debug, Clone)]
+pub struct SyntheticLoad {
+    /// Bytes per bundle.
+    pub bundle_bytes: u32,
+    /// Bundles per block.
+    pub bundles_per_block: u32,
+    /// Block interval.
+    pub interval: SimDuration,
+    /// How many blocks to produce (0 = unlimited).
+    pub blocks: u64,
+    /// Wire size of a block announcement (a Predis block, ~2.5 KB).
+    pub ann_wire: u32,
+    /// When generation starts (after the membership warm-up).
+    pub start_at: SimDuration,
+}
+
+impl SyntheticLoad {
+    /// A load equivalent to blocks of `block_bytes` every `interval`,
+    /// split into `bundles_per_block` bundles.
+    pub fn for_block_size(block_bytes: u64, bundles_per_block: u32, interval: SimDuration) -> Self {
+        SyntheticLoad {
+            bundle_bytes: (block_bytes / bundles_per_block as u64).max(1) as u32,
+            bundles_per_block,
+            interval,
+            blocks: 0,
+            ann_wire: 2500,
+            start_at: SimDuration::from_secs(5),
+        }
+    }
+
+    /// Total bytes of one block.
+    pub fn block_bytes(&self) -> u64 {
+        self.bundle_bytes as u64 * self.bundles_per_block as u64
+    }
+}
+
+/// The consensus-node side of Multi-Zone: serves stripe `idx` of every
+/// bundle to its subscribers and forwards block announcements.
+#[derive(Debug)]
+pub struct ZoneSource {
+    idx: u32,
+    cfg: ZoneConfig,
+    load: Option<SyntheticLoad>,
+    subscribers: Vec<NodeId>,
+    /// Last heartbeat per subscriber (§IV-E: silent subscribers are
+    /// disconnected so the uplink stops carrying their stripes).
+    sub_last_seen: BTreeMap<NodeId, SimTime>,
+    current_block: u64,
+    bundle_in_block: u32,
+}
+
+impl ZoneSource {
+    /// Creates the source for stripe `idx`; with a [`SyntheticLoad`] it
+    /// generates bundles itself (propagation experiments), without one it
+    /// is driven externally via [`ZoneSource::offer_bundle`].
+    pub fn new(idx: u32, cfg: ZoneConfig, load: Option<SyntheticLoad>) -> ZoneSource {
+        ZoneSource {
+            idx,
+            cfg,
+            load,
+            subscribers: Vec::new(),
+            sub_last_seen: BTreeMap::new(),
+            current_block: 0,
+            bundle_in_block: 0,
+        }
+    }
+
+    /// Current subscribers (for tests).
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.len()
+    }
+
+    /// Sends this source's stripe of the given bundle to all subscribers.
+    pub fn offer_bundle<M: Codec<NetMsg>>(
+        &mut self,
+        ctx: &mut NarrowContext<'_, '_, M, NetMsg>,
+        bundle: BundleId,
+        bundle_bytes: u32,
+    ) {
+        let k = self.cfg.k() as u32;
+        let stripe_bytes = bundle_bytes.div_ceil(k);
+        let msg = NetMsg::Stripe {
+            bundle,
+            stripe: self.idx,
+            k,
+            bytes: stripe_bytes,
+        };
+        let subs = self.subscribers.clone();
+        ctx.multicast(subs, msg);
+    }
+
+    /// Announces a completed block to all subscribers (who forward it on).
+    pub fn announce_block<M: Codec<NetMsg>>(
+        &mut self,
+        ctx: &mut NarrowContext<'_, '_, M, NetMsg>,
+        block: u64,
+        bundles: u32,
+        ann_wire: u32,
+    ) {
+        let subs = self.subscribers.clone();
+        ctx.multicast(
+            subs,
+            NetMsg::BlockAnn {
+                block,
+                bundles,
+                wire: ann_wire,
+            },
+        );
+    }
+
+    fn tick<M: Codec<NetMsg>>(&mut self, ctx: &mut NarrowContext<'_, '_, M, NetMsg>) {
+        let Some(load) = self.load.clone() else { return };
+        if load.blocks > 0 && self.current_block >= load.blocks {
+            return; // done: no further timer
+        }
+        let bundle = BundleId {
+            block: self.current_block,
+            idx: self.bundle_in_block,
+        };
+        self.offer_bundle(ctx, bundle, load.bundle_bytes);
+        self.bundle_in_block += 1;
+        if self.bundle_in_block == load.bundles_per_block {
+            let block = self.current_block;
+            self.announce_block(ctx, block, load.bundles_per_block, load.ann_wire);
+            if self.idx == 0 {
+                ctx.metrics().incr("zone.blocks_announced", 1);
+            }
+            self.current_block += 1;
+            self.bundle_in_block = 0;
+        }
+        let tick = load.interval / load.bundles_per_block as u64;
+        ctx.set_timer(tick, TimerTag::of_kind(net_timers::SOURCE_TICK));
+    }
+}
+
+impl ProtocolCore<NetMsg> for ZoneSource {
+    fn start<M: Codec<NetMsg>>(&mut self, ctx: &mut NarrowContext<'_, '_, M, NetMsg>) {
+        if let Some(load) = &self.load {
+            let start = load.start_at;
+            ctx.set_timer(start, TimerTag::of_kind(net_timers::SOURCE_TICK));
+        }
+        let hb = self.cfg.alive_interval * 2;
+        ctx.set_timer(hb, TimerTag::of_kind(net_timers::HEARTBEAT));
+    }
+
+    fn message<M: Codec<NetMsg>>(
+        &mut self,
+        ctx: &mut NarrowContext<'_, '_, M, NetMsg>,
+        from: NodeId,
+        msg: NetMsg,
+    ) {
+        match msg {
+            NetMsg::Heartbeat => {
+                let now = ctx.now();
+                self.sub_last_seen.insert(from, now);
+            }
+            NetMsg::Subscribe { stripes } => {
+                // A consensus node serves exactly its own stripe.
+                if stripes.contains(&self.idx) {
+                    if !self.subscribers.contains(&from) {
+                        self.subscribers.push(from);
+                    }
+                    let now = ctx.now();
+                    self.sub_last_seen.insert(from, now);
+                    ctx.send(
+                        from,
+                        NetMsg::AcceptSub {
+                            stripes: vec![self.idx],
+                        },
+                    );
+                }
+                let rejected: Vec<u32> =
+                    stripes.into_iter().filter(|&s| s != self.idx).collect();
+                if !rejected.is_empty() {
+                    ctx.send(
+                        from,
+                        NetMsg::RejectSub {
+                            stripes: rejected,
+                            children: Vec::new(),
+                        },
+                    );
+                }
+            }
+            NetMsg::Unsubscribe { .. } | NetMsg::Leave => {
+                self.subscribers.retain(|&n| n != from);
+            }
+            NetMsg::BundlePull { bundle } => {
+                // Consensus nodes hold every bundle they generated and can
+                // serve recovery pulls directly (§IV-F backup connections).
+                if let Some(load) = &self.load {
+                    let produced = bundle.block < self.current_block
+                        || (bundle.block == self.current_block
+                            && bundle.idx < self.bundle_in_block);
+                    if produced {
+                        ctx.metrics().incr("zone.source_pulls_served", 1);
+                        ctx.send(
+                            from,
+                            NetMsg::FullBundle {
+                                bundle,
+                                bytes: load.bundle_bytes,
+                            },
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn timer<M: Codec<NetMsg>>(
+        &mut self,
+        ctx: &mut NarrowContext<'_, '_, M, NetMsg>,
+        tag: TimerTag,
+    ) {
+        match tag.kind {
+            net_timers::SOURCE_TICK => self.tick(ctx),
+            net_timers::HEARTBEAT => {
+                let now = ctx.now();
+                let cutoff = self.cfg.alive_interval * 8;
+                let before = self.subscribers.len();
+                let seen = &self.sub_last_seen;
+                self.subscribers.retain(|n| {
+                    seen.get(n)
+                        .is_some_and(|&t| now.saturating_since(t) <= cutoff)
+                });
+                if self.subscribers.len() < before {
+                    ctx.metrics().incr(
+                        "zone.source_subs_reaped",
+                        (before - self.subscribers.len()) as u64,
+                    );
+                }
+                let hb = self.cfg.alive_interval * 2;
+                ctx.set_timer(hb, TimerTag::of_kind(net_timers::HEARTBEAT));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The full-node side of Multi-Zone (ordinary node or relayer — the role is
+/// dynamic, per Algorithms 1 and 2).
+#[derive(Debug)]
+pub struct MultiZoneNode {
+    cfg: ZoneConfig,
+    /// This node's join order (smaller = earlier).
+    join_seq: u64,
+    /// Fellow members of this node's zone (static membership knowledge; in
+    /// a permissioned chain the registry is on-ledger).
+    zone_members: Vec<NodeId>,
+    /// Backup connections into neighbouring zones.
+    backup_peers: Vec<NodeId>,
+    /// Leave the network at this time, if set (churn experiments).
+    leave_at: Option<SimTime>,
+
+    // ---- stripe routing ----
+    /// stripe -> current provider. Ordered so that iteration (and thus
+    /// message emission) is deterministic.
+    upstream: BTreeMap<u32, NodeId>,
+    /// Stripes with no provider yet.
+    desired: BTreeSet<u32>,
+    /// Stripes requested from some node, awaiting an answer.
+    pending_sub: BTreeMap<u32, NodeId>,
+    /// Make-before-break provider switches: stripe -> old provider to drop
+    /// once the new subscription is accepted.
+    switching: BTreeMap<u32, NodeId>,
+    /// stripe -> downstream subscribers (ordered for determinism).
+    children: BTreeMap<u32, Vec<NodeId>>,
+    /// Stripes received directly from consensus nodes (relayer-ness).
+    relaying: BTreeSet<u32>,
+    /// Known relayers of this zone.
+    zone_relayers: BTreeMap<NodeId, (u64, BTreeSet<u32>, SimTime)>,
+
+    // ---- data state ----
+    stripes_have: HashMap<BundleId, BTreeSet<u32>>,
+    decoded: HashSet<BundleId>,
+    /// block -> bundle count (ordered: recovery iterates it).
+    pending_blocks: BTreeMap<u64, u32>,
+    completed: BTreeSet<u64>,
+    block_sizes: HashMap<u64, u64>,
+    ann_forwarded: HashSet<u64>,
+    pulled: HashSet<u64>,
+    last_data: HashMap<u32, SimTime>,
+    /// Per-block bundle payload size (learned from stripes), for serving
+    /// bundle pulls.
+    bundle_bytes_hint: HashMap<u64, u32>,
+    /// When each pending block's announcement arrived (recovery trigger).
+    ann_seen_at: HashMap<u64, SimTime>,
+    /// Bundles served to others or recovered whole (for pull answers).
+    whole_bundles: HashSet<BundleId>,
+    /// Last heartbeat (or any message) per child, for §IV-E disconnects.
+    child_last_seen: BTreeMap<NodeId, SimTime>,
+    /// Recovery attempts per missing bundle; after a few zone-local tries
+    /// the pull falls back to a consensus node (§IV-F: "can still connect
+    /// to other consensus nodes for data pulling").
+    pull_attempts: HashMap<BundleId, u32>,
+
+    /// Number of blocks fully reconstructed (ann + all bundles decoded).
+    pub completed_blocks: u64,
+}
+
+impl MultiZoneNode {
+    /// Creates a full node in a zone. `zone_members` are the other nodes of
+    /// the same zone (any order); `join_seq` is this node's join order.
+    pub fn new(cfg: ZoneConfig, join_seq: u64, zone_members: Vec<NodeId>) -> MultiZoneNode {
+        let desired = (0..cfg.n_c as u32).collect();
+        MultiZoneNode {
+            cfg,
+            join_seq,
+            zone_members,
+            backup_peers: Vec::new(),
+            leave_at: None,
+            upstream: BTreeMap::new(),
+            desired,
+            pending_sub: BTreeMap::new(),
+            switching: BTreeMap::new(),
+            children: BTreeMap::new(),
+            relaying: BTreeSet::new(),
+            zone_relayers: BTreeMap::new(),
+            stripes_have: HashMap::new(),
+            decoded: HashSet::new(),
+            pending_blocks: BTreeMap::new(),
+            completed: BTreeSet::new(),
+            block_sizes: HashMap::new(),
+            ann_forwarded: HashSet::new(),
+            pulled: HashSet::new(),
+            last_data: HashMap::new(),
+            bundle_bytes_hint: HashMap::new(),
+            ann_seen_at: HashMap::new(),
+            whole_bundles: HashSet::new(),
+            child_last_seen: BTreeMap::new(),
+            pull_attempts: HashMap::new(),
+            completed_blocks: 0,
+        }
+    }
+
+    /// Adds backup connections to nodes in neighbouring zones (§IV-F).
+    pub fn with_backups(mut self, peers: Vec<NodeId>) -> MultiZoneNode {
+        self.backup_peers = peers;
+        self
+    }
+
+    /// Schedules a voluntary departure (churn experiments).
+    pub fn leaving_at(mut self, at: SimTime) -> MultiZoneNode {
+        self.leave_at = Some(at);
+        self
+    }
+
+    /// True if this node currently relays at least one stripe.
+    pub fn is_relayer(&self) -> bool {
+        !self.relaying.is_empty()
+    }
+
+    /// The stripes this node receives directly from consensus nodes.
+    pub fn relayed_stripes(&self) -> Vec<u32> {
+        self.relaying.iter().copied().collect()
+    }
+
+    /// The number of distinct relayers this node believes its zone has.
+    pub fn known_relayer_count(&self) -> usize {
+        self.zone_relayers.len() + usize::from(self.is_relayer())
+    }
+
+    /// Stripes with an active provider.
+    pub fn covered_stripes(&self) -> usize {
+        self.upstream.len()
+    }
+
+    /// Blocks announced but not yet reconstructed.
+    pub fn pending_block_count(&self) -> usize {
+        self.pending_blocks.len()
+    }
+
+    /// Diagnostic: per pending block, how many bundles are still missing.
+    pub fn missing_summary(&self) -> Vec<(u64, u32, u32)> {
+        self.pending_blocks
+            .iter()
+            .map(|(&block, &bundles)| {
+                let missing = (0..bundles)
+                    .filter(|&idx| !self.decoded.contains(&BundleId { block, idx }))
+                    .count() as u32;
+                (block, bundles, missing)
+            })
+            .collect()
+    }
+
+    /// Diagnostic: total block announcements seen.
+    pub fn anns_seen(&self) -> usize {
+        self.ann_forwarded.len()
+    }
+
+    /// Diagnostic: the provider of every covered stripe.
+    pub fn upstreams(&self) -> Vec<(u32, NodeId)> {
+        let mut v: Vec<(u32, NodeId)> = self.upstream.iter().map(|(&s, &n)| (s, n)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Diagnostic: children per stripe.
+    pub fn children_of(&self, stripe: u32) -> Vec<NodeId> {
+        self.children.get(&stripe).cloned().unwrap_or_default()
+    }
+
+    fn total_children(&self) -> usize {
+        self.children.values().map(Vec::len).sum()
+    }
+
+    fn unique_children(&self) -> Vec<NodeId> {
+        let mut set: Vec<NodeId> = Vec::new();
+        for kids in self.children.values() {
+            for &kid in kids {
+                if !set.contains(&kid) {
+                    set.push(kid);
+                }
+            }
+        }
+        set
+    }
+
+    fn subscribe<M: Codec<NetMsg>>(
+        &mut self,
+        ctx: &mut NarrowContext<'_, '_, M, NetMsg>,
+        provider: NodeId,
+        stripes: Vec<u32>,
+    ) {
+        if stripes.is_empty() {
+            return;
+        }
+        for &s in &stripes {
+            self.pending_sub.insert(s, provider);
+        }
+        ctx.send(provider, NetMsg::Subscribe { stripes });
+    }
+
+    /// Finds a provider for `stripe`: a known relayer advertising it, else
+    /// the consensus source (which makes this node a relayer on accept).
+    fn acquire<M: Codec<NetMsg>>(
+        &mut self,
+        ctx: &mut NarrowContext<'_, '_, M, NetMsg>,
+        stripe: u32,
+    ) {
+        if self.pending_sub.contains_key(&stripe) || self.upstream.contains_key(&stripe) {
+            return;
+        }
+        let relayer = self
+            .zone_relayers
+            .iter()
+            .find(|(_, (_, stripes, _))| stripes.contains(&stripe))
+            .map(|(&n, _)| n);
+        let provider = relayer.unwrap_or(self.cfg.consensus[stripe as usize]);
+        self.subscribe(ctx, provider, vec![stripe]);
+    }
+
+    fn announce_alive<M: Codec<NetMsg>>(&mut self, ctx: &mut NarrowContext<'_, '_, M, NetMsg>) {
+        let msg = NetMsg::RelayerAlive {
+            join_seq: self.join_seq,
+            stripes: self.relaying.iter().copied().collect(),
+        };
+        let members = self.zone_members.clone();
+        ctx.multicast(members, msg);
+    }
+
+    /// Algorithm 2 core: redundancy shedding. For every stripe two
+    /// relayers both relay, exactly one keeper survives, decided by a rule
+    /// both sides evaluate identically: the relayer with *fewer* stripes
+    /// keeps it (spreading load), ties broken toward the *later* joiner
+    /// (the paper's Fig. 3 dynamic, where elders hand stripes to
+    /// newcomers and shrink to one stripe each). The loser re-sources the
+    /// stripe from the keeper make-before-break; a fully redundant relayer
+    /// ends with an empty set and steps down (lines 21-23).
+    fn shed_overlap<M: Codec<NetMsg>>(
+        &mut self,
+        ctx: &mut NarrowContext<'_, '_, M, NetMsg>,
+        other: NodeId,
+        other_join: u64,
+        other_stripes: &BTreeSet<u32>,
+    ) {
+        if self.relaying.is_empty() {
+            return;
+        }
+        let my_len = self.relaying.len();
+        let their_len = other_stripes.len();
+        let keeper_is_other =
+            their_len < my_len || (their_len == my_len && other_join > self.join_seq);
+        if !keeper_is_other {
+            return; // they shed when they process our relayerAlive
+        }
+        let overlap: Vec<u32> = self
+            .relaying
+            .intersection(other_stripes)
+            .copied()
+            .collect();
+        if overlap.is_empty() {
+            return;
+        }
+        for &s in &overlap {
+            self.relaying.remove(&s);
+            // Make-before-break: keep receiving from the consensus source
+            // until the new provider accepts, so no bundle is dropped.
+            let src = self.cfg.consensus[s as usize];
+            self.switching.insert(s, src);
+        }
+        self.subscribe(ctx, other, overlap);
+        if self.relaying.is_empty() {
+            ctx.metrics().incr("zone.relayer_stepdowns", 1);
+        }
+        self.announce_alive(ctx);
+    }
+
+    fn try_complete<M: Codec<NetMsg>>(
+        &mut self,
+        ctx: &mut NarrowContext<'_, '_, M, NetMsg>,
+        block: u64,
+    ) {
+        let Some(&bundles) = self.pending_blocks.get(&block) else { return };
+        let all = (0..bundles).all(|idx| self.decoded.contains(&BundleId { block, idx }));
+        if !all {
+            return;
+        }
+        self.pending_blocks.remove(&block);
+        self.ann_seen_at.remove(&block);
+        self.mark_complete(ctx, block);
+        // Free the stripe bookkeeping of this block (the byte hint stays so
+        // bundle pulls can still be served).
+        self.stripes_have.retain(|b, _| b.block != block);
+        self.decoded.retain(|b| b.block != block);
+        self.whole_bundles.retain(|b| b.block != block);
+        self.pull_attempts.retain(|b, _| b.block != block);
+    }
+
+    fn mark_complete<M: Codec<NetMsg>>(
+        &mut self,
+        ctx: &mut NarrowContext<'_, '_, M, NetMsg>,
+        block: u64,
+    ) {
+        if !self.completed.insert(block) {
+            return;
+        }
+        self.completed_blocks += 1;
+        let now = ctx.now();
+        ctx.metrics().mark_arrival(block, now);
+        ctx.metrics().incr("zone.blocks_completed", 1);
+    }
+
+    fn on_leave_of<M: Codec<NetMsg>>(
+        &mut self,
+        ctx: &mut NarrowContext<'_, '_, M, NetMsg>,
+        gone: NodeId,
+    ) {
+        for kids in self.children.values_mut() {
+            kids.retain(|&n| n != gone);
+        }
+        self.on_provider_lost(ctx, gone);
+    }
+
+    /// Re-routes any stripes currently provided by `gone` (which left, went
+    /// stale, or stopped serving). Child links are untouched: a stale
+    /// *relayer* may still be a live *subscriber*.
+    fn on_provider_lost<M: Codec<NetMsg>>(
+        &mut self,
+        ctx: &mut NarrowContext<'_, '_, M, NetMsg>,
+        gone: NodeId,
+    ) {
+        let was_relayer = self.zone_relayers.remove(&gone).is_some();
+        let lost: Vec<u32> = self
+            .upstream
+            .iter()
+            .filter(|&(_, &p)| p == gone)
+            .map(|(&s, _)| s)
+            .collect();
+        for s in lost {
+            self.upstream.remove(&s);
+            self.desired.insert(s);
+            self.pending_sub.remove(&s);
+            if was_relayer {
+                // §IV-E: a departing relayer's subscriber takes over by
+                // subscribing to the consensus node directly.
+                let src = self.cfg.consensus[s as usize];
+                self.subscribe(ctx, src, vec![s]);
+            } else {
+                self.acquire(ctx, s);
+            }
+        }
+    }
+
+    fn maintain<M: Codec<NetMsg>>(&mut self, ctx: &mut NarrowContext<'_, '_, M, NetMsg>) {
+        let now = ctx.now();
+        // Drop stale relayer entries (no alive message for 3 periods).
+        let stale_cut = self.cfg.alive_interval * 3;
+        let stale: Vec<NodeId> = self
+            .zone_relayers
+            .iter()
+            .filter(|(_, &(_, _, seen))| now.saturating_since(seen) > stale_cut)
+            .map(|(&n, _)| n)
+            .collect();
+        for n in stale {
+            self.on_provider_lost(ctx, n);
+        }
+        if self.is_relayer() {
+            self.announce_alive(ctx);
+        }
+        // Retry unfinished acquisitions (pending subs may have been lost).
+        let retry: Vec<u32> = self
+            .desired
+            .iter()
+            .copied()
+            .filter(|s| !self.upstream.contains_key(s))
+            .collect();
+        self.pending_sub.clear();
+        for s in retry {
+            self.acquire(ctx, s);
+        }
+        // §IV-E: if the zone has fewer than n_c relayers, a non-relayer
+        // volunteers (randomized to avoid a thundering herd): first for a
+        // stripe nobody relays; otherwise for a stripe of the most-loaded
+        // relayer, which Algorithm 2's shedding then hands over, splitting
+        // multi-stripe relayers until the zone holds n_c single-stripe
+        // relayers.
+        if !self.is_relayer() && self.known_relayer_count() < self.cfg.n_c {
+            let relayed: BTreeSet<u32> = self
+                .zone_relayers
+                .values()
+                .flat_map(|(_, s, _)| s.iter().copied())
+                .collect();
+            let orphan = (0..self.cfg.n_c as u32).find(|s| !relayed.contains(s));
+            // Deterministic preference (join order modulo stripe count)
+            // breaks simultaneous-volunteer collisions; a small random
+            // fallback preserves liveness when the preferred claimant is
+            // gone.
+            let preferred = (self.join_seq % self.cfg.n_c as u64) as u32;
+            let claim = match orphan {
+                Some(s) if s == preferred => true,
+                Some(_) => ctx.rng().gen_bool(0.15),
+                None => ctx.rng().gen_bool(0.5),
+            };
+            let target = if !claim {
+                None
+            } else {
+                orphan.or_else(|| {
+                    self.zone_relayers
+                        .values()
+                        .filter(|(_, s, _)| s.len() > 1)
+                        .max_by_key(|(_, s, _)| s.len())
+                        .and_then(|(_, s, _)| s.iter().next().copied())
+                })
+            };
+            if let Some(stripe) = target {
+                let src = self.cfg.consensus[stripe as usize];
+                // Re-route the stripe to its consensus source,
+                // make-before-break.
+                if let Some(&old) = self.upstream.get(&stripe) {
+                    self.switching.insert(stripe, old);
+                }
+                self.pending_sub.remove(&stripe);
+                self.subscribe(ctx, src, vec![stripe]);
+            }
+        }
+        // A provider that has gone silent while blocks are pending is
+        // presumed dead: re-route its stripes (make-before-break).
+        if !self.pending_blocks.is_empty() {
+            let silence = self.cfg.alive_interval * 4;
+            let dead: Vec<(u32, NodeId)> = self
+                .upstream
+                .iter()
+                .filter(|&(&st, _)| {
+                    self.last_data
+                        .get(&st)
+                        .is_none_or(|&t| now.saturating_since(t) > silence)
+                })
+                .map(|(&st, &p)| (st, p))
+                .collect();
+            for (st, old) in dead {
+                self.switching.insert(st, old);
+                self.upstream.remove(&st);
+                self.relaying.remove(&st);
+                self.desired.insert(st);
+                self.pending_sub.remove(&st);
+                self.acquire(ctx, st);
+            }
+        }
+        // Recovery (§IV-F backup path, at bundle granularity): for blocks
+        // announced but still incomplete after two maintenance periods,
+        // pull the missing bundles from random zone members.
+        let overdue = self.cfg.alive_interval * 2;
+        let mut wanted: Vec<BundleId> = Vec::new();
+        for (&block, &bundles) in &self.pending_blocks {
+            let seen = self.ann_seen_at.get(&block).copied().unwrap_or(now);
+            if now.saturating_since(seen) < overdue {
+                continue;
+            }
+            for idx in 0..bundles {
+                let b = BundleId { block, idx };
+                if !self.decoded.contains(&b) {
+                    wanted.push(b);
+                    if wanted.len() >= 64 {
+                        break;
+                    }
+                }
+            }
+        }
+        if !wanted.is_empty() {
+            for b in wanted {
+                let attempts = self.pull_attempts.entry(b).or_insert(0);
+                *attempts += 1;
+                // First tries stay zone-local; if the zone itself lost the
+                // bundle (e.g. relayer churn mid-stream), go to the source.
+                let peer = if *attempts <= 2 && !self.zone_members.is_empty() {
+                    *self
+                        .zone_members
+                        .as_slice()
+                        .choose(ctx.rng())
+                        .expect("non-empty")
+                } else {
+                    *self
+                        .cfg
+                        .consensus
+                        .as_slice()
+                        .choose(ctx.rng())
+                        .expect("consensus nodes exist")
+                };
+                ctx.send(peer, NetMsg::BundlePull { bundle: b });
+            }
+            ctx.metrics().incr("zone.bundle_pulls", 1);
+        }
+        let interval = self.cfg.alive_interval;
+        ctx.set_timer(interval, TimerTag::of_kind(net_timers::ZONE_MAINTAIN));
+    }
+}
+
+impl ProtocolCore<NetMsg> for MultiZoneNode {
+    fn start<M: Codec<NetMsg>>(&mut self, ctx: &mut NarrowContext<'_, '_, M, NetMsg>) {
+        // Algorithm 1: learn the zone's relayers, then subscribe. The
+        // bootstrap is the earliest-joined fellow zone member.
+        let me = ctx.node();
+        let bootstrap = self
+            .zone_members
+            .iter()
+            .copied()
+            .filter(|n| n.index() < me.index())
+            .min_by_key(|n| n.index());
+        if let Some(bootstrap) = bootstrap {
+            ctx.send(bootstrap, NetMsg::GetRelayers);
+            ctx.set_timer(
+                self.cfg.alive_interval,
+                TimerTag::of_kind(net_timers::JOIN_RETRY),
+            );
+        } else {
+            // First node of the zone: everything comes from consensus.
+            let all: Vec<u32> = self.desired.iter().copied().collect();
+            for s in all {
+                let src = self.cfg.consensus[s as usize];
+                self.subscribe(ctx, src, vec![s]);
+            }
+        }
+        let interval = self.cfg.alive_interval;
+        ctx.set_timer(interval, TimerTag::of_kind(net_timers::ZONE_MAINTAIN));
+        ctx.set_timer(interval * 2, TimerTag::of_kind(net_timers::HEARTBEAT));
+        if !self.backup_peers.is_empty() {
+            let d = self.cfg.digest_interval;
+            ctx.set_timer(d, TimerTag::of_kind(net_timers::DIGEST));
+        }
+        if let Some(at) = self.leave_at {
+            let delay = at.saturating_since(ctx.now());
+            ctx.set_timer(delay, TimerTag::of_kind(net_timers::LEAVE));
+        }
+    }
+
+    fn message<M: Codec<NetMsg>>(
+        &mut self,
+        ctx: &mut NarrowContext<'_, '_, M, NetMsg>,
+        from: NodeId,
+        msg: NetMsg,
+    ) {
+        match msg {
+            NetMsg::Stripe {
+                bundle,
+                stripe,
+                k,
+                bytes,
+            } => {
+                self.last_data.insert(stripe, ctx.now());
+                if self.completed.contains(&bundle.block) {
+                    return;
+                }
+                let have = self.stripes_have.entry(bundle).or_default();
+                if !have.insert(stripe) {
+                    return; // duplicate
+                }
+                let have_count = have.len();
+                // Forward down the subscription tree.
+                if let Some(kids) = self.children.get(&stripe) {
+                    let kids = kids.clone();
+                    ctx.multicast(
+                        kids,
+                        NetMsg::Stripe {
+                            bundle,
+                            stripe,
+                            k,
+                            bytes,
+                        },
+                    );
+                }
+                if have_count >= k as usize && self.decoded.insert(bundle) {
+                    *self.block_sizes.entry(bundle.block).or_insert(0) +=
+                        bytes as u64 * k as u64;
+                    self.bundle_bytes_hint
+                        .entry(bundle.block)
+                        .or_insert(bytes * k);
+                    self.whole_bundles.insert(bundle);
+                    self.try_complete(ctx, bundle.block);
+                }
+            }
+            NetMsg::BlockAnn {
+                block,
+                bundles,
+                wire,
+            }
+                if self.ann_forwarded.insert(block) => {
+                    let kids = self.unique_children();
+                    ctx.multicast(
+                        kids,
+                        NetMsg::BlockAnn {
+                            block,
+                            bundles,
+                            wire,
+                        },
+                    );
+                    if !self.completed.contains(&block) {
+                        self.pending_blocks.insert(block, bundles);
+                        let now = ctx.now();
+                        self.ann_seen_at.insert(block, now);
+                        self.try_complete(ctx, block);
+                    }
+                }
+            NetMsg::FullBlock { block, bytes } => {
+                self.block_sizes.insert(block, bytes);
+                self.pending_blocks.remove(&block);
+                self.mark_complete(ctx, block);
+            }
+            NetMsg::GetRelayers => {
+                let mut relayers: Vec<RelayerInfo> = self
+                    .zone_relayers
+                    .iter()
+                    .map(|(&node, (seq, stripes, _))| RelayerInfo {
+                        node,
+                        join_seq: *seq,
+                        stripes: stripes.iter().copied().collect(),
+                    })
+                    .collect();
+                if self.is_relayer() {
+                    relayers.push(RelayerInfo {
+                        node: ctx.node(),
+                        join_seq: self.join_seq,
+                        stripes: self.relayed_stripes(),
+                    });
+                }
+                ctx.send(from, NetMsg::RelayersInfo { relayers });
+            }
+            NetMsg::RelayersInfo { relayers } => {
+                // Algorithm 1: subscribe up to half of each relayer's
+                // stripes; the remainder goes to consensus nodes (making us
+                // a relayer).
+                let now = ctx.now();
+                for r in &relayers {
+                    if r.node == ctx.node() {
+                        continue;
+                    }
+                    self.zone_relayers.insert(
+                        r.node,
+                        (r.join_seq, r.stripes.iter().copied().collect(), now),
+                    );
+                }
+                for r in relayers {
+                    if r.node == ctx.node() {
+                        continue;
+                    }
+                    let max = (r.stripes.len() / 2).max(1);
+                    let wanted: Vec<u32> = r
+                        .stripes
+                        .iter()
+                        .copied()
+                        .filter(|s| {
+                            self.desired.contains(s) && !self.pending_sub.contains_key(s)
+                        })
+                        .take(max)
+                        .collect();
+                    self.subscribe(ctx, r.node, wanted);
+                }
+                let leftovers: Vec<u32> = self
+                    .desired
+                    .iter()
+                    .copied()
+                    .filter(|s| !self.pending_sub.contains_key(s))
+                    .collect();
+                for s in leftovers {
+                    let src = self.cfg.consensus[s as usize];
+                    self.subscribe(ctx, src, vec![s]);
+                }
+            }
+            NetMsg::Subscribe { stripes } => {
+                let mut granted = Vec::new();
+                let mut rejected = Vec::new();
+                for s in stripes {
+                    let have_source =
+                        self.relaying.contains(&s) || self.upstream.contains_key(&s);
+                    let capacity = self.total_children() < self.cfg.max_children;
+                    if have_source && capacity {
+                        let kids = self.children.entry(s).or_default();
+                        if !kids.contains(&from) {
+                            kids.push(from);
+                        }
+                        granted.push(s);
+                    } else {
+                        rejected.push(s);
+                    }
+                }
+                if !granted.is_empty() {
+                    let now = ctx.now();
+                    self.child_last_seen.insert(from, now);
+                    ctx.send(from, NetMsg::AcceptSub { stripes: granted });
+                }
+                if !rejected.is_empty() {
+                    // Redirect to our children (tree deepening).
+                    let children = self.unique_children();
+                    ctx.send(
+                        from,
+                        NetMsg::RejectSub {
+                            stripes: rejected,
+                            children,
+                        },
+                    );
+                }
+            }
+            NetMsg::AcceptSub { stripes } => {
+                let mut became_relayer = false;
+                for s in stripes {
+                    self.pending_sub.remove(&s);
+                    if let Some(old) = self.switching.remove(&s) {
+                        if old != from {
+                            ctx.send(old, NetMsg::Unsubscribe { stripes: vec![s] });
+                        }
+                    }
+                    self.upstream.insert(s, from);
+                    self.desired.remove(&s);
+                    if self.cfg.consensus.contains(&from) {
+                        became_relayer |= self.relaying.insert(s);
+                    }
+                }
+                if became_relayer {
+                    ctx.metrics().incr("zone.relayer_promotions", 1);
+                    self.announce_alive(ctx);
+                }
+            }
+            NetMsg::RejectSub { stripes, children } => {
+                for s in stripes {
+                    self.pending_sub.remove(&s);
+                    // A shed that was rejected is reverted: keep relaying
+                    // from the consensus source (otherwise the stripe would
+                    // silently keep flowing without being advertised, and
+                    // volunteers would pile extra consensus subscriptions).
+                    if let Some(old) = self.switching.remove(&s) {
+                        if self.cfg.consensus.contains(&old) {
+                            self.relaying.insert(s);
+                            self.announce_alive(ctx);
+                        }
+                        continue;
+                    }
+                    if self.upstream.contains_key(&s) {
+                        continue;
+                    }
+                    let me = ctx.node();
+                    let alt: Vec<NodeId> = children
+                        .iter()
+                        .copied()
+                        .filter(|&n| n != me && !self.cfg.consensus.contains(&n))
+                        .collect();
+                    match alt.as_slice().choose(ctx.rng()).copied() {
+                        Some(alt) => self.subscribe(ctx, alt, vec![s]),
+                        None => {
+                            // Nothing else serves it: go to the source.
+                            let src = self.cfg.consensus[s as usize];
+                            if from != src {
+                                self.subscribe(ctx, src, vec![s]);
+                            } else {
+                                self.desired.insert(s);
+                            }
+                        }
+                    }
+                }
+            }
+            NetMsg::Unsubscribe { stripes } => {
+                for s in stripes {
+                    if let Some(kids) = self.children.get_mut(&s) {
+                        kids.retain(|&n| n != from);
+                    }
+                }
+            }
+            NetMsg::RelayerAlive { join_seq, stripes } => {
+                if stripes.is_empty() {
+                    self.zone_relayers.remove(&from);
+                    return;
+                }
+                let set: BTreeSet<u32> = stripes.into_iter().collect();
+                let now = ctx.now();
+                self.zone_relayers
+                    .insert(from, (join_seq, set.clone(), now));
+                self.shed_overlap(ctx, from, join_seq, &set);
+                // An ordinary node missing stripes subscribes to the newly
+                // announced relayer.
+                let wanted: Vec<u32> = set
+                    .iter()
+                    .copied()
+                    .filter(|s| self.desired.contains(s) && !self.pending_sub.contains_key(s))
+                    .collect();
+                self.subscribe(ctx, from, wanted);
+            }
+            NetMsg::Leave => self.on_leave_of(ctx, from),
+            NetMsg::Heartbeat => {
+                let now = ctx.now();
+                self.child_last_seen.insert(from, now);
+            }
+            NetMsg::Digest { blocks } => {
+                for block in blocks {
+                    if !self.completed.contains(&block)
+                        && !self.pending_blocks.contains_key(&block)
+                        && self.pulled.insert(block)
+                    {
+                        ctx.send(from, NetMsg::Pull { block });
+                    }
+                }
+            }
+            NetMsg::Pull { block }
+                if self.completed.contains(&block) => {
+                    let bytes = self.block_sizes.get(&block).copied().unwrap_or(0);
+                    ctx.send(from, NetMsg::FullBlock { block, bytes });
+                }
+            NetMsg::BundlePull { bundle } => {
+                ctx.metrics().incr("zone.bundle_pulls_received", 1);
+                let have = self.whole_bundles.contains(&bundle)
+                    || self.completed.contains(&bundle.block);
+                #[cfg(feature = "pull-debug")]
+                if !have {
+                    eprintln!(
+                        "[{}] node {} cannot serve pull {:?}: completed={:?} whole={}",
+                        ctx.now(),
+                        ctx.node(),
+                        bundle,
+                        self.completed,
+                        self.whole_bundles.len()
+                    );
+                }
+                if have {
+                    ctx.metrics().incr("zone.bundle_pulls_served", 1);
+                    let bytes = self
+                        .bundle_bytes_hint
+                        .get(&bundle.block)
+                        .copied()
+                        .unwrap_or(25_600);
+                    ctx.send(from, NetMsg::FullBundle { bundle, bytes });
+                }
+            }
+            NetMsg::FullBundle { bundle, bytes } => {
+                ctx.metrics().incr("zone.full_bundles_received", 1);
+                if self.completed.contains(&bundle.block) {
+                    return;
+                }
+                if self.decoded.insert(bundle) {
+                    *self.block_sizes.entry(bundle.block).or_insert(0) += bytes as u64;
+                    self.whole_bundles.insert(bundle);
+                    self.try_complete(ctx, bundle.block);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn timer<M: Codec<NetMsg>>(
+        &mut self,
+        ctx: &mut NarrowContext<'_, '_, M, NetMsg>,
+        tag: TimerTag,
+    ) {
+        match tag.kind {
+            net_timers::ZONE_MAINTAIN => self.maintain(ctx),
+            net_timers::JOIN_RETRY => {
+                // If the bootstrap answer never came, fall back to the
+                // consensus nodes directly.
+                let missing: Vec<u32> = self
+                    .desired
+                    .iter()
+                    .copied()
+                    .filter(|s| !self.pending_sub.contains_key(s) && !self.upstream.contains_key(s))
+                    .collect();
+                for s in missing {
+                    self.acquire(ctx, s);
+                }
+            }
+            net_timers::HEARTBEAT => {
+                // §IV-E: prove liveness to the nodes serving us...
+                let providers: Vec<NodeId> = {
+                    let mut v: Vec<NodeId> = self.upstream.values().copied().collect();
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                };
+                ctx.multicast(providers, NetMsg::Heartbeat);
+                // ...and disconnect children whose heartbeats timed out
+                // (stop wasting uplink on crashed subscribers).
+                let now = ctx.now();
+                let cutoff = self.cfg.alive_interval * 8;
+                let dead: Vec<NodeId> = self
+                    .child_last_seen
+                    .iter()
+                    .filter(|(_, &seen)| now.saturating_since(seen) > cutoff)
+                    .map(|(&n, _)| n)
+                    .collect();
+                for n in dead {
+                    self.child_last_seen.remove(&n);
+                    for kids in self.children.values_mut() {
+                        kids.retain(|&k| k != n);
+                    }
+                    ctx.metrics().incr("zone.children_reaped", 1);
+                }
+                let interval = self.cfg.alive_interval * 2;
+                ctx.set_timer(interval, TimerTag::of_kind(net_timers::HEARTBEAT));
+            }
+            net_timers::DIGEST => {
+                let recent: Vec<u64> = self.completed.iter().rev().take(8).copied().collect();
+                if !recent.is_empty() {
+                    let peers = self.backup_peers.clone();
+                    ctx.multicast(peers, NetMsg::Digest { blocks: recent });
+                }
+                let d = self.cfg.digest_interval;
+                ctx.set_timer(d, TimerTag::of_kind(net_timers::DIGEST));
+            }
+            net_timers::LEAVE => {
+                // §IV-E departure: tell children and providers, then halt.
+                let mut notify = self.unique_children();
+                for &p in self.upstream.values() {
+                    if !notify.contains(&p) {
+                        notify.push(p);
+                    }
+                }
+                ctx.multicast(notify, NetMsg::Leave);
+                ctx.metrics().incr("zone.voluntary_leaves", 1);
+                ctx.halt();
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predis_sim::prelude::*;
+
+    fn zcfg(consensus: Vec<NodeId>) -> ZoneConfig {
+        ZoneConfig {
+            n_c: consensus.len(),
+            f: (consensus.len() - 1) / 3,
+            max_children: 24,
+            alive_interval: SimDuration::from_millis(250),
+            digest_interval: SimDuration::from_secs(1),
+            consensus,
+        }
+    }
+
+    #[test]
+    fn k_is_nc_minus_f() {
+        let cfg = zcfg((0..4u32).map(NodeId).collect());
+        assert_eq!(cfg.k(), 3);
+        let cfg16 = zcfg((0..16u32).map(NodeId).collect());
+        assert_eq!(cfg16.k(), 11);
+    }
+
+    #[test]
+    fn synthetic_load_splits_blocks() {
+        let load = SyntheticLoad::for_block_size(10_000_000, 100, SimDuration::from_secs(5));
+        assert_eq!(load.bundle_bytes, 100_000);
+        assert_eq!(load.block_bytes(), 10_000_000);
+        // Tiny blocks still produce at least 1-byte bundles.
+        let tiny = SyntheticLoad::for_block_size(10, 100, SimDuration::from_secs(1));
+        assert!(tiny.bundle_bytes >= 1);
+    }
+
+    /// Drives a source + two nodes through the subscription handshake and
+    /// one bundle, asserting stripes flow and decode.
+    #[test]
+    fn source_serves_only_its_stripe() {
+        let network = Network::new(LatencyModel::lan(), SimDuration::ZERO);
+        let mut sim: Sim<NetMsg> = Sim::new(5, network);
+        let cons: Vec<NodeId> = vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)];
+        let cfg = zcfg(cons.clone());
+        let mut load = SyntheticLoad::for_block_size(25_600, 1, SimDuration::from_millis(500));
+        load.blocks = 2;
+        load.start_at = SimDuration::from_secs(2);
+        for i in 0..4u32 {
+            sim.add_node(
+                LinkConfig::paper_default(),
+                Box::new(ActorOf::<_, NetMsg>::new(ZoneSource::new(
+                    i,
+                    cfg.clone(),
+                    Some(load.clone()),
+                ))),
+                SimTime::ZERO,
+            );
+        }
+        // Two full nodes in one zone.
+        let a = NodeId(4);
+        let b = NodeId(5);
+        sim.add_node(
+            LinkConfig::paper_default(),
+            Box::new(ActorOf::<_, NetMsg>::new(MultiZoneNode::new(
+                cfg.clone(),
+                0,
+                vec![b],
+            ))),
+            SimTime::ZERO,
+        );
+        sim.add_node(
+            LinkConfig::paper_default(),
+            Box::new(ActorOf::<_, NetMsg>::new(MultiZoneNode::new(
+                cfg.clone(),
+                1,
+                vec![a],
+            ))),
+            SimTime::from_millis(100),
+        );
+        sim.run_until(SimTime::from_secs(5));
+        for node in [a, b] {
+            let core = sim
+                .actor_as::<ActorOf<MultiZoneNode, NetMsg>>(node)
+                .unwrap()
+                .core();
+            assert_eq!(core.covered_stripes(), 4, "{node}");
+            assert_eq!(core.completed_blocks, 2, "{node}");
+        }
+        // Sources accepted at most the two nodes each.
+        for i in 0..4u32 {
+            let src = sim
+                .actor_as::<ActorOf<ZoneSource, NetMsg>>(NodeId(i))
+                .unwrap()
+                .core();
+            assert!(src.subscriber_count() <= 2, "source {i}");
+            assert!(src.subscriber_count() >= 1, "source {i}");
+        }
+    }
+
+    /// A subscription for a stripe a source does not own is rejected.
+    #[test]
+    fn source_rejects_foreign_stripes() {
+        #[derive(Debug, Default)]
+        struct Probe {
+            accepted: Vec<u32>,
+            rejected: Vec<u32>,
+        }
+        impl Actor<NetMsg> for Probe {
+            fn on_start(&mut self, ctx: &mut Context<'_, NetMsg>) {
+                ctx.send(NodeId(0), NetMsg::Subscribe { stripes: vec![0, 1, 2] });
+            }
+            fn on_message(&mut self, _ctx: &mut Context<'_, NetMsg>, _f: NodeId, msg: NetMsg) {
+                match msg {
+                    NetMsg::AcceptSub { stripes } => self.accepted.extend(stripes),
+                    NetMsg::RejectSub { stripes, .. } => self.rejected.extend(stripes),
+                    _ => {}
+                }
+            }
+        }
+        let network = Network::new(LatencyModel::lan(), SimDuration::ZERO);
+        let mut sim: Sim<NetMsg> = Sim::new(1, network);
+        let cfg = zcfg(vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        sim.add_node(
+            LinkConfig::paper_default(),
+            Box::new(ActorOf::<_, NetMsg>::new(ZoneSource::new(0, cfg, None))),
+            SimTime::ZERO,
+        );
+        for _ in 0..3 {
+            sim.add_node(LinkConfig::paper_default(), Box::new(Probe::default()), SimTime::ZERO);
+        }
+        sim.run_until(SimTime::from_secs(1));
+        let p = sim.actor_as::<Probe>(NodeId(1)).unwrap();
+        assert_eq!(p.accepted, vec![0]);
+        assert_eq!(p.rejected, vec![1, 2]);
+    }
+}

@@ -1,0 +1,418 @@
+//! Actors: the programming model for simulated nodes.
+//!
+//! A simulated node is an [`Actor`]: a state machine that reacts to message
+//! deliveries and timer expirations through a [`Context`] that lets it send
+//! messages, arm timers and record metrics. Protocol logic is usually written
+//! as a [`ProtocolCore`] over its own message type `T` and lifted into an
+//! [`Actor`] over any envelope message `M` that can carry `T` (see
+//! [`Codec`]); this is how consensus-layer and network-layer protocols are
+//! composed into one simulation.
+
+use std::fmt::Debug;
+
+use rand::rngs::SmallRng;
+
+use crate::metrics::Metrics;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a simulated node; indexes into the simulation's node table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node id as a `usize` index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A timer handle, used to cancel a pending timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub u64);
+
+/// An opaque per-protocol timer tag delivered back on expiry.
+///
+/// Protocols namespace their tags with distinct `kind` values; `a` and `b`
+/// carry protocol-specific payloads (view numbers, heights, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerTag {
+    /// Protocol-chosen discriminator for the timer's purpose.
+    pub kind: u32,
+    /// First payload word.
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+}
+
+impl TimerTag {
+    /// Creates a tag with payload words set to zero.
+    pub const fn of_kind(kind: u32) -> Self {
+        TimerTag { kind, a: 0, b: 0 }
+    }
+
+    /// Creates a tag with one payload word.
+    pub const fn with_a(kind: u32, a: u64) -> Self {
+        TimerTag { kind, a, b: 0 }
+    }
+
+    /// Creates a tag with both payload words.
+    pub const fn new(kind: u32, a: u64, b: u64) -> Self {
+        TimerTag { kind, a, b }
+    }
+}
+
+/// A message payload that can travel through the simulated network.
+///
+/// The simulator never serializes payloads; it only needs their wire size to
+/// model bandwidth. Implementations should report the size the message would
+/// have on a real wire (including protocol framing they care about).
+pub trait Payload: Clone + Debug + 'static {
+    /// Size of this message on the wire, in bytes.
+    fn wire_size(&self) -> usize;
+}
+
+/// Embeds a protocol message type `T` in an envelope message type `Self`.
+///
+/// This is what lets a protocol core written against its own message enum be
+/// reused inside a larger simulation whose nodes speak a union of several
+/// protocols (e.g. consensus messages *and* network-layer dissemination
+/// messages).
+pub trait Codec<T>: Payload {
+    /// Wraps a protocol message into the envelope.
+    fn wrap(msg: T) -> Self;
+    /// Extracts the protocol message, or returns `None` if the envelope
+    /// carries a different protocol.
+    fn unwrap(self) -> Option<T>;
+}
+
+/// Every payload trivially embeds itself.
+impl<T: Payload> Codec<T> for T {
+    fn wrap(msg: T) -> Self {
+        msg
+    }
+    fn unwrap(self) -> Option<T> {
+        Some(self)
+    }
+}
+
+/// Operations an actor may queue during a callback; applied by the engine.
+#[derive(Debug)]
+pub(crate) enum Op<M> {
+    Send {
+        to: NodeId,
+        msg: M,
+    },
+    SetTimer {
+        id: TimerId,
+        fire_at: SimTime,
+        tag: TimerTag,
+    },
+    CancelTimer {
+        id: TimerId,
+    },
+    /// Voluntarily halt this node (used by churn experiments).
+    Halt,
+}
+
+/// The capability handed to an actor during a callback.
+///
+/// All side effects (sends, timers) are buffered and applied by the engine
+/// when the callback returns, which keeps event ordering deterministic.
+pub struct Context<'a, M> {
+    pub(crate) now: SimTime,
+    pub(crate) node: NodeId,
+    pub(crate) node_count: u32,
+    pub(crate) link_free_at: SimTime,
+    pub(crate) next_timer: &'a mut u64,
+    pub(crate) ops: &'a mut Vec<Op<M>>,
+    pub(crate) rng: &'a mut SmallRng,
+    pub(crate) metrics: &'a mut Metrics,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the node this callback runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Total number of nodes in the simulation.
+    pub fn node_count(&self) -> u32 {
+        self.node_count
+    }
+
+    /// How far this node's upload link is backlogged: the time until a
+    /// message queued right now would start transmitting. Producers use
+    /// this for backpressure (don't generate faster than the wire drains).
+    pub fn link_backlog(&self) -> SimDuration {
+        self.link_free_at.saturating_since(self.now)
+    }
+
+    /// Queues a unicast message. Delivery time is computed by the network
+    /// model (upload serialization + propagation latency).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.ops.push(Op::Send { to, msg });
+    }
+
+    /// Queues the same message to every node in `to`, as sequential unicasts
+    /// on this node's upload link (the bandwidth-honest multicast model).
+    pub fn multicast<I>(&mut self, to: I, msg: M)
+    where
+        I: IntoIterator<Item = NodeId>,
+        M: Clone,
+    {
+        for dst in to {
+            self.ops.push(Op::Send {
+                to: dst,
+                msg: msg.clone(),
+            });
+        }
+    }
+
+    /// Arms a timer firing `delay` from now; returns a handle for
+    /// cancellation. The tag is delivered back in `on_timer`.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: TimerTag) -> TimerId {
+        let id = TimerId(*self.next_timer);
+        *self.next_timer += 1;
+        self.ops.push(Op::SetTimer {
+            id,
+            fire_at: self.now + delay,
+            tag,
+        });
+        id
+    }
+
+    /// Cancels a previously armed timer. Cancelling an already-fired or
+    /// unknown timer is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.ops.push(Op::CancelTimer { id });
+    }
+
+    /// Halts this node: it stops receiving messages and timers. Used to model
+    /// voluntary departure (churn).
+    pub fn halt(&mut self) {
+        self.ops.push(Op::Halt);
+    }
+
+    /// Deterministic per-node randomness.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// The simulation-wide metrics sink.
+    pub fn metrics(&mut self) -> &mut Metrics {
+        self.metrics
+    }
+
+    /// Reborrows this context as a context for an embedded protocol message
+    /// type `T`, so a [`ProtocolCore`] over `T` can be driven from an actor
+    /// whose envelope is `M`.
+    pub fn narrow<T>(&mut self) -> NarrowContext<'_, 'a, M, T>
+    where
+        M: Codec<T>,
+    {
+        NarrowContext {
+            inner: self,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A view of a [`Context`] that sends protocol messages `T` wrapped in the
+/// envelope `M`. Created by [`Context::narrow`].
+pub struct NarrowContext<'b, 'a, M, T> {
+    inner: &'b mut Context<'a, M>,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<'b, 'a, M: Codec<T>, T> NarrowContext<'b, 'a, M, T> {
+    /// See [`Context::now`].
+    pub fn now(&self) -> SimTime {
+        self.inner.now()
+    }
+    /// See [`Context::node`].
+    pub fn node(&self) -> NodeId {
+        self.inner.node()
+    }
+    /// See [`Context::node_count`].
+    pub fn node_count(&self) -> u32 {
+        self.inner.node_count()
+    }
+    /// See [`Context::link_backlog`].
+    pub fn link_backlog(&self) -> SimDuration {
+        self.inner.link_backlog()
+    }
+    /// See [`Context::send`].
+    pub fn send(&mut self, to: NodeId, msg: T) {
+        self.inner.send(to, M::wrap(msg));
+    }
+    /// See [`Context::multicast`].
+    pub fn multicast<I>(&mut self, to: I, msg: T)
+    where
+        I: IntoIterator<Item = NodeId>,
+        T: Clone,
+    {
+        for dst in to {
+            self.inner.send(dst, M::wrap(msg.clone()));
+        }
+    }
+    /// See [`Context::set_timer`].
+    pub fn set_timer(&mut self, delay: SimDuration, tag: TimerTag) -> TimerId {
+        self.inner.set_timer(delay, tag)
+    }
+    /// See [`Context::cancel_timer`].
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.inner.cancel_timer(id)
+    }
+    /// See [`Context::halt`].
+    pub fn halt(&mut self) {
+        self.inner.halt()
+    }
+    /// See [`Context::rng`].
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.inner.rng()
+    }
+    /// See [`Context::metrics`].
+    pub fn metrics(&mut self) -> &mut Metrics {
+        self.inner.metrics()
+    }
+}
+
+/// A simulated node's behaviour over envelope message type `M`.
+///
+/// The `Any` supertrait allows post-run downcasting via
+/// [`crate::engine::Sim::actor_as`].
+pub trait Actor<M>: std::any::Any {
+    /// Called once when the simulation starts (or when the node joins).
+    fn on_start(&mut self, ctx: &mut Context<'_, M>) {
+        let _ = ctx;
+    }
+
+    /// Called when a message from `from` is delivered to this node.
+    fn on_message(&mut self, ctx: &mut Context<'_, M>, from: NodeId, msg: M);
+
+    /// Called when a timer armed by this node fires.
+    fn on_timer(&mut self, ctx: &mut Context<'_, M>, tag: TimerTag) {
+        let _ = (ctx, tag);
+    }
+}
+
+/// A protocol state machine over its own message type `T`.
+///
+/// Implementations stay independent of the envelope type; [`ActorOf`] lifts
+/// them into an [`Actor`] for any envelope `M: Codec<T>`.
+pub trait ProtocolCore<T>: 'static {
+    /// Called once when the simulation starts.
+    fn start<M: Codec<T>>(&mut self, ctx: &mut NarrowContext<'_, '_, M, T>) {
+        let _ = ctx;
+    }
+
+    /// Called on delivery of a protocol message.
+    fn message<M: Codec<T>>(
+        &mut self,
+        ctx: &mut NarrowContext<'_, '_, M, T>,
+        from: NodeId,
+        msg: T,
+    );
+
+    /// Called when a timer fires.
+    fn timer<M: Codec<T>>(&mut self, ctx: &mut NarrowContext<'_, '_, M, T>, tag: TimerTag) {
+        let _ = (ctx, tag);
+    }
+}
+
+/// Lifts a [`ProtocolCore`] over `T` into an [`Actor`] over envelope `M`.
+///
+/// Messages that do not decode to `T` are ignored, so several `ActorOf`
+/// layers can coexist behind a dispatching actor. The `T` parameter names
+/// the protocol message type the core speaks.
+#[derive(Debug)]
+pub struct ActorOf<C, T> {
+    core: C,
+    _protocol: std::marker::PhantomData<fn(T)>,
+}
+
+impl<C, T> ActorOf<C, T> {
+    /// Wraps a protocol core.
+    pub fn new(core: C) -> Self {
+        ActorOf {
+            core,
+            _protocol: std::marker::PhantomData,
+        }
+    }
+
+    /// Read access to the wrapped core (for post-run inspection).
+    pub fn core(&self) -> &C {
+        &self.core
+    }
+
+    /// Consumes the wrapper, returning the core.
+    pub fn into_inner(self) -> C {
+        self.core
+    }
+}
+
+impl<M, T, C> Actor<M> for ActorOf<C, T>
+where
+    M: Codec<T> + 'static,
+    T: 'static,
+    C: ProtocolCore<T>,
+{
+    fn on_start(&mut self, ctx: &mut Context<'_, M>) {
+        self.core.start(&mut ctx.narrow());
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, M>, from: NodeId, msg: M) {
+        if let Some(t) = msg.unwrap() {
+            self.core.message(&mut ctx.narrow(), from, t);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, M>, tag: TimerTag) {
+        self.core.timer(&mut ctx.narrow(), tag);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Ping(usize);
+    impl Payload for Ping {
+        fn wire_size(&self) -> usize {
+            self.0
+        }
+    }
+
+    #[test]
+    fn identity_codec_roundtrips() {
+        let p = Ping(42);
+        let wrapped = <Ping as Codec<Ping>>::wrap(p.clone());
+        assert_eq!(wrapped.clone().unwrap(), Some(p));
+        assert_eq!(wrapped.wire_size(), 42);
+    }
+
+    #[test]
+    fn node_id_display_and_index() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+        assert_eq!(NodeId(7).index(), 7);
+    }
+
+    #[test]
+    fn timer_tag_constructors() {
+        assert_eq!(TimerTag::of_kind(3), TimerTag { kind: 3, a: 0, b: 0 });
+        assert_eq!(TimerTag::with_a(3, 9), TimerTag { kind: 3, a: 9, b: 0 });
+        assert_eq!(TimerTag::new(1, 2, 3), TimerTag { kind: 1, a: 2, b: 3 });
+    }
+}

@@ -1,0 +1,247 @@
+//! Fault injection: crashes, message omission, and link partitions.
+//!
+//! The paper's network-layer threat model lets malicious full nodes *delay or
+//! omit* messages (Section II); consensus-layer Byzantine behaviour
+//! (equivocation, selective sending, refusing to vote) is modelled by
+//! dedicated Byzantine actor implementations in the consensus crate, while
+//! this module covers everything the network itself can do to honest
+//! protocol traffic.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::actor::NodeId;
+use crate::time::SimTime;
+
+/// A directed link suppression active during a time window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LinkBlock {
+    from: NodeId,
+    to: NodeId,
+    start: SimTime,
+    end: SimTime,
+}
+
+/// Per-node fault configuration.
+#[derive(Debug, Clone, Copy, Default)]
+struct NodeFaults {
+    crash_at: Option<SimTime>,
+    /// When a crashed node recovers, if ever.
+    revive_at: Option<SimTime>,
+    /// Probability that any *outgoing* message is silently dropped
+    /// (bandwidth is still consumed — the bytes leave the NIC and die).
+    omission_prob: f64,
+}
+
+/// A declarative fault plan applied by the engine while scheduling messages.
+///
+/// # Examples
+///
+/// ```
+/// use predis_sim::{FaultPlan, NodeId, SimTime};
+///
+/// let mut plan = FaultPlan::none();
+/// plan.crash(NodeId(3), SimTime::from_secs(10))           // fail-stop
+///     .crash_for(NodeId(4), SimTime::from_secs(5), SimTime::from_secs(8))
+///     .omit_outgoing(NodeId(1), 0.05)                     // 5% loss
+///     .partition(&[NodeId(0)], &[NodeId(2)], SimTime::ZERO, SimTime::from_secs(2));
+/// assert!(plan.is_crashed(NodeId(4), SimTime::from_secs(6)));
+/// assert!(!plan.is_crashed(NodeId(4), SimTime::from_secs(9))); // revived
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    nodes: Vec<NodeFaults>,
+    blocks: Vec<LinkBlock>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    fn node_mut(&mut self, node: NodeId) -> &mut NodeFaults {
+        let idx = node.index();
+        if self.nodes.len() <= idx {
+            self.nodes.resize(idx + 1, NodeFaults::default());
+        }
+        &mut self.nodes[idx]
+    }
+
+    /// Crashes `node` at `at`: it stops sending, receiving and firing timers.
+    pub fn crash(&mut self, node: NodeId, at: SimTime) -> &mut Self {
+        self.node_mut(node).crash_at = Some(at);
+        self
+    }
+
+    /// Crashes `node` during `[at, until)` and revives it afterwards with
+    /// its state intact (a crash-recovery fault). The engine re-runs the
+    /// actor's `on_start` at revival; timers armed before the crash are
+    /// invalidated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until <= at`.
+    pub fn crash_for(&mut self, node: NodeId, at: SimTime, until: SimTime) -> &mut Self {
+        assert!(until > at, "revival must come after the crash");
+        let nf = self.node_mut(node);
+        nf.crash_at = Some(at);
+        nf.revive_at = Some(until);
+        self
+    }
+
+    /// The time `node` revives, if a recovery is scheduled.
+    pub fn revive_time(&self, node: NodeId) -> Option<SimTime> {
+        self.nodes.get(node.index()).and_then(|n| n.revive_at)
+    }
+
+    /// Drops each outgoing message of `node` independently with probability
+    /// `prob`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is outside `[0, 1]`.
+    pub fn omit_outgoing(&mut self, node: NodeId, prob: f64) -> &mut Self {
+        assert!((0.0..=1.0).contains(&prob), "probability must be in [0,1]");
+        self.node_mut(node).omission_prob = prob;
+        self
+    }
+
+    /// Suppresses all messages from `from` to `to` during `[start, end)`.
+    pub fn block_link(&mut self, from: NodeId, to: NodeId, start: SimTime, end: SimTime) -> &mut Self {
+        self.blocks.push(LinkBlock { from, to, start, end });
+        self
+    }
+
+    /// Symmetric partition between the node sets `a` and `b` during
+    /// `[start, end)`.
+    pub fn partition(&mut self, a: &[NodeId], b: &[NodeId], start: SimTime, end: SimTime) -> &mut Self {
+        for &x in a {
+            for &y in b {
+                self.block_link(x, y, start, end);
+                self.block_link(y, x, start, end);
+            }
+        }
+        self
+    }
+
+    /// The time `node` crashes, if any.
+    pub fn crash_time(&self, node: NodeId) -> Option<SimTime> {
+        self.nodes.get(node.index()).and_then(|n| n.crash_at)
+    }
+
+    /// True if the node is crashed at time `at` (inside its crash window).
+    pub fn is_crashed(&self, node: NodeId, at: SimTime) -> bool {
+        let Some(nf) = self.nodes.get(node.index()) else {
+            return false;
+        };
+        match (nf.crash_at, nf.revive_at) {
+            (Some(c), Some(r)) => at >= c && at < r,
+            (Some(c), None) => at >= c,
+            _ => false,
+        }
+    }
+
+    /// Decides whether a message sent now from `from` to `to` is delivered.
+    /// Randomized omission consumes `rng`.
+    pub fn delivers(&self, from: NodeId, to: NodeId, now: SimTime, rng: &mut SmallRng) -> bool {
+        if self.is_crashed(from, now) || self.is_crashed(to, now) {
+            return false;
+        }
+        if self
+            .blocks
+            .iter()
+            .any(|b| b.from == from && b.to == to && now >= b.start && now < b.end)
+        {
+            return false;
+        }
+        let p = self
+            .nodes
+            .get(from.index())
+            .map_or(0.0, |n| n.omission_prob);
+        if p > 0.0 && rng.gen::<f64>() < p {
+            return false;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn no_faults_delivers() {
+        let plan = FaultPlan::none();
+        assert!(plan.delivers(NodeId(0), NodeId(1), SimTime::ZERO, &mut rng()));
+    }
+
+    #[test]
+    fn crash_stops_both_directions() {
+        let mut plan = FaultPlan::none();
+        plan.crash(NodeId(1), SimTime::from_secs(5));
+        let mut r = rng();
+        assert!(plan.delivers(NodeId(0), NodeId(1), SimTime::from_secs(4), &mut r));
+        assert!(!plan.delivers(NodeId(0), NodeId(1), SimTime::from_secs(5), &mut r));
+        assert!(!plan.delivers(NodeId(1), NodeId(0), SimTime::from_secs(6), &mut r));
+        assert!(plan.is_crashed(NodeId(1), SimTime::from_secs(5)));
+        assert!(!plan.is_crashed(NodeId(0), SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn link_block_is_directed_and_windowed() {
+        let mut plan = FaultPlan::none();
+        plan.block_link(
+            NodeId(0),
+            NodeId(1),
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+        );
+        let mut r = rng();
+        assert!(plan.delivers(NodeId(0), NodeId(1), SimTime::ZERO, &mut r));
+        assert!(!plan.delivers(NodeId(0), NodeId(1), SimTime::from_secs(1), &mut r));
+        // Reverse direction unaffected.
+        assert!(plan.delivers(NodeId(1), NodeId(0), SimTime::from_secs(1), &mut r));
+        // Window end is exclusive.
+        assert!(plan.delivers(NodeId(0), NodeId(1), SimTime::from_secs(2), &mut r));
+    }
+
+    #[test]
+    fn partition_blocks_both_directions() {
+        let mut plan = FaultPlan::none();
+        plan.partition(
+            &[NodeId(0)],
+            &[NodeId(1), NodeId(2)],
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+        );
+        let mut r = rng();
+        assert!(!plan.delivers(NodeId(0), NodeId(2), SimTime::from_secs(1), &mut r));
+        assert!(!plan.delivers(NodeId(2), NodeId(0), SimTime::from_secs(1), &mut r));
+        assert!(plan.delivers(NodeId(1), NodeId(2), SimTime::from_secs(1), &mut r));
+    }
+
+    #[test]
+    fn omission_probability_is_respected() {
+        let mut plan = FaultPlan::none();
+        plan.omit_outgoing(NodeId(0), 0.5);
+        let mut r = rng();
+        let delivered = (0..10_000)
+            .filter(|_| plan.delivers(NodeId(0), NodeId(1), SimTime::ZERO, &mut r))
+            .count();
+        assert!((4_000..6_000).contains(&delivered), "got {delivered}");
+        // Other nodes unaffected.
+        assert!((0..100).all(|_| plan.delivers(NodeId(1), NodeId(0), SimTime::ZERO, &mut r)));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn omission_rejects_bad_probability() {
+        FaultPlan::none().omit_outgoing(NodeId(0), 1.5);
+    }
+}

@@ -1,0 +1,331 @@
+//! Simulation-wide measurement sink.
+//!
+//! Experiments read throughput, latency percentiles, and propagation curves
+//! out of [`Metrics`] after a run. Actors record into it through
+//! [`crate::actor::Context::metrics`].
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+
+/// A single commit observation: `txs` transactions committed at `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommitEvent {
+    /// When the commit happened (simulated time).
+    pub at: SimTime,
+    /// Number of transactions the commit confirmed.
+    pub txs: u64,
+}
+
+/// Collected measurements of one simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use predis_sim::{Metrics, SimDuration, SimTime};
+///
+/// let mut m = Metrics::new();
+/// m.incr("commits", 1);
+/// m.record_commit(SimTime::from_secs(1), 500);
+/// m.record_latency("lat", SimDuration::from_millis(80));
+/// assert_eq!(m.committed_txs_in(SimTime::ZERO, SimTime::from_secs(2)), 500);
+/// assert_eq!(m.latency_percentile("lat", 0.5), Some(SimDuration::from_millis(80)));
+/// ```
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: HashMap<&'static str, u64>,
+    latencies: HashMap<&'static str, Vec<SimDuration>>,
+    commits: Vec<CommitEvent>,
+    arrivals: HashMap<u64, Vec<SimTime>>,
+}
+
+impl Metrics {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Adds `n` to the named counter.
+    pub fn incr(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Reads a counter (zero if never written).
+    pub fn counter(&self, name: &'static str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records one latency sample under `name`.
+    pub fn record_latency(&mut self, name: &'static str, sample: SimDuration) {
+        self.latencies.entry(name).or_default().push(sample);
+    }
+
+    /// Number of latency samples recorded under `name`.
+    pub fn latency_count(&self, name: &'static str) -> usize {
+        self.latencies.get(name).map_or(0, Vec::len)
+    }
+
+    /// The `p`-th percentile (0.0..=1.0) of latency samples under `name`,
+    /// or `None` if no samples were recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn latency_percentile(&self, name: &'static str, p: f64) -> Option<SimDuration> {
+        assert!((0.0..=1.0).contains(&p), "percentile must be in [0,1]");
+        let samples = self.latencies.get(name)?;
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+        Some(sorted[idx])
+    }
+
+    /// The mean of latency samples under `name`, or `None` if empty.
+    pub fn latency_mean(&self, name: &'static str) -> Option<SimDuration> {
+        let samples = self.latencies.get(name)?;
+        if samples.is_empty() {
+            return None;
+        }
+        let total: u64 = samples.iter().map(|d| d.as_nanos()).sum();
+        Some(SimDuration::from_nanos(total / samples.len() as u64))
+    }
+
+    /// Records that `txs` transactions committed at `at`.
+    pub fn record_commit(&mut self, at: SimTime, txs: u64) {
+        self.commits.push(CommitEvent { at, txs });
+    }
+
+    /// All commit events, in recording order.
+    pub fn commits(&self) -> &[CommitEvent] {
+        &self.commits
+    }
+
+    /// Total transactions committed in the half-open window `[from, to)`.
+    pub fn committed_txs_in(&self, from: SimTime, to: SimTime) -> u64 {
+        self.commits
+            .iter()
+            .filter(|c| c.at >= from && c.at < to)
+            .map(|c| c.txs)
+            .sum()
+    }
+
+    /// Transactions per second over the window `[from, to)`.
+    ///
+    /// Returns 0.0 for an empty window.
+    pub fn throughput_tps(&self, from: SimTime, to: SimTime) -> f64 {
+        let span = to.saturating_since(from).as_secs_f64();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        self.committed_txs_in(from, to) as f64 / span
+    }
+
+    /// Marks that the object identified by `key` (e.g. a block) arrived
+    /// somewhere at time `at`. Used for propagation-latency curves.
+    pub fn mark_arrival(&mut self, key: u64, at: SimTime) {
+        self.arrivals.entry(key).or_default().push(at);
+    }
+
+    /// All recorded arrival times for `key`, unsorted.
+    pub fn arrivals(&self, key: u64) -> &[SimTime] {
+        self.arrivals.get(&key).map_or(&[], Vec::as_slice)
+    }
+
+    /// The time by which a `fraction` (0..=1] of `population` recipients had
+    /// received `key`, measured from `origin`. `None` if fewer than
+    /// `ceil(fraction * population)` arrivals were recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `(0, 1]` or `population` is zero.
+    pub fn propagation_to_fraction(
+        &self,
+        key: u64,
+        origin: SimTime,
+        population: usize,
+        fraction: f64,
+    ) -> Option<SimDuration> {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0,1]");
+        assert!(population > 0, "population must be positive");
+        let needed = ((population as f64) * fraction).ceil() as usize;
+        let mut times: Vec<SimTime> = self.arrivals(key).to_vec();
+        if times.len() < needed {
+            return None;
+        }
+        times.sort_unstable();
+        Some(times[needed - 1].saturating_since(origin))
+    }
+
+    /// Keys with at least one recorded arrival.
+    pub fn arrival_keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.arrivals.keys().copied()
+    }
+
+    /// The committed-transaction rate over consecutive buckets of width
+    /// `bucket`, from time zero to `until` — the raw series behind a
+    /// throughput-over-time plot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket` is zero.
+    pub fn throughput_series(&self, bucket: SimDuration, until: SimTime) -> Vec<f64> {
+        assert!(!bucket.is_zero(), "bucket width must be positive");
+        let n = (until.as_nanos() / bucket.as_nanos()) as usize;
+        let mut counts = vec![0u64; n];
+        for c in &self.commits {
+            let idx = (c.at.as_nanos() / bucket.as_nanos()) as usize;
+            if idx < n {
+                counts[idx] += c.txs;
+            }
+        }
+        let secs = bucket.as_secs_f64();
+        counts.into_iter().map(|c| c as f64 / secs).collect()
+    }
+
+    /// Detects the stable suffix of a run: the earliest bucket index from
+    /// which every bucket's throughput stays within `tolerance` (relative)
+    /// of the suffix mean. Returns `None` if no suffix of at least three
+    /// buckets is stable — the run never settled.
+    pub fn stable_from(
+        &self,
+        bucket: SimDuration,
+        until: SimTime,
+        tolerance: f64,
+    ) -> Option<usize> {
+        let series = self.throughput_series(bucket, until);
+        if series.len() < 3 {
+            return None;
+        }
+        for start in 0..=series.len() - 3 {
+            let window = &series[start..];
+            let mean: f64 = window.iter().sum::<f64>() / window.len() as f64;
+            if mean <= 0.0 {
+                continue;
+            }
+            if window
+                .iter()
+                .all(|&x| (x - mean).abs() <= tolerance * mean)
+            {
+                return Some(start);
+            }
+        }
+        None
+    }
+}
+
+/// Summary statistics of a throughput/latency run, serializable for the
+/// bench harness.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Sustained throughput (transactions per second) in the stable window.
+    pub throughput_tps: f64,
+    /// Mean client latency in milliseconds.
+    pub mean_latency_ms: f64,
+    /// 50th percentile client latency in milliseconds.
+    pub p50_latency_ms: f64,
+    /// 99th percentile client latency in milliseconds.
+    pub p99_latency_ms: f64,
+    /// Total committed transactions in the measurement window.
+    pub committed_txs: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        assert_eq!(m.counter("x"), 0);
+        m.incr("x", 2);
+        m.incr("x", 3);
+        assert_eq!(m.counter("x"), 5);
+    }
+
+    #[test]
+    fn latency_percentiles() {
+        let mut m = Metrics::new();
+        for ms in [10u64, 20, 30, 40, 50] {
+            m.record_latency("lat", SimDuration::from_millis(ms));
+        }
+        assert_eq!(m.latency_percentile("lat", 0.0), Some(SimDuration::from_millis(10)));
+        assert_eq!(m.latency_percentile("lat", 0.5), Some(SimDuration::from_millis(30)));
+        assert_eq!(m.latency_percentile("lat", 1.0), Some(SimDuration::from_millis(50)));
+        assert_eq!(m.latency_mean("lat"), Some(SimDuration::from_millis(30)));
+        assert_eq!(m.latency_percentile("nope", 0.5), None);
+        assert_eq!(m.latency_count("lat"), 5);
+    }
+
+    #[test]
+    fn throughput_window() {
+        let mut m = Metrics::new();
+        m.record_commit(SimTime::from_secs(1), 100);
+        m.record_commit(SimTime::from_secs(2), 200);
+        m.record_commit(SimTime::from_secs(3), 400);
+        assert_eq!(
+            m.committed_txs_in(SimTime::from_secs(1), SimTime::from_secs(3)),
+            300
+        );
+        let tps = m.throughput_tps(SimTime::from_secs(0), SimTime::from_secs(4));
+        assert!((tps - 175.0).abs() < 1e-9);
+        assert_eq!(m.throughput_tps(SimTime::from_secs(2), SimTime::from_secs(2)), 0.0);
+    }
+
+    #[test]
+    fn throughput_series_buckets_commits() {
+        let mut m = Metrics::new();
+        m.record_commit(SimTime::from_millis(100), 10);
+        m.record_commit(SimTime::from_millis(900), 20);
+        m.record_commit(SimTime::from_millis(1500), 30);
+        let series = m.throughput_series(SimDuration::from_secs(1), SimTime::from_secs(3));
+        assert_eq!(series, vec![30.0, 30.0, 0.0]);
+    }
+
+    #[test]
+    fn stable_from_finds_the_settled_suffix() {
+        let mut m = Metrics::new();
+        // Ramp: 10, 100, 100, 100, 100 tx/s.
+        for (sec, txs) in [(0u64, 10u64), (1, 100), (2, 100), (3, 100), (4, 100)] {
+            m.record_commit(SimTime::from_millis(sec * 1000 + 500), txs);
+        }
+        let start = m
+            .stable_from(SimDuration::from_secs(1), SimTime::from_secs(5), 0.05)
+            .unwrap();
+        assert_eq!(start, 1);
+        // A wildly oscillating series has no stable suffix.
+        let mut osc = Metrics::new();
+        for (sec, txs) in [(0u64, 10u64), (1, 500), (2, 10), (3, 500), (4, 10)] {
+            osc.record_commit(SimTime::from_millis(sec * 1000 + 500), txs);
+        }
+        assert_eq!(
+            osc.stable_from(SimDuration::from_secs(1), SimTime::from_secs(5), 0.05),
+            None
+        );
+    }
+
+    #[test]
+    fn propagation_fractions() {
+        let mut m = Metrics::new();
+        let origin = SimTime::from_secs(10);
+        for ms in [100u64, 200, 300, 400] {
+            m.mark_arrival(7, origin + SimDuration::from_millis(ms));
+        }
+        // 4-node population: 50% = 2nd arrival, 100% = 4th.
+        assert_eq!(
+            m.propagation_to_fraction(7, origin, 4, 0.5),
+            Some(SimDuration::from_millis(200))
+        );
+        assert_eq!(
+            m.propagation_to_fraction(7, origin, 4, 1.0),
+            Some(SimDuration::from_millis(400))
+        );
+        // Not enough arrivals for a larger population.
+        assert_eq!(m.propagation_to_fraction(7, origin, 8, 1.0), None);
+        assert_eq!(m.arrivals(8).len(), 0);
+    }
+}

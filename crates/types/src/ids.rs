@@ -1,0 +1,141 @@
+//! Identifier newtypes shared across the framework.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a bundle chain — equal to the index of the consensus node that
+/// produces it (every consensus node owns exactly one chain).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ChainId(pub u32);
+
+/// Height of a bundle within its chain. Height 0 is "nothing"; the first
+/// real bundle of every chain has height 1 and parent [`predis_crypto::Hash::ZERO`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Height(pub u64);
+
+/// A consensus view (PBFT) or round (HotStuff).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct View(pub u64);
+
+/// A consensus sequence number (the slot a proposal commits into).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SeqNum(pub u64);
+
+/// A client-assigned transaction identifier, unique per run.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TxId(pub u64);
+
+/// Identifier of a submitting client.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ClientId(pub u32);
+
+impl Height {
+    /// The height just above this one.
+    pub const fn next(self) -> Height {
+        Height(self.0 + 1)
+    }
+
+    /// The height just below, saturating at zero.
+    pub const fn prev(self) -> Height {
+        Height(self.0.saturating_sub(1))
+    }
+}
+
+impl ChainId {
+    /// The chain id as a `usize` index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl View {
+    /// The following view.
+    pub const fn next(self) -> View {
+        View(self.0 + 1)
+    }
+}
+
+impl SeqNum {
+    /// The following sequence number.
+    pub const fn next(self) -> SeqNum {
+        SeqNum(self.0 + 1)
+    }
+}
+
+impl fmt::Display for ChainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chain{}", self.0)
+    }
+}
+
+impl fmt::Display for Height {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+impl fmt::Display for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seq{}", self.0)
+    }
+}
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tx{}", self.0)
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "client{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn height_next_prev() {
+        assert_eq!(Height(0).next(), Height(1));
+        assert_eq!(Height(3).prev(), Height(2));
+        assert_eq!(Height(0).prev(), Height(0));
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(ChainId(2).to_string(), "chain2");
+        assert_eq!(Height(5).to_string(), "h5");
+        assert_eq!(View(1).to_string(), "v1");
+        assert_eq!(SeqNum(9).to_string(), "seq9");
+        assert_eq!(TxId(3).to_string(), "tx3");
+        assert_eq!(ClientId(4).to_string(), "client4");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Height(2) < Height(10));
+        assert!(View(1).next() > View(1));
+        assert_eq!(SeqNum(1).next(), SeqNum(2));
+    }
+}

@@ -1,0 +1,221 @@
+//! Tip lists: Predis's replacement for availability certificates.
+//!
+//! A bundle's tip list records, per chain, the highest bundle height its
+//! producer had received when it packed the bundle (Fig. 1 of the paper).
+//! Because every honest node keeps producing bundles, tip lists form a
+//! continuous stream of acknowledgements: the leader's cut rule reads the
+//! newest tip list from each chain to learn which heights the fastest
+//! `n_c − f` nodes hold — the role RBC certificates play in Narwhal, at
+//! zero extra message cost.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ChainId, Height};
+use crate::wire::{WireSize, U64_WIRE};
+
+/// Per-chain highest-received bundle heights.
+///
+/// # Examples
+///
+/// ```
+/// use predis_types::{ChainId, Height, TipList};
+///
+/// let mut tips = TipList::new(4);
+/// tips.observe(ChainId(1), Height(6));
+/// tips.observe(ChainId(1), Height(5)); // stale observations are ignored
+/// assert_eq!(tips.get(ChainId(1)), Height(6));
+/// assert_eq!(tips.get(ChainId(0)), Height(0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct TipList(Vec<Height>);
+
+impl TipList {
+    /// A tip list of `n_chains` zeros (nothing received yet).
+    pub fn new(n_chains: usize) -> TipList {
+        TipList(vec![Height(0); n_chains])
+    }
+
+    /// Number of chains tracked.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the list tracks no chains.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The recorded height for `chain` (zero if out of range).
+    pub fn get(&self, chain: ChainId) -> Height {
+        self.0.get(chain.index()).copied().unwrap_or(Height(0))
+    }
+
+    /// Raises the recorded height for `chain` to `h` if higher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chain` is out of range.
+    pub fn observe(&mut self, chain: ChainId, h: Height) {
+        let slot = &mut self.0[chain.index()];
+        if h > *slot {
+            *slot = h;
+        }
+    }
+
+    /// True if every entry of `self` is `>=` the corresponding entry of
+    /// `other` — the monotonicity rule a valid child bundle's tip list must
+    /// satisfy relative to its parent's (validity check 3 in §III-A).
+    pub fn dominates(&self, other: &TipList) -> bool {
+        self.0.len() == other.0.len()
+            && self.0.iter().zip(&other.0).all(|(a, b)| a >= b)
+    }
+
+    /// Pointwise maximum with `other` (used when merging observations).
+    pub fn merge(&mut self, other: &TipList) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            if b > a {
+                *a = *b;
+            }
+        }
+    }
+
+    /// Iterates `(chain, height)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ChainId, Height)> + '_ {
+        self.0
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| (ChainId(i as u32), h))
+    }
+
+    /// The heights as a slice.
+    pub fn heights(&self) -> &[Height] {
+        &self.0
+    }
+}
+
+impl From<Vec<Height>> for TipList {
+    fn from(v: Vec<Height>) -> Self {
+        TipList(v)
+    }
+}
+
+impl WireSize for TipList {
+    fn wire_size(&self) -> usize {
+        // Heights are small; a varint encoding would be ~2-4 bytes each, but
+        // we charge the full 8 to stay conservative.
+        self.0.len() * U64_WIRE
+    }
+}
+
+/// Computes, for one chain, the cut height from the newest acknowledged
+/// heights of all `n_c` consensus nodes: the height received by at least
+/// `n_c − f` of them (the "(n_c − f)-th largest" order statistic).
+///
+/// This is the paper's cutting rule (§III-B): the leader may cut a chain at
+/// `h'` only if the fastest `n_c − f` nodes (leader included) have received
+/// the bundle at `h'`, which guarantees availability from `n_c − 2f ≥ f + 1`
+/// honest nodes.
+///
+/// # Examples
+///
+/// The paper's Fig. 1: chain 3's bundles are acknowledged at heights
+/// `[5, 4, 5, 3]` by the four nodes; with `f = 1` the cut lands on the
+/// third-highest acknowledgement.
+///
+/// ```
+/// use predis_types::{quorum_cut_height, Height};
+///
+/// let acks = [Height(5), Height(4), Height(5), Height(3)];
+/// assert_eq!(quorum_cut_height(&acks, 1), Height(4));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `acked` is empty or `f >= acked.len()`.
+pub fn quorum_cut_height(acked: &[Height], f: usize) -> Height {
+    assert!(!acked.is_empty(), "need at least one acknowledgement");
+    assert!(f < acked.len(), "f must be smaller than the node count");
+    let mut sorted = acked.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a)); // descending
+    sorted[acked.len() - f - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_is_monotone() {
+        let mut t = TipList::new(3);
+        t.observe(ChainId(2), Height(4));
+        t.observe(ChainId(2), Height(2));
+        assert_eq!(t.get(ChainId(2)), Height(4));
+        assert_eq!(t.get(ChainId(0)), Height(0));
+        assert_eq!(t.get(ChainId(9)), Height(0)); // out of range reads as 0
+    }
+
+    #[test]
+    fn dominates_requires_pointwise_geq() {
+        let a = TipList::from(vec![Height(5), Height(6), Height(5)]);
+        let b = TipList::from(vec![Height(5), Height(5), Height(5)]);
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(a.dominates(&a));
+        let short = TipList::from(vec![Height(9)]);
+        assert!(!a.dominates(&short)); // mismatched lengths never dominate
+    }
+
+    #[test]
+    fn merge_takes_pointwise_max() {
+        let mut a = TipList::from(vec![Height(1), Height(7)]);
+        let b = TipList::from(vec![Height(3), Height(2)]);
+        a.merge(&b);
+        assert_eq!(a.heights(), &[Height(3), Height(7)]);
+    }
+
+    #[test]
+    fn paper_example_cut() {
+        // Fig. 1: node 1 is leader among 4 nodes (f = 1). The tip-list
+        // matrix gives per-chain acked heights; the cut is the height known
+        // to the fastest n_c - f = 3 nodes.
+        // Chain 1 acked by nodes [5, 5, 5, 4] -> cut 5.
+        assert_eq!(
+            quorum_cut_height(&[Height(5), Height(5), Height(5), Height(4)], 1),
+            Height(5)
+        );
+        // Chain 3 acked by [5, 4, 5, 3] -> third largest is 4.
+        assert_eq!(
+            quorum_cut_height(&[Height(5), Height(4), Height(5), Height(3)], 1),
+            Height(4)
+        );
+    }
+
+    #[test]
+    fn cut_with_f_zero_is_minimum() {
+        assert_eq!(
+            quorum_cut_height(&[Height(9), Height(2), Height(5)], 0),
+            Height(2)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than the node count")]
+    fn cut_rejects_large_f() {
+        quorum_cut_height(&[Height(1)], 1);
+    }
+
+    #[test]
+    fn wire_size_counts_heights() {
+        assert_eq!(TipList::new(4).wire_size(), 32);
+    }
+
+    #[test]
+    fn iter_yields_pairs() {
+        let t = TipList::from(vec![Height(1), Height(2)]);
+        let v: Vec<_> = t.iter().collect();
+        assert_eq!(
+            v,
+            vec![(ChainId(0), Height(1)), (ChainId(1), Height(2))]
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Wire-size model.
+//!
+//! The simulator charges bandwidth by message size, so every type that
+//! crosses the network reports the size it would have in a compact binary
+//! encoding. Constants here keep that model in one place.
+
+/// Bytes of a SHA-256 digest on the wire.
+pub const HASH_WIRE: usize = 32;
+
+/// Bytes of a signature on the wire (Ed25519-sized).
+pub const SIG_WIRE: usize = 64;
+
+/// Bytes of a height / sequence number.
+pub const U64_WIRE: usize = 8;
+
+/// Bytes of a chain / node / client id.
+pub const U32_WIRE: usize = 4;
+
+/// Default transaction size used by the paper's evaluation (512 bytes).
+pub const DEFAULT_TX_SIZE: usize = 512;
+
+/// Default transactions per bundle in the paper's evaluation (50).
+pub const DEFAULT_BUNDLE_SIZE: usize = 50;
+
+/// Default transactions per batch/block for vanilla PBFT/HotStuff in the
+/// paper's evaluation (800).
+pub const DEFAULT_BATCH_SIZE: usize = 800;
+
+/// Small fixed framing overhead charged per message (type tag, lengths).
+pub const FRAME_OVERHEAD: usize = 16;
+
+/// Types that occupy bandwidth on the simulated wire.
+pub trait WireSize {
+    /// Encoded size in bytes.
+    fn wire_size(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        assert_eq!(DEFAULT_TX_SIZE, 512);
+        assert_eq!(DEFAULT_BUNDLE_SIZE, 50);
+        assert_eq!(DEFAULT_BATCH_SIZE, 800);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests for tip lists, the cut rule, and bundle integrity.
+
+use proptest::prelude::*;
+use predis_crypto::{Hash, Keypair, SignerId};
+use predis_types::{
+    quorum_cut_height, Bundle, ChainId, ClientId, Height, TipList, Transaction, TxId,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// merge is the lattice join: the result dominates both inputs and is
+    /// the least such list.
+    #[test]
+    fn merge_is_join(
+        a in proptest::collection::vec(0u64..100, 4),
+        b in proptest::collection::vec(0u64..100, 4),
+    ) {
+        let ta = TipList::from(a.iter().map(|&h| Height(h)).collect::<Vec<_>>());
+        let tb = TipList::from(b.iter().map(|&h| Height(h)).collect::<Vec<_>>());
+        let mut m = ta.clone();
+        m.merge(&tb);
+        prop_assert!(m.dominates(&ta));
+        prop_assert!(m.dominates(&tb));
+        // Least upper bound: every entry equals one of the inputs'.
+        for (i, &h) in m.heights().iter().enumerate() {
+            prop_assert!(h == ta.get(ChainId(i as u32)) || h == tb.get(ChainId(i as u32)));
+        }
+    }
+
+    /// dominates is a partial order: reflexive and antisymmetric.
+    #[test]
+    fn dominates_partial_order(
+        a in proptest::collection::vec(0u64..20, 4),
+        b in proptest::collection::vec(0u64..20, 4),
+    ) {
+        let ta = TipList::from(a.iter().map(|&h| Height(h)).collect::<Vec<_>>());
+        let tb = TipList::from(b.iter().map(|&h| Height(h)).collect::<Vec<_>>());
+        prop_assert!(ta.dominates(&ta));
+        if ta.dominates(&tb) && tb.dominates(&ta) {
+            prop_assert_eq!(ta.heights(), tb.heights());
+        }
+    }
+
+    /// The cut is monotone: improving any acknowledgement never lowers it.
+    #[test]
+    fn cut_is_monotone(
+        acks in proptest::collection::vec(0u64..50, 4..16),
+        bump_idx in any::<u16>(),
+        bump in 1u64..10,
+    ) {
+        let f = (acks.len() - 1) / 3;
+        let hs: Vec<Height> = acks.iter().map(|&h| Height(h)).collect();
+        let before = quorum_cut_height(&hs, f);
+        let mut bumped = hs.clone();
+        let i = bump_idx as usize % bumped.len();
+        bumped[i] = Height(bumped[i].0 + bump);
+        let after = quorum_cut_height(&bumped, f);
+        prop_assert!(after >= before);
+    }
+
+    /// Bundle build/verify roundtrips and any body tampering is caught.
+    #[test]
+    fn bundle_integrity(n_txs in 0usize..20, tamper in any::<u16>()) {
+        let key = Keypair::for_node(SignerId(2));
+        let txs: Vec<Transaction> = (0..n_txs as u64)
+            .map(|i| Transaction::new(TxId(i), ClientId(0), 0))
+            .collect();
+        let bundle = Bundle::build(
+            ChainId(2), Height(1), Hash::ZERO, TipList::new(4), txs, Hash::ZERO, &key,
+        );
+        prop_assert!(bundle.verify());
+        if n_txs > 0 {
+            let mut bad = bundle.clone();
+            let i = tamper as usize % n_txs;
+            bad.txs[i] = Transaction::new(TxId(7777), ClientId(9), 0);
+            prop_assert!(!bad.verify());
+        }
+    }
+}

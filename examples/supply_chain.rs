@@ -1,0 +1,50 @@
+//! A consortium scenario: eight logistics companies run a permissioned
+//! chain over the 4-region WAN. Each company's regional hub is a consensus
+//! node; warehouse clients submit shipment-event transactions at different
+//! rates. The example sweeps offered load to find the knee of the
+//! throughput–latency curve for P-PBFT versus vanilla PBFT — the capacity
+//! planning question a real adopter would ask.
+//!
+//! ```sh
+//! cargo run --release --example supply_chain
+//! ```
+
+use predis::experiments::{NetEnv, Protocol, ThroughputSetup};
+
+fn main() {
+    println!("supply-chain consortium: 8 hubs, 512 B shipment events, WAN\n");
+    println!(
+        "{:>10} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "offered", "protocol", "tps", "mean_ms", "p99_ms", "goodput%"
+    );
+    for &offered in &[2_000.0f64, 8_000.0, 16_000.0, 28_000.0] {
+        for protocol in [Protocol::PPbft, Protocol::Pbft] {
+            let s = ThroughputSetup {
+                protocol,
+                n_c: 8,
+                clients: 16,
+                offered_tps: offered,
+                env: NetEnv::Wan,
+                duration_secs: 12,
+                warmup_secs: 4,
+                seed: 77,
+                ..Default::default()
+            }
+            .run();
+            println!(
+                "{:>10.0} {:>12} {:>10.0} {:>10.1} {:>10.1} {:>9.0}%",
+                offered,
+                protocol.name(),
+                s.throughput_tps,
+                s.mean_latency_ms,
+                s.p99_latency_ms,
+                100.0 * s.throughput_tps / offered
+            );
+        }
+    }
+    println!(
+        "\nreading the knee: P-PBFT keeps ~100% goodput far past the load \
+         where vanilla PBFT saturates, because shipment events are \
+         pre-distributed in bundles and blocks confirm them by reference."
+    );
+}

@@ -1,0 +1,244 @@
+//! Full-stack integration: every paper protocol commits through the public
+//! facade; the Fig. 7 star/Multi-Zone crossover holds; experiments are
+//! deterministic end to end.
+
+use predis::experiments::{
+    DistMode, NetEnv, PropagationSetup, Protocol, ThroughputSetup, Topology, TopologySetup,
+};
+use predis::model::{predis_tps, ModelInputs};
+use predis::sim::SimDuration;
+
+fn quick(protocol: Protocol, env: NetEnv, seed: u64) -> ThroughputSetup {
+    ThroughputSetup {
+        protocol,
+        n_c: 4,
+        clients: 4,
+        offered_tps: 2_000.0,
+        env,
+        duration_secs: 6,
+        warmup_secs: 2,
+        seed,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn every_protocol_commits_in_both_environments() {
+    for env in [NetEnv::Lan, NetEnv::Wan] {
+        for protocol in [
+            Protocol::Pbft,
+            Protocol::PPbft,
+            Protocol::HotStuff,
+            Protocol::PHs,
+            Protocol::Narwhal,
+            Protocol::Stratus,
+        ] {
+            let s = quick(protocol, env, 3).run();
+            assert!(
+                s.throughput_tps > 1_200.0,
+                "{} in {env:?}: only {:.0} tps at 2k offered",
+                protocol.name(),
+                s.throughput_tps
+            );
+            assert!(
+                s.mean_latency_ms.is_finite() && s.mean_latency_ms > 0.0,
+                "{} in {env:?}: bad latency {}",
+                protocol.name(),
+                s.mean_latency_ms
+            );
+        }
+    }
+}
+
+#[test]
+fn predis_latency_beats_certificate_mempools() {
+    // Fig. 5's latency ordering: Predis < Stratus < Narwhal (fewer
+    // certificate round-trips before a microblock is proposable).
+    let phs = quick(Protocol::PHs, NetEnv::Wan, 5).run();
+    let stratus = quick(Protocol::Stratus, NetEnv::Wan, 5).run();
+    let narwhal = quick(Protocol::Narwhal, NetEnv::Wan, 5).run();
+    assert!(
+        phs.mean_latency_ms < narwhal.mean_latency_ms,
+        "Predis {:.0} ms should beat Narwhal {:.0} ms",
+        phs.mean_latency_ms,
+        narwhal.mean_latency_ms
+    );
+    assert!(
+        stratus.mean_latency_ms <= narwhal.mean_latency_ms * 1.05,
+        "Stratus {:.0} ms should not exceed Narwhal {:.0} ms",
+        stratus.mean_latency_ms,
+        narwhal.mean_latency_ms
+    );
+}
+
+#[test]
+fn fig7_crossover_star_vs_multizone() {
+    let run = |mode, fulls| {
+        TopologySetup {
+            n_c: 4,
+            full_nodes: fulls,
+            mode,
+            duration_secs: 10,
+            warmup_secs: 4,
+            seed: 5,
+            ..Default::default()
+        }
+        .run()
+        .throughput_tps
+    };
+    // Few full nodes: star's direct pushes are cheap.
+    let star_small = run(DistMode::Star, 8);
+    let mz_small = run(DistMode::MultiZone { zones: 12 }, 8);
+    // Many full nodes: star pays per node, Multi-Zone stays O(n_c).
+    let star_big = run(DistMode::Star, 48);
+    let mz_big = run(DistMode::MultiZone { zones: 12 }, 48);
+    assert!(
+        star_small > mz_small,
+        "at 8 full nodes star ({star_small:.0}) should beat multizone ({mz_small:.0})"
+    );
+    assert!(
+        mz_big > 1.3 * star_big,
+        "at 48 full nodes multizone ({mz_big:.0}) should clearly beat star ({star_big:.0})"
+    );
+    // Multi-Zone's throughput must not collapse as full nodes grow.
+    assert!(
+        mz_big > 0.5 * mz_small,
+        "multizone must stay roughly flat: {mz_small:.0} -> {mz_big:.0}"
+    );
+}
+
+#[test]
+fn saturated_predis_tracks_analytic_model() {
+    // A saturated P-PBFT run should land within a reasonable fraction of
+    // the Eq. 2 upper bound (the paper lists why it can't be reached:
+    // quorum pre-condition, voting/reply bandwidth, implementation).
+    let s = ThroughputSetup {
+        protocol: Protocol::PPbft,
+        n_c: 4,
+        clients: 8,
+        offered_tps: 50_000.0,
+        env: NetEnv::Lan,
+        duration_secs: 10,
+        warmup_secs: 4,
+        seed: 17,
+        ..Default::default()
+    }
+    .run();
+    let bound = predis_tps(ModelInputs::paper_default(4));
+    assert!(
+        s.throughput_tps < bound,
+        "simulation ({:.0}) cannot exceed the Eq.2 bound ({bound:.0})",
+        s.throughput_tps
+    );
+    assert!(
+        s.throughput_tps > 0.5 * bound,
+        "simulation ({:.0}) should reach >50% of the Eq.2 bound ({bound:.0})",
+        s.throughput_tps
+    );
+}
+
+#[test]
+fn experiments_are_deterministic() {
+    let a = quick(Protocol::PPbft, NetEnv::Wan, 123).run();
+    let b = quick(Protocol::PPbft, NetEnv::Wan, 123).run();
+    assert_eq!(a.committed_txs, b.committed_txs);
+    assert_eq!(a.p99_latency_ms, b.p99_latency_ms);
+
+    let p = PropagationSetup {
+        full_nodes: 20,
+        blocks: 2,
+        block_bytes: 2_000_000,
+        interval: SimDuration::from_secs(3),
+        seed: 123,
+        ..Default::default()
+    };
+    let ra = p.run(&Topology::MultiZone { zones: 4 });
+    let rb = p.run(&Topology::MultiZone { zones: 4 });
+    assert_eq!(ra, rb);
+}
+
+#[test]
+fn heterogeneous_bandwidth_tracks_eq2_general_form() {
+    use predis::model::predis_tps_heterogeneous;
+    // One fast node (200 Mbps) among three standard ones: Eq. 2's
+    // heterogeneous form predicts the committee-wide bound.
+    let mbps = vec![200u64, 100, 100, 100];
+    let bound = predis_tps_heterogeneous(
+        &mbps.iter().map(|&m| m * 1_000_000).collect::<Vec<_>>(),
+        512,
+    );
+    let s = ThroughputSetup {
+        protocol: Protocol::PPbft,
+        n_c: 4,
+        clients: 8,
+        offered_tps: 60_000.0,
+        env: NetEnv::Lan,
+        per_node_mbps: mbps,
+        duration_secs: 10,
+        warmup_secs: 4,
+        seed: 29,
+        ..Default::default()
+    }
+    .run();
+    assert!(
+        s.throughput_tps < bound,
+        "sim {:.0} cannot exceed the heterogeneous bound {bound:.0}",
+        s.throughput_tps
+    );
+    assert!(
+        s.throughput_tps > 0.55 * bound,
+        "sim {:.0} should reach a good fraction of {bound:.0}",
+        s.throughput_tps
+    );
+    // And it should exceed the homogeneous-100Mbps committee's capacity.
+    let homo = ThroughputSetup {
+        protocol: Protocol::PPbft,
+        n_c: 4,
+        clients: 8,
+        offered_tps: 60_000.0,
+        env: NetEnv::Lan,
+        duration_secs: 10,
+        warmup_secs: 4,
+        seed: 29,
+        ..Default::default()
+    }
+    .run();
+    assert!(
+        s.throughput_tps > homo.throughput_tps,
+        "a faster member must raise committee throughput: {:.0} vs {:.0}",
+        s.throughput_tps,
+        homo.throughput_tps
+    );
+}
+
+#[test]
+fn locality_zones_cut_wan_propagation_latency() {
+    // §IV-A: zone division "is based on the locality ... of nodes". Over
+    // the 4-region WAN, aligning zones with regions keeps intra-zone
+    // forwarding local and beats scattering each zone across the country.
+    use predis::sim::LatencyModel;
+    let base = PropagationSetup {
+        n_c: 8,
+        full_nodes: 48,
+        block_bytes: 5_000_000,
+        interval: SimDuration::from_secs(5),
+        blocks: 4,
+        latency: LatencyModel::cn_wan(),
+        seed: 33,
+        ..Default::default()
+    };
+    let scattered = base.run(&Topology::MultiZone { zones: 4 });
+    let local = PropagationSetup {
+        locality_zones: true,
+        ..base
+    }
+    .run(&Topology::MultiZone { zones: 4 });
+    assert_eq!(local.complete_blocks, 4);
+    assert_eq!(scattered.complete_blocks, 4);
+    assert!(
+        local.to_100_ms < scattered.to_100_ms,
+        "locality zones ({:.0} ms) should beat scattered zones ({:.0} ms)",
+        local.to_100_ms,
+        scattered.to_100_ms
+    );
+}

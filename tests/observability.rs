@@ -1,0 +1,97 @@
+//! Observability plumbing end-to-end: event tracing and throughput series
+//! work on real consensus runs.
+
+use predis::consensus::planes::PredisPlane;
+use predis::consensus::{ClientCore, ConsMsg, ConsensusConfig, PbftNode, Roster};
+use predis::sim::prelude::*;
+use predis::sim::TraceKind;
+use predis::types::ClientId;
+
+fn run_traced(seed: u64) -> Sim<ConsMsg> {
+    let n_c = 4usize;
+    let network = Network::new(LatencyModel::lan(), SimDuration::ZERO);
+    let mut sim: Sim<ConsMsg> = Sim::new(seed, network);
+    sim.enable_trace(4096);
+    let cons: Vec<NodeId> = (0..n_c as u32).map(NodeId).collect();
+    let clients = vec![NodeId(n_c as u32)];
+    let roster = Roster::new(cons, clients);
+    let cfg = ConsensusConfig::default().paced_production(n_c, 512, 100_000_000);
+    for me in 0..n_c {
+        sim.add_node(
+            LinkConfig::paper_default(),
+            Box::new(ActorOf::<_, ConsMsg>::new(PbftNode::new(
+                me,
+                roster.clone(),
+                cfg.clone(),
+                PredisPlane::new(me, roster.clone(), cfg.clone()),
+            ))),
+            SimTime::ZERO,
+        );
+    }
+    let client = ClientCore::new(ClientId(0), roster.clone(), 2_000.0, 512);
+    sim.add_node(
+        LinkConfig::paper_default(),
+        Box::new(ActorOf::<_, ConsMsg>::new(client)),
+        SimTime::ZERO,
+    );
+    sim.run_until(SimTime::from_secs(5));
+    sim
+}
+
+#[test]
+fn trace_captures_consensus_traffic() {
+    let sim = run_traced(101);
+    let trace = sim.trace().expect("tracing enabled");
+    // A busy consensus run generates plenty of deliveries and timers, and
+    // the counters agree with the metrics sink's message count.
+    assert!(trace.deliveries > 1_000, "deliveries: {}", trace.deliveries);
+    assert!(trace.timers > 500, "timers: {}", trace.timers);
+    assert_eq!(trace.drops, sim.metrics().counter("net.dropped"));
+    // Every sent message is delivered or dropped, except the handful still
+    // in flight when the horizon cut the run.
+    let sent = sim.metrics().counter("net.messages");
+    let accounted = trace.deliveries + sim.metrics().counter("net.dropped");
+    assert!(accounted <= sent);
+    assert!(
+        sent - accounted < 500,
+        "too many unaccounted messages: {} of {}",
+        sent - accounted,
+        sent
+    );
+    // The ring holds the most recent events and renders to text.
+    assert_eq!(trace.retained(), 4096);
+    let rendered = trace.render();
+    assert!(rendered.lines().count() == 4096);
+    assert!(rendered.contains("<-"));
+    // Deliveries to a specific node are filterable.
+    assert!(trace.events_on(NodeId(0)).count() > 0);
+    // Trace entries are time-ordered.
+    let mut last = SimTime::ZERO;
+    for e in trace.events() {
+        assert!(e.at >= last);
+        last = e.at;
+    }
+    // Delivered bytes dominated by bundles (25 KB each).
+    assert!(trace.delivered_bytes > 1_000_000);
+    let _ = TraceKind::Deliver; // type re-exported for users
+}
+
+#[test]
+fn throughput_series_reflects_commit_cadence() {
+    let sim = run_traced(103);
+    let series = sim
+        .metrics()
+        .throughput_series(SimDuration::from_millis(500), SimTime::from_secs(5));
+    assert_eq!(series.len(), 10);
+    // After the first bucket the committee sustains the 2k offered load.
+    let tail_mean: f64 = series[2..].iter().sum::<f64>() / 8.0;
+    assert!(
+        (1_500.0..2_500.0).contains(&tail_mean),
+        "tail mean {tail_mean:.0} tx/s, series {series:?}"
+    );
+    let stable = sim
+        .metrics()
+        .stable_from(SimDuration::from_millis(500), SimTime::from_secs(5), 0.25)
+        .expect("a fixed-rate run settles");
+    assert!(stable <= 3, "stabilized late: bucket {stable}");
+}

@@ -1,0 +1,179 @@
+//! Safety properties of Predis (Theorems 3.1–3.3), checked with
+//! property-based adversarial schedules.
+
+use proptest::prelude::*;
+
+use predis::crypto::{Hash, Keypair, SignerId};
+use predis::mempool::{InsertOutcome, Mempool};
+use predis::types::{
+    quorum_cut_height, Bundle, ChainId, ClientId, Height, TipList, Transaction, TxId, View,
+};
+
+const N: usize = 4;
+const F: usize = 1;
+
+/// Builds the full bundle grid (every chain up to `heights`) with fully
+/// acknowledging tip lists.
+fn bundle_grid(heights: u64) -> Vec<Bundle> {
+    let mut reference = Mempool::new(N, F, None);
+    let mut out = Vec::new();
+    let mut tx = 0u64;
+    for h in 1..=heights {
+        for c in 0..N as u32 {
+            let parent = reference
+                .chain(ChainId(c))
+                .hash_at(Height(h - 1))
+                .expect("parent");
+            let txs: Vec<Transaction> = (0..5)
+                .map(|_| {
+                    tx += 1;
+                    Transaction::new(TxId(tx), ClientId(0), 0)
+                })
+                .collect();
+            let b = Bundle::build(
+                ChainId(c),
+                Height(h),
+                parent,
+                TipList::from(vec![Height(h); N]),
+                txs,
+                Hash::ZERO,
+                &Keypair::for_node(SignerId(c)),
+            );
+            reference.insert_bundle(b.clone()).expect("valid");
+            out.push(b);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 3.3: whatever order (and duplication) bundles arrive in, two
+    /// honest nodes that can validate a Predis block reconstruct identical
+    /// candidate blocks.
+    #[test]
+    fn consistent_extraction_under_any_delivery_order(
+        heights in 1u64..5,
+        seed in any::<u64>(),
+        duplicate in proptest::bool::ANY,
+    ) {
+        let bundles = bundle_grid(heights);
+
+        // Leader receives in canonical order and cuts.
+        let mut leader = Mempool::new(N, F, Some(ChainId(0)));
+        for b in &bundles {
+            leader.insert_bundle(b.clone()).unwrap();
+        }
+        let base = leader.committed_base();
+        let block = leader
+            .build_block(View(1), Hash::ZERO, &base, &Keypair::for_node(SignerId(0)))
+            .expect("non-empty");
+
+        // Replica receives a shuffled (possibly duplicated) stream.
+        let mut order: Vec<usize> = (0..bundles.len()).collect();
+        // Deterministic Fisher-Yates from the seed.
+        let mut state = seed | 1;
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        let mut replica = Mempool::new(N, F, Some(ChainId(1)));
+        for &i in &order {
+            let _ = replica.insert_bundle(bundles[i].clone());
+            if duplicate {
+                // Duplicates must never change state.
+                let _ = replica.insert_bundle(bundles[i].clone());
+            }
+        }
+        replica.validate_block(&block, &base).expect("same data, must validate");
+        prop_assert_eq!(
+            leader.extract_txs(&block).unwrap(),
+            replica.extract_txs(&block).unwrap()
+        );
+    }
+
+    /// The cut rule never cuts above what a quorum acknowledged: for any
+    /// ack vector, at least `n_c − f` entries are ≥ the cut height.
+    #[test]
+    fn cut_height_is_quorum_supported(acks in proptest::collection::vec(0u64..50, 4..40)) {
+        let f = (acks.len() - 1) / 3;
+        let heights: Vec<Height> = acks.iter().map(|&h| Height(h)).collect();
+        let cut = quorum_cut_height(&heights, f);
+        let supporters = heights.iter().filter(|&&h| h >= cut).count();
+        prop_assert!(supporters >= heights.len() - f,
+            "cut {cut:?} supported by only {supporters} of {}", heights.len());
+        // And it is the *highest* such height: cutting one higher would lose
+        // quorum (unless everything is equal).
+        let above = heights.iter().filter(|&&h| h > cut).count();
+        prop_assert!(above < heights.len() - f);
+    }
+
+    /// Theorem 3.1/3.2 surface: tampering with any transaction of any
+    /// bundle in a slice changes the block's transaction root.
+    #[test]
+    fn tx_root_pins_slice_content(heights in 1u64..4, victim in 0usize..8) {
+        let bundles = bundle_grid(heights);
+        let mut leader = Mempool::new(N, F, Some(ChainId(0)));
+        for b in &bundles {
+            leader.insert_bundle(b.clone()).unwrap();
+        }
+        let base = leader.committed_base();
+        let block = leader
+            .build_block(View(1), Hash::ZERO, &base, &Keypair::for_node(SignerId(0)))
+            .unwrap();
+
+        // A replica whose victim bundle was swapped for a forged sibling
+        // cannot validate the block (signature check inside insert, header
+        // hash mismatch, or tx root mismatch catches it).
+        let victim = victim % bundles.len();
+        let mut forged = bundles.clone();
+        let original = &bundles[victim];
+        let c = original.header.chain;
+        forged[victim] = Bundle::build(
+            c,
+            original.header.height,
+            original.header.parent,
+            original.header.tips.clone(),
+            vec![Transaction::new(TxId(999_999), ClientId(9), 0)],
+            Hash::ZERO,
+            &Keypair::for_node(SignerId(c.0)),
+        );
+        let mut replica = Mempool::new(N, F, Some(ChainId(1)));
+        let mut conflict_detected = false;
+        for b in &forged {
+            if let Ok(InsertOutcome::Conflict(_)) = replica.insert_bundle(b.clone()) {
+                conflict_detected = true;
+            }
+        }
+        let verdict = replica.validate_block(&block, &base);
+        prop_assert!(
+            verdict.is_err() || conflict_detected,
+            "a replica holding forged content must not silently validate"
+        );
+    }
+}
+
+/// Deterministic unit check of the Fig. 1 worked example.
+#[test]
+fn fig1_worked_example() {
+    // Tip-list matrix from Fig. 1 (rows = observers' latest tip lists).
+    let matrix = [
+        [5u64, 6, 5, 5], // from bdl_1_5
+        [5, 6, 4, 4],    // from bdl_2_6
+        [5, 5, 4, 4],    // from bdl_3_5
+        [4, 5, 5, 4],    // from bdl_4_5
+    ];
+    // Leader node 1 holds everything it has seen; the paper's resulting
+    // cut is [5, 5, 4, 4].
+    let expected = [5u64, 5, 4, 4];
+    for chain in 0..4 {
+        let acks: Vec<Height> = (0..4).map(|node| Height(matrix[node][chain])).collect();
+        assert_eq!(
+            quorum_cut_height(&acks, 1),
+            Height(expected[chain]),
+            "chain {chain}"
+        );
+    }
+}
