@@ -11,10 +11,11 @@
 //! Usage: `cargo run -p predis-bench --release --bin ablation`
 
 use predis::experiments::{NetEnv, Protocol, ThroughputSetup};
-use predis_bench::{f0, f1, print_table};
+use predis_bench::{emit_report, f0, f1, print_table};
 use predis_erasure::ReedSolomon;
+use predis_telemetry::RunReport;
 
-fn run(protocol: Protocol, mbps: u64, pipeline: usize) -> predis::RunSummary {
+fn run(protocol: Protocol, mbps: u64, pipeline: usize) -> RunReport {
     let mut s = ThroughputSetup {
         protocol,
         n_c: 4,
@@ -31,21 +32,32 @@ fn run(protocol: Protocol, mbps: u64, pipeline: usize) -> predis::RunSummary {
     // scaling batch size for the pipeline ablation instead.
     let _ = pipeline;
     s.batch_size = 800;
-    s.run()
+    s.run_report(&format!(
+        "ablation_{}_{mbps}mbps",
+        protocol.name().to_ascii_lowercase().replace('-', "")
+    ))
+}
+
+fn tps(r: &RunReport) -> f64 {
+    r.metric("throughput_tps").unwrap_or(f64::NAN)
 }
 
 fn main() {
     // ---- 1. bandwidth-model ablation ----
     let mut rows = Vec::new();
+    let mut showcase = None;
     for mbps in [100u64, 1_000, 10_000] {
         let pbft = run(Protocol::Pbft, mbps, 8);
         let ppbft = run(Protocol::PPbft, mbps, 8);
         rows.push(vec![
             format!("{mbps} Mbps"),
-            f0(pbft.throughput_tps),
-            f0(ppbft.throughput_tps),
-            format!("{:.1}x", ppbft.throughput_tps / pbft.throughput_tps.max(1.0)),
+            f0(tps(&pbft)),
+            f0(tps(&ppbft)),
+            format!("{:.1}x", tps(&ppbft) / tps(&pbft).max(1.0)),
         ]);
+        if mbps == 100 {
+            showcase = Some(ppbft);
+        }
     }
     print_table(
         "Ablation 1: Predis advantage vs uplink bandwidth (saturating load)",
@@ -104,11 +116,12 @@ fn main() {
             seed: 23,
             ..Default::default()
         }
-        .run();
+        .run_report(&format!("ablation_bundle{bundle_size}"));
+        let m = |k: &str| s.metric(k).unwrap_or(f64::NAN);
         rows.push(vec![
             bundle_size.to_string(),
-            f0(s.throughput_tps),
-            f1(s.mean_latency_ms),
+            f0(m("throughput_tps")),
+            f1(m("mean_latency_ms")),
         ]);
     }
     print_table(
@@ -116,4 +129,7 @@ fn main() {
         &["bundle_size", "tps", "mean_ms"],
         &rows,
     );
+    if let Some(report) = showcase {
+        emit_report(&report);
+    }
 }

@@ -7,7 +7,12 @@
 //! Usage: `cargo run -p predis-bench --release --bin fig4 [--quick]`
 
 use predis::experiments::{NetEnv, Protocol, ThroughputSetup};
-use predis_bench::{f0, f1, print_table};
+use predis_bench::{emit_report, f0, f1, print_table};
+use predis_telemetry::RunReport;
+
+fn metric(r: &RunReport, key: &str) -> f64 {
+    r.metric(key).unwrap_or(f64::NAN)
+}
 
 fn run(
     protocol: Protocol,
@@ -16,7 +21,12 @@ fn run(
     batch: usize,
     load: f64,
     secs: u64,
-) -> predis::RunSummary {
+) -> RunReport {
+    let name = format!(
+        "fig4_{}_nc{n_c}_load{}",
+        protocol.name().to_ascii_lowercase().replace('-', ""),
+        load as u64
+    );
     ThroughputSetup {
         protocol,
         n_c,
@@ -30,7 +40,7 @@ fn run(
         seed: 42,
         ..Default::default()
     }
-    .run()
+    .run_report(&name)
 }
 
 fn main() {
@@ -63,9 +73,9 @@ fn main() {
                         format!("batch={p}")
                     },
                     f0(load),
-                    f0(s.throughput_tps),
-                    f1(s.mean_latency_ms),
-                    f1(s.p99_latency_ms),
+                    f0(metric(&s, "throughput_tps")),
+                    f1(metric(&s, "mean_latency_ms")),
+                    f1(metric(&s, "p99_latency_ms")),
                 ]);
             }
         }
@@ -78,6 +88,7 @@ fn main() {
 
     // ---- Fig. 4 (c,d): scalability in n_c ----
     let mut rows = Vec::new();
+    let mut showcase = None;
     for proto in [Protocol::Pbft, Protocol::PPbft, Protocol::HotStuff, Protocol::PHs] {
         for n_c in [4usize, 8, 16] {
             // Measure saturated throughput: offered load well above capacity.
@@ -85,9 +96,12 @@ fn main() {
             rows.push(vec![
                 proto.name().to_string(),
                 n_c.to_string(),
-                f0(s.throughput_tps),
-                f1(s.mean_latency_ms),
+                f0(metric(&s, "throughput_tps")),
+                f1(metric(&s, "mean_latency_ms")),
             ]);
+            if proto == Protocol::PPbft && n_c == 4 {
+                showcase = Some(s);
+            }
         }
     }
     print_table(
@@ -95,4 +109,7 @@ fn main() {
         &["protocol", "n_c", "tps", "mean_ms"],
         &rows,
     );
+    if let Some(report) = showcase {
+        emit_report(&report);
+    }
 }

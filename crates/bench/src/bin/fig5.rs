@@ -7,7 +7,7 @@
 //! Usage: `cargo run -p predis-bench --release --bin fig5 [--quick]`
 
 use predis::experiments::{NetEnv, Protocol, ThroughputSetup};
-use predis_bench::{f0, f1, print_table};
+use predis_bench::{emit_report, f0, f1, print_table};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -18,10 +18,19 @@ fn main() {
         &[2_000.0, 5_000.0, 10_000.0, 20_000.0, 30_000.0, 40_000.0]
     };
 
+    let mut showcase = None;
     for env in [NetEnv::Wan, NetEnv::Lan] {
         let mut rows = Vec::new();
         for proto in [Protocol::PHs, Protocol::Narwhal, Protocol::Stratus] {
             for &load in loads {
+                let name = if proto == Protocol::PHs { "Predis" } else { proto.name() };
+                let report_name = format!(
+                    "fig5_{}_{:?}_load{}",
+                    name.to_ascii_lowercase(),
+                    env,
+                    load as u64
+                )
+                .to_ascii_lowercase();
                 let s = ThroughputSetup {
                     protocol: proto,
                     n_c: 4,
@@ -34,15 +43,18 @@ fn main() {
                     seed: 7,
                     ..Default::default()
                 }
-                .run();
-                let name = if proto == Protocol::PHs { "Predis" } else { proto.name() };
+                .run_report(&report_name);
+                let m = |k: &str| s.metric(k).unwrap_or(f64::NAN);
                 rows.push(vec![
                     name.to_string(),
                     f0(load),
-                    f0(s.throughput_tps),
-                    f1(s.mean_latency_ms),
-                    f1(s.p99_latency_ms),
+                    f0(m("throughput_tps")),
+                    f1(m("mean_latency_ms")),
+                    f1(m("p99_latency_ms")),
                 ]);
+                if proto == Protocol::PHs && env == NetEnv::Wan {
+                    showcase = Some(s);
+                }
             }
         }
         let title = match env {
@@ -54,5 +66,8 @@ fn main() {
             &["protocol", "offered", "tps", "mean_ms", "p99_ms"],
             &rows,
         );
+    }
+    if let Some(report) = showcase {
+        emit_report(&report);
     }
 }

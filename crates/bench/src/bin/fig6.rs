@@ -9,9 +9,10 @@
 //! Usage: `cargo run -p predis-bench --release --bin fig6 [--quick]`
 
 use predis::experiments::{FaultSpec, NetEnv, Protocol, ThroughputSetup};
-use predis_bench::{f0, f1, print_table};
+use predis_bench::{emit_report, f0, f1, print_table};
+use predis_telemetry::RunReport;
 
-fn run(faults: FaultSpec, secs: u64) -> predis::RunSummary {
+fn run(faults: FaultSpec, secs: u64, name: &str) -> RunReport {
     ThroughputSetup {
         protocol: Protocol::PPbft,
         n_c: 8,
@@ -24,7 +25,11 @@ fn run(faults: FaultSpec, secs: u64) -> predis::RunSummary {
         faults,
         ..Default::default()
     }
-    .run()
+    .run_report(name)
+}
+
+fn metric(r: &RunReport, key: &str) -> f64 {
+    r.metric(key).unwrap_or(f64::NAN)
 }
 
 fn main() {
@@ -33,12 +38,13 @@ fn main() {
     let f_max = 2; // n_c = 8 -> f = 2
 
     let mut rows = Vec::new();
-    let normal = run(FaultSpec::none(), secs);
+    let normal = run(FaultSpec::none(), secs, "fig6_normal");
+    let normal_tps = metric(&normal, "throughput_tps");
     rows.push(vec![
         "normal".into(),
         "0".into(),
-        f0(normal.throughput_tps),
-        f1(normal.mean_latency_ms),
+        f0(normal_tps),
+        f1(metric(&normal, "mean_latency_ms")),
         "1.00".into(),
     ]);
     for f in 1..=f_max {
@@ -47,26 +53,26 @@ fn main() {
             silent: (8 - f..8).collect(),
             selective: vec![],
         };
-        let s = run(silent, secs);
+        let s = run(silent, secs, &format!("fig6_case1_f{f}"));
         rows.push(vec![
             "case1-silent".into(),
             f.to_string(),
-            f0(s.throughput_tps),
-            f1(s.mean_latency_ms),
-            format!("{:.2}", s.throughput_tps / normal.throughput_tps),
+            f0(metric(&s, "throughput_tps")),
+            f1(metric(&s, "mean_latency_ms")),
+            format!("{:.2}", metric(&s, "throughput_tps") / normal_tps),
         ]);
         // Case 2: selective senders that never vote.
         let selective = FaultSpec {
             silent: vec![],
             selective: (8 - f..8).collect(),
         };
-        let s = run(selective, secs);
+        let s = run(selective, secs, &format!("fig6_case2_f{f}"));
         rows.push(vec![
             "case2-selective".into(),
             f.to_string(),
-            f0(s.throughput_tps),
-            f1(s.mean_latency_ms),
-            format!("{:.2}", s.throughput_tps / normal.throughput_tps),
+            f0(metric(&s, "throughput_tps")),
+            f1(metric(&s, "mean_latency_ms")),
+            format!("{:.2}", metric(&s, "throughput_tps") / normal_tps),
         ]);
     }
     print_table(
@@ -74,4 +80,5 @@ fn main() {
         &["scenario", "f", "tps", "mean_ms", "vs_normal"],
         &rows,
     );
+    emit_report(&normal);
 }

@@ -8,7 +8,7 @@
 //! Usage: `cargo run -p predis-bench --release --bin fig7 [--quick]`
 
 use predis::experiments::{DistMode, TopologySetup};
-use predis_bench::{f0, print_table};
+use predis_bench::{emit_report, f0, print_table};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -23,7 +23,7 @@ fn main() {
         (DistMode::MultiZone { zones: 12 }, "multizone-12"),
     ] {
         for &fulls in full_counts {
-            let r = TopologySetup {
+            let setup = TopologySetup {
                 n_c: 4,
                 full_nodes: fulls,
                 mode,
@@ -31,14 +31,17 @@ fn main() {
                 warmup_secs: secs / 3,
                 seed: 5,
                 ..Default::default()
-            }
-            .run();
+            };
+            let (r, sim) = setup.run_with_sim();
             rows.push(vec![
                 label.to_string(),
                 fulls.to_string(),
                 f0(r.throughput_tps),
                 (r.consensus_upload_bytes / 1_000_000).to_string(),
             ]);
+            if matches!(mode, DistMode::MultiZone { zones: 12 }) && fulls == *full_counts.last().unwrap() {
+                emit_report(&setup.report(&r, &sim, &format!("fig7_{label}_fulls{fulls}")));
+            }
         }
     }
     print_table(

@@ -8,7 +8,7 @@
 use predis::experiments::{PropagationSetup, Topology};
 use predis::sim::{LatencyModel, SimDuration};
 use predis::multizone::FegConfig;
-use predis_bench::{f1, print_table};
+use predis_bench::{emit_report, f1, print_table};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -50,7 +50,7 @@ fn main() {
                 locality_zones: false,
                 seed: 3,
             };
-            let r = setup.run(topo);
+            let (r, sim) = setup.run_with_sim(topo);
             rows.push(vec![
                 format!("{mb}MB"),
                 label.to_string(),
@@ -59,6 +59,9 @@ fn main() {
                 f1(r.to_100_ms),
                 format!("{}/{}", r.complete_blocks, r.produced_blocks),
             ]);
+            if *label == "multizone-12" && mb == *sizes_mb.last().unwrap() {
+                emit_report(&setup.report(&r, &sim, &format!("fig8_{label}_{mb}mb")));
+            }
         }
     }
     print_table(

@@ -4,6 +4,21 @@
 //! the Criterion benches under `benches/` run scaled-down versions of the
 //! same experiments so `cargo bench` exercises every harness.
 
+use predis_telemetry::RunReport;
+
+/// Directory the figure binaries write their machine-readable reports to.
+pub const RESULTS_DIR: &str = "results";
+
+/// Writes a [`RunReport`] under [`RESULTS_DIR`] and prints its rendered
+/// summary (per-stage bundle-lifecycle percentiles, labeled counters).
+pub fn emit_report(report: &RunReport) {
+    println!("\n{}", report.render());
+    match report.write_to_dir(RESULTS_DIR) {
+        Ok(path) => println!("report written to {}", path.display()),
+        Err(e) => eprintln!("could not write report {}: {e}", report.name),
+    }
+}
+
 /// Prints a fixed-width table with a title (the figures' output format).
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n=== {title} ===");

@@ -90,7 +90,7 @@ impl DataPlane for BatchPlane {
 
     fn make_proposal<M: Codec<ConsMsg>>(
         &mut self,
-        _ctx: &mut NarrowContext<'_, '_, M, ConsMsg>,
+        ctx: &mut NarrowContext<'_, '_, M, ConsMsg>,
         _parent: Hash,
         _view: View,
     ) -> Option<ProposalPayload> {
@@ -106,6 +106,8 @@ impl DataPlane for BatchPlane {
             return None;
         }
         self.note_proposed(&txs);
+        ctx.metrics().incr("batch.proposals_made", 1);
+        ctx.metrics().incr("batch.txs_proposed", txs.len() as u64);
         Some(ProposalPayload::Batch(txs))
     }
 
@@ -147,7 +149,7 @@ impl DataPlane for BatchPlane {
 
     fn commit<M: Codec<ConsMsg>>(
         &mut self,
-        _ctx: &mut NarrowContext<'_, '_, M, ConsMsg>,
+        ctx: &mut NarrowContext<'_, '_, M, ConsMsg>,
         _parent: Hash,
         _id: Hash,
         payload: &ProposalPayload,
@@ -159,6 +161,7 @@ impl DataPlane for BatchPlane {
                     .filter(|tx| self.executed.insert(tx.id))
                     .copied()
                     .collect();
+                ctx.metrics().incr("batch.txs_executed", fresh.len() as u64);
                 Some(fresh)
             }
             _ => Some(Vec::new()),

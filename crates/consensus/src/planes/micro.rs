@@ -18,7 +18,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 
 use predis_crypto::Hash;
 use predis_mempool::TxPool;
-use predis_sim::{Codec, NarrowContext, NodeId, SimTime, TimerTag};
+use predis_sim::{Codec, Labels, NarrowContext, NodeId, SimTime, TimerTag};
 use predis_types::{ChainId, MicroRef, ProposalPayload, Transaction, View};
 
 use crate::config::{timers, ConsensusConfig, Roster};
@@ -199,6 +199,11 @@ impl DataPlane for MicroPlane {
                 };
                 let set = self.acks.entry(*digest).or_default();
                 set.insert(peer);
+                ctx.metrics().incr_labeled(
+                    "micro.acks_received",
+                    Labels::chain(producer.index() as u64),
+                    1,
+                );
                 if set.len() == self.ack_quorum {
                     let txs = self.store.get(digest).map_or(0, |m| m.txs.len() as u32);
                     self.certify(ctx, *digest, ChainId(self.me as u32), txs);
@@ -255,7 +260,7 @@ impl DataPlane for MicroPlane {
 
     fn make_proposal<M: Codec<ConsMsg>>(
         &mut self,
-        _ctx: &mut NarrowContext<'_, '_, M, ConsMsg>,
+        ctx: &mut NarrowContext<'_, '_, M, ConsMsg>,
         _parent: Hash,
         _view: View,
     ) -> Option<ProposalPayload> {
@@ -276,6 +281,7 @@ impl DataPlane for MicroPlane {
         if refs.is_empty() {
             None
         } else {
+            ctx.metrics().incr("micro.digests_proposed", refs.len() as u64);
             Some(ProposalPayload::Digests(refs))
         }
     }

@@ -11,7 +11,7 @@ use predis_crypto::{Hash, Keypair, SignerId};
 use predis_mempool::{
     BlockValidationError, BundleProducer, InsertOutcome, Mempool, TxPool,
 };
-use predis_sim::{Codec, NarrowContext, NodeId, SimTime, TimerTag};
+use predis_sim::{BundleKey, Codec, Labels, NarrowContext, NodeId, SimTime, Stage, TimerTag};
 use predis_types::{Bundle, ChainId, Height, ProposalPayload, Transaction, View};
 use rand::seq::SliceRandom;
 
@@ -185,11 +185,48 @@ impl PredisPlane {
             }
             None => peers,
         };
+        let key = BundleKey {
+            producer: bundle.header.chain.index() as u64,
+            chain: bundle.header.chain.index() as u64,
+            height: bundle.header.height.0,
+        };
+        let is_heartbeat = bundle.txs.is_empty();
         ctx.multicast(targets, ConsMsg::Bundle(Box::new(bundle.clone())));
+        let now = ctx.now();
         ctx.metrics().incr("predis.bundles_produced", 1);
+        if is_heartbeat {
+            ctx.metrics().incr_labeled(
+                "predis.heartbeats",
+                Labels::chain(key.chain),
+                1,
+            );
+        }
+        ctx.metrics().timeline_mark(key, Stage::Produced, now);
+        ctx.metrics().timeline_mark(key, Stage::Multicast, now);
         self.produced.push(bundle);
-        self.last_produced = ctx.now();
+        self.last_produced = now;
         true
+    }
+
+    /// Marks `stage` for every height the cut advances past `base`, one mark
+    /// per (chain, height) bundle slot covered by the block.
+    fn mark_cut_stages<M: Codec<ConsMsg>>(
+        ctx: &mut NarrowContext<'_, '_, M, ConsMsg>,
+        base: &[Height],
+        cut: &[Height],
+        stage: Stage,
+    ) {
+        let now = ctx.now();
+        for (i, (b, c)) in base.iter().zip(cut).enumerate() {
+            for h in b.0 + 1..=c.0 {
+                let key = BundleKey {
+                    producer: i as u64,
+                    chain: i as u64,
+                    height: h,
+                };
+                ctx.metrics().timeline_mark(key, stage, now);
+            }
+        }
     }
 }
 
@@ -240,6 +277,22 @@ impl DataPlane for PredisPlane {
                 match self.mempool.insert_bundle((**bundle).clone()) {
                     Ok(InsertOutcome::Inserted { new_tip, .. }) => {
                         ctx.metrics().incr("predis.bundles_accepted", 1);
+                        let me = ctx.node().index() as u64;
+                        ctx.metrics().incr_labeled(
+                            "mempool.tip_updates",
+                            Labels::node(me).and_chain(chain.index() as u64),
+                            1,
+                        );
+                        let now = ctx.now();
+                        ctx.metrics().timeline_mark(
+                            BundleKey {
+                                producer: chain.index() as u64,
+                                chain: chain.index() as u64,
+                                height: bundle.header.height.0,
+                            },
+                            Stage::TipAcked,
+                            now,
+                        );
                         // Anything we were waiting for at or below the new
                         // tip has arrived.
                         self.outstanding
@@ -252,6 +305,11 @@ impl DataPlane for PredisPlane {
                     }
                     Ok(InsertOutcome::Conflict(proof)) => {
                         ctx.metrics().incr("predis.conflicts_detected", 1);
+                        ctx.metrics().incr_labeled(
+                            "ban.hits",
+                            Labels::chain(chain.index() as u64),
+                            1,
+                        );
                         ctx.multicast(
                             self.roster.peers_of(self.me),
                             ConsMsg::ConflictGossip(proof),
@@ -273,6 +331,11 @@ impl DataPlane for PredisPlane {
             }
             ConsMsg::ConflictGossip(proof) => {
                 if self.mempool.register_conflict((**proof).clone()) {
+                    ctx.metrics().incr_labeled(
+                        "ban.hits",
+                        Labels::chain(proof.a.chain.index() as u64),
+                        1,
+                    );
                     ctx.multicast(
                         self.roster.peers_of(self.me),
                         ConsMsg::ConflictGossip(proof.clone()),
@@ -333,13 +396,15 @@ impl DataPlane for PredisPlane {
 
     fn make_proposal<M: Codec<ConsMsg>>(
         &mut self,
-        _ctx: &mut NarrowContext<'_, '_, M, ConsMsg>,
+        ctx: &mut NarrowContext<'_, '_, M, ConsMsg>,
         parent: Hash,
         view: View,
     ) -> Option<ProposalPayload> {
         let base = self.base_for(parent);
         let block = self.mempool.build_block(view, parent, &base, &self.key)?;
         self.remember_cut(block.hash(), block.cut.clone());
+        Self::mark_cut_stages(ctx, &base, &block.cut, Stage::Cut);
+        ctx.metrics().incr("predis.cuts_made", 1);
         Some(ProposalPayload::Predis(Box::new(block)))
     }
 
@@ -371,6 +436,7 @@ impl DataPlane for PredisPlane {
             Ok(()) => {
                 self.remember_cut(id, block.cut.clone());
                 self.remember_cut(block.hash(), block.cut.clone());
+                Self::mark_cut_stages(ctx, &base, &block.cut, Stage::Proposed);
                 ProposalCheck::Accept
             }
             Err(BlockValidationError::MissingBundles(missing)) => {
@@ -465,7 +531,9 @@ impl DataPlane for PredisPlane {
             Some(txs) => {
                 self.remember_cut(id, block.cut.clone());
                 self.remember_cut(block.hash(), block.cut.clone());
+                let prev = self.mempool.committed_base();
                 self.mempool.commit_cut(&block.cut);
+                Self::mark_cut_stages(ctx, &prev, &block.cut, Stage::Committed);
                 ctx.metrics().incr("predis.blocks_executed", 1);
                 Some(txs)
             }

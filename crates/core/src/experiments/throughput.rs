@@ -11,6 +11,7 @@ use predis_consensus::{
 };
 use predis_sim::prelude::*;
 use predis_sim::RunSummary;
+use predis_telemetry::RunReport;
 use predis_types::ClientId;
 use serde::{Deserialize, Serialize};
 
@@ -303,6 +304,43 @@ impl ThroughputSetup {
                 MicroPlane::new(me, roster.clone(), cfg.clone(), AckRule::ProvablyAvailable),
             ))),
         }
+    }
+
+    /// Builds, runs, and reports the experiment as a full telemetry
+    /// snapshot: the [`RunSummary`] numbers as top-level metrics plus every
+    /// counter, latency histogram, and bundle-lifecycle stage breakdown the
+    /// run recorded.
+    pub fn run_report(&self, name: &str) -> RunReport {
+        let sim = self.run_sim();
+        self.report(&sim, name)
+    }
+
+    /// Snapshots a finished simulation into a [`RunReport`] named `name`.
+    pub fn report(&self, sim: &Sim<ConsMsg>, name: &str) -> RunReport {
+        let summary = self.summarize(sim);
+        let mut report = sim.metrics().run_report(name);
+        report
+            .meta
+            .insert("protocol".into(), self.protocol.name().into());
+        report.meta.insert("n_c".into(), self.n_c.to_string());
+        report
+            .meta
+            .insert("env".into(), format!("{:?}", self.env).to_lowercase());
+        report.meta.insert("seed".into(), self.seed.to_string());
+        report
+            .meta
+            .insert("offered_tps".into(), format!("{:.0}", self.offered_tps));
+        let mut put = |k: &str, v: f64| {
+            if v.is_finite() {
+                report.set_metric(k, v);
+            }
+        };
+        put("throughput_tps", summary.throughput_tps);
+        put("mean_latency_ms", summary.mean_latency_ms);
+        put("p50_latency_ms", summary.p50_latency_ms);
+        put("p99_latency_ms", summary.p99_latency_ms);
+        put("committed_txs", summary.committed_txs as f64);
+        report
     }
 
     /// Summarizes a finished simulation over the stable window.

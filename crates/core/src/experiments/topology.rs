@@ -8,6 +8,7 @@ use predis_consensus::planes::PredisPlane;
 use predis_consensus::{ClientCore, ConsMsg, ConsensusConfig, PbftNode, Roster};
 use predis_multizone::{BlockSink, BundleId, MultiZoneNode, NetMsg, ZoneConfig, ZoneSource};
 use predis_sim::prelude::*;
+use predis_telemetry::RunReport;
 use predis_types::{Bundle, ClientId, WireSize};
 use serde::{Deserialize, Serialize};
 
@@ -211,6 +212,27 @@ impl TopologySetup {
     pub fn run(&self) -> TopologyResult {
         let (result, _) = self.run_with_sim();
         result
+    }
+
+    /// Snapshots a finished Fig. 7 simulation into a [`RunReport`] carrying
+    /// the headline result plus all recorded counters, histograms, and
+    /// bundle-lifecycle stages.
+    pub fn report(&self, result: &TopologyResult, sim: &Sim<FlowMsg>, name: &str) -> RunReport {
+        let mut report = sim.metrics().run_report(name);
+        report.meta.insert("mode".into(), format!("{:?}", self.mode));
+        report.meta.insert("n_c".into(), self.n_c.to_string());
+        report
+            .meta
+            .insert("full_nodes".into(), self.full_nodes.to_string());
+        report.meta.insert("seed".into(), self.seed.to_string());
+        if result.throughput_tps.is_finite() {
+            report.set_metric("throughput_tps", result.throughput_tps);
+        }
+        report.set_metric(
+            "consensus_upload_bytes",
+            result.consensus_upload_bytes as f64,
+        );
+        report
     }
 
     /// Like [`TopologySetup::run`] but also returns the finished simulation

@@ -4,6 +4,7 @@
 //! the full-node population.
 
 use predis_sim::prelude::*;
+use predis_sim::RunReport;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -104,6 +105,43 @@ impl PropagationSetup {
 
     /// Builds and runs the experiment, returning per-fraction latencies.
     pub fn run(&self, topology: &Topology) -> PropagationResult {
+        self.run_with_sim(topology).0
+    }
+
+    /// Snapshots a finished propagation run into a [`RunReport`] carrying
+    /// the per-fraction latencies plus every counter, histogram, and
+    /// stripe-lifecycle stage the run recorded.
+    pub fn report(
+        &self,
+        result: &PropagationResult,
+        sim: &Sim<NetMsg>,
+        name: &str,
+    ) -> RunReport {
+        let mut report = sim.metrics().run_report(name);
+        report.meta.insert("n_c".into(), self.n_c.to_string());
+        report
+            .meta
+            .insert("full_nodes".into(), self.full_nodes.to_string());
+        report
+            .meta
+            .insert("block_bytes".into(), self.block_bytes.to_string());
+        report.meta.insert("seed".into(), self.seed.to_string());
+        let mut put = |k: &str, v: f64| {
+            if v.is_finite() {
+                report.set_metric(k, v);
+            }
+        };
+        put("to_50_ms", result.to_50_ms);
+        put("to_90_ms", result.to_90_ms);
+        put("to_100_ms", result.to_100_ms);
+        put("complete_blocks", result.complete_blocks as f64);
+        put("produced_blocks", result.produced_blocks as f64);
+        report
+    }
+
+    /// Like [`PropagationSetup::run`] but also returns the finished
+    /// simulation for inspection (metrics, telemetry reports).
+    pub fn run_with_sim(&self, topology: &Topology) -> (PropagationResult, Sim<NetMsg>) {
         let network = Network::new(self.latency.clone(), SimDuration::from_nanos(0));
         let mut sim: Sim<NetMsg> = Sim::new(self.seed, network);
         let mut rng = SmallRng::seed_from_u64(self.seed ^ 0xfeed_beef);
@@ -272,12 +310,15 @@ impl PropagationSetup {
             }
         }
         let mean = |i: usize| if counts[i] == 0 { f64::NAN } else { sums[i] / counts[i] as f64 };
-        PropagationResult {
-            to_50_ms: mean(0),
-            to_90_ms: mean(1),
-            to_100_ms: mean(2),
-            complete_blocks: complete,
-            produced_blocks: self.blocks,
-        }
+        (
+            PropagationResult {
+                to_50_ms: mean(0),
+                to_90_ms: mean(1),
+                to_100_ms: mean(2),
+                complete_blocks: complete,
+                produced_blocks: self.blocks,
+            },
+            sim,
+        )
     }
 }

@@ -12,7 +12,8 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use predis_sim::{
-    Codec, NarrowContext, NodeId, ProtocolCore, SimDuration, SimTime, TimerTag,
+    BundleKey, Codec, Labels, NarrowContext, NodeId, ProtocolCore, SimDuration, SimTime, Stage,
+    TimerTag,
 };
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -137,7 +138,27 @@ impl ZoneSource {
             bytes: stripe_bytes,
         };
         let subs = self.subscribers.clone();
+        let fanout = subs.len() as u64;
         ctx.multicast(subs, msg);
+        let now = ctx.now();
+        ctx.metrics()
+            .incr_labeled("zone.rs_encodes", Labels::chain(self.idx as u64), 1);
+        if fanout > 0 {
+            ctx.metrics().incr_labeled(
+                "zone.stripe_sends",
+                Labels::chain(self.idx as u64),
+                fanout,
+            );
+        }
+        ctx.metrics().timeline_mark(
+            BundleKey {
+                producer: bundle.idx as u64,
+                chain: bundle.idx as u64,
+                height: bundle.block,
+            },
+            Stage::StripeEncoded,
+            now,
+        );
     }
 
     /// Announces a completed block to all subscribers (who forward it on).
@@ -550,6 +571,12 @@ impl MultiZoneNode {
             let src = self.cfg.consensus[s as usize];
             self.switching.insert(s, src);
         }
+        let me = ctx.node().index() as u64;
+        ctx.metrics().incr_labeled(
+            "zone.redundancy_shed",
+            Labels::node(me),
+            overlap.len() as u64,
+        );
         self.subscribe(ctx, other, overlap);
         if self.relaying.is_empty() {
             ctx.metrics().incr("zone.relayer_stepdowns", 1);
@@ -566,6 +593,18 @@ impl MultiZoneNode {
         let all = (0..bundles).all(|idx| self.decoded.contains(&BundleId { block, idx }));
         if !all {
             return;
+        }
+        let now = ctx.now();
+        for idx in 0..bundles {
+            ctx.metrics().timeline_mark(
+                BundleKey {
+                    producer: idx as u64,
+                    chain: idx as u64,
+                    height: block,
+                },
+                Stage::ZoneDelivered,
+                now,
+            );
         }
         self.pending_blocks.remove(&block);
         self.ann_seen_at.remove(&block);
@@ -840,6 +879,7 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
                 // Forward down the subscription tree.
                 if let Some(kids) = self.children.get(&stripe) {
                     let kids = kids.clone();
+                    let fanout = kids.len() as u64;
                     ctx.multicast(
                         kids,
                         NetMsg::Stripe {
@@ -849,8 +889,19 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
                             bytes,
                         },
                     );
+                    if fanout > 0 {
+                        let me = ctx.node().index() as u64;
+                        ctx.metrics().incr_labeled(
+                            "zone.stripe_sends",
+                            Labels::node(me).and_chain(stripe as u64),
+                            fanout,
+                        );
+                    }
                 }
                 if have_count >= k as usize && self.decoded.insert(bundle) {
+                    let me = ctx.node().index() as u64;
+                    ctx.metrics()
+                        .incr_labeled("zone.rs_decodes", Labels::node(me), 1);
                     *self.block_sizes.entry(bundle.block).or_insert(0) +=
                         bytes as u64 * k as u64;
                     self.bundle_bytes_hint
@@ -1152,7 +1203,13 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
                     v.dedup();
                     v
                 };
+                let hb_fanout = providers.len() as u64;
                 ctx.multicast(providers, NetMsg::Heartbeat);
+                if hb_fanout > 0 {
+                    let me = ctx.node().index() as u64;
+                    ctx.metrics()
+                        .incr_labeled("zone.heartbeats", Labels::node(me), hb_fanout);
+                }
                 // ...and disconnect children whose heartbeats timed out
                 // (stop wasting uplink on crashed subscribers).
                 let now = ctx.now();

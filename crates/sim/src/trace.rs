@@ -205,6 +205,38 @@ mod tests {
     }
 
     #[test]
+    fn wraparound_keeps_per_kind_counters_exact() {
+        // Interleave kinds far past the ring capacity: retained events lose
+        // the old entries but every per-kind counter stays exact.
+        let mut t = Trace::with_capacity(3);
+        let (mut deliver, mut timer, mut drop) = (0u64, 0u64, 0u64);
+        for i in 0..1000u64 {
+            let kind = match i % 3 {
+                0 => {
+                    deliver += 1;
+                    TraceKind::Deliver
+                }
+                1 => {
+                    timer += 1;
+                    TraceKind::Timer
+                }
+                _ => {
+                    drop += 1;
+                    TraceKind::Drop
+                }
+            };
+            t.record(ev(kind, i));
+        }
+        assert_eq!(t.retained(), 3);
+        assert_eq!(t.total, 1000);
+        assert_eq!((t.deliveries, t.timers, t.drops), (deliver, timer, drop));
+        assert_eq!(t.delivered_bytes, deliver * 100);
+        // The ring holds exactly the newest three timestamps.
+        let kept: Vec<u64> = t.events().map(|e| e.at.as_nanos() / 1_000_000).collect();
+        assert_eq!(kept, vec![997, 998, 999]);
+    }
+
+    #[test]
     fn kind_counters() {
         let mut t = Trace::with_capacity(16);
         t.record(ev(TraceKind::Deliver, 1));

@@ -1,0 +1,192 @@
+//! Labeled counters and gauges.
+//!
+//! A metric name plus a [`Labels`] triple (node, chain, zone — each
+//! optional) keys a `u64` cell. [`Counters::incr`] accumulates monotonic
+//! counts; [`Counters::set`] is last-write-wins for gauges. The map is a
+//! `BTreeMap` so iteration (and therefore every report) is deterministic.
+
+use std::collections::BTreeMap;
+
+/// Dimension labels for a counter cell. Unset dimensions mean "global".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Labels {
+    /// Node (replica or full node) the observation belongs to.
+    pub node: Option<u64>,
+    /// Bundle chain (one per producer in Predis).
+    pub chain: Option<u64>,
+    /// Multi-Zone zone index.
+    pub zone: Option<u64>,
+}
+
+impl Labels {
+    /// No labels: a global, run-wide cell.
+    pub const GLOBAL: Labels = Labels { node: None, chain: None, zone: None };
+
+    /// Labels with only the node dimension set.
+    pub fn node(node: u64) -> Labels {
+        Labels { node: Some(node), ..Labels::GLOBAL }
+    }
+
+    /// Labels with only the chain dimension set.
+    pub fn chain(chain: u64) -> Labels {
+        Labels { chain: Some(chain), ..Labels::GLOBAL }
+    }
+
+    /// Labels with only the zone dimension set.
+    pub fn zone(zone: u64) -> Labels {
+        Labels { zone: Some(zone), ..Labels::GLOBAL }
+    }
+
+    /// Returns these labels with the chain dimension added.
+    pub fn and_chain(mut self, chain: u64) -> Labels {
+        self.chain = Some(chain);
+        self
+    }
+
+    /// Returns these labels with the zone dimension added.
+    pub fn and_zone(mut self, zone: u64) -> Labels {
+        self.zone = Some(zone);
+        self
+    }
+
+    /// Canonical text form: `node=3,chain=1` (empty string when global).
+    pub fn render(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(n) = self.node {
+            parts.push(format!("node={n}"));
+        }
+        if let Some(c) = self.chain {
+            parts.push(format!("chain={c}"));
+        }
+        if let Some(z) = self.zone {
+            parts.push(format!("zone={z}"));
+        }
+        parts.join(",")
+    }
+
+    /// Parses the canonical text form produced by [`Labels::render`].
+    pub fn parse(s: &str) -> Result<Labels, String> {
+        let mut out = Labels::GLOBAL;
+        if s.is_empty() {
+            return Ok(out);
+        }
+        for part in s.split(',') {
+            let (key, val) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad label part {part:?}"))?;
+            let val: u64 = val.parse().map_err(|e| format!("bad label value {val:?}: {e}"))?;
+            match key {
+                "node" => out.node = Some(val),
+                "chain" => out.chain = Some(val),
+                "zone" => out.zone = Some(val),
+                other => return Err(format!("unknown label dimension {other:?}")),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// A deterministic map of labeled counter/gauge cells.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    map: BTreeMap<(&'static str, Labels), u64>,
+}
+
+impl Counters {
+    /// An empty set.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Adds `by` to the cell (creating it at zero).
+    pub fn incr(&mut self, name: &'static str, labels: Labels, by: u64) {
+        *self.map.entry((name, labels)).or_insert(0) += by;
+    }
+
+    /// Overwrites the cell — gauge semantics.
+    pub fn set(&mut self, name: &'static str, labels: Labels, value: u64) {
+        self.map.insert((name, labels), value);
+    }
+
+    /// The cell's value, or 0 if never touched.
+    pub fn get(&self, name: &str, labels: Labels) -> u64 {
+        self.map.get(&(name, labels)).copied().unwrap_or(0)
+    }
+
+    /// Sum of all cells with this metric name, across every label combination.
+    pub fn total(&self, name: &str) -> u64 {
+        self.map
+            .iter()
+            .filter(|((n, _), _)| *n == name)
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// All cells, in deterministic (name, labels) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, Labels, u64)> + '_ {
+        self.map.iter().map(|(&(n, l), &v)| (n, l, v))
+    }
+
+    /// Number of distinct cells.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no cell exists.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incr_accumulates_per_label() {
+        let mut c = Counters::new();
+        c.incr("tips.updated", Labels::node(1), 1);
+        c.incr("tips.updated", Labels::node(1), 2);
+        c.incr("tips.updated", Labels::node(2), 5);
+        assert_eq!(c.get("tips.updated", Labels::node(1)), 3);
+        assert_eq!(c.get("tips.updated", Labels::node(2)), 5);
+        assert_eq!(c.get("tips.updated", Labels::GLOBAL), 0);
+        assert_eq!(c.total("tips.updated"), 8);
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut c = Counters::new();
+        c.set("zone.children", Labels::zone(3), 7);
+        c.set("zone.children", Labels::zone(3), 4);
+        assert_eq!(c.get("zone.children", Labels::zone(3)), 4);
+    }
+
+    #[test]
+    fn labels_render_parse_round_trip() {
+        for l in [
+            Labels::GLOBAL,
+            Labels::node(3),
+            Labels::chain(9),
+            Labels::zone(2),
+            Labels::node(1).and_chain(2).and_zone(3),
+        ] {
+            assert_eq!(Labels::parse(&l.render()).unwrap(), l);
+        }
+        assert!(Labels::parse("shard=1").is_err());
+        assert!(Labels::parse("node=x").is_err());
+    }
+
+    #[test]
+    fn iteration_is_deterministic() {
+        let mut c = Counters::new();
+        c.incr("b", Labels::GLOBAL, 1);
+        c.incr("a", Labels::node(2), 1);
+        c.incr("a", Labels::node(1), 1);
+        let names: Vec<_> = c.iter().map(|(n, l, _)| (n, l.node)).collect();
+        assert_eq!(
+            names,
+            vec![("a", Some(1)), ("a", Some(2)), ("b", None)]
+        );
+    }
+}

@@ -1,0 +1,534 @@
+//! Machine-readable run reports.
+//!
+//! A [`RunReport`] is the single artifact an experiment run leaves behind:
+//! run metadata, derived scalar metrics, every labeled counter, every
+//! latency histogram (sparse buckets plus a scalar summary), and the
+//! per-stage bundle-lifecycle breakdown. It serializes to JSON
+//! ([`RunReport::to_json`] / [`RunReport::from_json`] round-trip), writes
+//! itself under a results directory, and renders a human-readable summary
+//! table for the terminal.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::counters::{Counters, Labels};
+use crate::hist::{HistogramSummary, LogHistogram};
+use crate::json::Json;
+use crate::timeline::Timelines;
+
+/// One labeled counter cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterEntry {
+    /// Metric name.
+    pub name: String,
+    /// Label dimensions.
+    pub labels: Labels,
+    /// Cell value.
+    pub value: u64,
+}
+
+/// One latency histogram: scalar digest plus exact sparse buckets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramEntry {
+    /// Metric name.
+    pub name: String,
+    /// Scalar digest (count, min/max/mean, p50/p95/p99).
+    pub summary: HistogramSummary,
+    /// Sparse `(bucket_lower_bound, count)` pairs, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramEntry {
+    /// Builds an entry from a live histogram.
+    pub fn from_histogram(name: impl Into<String>, h: &LogHistogram) -> Self {
+        HistogramEntry {
+            name: name.into(),
+            summary: h.summary(),
+            buckets: h.nonzero_buckets().map(|(lo, _, c)| (lo, c)).collect(),
+        }
+    }
+}
+
+/// One bundle-lifecycle stage segment (`produced->multicast`, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageEntry {
+    /// Segment name, `a->b` over [`crate::Stage`] names.
+    pub segment: String,
+    /// Latency digest for the segment, in nanoseconds.
+    pub summary: HistogramSummary,
+}
+
+/// The full machine-readable snapshot of one run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunReport {
+    /// Run name; used as the output file stem.
+    pub name: String,
+    /// Free-form run parameters (protocol, load, n_c, seed, ...).
+    pub meta: BTreeMap<String, String>,
+    /// Derived scalar metrics (throughput_tps, mean_latency_ms, ...).
+    pub metrics: BTreeMap<String, f64>,
+    /// Every labeled counter cell, deterministic order.
+    pub counters: Vec<CounterEntry>,
+    /// Every latency histogram.
+    pub histograms: Vec<HistogramEntry>,
+    /// Per-stage bundle-lifecycle latency breakdown (nanoseconds).
+    pub stages: Vec<StageEntry>,
+    /// Distinct bundles the run tracked timelines for.
+    pub timeline_count: u64,
+    /// Timeline marks dropped because the span store hit its cap.
+    pub timeline_dropped: u64,
+}
+
+impl RunReport {
+    /// A new empty report named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        RunReport { name: name.into(), ..RunReport::default() }
+    }
+
+    /// Adds a free-form metadata pair.
+    pub fn with_meta(mut self, key: impl Into<String>, value: impl ToString) -> Self {
+        self.meta.insert(key.into(), value.to_string());
+        self
+    }
+
+    /// Adds a derived scalar metric.
+    pub fn set_metric(&mut self, key: impl Into<String>, value: f64) {
+        self.metrics.insert(key.into(), value);
+    }
+
+    /// A derived scalar metric, if present.
+    pub fn metric(&self, key: &str) -> Option<f64> {
+        self.metrics.get(key).copied()
+    }
+
+    /// Absorbs every counter cell.
+    pub fn add_counters(&mut self, counters: &Counters) {
+        for (name, labels, value) in counters.iter() {
+            self.counters.push(CounterEntry { name: name.to_string(), labels, value });
+        }
+    }
+
+    /// Absorbs one named histogram.
+    pub fn add_histogram(&mut self, name: impl Into<String>, h: &LogHistogram) {
+        self.histograms.push(HistogramEntry::from_histogram(name, h));
+    }
+
+    /// Absorbs the per-stage breakdown and bookkeeping of a span store.
+    pub fn add_timelines(&mut self, timelines: &Timelines) {
+        for (segment, h) in timelines.stage_histograms() {
+            self.stages.push(StageEntry { segment, summary: h.summary() });
+        }
+        self.timeline_count = timelines.len() as u64;
+        self.timeline_dropped = timelines.dropped();
+    }
+
+    /// Sum of one counter metric across all labels.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|c| c.name == name)
+            .map(|c| c.value)
+            .sum()
+    }
+
+    /// One counter cell's value (0 if absent).
+    pub fn counter(&self, name: &str, labels: Labels) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name && c.labels == labels)
+            .map(|c| c.value)
+            .unwrap_or(0)
+    }
+
+    /// The named histogram entry, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramEntry> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// The named stage segment, if any bundle completed it.
+    pub fn stage(&self, segment: &str) -> Option<&StageEntry> {
+        self.stages.iter().find(|s| s.segment == segment)
+    }
+
+    fn summary_to_json(s: &HistogramSummary) -> Json {
+        Json::Obj(vec![
+            ("count".into(), Json::U64(s.count)),
+            ("min".into(), Json::U64(s.min)),
+            ("max".into(), Json::U64(s.max)),
+            ("mean".into(), Json::F64(s.mean)),
+            ("p50".into(), Json::U64(s.p50)),
+            ("p95".into(), Json::U64(s.p95)),
+            ("p99".into(), Json::U64(s.p99)),
+        ])
+    }
+
+    fn summary_from_json(v: &Json) -> Result<HistogramSummary, String> {
+        let field = |k: &str| v.get(k).ok_or_else(|| format!("summary missing {k:?}"));
+        Ok(HistogramSummary {
+            count: field("count")?.as_u64().ok_or("bad count")?,
+            min: field("min")?.as_u64().ok_or("bad min")?,
+            max: field("max")?.as_u64().ok_or("bad max")?,
+            mean: field("mean")?.as_f64().ok_or("bad mean")?,
+            p50: field("p50")?.as_u64().ok_or("bad p50")?,
+            p95: field("p95")?.as_u64().ok_or("bad p95")?,
+            p99: field("p99")?.as_u64().ok_or("bad p99")?,
+        })
+    }
+
+    /// The report as a JSON value tree.
+    pub fn to_json_value(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            (
+                "meta".into(),
+                Json::Obj(
+                    self.meta
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                        .collect(),
+                ),
+            ),
+            (
+                "metrics".into(),
+                Json::Obj(
+                    self.metrics
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::F64(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "counters".into(),
+                Json::Arr(
+                    self.counters
+                        .iter()
+                        .map(|c| {
+                            Json::Obj(vec![
+                                ("name".into(), Json::Str(c.name.clone())),
+                                ("labels".into(), Json::Str(c.labels.render())),
+                                ("value".into(), Json::U64(c.value)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".into(),
+                Json::Arr(
+                    self.histograms
+                        .iter()
+                        .map(|h| {
+                            Json::Obj(vec![
+                                ("name".into(), Json::Str(h.name.clone())),
+                                ("summary".into(), Self::summary_to_json(&h.summary)),
+                                (
+                                    "buckets".into(),
+                                    Json::Arr(
+                                        h.buckets
+                                            .iter()
+                                            .map(|&(lo, c)| {
+                                                Json::Arr(vec![Json::U64(lo), Json::U64(c)])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "stages".into(),
+                Json::Arr(
+                    self.stages
+                        .iter()
+                        .map(|s| {
+                            Json::Obj(vec![
+                                ("segment".into(), Json::Str(s.segment.clone())),
+                                ("summary".into(), Self::summary_to_json(&s.summary)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("timeline_count".into(), Json::U64(self.timeline_count)),
+            ("timeline_dropped".into(), Json::U64(self.timeline_dropped)),
+        ])
+    }
+
+    /// Serializes to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_pretty_string()
+    }
+
+    /// Parses a report previously produced by [`RunReport::to_json`].
+    pub fn from_json(text: &str) -> Result<RunReport, String> {
+        let v = Json::parse(text)?;
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("report missing name")?
+            .to_string();
+        let mut report = RunReport::new(name);
+
+        if let Some(Json::Obj(pairs)) = v.get("meta") {
+            for (k, val) in pairs {
+                report.meta.insert(
+                    k.clone(),
+                    val.as_str().ok_or("meta values must be strings")?.to_string(),
+                );
+            }
+        }
+        if let Some(Json::Obj(pairs)) = v.get("metrics") {
+            for (k, val) in pairs {
+                report
+                    .metrics
+                    .insert(k.clone(), val.as_f64().ok_or("metric values must be numbers")?);
+            }
+        }
+        if let Some(arr) = v.get("counters").and_then(Json::as_arr) {
+            for c in arr {
+                report.counters.push(CounterEntry {
+                    name: c
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or("counter missing name")?
+                        .to_string(),
+                    labels: Labels::parse(
+                        c.get("labels").and_then(Json::as_str).unwrap_or(""),
+                    )?,
+                    value: c
+                        .get("value")
+                        .and_then(Json::as_u64)
+                        .ok_or("counter missing value")?,
+                });
+            }
+        }
+        if let Some(arr) = v.get("histograms").and_then(Json::as_arr) {
+            for h in arr {
+                let mut buckets = Vec::new();
+                for pair in h
+                    .get("buckets")
+                    .and_then(Json::as_arr)
+                    .ok_or("histogram missing buckets")?
+                {
+                    let pair = pair.as_arr().ok_or("bucket must be [lo, count]")?;
+                    if pair.len() != 2 {
+                        return Err("bucket must be [lo, count]".into());
+                    }
+                    buckets.push((
+                        pair[0].as_u64().ok_or("bad bucket bound")?,
+                        pair[1].as_u64().ok_or("bad bucket count")?,
+                    ));
+                }
+                report.histograms.push(HistogramEntry {
+                    name: h
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or("histogram missing name")?
+                        .to_string(),
+                    summary: Self::summary_from_json(
+                        h.get("summary").ok_or("histogram missing summary")?,
+                    )?,
+                    buckets,
+                });
+            }
+        }
+        if let Some(arr) = v.get("stages").and_then(Json::as_arr) {
+            for s in arr {
+                report.stages.push(StageEntry {
+                    segment: s
+                        .get("segment")
+                        .and_then(Json::as_str)
+                        .ok_or("stage missing segment")?
+                        .to_string(),
+                    summary: Self::summary_from_json(
+                        s.get("summary").ok_or("stage missing summary")?,
+                    )?,
+                });
+            }
+        }
+        report.timeline_count = v
+            .get("timeline_count")
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        report.timeline_dropped = v
+            .get("timeline_dropped")
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        Ok(report)
+    }
+
+    /// Writes `<dir>/<name>.json`, creating `dir` if needed, and returns the
+    /// path written.
+    pub fn write_to_dir(&self, dir: impl AsRef<Path>) -> std::io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let safe: String = self
+            .name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .collect();
+        let path = dir.join(format!("{safe}.json"));
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(self.to_json().as_bytes())?;
+        Ok(path)
+    }
+
+    /// Human-readable summary: metrics, stage breakdown (in ms), and the
+    /// largest counters.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== run report: {} ==\n", self.name));
+        if !self.meta.is_empty() {
+            let pairs: Vec<String> =
+                self.meta.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            out.push_str(&format!("   {}\n", pairs.join(" ")));
+        }
+        for (k, v) in &self.metrics {
+            out.push_str(&format!("   {k:<32} {v:>14.2}\n"));
+        }
+        if !self.stages.is_empty() {
+            out.push_str(&format!(
+                "   {:<34} {:>8} {:>10} {:>10} {:>10}\n",
+                "stage segment", "count", "p50 ms", "p95 ms", "p99 ms"
+            ));
+            for s in &self.stages {
+                out.push_str(&format!(
+                    "   {:<34} {:>8} {:>10.2} {:>10.2} {:>10.2}\n",
+                    s.segment,
+                    s.summary.count,
+                    s.summary.p50 as f64 / 1e6,
+                    s.summary.p95 as f64 / 1e6,
+                    s.summary.p99 as f64 / 1e6,
+                ));
+            }
+        }
+        for h in &self.histograms {
+            out.push_str(&format!(
+                "   hist {:<29} {:>8} {:>10.2} {:>10.2} {:>10.2}\n",
+                h.name,
+                h.summary.count,
+                h.summary.p50 as f64 / 1e6,
+                h.summary.p95 as f64 / 1e6,
+                h.summary.p99 as f64 / 1e6,
+            ));
+        }
+        if self.timeline_count > 0 {
+            out.push_str(&format!(
+                "   timelines tracked {} (dropped {})\n",
+                self.timeline_count, self.timeline_dropped
+            ));
+        }
+        if !self.counters.is_empty() {
+            let mut top: Vec<&CounterEntry> = self.counters.iter().collect();
+            top.sort_by(|a, b| b.value.cmp(&a.value).then(a.name.cmp(&b.name)));
+            for c in top.iter().take(12) {
+                let labels = c.labels.render();
+                let shown = if labels.is_empty() {
+                    c.name.clone()
+                } else {
+                    format!("{}{{{labels}}}", c.name)
+                };
+                out.push_str(&format!("   ctr  {shown:<40} {:>12}\n", c.value));
+            }
+            if top.len() > 12 {
+                out.push_str(&format!("   ctr  ... {} more\n", top.len() - 12));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::{BundleKey, Stage};
+
+    fn sample_report() -> RunReport {
+        let mut counters = Counters::new();
+        counters.incr("tips.updated", Labels::node(0).and_chain(1), 17);
+        counters.incr("zone.stripe_sends", Labels::zone(2), 400);
+        counters.incr("ban.hits", Labels::GLOBAL, 3);
+
+        let mut lat = LogHistogram::new();
+        for v in [1_000_000u64, 2_000_000, 2_500_000, 40_000_000] {
+            lat.record(v);
+        }
+
+        let mut timelines = Timelines::default();
+        for h in 0..5u64 {
+            let key = BundleKey { producer: 1, chain: 1, height: h };
+            timelines.mark(key, Stage::Produced, h * 1_000_000);
+            timelines.mark(key, Stage::Multicast, h * 1_000_000 + 50_000);
+            timelines.mark(key, Stage::Committed, h * 1_000_000 + 900_000);
+        }
+
+        let mut report = RunReport::new("unit-sample")
+            .with_meta("protocol", "p-pbft")
+            .with_meta("seed", 7);
+        report.set_metric("throughput_tps", 12_345.5);
+        report.set_metric("p50_latency_ms", 2.5);
+        report.add_counters(&counters);
+        report.add_histogram("client_latency", &lat);
+        report.add_timelines(&timelines);
+        report
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let report = sample_report();
+        let text = report.to_json();
+        let back = RunReport::from_json(&text).expect("parse back");
+        assert_eq!(back, report);
+        // And a second generation is byte-identical (deterministic writer).
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn accessors_find_cells_and_segments() {
+        let report = sample_report();
+        assert_eq!(report.counter("tips.updated", Labels::node(0).and_chain(1)), 17);
+        assert_eq!(report.counter_total("zone.stripe_sends"), 400);
+        assert_eq!(report.counter("missing", Labels::GLOBAL), 0);
+        assert_eq!(report.metric("throughput_tps"), Some(12_345.5));
+        let seg = report.stage("produced->multicast").expect("segment");
+        assert_eq!(seg.summary.count, 5);
+        assert_eq!(seg.summary.min, 50_000);
+        assert!(report.stage("cut->proposed").is_none());
+        let h = report.histogram("client_latency").expect("hist");
+        assert_eq!(h.summary.count, 4);
+    }
+
+    #[test]
+    fn write_to_dir_emits_parseable_file() {
+        let dir = std::env::temp_dir().join(format!(
+            "predis-telemetry-test-{}",
+            std::process::id()
+        ));
+        let report = sample_report();
+        let path = report.write_to_dir(&dir).expect("write");
+        assert_eq!(path.file_name().unwrap(), "unit-sample.json");
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(RunReport::from_json(&text).unwrap(), report);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn render_mentions_key_rows() {
+        let report = sample_report();
+        let table = report.render();
+        assert!(table.contains("unit-sample"));
+        assert!(table.contains("throughput_tps"));
+        assert!(table.contains("produced->multicast"));
+        assert!(table.contains("zone.stripe_sends{zone=2}"));
+    }
+
+    #[test]
+    fn empty_report_round_trips() {
+        let report = RunReport::new("empty");
+        let back = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+    }
+}

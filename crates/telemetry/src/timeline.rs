@@ -1,0 +1,266 @@
+//! Bundle-lifecycle spans.
+//!
+//! A bundle is identified by [`BundleKey`] `(producer, chain, height)` and
+//! moves through the eight [`Stage`]s of the data-flow pipeline. Each layer
+//! stamps the stage it owns ([`Timelines::mark`]); the first observation of
+//! a stage wins, so the recorded time is the earliest any node reached that
+//! stage — which is what propagation curves (Fig. 8) measure.
+//!
+//! [`Timelines`] is bounded: past `cap` distinct bundles, new keys are
+//! counted in `dropped` and ignored rather than allocated, so long runs
+//! cannot grow memory without bound.
+
+use std::collections::BTreeMap;
+
+use crate::hist::LogHistogram;
+
+/// One step of the bundle data-flow pipeline, in canonical order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum Stage {
+    /// Producer assembled the bundle and appended it to its chain.
+    Produced = 0,
+    /// Producer handed the bundle to the network (multicast to peers).
+    Multicast = 1,
+    /// A quorum-visible tip acknowledgement first covered the bundle.
+    TipAcked = 2,
+    /// The leader's cut rule included the bundle's height in a cut.
+    Cut = 3,
+    /// A consensus proposal carrying the cut was first validated.
+    Proposed = 4,
+    /// The block containing the bundle committed.
+    Committed = 5,
+    /// The zone source finished Reed–Solomon encoding the block's stripes.
+    StripeEncoded = 6,
+    /// A full node first reassembled the block from `k` stripes.
+    ZoneDelivered = 7,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 8] = [
+        Stage::Produced,
+        Stage::Multicast,
+        Stage::TipAcked,
+        Stage::Cut,
+        Stage::Proposed,
+        Stage::Committed,
+        Stage::StripeEncoded,
+        Stage::ZoneDelivered,
+    ];
+
+    /// Snake-case name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Produced => "produced",
+            Stage::Multicast => "multicast",
+            Stage::TipAcked => "tip_acked",
+            Stage::Cut => "cut",
+            Stage::Proposed => "proposed",
+            Stage::Committed => "committed",
+            Stage::StripeEncoded => "stripe_encoded",
+            Stage::ZoneDelivered => "zone_delivered",
+        }
+    }
+
+    /// Inverse of [`Stage::name`].
+    pub fn parse(s: &str) -> Option<Stage> {
+        Stage::ALL.into_iter().find(|st| st.name() == s)
+    }
+}
+
+/// Identity of one bundle: which producer, on which chain, at which height.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BundleKey {
+    /// Producing node.
+    pub producer: u64,
+    /// The producer's bundle chain.
+    pub chain: u64,
+    /// Height within that chain.
+    pub height: u64,
+}
+
+/// Stage timestamps (nanoseconds) for one bundle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Timeline {
+    stamps: [Option<u64>; 8],
+}
+
+impl Timeline {
+    /// The recorded time of `stage`, if any.
+    pub fn get(&self, stage: Stage) -> Option<u64> {
+        self.stamps[stage as usize]
+    }
+
+    /// Records `stage` at `now_nanos` unless an earlier observation exists.
+    pub fn mark(&mut self, stage: Stage, now_nanos: u64) {
+        let slot = &mut self.stamps[stage as usize];
+        match slot {
+            Some(t) if *t <= now_nanos => {}
+            _ => *slot = Some(now_nanos),
+        }
+    }
+
+    /// Nanoseconds from `from` to `to`, when both were recorded.
+    pub fn span(&self, from: Stage, to: Stage) -> Option<u64> {
+        Some(self.get(to)?.saturating_sub(self.get(from)?))
+    }
+}
+
+/// Default cap on distinct tracked bundles (~4 MB worst case).
+pub const DEFAULT_TIMELINE_CAP: usize = 65_536;
+
+/// All bundle timelines of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timelines {
+    map: BTreeMap<BundleKey, Timeline>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl Default for Timelines {
+    fn default() -> Self {
+        Timelines::with_cap(DEFAULT_TIMELINE_CAP)
+    }
+}
+
+impl Timelines {
+    /// An empty span store tracking at most `cap` distinct bundles.
+    pub fn with_cap(cap: usize) -> Self {
+        Timelines { map: BTreeMap::new(), cap, dropped: 0 }
+    }
+
+    /// Stamps `stage` for `key` at `now_nanos` (earliest observation wins).
+    ///
+    /// Keys beyond the cap are dropped (and counted) instead of allocated.
+    pub fn mark(&mut self, key: BundleKey, stage: Stage, now_nanos: u64) {
+        if let Some(t) = self.map.get_mut(&key) {
+            t.mark(stage, now_nanos);
+        } else if self.map.len() < self.cap {
+            let mut t = Timeline::default();
+            t.mark(stage, now_nanos);
+            self.map.insert(key, t);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The timeline of one bundle, if tracked.
+    pub fn get(&self, key: &BundleKey) -> Option<&Timeline> {
+        self.map.get(key)
+    }
+
+    /// Number of tracked bundles.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no bundle is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Mark attempts ignored because the cap was reached.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// All timelines in deterministic key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&BundleKey, &Timeline)> + '_ {
+        self.map.iter()
+    }
+
+    /// Per-stage latency histograms.
+    ///
+    /// Returns one `("a->b", histogram)` per adjacent stage pair in pipeline
+    /// order (only pairs some bundle recorded both ends of), plus the
+    /// end-to-end spans `produced->committed` and `produced->zone_delivered`.
+    pub fn stage_histograms(&self) -> Vec<(String, LogHistogram)> {
+        let mut pairs: Vec<(String, LogHistogram)> = Vec::new();
+        let adjacent: Vec<(Stage, Stage)> = Stage::ALL
+            .windows(2)
+            .map(|w| (w[0], w[1]))
+            .collect();
+        let totals = [
+            (Stage::Produced, Stage::Committed),
+            (Stage::Produced, Stage::ZoneDelivered),
+        ];
+        for &(a, b) in adjacent.iter().chain(totals.iter()) {
+            let mut h = LogHistogram::new();
+            for (_, t) in self.iter() {
+                if let Some(d) = t.span(a, b) {
+                    h.record(d);
+                }
+            }
+            if !h.is_empty() {
+                pairs.push((format!("{}->{}", a.name(), b.name()), h));
+            }
+        }
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(h: u64) -> BundleKey {
+        BundleKey { producer: 1, chain: 1, height: h }
+    }
+
+    #[test]
+    fn earliest_observation_wins() {
+        let mut tl = Timelines::default();
+        tl.mark(key(1), Stage::Committed, 500);
+        tl.mark(key(1), Stage::Committed, 300);
+        tl.mark(key(1), Stage::Committed, 400);
+        assert_eq!(tl.get(&key(1)).unwrap().get(Stage::Committed), Some(300));
+    }
+
+    #[test]
+    fn spans_subtract_and_saturate() {
+        let mut t = Timeline::default();
+        t.mark(Stage::Produced, 100);
+        t.mark(Stage::Committed, 350);
+        assert_eq!(t.span(Stage::Produced, Stage::Committed), Some(250));
+        assert_eq!(t.span(Stage::Produced, Stage::ZoneDelivered), None);
+        // Out-of-order stamps never underflow.
+        t.mark(Stage::Multicast, 90);
+        assert_eq!(t.span(Stage::Produced, Stage::Multicast), Some(0));
+    }
+
+    #[test]
+    fn cap_bounds_memory_and_counts_drops() {
+        let mut tl = Timelines::with_cap(2);
+        tl.mark(key(1), Stage::Produced, 1);
+        tl.mark(key(2), Stage::Produced, 2);
+        tl.mark(key(3), Stage::Produced, 3);
+        tl.mark(key(1), Stage::Committed, 9); // existing key still markable
+        assert_eq!(tl.len(), 2);
+        assert_eq!(tl.dropped(), 1);
+        assert_eq!(tl.get(&key(1)).unwrap().get(Stage::Committed), Some(9));
+        assert!(tl.get(&key(3)).is_none());
+    }
+
+    #[test]
+    fn stage_histograms_cover_adjacent_and_total_spans() {
+        let mut tl = Timelines::default();
+        for h in 0..10u64 {
+            let k = key(h);
+            tl.mark(k, Stage::Produced, 1000 * h);
+            tl.mark(k, Stage::Multicast, 1000 * h + 10);
+            tl.mark(k, Stage::Committed, 1000 * h + 500);
+        }
+        let hists = tl.stage_histograms();
+        let names: Vec<&str> = hists.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"produced->multicast"));
+        assert!(names.contains(&"produced->committed"));
+        // tip_acked never recorded → no multicast->tip_acked segment.
+        assert!(!names.contains(&"multicast->tip_acked"));
+        let (_, pm) = hists.iter().find(|(n, _)| n == "produced->multicast").unwrap();
+        assert_eq!(pm.count(), 10);
+        assert_eq!(pm.percentile(1.0), Some(10));
+        let (_, pc) = hists.iter().find(|(n, _)| n == "produced->committed").unwrap();
+        assert_eq!(pc.percentile(0.0), Some(500));
+    }
+}

@@ -1,0 +1,16 @@
+//! Workspace-local stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its protocol types as
+//! forward-compatible markers, but nothing actually serializes through serde
+//! (`serde_json` is not a dependency anywhere; the telemetry crate hand-rolls
+//! its JSON). Since the registry is unreachable in the build environment,
+//! this shim keeps those derives compiling: the traits are empty markers and
+//! the derive macros expand to nothing.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! Empty-expansion derive macros for the workspace-local serde shim.
+//!
+//! The workspace's `#[derive(Serialize, Deserialize)]` attributes are
+//! forward-compatible markers only — no code path serializes through serde —
+//! so these derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; satisfies `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; satisfies `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
