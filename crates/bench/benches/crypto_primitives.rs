@@ -18,7 +18,9 @@ fn bench(c: &mut Criterion) {
     let msg = Hash::digest(b"bundle header");
     g.bench_function("sign", |b| b.iter(|| key.sign(std::hint::black_box(msg))));
     let sig = key.sign(msg);
-    g.bench_function("verify", |b| b.iter(|| sig.verify(std::hint::black_box(msg))));
+    g.bench_function("verify", |b| {
+        b.iter(|| sig.verify(std::hint::black_box(msg)))
+    });
     g.finish();
 }
 

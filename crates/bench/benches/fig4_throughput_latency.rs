@@ -21,7 +21,12 @@ fn mini(protocol: Protocol) -> ThroughputSetup {
 fn bench(c: &mut Criterion) {
     // Print one mini figure row per protocol so `cargo bench` regenerates
     // the comparison alongside the timing.
-    for p in [Protocol::Pbft, Protocol::PPbft, Protocol::HotStuff, Protocol::PHs] {
+    for p in [
+        Protocol::Pbft,
+        Protocol::PPbft,
+        Protocol::HotStuff,
+        Protocol::PHs,
+    ] {
         let s = mini(p).run();
         eprintln!(
             "fig4-mini {:>8}: {:>6.0} tps  {:>6.1} ms mean",

@@ -30,7 +30,9 @@ fn bench(c: &mut Criterion) {
     }
     let mut g = c.benchmark_group("fig5");
     g.sample_size(10);
-    g.bench_function("mini_run_narwhal", |b| b.iter(|| mini(Protocol::Narwhal).run()));
+    g.bench_function("mini_run_narwhal", |b| {
+        b.iter(|| mini(Protocol::Narwhal).run())
+    });
     g.finish();
 }
 

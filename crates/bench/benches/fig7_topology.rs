@@ -23,12 +23,17 @@ fn bench(c: &mut Criterion) {
     ] {
         for fulls in [12usize, 48] {
             let r = mini(mode, fulls).run();
-            eprintln!("fig7-mini {label:>12} fulls={fulls:>2}: {:>6.0} tps", r.throughput_tps);
+            eprintln!(
+                "fig7-mini {label:>12} fulls={fulls:>2}: {:>6.0} tps",
+                r.throughput_tps
+            );
         }
     }
     let mut g = c.benchmark_group("fig7");
     g.sample_size(10);
-    g.bench_function("mini_run_star_24", |b| b.iter(|| mini(DistMode::Star, 24).run()));
+    g.bench_function("mini_run_star_24", |b| {
+        b.iter(|| mini(DistMode::Star, 24).run())
+    });
     g.finish();
 }
 

@@ -6,8 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use predis_crypto::{Hash, Keypair, SignerId};
 use predis_mempool::Mempool;
 use predis_types::{
-    Bundle, ChainId, ClientId, Height, ProposalPayload, TipList, Transaction, TxId, View,
-    WireSize,
+    Bundle, ChainId, ClientId, Height, ProposalPayload, TipList, Transaction, TxId, View, WireSize,
 };
 
 fn filled_pool(n_c: usize, heights: u64) -> Mempool {

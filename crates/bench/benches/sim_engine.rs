@@ -31,7 +31,10 @@ impl Actor<Tick> for Ring {
 fn bench(c: &mut Criterion) {
     c.bench_function("sim_ring_10s_16nodes", |b| {
         b.iter(|| {
-            let net = Network::new(LatencyModel::Uniform(SimDuration::from_micros(100)), SimDuration::ZERO);
+            let net = Network::new(
+                LatencyModel::Uniform(SimDuration::from_micros(100)),
+                SimDuration::ZERO,
+            );
             let mut sim: Sim<Tick> = Sim::new(1, net);
             for _ in 0..16 {
                 sim.add_node(LinkConfig::paper_default(), Box::new(Ring), SimTime::ZERO);

@@ -1,0 +1,387 @@
+//! The merged benchmark artifact (`BENCH_<schema>.json`) and its diff.
+//!
+//! `bench_all` folds every sweep point's [`predis_telemetry::RunReport`]
+//! into one
+//! [`BenchArtifact`]: a map from run name to the handful of headline
+//! numbers CI gates on. `compare_bench` reads two artifacts back and
+//! reports regressions (or, in `--identical` mode, any non-wall-clock
+//! difference — the determinism gate).
+//!
+//! Every field except `wall_ms` is a pure function of the run's setup, so
+//! two artifacts produced from the same tree must match exactly modulo
+//! `wall_ms`.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use predis_telemetry::Json;
+
+use crate::sweep::{Runner, SweepOutcome, SweepPoint};
+
+/// Version of the artifact schema; part of the default file name so stale
+/// baselines fail loudly instead of comparing apples to oranges.
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
+
+/// The default artifact file name, `BENCH_2.json`.
+pub fn bench_file_name() -> String {
+    format!("BENCH_{BENCH_SCHEMA_VERSION}.json")
+}
+
+/// Headline numbers of one benchmark run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Sustained throughput, tx/s (0.0 for pure propagation runs).
+    pub tps: f64,
+    /// Median latency, ms. Client commit latency for consensus runs,
+    /// 50%-coverage propagation time for Fig. 8 runs.
+    pub p50_ms: f64,
+    /// Tail latency, ms (p99 commit latency / 100%-coverage time).
+    pub p99_ms: f64,
+    /// Total bytes the simulated network carried.
+    pub bytes: u64,
+    /// Wall-clock milliseconds the run took (machine-dependent; excluded
+    /// from determinism and regression comparisons).
+    pub wall_ms: u64,
+}
+
+impl BenchEntry {
+    /// Extracts the headline numbers from one finished sweep point.
+    ///
+    /// Uses [`predis_telemetry::RunReport::require_metric`] for every
+    /// number the runner kind is expected to have measured, so a run that
+    /// silently failed to commit (or to complete a block) aborts the
+    /// artifact build with the run's name and its available metrics rather
+    /// than writing NaN into the baseline.
+    pub fn from_outcome(point: &SweepPoint, outcome: &SweepOutcome) -> BenchEntry {
+        let report = &outcome.report;
+        let bytes = report.counter_total("net.bytes");
+        let (tps, p50_ms, p99_ms) = match &point.runner {
+            Runner::Throughput(_) => (
+                report.require_metric("throughput_tps"),
+                report.require_metric("p50_latency_ms"),
+                report.require_metric("p99_latency_ms"),
+            ),
+            Runner::Topology(_) => {
+                // Fig. 7 measures capacity, not client latency; take the
+                // client-latency histogram when present (ns -> ms), else 0.
+                let (p50, p99) = report
+                    .histogram("client_latency")
+                    .map(|h| (h.summary.p50 as f64 / 1e6, h.summary.p99 as f64 / 1e6))
+                    .unwrap_or((0.0, 0.0));
+                (report.require_metric("throughput_tps"), p50, p99)
+            }
+            Runner::Propagation(..) => (
+                0.0,
+                report.require_metric("to_50_ms"),
+                report.require_metric("to_100_ms"),
+            ),
+        };
+        BenchEntry {
+            tps,
+            p50_ms,
+            p99_ms,
+            bytes,
+            wall_ms: outcome.wall_ms,
+        }
+    }
+}
+
+/// A full benchmark artifact: schema version plus one entry per run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BenchArtifact {
+    /// Run name → headline numbers, sorted by name.
+    pub runs: BTreeMap<String, BenchEntry>,
+}
+
+/// One difference found by [`BenchArtifact::diff`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffLine {
+    /// Human-readable description of the difference.
+    pub message: String,
+    /// Whether the difference counts as a regression (gates CI).
+    pub regression: bool,
+}
+
+impl BenchArtifact {
+    /// Builds an artifact from a finished sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate run names or on a run missing a required metric
+    /// (see [`BenchEntry::from_outcome`]).
+    pub fn from_sweep(points: &[SweepPoint], outcomes: &[SweepOutcome]) -> BenchArtifact {
+        assert_eq!(points.len(), outcomes.len(), "points/outcomes mismatch");
+        let mut runs = BTreeMap::new();
+        for (point, outcome) in points.iter().zip(outcomes) {
+            let prev = runs.insert(point.name.clone(), BenchEntry::from_outcome(point, outcome));
+            assert!(prev.is_none(), "duplicate run name `{}`", point.name);
+        }
+        BenchArtifact { runs }
+    }
+
+    /// Serializes to deterministic pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let runs: Vec<(String, Json)> = self
+            .runs
+            .iter()
+            .map(|(name, e)| {
+                (
+                    name.clone(),
+                    Json::Obj(vec![
+                        ("tps".into(), Json::F64(e.tps)),
+                        ("p50_latency_ms".into(), Json::F64(e.p50_ms)),
+                        ("p99_latency_ms".into(), Json::F64(e.p99_ms)),
+                        ("bytes".into(), Json::U64(e.bytes)),
+                        ("wall_ms".into(), Json::U64(e.wall_ms)),
+                    ]),
+                )
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema_version".into(), Json::U64(BENCH_SCHEMA_VERSION)),
+            ("runs".into(), Json::Obj(runs)),
+        ])
+        .to_pretty_string()
+    }
+
+    /// Parses an artifact written by [`BenchArtifact::to_json`].
+    pub fn from_json(text: &str) -> Result<BenchArtifact, String> {
+        let v = Json::parse(text)?;
+        let version = v
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or("artifact missing schema_version")?;
+        if version != BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "artifact schema_version {version} != supported {BENCH_SCHEMA_VERSION}"
+            ));
+        }
+        let mut artifact = BenchArtifact::default();
+        let Some(Json::Obj(pairs)) = v.get("runs") else {
+            return Err("artifact missing runs object".into());
+        };
+        for (name, run) in pairs {
+            let num = |k: &str| {
+                run.get(k)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("run `{name}` missing `{k}`"))
+            };
+            let int = |k: &str| {
+                run.get(k)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("run `{name}` missing `{k}`"))
+            };
+            artifact.runs.insert(
+                name.clone(),
+                BenchEntry {
+                    tps: num("tps")?,
+                    p50_ms: num("p50_latency_ms")?,
+                    p99_ms: num("p99_latency_ms")?,
+                    bytes: int("bytes")?,
+                    wall_ms: int("wall_ms")?,
+                },
+            );
+        }
+        Ok(artifact)
+    }
+
+    /// Writes the artifact to `path`.
+    pub fn write(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        if let Some(dir) = path.as_ref().parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Reads an artifact from `path`.
+    pub fn read(path: impl AsRef<Path>) -> Result<BenchArtifact, String> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Compares `self` (baseline) against `new`, flagging regressions
+    /// beyond `threshold_pct` percent.
+    ///
+    /// A regression is: a run that disappeared, throughput that dropped by
+    /// more than the threshold, or p99 latency that grew by more than the
+    /// threshold (when the baseline measured a nonzero p99). Added runs and
+    /// sub-threshold drift are reported as informational lines.
+    pub fn diff(&self, new: &BenchArtifact, threshold_pct: f64) -> Vec<DiffLine> {
+        let mut lines = Vec::new();
+        let pct = |old: f64, new: f64| {
+            if old == 0.0 {
+                0.0
+            } else {
+                (new - old) / old * 100.0
+            }
+        };
+        for (name, old) in &self.runs {
+            let Some(cur) = new.runs.get(name) else {
+                lines.push(DiffLine {
+                    message: format!("{name}: missing from new artifact"),
+                    regression: true,
+                });
+                continue;
+            };
+            let tps_delta = pct(old.tps, cur.tps);
+            let p99_delta = pct(old.p99_ms, cur.p99_ms);
+            if tps_delta < -threshold_pct {
+                lines.push(DiffLine {
+                    message: format!(
+                        "{name}: throughput {:.0} -> {:.0} tx/s ({tps_delta:+.1}%)",
+                        old.tps, cur.tps
+                    ),
+                    regression: true,
+                });
+            }
+            if old.p99_ms > 0.0 && p99_delta > threshold_pct {
+                lines.push(DiffLine {
+                    message: format!(
+                        "{name}: p99 latency {:.1} -> {:.1} ms ({p99_delta:+.1}%)",
+                        old.p99_ms, cur.p99_ms
+                    ),
+                    regression: true,
+                });
+            }
+            if tps_delta.abs() > f64::EPSILON && tps_delta >= -threshold_pct {
+                lines.push(DiffLine {
+                    message: format!(
+                        "{name}: throughput drift {tps_delta:+.1}% (within {threshold_pct}%)"
+                    ),
+                    regression: false,
+                });
+            }
+        }
+        for name in new.runs.keys() {
+            if !self.runs.contains_key(name) {
+                lines.push(DiffLine {
+                    message: format!("{name}: new run (not in baseline)"),
+                    regression: false,
+                });
+            }
+        }
+        lines
+    }
+
+    /// Strict determinism check: every run must exist in both artifacts
+    /// with bit-identical `tps`/`p50`/`p99`/`bytes`; only `wall_ms` may
+    /// differ. Returns one message per mismatch.
+    pub fn identical_modulo_wall(&self, other: &BenchArtifact) -> Vec<String> {
+        let mut mismatches = Vec::new();
+        for (name, a) in &self.runs {
+            match other.runs.get(name) {
+                None => mismatches.push(format!("{name}: only in first artifact")),
+                Some(b) => {
+                    if (a.tps, a.p50_ms, a.p99_ms, a.bytes) != (b.tps, b.p50_ms, b.p99_ms, b.bytes)
+                    {
+                        mismatches.push(format!(
+                            "{name}: tps {} vs {}, p50 {} vs {}, p99 {} vs {}, bytes {} vs {}",
+                            a.tps, b.tps, a.p50_ms, b.p50_ms, a.p99_ms, b.p99_ms, a.bytes, b.bytes
+                        ));
+                    }
+                }
+            }
+        }
+        for name in other.runs.keys() {
+            if !self.runs.contains_key(name) {
+                mismatches.push(format!("{name}: only in second artifact"));
+            }
+        }
+        mismatches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(tps: f64, p99: f64, wall: u64) -> BenchEntry {
+        BenchEntry {
+            tps,
+            p50_ms: p99 / 2.0,
+            p99_ms: p99,
+            bytes: 1_000,
+            wall_ms: wall,
+        }
+    }
+
+    fn artifact(entries: &[(&str, BenchEntry)]) -> BenchArtifact {
+        BenchArtifact {
+            runs: entries
+                .iter()
+                .map(|(n, e)| (n.to_string(), e.clone()))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let a = artifact(&[
+            ("fig4_pbft", entry(12_000.0, 80.0, 900)),
+            ("fig8_star_1mb", entry(0.0, 4_000.0, 150)),
+        ]);
+        let text = a.to_json();
+        let back = BenchArtifact::from_json(&text).unwrap();
+        assert_eq!(back, a);
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn schema_version_mismatch_is_rejected() {
+        let text = artifact(&[]).to_json().replace(
+            &format!("\"schema_version\": {BENCH_SCHEMA_VERSION}"),
+            "\"schema_version\": 1",
+        );
+        assert!(BenchArtifact::from_json(&text)
+            .unwrap_err()
+            .contains("schema_version"));
+    }
+
+    #[test]
+    fn diff_flags_throughput_and_latency_regressions() {
+        let base = artifact(&[
+            ("a", entry(10_000.0, 100.0, 1)),
+            ("b", entry(10_000.0, 100.0, 1)),
+            ("gone", entry(1.0, 1.0, 1)),
+        ]);
+        let new = artifact(&[
+            ("a", entry(8_000.0, 100.0, 999)), // -20% tps: regression
+            ("b", entry(10_000.0, 130.0, 1)),  // +30% p99: regression
+            ("added", entry(1.0, 1.0, 1)),
+        ]);
+        let lines = base.diff(&new, 10.0);
+        let regressions: Vec<&str> = lines
+            .iter()
+            .filter(|l| l.regression)
+            .map(|l| l.message.as_str())
+            .collect();
+        assert_eq!(regressions.len(), 3, "{regressions:?}");
+        assert!(regressions.iter().any(|m| m.starts_with("a: throughput")));
+        assert!(regressions.iter().any(|m| m.starts_with("b: p99")));
+        assert!(regressions.iter().any(|m| m.starts_with("gone: missing")));
+        // The added run is informational only.
+        assert!(lines
+            .iter()
+            .any(|l| !l.regression && l.message.starts_with("added")));
+    }
+
+    #[test]
+    fn drift_within_threshold_is_informational() {
+        let base = artifact(&[("a", entry(10_000.0, 100.0, 1))]);
+        let new = artifact(&[("a", entry(9_500.0, 100.0, 1))]); // -5%
+        let lines = base.diff(&new, 10.0);
+        assert!(lines.iter().all(|l| !l.regression), "{lines:?}");
+        assert!(lines.iter().any(|l| l.message.contains("drift")));
+    }
+
+    #[test]
+    fn identical_modulo_wall_ignores_wall_only_differences() {
+        let a = artifact(&[("a", entry(10_000.0, 100.0, 1))]);
+        let b = artifact(&[("a", entry(10_000.0, 100.0, 12_345))]);
+        assert!(a.identical_modulo_wall(&b).is_empty());
+        let c = artifact(&[("a", entry(10_000.1, 100.0, 1))]);
+        assert_eq!(a.identical_modulo_wall(&c).len(), 1);
+    }
+}

@@ -5,59 +5,41 @@
 //!    gap collapses, confirming the upload-serialization model is what the
 //!    headline result rests on (not a protocol artifact).
 //! 2. **Erasure rate** — the paper fixes `k = n_c − f`; sweeping `f` shows
-//!    the stripe overhead `n/k` and decode cost trade-off.
+//!    the stripe overhead `n/k` and decode cost trade-off. The per-chain
+//!    encodes of a cut fan across cores via `ReedSolomon::encode_blobs`.
 //! 3. **PBFT pipelining** — slot window depth vs throughput at saturation.
 //!
-//! Usage: `cargo run -p predis-bench --release --bin ablation`
+//! Usage: `cargo run -p predis-bench --release --bin ablation [--quick]`
 
-use predis::experiments::{NetEnv, Protocol, ThroughputSetup};
-use predis_bench::{emit_report, f0, f1, print_table};
+use predis_bench::{emit_showcases, f0, f1, metric_or_nan, print_table, run_figure, suite};
 use predis_erasure::ReedSolomon;
-use predis_telemetry::RunReport;
-
-fn run(protocol: Protocol, mbps: u64, pipeline: usize) -> RunReport {
-    let mut s = ThroughputSetup {
-        protocol,
-        n_c: 4,
-        clients: 8,
-        offered_tps: 40_000.0,
-        env: NetEnv::Lan,
-        mbps,
-        duration_secs: 10,
-        warmup_secs: 4,
-        seed: 23,
-        ..Default::default()
-    };
-    // Pipeline is plumbed through the config inside run_sim; emulate by
-    // scaling batch size for the pipeline ablation instead.
-    let _ = pipeline;
-    s.batch_size = 800;
-    s.run_report(&format!(
-        "ablation_{}_{mbps}mbps",
-        protocol.name().to_ascii_lowercase().replace('-', "")
-    ))
-}
-
-fn tps(r: &RunReport) -> f64 {
-    r.metric("throughput_tps").unwrap_or(f64::NAN)
-}
+use predis_parallel::Pool;
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let points = suite::ablation_points(quick);
+    let outcomes = run_figure(&points);
+
     // ---- 1. bandwidth-model ablation ----
+    // Section-0 points come in (PBFT, P-PBFT) pairs per uplink speed.
+    let bandwidth: Vec<_> = points
+        .iter()
+        .zip(&outcomes)
+        .filter(|(p, _)| p.section == 0)
+        .collect();
     let mut rows = Vec::new();
-    let mut showcase = None;
-    for mbps in [100u64, 1_000, 10_000] {
-        let pbft = run(Protocol::Pbft, mbps, 8);
-        let ppbft = run(Protocol::PPbft, mbps, 8);
+    for pair in bandwidth.chunks(2) {
+        let [(pbft_point, pbft), (_, ppbft)] = pair else {
+            continue;
+        };
+        let pbft_tps = metric_or_nan(&pbft.report, "throughput_tps");
+        let ppbft_tps = metric_or_nan(&ppbft.report, "throughput_tps");
         rows.push(vec![
-            format!("{mbps} Mbps"),
-            f0(tps(&pbft)),
-            f0(tps(&ppbft)),
-            format!("{:.1}x", tps(&ppbft) / tps(&pbft).max(1.0)),
+            pbft_point.labels[0].clone(),
+            f0(pbft_tps),
+            f0(ppbft_tps),
+            format!("{:.1}x", ppbft_tps / pbft_tps.max(1.0)),
         ]);
-        if mbps == 100 {
-            showcase = Some(ppbft);
-        }
     }
     print_table(
         "Ablation 1: Predis advantage vs uplink bandwidth (saturating load)",
@@ -70,66 +52,58 @@ fn main() {
     );
 
     // ---- 2. erasure-rate ablation ----
+    // A whole cut (one 25.6 KB bundle per chain) is stripe-encoded in one
+    // parallel pass; decode cost is timed on the worst case (f losses).
+    let pool = Pool::default();
     let mut rows = Vec::new();
-    let bundle = vec![0xa5u8; 25_600];
     for f in [1usize, 2, 5] {
         let n = 3 * f + 1;
         let k = n - f;
         let rs = ReedSolomon::new(k, n).unwrap();
-        let stripes = rs.encode_blob(&bundle);
+        let cut: Vec<Vec<u8>> = (0..n)
+            .map(|chain| vec![0xa5u8 ^ chain as u8; 25_600])
+            .collect();
+        let per_chain = rs.encode_blobs(&cut, &pool);
+        let stripes = &per_chain[0];
         let total: usize = stripes.iter().map(Vec::len).sum();
         let start = std::time::Instant::now();
         let iters = 200;
         for _ in 0..iters {
-            let mut received: Vec<Option<Vec<u8>>> =
-                stripes.iter().cloned().map(Some).collect();
+            let mut received: Vec<Option<Vec<u8>>> = stripes.iter().cloned().map(Some).collect();
             for slot in received.iter_mut().take(f) {
                 *slot = None;
             }
-            rs.decode_blob(&mut received, bundle.len()).unwrap();
+            rs.decode_blob(&mut received, cut[0].len()).unwrap();
         }
         let decode_us = start.elapsed().as_micros() as f64 / iters as f64;
         rows.push(vec![
             format!("f={f} (k={k}/n={n})"),
-            format!("{:.2}x", total as f64 / bundle.len() as f64),
+            format!("{:.2}x", total as f64 / cut[0].len() as f64),
             f1(decode_us),
         ]);
     }
     print_table(
-        "Ablation 2: erasure rate k = n_c - f (25.6 KB bundle)",
+        "Ablation 2: erasure rate k = n_c - f (25.6 KB bundle per chain)",
         &["config", "wire_overhead", "worst_decode_us"],
         &rows,
     );
 
     // ---- 3. bundle-size ablation (Fig. 4a's knob, finer sweep) ----
-    let mut rows = Vec::new();
-    for bundle_size in [10usize, 25, 50, 100, 200] {
-        let s = ThroughputSetup {
-            protocol: Protocol::PPbft,
-            n_c: 4,
-            clients: 8,
-            offered_tps: 40_000.0,
-            bundle_size,
-            env: NetEnv::Lan,
-            duration_secs: 10,
-            warmup_secs: 4,
-            seed: 23,
-            ..Default::default()
-        }
-        .run_report(&format!("ablation_bundle{bundle_size}"));
-        let m = |k: &str| s.metric(k).unwrap_or(f64::NAN);
-        rows.push(vec![
-            bundle_size.to_string(),
-            f0(m("throughput_tps")),
-            f1(m("mean_latency_ms")),
-        ]);
-    }
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .zip(&outcomes)
+        .filter(|(p, _)| p.section == 1)
+        .map(|(p, o)| {
+            let mut row = p.labels.clone();
+            row.push(f0(metric_or_nan(&o.report, "throughput_tps")));
+            row.push(f1(metric_or_nan(&o.report, "mean_latency_ms")));
+            row
+        })
+        .collect();
     print_table(
         "Ablation 3: bundle size (P-PBFT, saturating load, LAN)",
         &["bundle_size", "tps", "mean_ms"],
         &rows,
     );
-    if let Some(report) = showcase {
-        emit_report(&report);
-    }
+    emit_showcases(&points, &outcomes);
 }

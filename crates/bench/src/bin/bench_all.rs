@@ -1,0 +1,98 @@
+//! Runs the whole benchmark suite (fig4–fig8 + ablations) across all
+//! cores and merges every run's headline numbers into one
+//! `BENCH_<schema>.json` artifact.
+//!
+//! Every grid point is an independent deterministic simulation, so the
+//! artifact is identical between runs modulo the per-run `wall_ms` field —
+//! CI exploits that by running the suite twice and diffing with
+//! `compare_bench --identical`.
+//!
+//! Usage: `bench_all [--quick] [--only PREFIX] [--threads N] [--out PATH]`
+//!
+//! * `--quick`   — the scaled-down grids (what CI runs).
+//! * `--only P`  — restrict to points whose name starts with `P`
+//!   (e.g. `--only fig6_`).
+//! * `--threads` — pool width override (default: all cores, or
+//!   `PREDIS_THREADS`).
+//! * `--out`     — artifact path (default `results/BENCH_2.json`).
+
+use std::time::Instant;
+
+use predis_bench::{
+    bench_file_name, f0, f1, print_table, suite, sweep, BenchArtifact, RESULTS_DIR,
+};
+use predis_parallel::Pool;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let only = flag_value("--only").unwrap_or_default();
+    let out = flag_value("--out").unwrap_or_else(|| format!("{RESULTS_DIR}/{}", bench_file_name()));
+    let pool = match flag_value("--threads") {
+        Some(n) => Pool::new(n.parse().unwrap_or_else(|_| {
+            eprintln!("--threads wants a positive integer, got {n:?}");
+            std::process::exit(2);
+        })),
+        None => Pool::default(),
+    };
+
+    let points = suite::filter_prefix(suite::suite(quick), &only);
+    if points.is_empty() {
+        eprintln!("no suite points match prefix {only:?}");
+        std::process::exit(2);
+    }
+    println!(
+        "bench_all: {} runs ({}) across {} worker thread(s)",
+        points.len(),
+        if quick { "--quick" } else { "full" },
+        pool.threads()
+    );
+
+    let started = Instant::now();
+    let outcomes = sweep(&points, &pool);
+    let elapsed_ms = started.elapsed().as_millis() as u64;
+
+    let mut rows = Vec::new();
+    for (point, outcome) in points.iter().zip(&outcomes) {
+        if let Err(e) = outcome.report.write_to_dir(RESULTS_DIR) {
+            eprintln!("could not write report {}: {e}", outcome.report.name);
+        }
+        rows.push(vec![
+            point.name.clone(),
+            f0(outcome.report.metric("throughput_tps").unwrap_or(0.0)),
+            f1(outcome
+                .report
+                .metric("p99_latency_ms")
+                .or_else(|| outcome.report.metric("to_100_ms"))
+                .unwrap_or(f64::NAN)),
+            outcome.wall_ms.to_string(),
+        ]);
+    }
+    print_table(
+        "bench_all suite",
+        &["run", "tps", "p99/to100_ms", "wall_ms"],
+        &rows,
+    );
+
+    let artifact = BenchArtifact::from_sweep(&points, &outcomes);
+    if let Err(e) = artifact.write(&out) {
+        eprintln!("could not write artifact {out}: {e}");
+        std::process::exit(2);
+    }
+
+    let cpu_ms: u64 = outcomes.iter().map(|o| o.wall_ms).sum();
+    println!(
+        "\n{} runs in {:.1}s wall ({:.1}s of simulation work, {:.2}x parallel speedup)",
+        outcomes.len(),
+        elapsed_ms as f64 / 1e3,
+        cpu_ms as f64 / 1e3,
+        cpu_ms as f64 / elapsed_ms.max(1) as f64,
+    );
+    println!("artifact written to {out}");
+}

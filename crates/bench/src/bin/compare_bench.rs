@@ -1,0 +1,93 @@
+//! Diffs two `BENCH_*.json` artifacts produced by `bench_all`.
+//!
+//! Usage:
+//! `compare_bench <baseline.json> <new.json> [--threshold PCT] [--warn-only] [--identical]`
+//!
+//! * default mode — reports throughput drops and p99-latency growth beyond
+//!   the threshold (default 15%), plus runs missing from the new artifact,
+//!   and exits 1 if any regression was found.
+//! * `--identical` — the determinism gate: every run must match
+//!   bit-for-bit except `wall_ms`; exits 1 on any mismatch.
+//! * `--warn-only` — print everything but always exit 0 (PR builds warn,
+//!   main builds gate).
+
+use predis_bench::BenchArtifact;
+
+fn main() {
+    let usage = || -> ! {
+        eprintln!(
+            "usage: compare_bench <baseline.json> <new.json> \
+             [--threshold PCT] [--warn-only] [--identical]"
+        );
+        std::process::exit(2);
+    };
+    let mut positional: Vec<String> = Vec::new();
+    let mut warn_only = false;
+    let mut identical = false;
+    let mut threshold = 15.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--warn-only" => warn_only = true,
+            "--identical" => identical = true,
+            "--threshold" => {
+                let Some(v) = args.next() else { usage() };
+                threshold = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--threshold wants a number, got {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            _ if arg.starts_with("--") => usage(),
+            _ => positional.push(arg),
+        }
+    }
+    let [baseline_path, new_path] = positional.as_slice() else {
+        usage()
+    };
+
+    let load = |path: &str| {
+        BenchArtifact::read(path).unwrap_or_else(|e| {
+            eprintln!("compare_bench: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = load(baseline_path);
+    let new = load(new_path);
+
+    let failures = if identical {
+        let mismatches = baseline.identical_modulo_wall(&new);
+        for m in &mismatches {
+            println!("MISMATCH  {m}");
+        }
+        if mismatches.is_empty() {
+            println!(
+                "identical: {} runs match bit-for-bit (modulo wall_ms)",
+                baseline.runs.len()
+            );
+        }
+        mismatches.len()
+    } else {
+        let lines = baseline.diff(&new, threshold);
+        let mut regressions = 0;
+        for line in &lines {
+            if line.regression {
+                regressions += 1;
+                println!("REGRESSION  {}", line.message);
+            } else {
+                println!("info        {}", line.message);
+            }
+        }
+        println!(
+            "compared {} baseline runs at {threshold}% threshold: {regressions} regression(s)",
+            baseline.runs.len()
+        );
+        regressions
+    };
+
+    if failures > 0 && !warn_only {
+        std::process::exit(1);
+    }
+    if failures > 0 {
+        println!("warn-only mode: not failing the build");
+    }
+}

@@ -4,112 +4,47 @@
 //! bundle sizes 25/50/100 and batch sizes 400/800 at `n_c = 4`.
 //! (c)/(d): scalability at `n_c = 4, 8, 16` with bundle 50 / batch 800.
 //!
+//! Every grid point is independent; the binary fans them across all cores
+//! via `predis_bench::run_figure` and prints the tables in grid order.
+//!
 //! Usage: `cargo run -p predis-bench --release --bin fig4 [--quick]`
 
-use predis::experiments::{NetEnv, Protocol, ThroughputSetup};
-use predis_bench::{emit_report, f0, f1, print_table};
-use predis_telemetry::RunReport;
-
-fn metric(r: &RunReport, key: &str) -> f64 {
-    r.metric(key).unwrap_or(f64::NAN)
-}
-
-fn run(
-    protocol: Protocol,
-    n_c: usize,
-    bundle: usize,
-    batch: usize,
-    load: f64,
-    secs: u64,
-) -> RunReport {
-    let name = format!(
-        "fig4_{}_nc{n_c}_load{}",
-        protocol.name().to_ascii_lowercase().replace('-', ""),
-        load as u64
-    );
-    ThroughputSetup {
-        protocol,
-        n_c,
-        clients: 8,
-        offered_tps: load,
-        bundle_size: bundle,
-        batch_size: batch,
-        env: NetEnv::Wan,
-        duration_secs: secs,
-        warmup_secs: secs / 3,
-        seed: 42,
-        ..Default::default()
-    }
-    .run_report(&name)
-}
+use predis_bench::{emit_showcases, f0, f1, metric_or_nan, print_table, run_figure, suite};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let secs = if quick { 9 } else { 15 };
-    let loads: &[f64] = if quick {
-        &[2_000.0, 8_000.0, 30_000.0]
-    } else {
-        &[1_000.0, 2_000.0, 4_000.0, 8_000.0, 15_000.0, 25_000.0, 40_000.0]
+    let points = suite::fig4_points(quick);
+    let outcomes = run_figure(&points);
+
+    let rows_of = |section: usize, keys: &[&str]| -> Vec<Vec<String>> {
+        points
+            .iter()
+            .zip(&outcomes)
+            .filter(|(p, _)| p.section == section)
+            .map(|(p, o)| {
+                let mut row = p.labels.clone();
+                for key in keys {
+                    let v = metric_or_nan(&o.report, key);
+                    row.push(if *key == "throughput_tps" {
+                        f0(v)
+                    } else {
+                        f1(v)
+                    });
+                }
+                row
+            })
+            .collect()
     };
 
-    // ---- Fig. 4 (a,b): parameter study at n_c = 4 ----
-    let mut rows = Vec::new();
-    for (proto, params) in [
-        (Protocol::Pbft, vec![400usize, 800]),
-        (Protocol::HotStuff, vec![400, 800]),
-        (Protocol::PPbft, vec![25, 50, 100]),
-        (Protocol::PHs, vec![25, 50, 100]),
-    ] {
-        let predis = matches!(proto, Protocol::PPbft | Protocol::PHs);
-        for p in params {
-            let (bundle, batch) = if predis { (p, 800) } else { (50, p) };
-            for &load in loads {
-                let s = run(proto, 4, bundle, batch, load, secs);
-                rows.push(vec![
-                    proto.name().to_string(),
-                    if predis {
-                        format!("bundle={p}")
-                    } else {
-                        format!("batch={p}")
-                    },
-                    f0(load),
-                    f0(metric(&s, "throughput_tps")),
-                    f1(metric(&s, "mean_latency_ms")),
-                    f1(metric(&s, "p99_latency_ms")),
-                ]);
-            }
-        }
-    }
     print_table(
         "Fig.4(a,b) throughput-latency, n_c=4, WAN",
         &["protocol", "config", "offered", "tps", "mean_ms", "p99_ms"],
-        &rows,
+        &rows_of(0, &["throughput_tps", "mean_latency_ms", "p99_latency_ms"]),
     );
-
-    // ---- Fig. 4 (c,d): scalability in n_c ----
-    let mut rows = Vec::new();
-    let mut showcase = None;
-    for proto in [Protocol::Pbft, Protocol::PPbft, Protocol::HotStuff, Protocol::PHs] {
-        for n_c in [4usize, 8, 16] {
-            // Measure saturated throughput: offered load well above capacity.
-            let s = run(proto, n_c, 50, 800, 45_000.0, secs);
-            rows.push(vec![
-                proto.name().to_string(),
-                n_c.to_string(),
-                f0(metric(&s, "throughput_tps")),
-                f1(metric(&s, "mean_latency_ms")),
-            ]);
-            if proto == Protocol::PPbft && n_c == 4 {
-                showcase = Some(s);
-            }
-        }
-    }
     print_table(
         "Fig.4(c,d) saturated throughput vs n_c (bundle 50 / batch 800, WAN)",
         &["protocol", "n_c", "tps", "mean_ms"],
-        &rows,
+        &rows_of(1, &["throughput_tps", "mean_latency_ms"]),
     );
-    if let Some(report) = showcase {
-        emit_report(&report);
-    }
+    emit_showcases(&points, &outcomes);
 }

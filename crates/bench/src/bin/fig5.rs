@@ -2,72 +2,39 @@
 //! PAB) in WAN and LAN, throughput–latency curves.
 //!
 //! As in the paper: one worker per node, ≤50 transactions per
-//! bundle/microblock, up to 1000 digests per Narwhal/Stratus proposal.
+//! bundle/microblock, up to 1000 digests per Narwhal/Stratus proposal. All
+//! grid points run in parallel (independent seeds, deterministic reports).
 //!
 //! Usage: `cargo run -p predis-bench --release --bin fig5 [--quick]`
 
-use predis::experiments::{NetEnv, Protocol, ThroughputSetup};
-use predis_bench::{emit_report, f0, f1, print_table};
+use predis_bench::{emit_showcases, f0, f1, metric_or_nan, print_table, run_figure, suite};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let secs = if quick { 9 } else { 15 };
-    let loads: &[f64] = if quick {
-        &[4_000.0, 20_000.0]
-    } else {
-        &[2_000.0, 5_000.0, 10_000.0, 20_000.0, 30_000.0, 40_000.0]
-    };
+    let points = suite::fig5_points(quick);
+    let outcomes = run_figure(&points);
 
-    let mut showcase = None;
-    for env in [NetEnv::Wan, NetEnv::Lan] {
-        let mut rows = Vec::new();
-        for proto in [Protocol::PHs, Protocol::Narwhal, Protocol::Stratus] {
-            for &load in loads {
-                let name = if proto == Protocol::PHs { "Predis" } else { proto.name() };
-                let report_name = format!(
-                    "fig5_{}_{:?}_load{}",
-                    name.to_ascii_lowercase(),
-                    env,
-                    load as u64
-                )
-                .to_ascii_lowercase();
-                let s = ThroughputSetup {
-                    protocol: proto,
-                    n_c: 4,
-                    clients: 8,
-                    offered_tps: load,
-                    bundle_size: 50,
-                    env,
-                    duration_secs: secs,
-                    warmup_secs: secs / 3,
-                    seed: 7,
-                    ..Default::default()
-                }
-                .run_report(&report_name);
-                let m = |k: &str| s.metric(k).unwrap_or(f64::NAN);
-                rows.push(vec![
-                    name.to_string(),
-                    f0(load),
-                    f0(m("throughput_tps")),
-                    f1(m("mean_latency_ms")),
-                    f1(m("p99_latency_ms")),
-                ]);
-                if proto == Protocol::PHs && env == NetEnv::Wan {
-                    showcase = Some(s);
-                }
-            }
-        }
-        let title = match env {
-            NetEnv::Wan => "Fig.5 (WAN) Predis vs Narwhal vs Stratus",
-            NetEnv::Lan => "Fig.5 (LAN) Predis vs Narwhal vs Stratus",
-        };
+    for (section, title) in [
+        (0usize, "Fig.5 (WAN) Predis vs Narwhal vs Stratus"),
+        (1, "Fig.5 (LAN) Predis vs Narwhal vs Stratus"),
+    ] {
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .zip(&outcomes)
+            .filter(|(p, _)| p.section == section)
+            .map(|(p, o)| {
+                let mut row = p.labels.clone();
+                row.push(f0(metric_or_nan(&o.report, "throughput_tps")));
+                row.push(f1(metric_or_nan(&o.report, "mean_latency_ms")));
+                row.push(f1(metric_or_nan(&o.report, "p99_latency_ms")));
+                row
+            })
+            .collect();
         print_table(
             title,
             &["protocol", "offered", "tps", "mean_ms", "p99_ms"],
             &rows,
         );
     }
-    if let Some(report) = showcase {
-        emit_report(&report);
-    }
+    emit_showcases(&points, &outcomes);
 }

@@ -8,77 +8,31 @@
 //!
 //! Usage: `cargo run -p predis-bench --release --bin fig6 [--quick]`
 
-use predis::experiments::{FaultSpec, NetEnv, Protocol, ThroughputSetup};
-use predis_bench::{emit_report, f0, f1, print_table};
-use predis_telemetry::RunReport;
-
-fn run(faults: FaultSpec, secs: u64, name: &str) -> RunReport {
-    ThroughputSetup {
-        protocol: Protocol::PPbft,
-        n_c: 8,
-        clients: 8,
-        offered_tps: 40_000.0, // saturating load: measures capacity
-        env: NetEnv::Lan,
-        duration_secs: secs,
-        warmup_secs: secs / 3,
-        seed: 11,
-        faults,
-        ..Default::default()
-    }
-    .run_report(name)
-}
-
-fn metric(r: &RunReport, key: &str) -> f64 {
-    r.metric(key).unwrap_or(f64::NAN)
-}
+use predis_bench::{emit_showcases, f0, f1, metric_or_nan, print_table, run_figure, suite};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let secs = if quick { 9 } else { 18 };
-    let f_max = 2; // n_c = 8 -> f = 2
+    let points = suite::fig6_points(quick);
+    let outcomes = run_figure(&points);
 
-    let mut rows = Vec::new();
-    let normal = run(FaultSpec::none(), secs, "fig6_normal");
-    let normal_tps = metric(&normal, "throughput_tps");
-    rows.push(vec![
-        "normal".into(),
-        "0".into(),
-        f0(normal_tps),
-        f1(metric(&normal, "mean_latency_ms")),
-        "1.00".into(),
-    ]);
-    for f in 1..=f_max {
-        // Case 1: silent nodes (indices chosen among non-initial-leaders).
-        let silent = FaultSpec {
-            silent: (8 - f..8).collect(),
-            selective: vec![],
-        };
-        let s = run(silent, secs, &format!("fig6_case1_f{f}"));
-        rows.push(vec![
-            "case1-silent".into(),
-            f.to_string(),
-            f0(metric(&s, "throughput_tps")),
-            f1(metric(&s, "mean_latency_ms")),
-            format!("{:.2}", metric(&s, "throughput_tps") / normal_tps),
-        ]);
-        // Case 2: selective senders that never vote.
-        let selective = FaultSpec {
-            silent: vec![],
-            selective: (8 - f..8).collect(),
-        };
-        let s = run(selective, secs, &format!("fig6_case2_f{f}"));
-        rows.push(vec![
-            "case2-selective".into(),
-            f.to_string(),
-            f0(metric(&s, "throughput_tps")),
-            f1(metric(&s, "mean_latency_ms")),
-            format!("{:.2}", metric(&s, "throughput_tps") / normal_tps),
-        ]);
-    }
+    // The first point is the fault-free baseline the ratios are against.
+    let normal_tps = metric_or_nan(&outcomes[0].report, "throughput_tps");
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .zip(&outcomes)
+        .map(|(p, o)| {
+            let tps = metric_or_nan(&o.report, "throughput_tps");
+            let mut row = p.labels.clone();
+            row.push(f0(tps));
+            row.push(f1(metric_or_nan(&o.report, "mean_latency_ms")));
+            row.push(format!("{:.2}", tps / normal_tps));
+            row
+        })
+        .collect();
     print_table(
         "Fig.6 P-PBFT under faults (n_c=8, LAN, saturating load)",
         &["scenario", "f", "tps", "mean_ms", "vs_normal"],
         &rows,
     );
-    emit_report(&normal);
+    emit_showcases(&points, &outcomes);
 }

@@ -3,76 +3,49 @@
 //! P-PBFT consensus nodes also serve the full-node network from the same
 //! 100 Mbps uplinks; generation is fixed at 26,000 tx/s. Star throughput
 //! declines as full nodes are added; Multi-Zone's stays flat once every
-//! zone is populated, and rises with `n_c`.
+//! zone is populated, and rises with `n_c`. Grid points run in parallel.
 //!
 //! Usage: `cargo run -p predis-bench --release --bin fig7 [--quick]`
 
-use predis::experiments::{DistMode, TopologySetup};
-use predis_bench::{emit_report, f0, print_table};
+use predis_bench::{emit_showcases, f0, metric_or_nan, print_table, run_figure, suite};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let secs = if quick { 10 } else { 16 };
-    let full_counts: &[usize] = if quick { &[12, 48] } else { &[8, 16, 24, 48, 72, 96] };
+    let points = suite::fig7_points(quick);
+    let outcomes = run_figure(&points);
 
-    // ---- star vs Multi-Zone over full-node count ----
-    let mut rows = Vec::new();
-    for (mode, label) in [
-        (DistMode::Star, "star"),
-        (DistMode::MultiZone { zones: 4 }, "multizone-4"),
-        (DistMode::MultiZone { zones: 12 }, "multizone-12"),
-    ] {
-        for &fulls in full_counts {
-            let setup = TopologySetup {
-                n_c: 4,
-                full_nodes: fulls,
-                mode,
-                duration_secs: secs,
-                warmup_secs: secs / 3,
-                seed: 5,
-                ..Default::default()
-            };
-            let (r, sim) = setup.run_with_sim();
-            rows.push(vec![
-                label.to_string(),
-                fulls.to_string(),
-                f0(r.throughput_tps),
-                (r.consensus_upload_bytes / 1_000_000).to_string(),
-            ]);
-            if matches!(mode, DistMode::MultiZone { zones: 12 }) && fulls == *full_counts.last().unwrap() {
-                emit_report(&setup.report(&r, &sim, &format!("fig7_{label}_fulls{fulls}")));
-            }
-        }
-    }
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .zip(&outcomes)
+        .filter(|(p, _)| p.section == 0)
+        .map(|(p, o)| {
+            let mut row = p.labels.clone();
+            row.push(f0(metric_or_nan(&o.report, "throughput_tps")));
+            let upload = metric_or_nan(&o.report, "consensus_upload_bytes");
+            row.push(((upload as u64) / 1_000_000).to_string());
+            row
+        })
+        .collect();
     print_table(
         "Fig.7 consensus throughput vs full nodes (n_c=4, 26k tx/s offered)",
         &["topology", "full_nodes", "tps", "consensus_upload_MB"],
         &rows,
     );
 
-    // ---- throughput grows with n_c at a fixed full-node count ----
-    let mut rows = Vec::new();
-    for (mode, label) in [
-        (DistMode::Star, "star"),
-        (DistMode::MultiZone { zones: 12 }, "multizone-12"),
-    ] {
-        for n_c in [4usize, 8, 16] {
-            let r = TopologySetup {
-                n_c,
-                full_nodes: 48,
-                mode,
-                duration_secs: secs,
-                warmup_secs: secs / 3,
-                seed: 5,
-                ..Default::default()
-            }
-            .run();
-            rows.push(vec![label.to_string(), n_c.to_string(), f0(r.throughput_tps)]);
-        }
-    }
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .zip(&outcomes)
+        .filter(|(p, _)| p.section == 1)
+        .map(|(p, o)| {
+            let mut row = p.labels.clone();
+            row.push(f0(metric_or_nan(&o.report, "throughput_tps")));
+            row
+        })
+        .collect();
     print_table(
         "Fig.7 (cont.) throughput vs n_c at 48 full nodes",
         &["topology", "n_c", "tps"],
         &rows,
     );
+    emit_showcases(&points, &outcomes);
 }

@@ -1,72 +1,40 @@
 //! Fig. 8 — block propagation latency of star, random(FEG) and Multi-Zone
 //! (3 and 12 zones) over block sizes 1–40 MB; 8 consensus nodes, 100 full
 //! nodes, per-node subscriber cap 24, fanout 4 / degree 8 for the random
-//! topology.
+//! topology. The (size × topology) grid runs in parallel.
 //!
 //! Usage: `cargo run -p predis-bench --release --bin fig8 [--quick]`
 
-use predis::experiments::{PropagationSetup, Topology};
-use predis::sim::{LatencyModel, SimDuration};
-use predis::multizone::FegConfig;
-use predis_bench::{emit_report, f1, print_table};
+use predis_bench::{emit_showcases, f1, metric_or_nan, print_table, run_figure, suite};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let sizes_mb: &[u64] = if quick { &[1, 20] } else { &[1, 5, 10, 20, 40] };
-    let blocks = if quick { 3 } else { 8 };
     let full_nodes = if quick { 60 } else { 100 };
+    let points = suite::fig8_points(quick);
+    let outcomes = run_figure(&points);
 
-    let topologies = [
-        ("star", Topology::Star),
-        (
-            "random-feg",
-            Topology::Random {
-                degree: 8,
-                feg: FegConfig::default(),
-            },
-        ),
-        ("multizone-3", Topology::MultiZone { zones: 3 }),
-        ("multizone-12", Topology::MultiZone { zones: 12 }),
-    ];
-
-    let mut rows = Vec::new();
-    for &mb in sizes_mb {
-        // Blocks must be spaced far enough apart that even the slowest
-        // topology can finish one before the next arrives (the star's
-        // service time is ~block x fleet/n_c at 100 Mbps), otherwise the
-        // measurement becomes a queueing artifact.
-        let star_service_secs = (mb as f64 * 8.0 * (full_nodes as f64 / 8.0) / 100.0) as u64;
-        let interval_secs = 5.max(star_service_secs + star_service_secs / 2);
-        for (label, topo) in &topologies {
-            let setup = PropagationSetup {
-                n_c: 8,
-                full_nodes,
-                block_bytes: mb * 1_000_000,
-                interval: SimDuration::from_secs(interval_secs),
-                blocks,
-                mbps: 100,
-                latency: LatencyModel::lan(),
-                max_children: 24,
-                locality_zones: false,
-                seed: 3,
-            };
-            let (r, sim) = setup.run_with_sim(topo);
-            rows.push(vec![
-                format!("{mb}MB"),
-                label.to_string(),
-                f1(r.to_50_ms),
-                f1(r.to_90_ms),
-                f1(r.to_100_ms),
-                format!("{}/{}", r.complete_blocks, r.produced_blocks),
-            ]);
-            if *label == "multizone-12" && mb == *sizes_mb.last().unwrap() {
-                emit_report(&setup.report(&r, &sim, &format!("fig8_{label}_{mb}mb")));
-            }
-        }
-    }
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .zip(&outcomes)
+        .map(|(p, o)| {
+            let mut row = p.labels.clone();
+            row.push(f1(metric_or_nan(&o.report, "to_50_ms")));
+            row.push(f1(metric_or_nan(&o.report, "to_90_ms")));
+            row.push(f1(metric_or_nan(&o.report, "to_100_ms")));
+            row.push(format!(
+                "{}/{}",
+                metric_or_nan(&o.report, "complete_blocks") as u64,
+                metric_or_nan(&o.report, "produced_blocks") as u64,
+            ));
+            row
+        })
+        .collect();
     print_table(
         &format!("Fig.8 block propagation latency (8 consensus, {full_nodes} full nodes)"),
-        &["block", "topology", "to50_ms", "to90_ms", "to100_ms", "complete"],
+        &[
+            "block", "topology", "to50_ms", "to90_ms", "to100_ms", "complete",
+        ],
         &rows,
     );
+    emit_showcases(&points, &outcomes);
 }

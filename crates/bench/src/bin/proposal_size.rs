@@ -5,13 +5,13 @@
 //!
 //! Usage: `cargo run -p predis-bench --bin proposal_size`
 
+use predis_bench::print_table;
 use predis_crypto::{Hash, Keypair, SignerId};
 use predis_mempool::Mempool;
 use predis_types::{
     ChainId, ClientId, Height, MicroRef, ProposalPayload, TipList, Transaction, TxId, View,
     WireSize,
 };
-use predis_bench::print_table;
 
 /// Builds a real Predis block over `n_c` chains whose cut maps into
 /// `total_txs` transactions, and returns its wire size.

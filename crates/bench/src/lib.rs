@@ -6,6 +6,13 @@
 
 use predis_telemetry::RunReport;
 
+pub mod artifact;
+pub mod suite;
+pub mod sweep;
+
+pub use artifact::{bench_file_name, BenchArtifact, BenchEntry, BENCH_SCHEMA_VERSION};
+pub use sweep::{sweep, Runner, SweepOutcome, SweepPoint};
+
 /// Directory the figure binaries write their machine-readable reports to.
 pub const RESULTS_DIR: &str = "results";
 
@@ -16,6 +23,26 @@ pub fn emit_report(report: &RunReport) {
     match report.write_to_dir(RESULTS_DIR) {
         Ok(path) => println!("report written to {}", path.display()),
         Err(e) => eprintln!("could not write report {}: {e}", report.name),
+    }
+}
+
+/// Runs a figure's grid across all cores (honoring `PREDIS_THREADS`) and
+/// returns outcomes in point order.
+pub fn run_figure(points: &[SweepPoint]) -> Vec<SweepOutcome> {
+    sweep(points, &predis_parallel::Pool::default())
+}
+
+/// A report metric for table display: `NaN` (rendered `-`) when absent.
+pub fn metric_or_nan(report: &RunReport, key: &str) -> f64 {
+    report.metric(key).unwrap_or(f64::NAN)
+}
+
+/// Emits the showcase reports of a finished figure sweep.
+pub fn emit_showcases(points: &[SweepPoint], outcomes: &[SweepOutcome]) {
+    for (point, outcome) in points.iter().zip(outcomes) {
+        if point.showcase {
+            emit_report(&outcome.report);
+        }
     }
 }
 

@@ -1,0 +1,106 @@
+//! The parallel runner's core guarantee: a sweep's reports — and the
+//! benchmark artifact derived from them — are byte-identical regardless of
+//! pool width and scheduling order; only `wall_ms` may differ.
+
+use predis::experiments::{
+    DistMode, NetEnv, PropagationSetup, Protocol, ThroughputSetup, Topology, TopologySetup,
+};
+use predis::sim::{LatencyModel, SimDuration};
+use predis_bench::{suite, sweep, BenchArtifact, SweepPoint};
+use predis_parallel::Pool;
+
+/// A scaled-down grid covering all three runner kinds (seconds, not
+/// minutes, so it can run inside the tier-1 test suite).
+fn mini_suite() -> Vec<SweepPoint> {
+    vec![
+        SweepPoint::throughput(
+            "det_throughput",
+            ThroughputSetup {
+                protocol: Protocol::PPbft,
+                n_c: 4,
+                clients: 4,
+                offered_tps: 2_000.0,
+                env: NetEnv::Lan,
+                duration_secs: 3,
+                warmup_secs: 1,
+                seed: 1234,
+                ..Default::default()
+            },
+        ),
+        SweepPoint::topology(
+            "det_topology",
+            TopologySetup {
+                n_c: 4,
+                full_nodes: 8,
+                mode: DistMode::MultiZone { zones: 4 },
+                duration_secs: 3,
+                warmup_secs: 1,
+                seed: 1234,
+                ..Default::default()
+            },
+        ),
+        SweepPoint::propagation(
+            "det_propagation",
+            PropagationSetup {
+                n_c: 4,
+                full_nodes: 20,
+                block_bytes: 1_000_000,
+                interval: SimDuration::from_secs(3),
+                blocks: 2,
+                mbps: 100,
+                latency: LatencyModel::lan(),
+                max_children: 24,
+                locality_zones: false,
+                seed: 1234,
+            },
+            Topology::MultiZone { zones: 4 },
+        ),
+    ]
+}
+
+#[test]
+fn sweep_reports_are_identical_across_pool_widths() {
+    let points = mini_suite();
+    let serial = sweep(&points, &Pool::new(1));
+    let wide = sweep(&points, &Pool::new(4));
+    for (i, (a, b)) in serial.iter().zip(&wide).enumerate() {
+        assert_eq!(
+            a.report.to_json(),
+            b.report.to_json(),
+            "report {i} ({}) differs between pool widths",
+            points[i].name
+        );
+    }
+}
+
+#[test]
+fn bench_artifact_is_identical_modulo_wall_ms() {
+    let points = mini_suite();
+    let first = BenchArtifact::from_sweep(&points, &sweep(&points, &Pool::new(3)));
+    let second = BenchArtifact::from_sweep(&points, &sweep(&points, &Pool::new(2)));
+    let mismatches = first.identical_modulo_wall(&second);
+    assert!(mismatches.is_empty(), "{mismatches:#?}");
+    // The serialized artifacts agree once wall_ms is normalized out.
+    let normalize = |mut a: BenchArtifact| {
+        for entry in a.runs.values_mut() {
+            entry.wall_ms = 0;
+        }
+        a.to_json()
+    };
+    assert_eq!(normalize(first), normalize(second));
+}
+
+/// The full CI gate, locally runnable with `--ignored`: the entire
+/// `--quick` suite twice, artifacts identical modulo wall clock. Takes
+/// several minutes of simulation; CI runs the equivalent via `bench_all`
+/// twice + `compare_bench --identical`.
+#[test]
+#[ignore = "minutes of simulation; CI covers this via bench_all + compare_bench --identical"]
+fn full_quick_suite_is_deterministic() {
+    let points = suite::quick_suite();
+    let pool = Pool::default();
+    let first = BenchArtifact::from_sweep(&points, &sweep(&points, &pool));
+    let second = BenchArtifact::from_sweep(&points, &sweep(&points, &pool));
+    let mismatches = first.identical_modulo_wall(&second);
+    assert!(mismatches.is_empty(), "{mismatches:#?}");
+}

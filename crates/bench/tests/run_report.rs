@@ -3,7 +3,7 @@
 //! stage percentiles and labeled counters, and the report written to disk
 //! must read back identical.
 
-use predis::experiments::{NetEnv, Protocol, ThroughputSetup};
+use predis::experiments::{FaultSpec, NetEnv, Protocol, ThroughputSetup};
 use predis_telemetry::{Labels, RunReport, Stage};
 
 fn small_run() -> RunReport {
@@ -21,6 +21,54 @@ fn small_run() -> RunReport {
     .run_report("itest_ppbft")
 }
 
+/// A run that commits nothing: three of four replicas are silent, so no
+/// quorum ever forms. Latency summaries come back `NaN` and must be
+/// *omitted* from the report, and reading them through `require_metric`
+/// must fail loudly rather than NaN-propagate.
+fn idle_run() -> RunReport {
+    ThroughputSetup {
+        protocol: Protocol::PPbft,
+        n_c: 4,
+        clients: 4,
+        offered_tps: 100.0,
+        env: NetEnv::Lan,
+        duration_secs: 2,
+        warmup_secs: 0,
+        seed: 99,
+        faults: FaultSpec {
+            silent: vec![1, 2, 3],
+            selective: vec![],
+        },
+        ..Default::default()
+    }
+    .run_report("itest_idle")
+}
+
+#[test]
+fn unmeasured_metrics_are_omitted_not_nan() {
+    let report = idle_run();
+    // Throughput over an empty window is a measured 0.0, and stays.
+    assert_eq!(report.metric("throughput_tps"), Some(0.0));
+    // No commit ever happened, so there is no client latency to summarize;
+    // the key must be absent (never stored as NaN).
+    assert_eq!(report.metric("p99_latency_ms"), None);
+    assert!(report.metrics.values().all(|v| v.is_finite()));
+}
+
+#[test]
+fn require_metric_fails_loudly_on_unmeasured_key() {
+    let report = idle_run();
+    let err = std::panic::catch_unwind(|| report.require_metric("p99_latency_ms"))
+        .expect_err("absent metric must panic");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("itest_idle"), "panic names the run: {msg}");
+    assert!(msg.contains("p99_latency_ms"), "panic names the key: {msg}");
+    assert!(
+        msg.contains("throughput_tps"),
+        "panic lists available keys: {msg}"
+    );
+}
+
 #[test]
 fn fig_pipeline_report_has_stages_counters_and_roundtrips() {
     let report = small_run();
@@ -28,7 +76,10 @@ fn fig_pipeline_report_has_stages_counters_and_roundtrips() {
     // Headline metrics from the RunSummary made it in.
     assert!(report.metric("throughput_tps").unwrap() > 0.0);
     assert!(report.metric("committed_txs").unwrap() > 0.0);
-    assert_eq!(report.meta.get("protocol").map(String::as_str), Some("P-PBFT"));
+    assert_eq!(
+        report.meta.get("protocol").map(String::as_str),
+        Some("P-PBFT")
+    );
 
     // Bundle-lifecycle stage percentiles: bundles were produced, acked,
     // cut, proposed, and committed, so the end-to-end segment must be

@@ -61,9 +61,8 @@ impl ClientCore {
         assert!(rate_tps > 0.0, "client rate must be positive");
         // Tick every 5 ms (or slower for very low rates) and emit a
         // fractional batch per tick.
-        let tick = SimDuration::from_millis(5).max(SimDuration::from_secs_f64(
-            (1.0 / rate_tps).min(1.0),
-        ));
+        let tick =
+            SimDuration::from_millis(5).max(SimDuration::from_secs_f64((1.0 / rate_tps).min(1.0)));
         let per_tick = rate_tps * tick.as_secs_f64();
         ClientCore {
             id,

@@ -187,11 +187,8 @@ impl<P: DataPlane> HotStuffNode<P> {
                 // Nothing to order. Keep the pipeline moving with an empty
                 // block only if uncommitted blocks are waiting on the
                 // 3-chain rule; otherwise stay silent.
-                let chain_pending = !parent.is_zero()
-                    && !self
-                        .blocks
-                        .get(&parent)
-                        .is_none_or(|b| b.executed);
+                let chain_pending =
+                    !parent.is_zero() && !self.blocks.get(&parent).is_none_or(|b| b.executed);
                 if chain_pending {
                     ProposalPayload::Batch(Vec::new())
                 } else {
@@ -273,7 +270,9 @@ impl<P: DataPlane> HotStuffNode<P> {
         if self.mute {
             return;
         }
-        let Some(entry) = self.blocks.get(&hash) else { return };
+        let Some(entry) = self.blocks.get(&hash) else {
+            return;
+        };
         let block = &entry.msg;
         // Safety rule: vote once per round, and only for blocks extending
         // the lock (or justified past it).
@@ -367,11 +366,17 @@ impl<P: DataPlane> HotStuffNode<P> {
         ctx: &mut NarrowContext<'_, '_, M, ConsMsg>,
         b: Hash,
     ) {
-        let Some(b1) = self.blocks.get(&b).map(|e| e.msg.justify.block) else { return };
-        let Some(b1e) = self.blocks.get(&b1) else { return };
+        let Some(b1) = self.blocks.get(&b).map(|e| e.msg.justify.block) else {
+            return;
+        };
+        let Some(b1e) = self.blocks.get(&b1) else {
+            return;
+        };
         let b2 = b1e.msg.parent;
         let b1_round = b1e.msg.round;
-        let Some(b2e) = self.blocks.get(&b2) else { return };
+        let Some(b2e) = self.blocks.get(&b2) else {
+            return;
+        };
         let b3 = b2e.msg.parent;
         let b2_round = b2e.msg.round;
         // Require the chain b3 <- b2 <- b1 with consecutive justifications:
@@ -491,17 +496,22 @@ impl<P: DataPlane> ProtocolCore<ConsMsg> for HotStuffNode<P> {
         };
         match msg {
             ConsMsg::HsProposal(block) => self.on_proposal(ctx, sender, *block),
-            ConsMsg::HsVote { block, round }
-                if self.leader_of(round.next()) == self.me => {
-                    self.on_vote(ctx, sender, block, round);
-                }
+            ConsMsg::HsVote { block, round } if self.leader_of(round.next()) == self.me => {
+                self.on_vote(ctx, sender, block, round);
+            }
             ConsMsg::CatchUpRequest { from: start } => {
                 let mut slots = Vec::new();
                 let mut idx = start.0;
                 while slots.len() < 8 {
-                    let Some(offset) = idx.checked_sub(self.exec_base) else { break };
-                    let Some(&h) = self.exec_order.get(offset as usize) else { break };
-                    let Some(entry) = self.blocks.get(&h) else { break };
+                    let Some(offset) = idx.checked_sub(self.exec_base) else {
+                        break;
+                    };
+                    let Some(&h) = self.exec_order.get(offset as usize) else {
+                        break;
+                    };
+                    let Some(entry) = self.blocks.get(&h) else {
+                        break;
+                    };
                     slots.push((
                         SeqNum(idx),
                         entry.msg.payload.clone(),

@@ -216,8 +216,7 @@ impl<P: DataPlane> PbftNode<P> {
         seq: SeqNum,
         payload: ProposalPayload,
     ) {
-        if view != self.view || self.roster.index_of(from) != Some(self.roster.leader_of(view.0))
-        {
+        if view != self.view || self.roster.index_of(from) != Some(self.roster.leader_of(view.0)) {
             return;
         }
         if seq <= self.last_exec {
@@ -248,7 +247,9 @@ impl<P: DataPlane> PbftNode<P> {
         ctx: &mut NarrowContext<'_, '_, M, ConsMsg>,
         seq: SeqNum,
     ) {
-        let Some(slot) = self.slots.get(&seq) else { return };
+        let Some(slot) = self.slots.get(&seq) else {
+            return;
+        };
         if slot.validated || slot.payload.is_none() {
             return;
         }
@@ -289,7 +290,9 @@ impl<P: DataPlane> PbftNode<P> {
         seq: SeqNum,
     ) {
         let quorum = self.roster.quorum();
-        let Some(slot) = self.slots.get_mut(&seq) else { return };
+        let Some(slot) = self.slots.get_mut(&seq) else {
+            return;
+        };
         if slot.validated && !slot.sent_commit && slot.prepares.len() >= quorum {
             slot.sent_commit = true;
             slot.commits.insert(self.me);
@@ -305,7 +308,9 @@ impl<P: DataPlane> PbftNode<P> {
                 );
             }
         }
-        let Some(slot) = self.slots.get_mut(&seq) else { return };
+        let Some(slot) = self.slots.get_mut(&seq) else {
+            return;
+        };
         if !slot.committed && slot.commits.len() >= quorum && slot.payload.is_some() {
             slot.committed = true;
             self.try_execute(ctx);
@@ -337,8 +342,7 @@ impl<P: DataPlane> PbftNode<P> {
             self.backoff = 0;
             // Checkpoint-style garbage collection: keep a retention window
             // of executed slots for crash-recovery catch-up, drop the rest.
-            let keep_from =
-                SeqNum(self.last_exec.0.saturating_sub(self.cfg.retention as u64));
+            let keep_from = SeqNum(self.last_exec.0.saturating_sub(self.cfg.retention as u64));
             self.slots = self.slots.split_off(&keep_from);
             self.executed_blocks += 1;
             self.executed_txs += txs.len() as u64;
@@ -501,10 +505,7 @@ pub(crate) fn deliver_commit<M: Codec<ConsMsg>>(
 impl<P: DataPlane> ProtocolCore<ConsMsg> for PbftNode<P> {
     fn start<M: Codec<ConsMsg>>(&mut self, ctx: &mut NarrowContext<'_, '_, M, ConsMsg>) {
         self.plane.init(ctx);
-        ctx.set_timer(
-            self.cfg.view_timeout,
-            TimerTag::of_kind(timers::PBFT_VIEW),
-        );
+        ctx.set_timer(self.cfg.view_timeout, TimerTag::of_kind(timers::PBFT_VIEW));
         ctx.set_timer(
             self.cfg.propose_interval,
             TimerTag::of_kind(timers::PBFT_PROPOSE),
@@ -632,11 +633,11 @@ impl<P: DataPlane> ProtocolCore<ConsMsg> for PbftNode<P> {
             }
             ConsMsg::NewView { view, resume_from }
                 if view > self.view
-                    && self.roster.index_of(from) == Some(self.roster.leader_of(view.0))
-                => {
-                    self.enter_view(ctx, view);
-                    self.next_seq = resume_from.max(self.last_exec.next());
-                }
+                    && self.roster.index_of(from) == Some(self.roster.leader_of(view.0)) =>
+            {
+                self.enter_view(ctx, view);
+                self.next_seq = resume_from.max(self.last_exec.next());
+            }
             _ => {}
         }
     }

@@ -96,7 +96,9 @@ impl DataPlane for BatchPlane {
     ) -> Option<ProposalPayload> {
         let mut txs = Vec::new();
         while txs.len() < self.batch_size {
-            let Some(tx) = self.queue.pop_front() else { break };
+            let Some(tx) = self.queue.pop_front() else {
+                break;
+            };
             if self.in_flight.contains(&tx.id) || self.executed.contains(&tx.id) {
                 continue;
             }

@@ -178,7 +178,9 @@ impl DataPlane for MicroPlane {
             ConsMsg::Micro(micro) => {
                 let digest = micro.digest();
                 self.requested.remove(&digest);
-                self.store.entry(digest).or_insert_with(|| (**micro).clone());
+                self.store
+                    .entry(digest)
+                    .or_insert_with(|| (**micro).clone());
                 // Acknowledge availability to the producer (the RBC/PAB
                 // echo that Predis does not need).
                 ctx.send(
@@ -281,7 +283,8 @@ impl DataPlane for MicroPlane {
         if refs.is_empty() {
             None
         } else {
-            ctx.metrics().incr("micro.digests_proposed", refs.len() as u64);
+            ctx.metrics()
+                .incr("micro.digests_proposed", refs.len() as u64);
             Some(ProposalPayload::Digests(refs))
         }
     }

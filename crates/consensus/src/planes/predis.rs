@@ -8,9 +8,7 @@
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 use predis_crypto::{Hash, Keypair, SignerId};
-use predis_mempool::{
-    BlockValidationError, BundleProducer, InsertOutcome, Mempool, TxPool,
-};
+use predis_mempool::{BlockValidationError, BundleProducer, InsertOutcome, Mempool, TxPool};
 use predis_sim::{BundleKey, Codec, Labels, NarrowContext, NodeId, SimTime, Stage, TimerTag};
 use predis_types::{Bundle, ChainId, Height, ProposalPayload, Transaction, View};
 use rand::seq::SliceRandom;
@@ -195,11 +193,8 @@ impl PredisPlane {
         let now = ctx.now();
         ctx.metrics().incr("predis.bundles_produced", 1);
         if is_heartbeat {
-            ctx.metrics().incr_labeled(
-                "predis.heartbeats",
-                Labels::chain(key.chain),
-                1,
-            );
+            ctx.metrics()
+                .incr_labeled("predis.heartbeats", Labels::chain(key.chain), 1);
         }
         ctx.metrics().timeline_mark(key, Stage::Produced, now);
         ctx.metrics().timeline_mark(key, Stage::Multicast, now);
@@ -295,8 +290,7 @@ impl DataPlane for PredisPlane {
                         );
                         // Anything we were waiting for at or below the new
                         // tip has arrived.
-                        self.outstanding
-                            .retain(|&(c, h)| c != chain || h > new_tip);
+                        self.outstanding.retain(|&(c, h)| c != chain || h > new_tip);
                         PlaneOutcome::PROGRESSED
                     }
                     Ok(InsertOutcome::Parked { waiting_for }) => {
@@ -373,9 +367,8 @@ impl DataPlane for PredisPlane {
                 true
             }
             timers::PLANE_REFETCH => {
-                let stale: Vec<(ChainId, Height)> = std::mem::take(&mut self.outstanding)
-                    .into_iter()
-                    .collect();
+                let stale: Vec<(ChainId, Height)> =
+                    std::mem::take(&mut self.outstanding).into_iter().collect();
                 for (chain, height) in stale {
                     if self.mempool.get_bundle(chain, height).is_none()
                         && self.mempool.chain(chain).tip() < height

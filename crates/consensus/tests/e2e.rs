@@ -70,7 +70,11 @@ fn run(proto: Proto, n: usize, clients: usize, rate: f64, secs: u64, seed: u64) 
                 MicroPlane::new(me, roster.clone(), cfg.clone(), AckRule::ProvablyAvailable),
             ))),
         };
-        sim.add_node(LinkConfig::paper_default().with_mbps(MBPS), actor, SimTime::ZERO);
+        sim.add_node(
+            LinkConfig::paper_default().with_mbps(MBPS),
+            actor,
+            SimTime::ZERO,
+        );
     }
     let per_client = rate / clients as f64;
     let broadcast = matches!(proto, Proto::Pbft | Proto::Hs);
@@ -102,7 +106,10 @@ fn committed(sim: &Sim<ConsMsg>) -> u64 {
 fn pbft_batch_commits_transactions() {
     let sim = run(Proto::Pbft, 4, 4, 2000.0, 10, 1);
     let got = committed(&sim);
-    assert!(got > 5_000, "PBFT committed only {got} txs in 10s at 2k tps");
+    assert!(
+        got > 5_000,
+        "PBFT committed only {got} txs in 10s at 2k tps"
+    );
     assert!(sim.metrics().latency_count(CLIENT_LATENCY) > 1000);
 }
 

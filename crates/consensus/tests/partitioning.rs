@@ -33,8 +33,7 @@ fn run(partitioned: bool, seed: u64) -> Sim<ConsMsg> {
         );
     }
     // The attack: submissions go to every replica.
-    let client =
-        ClientCore::new(ClientId(0), roster.clone(), 1_000.0, 512).broadcast_submissions();
+    let client = ClientCore::new(ClientId(0), roster.clone(), 1_000.0, 512).broadcast_submissions();
     sim.add_node(
         LinkConfig::paper_default(),
         Box::new(ActorOf::<_, ConsMsg>::new(client)),

@@ -3,9 +3,7 @@
 //! throughput-level e2e suite.
 
 use predis_consensus::planes::{AckRule, BatchPlane, MicroPlane, PredisPlane};
-use predis_consensus::{
-    ClientCore, ConsMsg, ConsensusConfig, HotStuffNode, PbftNode, Roster,
-};
+use predis_consensus::{ClientCore, ConsMsg, ConsensusConfig, HotStuffNode, PbftNode, Roster};
 use predis_sim::prelude::*;
 use predis_types::{ClientId, SeqNum, View};
 
@@ -57,7 +55,11 @@ fn pbft_stays_in_view_zero_when_healthy_and_executes_in_order() {
             .core();
         assert_eq!(node.view(), View(0), "replica {me} changed view needlessly");
         assert!(node.last_exec() > SeqNum(5), "replica {me} barely executed");
-        assert!(node.executed_txs > 5_000, "replica {me}: {}", node.executed_txs);
+        assert!(
+            node.executed_txs > 5_000,
+            "replica {me}: {}",
+            node.executed_txs
+        );
     }
     // All replicas executed the same number of transactions (state machine
     // replication), modulo slots still in flight at the horizon.

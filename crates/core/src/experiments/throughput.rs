@@ -310,12 +310,20 @@ impl ThroughputSetup {
     /// snapshot: the [`RunSummary`] numbers as top-level metrics plus every
     /// counter, latency histogram, and bundle-lifecycle stage breakdown the
     /// run recorded.
+    ///
+    /// Summary values that the run could not measure (e.g. latency when
+    /// nothing committed) are *omitted* from the report rather than stored
+    /// as `NaN`. Consumers that cannot tolerate a missing key must read it
+    /// through [`RunReport::require_metric`], which fails loudly with the
+    /// run name and the keys that are present — the benchmark artifact
+    /// pipeline does exactly that instead of NaN-propagating.
     pub fn run_report(&self, name: &str) -> RunReport {
         let sim = self.run_sim();
         self.report(&sim, name)
     }
 
     /// Snapshots a finished simulation into a [`RunReport`] named `name`.
+    /// See [`ThroughputSetup::run_report`] for the missing-metric contract.
     pub fn report(&self, sim: &Sim<ConsMsg>, name: &str) -> RunReport {
         let summary = self.summarize(sim);
         let mut report = sim.metrics().run_report(name);

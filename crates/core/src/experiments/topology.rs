@@ -219,7 +219,9 @@ impl TopologySetup {
     /// bundle-lifecycle stages.
     pub fn report(&self, result: &TopologyResult, sim: &Sim<FlowMsg>, name: &str) -> RunReport {
         let mut report = sim.metrics().run_report(name);
-        report.meta.insert("mode".into(), format!("{:?}", self.mode));
+        report
+            .meta
+            .insert("mode".into(), format!("{:?}", self.mode));
         report.meta.insert("n_c".into(), self.n_c.to_string());
         report
             .meta
@@ -284,10 +286,9 @@ impl TopologySetup {
                         .collect();
                     FlowConsensusNode::star(shell, assigned)
                 }
-                DistMode::MultiZone { .. } => FlowConsensusNode::zone(
-                    shell,
-                    ZoneSource::new(me as u32, zcfg.clone(), None),
-                ),
+                DistMode::MultiZone { .. } => {
+                    FlowConsensusNode::zone(shell, ZoneSource::new(me as u32, zcfg.clone(), None))
+                }
             };
             sim.add_node(link, Box::new(node), SimTime::ZERO);
         }

@@ -42,8 +42,8 @@ pub mod model;
 pub mod msg;
 
 pub use experiments::{
-    DistMode, FaultSpec, NetEnv, PropagationResult, PropagationSetup, Protocol,
-    ThroughputSetup, Topology, TopologyResult, TopologySetup,
+    DistMode, FaultSpec, NetEnv, PropagationResult, PropagationSetup, Protocol, ThroughputSetup,
+    Topology, TopologyResult, TopologySetup,
 };
 pub use msg::FlowMsg;
 
@@ -53,6 +53,7 @@ pub use predis_crypto as crypto;
 pub use predis_erasure as erasure;
 pub use predis_mempool as mempool;
 pub use predis_multizone as multizone;
+pub use predis_parallel as parallel;
 pub use predis_sim as sim;
-pub use predis_types as types;
 pub use predis_sim::RunSummary;
+pub use predis_types as types;

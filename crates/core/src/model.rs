@@ -152,7 +152,8 @@ mod tests {
     fn heterogeneous_sums_contributions() {
         // Doubling one node's bandwidth adds exactly its extra share.
         let base = predis_tps_heterogeneous(&[100_000_000; 4], 512);
-        let boosted = predis_tps_heterogeneous(&[200_000_000, 100_000_000, 100_000_000, 100_000_000], 512);
+        let boosted =
+            predis_tps_heterogeneous(&[200_000_000, 100_000_000, 100_000_000, 100_000_000], 512);
         let extra = (100_000_000.0 / 8.0) / (512.0 * 3.0);
         assert!((boosted - base - extra).abs() < 1e-6);
     }

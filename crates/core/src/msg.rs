@@ -64,7 +64,10 @@ mod tests {
         let c = ConsMsg::Submit(Transaction::new(TxId(1), ClientId(0), 0));
         let wrapped = <FlowMsg as Codec<ConsMsg>>::wrap(c.clone());
         assert_eq!(wrapped.wire_size(), c.wire_size());
-        assert_eq!(<FlowMsg as Codec<ConsMsg>>::unwrap(wrapped.clone()), Some(c));
+        assert_eq!(
+            <FlowMsg as Codec<ConsMsg>>::unwrap(wrapped.clone()),
+            Some(c)
+        );
         assert_eq!(<FlowMsg as Codec<NetMsg>>::unwrap(wrapped), None);
 
         let n = NetMsg::Stripe {

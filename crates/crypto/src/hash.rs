@@ -1,4 +1,4 @@
-//! The [`Hash`] digest newtype used throughout the framework.
+//! The [`struct@Hash`] digest newtype used throughout the framework.
 
 use std::fmt;
 
@@ -114,8 +114,10 @@ mod tests {
 
     #[test]
     fn to_u64_is_prefix() {
-        let h = Hash([1, 2, 3, 4, 5, 6, 7, 8, 0, 0, 0, 0, 0, 0, 0, 0,
-                      0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let h = Hash([
+            1, 2, 3, 4, 5, 6, 7, 8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+            0, 0, 0,
+        ]);
         assert_eq!(h.to_u64(), 0x0102030405060708);
     }
 

@@ -3,7 +3,7 @@
 //! Cryptographic primitives for the Predis + Multi-Zone data flow framework:
 //!
 //! * [`sha256`] — a from-scratch FIPS 180-4 SHA-256;
-//! * [`Hash`] — the 32-byte digest newtype the whole framework keys on;
+//! * [`struct@Hash`] — the 32-byte digest newtype the whole framework keys on;
 //! * [`MerkleTree`]/[`MerkleProof`] — transaction roots and stripe proofs
 //!   (the paper's Fig. 1 bundle header fields);
 //! * [`Keypair`]/[`Signature`] — *simulated* signatures (keyed-hash tags);

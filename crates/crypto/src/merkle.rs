@@ -138,7 +138,9 @@ mod tests {
     use super::*;
 
     fn leaves(n: usize) -> Vec<Hash> {
-        (0..n).map(|i| Hash::digest(&(i as u64).to_be_bytes())).collect()
+        (0..n)
+            .map(|i| Hash::digest(&(i as u64).to_be_bytes()))
+            .collect()
     }
 
     #[test]
@@ -205,8 +207,7 @@ mod tests {
     #[test]
     fn root_of_hashes_items() {
         let r = MerkleTree::root_of([b"a".as_slice(), b"b".as_slice()]);
-        let expected =
-            Hash::combine(Hash::digest(b"a"), Hash::digest(b"b"));
+        let expected = Hash::combine(Hash::digest(b"a"), Hash::digest(b"b"));
         assert_eq!(r, expected);
     }
 

@@ -131,7 +131,10 @@ mod tests {
 
     #[test]
     fn keys_are_deterministic_per_identity() {
-        assert_eq!(Keypair::for_node(SignerId(4)), Keypair::for_node(SignerId(4)));
+        assert_eq!(
+            Keypair::for_node(SignerId(4)),
+            Keypair::for_node(SignerId(4))
+        );
         assert_ne!(
             Keypair::for_node(SignerId(4)).sign(Hash::ZERO),
             Keypair::for_node(SignerId(5)).sign(Hash::ZERO)

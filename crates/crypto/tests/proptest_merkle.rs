@@ -1,7 +1,7 @@
 //! Property tests for Merkle trees and the hash/signature substrate.
 
-use proptest::prelude::*;
 use predis_crypto::{Hash, Keypair, MerkleTree, SignerId};
+use proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]

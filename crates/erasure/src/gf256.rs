@@ -132,7 +132,11 @@ pub fn mul_slice(scalar: Gf, input: &[u8], out: &mut [u8]) {
     }
     let ls = LOG[scalar.0 as usize] as usize;
     for (o, &i) in out.iter_mut().zip(input) {
-        *o = if i == 0 { 0 } else { EXP[ls + LOG[i as usize] as usize] };
+        *o = if i == 0 {
+            0
+        } else {
+            EXP[ls + LOG[i as usize] as usize]
+        };
     }
 }
 

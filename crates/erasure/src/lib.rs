@@ -23,6 +23,7 @@
 
 pub mod gf256;
 pub mod matrix;
+pub mod parallel;
 pub mod rs;
 
 pub use gf256::Gf;

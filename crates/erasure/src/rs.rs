@@ -213,7 +213,9 @@ impl ReedSolomon {
         // Solve for the data shards from any k surviving rows.
         let rows: Vec<usize> = present[..self.data_shards].to_vec();
         let sub = self.encode_matrix.select_rows(&rows);
-        let decode = sub.inverse().expect("any k rows of the encode matrix invert");
+        let decode = sub
+            .inverse()
+            .expect("any k rows of the encode matrix invert");
         let mut data: Vec<Vec<u8>> = Vec::with_capacity(self.data_shards);
         for r in 0..self.data_shards {
             let mut shard = vec![0u8; len];
@@ -309,8 +311,7 @@ mod tests {
         // Try every way of losing 2 of 5 shards.
         for a in 0..5 {
             for b in (a + 1)..5 {
-                let mut received: Vec<Option<Vec<u8>>> =
-                    shards.iter().cloned().map(Some).collect();
+                let mut received: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
                 received[a] = None;
                 received[b] = None;
                 let out = rs.decode_blob(&mut received, original.len()).unwrap();
@@ -346,8 +347,7 @@ mod tests {
             let rs = ReedSolomon::new(k, n).unwrap();
             let original = blob(997);
             let shards = rs.encode_blob(&original);
-            let mut received: Vec<Option<Vec<u8>>> =
-                shards.into_iter().map(Some).collect();
+            let mut received: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
             for lost in 0..f {
                 received[lost * 2 % n] = None;
             }
@@ -371,11 +371,14 @@ mod tests {
             let original = blob(len);
             let shards = rs.encode_blob(&original);
             assert_eq!(shards[0].len(), rs.stripe_len(len));
-            let mut received: Vec<Option<Vec<u8>>> =
-                shards.into_iter().map(Some).collect();
+            let mut received: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
             received[3] = None;
             received[7] = None;
-            assert_eq!(rs.decode_blob(&mut received, len).unwrap(), original, "len={len}");
+            assert_eq!(
+                rs.decode_blob(&mut received, len).unwrap(),
+                original,
+                "len={len}"
+            );
         }
     }
 

@@ -1,8 +1,8 @@
 //! Property tests: Reed-Solomon recovery over random blobs and loss
 //! patterns at the paper's code rates.
 
-use proptest::prelude::*;
 use predis_erasure::ReedSolomon;
+use proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]

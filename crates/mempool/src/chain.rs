@@ -92,7 +92,11 @@ impl BundleChain {
     ///
     /// Panics if the bundle is not exactly at `tip + 1`.
     pub(crate) fn append(&mut self, bundle: Bundle) {
-        assert_eq!(bundle.header.height, self.tip.next(), "append must extend the tip");
+        assert_eq!(
+            bundle.header.height,
+            self.tip.next(),
+            "append must extend the tip"
+        );
         let h = bundle.header.height;
         self.hashes.insert(h, bundle.hash());
         self.bundles.insert(h, bundle);
@@ -265,7 +269,10 @@ mod tests {
         let h2 = b2.hash();
         c.append(b2);
         c.append(mk(3, h2));
-        let heights: Vec<u64> = c.range(Height(1), Height(3)).map(|b| b.header.height.0).collect();
+        let heights: Vec<u64> = c
+            .range(Height(1), Height(3))
+            .map(|b| b.header.height.0)
+            .collect();
         assert_eq!(heights, vec![2, 3]);
     }
 }

@@ -569,7 +569,11 @@ mod tests {
             Height(height),
             parent,
             tips,
-            vec![Transaction::new(TxId(height * 1000 + chain as u64 + salt), ClientId(0), 0)],
+            vec![Transaction::new(
+                TxId(height * 1000 + chain as u64 + salt),
+                ClientId(0),
+                0,
+            )],
             Hash::ZERO,
             &key(chain),
         )
@@ -787,7 +791,9 @@ mod tests {
     fn validate_detects_missing_bundles() {
         let leader = filled_pool(0, 3);
         let base = leader.committed_base();
-        let block = leader.build_block(View(1), Hash::ZERO, &base, &key(0)).unwrap();
+        let block = leader
+            .build_block(View(1), Hash::ZERO, &base, &key(0))
+            .unwrap();
         // A replica that only has height 2 everywhere.
         let behind = filled_pool(1, 2);
         match behind.validate_block(&block, &base) {
@@ -804,7 +810,9 @@ mod tests {
     fn validate_detects_tx_root_tampering() {
         let leader = filled_pool(0, 2);
         let base = leader.committed_base();
-        let mut block = leader.build_block(View(1), Hash::ZERO, &base, &key(0)).unwrap();
+        let mut block = leader
+            .build_block(View(1), Hash::ZERO, &base, &key(0))
+            .unwrap();
         block.tx_root = Hash::digest(b"evil");
         block.sign(&key(0)); // re-signed by the (malicious) leader
         let replica = filled_pool(1, 2);
@@ -818,7 +826,9 @@ mod tests {
     fn validate_detects_base_mismatch() {
         let leader = filled_pool(0, 2);
         let base = leader.committed_base();
-        let block = leader.build_block(View(1), Hash::ZERO, &base, &key(0)).unwrap();
+        let block = leader
+            .build_block(View(1), Hash::ZERO, &base, &key(0))
+            .unwrap();
         let replica = filled_pool(1, 2);
         let wrong_base = vec![Height(1); 4];
         assert_eq!(
@@ -831,7 +841,9 @@ mod tests {
     fn commit_advances_base_and_prunes() {
         let mut pool = filled_pool(0, 3);
         let base = pool.committed_base();
-        let block = pool.build_block(View(1), Hash::ZERO, &base, &key(0)).unwrap();
+        let block = pool
+            .build_block(View(1), Hash::ZERO, &base, &key(0))
+            .unwrap();
         let pruned = pool.commit_cut(&block.cut);
         assert_eq!(pruned, 12);
         assert_eq!(pool.committed_base(), vec![Height(3); 4]);
@@ -856,7 +868,9 @@ mod tests {
         // accepted again.
         let mut pool = filled_pool(0, 2);
         let base = pool.committed_base();
-        let block = pool.build_block(View(1), Hash::ZERO, &base, &key(0)).unwrap();
+        let block = pool
+            .build_block(View(1), Hash::ZERO, &base, &key(0))
+            .unwrap();
         pool.commit_cut(&block.cut); // committed = 2 everywhere
 
         // Grow chain 1 to height 3, then ban it with a forged sibling.
@@ -909,7 +923,9 @@ mod tests {
         use crate::producer::{BundleProducer, TxPool};
         let mut pool = filled_pool(1, 2);
         let base = pool.committed_base();
-        let block = pool.build_block(View(1), Hash::ZERO, &base, &key(1)).unwrap();
+        let block = pool
+            .build_block(View(1), Hash::ZERO, &base, &key(1))
+            .unwrap();
         pool.commit_cut(&block.cut);
         // A producer that equivocated restarts at committed + 1.
         let committed = pool.chain(ChainId(0)).committed();

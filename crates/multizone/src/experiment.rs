@@ -111,12 +111,7 @@ impl PropagationSetup {
     /// Snapshots a finished propagation run into a [`RunReport`] carrying
     /// the per-fraction latencies plus every counter, histogram, and
     /// stripe-lifecycle stage the run recorded.
-    pub fn report(
-        &self,
-        result: &PropagationResult,
-        sim: &Sim<NetMsg>,
-        name: &str,
-    ) -> RunReport {
+    pub fn report(&self, result: &PropagationResult, sim: &Sim<NetMsg>, name: &str) -> RunReport {
         let mut report = sim.metrics().run_report(name);
         report.meta.insert("n_c".into(), self.n_c.to_string());
         report
@@ -255,10 +250,9 @@ impl PropagationSetup {
                         .collect();
                     // Backup connections: two nodes of the next zone.
                     let next_zone = (zone + 1) % zones;
-                    let backups: Vec<NodeId> =
-                        members[next_zone].iter().copied().take(2).collect();
-                    let node = MultiZoneNode::new(zcfg.clone(), j as u64, mates)
-                        .with_backups(backups);
+                    let backups: Vec<NodeId> = members[next_zone].iter().copied().take(2).collect();
+                    let node =
+                        MultiZoneNode::new(zcfg.clone(), j as u64, mates).with_backups(backups);
                     // Locality-based division puts a whole zone in one
                     // region, so intra-zone forwarding stays local; the
                     // scattered baseline cycles each zone's members through
@@ -268,9 +262,7 @@ impl PropagationSetup {
                     } else {
                         match &self.latency {
                             LatencyModel::Uniform(_) => Region(0),
-                            LatencyModel::Regional { .. } => {
-                                Region(((j / zones) % regions) as u8)
-                            }
+                            LatencyModel::Regional { .. } => Region(((j / zones) % regions) as u8),
                         }
                     };
                     sim.add_node(
@@ -295,12 +287,10 @@ impl PropagationSetup {
         for block in 0..self.blocks {
             let origin = SimTime::ZERO + warmup + self.interval * (block + 1) - tick;
             for (slot, frac) in [(0usize, 0.5f64), (1, 0.9), (2, 1.0)] {
-                if let Some(d) = sim.metrics().propagation_to_fraction(
-                    block,
-                    origin,
-                    self.full_nodes,
-                    frac,
-                ) {
+                if let Some(d) =
+                    sim.metrics()
+                        .propagation_to_fraction(block, origin, self.full_nodes, frac)
+                {
                     sums[slot] += d.as_millis_f64();
                     counts[slot] += 1;
                     if frac == 1.0 {
@@ -309,7 +299,13 @@ impl PropagationSetup {
                 }
             }
         }
-        let mean = |i: usize| if counts[i] == 0 { f64::NAN } else { sums[i] / counts[i] as f64 };
+        let mean = |i: usize| {
+            if counts[i] == 0 {
+                f64::NAN
+            } else {
+                sums[i] / counts[i] as f64
+            }
+        };
         (
             PropagationResult {
                 to_50_ms: mean(0),

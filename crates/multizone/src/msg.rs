@@ -8,9 +8,7 @@ use serde::{Deserialize, Serialize};
 
 /// Identity of a bundle inside the dissemination layer: the block it will
 /// belong to and its index within that block.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct BundleId {
     /// The block this bundle's transactions end up in.
     pub block: u64,
@@ -240,7 +238,9 @@ mod tests {
     fn control_messages_are_small() {
         for m in [
             NetMsg::GetRelayers,
-            NetMsg::Subscribe { stripes: vec![0, 1] },
+            NetMsg::Subscribe {
+                stripes: vec![0, 1],
+            },
             NetMsg::RelayerAlive {
                 join_seq: 3,
                 stripes: vec![2],

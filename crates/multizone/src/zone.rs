@@ -144,11 +144,8 @@ impl ZoneSource {
         ctx.metrics()
             .incr_labeled("zone.rs_encodes", Labels::chain(self.idx as u64), 1);
         if fanout > 0 {
-            ctx.metrics().incr_labeled(
-                "zone.stripe_sends",
-                Labels::chain(self.idx as u64),
-                fanout,
-            );
+            ctx.metrics()
+                .incr_labeled("zone.stripe_sends", Labels::chain(self.idx as u64), fanout);
         }
         ctx.metrics().timeline_mark(
             BundleKey {
@@ -181,7 +178,9 @@ impl ZoneSource {
     }
 
     fn tick<M: Codec<NetMsg>>(&mut self, ctx: &mut NarrowContext<'_, '_, M, NetMsg>) {
-        let Some(load) = self.load.clone() else { return };
+        let Some(load) = self.load.clone() else {
+            return;
+        };
         if load.blocks > 0 && self.current_block >= load.blocks {
             return; // done: no further timer
         }
@@ -241,8 +240,7 @@ impl ProtocolCore<NetMsg> for ZoneSource {
                         },
                     );
                 }
-                let rejected: Vec<u32> =
-                    stripes.into_iter().filter(|&s| s != self.idx).collect();
+                let rejected: Vec<u32> = stripes.into_iter().filter(|&s| s != self.idx).collect();
                 if !rejected.is_empty() {
                     ctx.send(
                         from,
@@ -556,11 +554,7 @@ impl MultiZoneNode {
         if !keeper_is_other {
             return; // they shed when they process our relayerAlive
         }
-        let overlap: Vec<u32> = self
-            .relaying
-            .intersection(other_stripes)
-            .copied()
-            .collect();
+        let overlap: Vec<u32> = self.relaying.intersection(other_stripes).copied().collect();
         if overlap.is_empty() {
             return;
         }
@@ -589,7 +583,9 @@ impl MultiZoneNode {
         ctx: &mut NarrowContext<'_, '_, M, NetMsg>,
         block: u64,
     ) {
-        let Some(&bundles) = self.pending_blocks.get(&block) else { return };
+        let Some(&bundles) = self.pending_blocks.get(&block) else {
+            return;
+        };
         let all = (0..bundles).all(|idx| self.decoded.contains(&BundleId { block, idx }));
         if !all {
             return;
@@ -902,8 +898,7 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
                     let me = ctx.node().index() as u64;
                     ctx.metrics()
                         .incr_labeled("zone.rs_decodes", Labels::node(me), 1);
-                    *self.block_sizes.entry(bundle.block).or_insert(0) +=
-                        bytes as u64 * k as u64;
+                    *self.block_sizes.entry(bundle.block).or_insert(0) += bytes as u64 * k as u64;
                     self.bundle_bytes_hint
                         .entry(bundle.block)
                         .or_insert(bytes * k);
@@ -915,24 +910,23 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
                 block,
                 bundles,
                 wire,
-            }
-                if self.ann_forwarded.insert(block) => {
-                    let kids = self.unique_children();
-                    ctx.multicast(
-                        kids,
-                        NetMsg::BlockAnn {
-                            block,
-                            bundles,
-                            wire,
-                        },
-                    );
-                    if !self.completed.contains(&block) {
-                        self.pending_blocks.insert(block, bundles);
-                        let now = ctx.now();
-                        self.ann_seen_at.insert(block, now);
-                        self.try_complete(ctx, block);
-                    }
+            } if self.ann_forwarded.insert(block) => {
+                let kids = self.unique_children();
+                ctx.multicast(
+                    kids,
+                    NetMsg::BlockAnn {
+                        block,
+                        bundles,
+                        wire,
+                    },
+                );
+                if !self.completed.contains(&block) {
+                    self.pending_blocks.insert(block, bundles);
+                    let now = ctx.now();
+                    self.ann_seen_at.insert(block, now);
+                    self.try_complete(ctx, block);
                 }
+            }
             NetMsg::FullBlock { block, bytes } => {
                 self.block_sizes.insert(block, bytes);
                 self.pending_blocks.remove(&block);
@@ -980,9 +974,7 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
                         .stripes
                         .iter()
                         .copied()
-                        .filter(|s| {
-                            self.desired.contains(s) && !self.pending_sub.contains_key(s)
-                        })
+                        .filter(|s| self.desired.contains(s) && !self.pending_sub.contains_key(s))
                         .take(max)
                         .collect();
                     self.subscribe(ctx, r.node, wanted);
@@ -1002,8 +994,7 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
                 let mut granted = Vec::new();
                 let mut rejected = Vec::new();
                 for s in stripes {
-                    let have_source =
-                        self.relaying.contains(&s) || self.upstream.contains_key(&s);
+                    let have_source = self.relaying.contains(&s) || self.upstream.contains_key(&s);
                     let capacity = self.total_children() < self.cfg.max_children;
                     if have_source && capacity {
                         let kids = self.children.entry(s).or_default();
@@ -1130,15 +1121,14 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
                     }
                 }
             }
-            NetMsg::Pull { block }
-                if self.completed.contains(&block) => {
-                    let bytes = self.block_sizes.get(&block).copied().unwrap_or(0);
-                    ctx.send(from, NetMsg::FullBlock { block, bytes });
-                }
+            NetMsg::Pull { block } if self.completed.contains(&block) => {
+                let bytes = self.block_sizes.get(&block).copied().unwrap_or(0);
+                ctx.send(from, NetMsg::FullBlock { block, bytes });
+            }
             NetMsg::BundlePull { bundle } => {
                 ctx.metrics().incr("zone.bundle_pulls_received", 1);
-                let have = self.whole_bundles.contains(&bundle)
-                    || self.completed.contains(&bundle.block);
+                let have =
+                    self.whole_bundles.contains(&bundle) || self.completed.contains(&bundle.block);
                 #[cfg(feature = "pull-debug")]
                 if !have {
                     eprintln!(
@@ -1363,7 +1353,12 @@ mod tests {
         }
         impl Actor<NetMsg> for Probe {
             fn on_start(&mut self, ctx: &mut Context<'_, NetMsg>) {
-                ctx.send(NodeId(0), NetMsg::Subscribe { stripes: vec![0, 1, 2] });
+                ctx.send(
+                    NodeId(0),
+                    NetMsg::Subscribe {
+                        stripes: vec![0, 1, 2],
+                    },
+                );
             }
             fn on_message(&mut self, _ctx: &mut Context<'_, NetMsg>, _f: NodeId, msg: NetMsg) {
                 match msg {
@@ -1382,7 +1377,11 @@ mod tests {
             SimTime::ZERO,
         );
         for _ in 0..3 {
-            sim.add_node(LinkConfig::paper_default(), Box::new(Probe::default()), SimTime::ZERO);
+            sim.add_node(
+                LinkConfig::paper_default(),
+                Box::new(Probe::default()),
+                SimTime::ZERO,
+            );
         }
         sim.run_until(SimTime::from_secs(1));
         let p = sim.actor_as::<Probe>(NodeId(1)).unwrap();

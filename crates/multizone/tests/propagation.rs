@@ -1,9 +1,7 @@
 //! Network-layer integration tests: relayer convergence and the Fig. 8
 //! propagation-latency ordering.
 
-use predis_multizone::{
-    FegConfig, MultiZoneNode, NetMsg, PropagationSetup, Topology, ZoneSource,
-};
+use predis_multizone::{FegConfig, MultiZoneNode, NetMsg, PropagationSetup, Topology, ZoneSource};
 use predis_sim::prelude::*;
 
 fn setup(block_mb: u64, blocks: u64, seed: u64) -> PropagationSetup {

@@ -1,0 +1,105 @@
+//! Behavioural contract of the worker pool: full drain under panics,
+//! input-order results, and nested fan-out.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use predis_parallel::Pool;
+
+#[test]
+fn pool_drains_all_tasks_when_a_worker_panics() {
+    let pool = Pool::new(4);
+    let ran = Arc::new(AtomicUsize::new(0));
+    let tasks: Vec<_> = (0..40usize)
+        .map(|i| {
+            let ran = Arc::clone(&ran);
+            move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+                if i % 10 == 3 {
+                    panic!("task {i} exploded");
+                }
+                i
+            }
+        })
+        .collect();
+    let results = pool.try_run(tasks);
+    // Every task ran, including the ones after each panic.
+    assert_eq!(ran.load(Ordering::SeqCst), 40);
+    assert_eq!(results.len(), 40);
+    for (i, r) in results.iter().enumerate() {
+        if i % 10 == 3 {
+            assert!(r.is_err(), "task {i} should have panicked");
+        } else {
+            assert_eq!(*r.as_ref().unwrap(), i);
+        }
+    }
+}
+
+#[test]
+fn run_reraises_the_lowest_indexed_panic_after_draining() {
+    let pool = Pool::new(4);
+    let ran = Arc::new(AtomicUsize::new(0));
+    let tasks: Vec<_> = (0..16usize)
+        .map(|i| {
+            let ran = Arc::clone(&ran);
+            move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+                // Two panics; the one at index 5 must win regardless of
+                // which completes first.
+                if i == 5 {
+                    panic!("first by input order");
+                }
+                if i == 6 {
+                    panic!("second by input order");
+                }
+                i
+            }
+        })
+        .collect();
+    let err = std::panic::catch_unwind(AssertUnwindSafe(|| pool.run(tasks)))
+        .expect_err("run must re-raise");
+    let msg = err
+        .downcast_ref::<&str>()
+        .copied()
+        .map(String::from)
+        .or_else(|| err.downcast_ref::<String>().cloned())
+        .unwrap_or_default();
+    assert_eq!(msg, "first by input order");
+    assert_eq!(ran.load(Ordering::SeqCst), 16, "drain despite panics");
+}
+
+#[test]
+fn results_are_ordered_by_input_index_not_completion() {
+    let pool = Pool::new(8);
+    // Earlier tasks spin longer, so later tasks finish first on any
+    // multi-worker schedule; output must still follow input order.
+    let out = pool.map((0..64u32).collect(), |i| {
+        let mut acc = 0u64;
+        for k in 0..u64::from(64 - i) * 5_000 {
+            acc = acc.wrapping_mul(31).wrapping_add(k);
+        }
+        std::hint::black_box(acc);
+        i
+    });
+    assert_eq!(out, (0..64).collect::<Vec<u32>>());
+}
+
+#[test]
+fn nested_pools_fan_out_independently() {
+    let outer = Pool::new(3);
+    let totals = outer.map(vec![10u64, 20, 30], |base| {
+        let inner = Pool::new(2);
+        inner
+            .map((0..4u64).collect(), |j| base + j)
+            .into_iter()
+            .sum::<u64>()
+    });
+    assert_eq!(totals, vec![10 * 4 + 6, 20 * 4 + 6, 30 * 4 + 6]);
+}
+
+#[test]
+fn more_workers_than_tasks_is_fine() {
+    let pool = Pool::new(64);
+    assert_eq!(pool.map(vec![1, 2, 3], |x| x * 2), vec![2, 4, 6]);
+}

@@ -318,12 +318,7 @@ pub trait ProtocolCore<T>: 'static {
     }
 
     /// Called on delivery of a protocol message.
-    fn message<M: Codec<T>>(
-        &mut self,
-        ctx: &mut NarrowContext<'_, '_, M, T>,
-        from: NodeId,
-        msg: T,
-    );
+    fn message<M: Codec<T>>(&mut self, ctx: &mut NarrowContext<'_, '_, M, T>, from: NodeId, msg: T);
 
     /// Called when a timer fires.
     fn timer<M: Codec<T>>(&mut self, ctx: &mut NarrowContext<'_, '_, M, T>, tag: TimerTag) {
@@ -411,8 +406,29 @@ mod tests {
 
     #[test]
     fn timer_tag_constructors() {
-        assert_eq!(TimerTag::of_kind(3), TimerTag { kind: 3, a: 0, b: 0 });
-        assert_eq!(TimerTag::with_a(3, 9), TimerTag { kind: 3, a: 9, b: 0 });
-        assert_eq!(TimerTag::new(1, 2, 3), TimerTag { kind: 1, a: 2, b: 3 });
+        assert_eq!(
+            TimerTag::of_kind(3),
+            TimerTag {
+                kind: 3,
+                a: 0,
+                b: 0
+            }
+        );
+        assert_eq!(
+            TimerTag::with_a(3, 9),
+            TimerTag {
+                kind: 3,
+                a: 9,
+                b: 0
+            }
+        );
+        assert_eq!(
+            TimerTag::new(1, 2, 3),
+            TimerTag {
+                kind: 1,
+                a: 2,
+                b: 3
+            }
+        );
     }
 }

@@ -23,8 +23,15 @@ use crate::trace::{Trace, TraceEvent, TraceKind};
 #[derive(Debug)]
 enum EventKind<M> {
     Start,
-    Deliver { from: NodeId, msg: M },
-    Timer { id: TimerId, tag: TimerTag, epoch: u32 },
+    Deliver {
+        from: NodeId,
+        msg: M,
+    },
+    Timer {
+        id: TimerId,
+        tag: TimerTag,
+        epoch: u32,
+    },
     Crash,
     Revive,
 }
@@ -130,7 +137,8 @@ impl<M: Payload> Sim<M> {
         let id = self.network.add_link(link);
         debug_assert_eq!(id.index(), self.actors.len());
         self.actors.push(Some(actor));
-        let node_seed = self.net_rng.gen::<u64>() ^ (id.0 as u64).wrapping_mul(0x2545_f491_4f6c_dd1d);
+        let node_seed =
+            self.net_rng.gen::<u64>() ^ (id.0 as u64).wrapping_mul(0x2545_f491_4f6c_dd1d);
         self.node_rngs.push(SmallRng::seed_from_u64(node_seed));
         self.halted.push(false);
         self.started.push(false);
@@ -354,9 +362,9 @@ impl<M: Payload> Sim<M> {
             match op {
                 Op::Send { to, msg } => {
                     let bytes = msg.wire_size();
-                    let sched =
-                        self.network
-                            .schedule(self.now, node, to, bytes, &mut self.net_rng);
+                    let sched = self
+                        .network
+                        .schedule(self.now, node, to, bytes, &mut self.net_rng);
                     self.metrics.incr("net.messages", 1);
                     self.metrics.incr("net.bytes", bytes as u64);
                     // Omission/crash/partition checks happen at send time
@@ -365,11 +373,8 @@ impl<M: Payload> Sim<M> {
                     if !self.faults.delivers(node, to, self.now, &mut self.net_rng) {
                         self.metrics.incr("net.dropped", 1);
                         self.metrics.incr("net.dropped_bytes", bytes as u64);
-                        self.metrics.incr_labeled(
-                            "node.drops",
-                            Labels::node(to.index() as u64),
-                            1,
-                        );
+                        self.metrics
+                            .incr_labeled("node.drops", Labels::node(to.index() as u64), 1);
                         if let Some(trace) = &mut self.trace {
                             trace.record(TraceEvent {
                                 at: self.now,
@@ -505,11 +510,11 @@ mod tests {
         a.run_until(SimTime::from_secs(2));
         b.run_until(SimTime::from_secs(2));
         assert_eq!(a.events_processed(), b.events_processed());
+        assert_eq!(a.metrics().counter("pongs"), b.metrics().counter("pongs"));
         assert_eq!(
-            a.metrics().counter("pongs"),
-            b.metrics().counter("pongs")
+            a.network().bytes_sent(NodeId(0)),
+            b.network().bytes_sent(NodeId(0))
         );
-        assert_eq!(a.network().bytes_sent(NodeId(0)), b.network().bytes_sent(NodeId(0)));
     }
 
     #[test]
@@ -534,8 +539,7 @@ mod tests {
         impl Actor<Msg> for T {
             fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
                 ctx.set_timer(SimDuration::from_millis(10), TimerTag::of_kind(1));
-                let cancel_me =
-                    ctx.set_timer(SimDuration::from_millis(20), TimerTag::of_kind(2));
+                let cancel_me = ctx.set_timer(SimDuration::from_millis(20), TimerTag::of_kind(2));
                 ctx.set_timer(SimDuration::from_millis(30), TimerTag::of_kind(3));
                 ctx.cancel_timer(cancel_me);
             }
@@ -546,7 +550,11 @@ mod tests {
         }
         let net = Network::new(LatencyModel::lan(), SimDuration::ZERO);
         let mut sim: Sim<Msg> = Sim::new(0, net);
-        let n = sim.add_node(LinkConfig::paper_default(), Box::new(T::default()), SimTime::ZERO);
+        let n = sim.add_node(
+            LinkConfig::paper_default(),
+            Box::new(T::default()),
+            SimTime::ZERO,
+        );
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(sim.actor_as::<T>(n).unwrap().fired, vec![1, 3]);
     }

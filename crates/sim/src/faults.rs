@@ -108,14 +108,31 @@ impl FaultPlan {
     }
 
     /// Suppresses all messages from `from` to `to` during `[start, end)`.
-    pub fn block_link(&mut self, from: NodeId, to: NodeId, start: SimTime, end: SimTime) -> &mut Self {
-        self.blocks.push(LinkBlock { from, to, start, end });
+    pub fn block_link(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        start: SimTime,
+        end: SimTime,
+    ) -> &mut Self {
+        self.blocks.push(LinkBlock {
+            from,
+            to,
+            start,
+            end,
+        });
         self
     }
 
     /// Symmetric partition between the node sets `a` and `b` during
     /// `[start, end)`.
-    pub fn partition(&mut self, a: &[NodeId], b: &[NodeId], start: SimTime, end: SimTime) -> &mut Self {
+    pub fn partition(
+        &mut self,
+        a: &[NodeId],
+        b: &[NodeId],
+        start: SimTime,
+        end: SimTime,
+    ) -> &mut Self {
         for &x in a {
             for &y in b {
                 self.block_link(x, y, start, end);

@@ -59,8 +59,7 @@ pub mod time;
 pub mod trace;
 
 pub use actor::{
-    Actor, ActorOf, Codec, Context, NarrowContext, NodeId, Payload, ProtocolCore, TimerId,
-    TimerTag,
+    Actor, ActorOf, Codec, Context, NarrowContext, NodeId, Payload, ProtocolCore, TimerId, TimerTag,
 };
 pub use engine::Sim;
 pub use faults::FaultPlan;

@@ -207,7 +207,10 @@ impl Metrics {
         population: usize,
         fraction: f64,
     ) -> Option<SimDuration> {
-        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0,1]");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0,1]"
+        );
         assert!(population > 0, "population must be positive");
         let needed = ((population as f64) * fraction).ceil() as usize;
         let mut times: Vec<SimTime> = self.arrivals(key).to_vec();
@@ -264,10 +267,7 @@ impl Metrics {
             if mean <= 0.0 {
                 continue;
             }
-            if window
-                .iter()
-                .all(|&x| (x - mean).abs() <= tolerance * mean)
-            {
+            if window.iter().all(|&x| (x - mean).abs() <= tolerance * mean) {
                 return Some(start);
             }
         }
@@ -345,8 +345,14 @@ mod tests {
         }
         // Extremes are exact; interior percentiles are within one log-bucket
         // width (1/32 relative) of the exact order statistic.
-        assert_eq!(m.latency_percentile("lat", 0.0), Some(SimDuration::from_millis(10)));
-        assert_eq!(m.latency_percentile("lat", 1.0), Some(SimDuration::from_millis(50)));
+        assert_eq!(
+            m.latency_percentile("lat", 0.0),
+            Some(SimDuration::from_millis(10))
+        );
+        assert_eq!(
+            m.latency_percentile("lat", 1.0),
+            Some(SimDuration::from_millis(50))
+        );
         let p50 = m.latency_percentile("lat", 0.5).unwrap();
         let exact = SimDuration::from_millis(30);
         let tol = exact.as_nanos() / 32 + 1;
@@ -388,7 +394,11 @@ mod tests {
     #[test]
     fn timeline_marks_feed_stage_breakdown() {
         let mut m = Metrics::new();
-        let key = BundleKey { producer: 3, chain: 3, height: 1 };
+        let key = BundleKey {
+            producer: 3,
+            chain: 3,
+            height: 1,
+        };
         m.timeline_mark(key, Stage::Produced, SimTime::from_millis(10));
         m.timeline_mark(key, Stage::Committed, SimTime::from_millis(250));
         // A later duplicate observation of the same stage is ignored.
@@ -406,14 +416,21 @@ mod tests {
         m.incr("net.messages", 41);
         m.incr_labeled("node.deliveries", Labels::node(2), 7);
         m.record_latency("client_latency", SimDuration::from_millis(12));
-        let key = BundleKey { producer: 0, chain: 0, height: 1 };
+        let key = BundleKey {
+            producer: 0,
+            chain: 0,
+            height: 1,
+        };
         m.timeline_mark(key, Stage::Produced, SimTime::from_millis(1));
         m.timeline_mark(key, Stage::Committed, SimTime::from_millis(5));
         let report = m.run_report("snap");
         assert_eq!(report.counter("net.messages", Labels::GLOBAL), 41);
         assert_eq!(report.counter("node.deliveries", Labels::node(2)), 7);
         assert_eq!(report.histogram("client_latency").unwrap().summary.count, 1);
-        assert_eq!(report.stage("produced->committed").unwrap().summary.count, 1);
+        assert_eq!(
+            report.stage("produced->committed").unwrap().summary.count,
+            1
+        );
         assert_eq!(report.timeline_count, 1);
     }
 
@@ -429,7 +446,10 @@ mod tests {
         );
         let tps = m.throughput_tps(SimTime::from_secs(0), SimTime::from_secs(4));
         assert!((tps - 175.0).abs() < 1e-9);
-        assert_eq!(m.throughput_tps(SimTime::from_secs(2), SimTime::from_secs(2)), 0.0);
+        assert_eq!(
+            m.throughput_tps(SimTime::from_secs(2), SimTime::from_secs(2)),
+            0.0
+        );
     }
 
     #[test]

@@ -250,7 +250,7 @@ mod tests {
     fn tx_delay_is_size_over_bandwidth() {
         let mut net = Network::new(LatencyModel::lan(), SimDuration::ZERO);
         let n = net.add_link(LinkConfig::paper_default()); // 100 Mbps
-        // 12_500_000 bytes = 100 Mbit -> exactly 1 second.
+                                                           // 12_500_000 bytes = 100 Mbit -> exactly 1 second.
         assert_eq!(net.tx_delay(n, 12_500_000), SimDuration::from_secs(1));
         // 1250 bytes = 10 kbit -> 100 microseconds.
         assert_eq!(net.tx_delay(n, 1250), SimDuration::from_micros(100));
@@ -268,8 +268,14 @@ mod tests {
         // Second copy waits for the first to drain: multicast costs 2x.
         assert_eq!(s1.departs, SimTime::from_secs(1));
         assert_eq!(s2.departs, SimTime::from_secs(2));
-        assert_eq!(s1.arrives, SimTime::from_secs(1) + SimDuration::from_millis(25));
-        assert_eq!(s2.arrives, SimTime::from_secs(2) + SimDuration::from_millis(25));
+        assert_eq!(
+            s1.arrives,
+            SimTime::from_secs(1) + SimDuration::from_millis(25)
+        );
+        assert_eq!(
+            s2.arrives,
+            SimTime::from_secs(2) + SimDuration::from_millis(25)
+        );
     }
 
     #[test]
@@ -330,7 +336,9 @@ mod tests {
 
     #[test]
     fn link_config_builders() {
-        let cfg = LinkConfig::paper_default().with_mbps(50).in_region(Region(2));
+        let cfg = LinkConfig::paper_default()
+            .with_mbps(50)
+            .in_region(Region(2));
         assert_eq!(cfg.upload_bps, 50_000_000);
         assert_eq!(cfg.region, Region(2));
     }

@@ -245,10 +245,7 @@ mod tests {
     fn constructors_agree() {
         assert_eq!(SimTime::from_secs(2), SimTime::from_millis(2000));
         assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1000));
-        assert_eq!(
-            SimDuration::from_millis(1),
-            SimDuration::from_micros(1000)
-        );
+        assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1000));
         assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1000));
     }
 
@@ -273,7 +270,10 @@ mod tests {
 
     #[test]
     fn from_secs_f64_rounds() {
-        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_millis(500));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.5),
+            SimDuration::from_millis(500)
+        );
         assert_eq!(SimDuration::from_secs_f64(0.0), SimDuration::ZERO);
     }
 

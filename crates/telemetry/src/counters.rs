@@ -20,21 +20,34 @@ pub struct Labels {
 
 impl Labels {
     /// No labels: a global, run-wide cell.
-    pub const GLOBAL: Labels = Labels { node: None, chain: None, zone: None };
+    pub const GLOBAL: Labels = Labels {
+        node: None,
+        chain: None,
+        zone: None,
+    };
 
     /// Labels with only the node dimension set.
     pub fn node(node: u64) -> Labels {
-        Labels { node: Some(node), ..Labels::GLOBAL }
+        Labels {
+            node: Some(node),
+            ..Labels::GLOBAL
+        }
     }
 
     /// Labels with only the chain dimension set.
     pub fn chain(chain: u64) -> Labels {
-        Labels { chain: Some(chain), ..Labels::GLOBAL }
+        Labels {
+            chain: Some(chain),
+            ..Labels::GLOBAL
+        }
     }
 
     /// Labels with only the zone dimension set.
     pub fn zone(zone: u64) -> Labels {
-        Labels { zone: Some(zone), ..Labels::GLOBAL }
+        Labels {
+            zone: Some(zone),
+            ..Labels::GLOBAL
+        }
     }
 
     /// Returns these labels with the chain dimension added.
@@ -74,7 +87,9 @@ impl Labels {
             let (key, val) = part
                 .split_once('=')
                 .ok_or_else(|| format!("bad label part {part:?}"))?;
-            let val: u64 = val.parse().map_err(|e| format!("bad label value {val:?}: {e}"))?;
+            let val: u64 = val
+                .parse()
+                .map_err(|e| format!("bad label value {val:?}: {e}"))?;
             match key {
                 "node" => out.node = Some(val),
                 "chain" => out.chain = Some(val),
@@ -184,9 +199,6 @@ mod tests {
         c.incr("a", Labels::node(2), 1);
         c.incr("a", Labels::node(1), 1);
         let names: Vec<_> = c.iter().map(|(n, l, _)| (n, l.node)).collect();
-        assert_eq!(
-            names,
-            vec![("a", Some(1)), ("a", Some(2)), ("b", None)]
-        );
+        assert_eq!(names, vec![("a", Some(1)), ("a", Some(2)), ("b", None)]);
     }
 }

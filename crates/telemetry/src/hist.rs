@@ -278,7 +278,10 @@ mod tests {
         for &v in &[100u64, 999, 12_345, 1_000_000, 987_654_321] {
             let i = bucket_index(v);
             let width = bucket_hi(i) - bucket_lo(i) + 1;
-            assert!(width as f64 <= v as f64 / SUB as f64 + 1.0, "v={v} width={width}");
+            assert!(
+                width as f64 <= v as f64 / SUB as f64 + 1.0,
+                "v={v} width={width}"
+            );
         }
     }
 
@@ -323,7 +326,11 @@ mod tests {
             h.record(v);
             exact.push(v);
         }
-        assert_eq!(h.footprint_bytes(), before, "footprint grew with observations");
+        assert_eq!(
+            h.footprint_bytes(),
+            before,
+            "footprint grew with observations"
+        );
         assert_eq!(h.count(), 100_000);
 
         exact.sort_unstable();
@@ -341,7 +348,11 @@ mod tests {
 
     #[test]
     fn merge_equals_union() {
-        let (mut a, mut b, mut union) = (LogHistogram::new(), LogHistogram::new(), LogHistogram::new());
+        let (mut a, mut b, mut union) = (
+            LogHistogram::new(),
+            LogHistogram::new(),
+            LogHistogram::new(),
+        );
         for v in [5u64, 900, 40_000] {
             a.record(v);
             union.record(v);

@@ -322,8 +322,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                             {
                                 let lo = parse_hex4(bytes, *pos + 3)?;
                                 *pos += 6;
-                                let combined =
-                                    0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+                                let combined = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
                                 char::from_u32(combined)
                             } else {
                                 None

@@ -83,7 +83,10 @@ pub struct RunReport {
 impl RunReport {
     /// A new empty report named `name`.
     pub fn new(name: impl Into<String>) -> Self {
-        RunReport { name: name.into(), ..RunReport::default() }
+        RunReport {
+            name: name.into(),
+            ..RunReport::default()
+        }
     }
 
     /// Adds a free-form metadata pair.
@@ -102,22 +105,56 @@ impl RunReport {
         self.metrics.get(key).copied()
     }
 
+    /// A derived scalar metric that the caller *requires* to exist.
+    ///
+    /// Experiment runners drop non-finite summary values instead of storing
+    /// `NaN` (a run with zero commits has no latency), so a missing key
+    /// here means the run did not measure what the caller is about to
+    /// report. Failing loudly with the run name and the available keys
+    /// beats silently NaN-propagating a `-` into a benchmark artifact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` was never recorded, naming the run and listing every
+    /// metric it does carry.
+    pub fn require_metric(&self, key: &str) -> f64 {
+        match self.metrics.get(key) {
+            Some(v) => *v,
+            None => {
+                let available: Vec<&str> = self.metrics.keys().map(String::as_str).collect();
+                panic!(
+                    "run report `{}` has no metric `{key}` (available: [{}])",
+                    self.name,
+                    available.join(", ")
+                );
+            }
+        }
+    }
+
     /// Absorbs every counter cell.
     pub fn add_counters(&mut self, counters: &Counters) {
         for (name, labels, value) in counters.iter() {
-            self.counters.push(CounterEntry { name: name.to_string(), labels, value });
+            self.counters.push(CounterEntry {
+                name: name.to_string(),
+                labels,
+                value,
+            });
         }
     }
 
     /// Absorbs one named histogram.
     pub fn add_histogram(&mut self, name: impl Into<String>, h: &LogHistogram) {
-        self.histograms.push(HistogramEntry::from_histogram(name, h));
+        self.histograms
+            .push(HistogramEntry::from_histogram(name, h));
     }
 
     /// Absorbs the per-stage breakdown and bookkeeping of a span store.
     pub fn add_timelines(&mut self, timelines: &Timelines) {
         for (segment, h) in timelines.stage_histograms() {
-            self.stages.push(StageEntry { segment, summary: h.summary() });
+            self.stages.push(StageEntry {
+                segment,
+                summary: h.summary(),
+            });
         }
         self.timeline_count = timelines.len() as u64;
         self.timeline_dropped = timelines.dropped();
@@ -276,15 +313,18 @@ impl RunReport {
             for (k, val) in pairs {
                 report.meta.insert(
                     k.clone(),
-                    val.as_str().ok_or("meta values must be strings")?.to_string(),
+                    val.as_str()
+                        .ok_or("meta values must be strings")?
+                        .to_string(),
                 );
             }
         }
         if let Some(Json::Obj(pairs)) = v.get("metrics") {
             for (k, val) in pairs {
-                report
-                    .metrics
-                    .insert(k.clone(), val.as_f64().ok_or("metric values must be numbers")?);
+                report.metrics.insert(
+                    k.clone(),
+                    val.as_f64().ok_or("metric values must be numbers")?,
+                );
             }
         }
         if let Some(arr) = v.get("counters").and_then(Json::as_arr) {
@@ -295,9 +335,7 @@ impl RunReport {
                         .and_then(Json::as_str)
                         .ok_or("counter missing name")?
                         .to_string(),
-                    labels: Labels::parse(
-                        c.get("labels").and_then(Json::as_str).unwrap_or(""),
-                    )?,
+                    labels: Labels::parse(c.get("labels").and_then(Json::as_str).unwrap_or(""))?,
                     value: c
                         .get("value")
                         .and_then(Json::as_u64)
@@ -349,10 +387,7 @@ impl RunReport {
                 });
             }
         }
-        report.timeline_count = v
-            .get("timeline_count")
-            .and_then(Json::as_u64)
-            .unwrap_or(0);
+        report.timeline_count = v.get("timeline_count").and_then(Json::as_u64).unwrap_or(0);
         report.timeline_dropped = v
             .get("timeline_dropped")
             .and_then(Json::as_u64)
@@ -368,7 +403,13 @@ impl RunReport {
         let safe: String = self
             .name
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
             .collect();
         let path = dir.join(format!("{safe}.json"));
         let mut file = std::fs::File::create(&path)?;
@@ -382,8 +423,7 @@ impl RunReport {
         let mut out = String::new();
         out.push_str(&format!("== run report: {} ==\n", self.name));
         if !self.meta.is_empty() {
-            let pairs: Vec<String> =
-                self.meta.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let pairs: Vec<String> = self.meta.iter().map(|(k, v)| format!("{k}={v}")).collect();
             out.push_str(&format!("   {}\n", pairs.join(" ")));
         }
         for (k, v) in &self.metrics {
@@ -459,7 +499,11 @@ mod tests {
 
         let mut timelines = Timelines::default();
         for h in 0..5u64 {
-            let key = BundleKey { producer: 1, chain: 1, height: h };
+            let key = BundleKey {
+                producer: 1,
+                chain: 1,
+                height: h,
+            };
             timelines.mark(key, Stage::Produced, h * 1_000_000);
             timelines.mark(key, Stage::Multicast, h * 1_000_000 + 50_000);
             timelines.mark(key, Stage::Committed, h * 1_000_000 + 900_000);
@@ -489,7 +533,10 @@ mod tests {
     #[test]
     fn accessors_find_cells_and_segments() {
         let report = sample_report();
-        assert_eq!(report.counter("tips.updated", Labels::node(0).and_chain(1)), 17);
+        assert_eq!(
+            report.counter("tips.updated", Labels::node(0).and_chain(1)),
+            17
+        );
         assert_eq!(report.counter_total("zone.stripe_sends"), 400);
         assert_eq!(report.counter("missing", Labels::GLOBAL), 0);
         assert_eq!(report.metric("throughput_tps"), Some(12_345.5));
@@ -502,11 +549,21 @@ mod tests {
     }
 
     #[test]
+    fn require_metric_returns_present_values() {
+        let report = sample_report();
+        assert_eq!(report.require_metric("throughput_tps"), 12_345.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "run report `unit-sample` has no metric `p99_latency_ms`")]
+    fn require_metric_fails_loudly_on_absent_key() {
+        sample_report().require_metric("p99_latency_ms");
+    }
+
+    #[test]
     fn write_to_dir_emits_parseable_file() {
-        let dir = std::env::temp_dir().join(format!(
-            "predis-telemetry-test-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("predis-telemetry-test-{}", std::process::id()));
         let report = sample_report();
         let path = report.write_to_dir(&dir).expect("write");
         assert_eq!(path.file_name().unwrap(), "unit-sample.json");

@@ -127,7 +127,11 @@ impl Default for Timelines {
 impl Timelines {
     /// An empty span store tracking at most `cap` distinct bundles.
     pub fn with_cap(cap: usize) -> Self {
-        Timelines { map: BTreeMap::new(), cap, dropped: 0 }
+        Timelines {
+            map: BTreeMap::new(),
+            cap,
+            dropped: 0,
+        }
     }
 
     /// Stamps `stage` for `key` at `now_nanos` (earliest observation wins).
@@ -177,10 +181,7 @@ impl Timelines {
     /// end-to-end spans `produced->committed` and `produced->zone_delivered`.
     pub fn stage_histograms(&self) -> Vec<(String, LogHistogram)> {
         let mut pairs: Vec<(String, LogHistogram)> = Vec::new();
-        let adjacent: Vec<(Stage, Stage)> = Stage::ALL
-            .windows(2)
-            .map(|w| (w[0], w[1]))
-            .collect();
+        let adjacent: Vec<(Stage, Stage)> = Stage::ALL.windows(2).map(|w| (w[0], w[1])).collect();
         let totals = [
             (Stage::Produced, Stage::Committed),
             (Stage::Produced, Stage::ZoneDelivered),
@@ -205,7 +206,11 @@ mod tests {
     use super::*;
 
     fn key(h: u64) -> BundleKey {
-        BundleKey { producer: 1, chain: 1, height: h }
+        BundleKey {
+            producer: 1,
+            chain: 1,
+            height: h,
+        }
     }
 
     #[test]
@@ -257,10 +262,16 @@ mod tests {
         assert!(names.contains(&"produced->committed"));
         // tip_acked never recorded → no multicast->tip_acked segment.
         assert!(!names.contains(&"multicast->tip_acked"));
-        let (_, pm) = hists.iter().find(|(n, _)| n == "produced->multicast").unwrap();
+        let (_, pm) = hists
+            .iter()
+            .find(|(n, _)| n == "produced->multicast")
+            .unwrap();
         assert_eq!(pm.count(), 10);
         assert_eq!(pm.percentile(1.0), Some(10));
-        let (_, pc) = hists.iter().find(|(n, _)| n == "produced->committed").unwrap();
+        let (_, pc) = hists
+            .iter()
+            .find(|(n, _)| n == "produced->committed")
+            .unwrap();
         assert_eq!(pc.percentile(0.0), Some(500));
     }
 }

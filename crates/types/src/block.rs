@@ -297,7 +297,10 @@ mod tests {
         // size depends only on n_c.
         let b = block();
         let size = b.wire_size();
-        assert!(size < 400, "4-chain Predis block should be tiny, got {size}");
+        assert!(
+            size < 400,
+            "4-chain Predis block should be tiny, got {size}"
+        );
         // A batch proposal of 800 txs is ~400 KB by contrast.
         let batch = ProposalPayload::Batch(
             (0..800)

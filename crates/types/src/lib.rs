@@ -39,6 +39,6 @@ pub use ids::{ChainId, ClientId, Height, SeqNum, TxId, View};
 pub use tip_list::{quorum_cut_height, TipList};
 pub use tx::{tx_leaves, Transaction};
 pub use wire::{
-    WireSize, DEFAULT_BATCH_SIZE, DEFAULT_BUNDLE_SIZE, DEFAULT_TX_SIZE, FRAME_OVERHEAD,
-    HASH_WIRE, SIG_WIRE, U32_WIRE, U64_WIRE,
+    WireSize, DEFAULT_BATCH_SIZE, DEFAULT_BUNDLE_SIZE, DEFAULT_TX_SIZE, FRAME_OVERHEAD, HASH_WIRE,
+    SIG_WIRE, U32_WIRE, U64_WIRE,
 };

@@ -66,8 +66,7 @@ impl TipList {
     /// `other` — the monotonicity rule a valid child bundle's tip list must
     /// satisfy relative to its parent's (validity check 3 in §III-A).
     pub fn dominates(&self, other: &TipList) -> bool {
-        self.0.len() == other.0.len()
-            && self.0.iter().zip(&other.0).all(|(a, b)| a >= b)
+        self.0.len() == other.0.len() && self.0.iter().zip(&other.0).all(|(a, b)| a >= b)
     }
 
     /// Pointwise maximum with `other` (used when merging observations).
@@ -213,9 +212,6 @@ mod tests {
     fn iter_yields_pairs() {
         let t = TipList::from(vec![Height(1), Height(2)]);
         let v: Vec<_> = t.iter().collect();
-        assert_eq!(
-            v,
-            vec![(ChainId(0), Height(1)), (ChainId(1), Height(2))]
-        );
+        assert_eq!(v, vec![(ChainId(0), Height(1)), (ChainId(1), Height(2))]);
     }
 }

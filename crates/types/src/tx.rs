@@ -47,7 +47,12 @@ impl Transaction {
     }
 
     /// Creates a transaction with an explicit payload size.
-    pub fn with_size(id: TxId, client: ClientId, submitted_at_nanos: u64, size: u32) -> Transaction {
+    pub fn with_size(
+        id: TxId,
+        client: ClientId,
+        submitted_at_nanos: u64,
+        size: u32,
+    ) -> Transaction {
         Transaction {
             id,
             client,

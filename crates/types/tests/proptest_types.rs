@@ -1,10 +1,10 @@
 //! Property tests for tip lists, the cut rule, and bundle integrity.
 
-use proptest::prelude::*;
 use predis_crypto::{Hash, Keypair, SignerId};
 use predis_types::{
     quorum_cut_height, Bundle, ChainId, ClientId, Height, TipList, Transaction, TxId,
 };
+use proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]

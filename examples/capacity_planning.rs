@@ -32,8 +32,7 @@ fn main() {
         let series = sim.metrics().throughput_series(bucket, until);
         let verdict = match sim.metrics().stable_from(bucket, until, 0.10) {
             Some(idx) => {
-                let mean =
-                    series[idx..].iter().sum::<f64>() / (series.len() - idx) as f64;
+                let mean = series[idx..].iter().sum::<f64>() / (series.len() - idx) as f64;
                 if mean < 0.95 * load {
                     format!("SATURATED: sustains only {mean:.0} tx/s; queues grow")
                 } else {

@@ -26,11 +26,23 @@ fn main() {
         setup.offered_tps
     );
     let summary = setup.run();
-    println!("  sustained throughput : {:>8.0} tx/s", summary.throughput_tps);
+    println!(
+        "  sustained throughput : {:>8.0} tx/s",
+        summary.throughput_tps
+    );
     println!("  committed in window  : {:>8} txs", summary.committed_txs);
-    println!("  client latency mean  : {:>8.1} ms", summary.mean_latency_ms);
-    println!("  client latency p50   : {:>8.1} ms", summary.p50_latency_ms);
-    println!("  client latency p99   : {:>8.1} ms", summary.p99_latency_ms);
+    println!(
+        "  client latency mean  : {:>8.1} ms",
+        summary.mean_latency_ms
+    );
+    println!(
+        "  client latency p50   : {:>8.1} ms",
+        summary.p50_latency_ms
+    );
+    println!(
+        "  client latency p99   : {:>8.1} ms",
+        summary.p99_latency_ms
+    );
 
     // The same committee without Predis, for contrast.
     let vanilla = ThroughputSetup {

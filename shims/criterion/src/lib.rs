@@ -91,7 +91,11 @@ impl BenchmarkGroup<'_> {
         id: S,
         mut f: F,
     ) -> &mut Self {
-        let mut b = Bencher { samples: self.samples, total: Duration::ZERO, iters: 0 };
+        let mut b = Bencher {
+            samples: self.samples,
+            total: Duration::ZERO,
+            iters: 0,
+        };
         f(&mut b);
         report(&format!("{}/{}", self.name, id.as_ref()), b.total, b.iters);
         self
@@ -122,7 +126,11 @@ impl Criterion {
     /// Opens a named benchmark group.
     pub fn benchmark_group<S: AsRef<str>>(&mut self, name: S) -> BenchmarkGroup<'_> {
         let samples = self.samples;
-        BenchmarkGroup { name: name.as_ref().to_string(), samples, _criterion: self }
+        BenchmarkGroup {
+            name: name.as_ref().to_string(),
+            samples,
+            _criterion: self,
+        }
     }
 
     /// Runs one stand-alone benchmark.
@@ -131,7 +139,11 @@ impl Criterion {
         id: S,
         mut f: F,
     ) -> &mut Self {
-        let mut b = Bencher { samples: self.samples, total: Duration::ZERO, iters: 0 };
+        let mut b = Bencher {
+            samples: self.samples,
+            total: Duration::ZERO,
+            iters: 0,
+        };
         f(&mut b);
         report(id.as_ref(), b.total, b.iters);
         self

@@ -35,7 +35,9 @@ pub mod test_runner {
                 h ^= b as u64;
                 h = h.wrapping_mul(0x0000_0100_0000_01b3);
             }
-            TestRng(SmallRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64)))
+            TestRng(SmallRng::seed_from_u64(
+                h ^ ((case as u64) << 32 | case as u64),
+            ))
         }
 
         /// The next 64 random bits.
@@ -203,13 +205,19 @@ pub mod collection {
 
     impl From<core::ops::Range<usize>> for SizeRange {
         fn from(r: core::ops::Range<usize>) -> Self {
-            SizeRange { lo: r.start, hi: r.end }
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
         }
     }
 
     impl From<core::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: core::ops::RangeInclusive<usize>) -> Self {
-            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
         }
     }
 
@@ -221,7 +229,10 @@ pub mod collection {
 
     /// `Vec` strategy with `size` elements (a count or a range of counts).
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {

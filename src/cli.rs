@@ -269,7 +269,9 @@ fn cmd_propagation(flags: &Flags) -> Result<String, CliError> {
         mbps: flags.num("mbps", 100u64)?,
         latency: LatencyModel::lan(),
         max_children: flags.num("max-children", 24usize)?,
-        locality_zones: flags.get("locality").is_some_and(|v| v == "true" || v == "1"),
+        locality_zones: flags
+            .get("locality")
+            .is_some_and(|v| v == "true" || v == "1"),
         seed: flags.num("seed", 3u64)?,
     };
     if setup.blocks == 0 {
@@ -358,8 +360,10 @@ fn cmd_series(flags: &Flags) -> Result<String, CliError> {
             idx as f64 * bucket.as_secs_f64(),
             series[idx..].iter().sum::<f64>() / (series.len() - idx) as f64
         )),
-        None => out.push_str("run never settled (offered load above capacity?)
-"),
+        None => out.push_str(
+            "run never settled (offered load above capacity?)
+",
+        ),
     }
     Ok(out)
 }

@@ -48,7 +48,11 @@ fn build(seed: u64, leavers: &[usize], crashers: &[usize]) -> Sim<NetMsg> {
             .copied()
             .filter(|n| *n != fnode)
             .collect();
-        let backups: Vec<NodeId> = members[(zone + 1) % ZONES].iter().copied().take(2).collect();
+        let backups: Vec<NodeId> = members[(zone + 1) % ZONES]
+            .iter()
+            .copied()
+            .take(2)
+            .collect();
         let mut node = MultiZoneNode::new(zcfg.clone(), j as u64, mates).with_backups(backups);
         if leavers.contains(&j) {
             // Voluntary, announced departure mid-stream.

@@ -116,7 +116,11 @@ fn equivocator_is_banned_everywhere_and_progress_continues() {
             .actor_as::<ActorOf<PbftNode<PredisPlane>, ConsMsg>>(NodeId(me))
             .expect("honest replica");
         assert!(
-            node.core().plane().mempool().ban_list().is_banned(ChainId(3)),
+            node.core()
+                .plane()
+                .mempool()
+                .ban_list()
+                .is_banned(ChainId(3)),
             "replica {me} must ban the equivocator"
         );
     }
@@ -158,7 +162,7 @@ fn censored_clients_reroute_to_honest_replicas() {
     let mut cfg = ConsensusConfig::default().paced_production(n_c, 512, 100_000_000);
     cfg.metrics_replica = 1;
     cfg.reply_spread = 2; // f + 1: confirmations survive a faulty entry
-    // Client 0's entry replica is index 0 — make it silent.
+                          // Client 0's entry replica is index 0 — make it silent.
     for me in 0..n_c {
         let actor: Box<dyn Actor<ConsMsg>> = if me == 0 {
             Box::new(SilentNode)
@@ -261,8 +265,7 @@ fn pbft_equivocating_leader_cannot_split_the_committee() {
         };
         sim.add_node(LinkConfig::paper_default(), actor, SimTime::ZERO);
     }
-    let client =
-        ClientCore::new(ClientId(0), roster.clone(), 1_000.0, 512).broadcast_submissions();
+    let client = ClientCore::new(ClientId(0), roster.clone(), 1_000.0, 512).broadcast_submissions();
     sim.add_node(
         LinkConfig::paper_default(),
         Box::new(ActorOf::<_, ConsMsg>::new(client)),
