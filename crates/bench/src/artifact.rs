@@ -20,9 +20,14 @@ use crate::sweep::{Runner, SweepOutcome, SweepPoint};
 
 /// Version of the artifact schema; part of the default file name so stale
 /// baselines fail loudly instead of comparing apples to oranges.
-pub const BENCH_SCHEMA_VERSION: u64 = 2;
+pub const BENCH_SCHEMA_VERSION: u64 = 3;
 
-/// The default artifact file name, `BENCH_2.json`.
+/// Oldest schema version [`BenchArtifact::from_json`] still reads. Version 2
+/// artifacts lack the `payload_clones` field (defaulted to 0 on read), so an
+/// old baseline still diffs against a new run.
+pub const BENCH_SCHEMA_MIN_SUPPORTED: u64 = 2;
+
+/// The default artifact file name, `BENCH_3.json`.
 pub fn bench_file_name() -> String {
     format!("BENCH_{BENCH_SCHEMA_VERSION}.json")
 }
@@ -39,6 +44,10 @@ pub struct BenchEntry {
     pub p99_ms: f64,
     /// Total bytes the simulated network carried.
     pub bytes: u64,
+    /// Payload materializations (`msg.payload_clones`): deep constructions
+    /// of shared payloads during the run. Deterministic, and O(1) per
+    /// produced bundle/proposal — fan-out adds zero (the zero-copy gate).
+    pub payload_clones: u64,
     /// Wall-clock milliseconds the run took (machine-dependent; excluded
     /// from determinism and regression comparisons).
     pub wall_ms: u64,
@@ -81,6 +90,7 @@ impl BenchEntry {
             p50_ms,
             p99_ms,
             bytes,
+            payload_clones: report.metric("msg.payload_clones").unwrap_or(0.0) as u64,
             wall_ms: outcome.wall_ms,
         }
     }
@@ -132,6 +142,7 @@ impl BenchArtifact {
                         ("p50_latency_ms".into(), Json::F64(e.p50_ms)),
                         ("p99_latency_ms".into(), Json::F64(e.p99_ms)),
                         ("bytes".into(), Json::U64(e.bytes)),
+                        ("payload_clones".into(), Json::U64(e.payload_clones)),
                         ("wall_ms".into(), Json::U64(e.wall_ms)),
                     ]),
                 )
@@ -151,9 +162,10 @@ impl BenchArtifact {
             .get("schema_version")
             .and_then(Json::as_u64)
             .ok_or("artifact missing schema_version")?;
-        if version != BENCH_SCHEMA_VERSION {
+        if !(BENCH_SCHEMA_MIN_SUPPORTED..=BENCH_SCHEMA_VERSION).contains(&version) {
             return Err(format!(
-                "artifact schema_version {version} != supported {BENCH_SCHEMA_VERSION}"
+                "artifact schema_version {version} outside supported \
+                 {BENCH_SCHEMA_MIN_SUPPORTED}..={BENCH_SCHEMA_VERSION}"
             ));
         }
         let mut artifact = BenchArtifact::default();
@@ -178,6 +190,8 @@ impl BenchArtifact {
                     p50_ms: num("p50_latency_ms")?,
                     p99_ms: num("p99_latency_ms")?,
                     bytes: int("bytes")?,
+                    // Absent before schema 3.
+                    payload_clones: int("payload_clones").unwrap_or(0),
                     wall_ms: int("wall_ms")?,
                 },
             );
@@ -274,11 +288,22 @@ impl BenchArtifact {
             match other.runs.get(name) {
                 None => mismatches.push(format!("{name}: only in first artifact")),
                 Some(b) => {
-                    if (a.tps, a.p50_ms, a.p99_ms, a.bytes) != (b.tps, b.p50_ms, b.p99_ms, b.bytes)
+                    if (a.tps, a.p50_ms, a.p99_ms, a.bytes, a.payload_clones)
+                        != (b.tps, b.p50_ms, b.p99_ms, b.bytes, b.payload_clones)
                     {
                         mismatches.push(format!(
-                            "{name}: tps {} vs {}, p50 {} vs {}, p99 {} vs {}, bytes {} vs {}",
-                            a.tps, b.tps, a.p50_ms, b.p50_ms, a.p99_ms, b.p99_ms, a.bytes, b.bytes
+                            "{name}: tps {} vs {}, p50 {} vs {}, p99 {} vs {}, bytes {} vs {}, \
+                             clones {} vs {}",
+                            a.tps,
+                            b.tps,
+                            a.p50_ms,
+                            b.p50_ms,
+                            a.p99_ms,
+                            b.p99_ms,
+                            a.bytes,
+                            b.bytes,
+                            a.payload_clones,
+                            b.payload_clones
                         ));
                     }
                 }
@@ -303,6 +328,7 @@ mod tests {
             p50_ms: p99 / 2.0,
             p99_ms: p99,
             bytes: 1_000,
+            payload_clones: 42,
             wall_ms: wall,
         }
     }
@@ -326,6 +352,21 @@ mod tests {
         let back = BenchArtifact::from_json(&text).unwrap();
         assert_eq!(back, a);
         assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn v2_artifact_reads_with_defaulted_clones() {
+        let a = artifact(&[("a", entry(10_000.0, 100.0, 1))]);
+        let text = a
+            .to_json()
+            .replace(
+                &format!("\"schema_version\": {BENCH_SCHEMA_VERSION}"),
+                "\"schema_version\": 2",
+            )
+            .replace("\"payload_clones\": 42,", "");
+        let back = BenchArtifact::from_json(&text).unwrap();
+        assert_eq!(back.runs["a"].payload_clones, 0);
+        assert_eq!(back.runs["a"].bytes, 1_000);
     }
 
     #[test]

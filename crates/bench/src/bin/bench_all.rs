@@ -14,14 +14,59 @@
 //!   (e.g. `--only fig6_`).
 //! * `--threads` — pool width override (default: all cores, or
 //!   `PREDIS_THREADS`).
-//! * `--out`     — artifact path (default `results/BENCH_2.json`).
+//! * `--out`     — artifact path (default `results/BENCH_3.json`).
+//!
+//! Before writing the artifact the suite enforces the zero-copy gate:
+//! every throughput run's `msg.payload_clones` must stay O(1) per produced
+//! payload unit (see `check_payload_clones`), or the run exits nonzero.
 
 use std::time::Instant;
 
 use predis_bench::{
-    bench_file_name, f0, f1, print_table, suite, sweep, BenchArtifact, RESULTS_DIR,
+    bench_file_name, f0, f1, print_table, suite, sweep, BenchArtifact, Runner, SweepOutcome,
+    SweepPoint, RESULTS_DIR,
 };
 use predis_parallel::Pool;
+
+/// The zero-copy gate: payload materializations must stay O(1) per produced
+/// payload unit (bundle, proposal, microblock, fork), independent of the
+/// committee size and full-node fan-out. A deep-copy-per-recipient
+/// regression multiplies clones by `n_c`, which this bound catches; the
+/// multiplier of 2 absorbs rare legitimate extra materializations
+/// (conflict-proof gossip, catch-up state transfer).
+fn check_payload_clones(point: &SweepPoint, outcome: &SweepOutcome) -> Result<(), String> {
+    if !matches!(point.runner, Runner::Throughput(_)) {
+        return Ok(()); // propagation runs share via `Shared`, not counted
+    }
+    let report = &outcome.report;
+    let clones = report.metric("msg.payload_clones").unwrap_or(0.0) as u64;
+    let units: u64 = [
+        "predis.bundles_produced",
+        "pbft.proposals",
+        "hs.proposals",
+        "micro.produced",
+    ]
+    .iter()
+    .map(|c| report.counter_total(c))
+    .sum::<u64>()
+        + 2 * report.counter_total("byz.forked_heights");
+    let bound = 2 * units + 64;
+    if clones > bound {
+        return Err(format!(
+            "{}: {clones} payload clones > bound {bound} (2 x {units} produced units + 64) — \
+             the message plane is deep-copying per recipient again",
+            point.name
+        ));
+    }
+    if units > 0 && clones == 0 {
+        return Err(format!(
+            "{}: produced {units} payload units but recorded 0 materializations — \
+             the payload_clones counter is disconnected",
+            point.name
+        ));
+    }
+    Ok(())
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -79,6 +124,18 @@ fn main() {
         &["run", "tps", "p99/to100_ms", "wall_ms"],
         &rows,
     );
+
+    let clone_violations: Vec<String> = points
+        .iter()
+        .zip(&outcomes)
+        .filter_map(|(p, o)| check_payload_clones(p, o).err())
+        .collect();
+    if !clone_violations.is_empty() {
+        for v in &clone_violations {
+            eprintln!("zero-copy gate: {v}");
+        }
+        std::process::exit(1);
+    }
 
     let artifact = BenchArtifact::from_sweep(&points, &outcomes);
     if let Err(e) = artifact.write(&out) {

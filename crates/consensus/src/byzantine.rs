@@ -12,7 +12,7 @@
 use predis_crypto::{Hash, Keypair, SignerId};
 use predis_mempool::TxPool;
 use predis_sim::{Actor, Codec, Context, NarrowContext, NodeId, ProtocolCore, TimerTag};
-use predis_types::{Bundle, ChainId, ClientId, Height, TipList, Transaction, TxId};
+use predis_types::{Bundle, ChainId, ClientId, Height, SizedBundle, TipList, Transaction, TxId};
 
 use crate::config::{timers, ConsensusConfig, Roster};
 use crate::msg::ConsMsg;
@@ -93,14 +93,23 @@ impl EquivocatingProducer {
             &self.key,
         );
         debug_assert_ne!(a.hash(), b.hash());
+        // Two *distinct* shared payloads — the forks must never alias one
+        // allocation, or conflict detection would compare a bundle against
+        // itself. Each half of the committee gets Arc clones of its fork.
+        let fork_a = SizedBundle::from(a);
+        let fork_b = SizedBundle::from(b);
+        debug_assert!(!predis_types::Shared::ptr_eq(
+            fork_a.shared(),
+            fork_b.shared()
+        ));
         let peers = self.roster.peers_of(self.me);
         let half = peers.len() / 2;
         for (i, peer) in peers.into_iter().enumerate() {
-            let bundle = if i < half { a.clone() } else { b.clone() };
-            ctx.send(peer, ConsMsg::Bundle(Box::new(bundle)));
+            let bundle = if i < half { &fork_a } else { &fork_b };
+            ctx.send(peer, ConsMsg::Bundle(bundle.clone()));
         }
         ctx.metrics().incr("byz.forked_heights", 1);
-        self.parent = a.hash();
+        self.parent = fork_a.hash();
         self.next_height = self.next_height.next();
     }
 }

@@ -12,7 +12,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 
 use predis_crypto::Hash;
 use predis_sim::{Codec, NarrowContext, NodeId, ProtocolCore, TimerTag};
-use predis_types::{ProposalPayload, View};
+use predis_types::{ProposalPayload, SizedPayload, View};
 
 use predis_types::{SeqNum, Transaction};
 
@@ -24,7 +24,9 @@ use crate::plane::{DataPlane, ProposalCheck};
 /// A stored block with its local voting status.
 #[derive(Debug)]
 struct BlockEntry {
-    msg: HsBlockMsg,
+    /// Shared with the delivered proposal (and, on the leader, with every
+    /// outgoing copy).
+    msg: SizedPayload<HsBlockMsg>,
     validated: bool,
     deferred: bool,
     executed: bool,
@@ -197,28 +199,26 @@ impl<P: DataPlane> HotStuffNode<P> {
             }
         };
         let hash = HsBlockMsg::compute_hash(parent, self.round, &payload);
-        let block = HsBlockMsg {
+        // Wrap once: the local block store and every recipient share it.
+        let block = SizedPayload::from(HsBlockMsg {
             hash,
             parent,
             round: self.round,
             payload,
             justify: self.generic_qc,
-        };
+        });
         self.proposed_rounds.insert(self.round);
         ctx.metrics().incr("hs.proposals", 1);
         // Deliver to self first (local processing), then multicast.
         self.on_proposal(ctx, self.me, block.clone());
-        ctx.multicast(
-            self.roster.peers_of(self.me),
-            ConsMsg::HsProposal(Box::new(block)),
-        );
+        ctx.multicast(self.roster.peers_of(self.me), ConsMsg::HsProposal(block));
     }
 
     fn on_proposal<M: Codec<ConsMsg>>(
         &mut self,
         ctx: &mut NarrowContext<'_, '_, M, ConsMsg>,
         from: usize,
-        block: HsBlockMsg,
+        block: SizedPayload<HsBlockMsg>,
     ) {
         if from != self.leader_of(block.round) || block.parent != block.justify.block {
             return;
@@ -286,8 +286,11 @@ impl<P: DataPlane> HotStuffNode<P> {
         if !entry.validated {
             let proposer = self.leader_of(block.round);
             let parent = block.parent;
-            let payload = block.payload.clone();
-            match self.plane.validate(ctx, proposer, parent, hash, &payload) {
+            let msg = entry.msg.clone(); // Arc bump, not a payload copy
+            match self
+                .plane
+                .validate(ctx, proposer, parent, hash, &msg.payload)
+            {
                 ProposalCheck::Accept => {
                     self.blocks.get_mut(&hash).expect("exists").validated = true;
                 }
@@ -416,8 +419,8 @@ impl<P: DataPlane> HotStuffNode<P> {
                 continue;
             }
             let parent = entry.msg.parent;
-            let payload = entry.msg.payload.clone();
-            let Some(txs) = self.plane.commit(ctx, parent, h, &payload) else {
+            let msg = entry.msg.clone(); // Arc bump, not a payload copy
+            let Some(txs) = self.plane.commit(ctx, parent, h, &msg.payload) else {
                 break; // stalled on missing data; retried on plane progress
             };
             {
@@ -495,7 +498,7 @@ impl<P: DataPlane> ProtocolCore<ConsMsg> for HotStuffNode<P> {
             return;
         };
         match msg {
-            ConsMsg::HsProposal(block) => self.on_proposal(ctx, sender, *block),
+            ConsMsg::HsProposal(block) => self.on_proposal(ctx, sender, block),
             ConsMsg::HsVote { block, round } if self.leader_of(round.next()) == self.me => {
                 self.on_vote(ctx, sender, block, round);
             }

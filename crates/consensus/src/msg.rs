@@ -8,8 +8,8 @@
 use predis_crypto::Hash;
 use predis_sim::Payload;
 use predis_types::{
-    Bundle, ChainId, ConflictProof, Height, ProposalPayload, SeqNum, Transaction, TxId, View,
-    WireSize, FRAME_OVERHEAD, HASH_WIRE, SIG_WIRE, U32_WIRE, U64_WIRE,
+    ChainId, ConflictProof, Height, ProposalPayload, SeqNum, SizedBundle, SizedPayload,
+    Transaction, TxId, View, WireSize, FRAME_OVERHEAD, HASH_WIRE, SIG_WIRE, U32_WIRE, U64_WIRE,
 };
 use serde::{Deserialize, Serialize};
 
@@ -61,6 +61,13 @@ impl HsBlockMsg {
             &round.0.to_be_bytes(),
             payload.digest().as_bytes(),
         ])
+    }
+}
+
+impl WireSize for HsBlockMsg {
+    fn wire_size(&self) -> usize {
+        // hash + parent + round + payload + justify + leader signature.
+        HASH_WIRE * 2 + U64_WIRE + self.payload.wire_size() + self.justify.wire_size() + SIG_WIRE
     }
 }
 
@@ -117,8 +124,9 @@ pub enum ConsMsg {
     },
 
     // ---- Predis data plane ----
-    /// A pre-distributed bundle.
-    Bundle(Box<Bundle>),
+    /// A pre-distributed bundle. Shared: every recipient (and the sender's
+    /// own mempool) holds the same allocation, sized once at construction.
+    Bundle(SizedBundle),
     /// Request for a missing bundle (§III-D liveness path).
     BundleRequest {
         /// The chain to fetch from.
@@ -127,11 +135,11 @@ pub enum ConsMsg {
         height: Height,
     },
     /// Gossiped equivocation evidence (§III-E).
-    ConflictGossip(Box<ConflictProof>),
+    ConflictGossip(SizedPayload<ConflictProof>),
 
     // ---- Narwhal/Stratus data plane ----
-    /// A microblock broadcast.
-    Micro(Box<MicroBlock>),
+    /// A microblock broadcast. Shared like [`ConsMsg::Bundle`].
+    Micro(SizedPayload<MicroBlock>),
     /// An availability acknowledgement (one signature) for a microblock.
     MicroAck {
         /// Digest of the acknowledged microblock.
@@ -162,8 +170,9 @@ pub enum ConsMsg {
         view: View,
         /// Slot number.
         seq: SeqNum,
-        /// The proposal.
-        payload: ProposalPayload,
+        /// The proposal, shared between the leader's slot table and every
+        /// replica's delivery.
+        payload: SizedPayload<ProposalPayload>,
     },
     /// Prepare vote.
     Prepare {
@@ -216,8 +225,8 @@ pub enum ConsMsg {
     },
 
     // ---- chained HotStuff ----
-    /// Leader's block proposal.
-    HsProposal(Box<HsBlockMsg>),
+    /// Leader's block proposal, shared across recipients and block stores.
+    HsProposal(SizedPayload<HsBlockMsg>),
     /// A replica's vote, sent to the next leader.
     HsVote {
         /// Voted block.
@@ -267,14 +276,7 @@ impl Payload for ConsMsg {
                     + FRAME_OVERHEAD
             }
             ConsMsg::NewView { .. } => U64_WIRE * 2 + SIG_WIRE + FRAME_OVERHEAD,
-            ConsMsg::HsProposal(b) => {
-                HASH_WIRE * 2
-                    + U64_WIRE
-                    + b.payload.wire_size()
-                    + b.justify.wire_size()
-                    + SIG_WIRE
-                    + FRAME_OVERHEAD
-            }
+            ConsMsg::HsProposal(b) => b.wire_size() + FRAME_OVERHEAD,
             ConsMsg::HsVote { .. } => HASH_WIRE + U64_WIRE + SIG_WIRE + FRAME_OVERHEAD,
             ConsMsg::HsNewView { qc, .. } => U64_WIRE + qc.wire_size() + SIG_WIRE + FRAME_OVERHEAD,
         }
@@ -309,7 +311,7 @@ mod tests {
         let msg = ConsMsg::PrePrepare {
             view: View(0),
             seq: SeqNum(1),
-            payload: ProposalPayload::Batch(txs),
+            payload: ProposalPayload::Batch(txs).into(),
         };
         assert!(msg.wire_size() > 800 * 512);
         assert!(msg.wire_size() < 800 * 512 + 1000);
@@ -333,6 +335,144 @@ mod tests {
         let a = HsBlockMsg::compute_hash(Hash::ZERO, View(1), &p);
         let b = HsBlockMsg::compute_hash(Hash::ZERO, View(2), &p);
         assert_ne!(a, b);
+    }
+
+    /// Golden wire sizes: one fixture per [`ConsMsg`] variant, asserting
+    /// the exact byte count. Any change to the size model must update these
+    /// numbers consciously — they are what the bandwidth accounting charges.
+    #[test]
+    fn golden_wire_size_per_variant() {
+        use predis_crypto::{Keypair, SignerId};
+        use predis_types::{Bundle, ConflictProof, Height, TipList};
+
+        let tx = Transaction::new(TxId(1), ClientId(0), 0); // 512 B payload
+        let key = Keypair::for_node(SignerId(0));
+        let mk_bundle = |salt: u64| {
+            Bundle::build(
+                ChainId(0),
+                Height(1),
+                Hash::ZERO,
+                TipList::new(4), // header = 188 + 8*4 = 220
+                vec![Transaction::new(TxId(salt), ClientId(0), 0)],
+                Hash::ZERO,
+                &key,
+            )
+        };
+        let proof = ConflictProof {
+            a: mk_bundle(1).header,
+            b: mk_bundle(2).header,
+        };
+        let micro = MicroBlock {
+            producer: ChainId(0),
+            seq: 1,
+            txs: vec![tx],
+        };
+        let hs_block = HsBlockMsg {
+            hash: Hash::ZERO,
+            parent: Hash::ZERO,
+            round: View(1),
+            payload: ProposalPayload::Batch(vec![]),
+            justify: Qc::GENESIS,
+        };
+
+        let cases: Vec<(ConsMsg, usize)> = vec![
+            (ConsMsg::Submit(tx), 528),
+            (
+                ConsMsg::Reply {
+                    txs: vec![(TxId(1), 0)],
+                },
+                96,
+            ),
+            (ConsMsg::Bundle(mk_bundle(1).into()), 748),
+            (
+                ConsMsg::BundleRequest {
+                    chain: ChainId(0),
+                    height: Height(1),
+                },
+                28,
+            ),
+            (ConsMsg::ConflictGossip(proof.into()), 456),
+            (ConsMsg::Micro(micro.into()), 620),
+            (
+                ConsMsg::MicroAck {
+                    digest: Hash::ZERO,
+                    producer: ChainId(0),
+                },
+                116,
+            ),
+            (ConsMsg::MicroRequest { digest: Hash::ZERO }, 48),
+            (
+                ConsMsg::MicroCert {
+                    digest: Hash::ZERO,
+                    producer: ChainId(0),
+                    txs: 50,
+                },
+                120,
+            ),
+            (
+                ConsMsg::PrePrepare {
+                    view: View(0),
+                    seq: SeqNum(1),
+                    payload: ProposalPayload::Batch(vec![tx]).into(),
+                },
+                624,
+            ),
+            (
+                ConsMsg::Prepare {
+                    view: View(0),
+                    seq: SeqNum(1),
+                    digest: Hash::ZERO,
+                },
+                128,
+            ),
+            (
+                ConsMsg::Commit {
+                    view: View(0),
+                    seq: SeqNum(1),
+                    digest: Hash::ZERO,
+                },
+                128,
+            ),
+            (
+                ConsMsg::ViewChange {
+                    new_view: View(1),
+                    last_exec: SeqNum(0),
+                },
+                96,
+            ),
+            (
+                ConsMsg::NewView {
+                    view: View(1),
+                    resume_from: SeqNum(1),
+                },
+                96,
+            ),
+            (ConsMsg::CatchUpRequest { from: SeqNum(1) }, 88),
+            (
+                ConsMsg::CatchUpResponse {
+                    slots: vec![(SeqNum(1), ProposalPayload::Batch(vec![tx]), vec![tx])],
+                },
+                1128,
+            ),
+            (ConsMsg::HsProposal(hs_block.into()), 272),
+            (
+                ConsMsg::HsVote {
+                    block: Hash::ZERO,
+                    round: View(1),
+                },
+                120,
+            ),
+            (
+                ConsMsg::HsNewView {
+                    round: View(1),
+                    qc: Qc::GENESIS,
+                },
+                192,
+            ),
+        ];
+        for (msg, expect) in cases {
+            assert_eq!(msg.wire_size(), expect, "wire size drifted for {msg:?}");
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 
 use predis_crypto::Hash;
 use predis_sim::{Codec, NarrowContext, NodeId, ProtocolCore, TimerTag};
-use predis_types::{ProposalPayload, SeqNum, Transaction, TxId, View};
+use predis_types::{ProposalPayload, SeqNum, SizedPayload, Transaction, TxId, View};
 
 use crate::config::{timers, ConsensusConfig, Roster};
 use crate::msg::ConsMsg;
@@ -27,7 +27,9 @@ use crate::plane::{DataPlane, ProposalCheck};
 #[derive(Debug)]
 struct Slot {
     digest: Hash,
-    payload: Option<ProposalPayload>,
+    /// Shared with the delivered pre-prepare (and, on the leader, with
+    /// every outgoing copy): cloning a slot's payload is an `Arc` bump.
+    payload: Option<SizedPayload<ProposalPayload>>,
     /// Payload digest of the predecessor proposal (the plane's `parent`).
     parent: Hash,
     /// This node validated the payload and prepared.
@@ -189,6 +191,8 @@ impl<P: DataPlane> PbftNode<P> {
             let Some(payload) = self.plane.make_proposal(ctx, parent, self.view) else {
                 break;
             };
+            // Wrap once: the slot table and every recipient share it.
+            let payload = SizedPayload::from(payload);
             let digest = payload.digest();
             let mut slot = Slot::new(digest, parent);
             slot.payload = Some(payload.clone());
@@ -214,7 +218,7 @@ impl<P: DataPlane> PbftNode<P> {
         from: NodeId,
         view: View,
         seq: SeqNum,
-        payload: ProposalPayload,
+        payload: SizedPayload<ProposalPayload>,
     ) {
         if view != self.view || self.roster.index_of(from) != Some(self.roster.leader_of(view.0)) {
             return;
@@ -571,9 +575,12 @@ impl<P: DataPlane> ProtocolCore<ConsMsg> for PbftNode<P> {
                 while slots.len() < 8 {
                     match self.slots.get(&seq) {
                         Some(s) if s.executed => {
+                            let payload = s.payload.as_ref().expect("executed slots have payloads");
+                            // Deep clone: catch-up responses ship owned
+                            // content (rare, crash-recovery only).
                             slots.push((
                                 seq,
-                                s.payload.clone().expect("executed slots have payloads"),
+                                (**payload).clone(),
                                 s.kept_txs.clone().unwrap_or_default(),
                             ));
                             seq = seq.next();
@@ -605,7 +612,7 @@ impl<P: DataPlane> ProtocolCore<ConsMsg> for PbftNode<P> {
                         .or_insert_with(|| Slot::new(digest, parent));
                     slot.digest = digest;
                     slot.parent = parent;
-                    slot.payload = Some(payload);
+                    slot.payload = Some(payload.into());
                     slot.committed = true;
                     slot.executed = true;
                     slot.kept_txs = Some(txs.clone());

@@ -19,7 +19,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use predis_crypto::Hash;
 use predis_mempool::TxPool;
 use predis_sim::{Codec, Labels, NarrowContext, NodeId, SimTime, TimerTag};
-use predis_types::{ChainId, MicroRef, ProposalPayload, Transaction, View};
+use predis_types::{ChainId, MicroRef, ProposalPayload, SizedPayload, Transaction, View};
 
 use crate::config::{timers, ConsensusConfig, Roster};
 use crate::msg::{ConsMsg, MicroBlock};
@@ -54,7 +54,9 @@ pub struct MicroPlane {
     ack_quorum: usize,
     txpool: TxPool,
     next_seq: u64,
-    store: HashMap<Hash, MicroBlock>,
+    /// Microblock bodies by digest; shared handles, so storing a delivered
+    /// body or re-serving it to a requester never copies the transactions.
+    store: HashMap<Hash, SizedPayload<MicroBlock>>,
     /// Acks collected for microblocks this node produced.
     acks: HashMap<Hash, HashSet<usize>>,
     /// Digests known to be certified (proposable / votable).
@@ -139,13 +141,12 @@ impl MicroPlane {
             txs,
         };
         self.next_seq += 1;
+        // Wrap once: the local store and the multicast share the allocation.
+        let micro = SizedPayload::from(micro);
         let digest = micro.digest();
         self.store.insert(digest, micro.clone());
         self.acks.entry(digest).or_default().insert(self.me);
-        ctx.multicast(
-            self.roster.peers_of(self.me),
-            ConsMsg::Micro(Box::new(micro)),
-        );
+        ctx.multicast(self.roster.peers_of(self.me), ConsMsg::Micro(micro));
         ctx.metrics().incr("micro.produced", 1);
         self.last_produced = ctx.now();
         true
@@ -178,9 +179,8 @@ impl DataPlane for MicroPlane {
             ConsMsg::Micro(micro) => {
                 let digest = micro.digest();
                 self.requested.remove(&digest);
-                self.store
-                    .entry(digest)
-                    .or_insert_with(|| (**micro).clone());
+                // Arc bump: keep the delivered allocation.
+                self.store.entry(digest).or_insert_with(|| micro.clone());
                 // Acknowledge availability to the producer (the RBC/PAB
                 // echo that Predis does not need).
                 ctx.send(
@@ -231,7 +231,7 @@ impl DataPlane for MicroPlane {
             }
             ConsMsg::MicroRequest { digest } => {
                 if let Some(m) = self.store.get(digest) {
-                    ctx.send(from, ConsMsg::Micro(Box::new(m.clone())));
+                    ctx.send(from, ConsMsg::Micro(m.clone()));
                 }
                 PlaneOutcome::CONSUMED
             }
@@ -376,7 +376,7 @@ impl DataPlane for MicroPlane {
                 continue; // already executed in an earlier proposal
             }
             if let Some(m) = self.store.remove(&r.digest) {
-                txs.extend(m.txs);
+                txs.extend_from_slice(&m.txs);
             }
         }
         ctx.metrics().incr("micro.blocks_executed", 1);

@@ -10,7 +10,7 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 use predis_crypto::{Hash, Keypair, SignerId};
 use predis_mempool::{BlockValidationError, BundleProducer, InsertOutcome, Mempool, TxPool};
 use predis_sim::{BundleKey, Codec, Labels, NarrowContext, NodeId, SimTime, Stage, TimerTag};
-use predis_types::{Bundle, ChainId, Height, ProposalPayload, Transaction, View};
+use predis_types::{ChainId, Height, ProposalPayload, SizedBundle, Transaction, View};
 use rand::seq::SliceRandom;
 
 use crate::config::{timers, ConsensusConfig, Roster};
@@ -46,8 +46,9 @@ pub struct PredisPlane {
     /// Transactions already packed (dedup when partitioning is on).
     packed: HashSet<predis_types::TxId>,
     /// Bundles this node produced, drained by composed actors that also run
-    /// a dissemination layer (Multi-Zone).
-    produced: Vec<Bundle>,
+    /// a dissemination layer (Multi-Zone). Shared handles: the mempool and
+    /// the multicast hold the same allocations.
+    produced: Vec<SizedBundle>,
 }
 
 impl PredisPlane {
@@ -114,7 +115,7 @@ impl PredisPlane {
 
     /// Drains the bundles this node has produced since the last call
     /// (consumed by composed dissemination layers).
-    pub fn drain_produced(&mut self) -> Vec<Bundle> {
+    pub fn drain_produced(&mut self) -> Vec<SizedBundle> {
         std::mem::take(&mut self.produced)
     }
 
@@ -170,6 +171,9 @@ impl PredisPlane {
         else {
             return false;
         };
+        // Wrap once: the mempool, the multicast, and `produced` all share
+        // this single allocation (its wire size is memoized here too).
+        let bundle = SizedBundle::from(bundle);
         self.mempool
             .insert_bundle(bundle.clone())
             .expect("own bundle is valid");
@@ -189,7 +193,7 @@ impl PredisPlane {
             height: bundle.header.height.0,
         };
         let is_heartbeat = bundle.txs.is_empty();
-        ctx.multicast(targets, ConsMsg::Bundle(Box::new(bundle.clone())));
+        ctx.multicast(targets, ConsMsg::Bundle(bundle.clone()));
         let now = ctx.now();
         ctx.metrics().incr("predis.bundles_produced", 1);
         if is_heartbeat {
@@ -269,7 +273,8 @@ impl DataPlane for PredisPlane {
             }
             ConsMsg::Bundle(bundle) => {
                 let chain = bundle.header.chain;
-                match self.mempool.insert_bundle((**bundle).clone()) {
+                // Arc bump: the mempool keeps the delivered allocation.
+                match self.mempool.insert_bundle(bundle.clone()) {
                     Ok(InsertOutcome::Inserted { new_tip, .. }) => {
                         ctx.metrics().incr("predis.bundles_accepted", 1);
                         let me = ctx.node().index() as u64;
@@ -306,7 +311,7 @@ impl DataPlane for PredisPlane {
                         );
                         ctx.multicast(
                             self.roster.peers_of(self.me),
-                            ConsMsg::ConflictGossip(proof),
+                            ConsMsg::ConflictGossip((*proof).into()),
                         );
                         PlaneOutcome::CONSUMED
                     }
@@ -318,8 +323,9 @@ impl DataPlane for PredisPlane {
                 }
             }
             ConsMsg::BundleRequest { chain, height } => {
-                if let Some(b) = self.mempool.get_bundle(*chain, *height) {
-                    ctx.send(from, ConsMsg::Bundle(Box::new(b.clone())));
+                if let Some(b) = self.mempool.get_bundle_shared(*chain, *height) {
+                    // Re-serve the stored allocation: Arc bump, no body copy.
+                    ctx.send(from, ConsMsg::Bundle(b.clone()));
                 }
                 PlaneOutcome::CONSUMED
             }

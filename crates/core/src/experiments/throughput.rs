@@ -12,7 +12,7 @@ use predis_consensus::{
 use predis_sim::prelude::*;
 use predis_sim::RunSummary;
 use predis_telemetry::RunReport;
-use predis_types::ClientId;
+use predis_types::{payload_stats, ClientId};
 use serde::{Deserialize, Serialize};
 
 /// The protocols of the paper's evaluation.
@@ -179,6 +179,9 @@ impl ThroughputSetup {
     /// Builds and runs the experiment, returning the raw simulation for
     /// deeper inspection.
     pub fn run_sim(&self) -> Sim<ConsMsg> {
+        // Pool workers are reused between grid points; zero the thread-local
+        // payload counters so this run's report sees only its own clones.
+        payload_stats::reset();
         let network = Network::new(self.env.latency(), SimDuration::ZERO);
         let mut sim: Sim<ConsMsg> = Sim::new(self.seed, network);
         // Entry-replica submission spreads clients over the committee, so
@@ -348,6 +351,10 @@ impl ThroughputSetup {
         put("p50_latency_ms", summary.p50_latency_ms);
         put("p99_latency_ms", summary.p99_latency_ms);
         put("committed_txs", summary.committed_txs as f64);
+        let stats = payload_stats::snapshot();
+        report.set_metric("msg.payload_clones", stats.payload_clones as f64);
+        report.set_metric("msg.bytes_cloned", stats.bytes_cloned as f64);
+        report.set_metric("wire_size.computed", stats.wire_size_computed as f64);
         report
     }
 

@@ -9,7 +9,7 @@ use predis_consensus::{ClientCore, ConsMsg, ConsensusConfig, PbftNode, Roster};
 use predis_multizone::{BlockSink, BundleId, MultiZoneNode, NetMsg, ZoneConfig, ZoneSource};
 use predis_sim::prelude::*;
 use predis_telemetry::RunReport;
-use predis_types::{Bundle, ClientId, WireSize};
+use predis_types::{payload_stats, ClientId, SizedBundle, WireSize};
 use serde::{Deserialize, Serialize};
 
 use crate::msg::FlowMsg;
@@ -72,8 +72,8 @@ impl FlowConsensusNode {
         }
     }
 
-    fn distribute(&mut self, ctx: &mut Context<'_, FlowMsg>, bundle: &Bundle) {
-        let bytes = bundle.wire_size();
+    fn distribute(&mut self, ctx: &mut Context<'_, FlowMsg>, bundle: &SizedBundle) {
+        let bytes = bundle.wire_size(); // memoized at construction
         let id = bundle.hash().to_u64();
         match &mut self.duty {
             Duty::Star { assigned } => {
@@ -120,9 +120,10 @@ impl Actor<FlowMsg> for FlowConsensusNode {
                 // Every bundle this node learns (peers' included) is also
                 // disseminated to the full-node layer.
                 if let ConsMsg::Bundle(b) = &c {
-                    let bundle = (**b).clone();
+                    let bundle = b.clone(); // Arc bump, not a body copy
                     self.distribute(ctx, &bundle);
                 }
+
                 self.shell.message(&mut ctx.narrow::<ConsMsg>(), from, c);
                 self.drain_produced(ctx);
             }
@@ -234,12 +235,19 @@ impl TopologySetup {
             "consensus_upload_bytes",
             result.consensus_upload_bytes as f64,
         );
+        let stats = payload_stats::snapshot();
+        report.set_metric("msg.payload_clones", stats.payload_clones as f64);
+        report.set_metric("msg.bytes_cloned", stats.bytes_cloned as f64);
+        report.set_metric("wire_size.computed", stats.wire_size_computed as f64);
         report
     }
 
     /// Like [`TopologySetup::run`] but also returns the finished simulation
     /// for inspection.
     pub fn run_with_sim(&self) -> (TopologyResult, Sim<FlowMsg>) {
+        // Pool workers are reused between grid points; zero the thread-local
+        // payload counters so this run's report sees only its own clones.
+        payload_stats::reset();
         let network = Network::new(LatencyModel::lan(), SimDuration::ZERO);
         let mut sim: Sim<FlowMsg> = Sim::new(self.seed, network);
         let link = LinkConfig::paper_default().with_mbps(self.mbps);

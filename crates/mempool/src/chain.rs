@@ -3,24 +3,28 @@
 use std::collections::BTreeMap;
 
 use predis_crypto::Hash;
-use predis_types::{Bundle, BundleHeader, ChainId, Height};
+use predis_types::{Bundle, BundleHeader, ChainId, Height, SizedBundle};
 
 /// The validated state of one bundle chain inside a node's mempool.
 ///
 /// Heights start at 1; the chain is always contiguous: every height in
 /// `1..=tip` has a validated bundle (or had one before pruning). Bundles
 /// that arrive before their parent wait in `pending`.
+///
+/// Bundles are stored as [`SizedBundle`]s: the mempool keeps the very
+/// allocation the network delivered (or the producer built), so accepting,
+/// parking, and re-serving a bundle never copies its transaction body.
 #[derive(Debug, Clone)]
 pub struct BundleChain {
     chain: ChainId,
     /// Validated bundles, contiguous up to `tip` (older ones may be pruned).
-    bundles: BTreeMap<Height, Bundle>,
+    bundles: BTreeMap<Height, SizedBundle>,
     /// Highest validated (contiguous) height.
     tip: Height,
     /// Highest committed height (all slices at or below are in blocks).
     committed: Height,
     /// Out-of-order arrivals waiting for their parents.
-    pending: BTreeMap<Height, Bundle>,
+    pending: BTreeMap<Height, SizedBundle>,
     /// Header hash at each validated height (kept even after pruning the
     /// body, so parent links can always be checked).
     hashes: BTreeMap<Height, Hash>,
@@ -56,6 +60,12 @@ impl BundleChain {
 
     /// The validated bundle at `h`, if present (and not pruned).
     pub fn bundle(&self, h: Height) -> Option<&Bundle> {
+        self.bundles.get(&h).map(|b| &**b)
+    }
+
+    /// The validated bundle at `h` as a shared handle, for re-serving to
+    /// peers without copying the body.
+    pub fn bundle_shared(&self, h: Height) -> Option<&SizedBundle> {
         self.bundles.get(&h)
     }
 
@@ -91,7 +101,8 @@ impl BundleChain {
     /// # Panics
     ///
     /// Panics if the bundle is not exactly at `tip + 1`.
-    pub(crate) fn append(&mut self, bundle: Bundle) {
+    pub(crate) fn append(&mut self, bundle: impl Into<SizedBundle>) {
+        let bundle = bundle.into();
         assert_eq!(
             bundle.header.height,
             self.tip.next(),
@@ -106,7 +117,8 @@ impl BundleChain {
     /// Parks an out-of-order bundle; returns `false` if a different bundle
     /// already waits at that height (kept — first writer wins; a conflict,
     /// if real, is detected when the height becomes the tip).
-    pub(crate) fn park(&mut self, bundle: Bundle) -> bool {
+    pub(crate) fn park(&mut self, bundle: impl Into<SizedBundle>) -> bool {
+        let bundle = bundle.into();
         let h = bundle.header.height;
         if self.pending.contains_key(&h) {
             return false;
@@ -116,7 +128,7 @@ impl BundleChain {
     }
 
     /// Takes the parked bundle at `h`, if any.
-    pub(crate) fn take_parked(&mut self, h: Height) -> Option<Bundle> {
+    pub(crate) fn take_parked(&mut self, h: Height) -> Option<SizedBundle> {
         self.pending.remove(&h)
     }
 
@@ -184,7 +196,7 @@ impl BundleChain {
         } else {
             None
         };
-        iter.into_iter().flatten().map(|(_, b)| b)
+        iter.into_iter().flatten().map(|(_, b)| &**b)
     }
 }
 

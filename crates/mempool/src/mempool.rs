@@ -6,8 +6,8 @@
 
 use predis_crypto::{Hash, Keypair, MerkleTree, Signature};
 use predis_types::{
-    quorum_cut_height, tx_leaves, Bundle, ChainId, ConflictProof, Height, PredisBlock, TipList,
-    Transaction, View,
+    quorum_cut_height, tx_leaves, Bundle, ChainId, ConflictProof, Height, PredisBlock, SizedBundle,
+    TipList, Transaction, View,
 };
 
 use crate::ban::BanList;
@@ -207,12 +207,20 @@ impl Mempool {
 
     /// Validates and inserts a received bundle (§III-A checks 1-4).
     ///
+    /// Accepts anything convertible into a [`SizedBundle`]; passing one
+    /// directly (the form the network delivers) stores the very same
+    /// allocation without copying the transaction body.
+    ///
     /// # Errors
     ///
     /// Returns a [`BundleError`] when the bundle is rejected outright;
     /// recoverable situations (parked, duplicate, banned, conflict) are
     /// reported through [`InsertOutcome`].
-    pub fn insert_bundle(&mut self, bundle: Bundle) -> Result<InsertOutcome, BundleError> {
+    pub fn insert_bundle(
+        &mut self,
+        bundle: impl Into<SizedBundle>,
+    ) -> Result<InsertOutcome, BundleError> {
+        let bundle = bundle.into();
         let chain = bundle.header.chain;
         if chain.index() >= self.chains.len() {
             return Err(BundleError::UnknownChain(chain));
@@ -279,7 +287,7 @@ impl Mempool {
 
     /// Appends a verified bundle at exactly `tip + 1` after parent/tip-list
     /// checks.
-    fn try_append(&mut self, bundle: Bundle) -> Result<(), BundleError> {
+    fn try_append(&mut self, bundle: SizedBundle) -> Result<(), BundleError> {
         let chain = bundle.header.chain;
         let h = bundle.header.height;
         let state = &self.chains[chain.index()];
@@ -541,6 +549,12 @@ impl Mempool {
     /// The bundle at `(chain, height)` if held (for serving fetch requests).
     pub fn get_bundle(&self, chain: ChainId, height: Height) -> Option<&Bundle> {
         self.chains.get(chain.index())?.bundle(height)
+    }
+
+    /// The bundle at `(chain, height)` as a shared handle: re-serving it to
+    /// a peer clones the `Arc`, not the transaction body.
+    pub fn get_bundle_shared(&self, chain: ChainId, height: Height) -> Option<&SizedBundle> {
+        self.chains.get(chain.index())?.bundle_shared(height)
     }
 }
 

@@ -5,6 +5,7 @@
 
 use predis_sim::prelude::*;
 use predis_sim::RunReport;
+use predis_types::payload_stats;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -131,12 +132,19 @@ impl PropagationSetup {
         put("to_100_ms", result.to_100_ms);
         put("complete_blocks", result.complete_blocks as f64);
         put("produced_blocks", result.produced_blocks as f64);
+        let stats = payload_stats::snapshot();
+        report.set_metric("msg.payload_clones", stats.payload_clones as f64);
+        report.set_metric("msg.bytes_cloned", stats.bytes_cloned as f64);
+        report.set_metric("wire_size.computed", stats.wire_size_computed as f64);
         report
     }
 
     /// Like [`PropagationSetup::run`] but also returns the finished
     /// simulation for inspection (metrics, telemetry reports).
     pub fn run_with_sim(&self, topology: &Topology) -> (PropagationResult, Sim<NetMsg>) {
+        // Pool workers are reused between grid points; zero the thread-local
+        // payload counters so this run's report sees only its own clones.
+        payload_stats::reset();
         let network = Network::new(self.latency.clone(), SimDuration::from_nanos(0));
         let mut sim: Sim<NetMsg> = Sim::new(self.seed, network);
         let mut rng = SmallRng::seed_from_u64(self.seed ^ 0xfeed_beef);

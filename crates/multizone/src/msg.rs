@@ -3,7 +3,7 @@
 //! baseline topologies.
 
 use predis_sim::{NodeId, Payload};
-use predis_types::{FRAME_OVERHEAD, HASH_WIRE, SIG_WIRE, U32_WIRE, U64_WIRE};
+use predis_types::{Shared, FRAME_OVERHEAD, HASH_WIRE, SIG_WIRE, U32_WIRE, U64_WIRE};
 use serde::{Deserialize, Serialize};
 
 /// Identity of a bundle inside the dissemination layer: the block it will
@@ -65,10 +65,11 @@ pub enum NetMsg {
     // ---- Multi-Zone membership (Algorithms 1-2) ----
     /// Ask a zone member for the current relayer set.
     GetRelayers,
-    /// Reply to [`NetMsg::GetRelayers`].
+    /// Reply to [`NetMsg::GetRelayers`]. Shared: the list is built once and
+    /// all copies of the reply alias it.
     RelayersInfo {
         /// The known relayers of the zone.
-        relayers: Vec<RelayerInfo>,
+        relayers: Shared<Vec<RelayerInfo>>,
     },
     /// Subscribe to the given stripes at the receiver.
     Subscribe {
@@ -97,8 +98,9 @@ pub enum NetMsg {
     RelayerAlive {
         /// The sender's join order.
         join_seq: u64,
-        /// The stripes the sender relays (from consensus nodes).
-        stripes: Vec<u32>,
+        /// The stripes the sender relays (from consensus nodes). Shared:
+        /// one allocation serves the whole zone multicast.
+        stripes: Shared<Vec<u32>>,
     },
     /// The sender is leaving the network.
     Leave,
@@ -106,10 +108,11 @@ pub enum NetMsg {
     Heartbeat,
 
     // ---- backup connections (inter-zone digests) ----
-    /// Digest of completed blocks, sent along backup connections.
+    /// Digest of completed blocks, sent along backup connections. Shared:
+    /// one allocation serves every backup peer.
     Digest {
         /// Recently completed block ids.
-        blocks: Vec<u64>,
+        blocks: Shared<Vec<u64>>,
     },
     /// Pull a block the sender is missing.
     Pull {
@@ -137,10 +140,11 @@ pub enum NetMsg {
         /// Full block size in bytes.
         bytes: u64,
     },
-    /// FEG digest round: "I have these blocks".
+    /// FEG digest round: "I have these blocks". Shared: one allocation
+    /// serves the whole gossip fan-out.
     GossipDigest {
         /// Block ids the sender holds.
-        blocks: Vec<u64>,
+        blocks: Shared<Vec<u64>>,
     },
     /// FEG pull for a missing block.
     GossipPull {
@@ -234,6 +238,113 @@ mod tests {
         assert_eq!(b.wire_size(), 5_000_000 + 8 + 16);
     }
 
+    /// Golden wire sizes: one fixture per [`NetMsg`] variant, asserting the
+    /// exact byte count. Any change to the size model must update these
+    /// numbers consciously — they are what the bandwidth accounting charges.
+    #[test]
+    fn golden_wire_size_per_variant() {
+        let id = BundleId { block: 7, idx: 3 };
+        let cases: Vec<(NetMsg, usize)> = vec![
+            (
+                // k = 6: Merkle proof = 8 + 32·⌈log2 6⌉ = 104.
+                NetMsg::Stripe {
+                    bundle: id,
+                    stripe: 0,
+                    k: 6,
+                    bytes: 4267,
+                },
+                4439,
+            ),
+            (
+                NetMsg::BlockAnn {
+                    block: 1,
+                    bundles: 40,
+                    wire: 3000,
+                },
+                3016,
+            ),
+            (
+                NetMsg::FullBlock {
+                    block: 1,
+                    bytes: 5_000_000,
+                },
+                5_000_024,
+            ),
+            (NetMsg::GetRelayers, 16),
+            (
+                NetMsg::RelayersInfo {
+                    relayers: Shared::new(vec![RelayerInfo {
+                        node: NodeId(9),
+                        join_seq: 2,
+                        stripes: vec![0, 1],
+                    }]),
+                },
+                40,
+            ),
+            (
+                NetMsg::Subscribe {
+                    stripes: vec![0, 1],
+                },
+                24,
+            ),
+            (
+                NetMsg::AcceptSub {
+                    stripes: vec![0, 1],
+                },
+                24,
+            ),
+            (
+                NetMsg::RejectSub {
+                    stripes: vec![0, 1],
+                    children: vec![NodeId(5)],
+                },
+                28,
+            ),
+            (NetMsg::Unsubscribe { stripes: vec![7] }, 20),
+            (
+                NetMsg::RelayerAlive {
+                    join_seq: 3,
+                    stripes: Shared::new(vec![2]),
+                },
+                92,
+            ),
+            (NetMsg::Leave, 16),
+            (NetMsg::Heartbeat, 16),
+            (
+                NetMsg::Digest {
+                    blocks: Shared::new(vec![1, 2]),
+                },
+                32,
+            ),
+            (NetMsg::Pull { block: 1 }, 24),
+            (NetMsg::BundlePull { bundle: id }, 28),
+            (
+                NetMsg::FullBundle {
+                    bundle: id,
+                    bytes: 1000,
+                },
+                1028,
+            ),
+            (
+                NetMsg::Push {
+                    block: 1,
+                    bytes: 2048,
+                },
+                2072,
+            ),
+            (
+                NetMsg::GossipDigest {
+                    blocks: Shared::new(vec![9]),
+                },
+                24,
+            ),
+            (NetMsg::GossipPull { block: 9 }, 24),
+        ];
+        for (msg, expect) in cases {
+            assert_eq!(msg.wire_size(), expect, "wire size drifted for {msg:?}");
+        }
+    }
+
     #[test]
     fn control_messages_are_small() {
         for m in [
@@ -243,7 +354,7 @@ mod tests {
             },
             NetMsg::RelayerAlive {
                 join_seq: 3,
-                stripes: vec![2],
+                stripes: vec![2].into(),
             },
             NetMsg::Leave,
             NetMsg::Heartbeat,

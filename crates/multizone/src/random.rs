@@ -10,6 +10,7 @@
 use std::collections::{HashMap, HashSet};
 
 use predis_sim::{Codec, NarrowContext, NodeId, ProtocolCore, SimDuration, TimerTag};
+use predis_types::Shared;
 use rand::seq::SliceRandom;
 
 use crate::msg::{net_timers, NetMsg};
@@ -86,7 +87,7 @@ impl FegNode {
         ctx.multicast(
             digest.to_vec(),
             NetMsg::GossipDigest {
-                blocks: vec![block],
+                blocks: Shared::new(vec![block]),
             },
         );
     }
@@ -104,7 +105,7 @@ impl ProtocolCore<NetMsg> for FegNode {
                 self.on_block(ctx, Some(from), block, bytes);
             }
             NetMsg::GossipDigest { blocks } => {
-                for block in blocks {
+                for &block in blocks.iter() {
                     if !self.have.contains_key(&block) {
                         self.aware_from.entry(block).or_insert(from);
                         ctx.set_timer(
@@ -209,7 +210,7 @@ impl ProtocolCore<NetMsg> for RandomSource {
         ctx.multicast(
             digest.to_vec(),
             NetMsg::GossipDigest {
-                blocks: vec![block],
+                blocks: Shared::new(vec![block]),
             },
         );
         ctx.metrics().incr("random.blocks_sent", 1);

@@ -15,6 +15,7 @@ use predis_sim::{
     BundleKey, Codec, Labels, NarrowContext, NodeId, ProtocolCore, SimDuration, SimTime, Stage,
     TimerTag,
 };
+use predis_types::Shared;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -523,7 +524,8 @@ impl MultiZoneNode {
     fn announce_alive<M: Codec<NetMsg>>(&mut self, ctx: &mut NarrowContext<'_, '_, M, NetMsg>) {
         let msg = NetMsg::RelayerAlive {
             join_seq: self.join_seq,
-            stripes: self.relaying.iter().copied().collect(),
+            // Built once; the zone-wide multicast shares the allocation.
+            stripes: Shared::new(self.relaying.iter().copied().collect()),
         };
         let members = self.zone_members.clone();
         ctx.multicast(members, msg);
@@ -949,14 +951,19 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
                         stripes: self.relayed_stripes(),
                     });
                 }
-                ctx.send(from, NetMsg::RelayersInfo { relayers });
+                ctx.send(
+                    from,
+                    NetMsg::RelayersInfo {
+                        relayers: Shared::new(relayers),
+                    },
+                );
             }
             NetMsg::RelayersInfo { relayers } => {
                 // Algorithm 1: subscribe up to half of each relayer's
                 // stripes; the remainder goes to consensus nodes (making us
                 // a relayer).
                 let now = ctx.now();
-                for r in &relayers {
+                for r in relayers.iter() {
                     if r.node == ctx.node() {
                         continue;
                     }
@@ -965,7 +972,7 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
                         (r.join_seq, r.stripes.iter().copied().collect(), now),
                     );
                 }
-                for r in relayers {
+                for r in relayers.iter() {
                     if r.node == ctx.node() {
                         continue;
                     }
@@ -1092,7 +1099,7 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
                     self.zone_relayers.remove(&from);
                     return;
                 }
-                let set: BTreeSet<u32> = stripes.into_iter().collect();
+                let set: BTreeSet<u32> = stripes.iter().copied().collect();
                 let now = ctx.now();
                 self.zone_relayers
                     .insert(from, (join_seq, set.clone(), now));
@@ -1112,7 +1119,7 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
                 self.child_last_seen.insert(from, now);
             }
             NetMsg::Digest { blocks } => {
-                for block in blocks {
+                for &block in blocks.iter() {
                     if !self.completed.contains(&block)
                         && !self.pending_blocks.contains_key(&block)
                         && self.pulled.insert(block)
@@ -1224,7 +1231,12 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
                 let recent: Vec<u64> = self.completed.iter().rev().take(8).copied().collect();
                 if !recent.is_empty() {
                     let peers = self.backup_peers.clone();
-                    ctx.multicast(peers, NetMsg::Digest { blocks: recent });
+                    ctx.multicast(
+                        peers,
+                        NetMsg::Digest {
+                            blocks: Shared::new(recent),
+                        },
+                    );
                 }
                 let d = self.cfg.digest_interval;
                 ctx.set_timer(d, TimerTag::of_kind(net_timers::DIGEST));

@@ -107,6 +107,9 @@ pub(crate) enum Op<M> {
     Send {
         to: NodeId,
         msg: M,
+        /// Wire size, computed once when the send was queued; the engine
+        /// charges bandwidth from this instead of re-walking the payload.
+        bytes: usize,
     },
     SetTimer {
         id: TimerId,
@@ -159,24 +162,46 @@ impl<'a, M> Context<'a, M> {
     }
 
     /// Queues a unicast message. Delivery time is computed by the network
-    /// model (upload serialization + propagation latency).
-    pub fn send(&mut self, to: NodeId, msg: M) {
-        self.ops.push(Op::Send { to, msg });
+    /// model (upload serialization + propagation latency). The wire size is
+    /// computed here, once, and travels with the message.
+    pub fn send(&mut self, to: NodeId, msg: M)
+    where
+        M: Payload,
+    {
+        let bytes = msg.wire_size();
+        self.ops.push(Op::Send { to, msg, bytes });
     }
 
     /// Queues the same message to every node in `to`, as sequential unicasts
     /// on this node's upload link (the bandwidth-honest multicast model).
+    ///
+    /// The sender itself is skipped (a node never pays upload bandwidth to
+    /// talk to itself), an empty recipient list queues nothing, the wire
+    /// size is computed once for the whole fan-out, and the message is moved
+    /// (not cloned) into the final slot.
     pub fn multicast<I>(&mut self, to: I, msg: M)
     where
         I: IntoIterator<Item = NodeId>,
-        M: Clone,
+        M: Payload,
     {
-        for dst in to {
+        let me = self.node;
+        let mut targets = to.into_iter().filter(|&dst| dst != me);
+        let Some(first) = targets.next() else { return };
+        let bytes = msg.wire_size();
+        let mut prev = first;
+        for dst in targets {
             self.ops.push(Op::Send {
-                to: dst,
+                to: prev,
                 msg: msg.clone(),
+                bytes,
             });
+            prev = dst;
         }
+        self.ops.push(Op::Send {
+            to: prev,
+            msg,
+            bytes,
+        });
     }
 
     /// Arms a timer firing `delay` from now; returns a handle for
@@ -230,61 +255,43 @@ impl<'a, M> Context<'a, M> {
 
 /// A view of a [`Context`] that sends protocol messages `T` wrapped in the
 /// envelope `M`. Created by [`Context::narrow`].
+///
+/// Only [`NarrowContext::send`] and [`NarrowContext::multicast`] differ from
+/// the underlying context (they wrap `T` into the envelope before queueing);
+/// everything else — timers, rng, metrics, topology queries — comes straight
+/// from [`Context`] via `Deref`, so the envelope logic lives in exactly one
+/// place.
 pub struct NarrowContext<'b, 'a, M, T> {
     inner: &'b mut Context<'a, M>,
     _marker: std::marker::PhantomData<T>,
 }
 
+impl<'b, 'a, M, T> std::ops::Deref for NarrowContext<'b, 'a, M, T> {
+    type Target = Context<'a, M>;
+    fn deref(&self) -> &Context<'a, M> {
+        self.inner
+    }
+}
+
+impl<'b, 'a, M, T> std::ops::DerefMut for NarrowContext<'b, 'a, M, T> {
+    fn deref_mut(&mut self) -> &mut Context<'a, M> {
+        self.inner
+    }
+}
+
 impl<'b, 'a, M: Codec<T>, T> NarrowContext<'b, 'a, M, T> {
-    /// See [`Context::now`].
-    pub fn now(&self) -> SimTime {
-        self.inner.now()
-    }
-    /// See [`Context::node`].
-    pub fn node(&self) -> NodeId {
-        self.inner.node()
-    }
-    /// See [`Context::node_count`].
-    pub fn node_count(&self) -> u32 {
-        self.inner.node_count()
-    }
-    /// See [`Context::link_backlog`].
-    pub fn link_backlog(&self) -> SimDuration {
-        self.inner.link_backlog()
-    }
-    /// See [`Context::send`].
+    /// See [`Context::send`]; the protocol message is wrapped into the
+    /// envelope first.
     pub fn send(&mut self, to: NodeId, msg: T) {
         self.inner.send(to, M::wrap(msg));
     }
-    /// See [`Context::multicast`].
+    /// See [`Context::multicast`]; the protocol message is wrapped into the
+    /// envelope once and fanned out by the underlying context.
     pub fn multicast<I>(&mut self, to: I, msg: T)
     where
         I: IntoIterator<Item = NodeId>,
-        T: Clone,
     {
-        for dst in to {
-            self.inner.send(dst, M::wrap(msg.clone()));
-        }
-    }
-    /// See [`Context::set_timer`].
-    pub fn set_timer(&mut self, delay: SimDuration, tag: TimerTag) -> TimerId {
-        self.inner.set_timer(delay, tag)
-    }
-    /// See [`Context::cancel_timer`].
-    pub fn cancel_timer(&mut self, id: TimerId) {
-        self.inner.cancel_timer(id)
-    }
-    /// See [`Context::halt`].
-    pub fn halt(&mut self) {
-        self.inner.halt()
-    }
-    /// See [`Context::rng`].
-    pub fn rng(&mut self) -> &mut SmallRng {
-        self.inner.rng()
-    }
-    /// See [`Context::metrics`].
-    pub fn metrics(&mut self) -> &mut Metrics {
-        self.inner.metrics()
+        self.inner.multicast(to, M::wrap(msg));
     }
 }
 
@@ -381,12 +388,68 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
 
     #[derive(Debug, Clone, PartialEq)]
     struct Ping(usize);
     impl Payload for Ping {
         fn wire_size(&self) -> usize {
             self.0
+        }
+    }
+
+    /// Runs `f` against a standalone context for node 1 of 4, returning the
+    /// ops it queued.
+    fn with_context(f: impl FnOnce(&mut Context<'_, Ping>)) -> Vec<Op<Ping>> {
+        let mut next_timer = 0u64;
+        let mut ops: Vec<Op<Ping>> = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut metrics = Metrics::new();
+        let mut ctx = Context {
+            now: SimTime::ZERO,
+            node: NodeId(1),
+            node_count: 4,
+            link_free_at: SimTime::ZERO,
+            next_timer: &mut next_timer,
+            ops: &mut ops,
+            rng: &mut rng,
+            metrics: &mut metrics,
+        };
+        f(&mut ctx);
+        ops
+    }
+
+    #[test]
+    fn multicast_skips_self_and_empty_lists() {
+        // Empty recipient list: nothing queued, no clone, no size walk.
+        assert!(with_context(|ctx| ctx.multicast(Vec::new(), Ping(8))).is_empty());
+        // Self-only list: likewise nothing.
+        assert!(with_context(|ctx| ctx.multicast(vec![NodeId(1)], Ping(8))).is_empty());
+        // Self mixed into a real list: only the two peers get a send, each
+        // carrying the size computed once up front.
+        let ops = with_context(|ctx| {
+            ctx.multicast(vec![NodeId(0), NodeId(1), NodeId(2)], Ping(8));
+        });
+        let sends: Vec<(NodeId, usize)> = ops
+            .iter()
+            .map(|op| match op {
+                Op::Send { to, bytes, .. } => (*to, *bytes),
+                other => panic!("unexpected op {other:?}"),
+            })
+            .collect();
+        assert_eq!(sends, vec![(NodeId(0), 8), (NodeId(2), 8)]);
+    }
+
+    #[test]
+    fn send_memoizes_wire_size_in_the_op() {
+        let ops = with_context(|ctx| ctx.send(NodeId(3), Ping(21)));
+        match &ops[..] {
+            [Op::Send { to, msg, bytes }] => {
+                assert_eq!(*to, NodeId(3));
+                assert_eq!(*bytes, 21);
+                assert_eq!(*bytes, msg.wire_size());
+            }
+            other => panic!("unexpected ops {other:?}"),
         }
     }
 

@@ -26,6 +26,9 @@ enum EventKind<M> {
     Deliver {
         from: NodeId,
         msg: M,
+        /// Wire size memoized when the message was sent; delivery metrics
+        /// and the trace read it instead of re-walking the payload.
+        bytes: usize,
     },
     Timer {
         id: TimerId,
@@ -210,11 +213,12 @@ impl<M: Payload> Sim<M> {
     pub fn inject(&mut self, to: NodeId, from: NodeId, msg: M, at: SimTime) {
         assert!(at >= self.now, "cannot inject into the past");
         let seq = self.next_seq();
+        let bytes = msg.wire_size();
         self.push(Event {
             at,
             seq,
             node: to,
-            kind: EventKind::Deliver { from, msg },
+            kind: EventKind::Deliver { from, msg, bytes },
         });
     }
 
@@ -298,11 +302,11 @@ impl<M: Payload> Sim<M> {
         }
 
         match &event.kind {
-            EventKind::Deliver { msg, .. } => {
+            EventKind::Deliver { bytes, .. } => {
                 let labels = Labels::node(node.index() as u64);
                 self.metrics.incr_labeled("node.deliveries", labels, 1);
                 self.metrics
-                    .incr_labeled("node.delivered_bytes", labels, msg.wire_size() as u64);
+                    .incr_labeled("node.delivered_bytes", labels, *bytes as u64);
             }
             EventKind::Timer { .. } => {
                 self.metrics
@@ -314,8 +318,8 @@ impl<M: Payload> Sim<M> {
         if let Some(trace) = &mut self.trace {
             let (kind, from, bytes, tag) = match &event.kind {
                 EventKind::Start => (TraceKind::Start, None, 0, None),
-                EventKind::Deliver { from, msg } => {
-                    (TraceKind::Deliver, Some(*from), msg.wire_size(), None)
+                EventKind::Deliver { from, bytes, .. } => {
+                    (TraceKind::Deliver, Some(*from), *bytes, None)
                 }
                 EventKind::Timer { tag, .. } => (TraceKind::Timer, None, 0, Some(*tag)),
                 EventKind::Crash => (TraceKind::Halt, None, 0, None),
@@ -348,7 +352,7 @@ impl<M: Payload> Sim<M> {
             };
             match event.kind {
                 EventKind::Start | EventKind::Revive => actor.on_start(&mut ctx),
-                EventKind::Deliver { from, msg } => actor.on_message(&mut ctx, from, msg),
+                EventKind::Deliver { from, msg, .. } => actor.on_message(&mut ctx, from, msg),
                 EventKind::Timer { tag, .. } => actor.on_timer(&mut ctx, tag),
                 EventKind::Crash => unreachable!("handled above"),
             }
@@ -360,8 +364,15 @@ impl<M: Payload> Sim<M> {
     fn apply_ops(&mut self, node: NodeId, ops: Vec<Op<M>>) {
         for op in ops {
             match op {
-                Op::Send { to, msg } => {
-                    let bytes = msg.wire_size();
+                Op::Send { to, msg, bytes } => {
+                    // The memoized size must equal the recomputed one for
+                    // every message that crosses the simulated network —
+                    // this is what keeps payload sharing bandwidth-neutral.
+                    debug_assert_eq!(
+                        bytes,
+                        msg.wire_size(),
+                        "cached wire size diverged from recomputed size"
+                    );
                     let sched = self
                         .network
                         .schedule(self.now, node, to, bytes, &mut self.net_rng);
@@ -396,7 +407,11 @@ impl<M: Payload> Sim<M> {
                         at: sched.arrives,
                         seq,
                         node: to,
-                        kind: EventKind::Deliver { from: node, msg },
+                        kind: EventKind::Deliver {
+                            from: node,
+                            msg,
+                            bytes,
+                        },
                     });
                 }
                 Op::SetTimer { id, fire_at, tag } => {

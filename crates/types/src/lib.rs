@@ -29,6 +29,7 @@
 pub mod block;
 pub mod bundle;
 pub mod ids;
+pub mod shared;
 pub mod tip_list;
 pub mod tx;
 pub mod wire;
@@ -36,6 +37,7 @@ pub mod wire;
 pub use block::{MicroRef, PredisBlock, ProposalPayload};
 pub use bundle::{Bundle, BundleHeader, ConflictProof};
 pub use ids::{ChainId, ClientId, Height, SeqNum, TxId, View};
+pub use shared::{payload_stats, Shared, SizedBundle, SizedPayload};
 pub use tip_list::{quorum_cut_height, TipList};
 pub use tx::{tx_leaves, Transaction};
 pub use wire::{

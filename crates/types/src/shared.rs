@@ -1,0 +1,292 @@
+//! Arc-shared payloads with memoized wire sizes.
+//!
+//! The simulator models a bandwidth-honest multicast as sequential unicasts,
+//! which means every recipient receives "its own copy" of the message. Real
+//! implementations (and the simulator, after this module) do not deep-copy
+//! the payload per recipient: the bulk content — bundles, microblocks,
+//! proposal payloads — is built once, shared by reference, and its wire size
+//! is computed once at construction. [`Shared`] is the reference-counted
+//! immutable handle; [`SizedPayload`] additionally memoizes the wire size so
+//! the engine can charge bandwidth without re-walking the payload on every
+//! send, delivery, and trace event.
+//!
+//! Sharing is a *simulator* optimization: the charged bandwidth is unchanged
+//! because the cached size equals the recomputed size (enforced by a debug
+//! assertion on every [`SizedPayload::wire_size`] call). Logically distinct
+//! payloads — e.g. the two halves of a Byzantine equivocation — are distinct
+//! allocations; nothing ever aliases two different values.
+//!
+//! [`payload_stats`] counts materializations so benchmark artifacts can prove
+//! the clone count per produced bundle is O(1), independent of fan-out.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+use crate::bundle::Bundle;
+use crate::wire::WireSize;
+
+/// An immutable, cheaply clonable, reference-counted value.
+///
+/// `Clone` bumps a reference count instead of deep-copying; equality is by
+/// value (two independently built equal payloads compare equal).
+pub struct Shared<T: ?Sized>(Arc<T>);
+
+impl<T> Shared<T> {
+    /// Wraps a value; this is the only point that allocates.
+    pub fn new(value: T) -> Shared<T> {
+        Shared(Arc::new(value))
+    }
+
+    /// True if both handles point at the same allocation (not just equal
+    /// values) — the zero-copy property tests assert with this.
+    pub fn ptr_eq(a: &Shared<T>, b: &Shared<T>) -> bool {
+        Arc::ptr_eq(&a.0, &b.0)
+    }
+}
+
+impl<T: ?Sized> Clone for Shared<T> {
+    fn clone(&self) -> Self {
+        Shared(Arc::clone(&self.0))
+    }
+}
+
+impl<T: ?Sized> Deref for Shared<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: fmt::Debug + ?Sized> fmt::Debug for Shared<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+impl<T: PartialEq + ?Sized> PartialEq for Shared<T> {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl<T: Eq + ?Sized> Eq for Shared<T> {}
+
+impl<T> From<T> for Shared<T> {
+    fn from(value: T) -> Shared<T> {
+        Shared::new(value)
+    }
+}
+
+impl<T: WireSize + ?Sized> WireSize for Shared<T> {
+    fn wire_size(&self) -> usize {
+        (**self).wire_size()
+    }
+}
+
+/// A [`Shared`] payload whose wire size was computed once at construction.
+///
+/// Cloning bumps a reference count; [`WireSize::wire_size`] returns the
+/// memoized size (with a debug assertion that it still matches the
+/// recomputed one, so the cache can never silently drift).
+pub struct SizedPayload<T: WireSize> {
+    value: Shared<T>,
+    wire: usize,
+}
+
+impl<T: WireSize> SizedPayload<T> {
+    /// Materializes a payload: wraps it in an `Arc`, walks its wire size
+    /// once, and records the materialization in [`payload_stats`].
+    pub fn new(value: T) -> SizedPayload<T> {
+        let wire = value.wire_size();
+        payload_stats::record_materialize(wire);
+        SizedPayload {
+            value: Shared::new(value),
+            wire,
+        }
+    }
+
+    /// The shared handle (for stores that keep the same allocation the
+    /// network delivered).
+    pub fn shared(&self) -> &Shared<T> {
+        &self.value
+    }
+
+    /// True if both handles share one allocation.
+    pub fn ptr_eq(a: &SizedPayload<T>, b: &SizedPayload<T>) -> bool {
+        Shared::ptr_eq(&a.value, &b.value)
+    }
+}
+
+impl<T: WireSize> Clone for SizedPayload<T> {
+    fn clone(&self) -> Self {
+        SizedPayload {
+            value: self.value.clone(),
+            wire: self.wire,
+        }
+    }
+}
+
+impl<T: WireSize> Deref for SizedPayload<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T: WireSize + fmt::Debug> fmt::Debug for SizedPayload<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+impl<T: WireSize + PartialEq> PartialEq for SizedPayload<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.wire == other.wire && *self.value == *other.value
+    }
+}
+
+impl<T: WireSize + Eq> Eq for SizedPayload<T> {}
+
+impl<T: WireSize> WireSize for SizedPayload<T> {
+    fn wire_size(&self) -> usize {
+        debug_assert_eq!(
+            self.wire,
+            self.value.wire_size(),
+            "memoized wire size drifted from the recomputed one"
+        );
+        self.wire
+    }
+}
+
+impl<T: WireSize> From<T> for SizedPayload<T> {
+    fn from(value: T) -> SizedPayload<T> {
+        SizedPayload::new(value)
+    }
+}
+
+/// The workhorse alias: a bundle shared between the network, the mempool,
+/// and the dissemination layer without copies.
+pub type SizedBundle = SizedPayload<Bundle>;
+
+/// Thread-local materialization counters.
+///
+/// Each simulation run executes on one thread (grid points fan out across a
+/// pool, but a single run never migrates), so thread-local cells give exact,
+/// deterministic per-run counts with zero synchronization. Harnesses call
+/// [`payload_stats::reset`] at run start and [`payload_stats::snapshot`] at
+/// report time; worker threads are reused between runs, so skipping the
+/// reset would bleed one run's counts into the next.
+pub mod payload_stats {
+    use std::cell::Cell;
+
+    thread_local! {
+        static CLONES: Cell<u64> = const { Cell::new(0) };
+        static BYTES: Cell<u64> = const { Cell::new(0) };
+        static COMPUTED: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// A snapshot of the counters since the last [`reset`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+    pub struct PayloadStats {
+        /// Payload materializations (`msg.payload_clones`): each is one
+        /// deep construction of a shared payload. Fan-out adds zero.
+        pub payload_clones: u64,
+        /// Wire bytes materialized (`msg.bytes_cloned`): the bytes that
+        /// would have been deep-copied per recipient without sharing.
+        pub bytes_cloned: u64,
+        /// Full O(payload) wire-size walks (`wire_size.computed`); cached
+        /// reads do not count.
+        pub wire_size_computed: u64,
+    }
+
+    /// Records one payload materialization of `bytes` wire bytes.
+    pub fn record_materialize(bytes: usize) {
+        CLONES.with(|c| c.set(c.get() + 1));
+        BYTES.with(|c| c.set(c.get() + bytes as u64));
+        COMPUTED.with(|c| c.set(c.get() + 1));
+    }
+
+    /// Reads the counters accumulated on this thread since the last reset.
+    pub fn snapshot() -> PayloadStats {
+        PayloadStats {
+            payload_clones: CLONES.with(Cell::get),
+            bytes_cloned: BYTES.with(Cell::get),
+            wire_size_computed: COMPUTED.with(Cell::get),
+        }
+    }
+
+    /// Zeroes the counters (call at the start of every run).
+    pub fn reset() {
+        CLONES.with(|c| c.set(0));
+        BYTES.with(|c| c.set(0));
+        COMPUTED.with(|c| c.set(0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ChainId, ClientId, Height, TxId};
+    use crate::tip_list::TipList;
+    use crate::tx::Transaction;
+    use predis_crypto::{Hash, Keypair, SignerId};
+
+    fn bundle(height: u64) -> Bundle {
+        let key = Keypair::for_node(SignerId(0));
+        let txs: Vec<Transaction> = (0..5)
+            .map(|i| Transaction::new(TxId(i), ClientId(0), 0))
+            .collect();
+        Bundle::build(
+            ChainId(0),
+            Height(height),
+            Hash::ZERO,
+            TipList::new(4),
+            txs,
+            Hash::ZERO,
+            &key,
+        )
+    }
+
+    #[test]
+    fn clone_shares_the_allocation() {
+        let a = SizedBundle::new(bundle(1));
+        let b = a.clone();
+        assert!(SizedBundle::ptr_eq(&a, &b));
+        assert_eq!(a, b);
+        assert_eq!(a.wire_size(), b.wire_size());
+    }
+
+    #[test]
+    fn cached_size_matches_recomputed() {
+        let b = bundle(2);
+        let expect = b.wire_size();
+        let shared = SizedBundle::new(b);
+        assert_eq!(shared.wire_size(), expect);
+        assert_eq!(shared.shared().wire_size(), expect);
+    }
+
+    #[test]
+    fn equal_values_in_distinct_allocations_compare_equal_not_aliased() {
+        let a = SizedBundle::new(bundle(3));
+        let b = SizedBundle::new(bundle(3));
+        assert_eq!(a, b);
+        assert!(!SizedBundle::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn stats_count_materializations_not_clones() {
+        payload_stats::reset();
+        let a = SizedBundle::new(bundle(4));
+        let wire = a.wire_size();
+        // A thousand recipients: still one materialization.
+        let fanout: Vec<SizedBundle> = (0..1000).map(|_| a.clone()).collect();
+        assert!(fanout.iter().all(|c| SizedBundle::ptr_eq(&a, c)));
+        let s = payload_stats::snapshot();
+        assert_eq!(s.payload_clones, 1);
+        assert_eq!(s.bytes_cloned, wire as u64);
+        assert_eq!(s.wire_size_computed, 1);
+        payload_stats::reset();
+        assert_eq!(payload_stats::snapshot(), Default::default());
+    }
+}

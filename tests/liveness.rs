@@ -221,7 +221,7 @@ impl predis::sim::Actor<ConsMsg> for EquivocatingPbftLeader {
                 ConsMsg::PrePrepare {
                     view: View(0),
                     seq: SeqNum(1),
-                    payload,
+                    payload: payload.into(),
                 },
             );
         }

@@ -6,7 +6,8 @@ use proptest::prelude::*;
 use predis::crypto::{Hash, Keypair, SignerId};
 use predis::mempool::{InsertOutcome, Mempool};
 use predis::types::{
-    quorum_cut_height, Bundle, ChainId, ClientId, Height, TipList, Transaction, TxId, View,
+    quorum_cut_height, Bundle, ChainId, ClientId, ConflictProof, Height, SizedBundle, TipList,
+    Transaction, TxId, View, WireSize,
 };
 
 const N: usize = 4;
@@ -92,6 +93,58 @@ proptest! {
             leader.extract_txs(&block).unwrap(),
             replica.extract_txs(&block).unwrap()
         );
+    }
+
+    /// Zero-copy plane safety: an equivocator's two forks, wrapped as
+    /// shared payloads, must stay hash-distinct and must never alias one
+    /// allocation — otherwise conflict detection would compare a bundle
+    /// against itself. Arc clones sent to each committee half keep aliasing
+    /// only their own fork, and the resulting proof verifies.
+    #[test]
+    fn forks_stay_distinct_through_shared_plane(
+        height in 1u64..100,
+        n_txs in 1usize..20,
+        salt in any::<u64>(),
+    ) {
+        let key = Keypair::for_node(SignerId(0));
+        let txs_a: Vec<Transaction> = (0..n_txs as u64)
+            .map(|i| Transaction::new(TxId(salt.wrapping_add(i)), ClientId(0), 0))
+            .collect();
+        let mut txs_b = txs_a.clone();
+        txs_b.push(Transaction::new(
+            TxId(salt.wrapping_add(n_txs as u64)),
+            ClientId(0),
+            0,
+        ));
+        let build = |txs| {
+            Bundle::build(
+                ChainId(0),
+                Height(height),
+                Hash::ZERO,
+                TipList::new(N),
+                txs,
+                Hash::ZERO,
+                &key,
+            )
+        };
+        let fork_a = SizedBundle::from(build(txs_a));
+        let fork_b = SizedBundle::from(build(txs_b));
+        prop_assert_ne!(fork_a.hash(), fork_b.hash());
+        prop_assert!(!SizedBundle::ptr_eq(&fork_a, &fork_b));
+        // What each committee half receives: clones alias their own fork
+        // only, and the memoized sizes equal the recomputed ones.
+        let recv_a = fork_a.clone();
+        let recv_b = fork_b.clone();
+        prop_assert!(SizedBundle::ptr_eq(&fork_a, &recv_a));
+        prop_assert!(!SizedBundle::ptr_eq(&recv_a, &recv_b));
+        prop_assert_eq!(recv_a.wire_size(), fork_a.body_size() + fork_a.header.wire_size());
+        // The two headers form verifiable equivocation evidence.
+        let proof = ConflictProof {
+            a: fork_a.header.clone(),
+            b: fork_b.header.clone(),
+        };
+        prop_assert!(proof.verify());
+        prop_assert_eq!(proof.offender(), ChainId(0));
     }
 
     /// The cut rule never cuts above what a quorum acknowledged: for any
