@@ -20,14 +20,15 @@ use crate::sweep::{Runner, SweepOutcome, SweepPoint};
 
 /// Version of the artifact schema; part of the default file name so stale
 /// baselines fail loudly instead of comparing apples to oranges.
-pub const BENCH_SCHEMA_VERSION: u64 = 3;
+pub const BENCH_SCHEMA_VERSION: u64 = 5;
 
 /// Oldest schema version [`BenchArtifact::from_json`] still reads. Version 2
-/// artifacts lack the `payload_clones` field (defaulted to 0 on read), so an
-/// old baseline still diffs against a new run.
+/// artifacts lack the `payload_clones` field and versions before 5 lack the
+/// nested `perf` block (both defaulted to 0 on read), so an old baseline
+/// still diffs against a new run.
 pub const BENCH_SCHEMA_MIN_SUPPORTED: u64 = 2;
 
-/// The default artifact file name, `BENCH_3.json`.
+/// The default artifact file name, `BENCH_5.json`.
 pub fn bench_file_name() -> String {
     format!("BENCH_{BENCH_SCHEMA_VERSION}.json")
 }
@@ -48,6 +49,14 @@ pub struct BenchEntry {
     /// of shared payloads during the run. Deterministic, and O(1) per
     /// produced bundle/proposal — fan-out adds zero (the zero-copy gate).
     pub payload_clones: u64,
+    /// Simulation events the engine dispatched (`engine.events_processed`).
+    /// Deterministic: a pure function of the workload, so it participates
+    /// in [`BenchArtifact::identical_modulo_wall`].
+    pub events_processed: u64,
+    /// Engine event throughput, events per wall-clock second. Derived from
+    /// `events_processed / wall_ms`, so it is machine-dependent and excluded
+    /// from determinism comparisons; CI's perf-smoke gate reads it.
+    pub events_per_sec: f64,
     /// Wall-clock milliseconds the run took (machine-dependent; excluded
     /// from determinism and regression comparisons).
     pub wall_ms: u64,
@@ -85,12 +94,20 @@ impl BenchEntry {
                 report.require_metric("to_100_ms"),
             ),
         };
+        let events_processed = report.metric("engine.events_processed").unwrap_or(0.0) as u64;
+        let events_per_sec = if outcome.wall_ms > 0 {
+            events_processed as f64 * 1000.0 / outcome.wall_ms as f64
+        } else {
+            0.0
+        };
         BenchEntry {
             tps,
             p50_ms,
             p99_ms,
             bytes,
             payload_clones: report.metric("msg.payload_clones").unwrap_or(0.0) as u64,
+            events_processed,
+            events_per_sec,
             wall_ms: outcome.wall_ms,
         }
     }
@@ -143,6 +160,13 @@ impl BenchArtifact {
                         ("p99_latency_ms".into(), Json::F64(e.p99_ms)),
                         ("bytes".into(), Json::U64(e.bytes)),
                         ("payload_clones".into(), Json::U64(e.payload_clones)),
+                        (
+                            "perf".into(),
+                            Json::Obj(vec![
+                                ("events_processed".into(), Json::U64(e.events_processed)),
+                                ("events_per_sec".into(), Json::F64(e.events_per_sec)),
+                            ]),
+                        ),
                         ("wall_ms".into(), Json::U64(e.wall_ms)),
                     ]),
                 )
@@ -192,6 +216,17 @@ impl BenchArtifact {
                     bytes: int("bytes")?,
                     // Absent before schema 3.
                     payload_clones: int("payload_clones").unwrap_or(0),
+                    // The `perf` block is absent before schema 5.
+                    events_processed: run
+                        .get("perf")
+                        .and_then(|p| p.get("events_processed"))
+                        .and_then(Json::as_u64)
+                        .unwrap_or(0),
+                    events_per_sec: run
+                        .get("perf")
+                        .and_then(|p| p.get("events_per_sec"))
+                        .and_then(Json::as_f64)
+                        .unwrap_or(0.0),
                     wall_ms: int("wall_ms")?,
                 },
             );
@@ -280,20 +315,32 @@ impl BenchArtifact {
     }
 
     /// Strict determinism check: every run must exist in both artifacts
-    /// with bit-identical `tps`/`p50`/`p99`/`bytes`; only `wall_ms` may
-    /// differ. Returns one message per mismatch.
+    /// with bit-identical `tps`/`p50`/`p99`/`bytes`/`payload_clones`/
+    /// `events_processed`; only `wall_ms` (and the wall-derived
+    /// `events_per_sec`) may differ. Returns one message per mismatch.
+    ///
+    /// `events_processed` is only compared when both artifacts carry it
+    /// (non-zero): pre-v5 artifacts predate the metric and deserialize it
+    /// as 0, which must not read as a determinism break when diffing
+    /// against an older checked-in baseline.
     pub fn identical_modulo_wall(&self, other: &BenchArtifact) -> Vec<String> {
         let mut mismatches = Vec::new();
         for (name, a) in &self.runs {
             match other.runs.get(name) {
                 None => mismatches.push(format!("{name}: only in first artifact")),
                 Some(b) => {
-                    if (a.tps, a.p50_ms, a.p99_ms, a.bytes, a.payload_clones)
-                        != (b.tps, b.p50_ms, b.p99_ms, b.bytes, b.payload_clones)
+                    let compare_events = a.events_processed != 0 && b.events_processed != 0;
+                    let (ev_a, ev_b) = if compare_events {
+                        (a.events_processed, b.events_processed)
+                    } else {
+                        (0, 0)
+                    };
+                    if (a.tps, a.p50_ms, a.p99_ms, a.bytes, a.payload_clones, ev_a)
+                        != (b.tps, b.p50_ms, b.p99_ms, b.bytes, b.payload_clones, ev_b)
                     {
                         mismatches.push(format!(
                             "{name}: tps {} vs {}, p50 {} vs {}, p99 {} vs {}, bytes {} vs {}, \
-                             clones {} vs {}",
+                             clones {} vs {}, events {} vs {}",
                             a.tps,
                             b.tps,
                             a.p50_ms,
@@ -303,7 +350,9 @@ impl BenchArtifact {
                             a.bytes,
                             b.bytes,
                             a.payload_clones,
-                            b.payload_clones
+                            b.payload_clones,
+                            a.events_processed,
+                            b.events_processed
                         ));
                     }
                 }
@@ -329,6 +378,8 @@ mod tests {
             p99_ms: p99,
             bytes: 1_000,
             payload_clones: 42,
+            events_processed: 9_000,
+            events_per_sec: 1_234.5,
             wall_ms: wall,
         }
     }
@@ -367,6 +418,28 @@ mod tests {
         let back = BenchArtifact::from_json(&text).unwrap();
         assert_eq!(back.runs["a"].payload_clones, 0);
         assert_eq!(back.runs["a"].bytes, 1_000);
+    }
+
+    #[test]
+    fn v3_artifact_reads_with_defaulted_perf() {
+        // A literal pre-v5 artifact: no `perf` block at all.
+        let text = r#"{
+            "schema_version": 3,
+            "runs": {
+                "a": {
+                    "tps": 10000.0,
+                    "p50_latency_ms": 50.0,
+                    "p99_latency_ms": 100.0,
+                    "bytes": 1000,
+                    "payload_clones": 42,
+                    "wall_ms": 7
+                }
+            }
+        }"#;
+        let back = BenchArtifact::from_json(text).unwrap();
+        assert_eq!(back.runs["a"].events_processed, 0);
+        assert_eq!(back.runs["a"].events_per_sec, 0.0);
+        assert_eq!(back.runs["a"].payload_clones, 42);
     }
 
     #[test]
@@ -420,9 +493,15 @@ mod tests {
     #[test]
     fn identical_modulo_wall_ignores_wall_only_differences() {
         let a = artifact(&[("a", entry(10_000.0, 100.0, 1))]);
-        let b = artifact(&[("a", entry(10_000.0, 100.0, 12_345))]);
+        let mut b = artifact(&[("a", entry(10_000.0, 100.0, 12_345))]);
+        // events_per_sec is wall-derived, so it may differ too.
+        b.runs.get_mut("a").unwrap().events_per_sec = 9.9;
         assert!(a.identical_modulo_wall(&b).is_empty());
         let c = artifact(&[("a", entry(10_000.1, 100.0, 1))]);
         assert_eq!(a.identical_modulo_wall(&c).len(), 1);
+        // events_processed is deterministic and must match exactly.
+        let mut d = artifact(&[("a", entry(10_000.0, 100.0, 1))]);
+        d.runs.get_mut("a").unwrap().events_processed += 1;
+        assert_eq!(a.identical_modulo_wall(&d).len(), 1);
     }
 }

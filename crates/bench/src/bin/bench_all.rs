@@ -14,7 +14,7 @@
 //!   (e.g. `--only fig6_`).
 //! * `--threads` — pool width override (default: all cores, or
 //!   `PREDIS_THREADS`).
-//! * `--out`     — artifact path (default `results/BENCH_3.json`).
+//! * `--out`     — artifact path (default `results/BENCH_5.json`).
 //!
 //! Before writing the artifact the suite enforces the zero-copy gate:
 //! every throughput run's `msg.payload_clones` must stay O(1) per produced
@@ -23,8 +23,8 @@
 use std::time::Instant;
 
 use predis_bench::{
-    bench_file_name, f0, f1, print_table, suite, sweep, BenchArtifact, Runner, SweepOutcome,
-    SweepPoint, RESULTS_DIR,
+    bench_file_name, f0, f1, print_table, report_with_perf, suite, sweep, BenchArtifact, Runner,
+    SweepOutcome, SweepPoint, RESULTS_DIR,
 };
 use predis_parallel::Pool;
 
@@ -105,9 +105,13 @@ fn main() {
 
     let mut rows = Vec::new();
     for (point, outcome) in points.iter().zip(&outcomes) {
-        if let Err(e) = outcome.report.write_to_dir(RESULTS_DIR) {
+        if let Err(e) = report_with_perf(outcome).write_to_dir(RESULTS_DIR) {
             eprintln!("could not write report {}: {e}", outcome.report.name);
         }
+        let events = outcome
+            .report
+            .metric("engine.events_processed")
+            .unwrap_or(0.0);
         rows.push(vec![
             point.name.clone(),
             f0(outcome.report.metric("throughput_tps").unwrap_or(0.0)),
@@ -116,12 +120,13 @@ fn main() {
                 .metric("p99_latency_ms")
                 .or_else(|| outcome.report.metric("to_100_ms"))
                 .unwrap_or(f64::NAN)),
+            f0(events * 1000.0 / outcome.wall_ms.max(1) as f64),
             outcome.wall_ms.to_string(),
         ]);
     }
     print_table(
         "bench_all suite",
-        &["run", "tps", "p99/to100_ms", "wall_ms"],
+        &["run", "tps", "p99/to100_ms", "ev/s", "wall_ms"],
         &rows,
     );
 

@@ -1,13 +1,19 @@
 //! Diffs two `BENCH_*.json` artifacts produced by `bench_all`.
 //!
 //! Usage:
-//! `compare_bench <baseline.json> <new.json> [--threshold PCT] [--warn-only] [--identical]`
+//! `compare_bench <baseline.json> <new.json> [--threshold PCT] [--warn-only]
+//! [--identical] [--perf PCT]`
 //!
 //! * default mode — reports throughput drops and p99-latency growth beyond
 //!   the threshold (default 15%), plus runs missing from the new artifact,
 //!   and exits 1 if any regression was found.
 //! * `--identical` — the determinism gate: every run must match
-//!   bit-for-bit except `wall_ms`; exits 1 on any mismatch.
+//!   bit-for-bit except `wall_ms` (and the wall-derived `events_per_sec`);
+//!   exits 1 on any mismatch.
+//! * `--perf PCT` — the perf-smoke gate: compares suite-aggregate engine
+//!   event throughput (total `events_processed` / total `wall_ms`) and
+//!   exits 1 if the new artifact is more than PCT percent slower than the
+//!   baseline. Machine-dependent, so pair it with a generous threshold.
 //! * `--warn-only` — print everything but always exit 0 (PR builds warn,
 //!   main builds gate).
 
@@ -17,13 +23,14 @@ fn main() {
     let usage = || -> ! {
         eprintln!(
             "usage: compare_bench <baseline.json> <new.json> \
-             [--threshold PCT] [--warn-only] [--identical]"
+             [--threshold PCT] [--warn-only] [--identical] [--perf PCT]"
         );
         std::process::exit(2);
     };
     let mut positional: Vec<String> = Vec::new();
     let mut warn_only = false;
     let mut identical = false;
+    let mut perf: Option<f64> = None;
     let mut threshold = 15.0f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -36,6 +43,13 @@ fn main() {
                     eprintln!("--threshold wants a number, got {v:?}");
                     std::process::exit(2);
                 });
+            }
+            "--perf" => {
+                let Some(v) = args.next() else { usage() };
+                perf = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--perf wants a number, got {v:?}");
+                    std::process::exit(2);
+                }));
             }
             _ if arg.starts_with("--") => usage(),
             _ => positional.push(arg),
@@ -54,7 +68,36 @@ fn main() {
     let baseline = load(baseline_path);
     let new = load(new_path);
 
-    let failures = if identical {
+    let failures = if let Some(perf_pct) = perf {
+        // Suite-aggregate engine throughput: total events over total wall
+        // time, so long runs dominate and per-run wall jitter averages out.
+        let aggregate = |a: &BenchArtifact| {
+            let events: u64 = a.runs.values().map(|e| e.events_processed).sum();
+            let wall: u64 = a.runs.values().map(|e| e.wall_ms).sum();
+            (events, wall, events as f64 * 1000.0 / wall.max(1) as f64)
+        };
+        let (base_events, _, base_eps) = aggregate(&baseline);
+        let (new_events, _, new_eps) = aggregate(&new);
+        let delta_pct = if base_eps > 0.0 {
+            (new_eps - base_eps) / base_eps * 100.0
+        } else {
+            0.0
+        };
+        println!(
+            "engine events/sec: baseline {base_eps:.0} ({base_events} events), \
+             new {new_eps:.0} ({new_events} events), delta {delta_pct:+.1}%"
+        );
+        if base_events == 0 {
+            println!("baseline has no perf data (pre-v5 artifact?): nothing to gate");
+            0
+        } else if delta_pct < -perf_pct {
+            println!("PERF REGRESSION  events/sec dropped {delta_pct:+.1}% (limit -{perf_pct}%)");
+            1
+        } else {
+            println!("perf ok: within {perf_pct}% of baseline");
+            0
+        }
+    } else if identical {
         let mismatches = baseline.identical_modulo_wall(&new);
         for m in &mismatches {
             println!("MISMATCH  {m}");

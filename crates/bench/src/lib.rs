@@ -37,11 +37,29 @@ pub fn metric_or_nan(report: &RunReport, key: &str) -> f64 {
     report.metric(key).unwrap_or(f64::NAN)
 }
 
-/// Emits the showcase reports of a finished figure sweep.
+/// Clones an outcome's report and stamps the wall-derived
+/// `engine.events_per_sec` metric next to the deterministic
+/// `engine.events_processed` the experiment recorded.
+///
+/// The stamp happens here — on the written copy — rather than inside the
+/// experiments, because events/sec depends on wall clock and the in-memory
+/// sweep reports must stay byte-identical across pool widths.
+pub fn report_with_perf(outcome: &SweepOutcome) -> RunReport {
+    let mut report = outcome.report.clone();
+    let events = report.metric("engine.events_processed").unwrap_or(0.0);
+    report.set_metric(
+        "engine.events_per_sec",
+        events * 1000.0 / outcome.wall_ms.max(1) as f64,
+    );
+    report
+}
+
+/// Emits the showcase reports of a finished figure sweep, each stamped
+/// with its wall-derived `engine.events_per_sec` (see [`report_with_perf`]).
 pub fn emit_showcases(points: &[SweepPoint], outcomes: &[SweepOutcome]) {
     for (point, outcome) in points.iter().zip(outcomes) {
         if point.showcase {
-            emit_report(&outcome.report);
+            emit_report(&report_with_perf(outcome));
         }
     }
 }

@@ -80,10 +80,12 @@ fn bench_artifact_is_identical_modulo_wall_ms() {
     let second = BenchArtifact::from_sweep(&points, &sweep(&points, &Pool::new(2)));
     let mismatches = first.identical_modulo_wall(&second);
     assert!(mismatches.is_empty(), "{mismatches:#?}");
-    // The serialized artifacts agree once wall_ms is normalized out.
+    // The serialized artifacts agree once wall_ms (and the wall-derived
+    // events_per_sec) is normalized out.
     let normalize = |mut a: BenchArtifact| {
         for entry in a.runs.values_mut() {
             entry.wall_ms = 0;
+            entry.events_per_sec = 0.0;
         }
         a.to_json()
     };

@@ -26,6 +26,6 @@ pub mod matrix;
 pub mod parallel;
 pub mod rs;
 
-pub use gf256::Gf;
+pub use gf256::{Gf, MulTable};
 pub use matrix::Matrix;
 pub use rs::{CodecError, ReedSolomon};

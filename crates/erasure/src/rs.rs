@@ -13,7 +13,7 @@
 use std::error::Error;
 use std::fmt;
 
-use crate::gf256::mul_slice_xor;
+use crate::gf256::MulTable;
 use crate::matrix::Matrix;
 
 /// Errors returned by [`ReedSolomon`] operations.
@@ -89,6 +89,10 @@ pub struct ReedSolomon {
     total_shards: usize,
     /// `total x data` encoding matrix; top `data` rows are the identity.
     encode_matrix: Matrix,
+    /// Split-nibble multiplication tables for the parity rows of
+    /// `encode_matrix` (row-major, `parity_shards x data_shards`), built
+    /// once at construction and reused by every encode.
+    parity_tables: Vec<MulTable>,
 }
 
 impl ReedSolomon {
@@ -110,10 +114,15 @@ impl ReedSolomon {
         let top = vm.select_rows(&(0..data_shards).collect::<Vec<_>>());
         let top_inv = top.inverse().expect("vandermonde top square invertible");
         let encode_matrix = vm.mul(&top_inv);
+        let parity_tables = (data_shards..total_shards)
+            .flat_map(|r| (0..data_shards).map(move |c| (r, c)))
+            .map(|(r, c)| MulTable::new(encode_matrix[(r, c)]))
+            .collect();
         Ok(ReedSolomon {
             data_shards,
             total_shards,
             encode_matrix,
+            parity_tables,
         })
     }
 
@@ -151,10 +160,10 @@ impl ReedSolomon {
             return Err(CodecError::ShardLengthMismatch);
         }
         let mut shards: Vec<Vec<u8>> = data.to_vec();
-        for r in self.data_shards..self.total_shards {
+        for p in 0..self.parity_shards() {
             let mut parity = vec![0u8; len];
             for (c, d) in data.iter().enumerate() {
-                mul_slice_xor(self.encode_matrix[(r, c)], d, &mut parity);
+                self.parity_tables[p * self.data_shards + c].mul_slice_xor(d, &mut parity);
             }
             shards.push(parity);
         }
@@ -217,11 +226,16 @@ impl ReedSolomon {
             .inverse()
             .expect("any k rows of the encode matrix invert");
         let mut data: Vec<Vec<u8>> = Vec::with_capacity(self.data_shards);
+        let mut row_tables = Vec::with_capacity(self.data_shards);
         for r in 0..self.data_shards {
+            // Nibble tables for this decode row, built once and shared by
+            // every byte of the row's column passes.
+            row_tables.clear();
+            row_tables.extend((0..rows.len()).map(|c| MulTable::new(decode[(r, c)])));
             let mut shard = vec![0u8; len];
             for (c, &row_idx) in rows.iter().enumerate() {
                 let src = shards[row_idx].as_ref().expect("present");
-                mul_slice_xor(decode[(r, c)], src, &mut shard);
+                row_tables[c].mul_slice_xor(src, &mut shard);
             }
             data.push(shard);
         }

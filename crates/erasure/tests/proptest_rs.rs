@@ -53,6 +53,46 @@ proptest! {
         prop_assert!(!rs.verify(&shards).unwrap());
     }
 
+    /// Round-trips pinned to the shard lengths where byte-loop kernels
+    /// break: 0-length (degenerate, encode_blob clamps to 1), 1, and the
+    /// 63/64/65 straddle of a 64-byte unroll/SIMD boundary. The blob
+    /// length is chosen as `shard_len * k - trim` so the final shard is
+    /// partially padded.
+    #[test]
+    fn roundtrip_at_odd_shard_lengths(
+        shard_sel in 0usize..5,
+        trim in 0usize..4,
+        fill in any::<u8>(),
+        f in 1usize..4,
+        loss_seed in any::<u64>(),
+    ) {
+        let shard_len = [0usize, 1, 63, 64, 65][shard_sel];
+        let n = 3 * f + 1;
+        let k = n - f;
+        let rs = ReedSolomon::new(k, n).unwrap();
+        let blob_len = (shard_len * k).saturating_sub(trim.min(shard_len));
+        let blob: Vec<u8> = (0..blob_len)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(fill))
+            .collect();
+        let shards = rs.encode_blob(&blob);
+        prop_assert_eq!(shards[0].len(), rs.stripe_len(blob.len()));
+        prop_assert!(rs.verify(&shards).unwrap());
+
+        let mut received: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        let mut state = loss_seed | 1;
+        let mut lost = 0;
+        while lost < f {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let idx = (state >> 33) as usize % n;
+            if received[idx].is_some() {
+                received[idx] = None;
+                lost += 1;
+            }
+        }
+        let out = rs.decode_blob(&mut received, blob.len()).unwrap();
+        prop_assert_eq!(out, blob);
+    }
+
     /// Reconstruction is agnostic to *which* k shards survive: any two
     /// survivor sets give the same data shards.
     #[test]

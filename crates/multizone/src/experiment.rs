@@ -136,6 +136,7 @@ impl PropagationSetup {
         report.set_metric("msg.payload_clones", stats.payload_clones as f64);
         report.set_metric("msg.bytes_cloned", stats.bytes_cloned as f64);
         report.set_metric("wire_size.computed", stats.wire_size_computed as f64);
+        report.set_metric("engine.events_processed", sim.events_processed() as f64);
         report
     }
 

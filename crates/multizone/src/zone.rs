@@ -12,8 +12,8 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use predis_sim::{
-    BundleKey, Codec, Labels, NarrowContext, NodeId, ProtocolCore, SimDuration, SimTime, Stage,
-    TimerTag,
+    BundleKey, Codec, CounterHandle, Labels, NarrowContext, NodeId, ProtocolCore, SimDuration,
+    SimTime, Stage, TimerTag,
 };
 use predis_types::Shared;
 use rand::seq::SliceRandom;
@@ -351,6 +351,9 @@ pub struct MultiZoneNode {
     ann_forwarded: HashSet<u64>,
     pulled: HashSet<u64>,
     last_data: HashMap<u32, SimTime>,
+    /// Interned `zone.stripe_sends` cells, one per stripe this node has
+    /// forwarded (avoids a name+label map probe per forwarded stripe).
+    stripe_send_handles: HashMap<u32, CounterHandle>,
     /// Per-block bundle payload size (learned from stripes), for serving
     /// bundle pulls.
     bundle_bytes_hint: HashMap<u64, u32>,
@@ -395,6 +398,7 @@ impl MultiZoneNode {
             ann_forwarded: HashSet::new(),
             pulled: HashSet::new(),
             last_data: HashMap::new(),
+            stripe_send_handles: HashMap::new(),
             bundle_bytes_hint: HashMap::new(),
             ann_seen_at: HashMap::new(),
             whole_bundles: HashSet::new(),
@@ -874,12 +878,13 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
                     return; // duplicate
                 }
                 let have_count = have.len();
-                // Forward down the subscription tree.
+                // Forward down the subscription tree. The child list is
+                // borrowed, not cloned: `self.children` and `ctx` are
+                // disjoint, and multicast takes any NodeId iterator.
                 if let Some(kids) = self.children.get(&stripe) {
-                    let kids = kids.clone();
                     let fanout = kids.len() as u64;
                     ctx.multicast(
-                        kids,
+                        kids.iter().copied(),
                         NetMsg::Stripe {
                             bundle,
                             stripe,
@@ -889,11 +894,13 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
                     );
                     if fanout > 0 {
                         let me = ctx.node().index() as u64;
-                        ctx.metrics().incr_labeled(
-                            "zone.stripe_sends",
-                            Labels::node(me).and_chain(stripe as u64),
-                            fanout,
-                        );
+                        let handle = *self.stripe_send_handles.entry(stripe).or_insert_with(|| {
+                            ctx.metrics().counter_handle(
+                                "zone.stripe_sends",
+                                Labels::node(me).and_chain(stripe as u64),
+                            )
+                        });
+                        ctx.metrics().incr_handle(handle, fanout);
                     }
                 }
                 if have_count >= k as usize && self.decoded.insert(bundle) {

@@ -13,6 +13,7 @@ use std::fmt::Debug;
 use rand::rngs::SmallRng;
 
 use crate::metrics::Metrics;
+use crate::queue::TimerSlots;
 use crate::time::{SimDuration, SimTime};
 
 /// Identifier of a simulated node; indexes into the simulation's node table.
@@ -132,7 +133,7 @@ pub struct Context<'a, M> {
     pub(crate) node: NodeId,
     pub(crate) node_count: u32,
     pub(crate) link_free_at: SimTime,
-    pub(crate) next_timer: &'a mut u64,
+    pub(crate) timers: &'a mut TimerSlots,
     pub(crate) ops: &'a mut Vec<Op<M>>,
     pub(crate) rng: &'a mut SmallRng,
     pub(crate) metrics: &'a mut Metrics,
@@ -207,8 +208,7 @@ impl<'a, M> Context<'a, M> {
     /// Arms a timer firing `delay` from now; returns a handle for
     /// cancellation. The tag is delivered back in `on_timer`.
     pub fn set_timer(&mut self, delay: SimDuration, tag: TimerTag) -> TimerId {
-        let id = TimerId(*self.next_timer);
-        *self.next_timer += 1;
+        let id = self.timers.arm();
         self.ops.push(Op::SetTimer {
             id,
             fire_at: self.now + delay,
@@ -401,7 +401,7 @@ mod tests {
     /// Runs `f` against a standalone context for node 1 of 4, returning the
     /// ops it queued.
     fn with_context(f: impl FnOnce(&mut Context<'_, Ping>)) -> Vec<Op<Ping>> {
-        let mut next_timer = 0u64;
+        let mut timers = TimerSlots::new();
         let mut ops: Vec<Op<Ping>> = Vec::new();
         let mut rng = SmallRng::seed_from_u64(0);
         let mut metrics = Metrics::new();
@@ -410,7 +410,7 @@ mod tests {
             node: NodeId(1),
             node_count: 4,
             link_free_at: SimTime::ZERO,
-            next_timer: &mut next_timer,
+            timers: &mut timers,
             ops: &mut ops,
             rng: &mut rng,
             metrics: &mut metrics,

@@ -4,70 +4,51 @@
 //! the metrics sink, and one [`Actor`] per node. Events are totally ordered
 //! by `(time, sequence-number)`, so two runs with the same seed and the same
 //! actor set produce byte-identical traces.
+//!
+//! The hot path is engineered for zero steady-state allocation: the future
+//! event set is a hierarchical timer wheel (see the `queue` module), the
+//! per-dispatch op buffer is pooled and reused, per-node delivery counters
+//! go through [`CounterHandle`]s interned once at [`Sim::add_node`], and
+//! timer cancellation flips a generation counter instead of growing a
+//! tombstone set.
 
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::actor::Payload;
-use crate::actor::{Actor, Context, NodeId, Op, TimerId, TimerTag};
+use crate::actor::{Actor, Context, NodeId, Op};
 use crate::faults::FaultPlan;
-use crate::metrics::{Labels, Metrics};
+use crate::metrics::{CounterHandle, Labels, Metrics};
 use crate::net::{LinkConfig, Network};
+use crate::queue::{Event, EventKind, EventQueue, TimerSlots};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceEvent, TraceKind};
 
-#[derive(Debug)]
-enum EventKind<M> {
-    Start,
-    Deliver {
-        from: NodeId,
-        msg: M,
-        /// Wire size memoized when the message was sent; delivery metrics
-        /// and the trace read it instead of re-walking the payload.
-        bytes: usize,
-    },
-    Timer {
-        id: TimerId,
-        tag: TimerTag,
-        epoch: u32,
-    },
-    Crash,
-    Revive,
+/// Handles for the global network counters, interned at construction.
+#[derive(Debug, Clone, Copy)]
+struct NetHandles {
+    messages: CounterHandle,
+    bytes: CounterHandle,
+    dropped: CounterHandle,
+    dropped_bytes: CounterHandle,
 }
 
-struct Event<M> {
-    at: SimTime,
-    seq: u64,
-    node: NodeId,
-    kind: EventKind<M>,
-}
-
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
+/// Handles for one node's per-event counters, interned at `add_node`.
+#[derive(Debug, Clone, Copy)]
+struct NodeHandles {
+    deliveries: CounterHandle,
+    delivered_bytes: CounterHandle,
+    timers: CounterHandle,
+    drops: CounterHandle,
 }
 
 /// A deterministic discrete-event simulation over message type `M`.
 pub struct Sim<M> {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Reverse<Event<M>>>,
+    queue: EventQueue<M>,
     actors: Vec<Option<Box<dyn Actor<M>>>>,
     node_rngs: Vec<SmallRng>,
     net_rng: SmallRng,
@@ -78,8 +59,12 @@ pub struct Sim<M> {
     started: Vec<bool>,
     /// Incremented on revival: timers armed in an older epoch are dead.
     epochs: Vec<u32>,
-    cancelled_timers: HashSet<TimerId>,
-    next_timer: u64,
+    timers: TimerSlots,
+    /// Pooled op buffer handed to each dispatch and drained by
+    /// `apply_ops`; its capacity survives across events.
+    ops_scratch: Vec<Op<M>>,
+    net_handles: NetHandles,
+    node_handles: Vec<NodeHandles>,
     events_processed: u64,
     /// Nodes whose crash event has been scheduled.
     crash_scheduled: Vec<bool>,
@@ -90,21 +75,41 @@ impl<M: Payload> Sim<M> {
     /// Creates an empty simulation seeded with `seed`. The same seed, node
     /// set, and actor logic reproduce the same run exactly.
     pub fn new(seed: u64, network: Network) -> Self {
+        Sim::with_queue(seed, network, EventQueue::wheel())
+    }
+
+    /// A simulation scheduled by the pre-wheel global heap — the ordering
+    /// oracle for differential tests.
+    #[cfg(test)]
+    pub(crate) fn new_classic(seed: u64, network: Network) -> Self {
+        Sim::with_queue(seed, network, EventQueue::classic())
+    }
+
+    fn with_queue(seed: u64, network: Network, queue: EventQueue<M>) -> Self {
+        let mut metrics = Metrics::new();
+        let net_handles = NetHandles {
+            messages: metrics.counter_handle("net.messages", Labels::GLOBAL),
+            bytes: metrics.counter_handle("net.bytes", Labels::GLOBAL),
+            dropped: metrics.counter_handle("net.dropped", Labels::GLOBAL),
+            dropped_bytes: metrics.counter_handle("net.dropped_bytes", Labels::GLOBAL),
+        };
         Sim {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue,
             actors: Vec::new(),
             node_rngs: Vec::new(),
             net_rng: SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
             network,
             faults: FaultPlan::none(),
-            metrics: Metrics::new(),
+            metrics,
             halted: Vec::new(),
             started: Vec::new(),
             epochs: Vec::new(),
-            cancelled_timers: HashSet::new(),
-            next_timer: 0,
+            timers: TimerSlots::new(),
+            ops_scratch: Vec::new(),
+            net_handles,
+            node_handles: Vec::new(),
             events_processed: 0,
             crash_scheduled: Vec::new(),
             trace: None,
@@ -147,8 +152,15 @@ impl<M: Payload> Sim<M> {
         self.started.push(false);
         self.epochs.push(0);
         self.crash_scheduled.push(false);
+        let labels = Labels::node(id.0 as u64);
+        self.node_handles.push(NodeHandles {
+            deliveries: self.metrics.counter_handle("node.deliveries", labels),
+            delivered_bytes: self.metrics.counter_handle("node.delivered_bytes", labels),
+            timers: self.metrics.counter_handle("node.timers", labels),
+            drops: self.metrics.counter_handle("node.drops", labels),
+        });
         let seq = self.next_seq();
-        self.push(Event {
+        self.queue.push(Event {
             at: start_at,
             seq,
             node: id,
@@ -163,10 +175,6 @@ impl<M: Payload> Sim<M> {
         s
     }
 
-    fn push(&mut self, e: Event<M>) {
-        self.queue.push(Reverse(e));
-    }
-
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -177,7 +185,8 @@ impl<M: Payload> Sim<M> {
         self.actors.len()
     }
 
-    /// Number of events processed so far (for budget checks in tests).
+    /// Number of events processed so far (for throughput accounting and
+    /// budget checks in tests).
     pub fn events_processed(&self) -> u64 {
         self.events_processed
     }
@@ -214,7 +223,7 @@ impl<M: Payload> Sim<M> {
         assert!(at >= self.now, "cannot inject into the past");
         let seq = self.next_seq();
         let bytes = msg.wire_size();
-        self.push(Event {
+        self.queue.push(Event {
             at,
             seq,
             node: to,
@@ -230,7 +239,7 @@ impl<M: Payload> Sim<M> {
             if let Some(t) = self.faults.crash_time(NodeId(idx as u32)) {
                 self.crash_scheduled[idx] = true;
                 let seq = self.next_seq();
-                self.push(Event {
+                self.queue.push(Event {
                     at: t,
                     seq,
                     node: NodeId(idx as u32),
@@ -238,7 +247,7 @@ impl<M: Payload> Sim<M> {
                 });
                 if let Some(r) = self.faults.revive_time(NodeId(idx as u32)) {
                     let seq = self.next_seq();
-                    self.push(Event {
+                    self.queue.push(Event {
                         at: r,
                         seq,
                         node: NodeId(idx as u32),
@@ -253,11 +262,7 @@ impl<M: Payload> Sim<M> {
     /// `horizon`); afterwards `now() == horizon`.
     pub fn run_until(&mut self, horizon: SimTime) {
         self.schedule_crashes();
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.at > horizon {
-                break;
-            }
-            let Reverse(event) = self.queue.pop().expect("peeked");
+        while let Some(event) = self.queue.pop_next(horizon) {
             self.now = event.at;
             self.events_processed += 1;
             self.dispatch(event);
@@ -274,6 +279,15 @@ impl<M: Payload> Sim<M> {
     fn dispatch(&mut self, event: Event<M>) {
         let node = event.node;
         let idx = node.index();
+        // Every popped timer event retires its slot, no matter how the
+        // event is disposed of below — the pop is the slot's last
+        // outstanding reference, so it must recycle even when the node is
+        // halted, unstarted, or mid-crash. `timer_live` is false when a
+        // cancel got there first.
+        let timer_live = match event.kind {
+            EventKind::Timer { id, .. } => self.timers.resolve(id),
+            _ => true,
+        };
         if let EventKind::Revive = event.kind {
             // Crash-recovery: the node resumes with its state intact; its
             // pre-crash timers belong to the old epoch and are dead, and
@@ -292,7 +306,7 @@ impl<M: Payload> Sim<M> {
                 self.halted[idx] = true;
                 return;
             }
-            EventKind::Timer { id, .. } if self.cancelled_timers.remove(&id) => return,
+            EventKind::Timer { .. } if !timer_live => return,
             EventKind::Timer { epoch, .. } if epoch != self.epochs[idx] => return,
             _ => {}
         }
@@ -303,14 +317,13 @@ impl<M: Payload> Sim<M> {
 
         match &event.kind {
             EventKind::Deliver { bytes, .. } => {
-                let labels = Labels::node(node.index() as u64);
-                self.metrics.incr_labeled("node.deliveries", labels, 1);
+                let handles = self.node_handles[idx];
+                self.metrics.incr_handle(handles.deliveries, 1);
                 self.metrics
-                    .incr_labeled("node.delivered_bytes", labels, *bytes as u64);
+                    .incr_handle(handles.delivered_bytes, *bytes as u64);
             }
             EventKind::Timer { .. } => {
-                self.metrics
-                    .incr_labeled("node.timers", Labels::node(node.index() as u64), 1);
+                self.metrics.incr_handle(self.node_handles[idx].timers, 1);
             }
             _ => {}
         }
@@ -338,14 +351,15 @@ impl<M: Payload> Sim<M> {
             Some(a) => a,
             None => return,
         };
-        let mut ops: Vec<Op<M>> = Vec::new();
+        let mut ops = std::mem::take(&mut self.ops_scratch);
+        debug_assert!(ops.is_empty());
         {
             let mut ctx = Context {
                 now: self.now,
                 node,
                 node_count: self.actors.len() as u32,
                 link_free_at: self.network.link_free_at(node),
-                next_timer: &mut self.next_timer,
+                timers: &mut self.timers,
                 ops: &mut ops,
                 rng: &mut self.node_rngs[idx],
                 metrics: &mut self.metrics,
@@ -358,11 +372,13 @@ impl<M: Payload> Sim<M> {
             }
         }
         self.actors[idx] = Some(actor);
-        self.apply_ops(node, ops);
+        self.apply_ops(node, &mut ops);
+        // Return the (now empty) buffer to the pool, keeping its capacity.
+        self.ops_scratch = ops;
     }
 
-    fn apply_ops(&mut self, node: NodeId, ops: Vec<Op<M>>) {
-        for op in ops {
+    fn apply_ops(&mut self, node: NodeId, ops: &mut Vec<Op<M>>) {
+        for op in ops.drain(..) {
             match op {
                 Op::Send { to, msg, bytes } => {
                     // The memoized size must equal the recomputed one for
@@ -373,37 +389,33 @@ impl<M: Payload> Sim<M> {
                         msg.wire_size(),
                         "cached wire size diverged from recomputed size"
                     );
+                    // A destination that was never added is rejected at the
+                    // NIC (it has no link to schedule on), but still counts
+                    // as a fully accounted drop — bytes and the
+                    // per-recipient cell included, exactly like the
+                    // fault-plan branch below.
+                    if to.index() >= self.actors.len() {
+                        self.metrics.incr_handle(self.net_handles.messages, 1);
+                        self.metrics
+                            .incr_handle(self.net_handles.bytes, bytes as u64);
+                        self.record_drop(node, to, bytes);
+                        continue;
+                    }
                     let sched = self
                         .network
                         .schedule(self.now, node, to, bytes, &mut self.net_rng);
-                    self.metrics.incr("net.messages", 1);
-                    self.metrics.incr("net.bytes", bytes as u64);
+                    self.metrics.incr_handle(self.net_handles.messages, 1);
+                    self.metrics
+                        .incr_handle(self.net_handles.bytes, bytes as u64);
                     // Omission/crash/partition checks happen at send time
                     // (bandwidth is consumed either way; the bytes die in
                     // flight).
                     if !self.faults.delivers(node, to, self.now, &mut self.net_rng) {
-                        self.metrics.incr("net.dropped", 1);
-                        self.metrics.incr("net.dropped_bytes", bytes as u64);
-                        self.metrics
-                            .incr_labeled("node.drops", Labels::node(to.index() as u64), 1);
-                        if let Some(trace) = &mut self.trace {
-                            trace.record(TraceEvent {
-                                at: self.now,
-                                node: to,
-                                kind: TraceKind::Drop,
-                                from: Some(node),
-                                bytes,
-                                tag: None,
-                            });
-                        }
-                        continue;
-                    }
-                    if to.index() >= self.actors.len() {
-                        self.metrics.incr("net.dropped", 1);
+                        self.record_drop(node, to, bytes);
                         continue;
                     }
                     let seq = self.next_seq();
-                    self.push(Event {
+                    self.queue.push(Event {
                         at: sched.arrives,
                         seq,
                         node: to,
@@ -417,7 +429,7 @@ impl<M: Payload> Sim<M> {
                 Op::SetTimer { id, fire_at, tag } => {
                     let seq = self.next_seq();
                     let epoch = self.epochs[node.index()];
-                    self.push(Event {
+                    self.queue.push(Event {
                         at: fire_at,
                         seq,
                         node,
@@ -425,12 +437,38 @@ impl<M: Payload> Sim<M> {
                     });
                 }
                 Op::CancelTimer { id } => {
-                    self.cancelled_timers.insert(id);
+                    self.timers.cancel(id);
                 }
                 Op::Halt => {
                     self.halted[node.index()] = true;
                 }
             }
+        }
+    }
+
+    /// Accounts a message that died on the wire (fault plan or nonexistent
+    /// destination) and traces it.
+    fn record_drop(&mut self, from: NodeId, to: NodeId, bytes: usize) {
+        self.metrics.incr_handle(self.net_handles.dropped, 1);
+        self.metrics
+            .incr_handle(self.net_handles.dropped_bytes, bytes as u64);
+        match self.node_handles.get(to.index()) {
+            Some(handles) => self.metrics.incr_handle(handles.drops, 1),
+            // Out-of-range destination: no interned handle, take the slow
+            // path so the per-recipient cell still exists in the report.
+            None => self
+                .metrics
+                .incr_labeled("node.drops", Labels::node(to.index() as u64), 1),
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.record(TraceEvent {
+                at: self.now,
+                node: to,
+                kind: TraceKind::Drop,
+                from: Some(from),
+                bytes,
+                tag: None,
+            });
         }
     }
 }
@@ -449,6 +487,7 @@ impl<M> std::fmt::Debug for Sim<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::actor::{TimerId, TimerTag};
     use crate::net::LatencyModel;
 
     #[derive(Debug, Clone)]
@@ -616,16 +655,25 @@ mod tests {
     struct Ticker {
         fired: u32,
         starts: u32,
+        period: SimDuration,
+    }
+    impl Ticker {
+        fn with_period(period: SimDuration) -> Self {
+            Ticker {
+                period,
+                ..Ticker::default()
+            }
+        }
     }
     impl Actor<Msg> for Ticker {
         fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
             self.starts += 1;
-            ctx.set_timer(SimDuration::from_millis(100), TimerTag::of_kind(1));
+            ctx.set_timer(self.period, TimerTag::of_kind(1));
         }
         fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
         fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _: TimerTag) {
             self.fired += 1;
-            ctx.set_timer(SimDuration::from_millis(100), TimerTag::of_kind(1));
+            ctx.set_timer(self.period, TimerTag::of_kind(1));
         }
     }
 
@@ -635,7 +683,7 @@ mod tests {
         let mut sim: Sim<Msg> = Sim::new(5, net);
         let n = sim.add_node(
             LinkConfig::paper_default(),
-            Box::new(Ticker::default()),
+            Box::new(Ticker::with_period(SimDuration::from_millis(100))),
             SimTime::ZERO,
         );
         let mut faults = FaultPlan::none();
@@ -682,5 +730,180 @@ mod tests {
         sim.run_until(SimTime::from_secs(4));
         let after = sim.actor_as::<PingPong>(b).unwrap().pings_seen;
         assert_eq!(after, before + 1, "exactly the post-revival ping arrives");
+    }
+
+    #[test]
+    fn sends_to_unknown_nodes_account_full_drop_metrics() {
+        #[derive(Debug)]
+        struct Stray;
+        impl Actor<Msg> for Stray {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                ctx.send(NodeId(7), Msg::Ping(0)); // no such node
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+        }
+        let net = Network::new(LatencyModel::lan(), SimDuration::ZERO);
+        let mut sim: Sim<Msg> = Sim::new(2, net);
+        sim.add_node(LinkConfig::paper_default(), Box::new(Stray), SimTime::ZERO);
+        sim.enable_trace(16);
+        sim.run_until(SimTime::from_secs(1));
+        let m = sim.metrics();
+        assert_eq!(m.counter("net.dropped"), 1);
+        assert_eq!(m.counter("net.dropped_bytes"), 64);
+        assert_eq!(m.labeled_counter("node.drops", Labels::node(7)), 1);
+        // The send is still counted even though it never hit a wire.
+        assert_eq!(m.counter("net.messages"), 1);
+        assert_eq!(m.counter("net.bytes"), 64);
+        assert_eq!(sim.trace().unwrap().drops, 1);
+    }
+
+    #[test]
+    fn far_future_timers_cross_the_wheel_horizon() {
+        // An 80-minute period exceeds the ~73-minute wheel horizon, so
+        // every re-arm lands in the far heap and cascades back in.
+        let net = Network::new(LatencyModel::lan(), SimDuration::ZERO);
+        let mut sim: Sim<Msg> = Sim::new(11, net);
+        let n = sim.add_node(
+            LinkConfig::paper_default(),
+            Box::new(Ticker::with_period(SimDuration::from_secs(80 * 60))),
+            SimTime::ZERO,
+        );
+        sim.run_until(SimTime::from_secs(8 * 3600));
+        assert_eq!(sim.actor_as::<Ticker>(n).unwrap().fired, 6);
+    }
+
+    /// The differential-determinism suite: a chaotic workload (sends,
+    /// multicasts, timers, cancels, crashes, revivals, omission loss) run
+    /// under the production wheel and the classic global heap must produce
+    /// identical traces, metrics, and event counts.
+    mod differential {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Randomized actor whose every decision comes from the node's
+        /// deterministic RNG, so both schedulers see the same choices as
+        /// long as they replay the same event order.
+        #[derive(Debug, Default)]
+        struct Chaos {
+            held: Vec<TimerId>,
+            budget: u32,
+        }
+
+        impl Chaos {
+            fn act(&mut self, ctx: &mut Context<'_, Msg>) {
+                if self.budget == 0 {
+                    return;
+                }
+                self.budget -= 1;
+                match ctx.rng().gen_range(0..6u32) {
+                    0 => {
+                        let n = ctx.node_count();
+                        let to = NodeId(ctx.rng().gen_range(0..n));
+                        ctx.send(to, Msg::Ping(self.budget as u64));
+                    }
+                    1 => {
+                        let all: Vec<NodeId> = (0..ctx.node_count()).map(NodeId).collect();
+                        ctx.multicast(all, Msg::Pong(self.budget as u64));
+                    }
+                    2 | 3 => {
+                        let delay = SimDuration::from_millis(ctx.rng().gen_range(1..400));
+                        let id = ctx.set_timer(delay, TimerTag::of_kind(2));
+                        if ctx.rng().gen_bool(0.5) {
+                            self.held.push(id);
+                        }
+                    }
+                    4 => {
+                        if let Some(id) = self.held.pop() {
+                            ctx.cancel_timer(id);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        impl Actor<Msg> for Chaos {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                self.budget += 40;
+                self.act(ctx);
+                self.act(ctx);
+            }
+            fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _: NodeId, _: Msg) {
+                self.act(ctx);
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _: TimerTag) {
+                self.act(ctx);
+                self.act(ctx);
+            }
+        }
+
+        fn chaos_sim(
+            seed: u64,
+            nodes: u32,
+            crash_node: u32,
+            omit: bool,
+            classic: bool,
+        ) -> Sim<Msg> {
+            let net = Network::new(LatencyModel::lan(), SimDuration::ZERO);
+            let mut sim = if classic {
+                Sim::new_classic(seed, net)
+            } else {
+                Sim::new(seed, net)
+            };
+            sim.enable_trace(1 << 14);
+            for i in 0..nodes {
+                // The last node joins late to exercise unstarted delivery.
+                let start = if i == nodes - 1 {
+                    SimTime::from_millis(700)
+                } else {
+                    SimTime::ZERO
+                };
+                sim.add_node(LinkConfig::paper_default(), Box::<Chaos>::default(), start);
+            }
+            let mut faults = FaultPlan::none();
+            faults.crash_for(
+                NodeId(crash_node % nodes),
+                SimTime::from_millis(500),
+                SimTime::from_millis(1500),
+            );
+            if omit {
+                faults.omit_outgoing(NodeId((crash_node + 1) % nodes), 0.1);
+            }
+            sim.set_faults(faults);
+            sim
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+            #[test]
+            fn wheel_replays_classic_heap_exactly(
+                seed in 0u64..1_000_000,
+                nodes in 2u32..6,
+                crash_node in 0u32..6,
+                omit in proptest::bool::ANY,
+            ) {
+                let mut wheel = chaos_sim(seed, nodes, crash_node, omit, false);
+                let mut classic = chaos_sim(seed, nodes, crash_node, omit, true);
+                // Split the run so queue state carries across horizons.
+                for h in [1u64, 2, 4] {
+                    wheel.run_until(SimTime::from_secs(h));
+                    classic.run_until(SimTime::from_secs(h));
+                }
+                prop_assert_eq!(wheel.events_processed(), classic.events_processed());
+                let (wt, ct) = (wheel.trace().unwrap(), classic.trace().unwrap());
+                prop_assert_eq!(wt.total, ct.total);
+                prop_assert_eq!(wt.deliveries, ct.deliveries);
+                prop_assert_eq!(wt.timers, ct.timers);
+                prop_assert_eq!(wt.drops, ct.drops);
+                prop_assert_eq!(wt.delivered_bytes, ct.delivered_bytes);
+                let we: Vec<_> = wt.events().collect();
+                let ce: Vec<_> = ct.events().collect();
+                prop_assert_eq!(we, ce, "retained trace windows diverged");
+                prop_assert!(
+                    wheel.metrics().counters() == classic.metrics().counters(),
+                    "counter cells diverged"
+                );
+            }
+        }
     }
 }

@@ -55,6 +55,7 @@ pub mod engine;
 pub mod faults;
 pub mod metrics;
 pub mod net;
+pub(crate) mod queue;
 pub mod time;
 pub mod trace;
 
@@ -63,7 +64,9 @@ pub use actor::{
 };
 pub use engine::Sim;
 pub use faults::FaultPlan;
-pub use metrics::{BundleKey, CommitEvent, Labels, Metrics, RunReport, RunSummary, Stage};
+pub use metrics::{
+    BundleKey, CommitEvent, CounterHandle, Labels, Metrics, RunReport, RunSummary, Stage,
+};
 pub use net::{LatencyModel, LinkConfig, Network, Region, Scheduled};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent, TraceKind};

@@ -14,7 +14,7 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-pub use predis_telemetry::{BundleKey, Labels, RunReport, Stage};
+pub use predis_telemetry::{BundleKey, CounterHandle, Labels, RunReport, Stage};
 use predis_telemetry::{Counters, LogHistogram, Timelines};
 
 use crate::time::{SimDuration, SimTime};
@@ -75,6 +75,20 @@ impl Metrics {
     /// Overwrites a labeled cell — gauge semantics (last write wins).
     pub fn set_gauge(&mut self, name: &'static str, labels: Labels, value: u64) {
         self.counters.set(name, labels, value);
+    }
+
+    /// Interns a counter cell once, returning a [`CounterHandle`] for
+    /// [`Metrics::incr_handle`]. Interning alone leaves no trace in
+    /// reports; only written cells appear.
+    pub fn counter_handle(&mut self, name: &'static str, labels: Labels) -> CounterHandle {
+        self.counters.handle(name, labels)
+    }
+
+    /// Adds `n` through a pre-interned handle — no string hashing or map
+    /// lookup, the form per-event hot paths use.
+    #[inline]
+    pub fn incr_handle(&mut self, handle: CounterHandle, n: u64) {
+        self.counters.incr_by_handle(handle, n);
     }
 
     /// Reads one labeled cell (zero if never written).
@@ -321,6 +335,20 @@ mod tests {
         m.incr("x", 2);
         m.incr("x", 3);
         assert_eq!(m.counter("x"), 5);
+    }
+
+    #[test]
+    fn handles_and_names_share_cells() {
+        let mut m = Metrics::new();
+        let h = m.counter_handle("node.deliveries", Labels::node(3));
+        m.incr_handle(h, 5);
+        m.incr_labeled("node.deliveries", Labels::node(3), 2);
+        assert_eq!(m.labeled_counter("node.deliveries", Labels::node(3)), 7);
+        // An interned-but-unwritten handle does not show up in reports.
+        let _idle = m.counter_handle("node.drops", Labels::node(3));
+        let report = m.run_report("handles");
+        assert_eq!(report.counter("node.deliveries", Labels::node(3)), 7);
+        assert!(report.counters.iter().all(|c| c.name != "node.drops"));
     }
 
     #[test]

@@ -1,0 +1,551 @@
+//! The engine's future-event set: a hierarchical timer wheel plus the
+//! generation-counted timer-slot table.
+//!
+//! The discrete-event loop pops millions of events per simulated second,
+//! and a binary heap pays `O(log n)` comparisons on every one of them. A
+//! hashed hierarchical timer wheel (Varghese & Lauck) makes both `push`
+//! and `pop` O(1) amortized: near-future events land in fine-grained
+//! buckets (one tick ≈ 262 µs, a fraction of the LAN link latency),
+//! farther events in exponentially coarser wheels that cascade down as
+//! the cursor reaches them, and anything beyond the wheel horizon
+//! (~20 min) falls back to a small binary heap.
+//!
+//! Ordering is preserved exactly: events inside one tick are drained
+//! through a per-tick heap ordered by `(time, seq)`, coarser buckets are
+//! re-scattered before anything in them is popped, and the cursor only
+//! ever advances to the earliest occupied bucket — so the wheel replays
+//! the same total `(time, seq)` order as the old global heap,
+//! event-for-event.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::actor::{NodeId, TimerId, TimerTag};
+use crate::time::SimTime;
+
+/// What happens when an event is dispatched to its node.
+#[derive(Debug)]
+pub(crate) enum EventKind<M> {
+    /// The node joins the simulation and its actor's `on_start` runs.
+    Start,
+    /// A message arrives.
+    Deliver {
+        /// Sending node.
+        from: NodeId,
+        /// The message itself.
+        msg: M,
+        /// Wire size memoized when the message was sent; delivery metrics
+        /// and the trace read it instead of re-walking the payload.
+        bytes: usize,
+    },
+    /// An armed timer fires.
+    Timer {
+        /// Slot-and-generation handle minted by [`TimerSlots::arm`].
+        id: TimerId,
+        /// Actor-chosen discriminator passed back to `on_timer`.
+        tag: TimerTag,
+        /// Node epoch at arming time; a revival bumps the epoch and
+        /// orphans older timers.
+        epoch: u32,
+    },
+    /// The node fail-stops (from the fault plan).
+    Crash,
+    /// The node recovers from a crash window.
+    Revive,
+}
+
+/// A scheduled event, totally ordered by `(at, seq)`.
+pub(crate) struct Event<M> {
+    pub(crate) at: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) node: NodeId,
+    pub(crate) kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// log2 of the tick width in nanoseconds: one tick ≈ 2.1 ms. Level 0 then
+/// spans 64 ticks ≈ 134 ms — wider than any one LAN/WAN hop — so nearly
+/// every delivery files straight into a level-0 bucket (one placement, no
+/// cascade) and the per-tick ordering heap stays small (only events within
+/// one 2 ms window ever share it).
+const TICK_BITS: u32 = 21;
+/// log2 of the slots per wheel level.
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Wheel levels; ticks differing only in the low `SLOT_BITS * LEVELS`
+/// bits are wheel-resident, everything farther goes to the fallback heap.
+const LEVELS: usize = 4;
+/// Total tick bits covered by the wheels (horizon ≈ 2^45 ns ≈ 9.8 h).
+const WHEEL_BITS: u32 = SLOT_BITS * LEVELS as u32;
+
+#[inline]
+fn tick_of(at: SimTime) -> u64 {
+    at.as_nanos() >> TICK_BITS
+}
+
+/// Hierarchical timer wheel over [`Event`]s. See the module docs for the
+/// layout and the ordering argument.
+pub(crate) struct TimerWheel<M> {
+    /// Tick of the bucket currently being drained. Invariant: no stored
+    /// event has a tick below this, and `cur_tick <= tick_of(now)`.
+    cur_tick: u64,
+    /// Events of the current tick, ordered exactly by `(at, seq)`.
+    current: BinaryHeap<Reverse<Event<M>>>,
+    /// `LEVELS * SLOTS` buckets, flattened level-major. A level-`l` slot
+    /// groups events whose tick agrees with the cursor above digit `l`
+    /// and first differs at digit `l`.
+    slots: Vec<Vec<Event<M>>>,
+    /// Per-level occupancy bitmap (bit = slot has events).
+    occupied: [u64; LEVELS],
+    /// Events beyond the wheel horizon.
+    far: BinaryHeap<Reverse<Event<M>>>,
+    /// Reused buffer for cascading a coarse bucket (keeps the drain
+    /// allocation-free once warm).
+    cascade_scratch: Vec<Event<M>>,
+    len: usize,
+}
+
+impl<M> TimerWheel<M> {
+    pub(crate) fn new() -> Self {
+        TimerWheel {
+            cur_tick: 0,
+            current: BinaryHeap::new(),
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; LEVELS],
+            far: BinaryHeap::new(),
+            cascade_scratch: Vec::new(),
+            len: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(crate) fn push(&mut self, event: Event<M>) {
+        self.len += 1;
+        self.place(event);
+    }
+
+    /// Files an event into the structure matching its distance from the
+    /// cursor. Does not touch `len` (cascades re-place events).
+    fn place(&mut self, event: Event<M>) {
+        debug_assert!(
+            tick_of(event.at) >= self.cur_tick,
+            "event scheduled behind the wheel cursor"
+        );
+        // Clamp defensively: a past-time push (impossible through the
+        // engine, which asserts `at >= now`) degrades to "fires next",
+        // which is also what the old global heap did.
+        let tick = tick_of(event.at).max(self.cur_tick);
+        let diff = tick ^ self.cur_tick;
+        if diff == 0 {
+            self.current.push(Reverse(event));
+            return;
+        }
+        // Highest differing digit picks the level: the event's digits
+        // above it match the cursor, so the bucket needs no further
+        // qualification and is drained before the cursor's digit at that
+        // level can pass it.
+        let level = ((63 - diff.leading_zeros()) / SLOT_BITS) as usize;
+        if level >= LEVELS {
+            self.far.push(Reverse(event));
+            return;
+        }
+        let slot = ((tick >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        self.slots[level * SLOTS + slot].push(event);
+        self.occupied[level] |= 1 << slot;
+    }
+
+    /// Pops the next event with `at <= horizon`, in exact `(at, seq)`
+    /// order, or `None` (leaving the cursor untouched past the horizon).
+    pub(crate) fn pop_next(&mut self, horizon: SimTime) -> Option<Event<M>> {
+        loop {
+            // 1. The current tick's heap replays exact order.
+            if let Some(Reverse(head)) = self.current.peek() {
+                if head.at > horizon {
+                    return None;
+                }
+                let Reverse(event) = self.current.pop().expect("peeked");
+                self.len -= 1;
+                return Some(event);
+            }
+
+            // 2. Earliest occupied bucket strictly ahead of the cursor.
+            //    At each level only slots above the cursor's digit can be
+            //    occupied (lower digits would have placed at a finer
+            //    level), and the finest such bucket is the nearest.
+            let mut best: Option<(u64, usize)> = None;
+            for level in 0..LEVELS {
+                let digit = (self.cur_tick >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1);
+                let ahead = self.occupied[level] & ((!0u64 << digit) << 1);
+                if ahead == 0 {
+                    continue;
+                }
+                let slot = u64::from(ahead.trailing_zeros());
+                let width = SLOT_BITS * level as u32;
+                let span = (1u64 << (width + SLOT_BITS)) - 1;
+                let base = (self.cur_tick & !span) | (slot << width);
+                if best.is_none_or(|(b, _)| base < b) {
+                    best = Some((base, level));
+                }
+            }
+
+            let Some((base, level)) = best else {
+                // 3. Wheels empty — pull the far heap's front window in.
+                let head_at = match self.far.peek() {
+                    Some(Reverse(head)) => head.at,
+                    None => return None,
+                };
+                if head_at > horizon {
+                    return None;
+                }
+                self.cur_tick = tick_of(head_at);
+                while let Some(Reverse(head)) = self.far.peek() {
+                    if (tick_of(head.at) ^ self.cur_tick) >> WHEEL_BITS != 0 {
+                        break;
+                    }
+                    let Reverse(event) = self.far.pop().expect("peeked");
+                    self.place(event);
+                }
+                continue;
+            };
+
+            // Nothing in the bucket can fire before its base tick; if even
+            // that is past the horizon, stop without advancing the cursor
+            // (keeps `cur_tick <= tick_of(now)` for future pushes).
+            if base << TICK_BITS > horizon.as_nanos() {
+                return None;
+            }
+            self.cur_tick = base;
+            let digit = ((base >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+            self.occupied[level] &= !(1u64 << digit);
+            // Drain the bucket without giving up anyone's capacity: the
+            // slot Vec, the current heap's buffer, and the cascade scratch
+            // are all reused, so steady-state draining never allocates.
+            if level == 0 {
+                // A level-0 bucket holds exactly one tick; heapify it as
+                // the new current tick (O(n)).
+                debug_assert!(self.current.is_empty());
+                let mut buf = std::mem::take(&mut self.current).into_vec();
+                buf.clear();
+                buf.extend(self.slots[digit].drain(..).map(Reverse));
+                self.current = BinaryHeap::from(buf);
+            } else {
+                // Coarser bucket: re-scatter relative to the new cursor.
+                let mut scratch = std::mem::take(&mut self.cascade_scratch);
+                scratch.append(&mut self.slots[level * SLOTS + digit]);
+                for event in scratch.drain(..) {
+                    self.place(event);
+                }
+                self.cascade_scratch = scratch;
+            }
+        }
+    }
+}
+
+/// The old scheduler — one global `(at, seq)` heap — kept as the ordering
+/// oracle for differential tests.
+#[cfg(test)]
+pub(crate) struct ClassicHeap<M> {
+    heap: BinaryHeap<Reverse<Event<M>>>,
+}
+
+#[cfg(test)]
+impl<M> ClassicHeap<M> {
+    pub(crate) fn new() -> Self {
+        ClassicHeap {
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    pub(crate) fn push(&mut self, event: Event<M>) {
+        self.heap.push(Reverse(event));
+    }
+
+    pub(crate) fn pop_next(&mut self, horizon: SimTime) -> Option<Event<M>> {
+        match self.heap.peek() {
+            Some(Reverse(head)) if head.at <= horizon => Some(self.heap.pop().expect("peeked").0),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// The engine's pluggable future-event set. Production always runs the
+/// wheel; the classic heap exists so differential tests can replay the
+/// same workload under both and demand identical traces.
+pub(crate) enum EventQueue<M> {
+    Wheel(TimerWheel<M>),
+    #[cfg(test)]
+    Classic(ClassicHeap<M>),
+}
+
+impl<M> EventQueue<M> {
+    pub(crate) fn wheel() -> Self {
+        EventQueue::Wheel(TimerWheel::new())
+    }
+
+    #[cfg(test)]
+    pub(crate) fn classic() -> Self {
+        EventQueue::Classic(ClassicHeap::new())
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, event: Event<M>) {
+        match self {
+            EventQueue::Wheel(w) => w.push(event),
+            #[cfg(test)]
+            EventQueue::Classic(h) => h.push(event),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn pop_next(&mut self, horizon: SimTime) -> Option<Event<M>> {
+        match self {
+            EventQueue::Wheel(w) => w.pop_next(horizon),
+            #[cfg(test)]
+            EventQueue::Classic(h) => h.pop_next(horizon),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            EventQueue::Wheel(w) => w.len(),
+            #[cfg(test)]
+            EventQueue::Classic(h) => h.len(),
+        }
+    }
+}
+
+/// Timer liveness via slot generations instead of a tombstone set.
+///
+/// `arm` hands out `TimerId`s packing `(generation << 32) | slot`;
+/// `resolve` (called when the timer event pops) and `cancel` both bump
+/// the slot's generation, so whichever happens second sees a stale id and
+/// becomes a no-op. Slots recycle through a free list, so a run's live
+/// timer count — not its total timer count — bounds the memory, and
+/// cancelled timers of crashed or revived nodes cost nothing beyond
+/// their slot flip. (The old `HashSet<TimerId>` tombstones leaked
+/// whenever a cancelled timer's pop was swallowed by a halted node.)
+#[derive(Debug, Default)]
+pub(crate) struct TimerSlots {
+    /// Current generation per slot; ids carrying an older one are dead.
+    gens: Vec<u32>,
+    /// Slots available for re-arming.
+    free: Vec<u32>,
+}
+
+impl TimerSlots {
+    pub(crate) fn new() -> Self {
+        TimerSlots::default()
+    }
+
+    /// Mints a live timer id.
+    pub(crate) fn arm(&mut self) -> TimerId {
+        let slot = match self.free.pop() {
+            Some(s) => s as usize,
+            None => {
+                self.gens.push(0);
+                self.gens.len() - 1
+            }
+        };
+        TimerId((u64::from(self.gens[slot]) << 32) | slot as u64)
+    }
+
+    /// Consumes the id: true if it was still live (the slot is freed for
+    /// reuse either way once the generation matches).
+    pub(crate) fn resolve(&mut self, id: TimerId) -> bool {
+        let slot = (id.0 & u64::from(u32::MAX)) as usize;
+        let gen = (id.0 >> 32) as u32;
+        match self.gens.get_mut(slot) {
+            Some(g) if *g == gen => {
+                *g = g.wrapping_add(1);
+                self.free.push(slot as u32);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Cancels a timer; a later `resolve` of the same id returns false.
+    pub(crate) fn cancel(&mut self, id: TimerId) {
+        self.resolve(id);
+    }
+
+    /// Slots ever allocated (== peak live timers), for leak assertions.
+    #[cfg(test)]
+    pub(crate) fn slot_count(&self) -> usize {
+        self.gens.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn ev(at_nanos: u64, seq: u64) -> Event<()> {
+        Event {
+            at: SimTime::from_nanos(at_nanos),
+            seq,
+            node: NodeId(0),
+            kind: EventKind::Start,
+        }
+    }
+
+    /// Pushes the same random stream into the wheel and the classic heap,
+    /// interleaving pops at random horizons, and demands the exact same
+    /// `(at, seq)` pop order.
+    fn differential(seed: u64, spread_bits: u32) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut wheel = TimerWheel::new();
+        let mut heap = ClassicHeap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        for _round in 0..200 {
+            // A burst of pushes at `now + random offset` (offsets collide
+            // across ticks, levels, and the far horizon).
+            for _ in 0..rng.gen_range(0..8u32) {
+                let at = now + rng.gen_range(0..(1u64 << spread_bits));
+                wheel.push(ev(at, seq));
+                heap.push(ev(at, seq));
+                seq += 1;
+            }
+            // Drain up to a horizon a bit past `now`.
+            let horizon = SimTime::from_nanos(now + rng.gen_range(0..(1u64 << spread_bits)));
+            loop {
+                let a = wheel.pop_next(horizon);
+                let b = heap.pop_next(horizon);
+                match (a, b) {
+                    (None, None) => break,
+                    (Some(x), Some(y)) => {
+                        assert_eq!((x.at, x.seq), (y.at, y.seq), "pop order diverged");
+                        now = now.max(x.at.as_nanos());
+                    }
+                    (a, b) => panic!(
+                        "queues disagree on emptiness: wheel={:?} heap={:?}",
+                        a.map(|e| (e.at, e.seq)),
+                        b.map(|e| (e.at, e.seq))
+                    ),
+                }
+            }
+            now = now.max(horizon.as_nanos());
+            assert_eq!(wheel.len(), heap.len());
+        }
+    }
+
+    #[test]
+    fn wheel_matches_heap_within_level0() {
+        differential(1, TICK_BITS + 2);
+    }
+
+    #[test]
+    fn wheel_matches_heap_across_levels() {
+        differential(2, TICK_BITS + WHEEL_BITS - 4);
+    }
+
+    #[test]
+    fn wheel_matches_heap_including_far_heap() {
+        // Offsets beyond the wheel horizon exercise the far fallback.
+        differential(3, TICK_BITS + WHEEL_BITS + 6);
+    }
+
+    #[test]
+    fn seq_breaks_ties_within_one_tick() {
+        let mut wheel = TimerWheel::new();
+        for seq in [5u64, 1, 3, 2, 4] {
+            wheel.push(ev(100, seq));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| wheel.pop_next(SimTime::MAX))
+            .map(|e| e.seq)
+            .collect();
+        assert_eq!(order, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn horizon_is_inclusive_and_cursor_stays_put() {
+        let mut wheel = TimerWheel::new();
+        wheel.push(ev(1 << 30, 0));
+        assert!(wheel.pop_next(SimTime::from_nanos((1 << 30) - 1)).is_none());
+        // The failed pop must not have advanced the cursor: a nearer event
+        // pushed afterwards still pops first.
+        wheel.push(ev(1 << 20, 1));
+        let e = wheel.pop_next(SimTime::from_nanos(1 << 30)).unwrap();
+        assert_eq!(e.seq, 1);
+        assert_eq!(wheel.pop_next(SimTime::from_nanos(1 << 30)).unwrap().seq, 0);
+        assert_eq!(wheel.len(), 0);
+    }
+
+    #[test]
+    fn pushes_during_drain_of_same_tick_stay_ordered() {
+        let mut wheel = TimerWheel::new();
+        wheel.push(ev(100, 0));
+        wheel.push(ev(200, 1));
+        assert_eq!(wheel.pop_next(SimTime::MAX).unwrap().seq, 0);
+        // Same tick as the event just popped, later seq.
+        wheel.push(ev(150, 2));
+        assert_eq!(wheel.pop_next(SimTime::MAX).unwrap().seq, 2);
+        assert_eq!(wheel.pop_next(SimTime::MAX).unwrap().seq, 1);
+    }
+
+    #[test]
+    fn timer_slots_recycle_and_invalidate() {
+        let mut slots = TimerSlots::new();
+        let a = slots.arm();
+        let b = slots.arm();
+        assert_ne!(a, b);
+        assert!(slots.resolve(a), "first resolve sees a live timer");
+        assert!(!slots.resolve(a), "second resolve of the same id is dead");
+        slots.cancel(b);
+        assert!(!slots.resolve(b), "cancelled timer never fires");
+        // The freed slots are reused with a fresh generation.
+        let c = slots.arm();
+        let d = slots.arm();
+        assert_eq!(slots.slot_count(), 2);
+        assert_ne!(c, a);
+        assert_ne!(d, b);
+        assert!(slots.resolve(c));
+        assert!(slots.resolve(d));
+    }
+
+    #[test]
+    fn timer_slots_growth_is_bounded_by_live_timers() {
+        let mut slots = TimerSlots::new();
+        for _ in 0..10_000 {
+            let id = slots.arm();
+            slots.cancel(id);
+        }
+        assert_eq!(slots.slot_count(), 1, "arm/cancel churn reuses one slot");
+    }
+
+    #[test]
+    fn fabricated_timer_ids_are_dead() {
+        let mut slots = TimerSlots::new();
+        assert!(!slots.resolve(TimerId(42)), "unknown slot");
+        let real = slots.arm();
+        assert!(!slots.resolve(TimerId(real.0 | (7 << 32))), "wrong gen");
+        assert!(slots.resolve(real));
+    }
+}

@@ -2,8 +2,13 @@
 //!
 //! A metric name plus a [`Labels`] triple (node, chain, zone — each
 //! optional) keys a `u64` cell. [`Counters::incr`] accumulates monotonic
-//! counts; [`Counters::set`] is last-write-wins for gauges. The map is a
-//! `BTreeMap` so iteration (and therefore every report) is deterministic.
+//! counts; [`Counters::set`] is last-write-wins for gauges. Cell values
+//! live in a dense `Vec<u64>` indexed by a `BTreeMap`, so iteration (and
+//! therefore every report) is deterministic, while hot paths can skip the
+//! map entirely: [`Counters::handle`] interns a cell once and returns a
+//! [`CounterHandle`] whose [`Counters::incr_by_handle`] is a bare array
+//! add. Cells that were interned but never written are invisible to
+//! [`Counters::iter`], so pre-registering handles does not change reports.
 
 use std::collections::BTreeMap;
 
@@ -101,10 +106,26 @@ impl Labels {
     }
 }
 
+/// A pre-resolved reference to one counter cell, obtained from
+/// [`Counters::handle`]. Incrementing through a handle is a dense-array
+/// add with no string hashing or tree walk — the form hot loops want.
+///
+/// Handles are only meaningful for the `Counters` instance that minted
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterHandle(u32);
+
 /// A deterministic map of labeled counter/gauge cells.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct Counters {
-    map: BTreeMap<(&'static str, Labels), u64>,
+    /// Deterministic (name, labels) → cell index. Interning order does not
+    /// matter; reports walk this tree in key order.
+    index: BTreeMap<(&'static str, Labels), u32>,
+    /// Dense cell storage, indexed by [`CounterHandle`].
+    cells: Vec<u64>,
+    /// Whether the cell was ever written. Interned-but-unwritten cells are
+    /// skipped by `iter`/`len` so pre-registered handles leave no trace.
+    touched: Vec<bool>,
 }
 
 impl Counters {
@@ -113,45 +134,94 @@ impl Counters {
         Counters::default()
     }
 
+    fn intern(&mut self, name: &'static str, labels: Labels) -> usize {
+        match self.index.entry((name, labels)) {
+            std::collections::btree_map::Entry::Occupied(e) => *e.get() as usize,
+            std::collections::btree_map::Entry::Vacant(v) => {
+                let idx = self.cells.len();
+                v.insert(idx as u32);
+                self.cells.push(0);
+                self.touched.push(false);
+                idx
+            }
+        }
+    }
+
+    /// Interns the cell (at zero, unwritten) and returns a reusable handle
+    /// for [`Counters::incr_by_handle`].
+    pub fn handle(&mut self, name: &'static str, labels: Labels) -> CounterHandle {
+        CounterHandle(self.intern(name, labels) as u32)
+    }
+
     /// Adds `by` to the cell (creating it at zero).
     pub fn incr(&mut self, name: &'static str, labels: Labels, by: u64) {
-        *self.map.entry((name, labels)).or_insert(0) += by;
+        let idx = self.intern(name, labels);
+        self.cells[idx] += by;
+        self.touched[idx] = true;
+    }
+
+    /// Adds `by` to a pre-interned cell — the O(1) hot path.
+    #[inline]
+    pub fn incr_by_handle(&mut self, handle: CounterHandle, by: u64) {
+        let idx = handle.0 as usize;
+        self.cells[idx] += by;
+        self.touched[idx] = true;
     }
 
     /// Overwrites the cell — gauge semantics.
     pub fn set(&mut self, name: &'static str, labels: Labels, value: u64) {
-        self.map.insert((name, labels), value);
+        let idx = self.intern(name, labels);
+        self.cells[idx] = value;
+        self.touched[idx] = true;
     }
 
     /// The cell's value, or 0 if never touched.
     pub fn get(&self, name: &str, labels: Labels) -> u64 {
-        self.map.get(&(name, labels)).copied().unwrap_or(0)
+        self.index
+            .get(&(name, labels))
+            .map(|&idx| self.cells[idx as usize])
+            .unwrap_or(0)
     }
 
     /// Sum of all cells with this metric name, across every label combination.
     pub fn total(&self, name: &str) -> u64 {
-        self.map
+        self.index
             .iter()
             .filter(|((n, _), _)| *n == name)
-            .map(|(_, v)| v)
+            .map(|(_, &idx)| self.cells[idx as usize])
             .sum()
     }
 
-    /// All cells, in deterministic (name, labels) order.
+    /// All written cells, in deterministic (name, labels) order. Cells that
+    /// were interned via [`Counters::handle`] but never incremented or set
+    /// are omitted.
     pub fn iter(&self) -> impl Iterator<Item = (&'static str, Labels, u64)> + '_ {
-        self.map.iter().map(|(&(n, l), &v)| (n, l, v))
+        self.index
+            .iter()
+            .filter(move |(_, &idx)| self.touched[idx as usize])
+            .map(move |(&(n, l), &idx)| (n, l, self.cells[idx as usize]))
     }
 
-    /// Number of distinct cells.
+    /// Number of distinct written cells.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.touched.iter().filter(|&&t| t).count()
     }
 
-    /// True when no cell exists.
+    /// True when no written cell exists.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len() == 0
     }
 }
+
+/// Logical equality: the same written cells with the same values,
+/// regardless of handle interning order or unwritten registrations.
+impl PartialEq for Counters {
+    fn eq(&self, other: &Self) -> bool {
+        self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for Counters {}
 
 #[cfg(test)]
 mod tests {
@@ -190,6 +260,46 @@ mod tests {
         }
         assert!(Labels::parse("shard=1").is_err());
         assert!(Labels::parse("node=x").is_err());
+    }
+
+    #[test]
+    fn handles_hit_the_same_cells_as_names() {
+        let mut c = Counters::new();
+        let h = c.handle("node.deliveries", Labels::node(1));
+        c.incr_by_handle(h, 2);
+        c.incr("node.deliveries", Labels::node(1), 3);
+        c.incr_by_handle(h, 1);
+        assert_eq!(c.get("node.deliveries", Labels::node(1)), 6);
+        // Re-interning the same key returns the same handle.
+        assert_eq!(c.handle("node.deliveries", Labels::node(1)), h);
+    }
+
+    #[test]
+    fn unwritten_handles_are_invisible() {
+        let mut c = Counters::new();
+        let _idle = c.handle("node.drops", Labels::node(7));
+        let hot = c.handle("node.deliveries", Labels::node(7));
+        c.incr_by_handle(hot, 1);
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+        let cells: Vec<_> = c.iter().collect();
+        assert_eq!(cells, vec![("node.deliveries", Labels::node(7), 1)]);
+        // get() still reads the unwritten cell as zero.
+        assert_eq!(c.get("node.drops", Labels::node(7)), 0);
+    }
+
+    #[test]
+    fn equality_ignores_interning_differences() {
+        let mut a = Counters::new();
+        let _ = a.handle("x", Labels::GLOBAL); // interned, never written
+        a.incr("y", Labels::node(1), 4);
+
+        let mut b = Counters::new();
+        b.incr("y", Labels::node(1), 4);
+        assert_eq!(a, b);
+
+        b.incr("y", Labels::node(1), 1);
+        assert_ne!(a, b);
     }
 
     #[test]

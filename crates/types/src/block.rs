@@ -9,7 +9,7 @@
 //! not grow with the transaction volume — the property Fig. 5 measures
 //! against Narwhal's and Stratus's digest-list proposals.
 
-use predis_crypto::{Hash, Keypair, Signature, SignerId};
+use predis_crypto::{Hash, Keypair, Sha256, Signature, SignerId};
 use serde::{Deserialize, Serialize};
 
 use crate::ids::{ChainId, Height, View};
@@ -41,23 +41,22 @@ pub struct PredisBlock {
 
 impl PredisBlock {
     /// The digest the leader signs (everything except the signature).
+    /// Streams fields into the hasher without intermediate buffers.
     pub fn digest(&self) -> Hash {
-        let mut parts: Vec<Vec<u8>> = vec![
-            b"predis-block".to_vec(),
-            self.parent.as_bytes().to_vec(),
-            self.view.0.to_be_bytes().to_vec(),
-            self.tx_root.as_bytes().to_vec(),
-        ];
+        let mut h = Sha256::new();
+        h.update(b"predis-block");
+        h.update(self.parent.as_bytes());
+        h.update(&self.view.0.to_be_bytes());
+        h.update(self.tx_root.as_bytes());
         for (i, (b, c)) in self.base.iter().zip(&self.cut).enumerate() {
-            parts.push(b.0.to_be_bytes().to_vec());
-            parts.push(c.0.to_be_bytes().to_vec());
+            h.update(&b.0.to_be_bytes());
+            h.update(&c.0.to_be_bytes());
             match &self.headers[i] {
-                Some(h) => parts.push(h.as_bytes().to_vec()),
-                None => parts.push(vec![0u8]),
+                Some(hd) => h.update(hd.as_bytes()),
+                None => h.update(&[0u8]),
             }
         }
-        let refs: Vec<&[u8]> = parts.iter().map(Vec::as_slice).collect();
-        Hash::digest_parts(&refs)
+        Hash(h.finalize())
     }
 
     /// The block's identity hash.
@@ -177,21 +176,21 @@ impl ProposalPayload {
     pub fn digest(&self) -> Hash {
         match self {
             ProposalPayload::Batch(txs) => {
-                let mut parts: Vec<Vec<u8>> = vec![b"batch".to_vec()];
+                let mut h = Sha256::new();
+                h.update(b"batch");
                 for tx in txs {
-                    parts.push(tx.hash().as_bytes().to_vec());
+                    h.update(tx.hash().as_bytes());
                 }
-                let refs: Vec<&[u8]> = parts.iter().map(Vec::as_slice).collect();
-                Hash::digest_parts(&refs)
+                Hash(h.finalize())
             }
             ProposalPayload::Predis(block) => block.hash(),
             ProposalPayload::Digests(refs) => {
-                let mut parts: Vec<Vec<u8>> = vec![b"digests".to_vec()];
+                let mut h = Sha256::new();
+                h.update(b"digests");
                 for r in refs {
-                    parts.push(r.digest.as_bytes().to_vec());
+                    h.update(r.digest.as_bytes());
                 }
-                let refs2: Vec<&[u8]> = parts.iter().map(Vec::as_slice).collect();
-                Hash::digest_parts(&refs2)
+                Hash(h.finalize())
             }
         }
     }

@@ -7,7 +7,7 @@
 //! stripe Merkle root (for Multi-Zone erasure dissemination), and the
 //! producer's signature.
 
-use predis_crypto::{Hash, Keypair, MerkleTree, Signature, SignerId};
+use predis_crypto::{Hash, Keypair, MerkleTree, Sha256, Signature, SignerId};
 use serde::{Deserialize, Serialize};
 
 use crate::ids::{ChainId, Height};
@@ -36,20 +36,22 @@ pub struct BundleHeader {
 
 impl BundleHeader {
     /// The digest the producer signs (everything except the signature).
+    ///
+    /// Streams the fields straight into the hasher — same digest as
+    /// concatenating them, without building intermediate buffers (this runs
+    /// once per append on every replica's hot path).
     pub fn digest(&self) -> Hash {
-        let mut parts: Vec<Vec<u8>> = vec![
-            b"bundle-header".to_vec(),
-            self.chain.0.to_be_bytes().to_vec(),
-            self.height.0.to_be_bytes().to_vec(),
-            self.parent.as_bytes().to_vec(),
-            self.tx_root.as_bytes().to_vec(),
-            self.stripe_root.as_bytes().to_vec(),
-        ];
-        for h in self.tips.heights() {
-            parts.push(h.0.to_be_bytes().to_vec());
+        let mut h = Sha256::new();
+        h.update(b"bundle-header");
+        h.update(&self.chain.0.to_be_bytes());
+        h.update(&self.height.0.to_be_bytes());
+        h.update(self.parent.as_bytes());
+        h.update(self.tx_root.as_bytes());
+        h.update(self.stripe_root.as_bytes());
+        for height in self.tips.heights() {
+            h.update(&height.0.to_be_bytes());
         }
-        let refs: Vec<&[u8]> = parts.iter().map(Vec::as_slice).collect();
-        Hash::digest_parts(&refs)
+        Hash(h.finalize())
     }
 
     /// The header's identity hash (same as [`BundleHeader::digest`]).

@@ -21,8 +21,11 @@
 
 use std::fmt;
 use std::ops::Deref;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
+use predis_crypto::Hash;
+
+use crate::block::ProposalPayload;
 use crate::bundle::Bundle;
 use crate::wire::WireSize;
 
@@ -84,14 +87,37 @@ impl<T: WireSize + ?Sized> WireSize for Shared<T> {
     }
 }
 
+/// Lazily computed facts about a shared payload, stored next to (and with
+/// the same lifetime as) the allocation they describe.
+///
+/// The cell is reference-counted separately from the value so that every
+/// `Clone` of the owning [`SizedPayload`] — i.e. every simulated recipient
+/// of a multicast — reads and writes the *same* memo. The payload behind a
+/// [`SizedPayload`] is immutable (there is no mutable access), so a
+/// memoized digest or verification verdict can never go stale.
+#[derive(Default)]
+struct PayloadMemo {
+    digest: OnceLock<Hash>,
+    verified: OnceLock<bool>,
+}
+
 /// A [`Shared`] payload whose wire size was computed once at construction.
 ///
 /// Cloning bumps a reference count; [`WireSize::wire_size`] returns the
 /// memoized size (with a debug assertion that it still matches the
 /// recomputed one, so the cache can never silently drift).
+///
+/// Beyond the wire size, the payload carries a memo cell shared by
+/// all clones: identity digests and verification verdicts are computed on
+/// first use and then served from the allocation. Like payload sharing
+/// itself this is a *simulator* optimization — digesting or verifying a
+/// payload costs no simulated time, so memoizing it changes no simulated
+/// observable; it only removes redundant host CPU work when fifteen
+/// replicas each "independently" hash the same bytes.
 pub struct SizedPayload<T: WireSize> {
     value: Shared<T>,
     wire: usize,
+    memo: Shared<PayloadMemo>,
 }
 
 impl<T: WireSize> SizedPayload<T> {
@@ -103,7 +129,20 @@ impl<T: WireSize> SizedPayload<T> {
         SizedPayload {
             value: Shared::new(value),
             wire,
+            memo: Shared::new(PayloadMemo::default()),
         }
+    }
+
+    /// The payload's identity digest, computed by `compute` on first call
+    /// and memoized in the shared allocation afterwards.
+    pub fn memo_digest(&self, compute: impl FnOnce(&T) -> Hash) -> Hash {
+        *self.memo.digest.get_or_init(|| compute(&self.value))
+    }
+
+    /// The payload's verification verdict, computed by `compute` on the
+    /// first call and memoized in the shared allocation afterwards.
+    pub fn memo_verify(&self, compute: impl FnOnce(&T) -> bool) -> bool {
+        *self.memo.verified.get_or_init(|| compute(&self.value))
     }
 
     /// The shared handle (for stores that keep the same allocation the
@@ -123,6 +162,7 @@ impl<T: WireSize> Clone for SizedPayload<T> {
         SizedPayload {
             value: self.value.clone(),
             wire: self.wire,
+            memo: self.memo.clone(),
         }
     }
 }
@@ -168,6 +208,33 @@ impl<T: WireSize> From<T> for SizedPayload<T> {
 /// The workhorse alias: a bundle shared between the network, the mempool,
 /// and the dissemination layer without copies.
 pub type SizedBundle = SizedPayload<Bundle>;
+
+// Inherent methods take precedence over `Deref`, so existing call sites on
+// the shared wrappers pick up the memoized forms without being touched.
+// Calls on a bare `Bundle`/`ProposalPayload` still recompute — hand-built
+// (possibly tampered) values in tests keep their semantics.
+impl SizedPayload<Bundle> {
+    /// [`Bundle::hash`], computed once per allocation.
+    pub fn hash(&self) -> Hash {
+        self.memo_digest(Bundle::hash)
+    }
+
+    /// [`Bundle::verify`], computed once per allocation: of the `n - 1`
+    /// simulated recipients of a producer's multicast, the first to insert
+    /// the bundle runs the signature + Merkle check and the rest reuse the
+    /// verdict.
+    pub fn verify(&self) -> bool {
+        self.memo_verify(Bundle::verify)
+    }
+}
+
+impl SizedPayload<ProposalPayload> {
+    /// [`ProposalPayload::digest`], computed once per allocation instead of
+    /// once per replica receiving the proposal.
+    pub fn digest(&self) -> Hash {
+        self.memo_digest(ProposalPayload::digest)
+    }
+}
 
 /// Thread-local materialization counters.
 ///
