@@ -20,15 +20,16 @@ use crate::sweep::{Runner, SweepOutcome, SweepPoint};
 
 /// Version of the artifact schema; part of the default file name so stale
 /// baselines fail loudly instead of comparing apples to oranges.
-pub const BENCH_SCHEMA_VERSION: u64 = 5;
+pub const BENCH_SCHEMA_VERSION: u64 = 6;
 
 /// Oldest schema version [`BenchArtifact::from_json`] still reads. Version 2
-/// artifacts lack the `payload_clones` field and versions before 5 lack the
-/// nested `perf` block (both defaulted to 0 on read), so an old baseline
-/// still diffs against a new run.
+/// artifacts lack the `payload_clones` field, versions before 5 lack the
+/// nested `perf` block, and versions before 6 lack the `fingerprint` field
+/// (defaulted to 0 / empty on read), so an old baseline still diffs against
+/// a new run.
 pub const BENCH_SCHEMA_MIN_SUPPORTED: u64 = 2;
 
-/// The default artifact file name, `BENCH_5.json`.
+/// The default artifact file name, `BENCH_6.json`.
 pub fn bench_file_name() -> String {
     format!("BENCH_{BENCH_SCHEMA_VERSION}.json")
 }
@@ -53,6 +54,12 @@ pub struct BenchEntry {
     /// Deterministic: a pure function of the workload, so it participates
     /// in [`BenchArtifact::identical_modulo_wall`].
     pub events_processed: u64,
+    /// The run's trace fingerprint (`trace.fingerprint` meta): a 128-bit
+    /// streaming digest of the canonical event stream, rendered as 32 hex
+    /// chars. Strictly stronger than metric equality — two runs can commit
+    /// the same totals through different event interleavings, but they
+    /// cannot share a fingerprint. Empty for pre-v6 artifacts.
+    pub fingerprint: String,
     /// Engine event throughput, events per wall-clock second. Derived from
     /// `events_processed / wall_ms`, so it is machine-dependent and excluded
     /// from determinism comparisons; CI's perf-smoke gate reads it.
@@ -107,6 +114,11 @@ impl BenchEntry {
             bytes,
             payload_clones: report.metric("msg.payload_clones").unwrap_or(0.0) as u64,
             events_processed,
+            fingerprint: report
+                .meta
+                .get("trace.fingerprint")
+                .cloned()
+                .unwrap_or_default(),
             events_per_sec,
             wall_ms: outcome.wall_ms,
         }
@@ -160,6 +172,7 @@ impl BenchArtifact {
                         ("p99_latency_ms".into(), Json::F64(e.p99_ms)),
                         ("bytes".into(), Json::U64(e.bytes)),
                         ("payload_clones".into(), Json::U64(e.payload_clones)),
+                        ("fingerprint".into(), Json::Str(e.fingerprint.clone())),
                         (
                             "perf".into(),
                             Json::Obj(vec![
@@ -216,6 +229,12 @@ impl BenchArtifact {
                     bytes: int("bytes")?,
                     // Absent before schema 3.
                     payload_clones: int("payload_clones").unwrap_or(0),
+                    // Absent before schema 6.
+                    fingerprint: run
+                        .get("fingerprint")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_string(),
                     // The `perf` block is absent before schema 5.
                     events_processed: run
                         .get("perf")
@@ -316,43 +335,76 @@ impl BenchArtifact {
 
     /// Strict determinism check: every run must exist in both artifacts
     /// with bit-identical `tps`/`p50`/`p99`/`bytes`/`payload_clones`/
-    /// `events_processed`; only `wall_ms` (and the wall-derived
-    /// `events_per_sec`) may differ. Returns one message per mismatch.
+    /// `events_processed`/`fingerprint`; only `wall_ms` (and the
+    /// wall-derived `events_per_sec`) may differ. Returns one message per
+    /// mismatching *field*, naming the run, the field, both values, and the
+    /// relative delta — so a CI log is actionable without re-running.
     ///
-    /// `events_processed` is only compared when both artifacts carry it
-    /// (non-zero): pre-v5 artifacts predate the metric and deserialize it
-    /// as 0, which must not read as a determinism break when diffing
-    /// against an older checked-in baseline.
+    /// `events_processed` and `fingerprint` are only compared when both
+    /// artifacts carry them (non-zero / non-empty): older artifacts predate
+    /// these fields and deserialize them as 0 / `""`, which must not read as
+    /// a determinism break when diffing against an old checked-in baseline.
     pub fn identical_modulo_wall(&self, other: &BenchArtifact) -> Vec<String> {
         let mut mismatches = Vec::new();
+        let rel = |a: f64, b: f64| {
+            if a == 0.0 {
+                if b == 0.0 {
+                    "±0%".to_string()
+                } else {
+                    "baseline 0".to_string()
+                }
+            } else {
+                format!("{:+.4}%", (b - a) / a * 100.0)
+            }
+        };
         for (name, a) in &self.runs {
             match other.runs.get(name) {
                 None => mismatches.push(format!("{name}: only in first artifact")),
                 Some(b) => {
-                    let compare_events = a.events_processed != 0 && b.events_processed != 0;
-                    let (ev_a, ev_b) = if compare_events {
-                        (a.events_processed, b.events_processed)
-                    } else {
-                        (0, 0)
-                    };
-                    if (a.tps, a.p50_ms, a.p99_ms, a.bytes, a.payload_clones, ev_a)
-                        != (b.tps, b.p50_ms, b.p99_ms, b.bytes, b.payload_clones, ev_b)
+                    let floats = [
+                        ("tps", a.tps, b.tps),
+                        ("p50_latency_ms", a.p50_ms, b.p50_ms),
+                        ("p99_latency_ms", a.p99_ms, b.p99_ms),
+                    ];
+                    for (key, av, bv) in floats {
+                        if av != bv {
+                            mismatches
+                                .push(format!("{name}: {key} {av} vs {bv} ({})", rel(av, bv)));
+                        }
+                    }
+                    let ints = [
+                        ("bytes", a.bytes, b.bytes),
+                        ("payload_clones", a.payload_clones, b.payload_clones),
+                    ];
+                    for (key, av, bv) in ints {
+                        if av != bv {
+                            mismatches.push(format!(
+                                "{name}: {key} {av} vs {bv} ({})",
+                                rel(av as f64, bv as f64)
+                            ));
+                        }
+                    }
+                    if a.events_processed != 0
+                        && b.events_processed != 0
+                        && a.events_processed != b.events_processed
                     {
                         mismatches.push(format!(
-                            "{name}: tps {} vs {}, p50 {} vs {}, p99 {} vs {}, bytes {} vs {}, \
-                             clones {} vs {}, events {} vs {}",
-                            a.tps,
-                            b.tps,
-                            a.p50_ms,
-                            b.p50_ms,
-                            a.p99_ms,
-                            b.p99_ms,
-                            a.bytes,
-                            b.bytes,
-                            a.payload_clones,
-                            b.payload_clones,
+                            "{name}: events_processed {} vs {} ({})",
                             a.events_processed,
-                            b.events_processed
+                            b.events_processed,
+                            rel(a.events_processed as f64, b.events_processed as f64)
+                        ));
+                    }
+                    if !a.fingerprint.is_empty()
+                        && !b.fingerprint.is_empty()
+                        && a.fingerprint != b.fingerprint
+                    {
+                        mismatches.push(format!(
+                            "{name}: trace fingerprint {} vs {} — the engines dispatched \
+                             different event streams; re-run both with PREDIS_TRACE_DIR set \
+                             and use `trace_diff` on the captures to find the first divergent \
+                             event",
+                            a.fingerprint, b.fingerprint
                         ));
                     }
                 }
@@ -380,6 +432,7 @@ mod tests {
             payload_clones: 42,
             events_processed: 9_000,
             events_per_sec: 1_234.5,
+            fingerprint: "00112233445566778899aabbccddeeff".to_string(),
             wall_ms: wall,
         }
     }
@@ -440,6 +493,8 @@ mod tests {
         assert_eq!(back.runs["a"].events_processed, 0);
         assert_eq!(back.runs["a"].events_per_sec, 0.0);
         assert_eq!(back.runs["a"].payload_clones, 42);
+        // Pre-v6 artifacts carry no fingerprint; it defaults to empty.
+        assert_eq!(back.runs["a"].fingerprint, "");
     }
 
     #[test]
@@ -503,5 +558,39 @@ mod tests {
         let mut d = artifact(&[("a", entry(10_000.0, 100.0, 1))]);
         d.runs.get_mut("a").unwrap().events_processed += 1;
         assert_eq!(a.identical_modulo_wall(&d).len(), 1);
+    }
+
+    #[test]
+    fn identical_modulo_wall_names_each_differing_field() {
+        let a = artifact(&[("fig4_pbft", entry(10_000.0, 100.0, 1))]);
+        let mut b = artifact(&[("fig4_pbft", entry(9_000.0, 100.0, 1))]);
+        b.runs.get_mut("fig4_pbft").unwrap().bytes = 2_000;
+        let msgs = a.identical_modulo_wall(&b);
+        assert_eq!(msgs.len(), 2, "{msgs:?}");
+        // Each message names the run, the field, both values, and the delta.
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("fig4_pbft: tps 10000 vs 9000") && m.contains("-10.0000%")),
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("fig4_pbft: bytes 1000 vs 2000") && m.contains("+100.0000%")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn identical_modulo_wall_compares_fingerprints_when_both_present() {
+        let a = artifact(&[("a", entry(10_000.0, 100.0, 1))]);
+        let mut b = artifact(&[("a", entry(10_000.0, 100.0, 9))]);
+        b.runs.get_mut("a").unwrap().fingerprint = "ffffffffffffffffffffffffffffffff".into();
+        let msgs = a.identical_modulo_wall(&b);
+        assert_eq!(msgs.len(), 1, "{msgs:?}");
+        assert!(msgs[0].contains("trace fingerprint"), "{msgs:?}");
+        assert!(msgs[0].contains("trace_diff"), "{msgs:?}");
+        // A pre-v6 side (empty fingerprint) is not a mismatch.
+        b.runs.get_mut("a").unwrap().fingerprint = String::new();
+        assert!(a.identical_modulo_wall(&b).is_empty());
     }
 }

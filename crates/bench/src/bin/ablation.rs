@@ -9,15 +9,17 @@
 //!    encodes of a cut fan across cores via `ReedSolomon::encode_blobs`.
 //! 3. **PBFT pipelining** — slot window depth vs throughput at saturation.
 //!
-//! Usage: `cargo run -p predis-bench --release --bin ablation [--quick]`
+//! Usage: `cargo run -p predis-bench --release --bin ablation [--quick] [--trace]`
 
-use predis_bench::{emit_showcases, f0, f1, metric_or_nan, print_table, run_figure, suite};
+use predis_bench::{
+    emit_showcases, f0, f1, fig_opts, metric_or_nan, print_table, run_figure, suite,
+};
 use predis_erasure::ReedSolomon;
 use predis_parallel::Pool;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let points = suite::ablation_points(quick);
+    let opts = fig_opts("ablation");
+    let points = suite::ablation_points(opts.quick);
     let outcomes = run_figure(&points);
 
     // ---- 1. bandwidth-model ablation ----
@@ -105,5 +107,5 @@ fn main() {
         &["bundle_size", "tps", "mean_ms"],
         &rows,
     );
-    emit_showcases(&points, &outcomes);
+    emit_showcases(&opts.dir, &points, &outcomes);
 }

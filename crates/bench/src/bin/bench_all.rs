@@ -14,7 +14,12 @@
 //!   (e.g. `--only fig6_`).
 //! * `--threads` — pool width override (default: all cores, or
 //!   `PREDIS_THREADS`).
-//! * `--out`     — artifact path (default `results/BENCH_5.json`).
+//! * `--out`     — artifact path (default
+//!   `results/bench_all/BENCH_<schema>.json`).
+//!
+//! All outputs live under `results/bench_all/`; an unfiltered run clears
+//! that directory's stale `.json` reports first, so a renamed or removed
+//! suite point can never leak an outdated report into later tooling.
 //!
 //! Before writing the artifact the suite enforces the zero-copy gate:
 //! every throughput run's `msg.payload_clones` must stay O(1) per produced
@@ -23,8 +28,8 @@
 use std::time::Instant;
 
 use predis_bench::{
-    bench_file_name, f0, f1, print_table, report_with_perf, suite, sweep, BenchArtifact, Runner,
-    SweepOutcome, SweepPoint, RESULTS_DIR,
+    bench_file_name, f0, f1, print_table, report_with_perf, suite, suite_dir, sweep, BenchArtifact,
+    Runner, SweepOutcome, SweepPoint,
 };
 use predis_parallel::Pool;
 
@@ -78,7 +83,8 @@ fn main() {
             .cloned()
     };
     let only = flag_value("--only").unwrap_or_default();
-    let out = flag_value("--out").unwrap_or_else(|| format!("{RESULTS_DIR}/{}", bench_file_name()));
+    let dir = suite_dir("bench_all");
+    let out = flag_value("--out").unwrap_or_else(|| format!("{dir}/{}", bench_file_name()));
     let pool = match flag_value("--threads") {
         Some(n) => Pool::new(n.parse().unwrap_or_else(|_| {
             eprintln!("--threads wants a positive integer, got {n:?}");
@@ -92,6 +98,25 @@ fn main() {
         eprintln!("no suite points match prefix {only:?}");
         std::process::exit(2);
     }
+    // An unfiltered run regenerates every report, so stale per-run .json
+    // files in the suite directory can only be leftovers of renamed or
+    // removed points — clear them rather than letting them shadow current
+    // data. Merged BENCH_* artifacts are kept: CI writes several per
+    // workflow (second pass, profiled pass) and diffs them afterwards.
+    if only.is_empty() {
+        if let Ok(entries) = std::fs::read_dir(&dir) {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if path.extension().and_then(|e| e.to_str()) == Some("json")
+                    && !name.starts_with("BENCH_")
+                {
+                    let _ = std::fs::remove_file(&path);
+                }
+            }
+        }
+    }
     println!(
         "bench_all: {} runs ({}) across {} worker thread(s)",
         points.len(),
@@ -104,10 +129,22 @@ fn main() {
     let elapsed_ms = started.elapsed().as_millis() as u64;
 
     let mut rows = Vec::new();
+    let mut spans_dropped = Vec::new();
+    let mut profile_run_ns = 0u64;
+    let mut profile_attr_ns = 0u64;
     for (point, outcome) in points.iter().zip(&outcomes) {
-        if let Err(e) = report_with_perf(outcome).write_to_dir(RESULTS_DIR) {
+        if let Err(e) = report_with_perf(outcome).write_to_dir(&dir) {
             eprintln!("could not write report {}: {e}", outcome.report.name);
         }
+        let dropped = outcome
+            .report
+            .metric("timeline.spans_dropped")
+            .unwrap_or(0.0);
+        if dropped > 0.0 {
+            spans_dropped.push(format!("{}: {dropped:.0} spans", point.name));
+        }
+        profile_run_ns += outcome.report.profile_run_ns;
+        profile_attr_ns += outcome.report.profile_attributed_ns();
         let events = outcome
             .report
             .metric("engine.events_processed")
@@ -129,6 +166,37 @@ fn main() {
         &["run", "tps", "p99/to100_ms", "ev/s", "wall_ms"],
         &rows,
     );
+
+    // Dropped lifecycle spans mean the latency percentiles above were
+    // computed over a *sample* of bundles — loud warning, not a failure,
+    // because the cap is a deliberate memory bound.
+    if !spans_dropped.is_empty() {
+        eprintln!(
+            "\nWARNING: bundle-timeline capacity was exceeded in {} run(s); \
+             stage-latency percentiles are computed over a truncated sample:",
+            spans_dropped.len()
+        );
+        for s in &spans_dropped {
+            eprintln!("  {s}");
+        }
+    }
+
+    // With PREDIS_PROFILE on, nearly all dispatch-loop wall time must be
+    // attributed to actor/event cells — a large gap means the profiler is
+    // missing work and its per-actor numbers cannot be trusted.
+    if profile_run_ns > 0 {
+        let pct = profile_attr_ns as f64 / profile_run_ns as f64 * 100.0;
+        println!(
+            "\ndispatch profile: {:.1}s total loop time, {pct:.1}% attributed to actors",
+            profile_run_ns as f64 / 1e9
+        );
+        if pct < 95.0 {
+            eprintln!(
+                "WARNING: dispatch profiler attributed only {pct:.1}% of loop wall time \
+                 (expected >= 95%) — per-actor numbers are unreliable"
+            );
+        }
+    }
 
     let clone_violations: Vec<String> = points
         .iter()

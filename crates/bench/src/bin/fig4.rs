@@ -7,13 +7,15 @@
 //! Every grid point is independent; the binary fans them across all cores
 //! via `predis_bench::run_figure` and prints the tables in grid order.
 //!
-//! Usage: `cargo run -p predis-bench --release --bin fig4 [--quick]`
+//! Usage: `cargo run -p predis-bench --release --bin fig4 [--quick] [--trace]`
 
-use predis_bench::{emit_showcases, f0, f1, metric_or_nan, print_table, run_figure, suite};
+use predis_bench::{
+    emit_showcases, f0, f1, fig_opts, metric_or_nan, print_table, run_figure, suite,
+};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let points = suite::fig4_points(quick);
+    let opts = fig_opts("fig4");
+    let points = suite::fig4_points(opts.quick);
     let outcomes = run_figure(&points);
 
     let rows_of = |section: usize, keys: &[&str]| -> Vec<Vec<String>> {
@@ -46,5 +48,5 @@ fn main() {
         &["protocol", "n_c", "tps", "mean_ms"],
         &rows_of(1, &["throughput_tps", "mean_latency_ms"]),
     );
-    emit_showcases(&points, &outcomes);
+    emit_showcases(&opts.dir, &points, &outcomes);
 }

@@ -5,13 +5,15 @@
 //! bundle/microblock, up to 1000 digests per Narwhal/Stratus proposal. All
 //! grid points run in parallel (independent seeds, deterministic reports).
 //!
-//! Usage: `cargo run -p predis-bench --release --bin fig5 [--quick]`
+//! Usage: `cargo run -p predis-bench --release --bin fig5 [--quick] [--trace]`
 
-use predis_bench::{emit_showcases, f0, f1, metric_or_nan, print_table, run_figure, suite};
+use predis_bench::{
+    emit_showcases, f0, f1, fig_opts, metric_or_nan, print_table, run_figure, suite,
+};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let points = suite::fig5_points(quick);
+    let opts = fig_opts("fig5");
+    let points = suite::fig5_points(opts.quick);
     let outcomes = run_figure(&points);
 
     for (section, title) in [
@@ -36,5 +38,5 @@ fn main() {
             &rows,
         );
     }
-    emit_showcases(&points, &outcomes);
+    emit_showcases(&opts.dir, &points, &outcomes);
 }

@@ -6,13 +6,15 @@
 //! `n_c − f − 1` random peers — throughput sits between case 1 and normal
 //! (the malicious bundles still count once recovered), at higher latency.
 //!
-//! Usage: `cargo run -p predis-bench --release --bin fig6 [--quick]`
+//! Usage: `cargo run -p predis-bench --release --bin fig6 [--quick] [--trace]`
 
-use predis_bench::{emit_showcases, f0, f1, metric_or_nan, print_table, run_figure, suite};
+use predis_bench::{
+    emit_showcases, f0, f1, fig_opts, metric_or_nan, print_table, run_figure, suite,
+};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let points = suite::fig6_points(quick);
+    let opts = fig_opts("fig6");
+    let points = suite::fig6_points(opts.quick);
     let outcomes = run_figure(&points);
 
     // The first point is the fault-free baseline the ratios are against.
@@ -34,5 +36,5 @@ fn main() {
         &["scenario", "f", "tps", "mean_ms", "vs_normal"],
         &rows,
     );
-    emit_showcases(&points, &outcomes);
+    emit_showcases(&opts.dir, &points, &outcomes);
 }

@@ -5,13 +5,13 @@
 //! declines as full nodes are added; Multi-Zone's stays flat once every
 //! zone is populated, and rises with `n_c`. Grid points run in parallel.
 //!
-//! Usage: `cargo run -p predis-bench --release --bin fig7 [--quick]`
+//! Usage: `cargo run -p predis-bench --release --bin fig7 [--quick] [--trace]`
 
-use predis_bench::{emit_showcases, f0, metric_or_nan, print_table, run_figure, suite};
+use predis_bench::{emit_showcases, f0, fig_opts, metric_or_nan, print_table, run_figure, suite};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let points = suite::fig7_points(quick);
+    let opts = fig_opts("fig7");
+    let points = suite::fig7_points(opts.quick);
     let outcomes = run_figure(&points);
 
     let rows: Vec<Vec<String>> = points
@@ -47,5 +47,5 @@ fn main() {
         &["topology", "n_c", "tps"],
         &rows,
     );
-    emit_showcases(&points, &outcomes);
+    emit_showcases(&opts.dir, &points, &outcomes);
 }

@@ -3,14 +3,14 @@
 //! nodes, per-node subscriber cap 24, fanout 4 / degree 8 for the random
 //! topology. The (size × topology) grid runs in parallel.
 //!
-//! Usage: `cargo run -p predis-bench --release --bin fig8 [--quick]`
+//! Usage: `cargo run -p predis-bench --release --bin fig8 [--quick] [--trace]`
 
-use predis_bench::{emit_showcases, f1, metric_or_nan, print_table, run_figure, suite};
+use predis_bench::{emit_showcases, f1, fig_opts, metric_or_nan, print_table, run_figure, suite};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let full_nodes = if quick { 60 } else { 100 };
-    let points = suite::fig8_points(quick);
+    let opts = fig_opts("fig8");
+    let full_nodes = if opts.quick { 60 } else { 100 };
+    let points = suite::fig8_points(opts.quick);
     let outcomes = run_figure(&points);
 
     let rows: Vec<Vec<String>> = points
@@ -36,5 +36,5 @@ fn main() {
         ],
         &rows,
     );
-    emit_showcases(&points, &outcomes);
+    emit_showcases(&opts.dir, &points, &outcomes);
 }

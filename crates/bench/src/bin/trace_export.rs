@@ -1,0 +1,126 @@
+//! Converts a captured simulation event stream into Chrome-trace/Perfetto
+//! JSON.
+//!
+//! Usage: `trace_export <capture.trace.jsonl> [--timelines FILE]
+//! [--out FILE] [--limit N]`
+//!
+//! The input is a capture produced by running any figure binary with
+//! `PREDIS_TRACE_DIR` set (or `--trace` where supported). The
+//! `<stem>.timelines.jsonl` sidecar next to the capture is picked up
+//! automatically when present; `--timelines` overrides it. The output
+//! (default: capture path with `.trace.jsonl` replaced by `.trace.json`)
+//! loads directly in <https://ui.perfetto.dev> or `chrome://tracing`:
+//! simulated nodes appear as tracks of instant dispatch events, and bundle
+//! pipeline stages as duration spans.
+//!
+//! `--limit` caps the number of instant events (default 250000 — trace
+//! viewers struggle beyond that); truncation is reported on stdout and as
+//! a metadata event inside the file.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use predis_bench::{export_chrome_trace, parse_timelines_jsonl, read_trace};
+
+fn main() {
+    let usage = || -> ! {
+        eprintln!(
+            "usage: trace_export <capture.trace.jsonl> [--timelines FILE] [--out FILE] [--limit N]"
+        );
+        std::process::exit(2);
+    };
+    let mut positional: Vec<String> = Vec::new();
+    let mut timelines_path: Option<PathBuf> = None;
+    let mut out_path: Option<PathBuf> = None;
+    let mut limit = 250_000usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--timelines" => {
+                let Some(v) = args.next() else { usage() };
+                timelines_path = Some(PathBuf::from(v));
+            }
+            "--out" => {
+                let Some(v) = args.next() else { usage() };
+                out_path = Some(PathBuf::from(v));
+            }
+            "--limit" => {
+                let Some(v) = args.next() else { usage() };
+                limit = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--limit wants a positive integer, got {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            _ if arg.starts_with("--") => usage(),
+            _ => positional.push(arg),
+        }
+    }
+    let [capture] = positional.as_slice() else {
+        usage()
+    };
+    let capture = Path::new(capture);
+
+    let records = read_trace(capture).unwrap_or_else(|e| {
+        eprintln!("trace_export: {e}");
+        std::process::exit(2);
+    });
+
+    // The engine writes the bundle-lifecycle sidecar next to the capture.
+    let sidecar = sibling(capture, ".timelines.jsonl");
+    let timelines_path = timelines_path.or_else(|| sidecar.filter(|p| p.exists()));
+    let bundles = match &timelines_path {
+        None => Vec::new(),
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("trace_export: {}: {e}", path.display());
+                std::process::exit(2);
+            });
+            parse_timelines_jsonl(&text).unwrap_or_else(|e| {
+                eprintln!("trace_export: {}: {e}", path.display());
+                std::process::exit(2);
+            })
+        }
+    };
+
+    let (doc, stats) = export_chrome_trace(&records, &bundles, limit);
+    let out = out_path
+        .or_else(|| sibling(capture, ".trace.json"))
+        .unwrap_or_else(|| capture.with_extension("trace.json"));
+    let write = std::fs::File::create(&out)
+        .and_then(|f| {
+            let mut w = std::io::BufWriter::new(f);
+            w.write_all(doc.to_pretty_string().as_bytes())?;
+            w.flush()
+        })
+        .map_err(|e| format!("{}: {e}", out.display()));
+    if let Err(e) = write {
+        eprintln!("trace_export: {e}");
+        std::process::exit(2);
+    }
+
+    println!(
+        "exported {} events and {} bundle spans to {}",
+        stats.events,
+        stats.spans,
+        out.display()
+    );
+    if stats.dropped > 0 {
+        println!(
+            "warning: dropped {} events past the --limit of {limit} \
+             (raise it to export everything)",
+            stats.dropped
+        );
+    }
+    match timelines_path {
+        Some(p) => println!("bundle timelines from {}", p.display()),
+        None => println!("no timelines sidecar found: exported node tracks only"),
+    }
+    println!("open in https://ui.perfetto.dev or chrome://tracing");
+}
+
+/// Swaps the `.trace.jsonl` suffix for `suffix`, if the path has it.
+fn sibling(capture: &Path, suffix: &str) -> Option<PathBuf> {
+    let name = capture.file_name()?.to_str()?;
+    let stem = name.strip_suffix(".trace.jsonl")?;
+    Some(capture.with_file_name(format!("{stem}{suffix}")))
+}

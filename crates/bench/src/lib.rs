@@ -9,18 +9,61 @@ use predis_telemetry::RunReport;
 pub mod artifact;
 pub mod suite;
 pub mod sweep;
+pub mod trace;
 
 pub use artifact::{bench_file_name, BenchArtifact, BenchEntry, BENCH_SCHEMA_VERSION};
 pub use sweep::{sweep, Runner, SweepOutcome, SweepPoint};
+pub use trace::{
+    export_chrome_trace, first_divergence, parse_timelines_jsonl, read_trace, BundleRow,
+    Divergence, ExportStats, TraceRecord,
+};
 
-/// Directory the figure binaries write their machine-readable reports to.
+/// Root directory the figure binaries write their machine-readable
+/// reports to. Each suite keeps its outputs under its own
+/// [`suite_dir`]`(name)` so reruns of one figure never mix with another's
+/// stale files.
 pub const RESULTS_DIR: &str = "results";
 
-/// Writes a [`RunReport`] under [`RESULTS_DIR`] and prints its rendered
-/// summary (per-stage bundle-lifecycle percentiles, labeled counters).
-pub fn emit_report(report: &RunReport) {
+/// Per-suite output directory: `results/<suite>/`.
+pub fn suite_dir(suite: &str) -> String {
+    format!("{RESULTS_DIR}/{suite}")
+}
+
+/// Common figure-binary command-line options.
+#[derive(Debug, Clone)]
+pub struct FigOpts {
+    /// `--quick`: the scaled-down grid CI runs.
+    pub quick: bool,
+    /// Output directory for this figure's reports ([`suite_dir`]).
+    pub dir: String,
+}
+
+/// Parses the shared figure-binary flags and wires up observability.
+///
+/// `--quick` selects the scaled-down grid. `--trace` turns on full event
+/// capture by exporting `PREDIS_TRACE_DIR=<suite dir>/trace` — it must run
+/// before [`run_figure`] spawns the worker pool, which is why the flag is
+/// handled here rather than per-run. Captures can then be converted for
+/// Perfetto with the `trace_export` binary.
+pub fn fig_opts(suite: &str) -> FigOpts {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dir = suite_dir(suite);
+    if args.iter().any(|a| a == "--trace") {
+        let trace_dir = format!("{dir}/trace");
+        std::env::set_var("PREDIS_TRACE_DIR", &trace_dir);
+        println!("trace capture on: {trace_dir}/<run>.trace.jsonl");
+    }
+    FigOpts {
+        quick: args.iter().any(|a| a == "--quick"),
+        dir,
+    }
+}
+
+/// Writes a [`RunReport`] under `dir` and prints its rendered summary
+/// (per-stage bundle-lifecycle percentiles, labeled counters).
+pub fn emit_report(dir: &str, report: &RunReport) {
     println!("\n{}", report.render());
-    match report.write_to_dir(RESULTS_DIR) {
+    match report.write_to_dir(dir) {
         Ok(path) => println!("report written to {}", path.display()),
         Err(e) => eprintln!("could not write report {}: {e}", report.name),
     }
@@ -54,12 +97,13 @@ pub fn report_with_perf(outcome: &SweepOutcome) -> RunReport {
     report
 }
 
-/// Emits the showcase reports of a finished figure sweep, each stamped
-/// with its wall-derived `engine.events_per_sec` (see [`report_with_perf`]).
-pub fn emit_showcases(points: &[SweepPoint], outcomes: &[SweepOutcome]) {
+/// Emits the showcase reports of a finished figure sweep into `dir`, each
+/// stamped with its wall-derived `engine.events_per_sec` (see
+/// [`report_with_perf`]).
+pub fn emit_showcases(dir: &str, points: &[SweepPoint], outcomes: &[SweepOutcome]) {
     for (point, outcome) in points.iter().zip(outcomes) {
         if point.showcase {
-            emit_report(&report_with_perf(outcome));
+            emit_report(dir, &report_with_perf(outcome));
         }
     }
 }

@@ -111,11 +111,11 @@ impl SweepPoint {
         match &self.runner {
             Runner::Throughput(setup) => setup.run_report(&self.name),
             Runner::Topology(setup) => {
-                let (result, sim) = setup.run_with_sim();
+                let (result, sim) = setup.run_with_sim_named(&self.name);
                 setup.report(&result, &sim, &self.name)
             }
             Runner::Propagation(setup, topology) => {
-                let (result, sim) = setup.run_with_sim(topology);
+                let (result, sim) = setup.run_with_sim_named(topology, &self.name);
                 setup.report(&result, &sim, &self.name)
             }
         }
@@ -176,6 +176,11 @@ mod tests {
             assert_eq!(w.report.name, points[i].name);
             // Byte-identical reports regardless of pool width.
             assert_eq!(w.report.to_json(), n.report.to_json(), "point {i}");
+            // The fingerprint is present and pool-width independent — the
+            // event stream a worker replays does not depend on who runs it.
+            let fp = w.report.meta.get("trace.fingerprint").expect("fingerprint");
+            assert_eq!(fp.len(), 32);
+            assert_eq!(fp, n.report.meta.get("trace.fingerprint").unwrap());
         }
     }
 }

@@ -80,6 +80,12 @@ fn bench_artifact_is_identical_modulo_wall_ms() {
     let second = BenchArtifact::from_sweep(&points, &sweep(&points, &Pool::new(2)));
     let mismatches = first.identical_modulo_wall(&second);
     assert!(mismatches.is_empty(), "{mismatches:#?}");
+    // All three runner kinds carry a trace fingerprint, and it is stable
+    // across pool widths — the strongest equality the gate checks.
+    for (name, entry) in &first.runs {
+        assert_eq!(entry.fingerprint.len(), 32, "{name} missing fingerprint");
+        assert_eq!(entry.fingerprint, second.runs[name].fingerprint, "{name}");
+    }
     // The serialized artifacts agree once wall_ms (and the wall-derived
     // events_per_sec) is normalized out.
     let normalize = |mut a: BenchArtifact| {

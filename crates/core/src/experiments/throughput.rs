@@ -179,6 +179,13 @@ impl ThroughputSetup {
     /// Builds and runs the experiment, returning the raw simulation for
     /// deeper inspection.
     pub fn run_sim(&self) -> Sim<ConsMsg> {
+        self.run_sim_named("")
+    }
+
+    /// Like [`ThroughputSetup::run_sim`], but applies the observability
+    /// environment (`PREDIS_PROFILE`, `PREDIS_TRACE_DIR`) for a run named
+    /// `name` before running. Pass `""` to skip the env switches.
+    pub fn run_sim_named(&self, name: &str) -> Sim<ConsMsg> {
         // Pool workers are reused between grid points; zero the thread-local
         // payload counters so this run's report sees only its own clones.
         payload_stats::reset();
@@ -244,7 +251,11 @@ impl ThroughputSetup {
                 SimTime::ZERO,
             );
         }
+        if !name.is_empty() {
+            sim.apply_observability_env(name);
+        }
         sim.run_until(SimTime::from_secs(self.duration_secs));
+        sim.finish_observability();
         sim
     }
 
@@ -321,7 +332,7 @@ impl ThroughputSetup {
     /// run name and the keys that are present — the benchmark artifact
     /// pipeline does exactly that instead of NaN-propagating.
     pub fn run_report(&self, name: &str) -> RunReport {
-        let sim = self.run_sim();
+        let sim = self.run_sim_named(name);
         self.report(&sim, name)
     }
 
@@ -356,6 +367,7 @@ impl ThroughputSetup {
         report.set_metric("msg.bytes_cloned", stats.bytes_cloned as f64);
         report.set_metric("wire_size.computed", stats.wire_size_computed as f64);
         report.set_metric("engine.events_processed", sim.events_processed() as f64);
+        sim.stamp_observability(&mut report);
         report
     }
 

@@ -240,12 +240,20 @@ impl TopologySetup {
         report.set_metric("msg.bytes_cloned", stats.bytes_cloned as f64);
         report.set_metric("wire_size.computed", stats.wire_size_computed as f64);
         report.set_metric("engine.events_processed", sim.events_processed() as f64);
+        sim.stamp_observability(&mut report);
         report
     }
 
     /// Like [`TopologySetup::run`] but also returns the finished simulation
     /// for inspection.
     pub fn run_with_sim(&self) -> (TopologyResult, Sim<FlowMsg>) {
+        self.run_with_sim_named("")
+    }
+
+    /// Like [`TopologySetup::run_with_sim`], but applies the observability
+    /// environment (`PREDIS_PROFILE`, `PREDIS_TRACE_DIR`) for a run named
+    /// `name` before running. Pass `""` to skip the env switches.
+    pub fn run_with_sim_named(&self, name: &str) -> (TopologyResult, Sim<FlowMsg>) {
         // Pool workers are reused between grid points; zero the thread-local
         // payload counters so this run's report sees only its own clones.
         payload_stats::reset();
@@ -353,7 +361,11 @@ impl TopologySetup {
             );
         }
 
+        if !name.is_empty() {
+            sim.apply_observability_env(name);
+        }
         sim.run_until(SimTime::from_secs(self.duration_secs));
+        sim.finish_observability();
         let from = SimTime::from_secs(self.warmup_secs);
         let to = SimTime::from_secs(self.duration_secs);
         let consensus_upload_bytes = cons.iter().map(|&n| sim.network().bytes_sent(n)).sum();

@@ -137,12 +137,24 @@ impl PropagationSetup {
         report.set_metric("msg.bytes_cloned", stats.bytes_cloned as f64);
         report.set_metric("wire_size.computed", stats.wire_size_computed as f64);
         report.set_metric("engine.events_processed", sim.events_processed() as f64);
+        sim.stamp_observability(&mut report);
         report
     }
 
     /// Like [`PropagationSetup::run`] but also returns the finished
     /// simulation for inspection (metrics, telemetry reports).
     pub fn run_with_sim(&self, topology: &Topology) -> (PropagationResult, Sim<NetMsg>) {
+        self.run_with_sim_named(topology, "")
+    }
+
+    /// Like [`PropagationSetup::run_with_sim`], but applies the
+    /// observability environment (`PREDIS_PROFILE`, `PREDIS_TRACE_DIR`) for
+    /// a run named `name` before running. Pass `""` to skip the switches.
+    pub fn run_with_sim_named(
+        &self,
+        topology: &Topology,
+        name: &str,
+    ) -> (PropagationResult, Sim<NetMsg>) {
         // Pool workers are reused between grid points; zero the thread-local
         // payload counters so this run's report sees only its own clones.
         payload_stats::reset();
@@ -285,7 +297,11 @@ impl PropagationSetup {
 
         let horizon =
             SimTime::ZERO + warmup + self.interval * (self.blocks + 3) + SimDuration::from_secs(30);
+        if !name.is_empty() {
+            sim.apply_observability_env(name);
+        }
         sim.run_until(horizon);
+        sim.finish_observability();
 
         // Collect per-block fraction latencies, relative to each block's
         // announcement time (the last bundle tick of the block).

@@ -312,6 +312,16 @@ pub trait Actor<M>: std::any::Any {
     fn on_timer(&mut self, ctx: &mut Context<'_, M>, tag: TimerTag) {
         let _ = (ctx, tag);
     }
+
+    /// The actor's kind label for dispatch profiling.
+    ///
+    /// Defaults to the concrete type name; the engine shortens module paths
+    /// and interns the result to a dense index at
+    /// [`crate::engine::Sim::add_node`] time, so this is never called on the
+    /// hot path.
+    fn kind_name(&self) -> &'static str {
+        std::any::type_name::<Self>()
+    }
 }
 
 /// A protocol state machine over its own message type `T`.

@@ -22,9 +22,13 @@ use crate::actor::{Actor, Context, NodeId, Op};
 use crate::faults::FaultPlan;
 use crate::metrics::{CounterHandle, Labels, Metrics};
 use crate::net::{LinkConfig, Network};
+use crate::profile::{
+    short_type_name, DispatchProfile, BUCKET_DELIVER, BUCKET_OTHER, BUCKET_START, BUCKET_TIMER,
+};
 use crate::queue::{Event, EventKind, EventQueue, TimerSlots};
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{Trace, TraceEvent, TraceKind};
+use crate::trace::{CanonEvent, Trace, TraceCapture, TraceDigest, TraceEvent, TraceKind};
+use predis_telemetry::RunReport;
 
 /// Handles for the global network counters, interned at construction.
 #[derive(Debug, Clone, Copy)]
@@ -69,6 +73,16 @@ pub struct Sim<M> {
     /// Nodes whose crash event has been scheduled.
     crash_scheduled: Vec<bool>,
     trace: Option<Trace>,
+    /// Always-on streaming fingerprint over the canonical event stream.
+    digest: TraceDigest,
+    /// Optional full JSONL capture of the canonical event stream.
+    capture: Option<TraceCapture>,
+    /// Optional per-actor-kind dispatch profiler.
+    profile: Option<DispatchProfile>,
+    /// Interned actor-kind names, indexed by the values in `kind_of_node`.
+    kind_names: Vec<String>,
+    /// Dense actor-kind index per node, interned at `add_node`.
+    kind_of_node: Vec<u16>,
 }
 
 impl<M: Payload> Sim<M> {
@@ -113,6 +127,11 @@ impl<M: Payload> Sim<M> {
             events_processed: 0,
             crash_scheduled: Vec::new(),
             trace: None,
+            digest: TraceDigest::default(),
+            capture: None,
+            profile: None,
+            kind_names: Vec::new(),
+            kind_of_node: Vec::new(),
         }
     }
 
@@ -125,6 +144,110 @@ impl<M: Payload> Sim<M> {
     /// The trace recorder, if tracing is enabled.
     pub fn trace(&self) -> Option<&Trace> {
         self.trace.as_ref()
+    }
+
+    /// The streaming digest over every event popped so far (always on).
+    pub fn digest(&self) -> &TraceDigest {
+        &self.digest
+    }
+
+    /// The finalized trace fingerprint: 32 hex chars identifying the exact
+    /// canonical event stream processed so far. Two runs with equal
+    /// fingerprints dispatched byte-identical event sequences.
+    pub fn fingerprint(&self) -> String {
+        self.digest.fingerprint()
+    }
+
+    /// Turns on the dispatch profiler (per-actor-kind × per-event-kind
+    /// counts and wall-time attribution). See [`crate::profile`].
+    pub fn enable_profiling(&mut self) {
+        if self.profile.is_none() {
+            self.profile = Some(DispatchProfile::default());
+        }
+    }
+
+    /// The dispatch profile, if profiling is enabled.
+    pub fn profile(&self) -> Option<&DispatchProfile> {
+        self.profile.as_ref()
+    }
+
+    /// Interned actor-kind names (index = the profiler's kind index).
+    pub fn kind_names(&self) -> &[String] {
+        &self.kind_names
+    }
+
+    /// Starts streaming every canonical event to a JSONL capture at `path`.
+    pub fn enable_capture(&mut self, path: impl Into<std::path::PathBuf>) -> std::io::Result<()> {
+        self.capture = Some(TraceCapture::create(path)?);
+        Ok(())
+    }
+
+    /// Applies the observability environment switches for a run named
+    /// `run_name`: `PREDIS_PROFILE=1` enables the dispatch profiler and
+    /// `PREDIS_TRACE_DIR=<dir>` starts a full capture at
+    /// `<dir>/<run_name>.trace.jsonl` (name sanitized like report files).
+    pub fn apply_observability_env(&mut self, run_name: &str) {
+        if matches!(std::env::var("PREDIS_PROFILE"), Ok(v) if !v.is_empty() && v != "0") {
+            self.enable_profiling();
+        }
+        if let Ok(dir) = std::env::var("PREDIS_TRACE_DIR") {
+            if !dir.is_empty() {
+                let safe: String = run_name
+                    .chars()
+                    .map(|c| {
+                        if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                            c
+                        } else {
+                            '_'
+                        }
+                    })
+                    .collect();
+                let path = std::path::Path::new(&dir).join(format!("{safe}.trace.jsonl"));
+                if let Err(e) = self.enable_capture(&path) {
+                    eprintln!(
+                        "warning: could not start trace capture at {}: {e}",
+                        path.display()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Finalizes an active capture: flushes the event stream and writes the
+    /// bundle-lifecycle sidecar `<stem>.timelines.jsonl` next to it.
+    /// Harmless when no capture is active. I/O failures warn on stderr
+    /// rather than panicking — a run's results are worth more than its
+    /// trace.
+    pub fn finish_observability(&mut self) {
+        if let Some(cap) = self.capture.take() {
+            let path = cap.path().to_path_buf();
+            match cap.finish() {
+                Ok(p) => {
+                    let file = p.file_name().and_then(|f| f.to_str()).unwrap_or("");
+                    let stem = file.strip_suffix(".trace.jsonl").unwrap_or(file);
+                    let sidecar = p.with_file_name(format!("{stem}.timelines.jsonl"));
+                    if let Err(e) = self.metrics.timelines().write_jsonl(&sidecar) {
+                        eprintln!(
+                            "warning: could not write timeline sidecar {}: {e}",
+                            sidecar.display()
+                        );
+                    }
+                }
+                Err(e) => eprintln!("warning: trace capture {} failed: {e}", path.display()),
+            }
+        }
+    }
+
+    /// Stamps the run's forensic identity onto a report: the
+    /// `trace.fingerprint` meta key (always) and the `profile` block (when
+    /// profiling ran).
+    pub fn stamp_observability(&self, report: &mut RunReport) {
+        report
+            .meta
+            .insert("trace.fingerprint".into(), self.fingerprint());
+        if let Some(p) = &self.profile {
+            p.stamp(&self.kind_names, report);
+        }
     }
 
     /// Installs a fault plan. Must be called before [`Sim::run_until`] to
@@ -144,6 +267,7 @@ impl<M: Payload> Sim<M> {
     ) -> NodeId {
         let id = self.network.add_link(link);
         debug_assert_eq!(id.index(), self.actors.len());
+        let kind = short_type_name(actor.kind_name());
         self.actors.push(Some(actor));
         let node_seed =
             self.net_rng.gen::<u64>() ^ (id.0 as u64).wrapping_mul(0x2545_f491_4f6c_dd1d);
@@ -152,6 +276,16 @@ impl<M: Payload> Sim<M> {
         self.started.push(false);
         self.epochs.push(0);
         self.crash_scheduled.push(false);
+        // Intern the actor kind for dispatch profiling: the hot path indexes
+        // by this dense id and never touches the name again.
+        let kind_idx = match self.kind_names.iter().position(|k| *k == kind) {
+            Some(i) => i as u16,
+            None => {
+                self.kind_names.push(kind);
+                (self.kind_names.len() - 1) as u16
+            }
+        };
+        self.kind_of_node.push(kind_idx);
         let labels = Labels::node(id.0 as u64);
         self.node_handles.push(NodeHandles {
             deliveries: self.metrics.counter_handle("node.deliveries", labels),
@@ -262,12 +396,70 @@ impl<M: Payload> Sim<M> {
     /// `horizon`); afterwards `now() == horizon`.
     pub fn run_until(&mut self, horizon: SimTime) {
         self.schedule_crashes();
+        if self.profile.is_some() {
+            self.run_events_profiled(horizon);
+        } else {
+            while let Some(event) = self.queue.pop_next(horizon) {
+                self.now = event.at;
+                self.events_processed += 1;
+                self.dispatch(event);
+            }
+        }
+        self.now = horizon;
+    }
+
+    /// The profiled twin of the dispatch loop: one `Instant` reading per
+    /// event, charging each inter-reading interval to the cell of the actor
+    /// that just ran. A cell therefore absorbs the actor callback plus the
+    /// queue pop that followed it, so the attributed total tracks the whole
+    /// loop, not just callback bodies.
+    fn run_events_profiled(&mut self, horizon: SimTime) {
+        let run_start = std::time::Instant::now();
+        let mut last = run_start;
         while let Some(event) = self.queue.pop_next(horizon) {
             self.now = event.at;
             self.events_processed += 1;
+            let kind_idx = self.kind_of_node[event.node.index()] as usize;
+            let bucket = bucket_of(&event.kind);
             self.dispatch(event);
+            let now = std::time::Instant::now();
+            let ns = now.duration_since(last).as_nanos() as u64;
+            last = now;
+            if let Some(p) = &mut self.profile {
+                p.record(kind_idx, bucket, ns);
+            }
         }
-        self.now = horizon;
+        if let Some(p) = &mut self.profile {
+            p.add_run_ns(run_start.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Folds one popped event into the always-on digest and the optional
+    /// capture. This sees the *canonical* pre-filter stream — every event
+    /// the scheduler hands back, including ones a halted or unstarted node
+    /// will ignore — so it exactly mirrors `events_processed` ordering.
+    #[inline]
+    fn observe(&mut self, event: &Event<M>) {
+        let (kind, from, bytes, tag) = match &event.kind {
+            EventKind::Start => (0u64, None, 0u64, None),
+            EventKind::Deliver { from, bytes, .. } => (1, Some(*from), *bytes as u64, None),
+            EventKind::Timer { tag, .. } => (2, None, 0, Some(*tag)),
+            EventKind::Crash => (3, None, 0, None),
+            EventKind::Revive => (4, None, 0, None),
+        };
+        let canon = CanonEvent {
+            at_nanos: event.at.as_nanos(),
+            seq: event.seq,
+            node: event.node.0,
+            kind,
+            from,
+            bytes,
+            tag,
+        };
+        self.digest.fold_event(&canon);
+        if let Some(cap) = &mut self.capture {
+            cap.record(&canon);
+        }
     }
 
     /// Runs for `span` past the current time.
@@ -277,6 +469,7 @@ impl<M: Payload> Sim<M> {
     }
 
     fn dispatch(&mut self, event: Event<M>) {
+        self.observe(&event);
         let node = event.node;
         let idx = node.index();
         // Every popped timer event retires its slot, no matter how the
@@ -340,6 +533,7 @@ impl<M: Payload> Sim<M> {
             };
             trace.record(TraceEvent {
                 at: self.now,
+                seq: event.seq,
                 node,
                 kind,
                 from,
@@ -463,6 +657,9 @@ impl<M: Payload> Sim<M> {
         if let Some(trace) = &mut self.trace {
             trace.record(TraceEvent {
                 at: self.now,
+                // Drops never get a scheduling slot; stamp the next seq so
+                // the debug ring still orders them among real events.
+                seq: self.seq,
                 node: to,
                 kind: TraceKind::Drop,
                 from: Some(from),
@@ -470,6 +667,16 @@ impl<M: Payload> Sim<M> {
                 tag: None,
             });
         }
+    }
+}
+
+/// The profiler bucket an event kind is charged to.
+fn bucket_of<M>(kind: &EventKind<M>) -> usize {
+    match kind {
+        EventKind::Deliver { .. } => BUCKET_DELIVER,
+        EventKind::Timer { .. } => BUCKET_TIMER,
+        EventKind::Start | EventKind::Revive => BUCKET_START,
+        EventKind::Crash => BUCKET_OTHER,
     }
 }
 
@@ -772,6 +979,100 @@ mod tests {
         assert_eq!(sim.actor_as::<Ticker>(n).unwrap().fired, 6);
     }
 
+    #[test]
+    fn fingerprint_is_identical_across_reruns_and_sensitive_to_inputs() {
+        let run = |seed: u64, n: usize| {
+            let mut sim = build(n, seed);
+            sim.run_until(SimTime::from_secs(1));
+            (sim.fingerprint(), sim.digest().count())
+        };
+        let (fp_a, folded) = run(42, 4);
+        let (fp_b, _) = run(42, 4);
+        assert_eq!(fp_a, fp_b, "identical runs must fingerprint identically");
+        assert_eq!(fp_a.len(), 32);
+        // The digest saw every processed event.
+        let mut sim = build(4, 42);
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(folded, sim.events_processed());
+        // A different node count, or one extra injected message, changes
+        // the stream and therefore the print. (A different *seed* need not:
+        // on a zero-jitter LAN the PingPong stream is seed-independent.)
+        assert_ne!(run(42, 5).0, fp_a);
+        let mut perturbed = build(4, 42);
+        perturbed.inject(
+            NodeId(0),
+            NodeId(1),
+            Msg::Ping(99),
+            SimTime::from_millis(500),
+        );
+        perturbed.run_until(SimTime::from_secs(1));
+        assert_ne!(perturbed.fingerprint(), fp_a);
+    }
+
+    #[test]
+    fn profiled_run_attributes_dispatch_time_per_actor_kind() {
+        let mut sim = build(4, 7);
+        sim.enable_profiling();
+        sim.run_until(SimTime::from_secs(1));
+        let p = sim.profile().expect("profiling enabled");
+        assert_eq!(p.events(), sim.events_processed());
+        assert!(p.run_ns() > 0);
+        assert!(
+            p.attributed_ns() <= p.run_ns(),
+            "cells cannot exceed the loop total"
+        );
+        // On a real (non-virtualized-clock) machine nearly all loop time is
+        // charged to cells; keep the test bound loose to avoid flakiness.
+        assert!(
+            p.attributed_ns() * 2 >= p.run_ns(),
+            "attributed {} of {} ns",
+            p.attributed_ns(),
+            p.run_ns()
+        );
+        assert_eq!(sim.kind_names(), &["PingPong".to_string()]);
+        let mut report = RunReport::new("profiled");
+        sim.stamp_observability(&mut report);
+        assert_eq!(report.meta.get("trace.fingerprint").unwrap().len(), 32);
+        assert!(!report.profile.is_empty());
+        assert!(report.profile.iter().all(|e| e.actor == "PingPong"));
+        let deliver: u64 = report
+            .profile
+            .iter()
+            .filter(|e| e.event == "deliver")
+            .map(|e| e.count)
+            .sum();
+        let start: u64 = report
+            .profile
+            .iter()
+            .filter(|e| e.event == "start")
+            .map(|e| e.count)
+            .sum();
+        assert_eq!(start, 4);
+        assert_eq!(deliver + start, sim.events_processed());
+        // Profiling must not perturb the simulated outcome.
+        let mut plain = build(4, 7);
+        plain.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.fingerprint(), plain.fingerprint());
+    }
+
+    #[test]
+    fn capture_streams_one_line_per_canonical_event() {
+        let dir = std::env::temp_dir().join(format!("predis-engine-test-{}", std::process::id()));
+        let path = dir.join("capture.trace.jsonl");
+        let mut sim = build(3, 21);
+        sim.enable_capture(&path).expect("start capture");
+        sim.run_until(SimTime::from_secs(1));
+        sim.finish_observability();
+        let text = std::fs::read_to_string(&path).expect("capture written");
+        assert_eq!(text.lines().count() as u64, sim.events_processed());
+        assert!(text.starts_with("{\"t\":0,\"seq\":0,\"node\":0,\"kind\":\"start\""));
+        assert!(text.contains("\"kind\":\"deliver\""));
+        // The timelines sidecar appears next to the capture (empty run ⇒
+        // empty file, but it exists).
+        assert!(dir.join("capture.timelines.jsonl").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     /// The differential-determinism suite: a chaotic workload (sends,
     /// multicasts, timers, cancels, crashes, revivals, omission loss) run
     /// under the production wheel and the classic global heap must produce
@@ -896,6 +1197,11 @@ mod tests {
                 prop_assert_eq!(wt.timers, ct.timers);
                 prop_assert_eq!(wt.drops, ct.drops);
                 prop_assert_eq!(wt.delivered_bytes, ct.delivered_bytes);
+                prop_assert_eq!(
+                    wheel.fingerprint(),
+                    classic.fingerprint(),
+                    "trace fingerprints diverged"
+                );
                 let we: Vec<_> = wt.events().collect();
                 let ce: Vec<_> = ct.events().collect();
                 prop_assert_eq!(we, ce, "retained trace windows diverged");

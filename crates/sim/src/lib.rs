@@ -55,6 +55,7 @@ pub mod engine;
 pub mod faults;
 pub mod metrics;
 pub mod net;
+pub mod profile;
 pub(crate) mod queue;
 pub mod time;
 pub mod trace;
@@ -68,8 +69,9 @@ pub use metrics::{
     BundleKey, CommitEvent, CounterHandle, Labels, Metrics, RunReport, RunSummary, Stage,
 };
 pub use net::{LatencyModel, LinkConfig, Network, Region, Scheduled};
+pub use profile::{DispatchProfile, PROFILE_EVENTS};
 pub use time::{SimDuration, SimTime};
-pub use trace::{Trace, TraceEvent, TraceKind};
+pub use trace::{CanonEvent, Trace, TraceCapture, TraceDigest, TraceEvent, TraceKind, CANON_KINDS};
 
 /// Convenient glob import for simulation authors.
 pub mod prelude {

@@ -35,5 +35,5 @@ pub mod timeline;
 pub use counters::{CounterHandle, Counters, Labels};
 pub use hist::{HistogramSummary, LogHistogram};
 pub use json::Json;
-pub use report::{CounterEntry, HistogramEntry, RunReport, StageEntry};
+pub use report::{CounterEntry, HistogramEntry, ProfileEntry, RunReport, StageEntry};
 pub use timeline::{BundleKey, Stage, Timeline, Timelines};

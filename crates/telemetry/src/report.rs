@@ -59,6 +59,20 @@ pub struct StageEntry {
     pub summary: HistogramSummary,
 }
 
+/// One dispatch-profiler cell: event count and attributed wall time for one
+/// actor kind × event kind pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileEntry {
+    /// Actor kind (shortened type name, e.g. `ActorOf<PbftNode<PredisPlane>, ConsMsg>`).
+    pub actor: String,
+    /// Event kind: `deliver`, `timer`, `start`, or `other`.
+    pub event: String,
+    /// Events dispatched to this cell.
+    pub count: u64,
+    /// Wall time attributed to this cell, in nanoseconds.
+    pub ns: u64,
+}
+
 /// The full machine-readable snapshot of one run.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct RunReport {
@@ -78,6 +92,10 @@ pub struct RunReport {
     pub timeline_count: u64,
     /// Timeline marks dropped because the span store hit its cap.
     pub timeline_dropped: u64,
+    /// Dispatch-profiler cells (empty unless profiling was enabled).
+    pub profile: Vec<ProfileEntry>,
+    /// Total wall time of the profiled dispatch loop, in nanoseconds.
+    pub profile_run_ns: u64,
 }
 
 impl RunReport {
@@ -149,6 +167,10 @@ impl RunReport {
     }
 
     /// Absorbs the per-stage breakdown and bookkeeping of a span store.
+    ///
+    /// Also surfaces the cap-overflow drop count as the
+    /// `timeline.spans_dropped` metric so artifact-level tooling (and
+    /// `bench_all`'s loud warning) can see silent Fig. 8 truncation.
     pub fn add_timelines(&mut self, timelines: &Timelines) {
         for (segment, h) in timelines.stage_histograms() {
             self.stages.push(StageEntry {
@@ -158,6 +180,7 @@ impl RunReport {
         }
         self.timeline_count = timelines.len() as u64;
         self.timeline_dropped = timelines.dropped();
+        self.set_metric("timeline.spans_dropped", timelines.dropped() as f64);
     }
 
     /// Sum of one counter metric across all labels.
@@ -188,6 +211,11 @@ impl RunReport {
         self.stages.iter().find(|s| s.segment == segment)
     }
 
+    /// Total wall time attributed across all profile cells, in nanoseconds.
+    pub fn profile_attributed_ns(&self) -> u64 {
+        self.profile.iter().map(|p| p.ns).sum()
+    }
+
     fn summary_to_json(s: &HistogramSummary) -> Json {
         Json::Obj(vec![
             ("count".into(), Json::U64(s.count)),
@@ -215,7 +243,7 @@ impl RunReport {
 
     /// The report as a JSON value tree.
     pub fn to_json_value(&self) -> Json {
-        Json::Obj(vec![
+        let mut obj = vec![
             ("name".into(), Json::Str(self.name.clone())),
             (
                 "meta".into(),
@@ -291,7 +319,29 @@ impl RunReport {
             ),
             ("timeline_count".into(), Json::U64(self.timeline_count)),
             ("timeline_dropped".into(), Json::U64(self.timeline_dropped)),
-        ])
+        ];
+        // The profile block only exists when profiling ran, so default-off
+        // reports stay byte-identical with and without the feature compiled.
+        if !self.profile.is_empty() {
+            obj.push((
+                "profile".into(),
+                Json::Arr(
+                    self.profile
+                        .iter()
+                        .map(|p| {
+                            Json::Obj(vec![
+                                ("actor".into(), Json::Str(p.actor.clone())),
+                                ("event".into(), Json::Str(p.event.clone())),
+                                ("count".into(), Json::U64(p.count)),
+                                ("ns".into(), Json::U64(p.ns)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+            obj.push(("profile_run_ns".into(), Json::U64(self.profile_run_ns)));
+        }
+        Json::Obj(obj)
     }
 
     /// Serializes to pretty-printed JSON.
@@ -392,6 +442,31 @@ impl RunReport {
             .get("timeline_dropped")
             .and_then(Json::as_u64)
             .unwrap_or(0);
+        if let Some(arr) = v.get("profile").and_then(Json::as_arr) {
+            for p in arr {
+                report.profile.push(ProfileEntry {
+                    actor: p
+                        .get("actor")
+                        .and_then(Json::as_str)
+                        .ok_or("profile cell missing actor")?
+                        .to_string(),
+                    event: p
+                        .get("event")
+                        .and_then(Json::as_str)
+                        .ok_or("profile cell missing event")?
+                        .to_string(),
+                    count: p
+                        .get("count")
+                        .and_then(Json::as_u64)
+                        .ok_or("profile cell missing count")?,
+                    ns: p
+                        .get("ns")
+                        .and_then(Json::as_u64)
+                        .ok_or("profile cell missing ns")?,
+                });
+            }
+        }
+        report.profile_run_ns = v.get("profile_run_ns").and_then(Json::as_u64).unwrap_or(0);
         Ok(report)
     }
 
@@ -460,6 +535,26 @@ impl RunReport {
                 "   timelines tracked {} (dropped {})\n",
                 self.timeline_count, self.timeline_dropped
             ));
+        }
+        if !self.profile.is_empty() {
+            let attributed = self.profile_attributed_ns();
+            let pct = if self.profile_run_ns > 0 {
+                100.0 * attributed as f64 / self.profile_run_ns as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "   profile: {:.2} ms dispatch loop, {pct:.1}% attributed\n",
+                self.profile_run_ns as f64 / 1e6
+            ));
+            for p in &self.profile {
+                out.push_str(&format!(
+                    "   prof {:<48} {:>12} {:>10.2} ms\n",
+                    format!("{} / {}", p.actor, p.event),
+                    p.count,
+                    p.ns as f64 / 1e6
+                ));
+            }
         }
         if !self.counters.is_empty() {
             let mut top: Vec<&CounterEntry> = self.counters.iter().collect();
@@ -587,5 +682,52 @@ mod tests {
         let report = RunReport::new("empty");
         let back = RunReport::from_json(&report.to_json()).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn profile_block_round_trips_and_is_absent_when_empty() {
+        let mut report = sample_report();
+        assert!(!report.to_json().contains("\"profile\""));
+        report.profile.push(ProfileEntry {
+            actor: "ActorOf<PbftNode<PredisPlane>, ConsMsg>".into(),
+            event: "deliver".into(),
+            count: 1234,
+            ns: 5_600_000,
+        });
+        report.profile.push(ProfileEntry {
+            actor: "ActorOf<PbftNode<PredisPlane>, ConsMsg>".into(),
+            event: "timer".into(),
+            count: 99,
+            ns: 70_000,
+        });
+        report.profile_run_ns = 6_000_000;
+        let text = report.to_json();
+        let back = RunReport::from_json(&text).expect("parse back");
+        assert_eq!(back, report);
+        assert_eq!(back.to_json(), text);
+        assert_eq!(back.profile_attributed_ns(), 5_670_000);
+        assert!(report.render().contains("94.5% attributed"));
+    }
+
+    #[test]
+    fn add_timelines_surfaces_drop_metric() {
+        let report = sample_report();
+        assert_eq!(report.metric("timeline.spans_dropped"), Some(0.0));
+        let mut tl = Timelines::with_cap(1);
+        for h in 0..3u64 {
+            tl.mark(
+                BundleKey {
+                    producer: 1,
+                    chain: 1,
+                    height: h,
+                },
+                Stage::Produced,
+                h,
+            );
+        }
+        let mut r = RunReport::new("dropped");
+        r.add_timelines(&tl);
+        assert_eq!(r.metric("timeline.spans_dropped"), Some(2.0));
+        assert_eq!(r.timeline_dropped, 2);
     }
 }

@@ -174,6 +174,36 @@ impl Timelines {
         self.map.iter()
     }
 
+    /// Streams every timeline as one JSON line per bundle, in deterministic
+    /// key order: `{"producer":p,"chain":c,"height":h,"stages":{...}}` with
+    /// only the recorded stages present (nanosecond stamps).
+    ///
+    /// This is the sidecar the trace exporter reads to draw bundle-lifecycle
+    /// spans next to a captured engine event stream.
+    pub fn write_jsonl(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        use std::io::Write as _;
+        let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+        for (key, t) in self.iter() {
+            write!(
+                out,
+                "{{\"producer\":{},\"chain\":{},\"height\":{},\"stages\":{{",
+                key.producer, key.chain, key.height
+            )?;
+            let mut first = true;
+            for stage in Stage::ALL {
+                if let Some(ns) = t.get(stage) {
+                    if !first {
+                        out.write_all(b",")?;
+                    }
+                    first = false;
+                    write!(out, "\"{}\":{ns}", stage.name())?;
+                }
+            }
+            out.write_all(b"}}\n")?;
+        }
+        out.flush()
+    }
+
     /// Per-stage latency histograms.
     ///
     /// Returns one `("a->b", histogram)` per adjacent stage pair in pipeline
