@@ -20,16 +20,17 @@ use crate::sweep::{Runner, SweepOutcome, SweepPoint};
 
 /// Version of the artifact schema; part of the default file name so stale
 /// baselines fail loudly instead of comparing apples to oranges.
-pub const BENCH_SCHEMA_VERSION: u64 = 6;
+pub const BENCH_SCHEMA_VERSION: u64 = 7;
 
 /// Oldest schema version [`BenchArtifact::from_json`] still reads. Version 2
 /// artifacts lack the `payload_clones` field, versions before 5 lack the
-/// nested `perf` block, and versions before 6 lack the `fingerprint` field
-/// (defaulted to 0 / empty on read), so an old baseline still diffs against
-/// a new run.
+/// nested `perf` block, versions before 6 lack the `fingerprint` field, and
+/// versions before 7 lack the `engine` block (threads / per-partition event
+/// counts). Missing fields default on read (0 / empty / 1 thread), so an old
+/// baseline still diffs against a new run.
 pub const BENCH_SCHEMA_MIN_SUPPORTED: u64 = 2;
 
-/// The default artifact file name, `BENCH_6.json`.
+/// The default artifact file name, `BENCH_7.json`.
 pub fn bench_file_name() -> String {
     format!("BENCH_{BENCH_SCHEMA_VERSION}.json")
 }
@@ -64,6 +65,17 @@ pub struct BenchEntry {
     /// `events_processed / wall_ms`, so it is machine-dependent and excluded
     /// from determinism comparisons; CI's perf-smoke gate reads it.
     pub events_per_sec: f64,
+    /// Worker threads the engine actually used for the run's last session
+    /// (`engine.threads` meta; 1 = sequential). An execution-strategy knob,
+    /// not a workload property, so it is excluded from
+    /// [`BenchArtifact::identical_modulo_wall`] — the determinism gate
+    /// compares runs *across* thread counts.
+    pub threads: u64,
+    /// Events dispatched per partition in the last parallel session
+    /// (`engine.partition_events` meta; empty when the run was sequential).
+    /// Load-balance diagnostics only — excluded from determinism
+    /// comparisons for the same reason as `threads`.
+    pub partition_events: Vec<u64>,
     /// Wall-clock milliseconds the run took (machine-dependent; excluded
     /// from determinism and regression comparisons).
     pub wall_ms: u64,
@@ -120,6 +132,16 @@ impl BenchEntry {
                 .cloned()
                 .unwrap_or_default(),
             events_per_sec,
+            threads: report
+                .meta
+                .get("engine.threads")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(1),
+            partition_events: report
+                .meta
+                .get("engine.partition_events")
+                .map(|s| s.split(',').filter_map(|t| t.parse().ok()).collect())
+                .unwrap_or_default(),
             wall_ms: outcome.wall_ms,
         }
     }
@@ -178,6 +200,18 @@ impl BenchArtifact {
                             Json::Obj(vec![
                                 ("events_processed".into(), Json::U64(e.events_processed)),
                                 ("events_per_sec".into(), Json::F64(e.events_per_sec)),
+                            ]),
+                        ),
+                        (
+                            "engine".into(),
+                            Json::Obj(vec![
+                                ("threads".into(), Json::U64(e.threads)),
+                                (
+                                    "partition_events".into(),
+                                    Json::Arr(
+                                        e.partition_events.iter().map(|&n| Json::U64(n)).collect(),
+                                    ),
+                                ),
                             ]),
                         ),
                         ("wall_ms".into(), Json::U64(e.wall_ms)),
@@ -246,6 +280,19 @@ impl BenchArtifact {
                         .and_then(|p| p.get("events_per_sec"))
                         .and_then(Json::as_f64)
                         .unwrap_or(0.0),
+                    // The `engine` block is absent before schema 7; such
+                    // runs were always sequential.
+                    threads: run
+                        .get("engine")
+                        .and_then(|p| p.get("threads"))
+                        .and_then(Json::as_u64)
+                        .unwrap_or(1),
+                    partition_events: run
+                        .get("engine")
+                        .and_then(|p| p.get("partition_events"))
+                        .and_then(Json::as_arr)
+                        .map(|a| a.iter().filter_map(Json::as_u64).collect())
+                        .unwrap_or_default(),
                     wall_ms: int("wall_ms")?,
                 },
             );
@@ -433,6 +480,8 @@ mod tests {
             events_processed: 9_000,
             events_per_sec: 1_234.5,
             fingerprint: "00112233445566778899aabbccddeeff".to_string(),
+            threads: 2,
+            partition_events: vec![4_500, 4_500],
             wall_ms: wall,
         }
     }
@@ -495,6 +544,21 @@ mod tests {
         assert_eq!(back.runs["a"].payload_clones, 42);
         // Pre-v6 artifacts carry no fingerprint; it defaults to empty.
         assert_eq!(back.runs["a"].fingerprint, "");
+        // Pre-v7 artifacts carry no engine block; they were sequential.
+        assert_eq!(back.runs["a"].threads, 1);
+        assert!(back.runs["a"].partition_events.is_empty());
+    }
+
+    #[test]
+    fn identical_modulo_wall_ignores_thread_count() {
+        // The determinism matrix compares runs across PREDIS_SIM_THREADS
+        // values: the engine block records how a run executed, not what it
+        // computed, so it must never read as a determinism break.
+        let a = artifact(&[("a", entry(10_000.0, 100.0, 1))]);
+        let mut b = artifact(&[("a", entry(10_000.0, 100.0, 77))]);
+        b.runs.get_mut("a").unwrap().threads = 8;
+        b.runs.get_mut("a").unwrap().partition_events = vec![1, 2, 3];
+        assert!(a.identical_modulo_wall(&b).is_empty());
     }
 
     #[test]

@@ -64,7 +64,9 @@ impl PlaneOutcome {
 /// `parent` arguments are the payload digest of the consensus-predecessor
 /// proposal ([`Hash::ZERO`] at genesis) so planes that thread state through
 /// the block chain (Predis cuts) can key off it.
-pub trait DataPlane: std::fmt::Debug + 'static {
+/// (`Send` because consensus shells are simulation actors, which the
+/// parallel engine moves between partition worker threads.)
+pub trait DataPlane: std::fmt::Debug + Send + 'static {
     /// Called once at node start (arm production timers etc.).
     fn init<M: Codec<ConsMsg>>(&mut self, ctx: &mut NarrowContext<'_, '_, M, ConsMsg>);
 

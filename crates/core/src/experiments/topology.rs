@@ -361,6 +361,42 @@ impl TopologySetup {
             );
         }
 
+        // Partition affinity for the parallel engine, derived from the
+        // dissemination topology: traffic is densest inside a zone (or a
+        // star's assigned set) and between clients and consensus, so those
+        // stay on one worker and only stripe/block dissemination crosses
+        // partitions.
+        let mut affinity: Vec<Vec<NodeId>> = Vec::new();
+        let mut core_group = cons.clone();
+        core_group.extend(client_ids.iter().copied());
+        match self.mode {
+            DistMode::MultiZone { zones } => {
+                affinity.push(core_group);
+                let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); zones];
+                for (j, &fnode) in fulls.iter().enumerate() {
+                    members[j % zones].push(fnode);
+                }
+                affinity.extend(members.into_iter().filter(|m| !m.is_empty()));
+            }
+            DistMode::Star => {
+                // Each star: the consensus node plus the full nodes it
+                // serves; clients ride with the consensus they submit to.
+                affinity.push(core_group);
+                for me in 0..self.n_c {
+                    let star: Vec<NodeId> = fulls
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| j % self.n_c == me)
+                        .map(|(_, &n)| n)
+                        .collect();
+                    if !star.is_empty() {
+                        affinity.push(star);
+                    }
+                }
+            }
+        }
+        sim.set_partition_hint(affinity);
+
         if !name.is_empty() {
             sim.apply_observability_env(name);
         }

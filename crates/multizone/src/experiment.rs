@@ -295,6 +295,34 @@ impl PropagationSetup {
             }
         }
 
+        // Partition affinity for the parallel engine: sources form one
+        // group (they multicast to each other's duty sets and share the
+        // block schedule); each zone (or star assignment set) is its own
+        // group so the dense intra-zone forwarding never crosses a worker
+        // boundary. The random graph has no exploitable cut — leave it to
+        // the planner's default.
+        let mut affinity: Vec<Vec<NodeId>> = vec![cons.clone()];
+        match topology {
+            Topology::Star => {
+                let mut assigned: Vec<Vec<NodeId>> = vec![Vec::new(); self.n_c];
+                for (j, &fnode) in fulls.iter().enumerate() {
+                    assigned[j % self.n_c].push(fnode);
+                }
+                affinity.extend(assigned.into_iter().filter(|a| !a.is_empty()));
+            }
+            Topology::MultiZone { zones } => {
+                let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); *zones];
+                for (j, &fnode) in fulls.iter().enumerate() {
+                    members[j % zones].push(fnode);
+                }
+                affinity.extend(members.into_iter().filter(|m| !m.is_empty()));
+            }
+            Topology::Random { .. } => affinity = Vec::new(),
+        }
+        if !affinity.is_empty() {
+            sim.set_partition_hint(affinity);
+        }
+
         let horizon =
             SimTime::ZERO + warmup + self.interval * (self.blocks + 3) + SimDuration::from_secs(30);
         if !name.is_empty() {

@@ -12,8 +12,8 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use predis_sim::{
-    BundleKey, Codec, CounterHandle, Labels, NarrowContext, NodeId, ProtocolCore, SimDuration,
-    SimTime, Stage, TimerTag,
+    BundleKey, Codec, Labels, NarrowContext, NodeId, ProtocolCore, SimDuration, SimTime, Stage,
+    TimerTag,
 };
 use predis_types::Shared;
 use rand::seq::SliceRandom;
@@ -351,9 +351,6 @@ pub struct MultiZoneNode {
     ann_forwarded: HashSet<u64>,
     pulled: HashSet<u64>,
     last_data: HashMap<u32, SimTime>,
-    /// Interned `zone.stripe_sends` cells, one per stripe this node has
-    /// forwarded (avoids a name+label map probe per forwarded stripe).
-    stripe_send_handles: HashMap<u32, CounterHandle>,
     /// Per-block bundle payload size (learned from stripes), for serving
     /// bundle pulls.
     bundle_bytes_hint: HashMap<u64, u32>,
@@ -398,7 +395,6 @@ impl MultiZoneNode {
             ann_forwarded: HashSet::new(),
             pulled: HashSet::new(),
             last_data: HashMap::new(),
-            stripe_send_handles: HashMap::new(),
             bundle_bytes_hint: HashMap::new(),
             ann_seen_at: HashMap::new(),
             whole_bundles: HashSet::new(),
@@ -893,14 +889,17 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
                         },
                     );
                     if fanout > 0 {
+                        // Name-based increment, deliberately not a cached
+                        // CounterHandle: handles minted inside a callback
+                        // would be interned against a partition worker's
+                        // forked metrics under the parallel engine and go
+                        // stale once the run ends.
                         let me = ctx.node().index() as u64;
-                        let handle = *self.stripe_send_handles.entry(stripe).or_insert_with(|| {
-                            ctx.metrics().counter_handle(
-                                "zone.stripe_sends",
-                                Labels::node(me).and_chain(stripe as u64),
-                            )
-                        });
-                        ctx.metrics().incr_handle(handle, fanout);
+                        ctx.metrics().incr_labeled(
+                            "zone.stripe_sends",
+                            Labels::node(me).and_chain(stripe as u64),
+                            fanout,
+                        );
                     }
                 }
                 if have_count >= k as usize && self.decoded.insert(bundle) {

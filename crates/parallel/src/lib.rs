@@ -168,6 +168,106 @@ impl Default for Pool {
     }
 }
 
+/// Runs a barrier-synchronized lockstep session over a set of owned shards.
+///
+/// One worker thread is spawned per shard. The session proceeds in rounds:
+/// every round, each shard is sent to its worker (ownership transfer over a
+/// channel), the worker calls `work(index, &mut shard)` in parallel with its
+/// peers, and the shard is sent back. Once **all** shards have returned —
+/// the barrier — the driver's `sync(&mut shards)` closure runs with
+/// exclusive access to every shard; it merges cross-shard state and decides
+/// whether another round follows (`true`) or the session ends (`false`).
+///
+/// After the final round each shard visits its worker one last time so
+/// `finish(index, &mut shard)` can harvest worker-thread-local state (e.g.
+/// thread-local counters that must be read *on* the thread that wrote
+/// them); its results are returned in shard order alongside the shards.
+///
+/// A panicking worker ends the session early and the panic is re-raised
+/// when the scope joins, exactly like [`Pool::run`].
+pub fn run_lockstep<T, R, W, S, F>(
+    mut shards: Vec<T>,
+    work: W,
+    mut sync: S,
+    finish: F,
+) -> (Vec<T>, Vec<R>)
+where
+    T: Send,
+    R: Send,
+    W: Fn(usize, &mut T) + Sync,
+    S: FnMut(&mut Vec<T>) -> bool,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let n = shards.len();
+    if n == 0 {
+        return (shards, Vec::new());
+    }
+    thread::scope(|scope| {
+        let mut to_workers = Vec::with_capacity(n);
+        let mut from_workers = Vec::with_capacity(n);
+        for index in 0..n {
+            let (job_tx, job_rx) = mpsc::channel::<(T, bool)>();
+            let (done_tx, done_rx) = mpsc::channel::<(T, Option<R>)>();
+            let work = &work;
+            let finish = &finish;
+            scope.spawn(move || {
+                while let Ok((mut shard, last)) = job_rx.recv() {
+                    if last {
+                        let harvest = finish(index, &mut shard);
+                        let _ = done_tx.send((shard, Some(harvest)));
+                        break;
+                    }
+                    work(index, &mut shard);
+                    if done_tx.send((shard, None)).is_err() {
+                        break;
+                    }
+                }
+            });
+            to_workers.push(job_tx);
+            from_workers.push(done_rx);
+        }
+        let mut results = Vec::with_capacity(n);
+        'session: loop {
+            let last = {
+                // Rounds run until `sync` says stop; the final trip only
+                // harvests. A send/recv error means a worker panicked — bail
+                // out and let the scope join re-raise its payload.
+                for (tx, shard) in to_workers.iter().zip(shards.drain(..)) {
+                    if tx.send((shard, false)).is_err() {
+                        break 'session;
+                    }
+                }
+                for rx in &from_workers {
+                    match rx.recv() {
+                        Ok((shard, _)) => shards.push(shard),
+                        Err(_) => break 'session,
+                    }
+                }
+                !sync(&mut shards)
+            };
+            if last {
+                for (tx, shard) in to_workers.iter().zip(shards.drain(..)) {
+                    if tx.send((shard, true)).is_err() {
+                        break 'session;
+                    }
+                }
+                for rx in &from_workers {
+                    match rx.recv() {
+                        Ok((shard, harvest)) => {
+                            shards.push(shard);
+                            results.extend(harvest);
+                        }
+                        Err(_) => break 'session,
+                    }
+                }
+                break;
+            }
+        }
+        drop(to_workers);
+        (shards, results)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +300,68 @@ mod tests {
         let pool = Pool::new(4);
         let out: Vec<u32> = pool.run(Vec::<fn() -> u32>::new());
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn lockstep_barriers_between_rounds() {
+        // Each worker increments its shard once per round; sync must always
+        // observe every shard at the same round count (the barrier), and
+        // finish must run on the worker thread.
+        struct Cell {
+            rounds: u32,
+            thread: Option<std::thread::ThreadId>,
+        }
+        let shards: Vec<Cell> = (0..4)
+            .map(|_| Cell {
+                rounds: 0,
+                thread: None,
+            })
+            .collect();
+        let mut syncs = 0u32;
+        let (shards, harvest) = run_lockstep(
+            shards,
+            |_, cell| cell.rounds += 1,
+            |cells| {
+                let r = cells[0].rounds;
+                assert!(cells.iter().all(|c| c.rounds == r), "barrier violated");
+                syncs += 1;
+                r < 5
+            },
+            |_, cell| {
+                cell.thread = Some(std::thread::current().id());
+                cell.rounds
+            },
+        );
+        assert_eq!(syncs, 5);
+        assert_eq!(harvest, vec![5, 5, 5, 5]);
+        let main = std::thread::current().id();
+        for cell in &shards {
+            assert_ne!(cell.thread.unwrap(), main, "finish must run on the worker");
+        }
+    }
+
+    #[test]
+    fn lockstep_propagates_worker_panics() {
+        let result = std::panic::catch_unwind(|| {
+            run_lockstep(
+                vec![0u32, 1],
+                |i, _| {
+                    if i == 1 {
+                        panic!("worker down");
+                    }
+                },
+                |_| false,
+                |_, v| *v,
+            )
+        });
+        assert!(result.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    fn lockstep_empty_shards_is_a_noop() {
+        let (shards, harvest) = run_lockstep(Vec::<u32>::new(), |_, _| {}, |_| true, |_, v| *v);
+        assert!(shards.is_empty());
+        assert!(harvest.is_empty());
     }
 
     #[test]

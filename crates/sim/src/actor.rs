@@ -73,7 +73,11 @@ impl TimerTag {
 /// The simulator never serializes payloads; it only needs their wire size to
 /// model bandwidth. Implementations should report the size the message would
 /// have on a real wire (including protocol framing they care about).
-pub trait Payload: Clone + Debug + 'static {
+///
+/// Payloads are `Send` because the parallel engine moves in-flight events
+/// between partition workers at window barriers; payload types are plain
+/// data (or `Arc`-shared immutable data), so this costs nothing in practice.
+pub trait Payload: Clone + Debug + Send + 'static {
     /// Size of this message on the wire, in bytes.
     fn wire_size(&self) -> usize;
 }
@@ -298,8 +302,10 @@ impl<'b, 'a, M: Codec<T>, T> NarrowContext<'b, 'a, M, T> {
 /// A simulated node's behaviour over envelope message type `M`.
 ///
 /// The `Any` supertrait allows post-run downcasting via
-/// [`crate::engine::Sim::actor_as`].
-pub trait Actor<M>: std::any::Any {
+/// [`crate::engine::Sim::actor_as`]; the `Send` supertrait lets the parallel
+/// engine move whole partitions (actors included) onto worker threads for
+/// the span of a lookahead window.
+pub trait Actor<M>: std::any::Any + Send {
     /// Called once when the simulation starts (or when the node joins).
     fn on_start(&mut self, ctx: &mut Context<'_, M>) {
         let _ = ctx;
@@ -327,8 +333,9 @@ pub trait Actor<M>: std::any::Any {
 /// A protocol state machine over its own message type `T`.
 ///
 /// Implementations stay independent of the envelope type; [`ActorOf`] lifts
-/// them into an [`Actor`] for any envelope `M: Codec<T>`.
-pub trait ProtocolCore<T>: 'static {
+/// them into an [`Actor`] for any envelope `M: Codec<T>` (which requires
+/// cores to be `Send`, like every [`Actor`]).
+pub trait ProtocolCore<T>: Send + 'static {
     /// Called once when the simulation starts.
     fn start<M: Codec<T>>(&mut self, ctx: &mut NarrowContext<'_, '_, M, T>) {
         let _ = ctx;

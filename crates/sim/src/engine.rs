@@ -32,57 +32,73 @@ use predis_telemetry::RunReport;
 
 /// Handles for the global network counters, interned at construction.
 #[derive(Debug, Clone, Copy)]
-struct NetHandles {
-    messages: CounterHandle,
-    bytes: CounterHandle,
-    dropped: CounterHandle,
-    dropped_bytes: CounterHandle,
+pub(crate) struct NetHandles {
+    pub(crate) messages: CounterHandle,
+    pub(crate) bytes: CounterHandle,
+    pub(crate) dropped: CounterHandle,
+    pub(crate) dropped_bytes: CounterHandle,
 }
 
 /// Handles for one node's per-event counters, interned at `add_node`.
 #[derive(Debug, Clone, Copy)]
-struct NodeHandles {
-    deliveries: CounterHandle,
-    delivered_bytes: CounterHandle,
-    timers: CounterHandle,
-    drops: CounterHandle,
+pub(crate) struct NodeHandles {
+    pub(crate) deliveries: CounterHandle,
+    pub(crate) delivered_bytes: CounterHandle,
+    pub(crate) timers: CounterHandle,
+    pub(crate) drops: CounterHandle,
 }
 
 /// A deterministic discrete-event simulation over message type `M`.
+///
+/// Fields are `pub(crate)` so the conservative parallel engine
+/// (`crate::parallel`) can partition them into per-worker shards and merge
+/// them back without an intermediary accessor layer.
 pub struct Sim<M> {
-    now: SimTime,
-    seq: u64,
-    queue: EventQueue<M>,
-    actors: Vec<Option<Box<dyn Actor<M>>>>,
-    node_rngs: Vec<SmallRng>,
-    net_rng: SmallRng,
-    network: Network,
-    faults: FaultPlan,
-    metrics: Metrics,
-    halted: Vec<bool>,
-    started: Vec<bool>,
+    pub(crate) now: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) queue: EventQueue<M>,
+    pub(crate) actors: Vec<Option<Box<dyn Actor<M>>>>,
+    pub(crate) node_rngs: Vec<SmallRng>,
+    pub(crate) net_rng: SmallRng,
+    pub(crate) network: Network,
+    pub(crate) faults: FaultPlan,
+    pub(crate) metrics: Metrics,
+    pub(crate) halted: Vec<bool>,
+    pub(crate) started: Vec<bool>,
     /// Incremented on revival: timers armed in an older epoch are dead.
-    epochs: Vec<u32>,
-    timers: TimerSlots,
+    pub(crate) epochs: Vec<u32>,
+    /// One timer-slot arena per node, so partitions can take their nodes'
+    /// slots with them across threads.
+    pub(crate) timers: Vec<TimerSlots>,
     /// Pooled op buffer handed to each dispatch and drained by
     /// `apply_ops`; its capacity survives across events.
-    ops_scratch: Vec<Op<M>>,
-    net_handles: NetHandles,
-    node_handles: Vec<NodeHandles>,
-    events_processed: u64,
+    pub(crate) ops_scratch: Vec<Op<M>>,
+    pub(crate) net_handles: NetHandles,
+    pub(crate) node_handles: Vec<NodeHandles>,
+    pub(crate) events_processed: u64,
     /// Nodes whose crash event has been scheduled.
-    crash_scheduled: Vec<bool>,
-    trace: Option<Trace>,
+    pub(crate) crash_scheduled: Vec<bool>,
+    pub(crate) trace: Option<Trace>,
     /// Always-on streaming fingerprint over the canonical event stream.
-    digest: TraceDigest,
+    pub(crate) digest: TraceDigest,
     /// Optional full JSONL capture of the canonical event stream.
-    capture: Option<TraceCapture>,
+    pub(crate) capture: Option<TraceCapture>,
     /// Optional per-actor-kind dispatch profiler.
-    profile: Option<DispatchProfile>,
+    pub(crate) profile: Option<DispatchProfile>,
     /// Interned actor-kind names, indexed by the values in `kind_of_node`.
-    kind_names: Vec<String>,
+    pub(crate) kind_names: Vec<String>,
     /// Dense actor-kind index per node, interned at `add_node`.
-    kind_of_node: Vec<u16>,
+    pub(crate) kind_of_node: Vec<u16>,
+    /// Worker count requested for windowed parallel execution (seeded from
+    /// `PREDIS_SIM_THREADS`, default 1 = sequential).
+    pub(crate) threads: usize,
+    /// Caller-declared affinity groups: nodes listed together must land in
+    /// the same partition. Consulted by the parallel planner.
+    pub(crate) partition_hint: Option<Vec<Vec<NodeId>>>,
+    /// Workers actually used by the most recent `run_until` (1 = sequential).
+    pub(crate) threads_used: usize,
+    /// Events dispatched per partition during the most recent parallel run.
+    pub(crate) partition_events: Vec<u64>,
 }
 
 impl<M: Payload> Sim<M> {
@@ -120,7 +136,7 @@ impl<M: Payload> Sim<M> {
             halted: Vec::new(),
             started: Vec::new(),
             epochs: Vec::new(),
-            timers: TimerSlots::new(),
+            timers: Vec::new(),
             ops_scratch: Vec::new(),
             net_handles,
             node_handles: Vec::new(),
@@ -132,6 +148,10 @@ impl<M: Payload> Sim<M> {
             profile: None,
             kind_names: Vec::new(),
             kind_of_node: Vec::new(),
+            threads: sim_threads_from_env(),
+            partition_hint: None,
+            threads_used: 1,
+            partition_events: Vec::new(),
         }
     }
 
@@ -239,12 +259,26 @@ impl<M: Payload> Sim<M> {
     }
 
     /// Stamps the run's forensic identity onto a report: the
-    /// `trace.fingerprint` meta key (always) and the `profile` block (when
-    /// profiling ran).
+    /// `trace.fingerprint` meta key (always), the parallel-engine shape
+    /// (`engine.threads`, and `engine.partition_events` when a windowed
+    /// parallel run happened), and the `profile` block (when profiling ran).
     pub fn stamp_observability(&self, report: &mut RunReport) {
         report
             .meta
             .insert("trace.fingerprint".into(), self.fingerprint());
+        report
+            .meta
+            .insert("engine.threads".into(), self.threads_used.to_string());
+        if !self.partition_events.is_empty() {
+            let counts: Vec<String> = self
+                .partition_events
+                .iter()
+                .map(|c| c.to_string())
+                .collect();
+            report
+                .meta
+                .insert("engine.partition_events".into(), counts.join(","));
+        }
         if let Some(p) = &self.profile {
             p.stamp(&self.kind_names, report);
         }
@@ -254,6 +288,43 @@ impl<M: Payload> Sim<M> {
     /// have crash events scheduled.
     pub fn set_faults(&mut self, faults: FaultPlan) {
         self.faults = faults;
+    }
+
+    /// Requests `threads` lookahead-window workers for subsequent
+    /// [`Sim::run_until`] calls (clamped to at least 1; the construction
+    /// default comes from `PREDIS_SIM_THREADS`). The engine silently falls
+    /// back to the sequential scheduler whenever a parallel run could
+    /// perturb determinism or cannot help: profiling enabled, network
+    /// jitter, randomized message omission, fewer than two partitions, or a
+    /// zero lookahead. Results are bit-identical either way.
+    pub fn set_sim_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The requested worker count (see [`Sim::set_sim_threads`]).
+    pub fn sim_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Declares partition affinity: nodes listed in one group are placed in
+    /// the same partition by the parallel planner (groups are packed onto
+    /// workers; nodes not mentioned get singleton groups). Experiments use
+    /// this to keep a zone's members together so intra-zone traffic never
+    /// crosses a partition boundary.
+    pub fn set_partition_hint(&mut self, groups: Vec<Vec<NodeId>>) {
+        self.partition_hint = Some(groups);
+    }
+
+    /// Workers actually used by the most recent [`Sim::run_until`]
+    /// (1 = it ran sequentially).
+    pub fn threads_used(&self) -> usize {
+        self.threads_used
+    }
+
+    /// Events dispatched per partition during the most recent parallel run
+    /// (empty when the last run was sequential).
+    pub fn partition_event_counts(&self) -> &[u64] {
+        &self.partition_events
     }
 
     /// Adds a node with the given link config and behaviour; its
@@ -275,6 +346,7 @@ impl<M: Payload> Sim<M> {
         self.halted.push(false);
         self.started.push(false);
         self.epochs.push(0);
+        self.timers.push(TimerSlots::new());
         self.crash_scheduled.push(false);
         // Intern the actor kind for dispatch profiling: the hot path indexes
         // by this dense id and never touches the name again.
@@ -303,7 +375,7 @@ impl<M: Payload> Sim<M> {
         id
     }
 
-    fn next_seq(&mut self) -> u64 {
+    pub(crate) fn next_seq(&mut self) -> u64 {
         let s = self.seq;
         self.seq += 1;
         s
@@ -396,6 +468,12 @@ impl<M: Payload> Sim<M> {
     /// `horizon`); afterwards `now() == horizon`.
     pub fn run_until(&mut self, horizon: SimTime) {
         self.schedule_crashes();
+        if self.try_run_parallel(horizon) {
+            self.now = horizon;
+            return;
+        }
+        self.threads_used = 1;
+        self.partition_events.clear();
         if self.profile.is_some() {
             self.run_events_profiled(horizon);
         } else {
@@ -406,6 +484,24 @@ impl<M: Payload> Sim<M> {
             }
         }
         self.now = horizon;
+    }
+
+    /// Attempts the conservative parallel run; `false` means the caller
+    /// must fall back to the sequential scheduler. Parallelism is only
+    /// engaged when it provably cannot change the event stream: no
+    /// profiler (its wall-clock attribution is per-thread), no network
+    /// jitter and no randomized omission (both draw from RNGs in global
+    /// event order), and the planner found a real partitioning with a
+    /// positive lookahead.
+    fn try_run_parallel(&mut self, horizon: SimTime) -> bool {
+        if self.threads <= 1
+            || self.profile.is_some()
+            || !self.network.jitter().is_zero()
+            || self.faults.has_random_omission()
+        {
+            return false;
+        }
+        crate::parallel::run_until_parallel(self, horizon)
     }
 
     /// The profiled twin of the dispatch loop: one `Instant` reading per
@@ -478,7 +574,7 @@ impl<M: Payload> Sim<M> {
         // halted, unstarted, or mid-crash. `timer_live` is false when a
         // cancel got there first.
         let timer_live = match event.kind {
-            EventKind::Timer { id, .. } => self.timers.resolve(id),
+            EventKind::Timer { id, .. } => self.timers[idx].resolve(id),
             _ => true,
         };
         if let EventKind::Revive = event.kind {
@@ -553,7 +649,7 @@ impl<M: Payload> Sim<M> {
                 node,
                 node_count: self.actors.len() as u32,
                 link_free_at: self.network.link_free_at(node),
-                timers: &mut self.timers,
+                timers: &mut self.timers[idx],
                 ops: &mut ops,
                 rng: &mut self.node_rngs[idx],
                 metrics: &mut self.metrics,
@@ -631,7 +727,7 @@ impl<M: Payload> Sim<M> {
                     });
                 }
                 Op::CancelTimer { id } => {
-                    self.timers.cancel(id);
+                    self.timers[node.index()].cancel(id);
                 }
                 Op::Halt => {
                     self.halted[node.index()] = true;
@@ -668,6 +764,16 @@ impl<M: Payload> Sim<M> {
             });
         }
     }
+}
+
+/// The construction-time default worker count: `PREDIS_SIM_THREADS` when it
+/// parses to a positive integer, else 1 (sequential).
+fn sim_threads_from_env() -> usize {
+    std::env::var("PREDIS_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 /// The profiler bucket an event kind is charged to.

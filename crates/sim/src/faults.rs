@@ -181,6 +181,13 @@ impl FaultPlan {
         }
         true
     }
+
+    /// True if any node has a probabilistic omission rate, i.e.
+    /// [`FaultPlan::delivers`] may draw from the RNG. Crash/revive schedules
+    /// and link blocks are time-deterministic and do not count.
+    pub fn has_random_omission(&self) -> bool {
+        self.nodes.iter().any(|n| n.omission_prob > 0.0)
+    }
 }
 
 #[cfg(test)]

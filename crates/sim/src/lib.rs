@@ -55,6 +55,7 @@ pub mod engine;
 pub mod faults;
 pub mod metrics;
 pub mod net;
+pub(crate) mod parallel;
 pub mod profile;
 pub(crate) mod queue;
 pub mod time;

@@ -288,6 +288,38 @@ impl Metrics {
         None
     }
 
+    /// A zeroed fork of this sink for a partition worker: the counter store
+    /// shares the interned cell index (so [`CounterHandle`]s minted on the
+    /// parent stay valid in the fork) but every cell starts at zero, and all
+    /// other stores start empty. Fold back with [`Metrics::absorb_worker`].
+    pub(crate) fn fork_for_worker(&self) -> Metrics {
+        Metrics {
+            counters: self.counters.fork_zeroed(),
+            latencies: HashMap::new(),
+            commits: Vec::new(),
+            arrivals: HashMap::new(),
+            timelines: Timelines::with_cap(self.timelines.cap()),
+        }
+    }
+
+    /// Folds a worker fork back in. Counters add cell-wise and histograms
+    /// merge bucket-wise (both commutative), arrivals append per key (their
+    /// consumers sort), timelines re-mark with earliest-observation-wins,
+    /// and commits append then stably re-sort by simulated time — so every
+    /// aggregate a report reads is identical to the sequential run's.
+    pub(crate) fn absorb_worker(&mut self, other: Metrics) {
+        self.counters.absorb(&other.counters);
+        self.timelines.absorb(&other.timelines);
+        for (name, hist) in &other.latencies {
+            self.latencies.entry(name).or_default().merge(hist);
+        }
+        for (key, times) in other.arrivals {
+            self.arrivals.entry(key).or_default().extend(times);
+        }
+        self.commits.extend(other.commits);
+        self.commits.sort_by_key(|c| c.at);
+    }
+
     /// Snapshots everything recorded so far into a machine-readable
     /// [`RunReport`] named `name`: every latency histogram, every labeled
     /// counter cell, and the per-stage bundle-lifecycle breakdown.

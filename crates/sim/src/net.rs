@@ -128,7 +128,7 @@ pub(crate) struct LinkState {
 }
 
 /// The simulated network: computes departure and arrival times for sends.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Network {
     latency: LatencyModel,
     /// Random jitter added to each propagation, up to this bound.
@@ -234,6 +234,29 @@ impl Network {
     /// The link configuration of a node.
     pub fn link_config(&self, node: NodeId) -> LinkConfig {
         self.links[node.index()].config
+    }
+
+    /// The latency model pairwise propagation is derived from.
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// The propagation-jitter bound (zero means fully deterministic
+    /// scheduling that never draws from the RNG).
+    pub fn jitter(&self) -> SimDuration {
+        self.jitter
+    }
+
+    /// Copies `node`'s mutable link state (busy-until, bytes-sent) from a
+    /// forked network back into this one. The parallel engine clones the
+    /// network per partition — each partition only ever schedules sends
+    /// *from* its own nodes, so writing those nodes' links back restores the
+    /// exact single-threaded state.
+    pub(crate) fn adopt_link_state(&mut self, node: NodeId, from: &Network) {
+        let theirs = &from.links[node.index()];
+        let ours = &mut self.links[node.index()];
+        ours.busy_until = theirs.busy_until;
+        ours.bytes_sent = theirs.bytes_sent;
     }
 }
 

@@ -1,0 +1,1101 @@
+//! Conservative parallel discrete-event simulation (PDES).
+//!
+//! The sequential engine processes one global `(time, seq)`-ordered event
+//! stream. This module splits the node set into partitions — one worker
+//! thread each — and lets every partition advance its **own** timer wheel
+//! concurrently, exploiting the classic conservative-PDES observation: a
+//! message from another partition cannot arrive sooner than the minimum
+//! cross-partition propagation latency, the **lookahead** `L`. Execution
+//! therefore proceeds in lockstep windows of length `L`:
+//!
+//! 1. **Window (parallel)** — each worker drains its wheel up to the window
+//!    end. Events it generates stay local (provisionally sequenced) when
+//!    they land inside the window on an owned node; everything else goes to
+//!    a per-window outbox.
+//! 2. **Barrier (sequential)** — the driver merges the per-partition
+//!    dispatch logs back into the single global `(time, seq)` order,
+//!    replaying sequence-number assignment, the canonical [`TraceDigest`]
+//!    fold, capture, and the debug trace ring exactly as the sequential
+//!    engine would have; then it routes outbox events (which provably land
+//!    beyond the window) to their owners' wheels and picks the next window,
+//!    skipping idle stretches via [`TimerWheel::earliest_lower_bound`].
+//!
+//! Because everything order-sensitive — sequencing, digest, trace, RNG
+//! draws — is either partition-local or replayed at the barrier in merged
+//! order, the result is **bit-identical** to the sequential engine for any
+//! thread count. The differential tests at the bottom of this file and the
+//! CI determinism matrix hold the engine to that: same fingerprint, same
+//! counters, same retained events, at 1, 2, or 8 threads.
+//!
+//! Parallelism silently disengages (the caller falls back to the sequential
+//! loop) whenever it could not be equivalent or could not help: network
+//! jitter or randomized omission (both consume RNG words in global event
+//! order), profiling (wall-clock attribution is per-thread), fewer than two
+//! partitions, or zero lookahead.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::actor::{Actor, Context, NodeId, Op, Payload, TimerTag};
+use crate::engine::{NetHandles, NodeHandles, Sim};
+use crate::faults::FaultPlan;
+use crate::metrics::{Labels, Metrics};
+use crate::net::{LatencyModel, Network, Region};
+use crate::queue::{Event, EventKind, TimerSlots, TimerWheel};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{CanonEvent, TraceEvent, TraceKind};
+
+use predis_parallel::run_lockstep;
+use predis_types::payload_stats;
+
+/// Provisional sequence numbers handed to events staged inside a window,
+/// before the barrier merge assigns their real ones. The high bit keeps
+/// every provisional number above every final number, which is exactly the
+/// order the sequential engine would produce: an event generated during the
+/// window always sequences after every event that already existed when the
+/// window began.
+const PROVISIONAL_BASE: u64 = 1 << 63;
+
+/// One entry of a partition's per-window dispatch log: the canonical
+/// pre-filter record of a popped event (everything [`CanonEvent`] needs),
+/// plus how the dispatch was disposed of — whether it passed the liveness
+/// filters (`ran`, which gates the debug trace ring) and how many
+/// order-sensitive side effects it produced.
+#[derive(Debug, Clone, Copy)]
+struct LogEntry {
+    at: SimTime,
+    /// Final sequence number, or `PROVISIONAL_BASE + k` for the `k`-th
+    /// event staged by this partition in this window.
+    seq: u64,
+    node: u32,
+    /// Canonical kind code (same encoding as [`crate::trace::CANON_KINDS`]).
+    kind: u64,
+    from: Option<NodeId>,
+    bytes: u64,
+    tag: Option<TimerTag>,
+    ran: bool,
+    /// Number of [`Effect`]s this dispatch appended.
+    effects: u32,
+}
+
+/// An order-sensitive side effect of one dispatch, replayed at the barrier
+/// against the global engine state in exact merged order.
+#[derive(Debug, Clone, Copy)]
+enum Effect {
+    /// The dispatch scheduled an event that stayed in this partition's
+    /// wheel: assign the next global sequence number to the partition's
+    /// next staged event (staged order equals effect order by
+    /// construction).
+    StagedSeq,
+    /// The dispatch scheduled an event beyond the window or across a
+    /// partition boundary: assign the next global sequence number to
+    /// outbox slot `i`.
+    OutboxSeq(u32),
+    /// A message died on the wire: replay the trace-ring drop record the
+    /// sequential engine's `record_drop` would have emitted here (its
+    /// metric increments already happened on the worker's forked sink).
+    Drop {
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+    },
+}
+
+/// A node partition: one worker thread's complete, self-contained slice of
+/// the simulation. Per-node state (actors, RNGs, liveness flags, timer
+/// arenas) is *moved* in at session start and moved back at teardown;
+/// shared-read state (network, fault plan, counter handles) is cloned; the
+/// metrics sink is a zeroed fork absorbed back at teardown.
+struct Shard<M> {
+    id: u32,
+    /// Owned nodes, ascending global index; position = local index.
+    nodes: Vec<u32>,
+    /// Global node index -> owning partition id.
+    owner: Vec<u32>,
+    /// Global node index -> local index within its owning partition.
+    local: Vec<u32>,
+    node_count_total: u32,
+    wheel: TimerWheel<M>,
+    // Per-owned-node state, locally indexed.
+    actors: Vec<Option<Box<dyn Actor<M>>>>,
+    rngs: Vec<SmallRng>,
+    halted: Vec<bool>,
+    started: Vec<bool>,
+    epochs: Vec<u32>,
+    timers: Vec<TimerSlots>,
+    // Cloned / forked global state.
+    network: Network,
+    faults: FaultPlan,
+    metrics: Metrics,
+    net_handles: NetHandles,
+    node_handles: Vec<NodeHandles>,
+    /// Never drawn from: the parallel gate guarantees zero jitter and no
+    /// randomized omission, the only consumers of the net RNG in dispatch.
+    net_rng: SmallRng,
+    ops_scratch: Vec<Op<M>>,
+    // Window state.
+    pop_horizon: SimTime,
+    log: Vec<LogEntry>,
+    effects: Vec<Effect>,
+    outbox: Vec<Event<M>>,
+    staged_count: u64,
+    // Barrier-merge cursors (driver side).
+    log_cursor: usize,
+    effect_cursor: usize,
+    /// Final sequence numbers assigned (in staging order) to this window's
+    /// staged events; indexed by the provisional offset `k`.
+    staged_final: Vec<u64>,
+}
+
+impl<M: Payload> Shard<M> {
+    /// Drains every event up to (and including) the window's pop horizon,
+    /// mirroring the sequential engine's dispatch exactly.
+    fn run_window(&mut self) {
+        while let Some(event) = self.wheel.pop_next(self.pop_horizon) {
+            self.dispatch(event);
+        }
+    }
+
+    /// The partition-local twin of `Sim::dispatch`. Every branch below
+    /// matches the sequential engine line for line; global side effects
+    /// (sequence numbers, digest, capture, trace ring) are recorded as log
+    /// entries and [`Effect`]s for the barrier to replay in merged order.
+    fn dispatch(&mut self, event: Event<M>) {
+        let (kind, from, bytes, tag) = match &event.kind {
+            EventKind::Start => (0u64, None, 0u64, None),
+            EventKind::Deliver { from, bytes, .. } => (1, Some(*from), *bytes as u64, None),
+            EventKind::Timer { tag, .. } => (2, None, 0, Some(*tag)),
+            EventKind::Crash => (3, None, 0, None),
+            EventKind::Revive => (4, None, 0, None),
+        };
+        let entry = self.log.len();
+        self.log.push(LogEntry {
+            at: event.at,
+            seq: event.seq,
+            node: event.node.0,
+            kind,
+            from,
+            bytes,
+            tag,
+            ran: false,
+            effects: 0,
+        });
+        let node = event.node;
+        let idx = self.local[node.index()] as usize;
+        let timer_live = match event.kind {
+            EventKind::Timer { id, .. } => self.timers[idx].resolve(id),
+            _ => true,
+        };
+        if let EventKind::Revive = event.kind {
+            self.halted[idx] = false;
+            self.epochs[idx] += 1;
+        } else if self.halted[idx] {
+            return;
+        }
+        match event.kind {
+            EventKind::Start => self.started[idx] = true,
+            _ if !self.started[idx] => return,
+            EventKind::Crash => {
+                self.halted[idx] = true;
+                return;
+            }
+            EventKind::Timer { .. } if !timer_live => return,
+            EventKind::Timer { epoch, .. } if epoch != self.epochs[idx] => return,
+            _ => {}
+        }
+        if self.faults.is_crashed(node, event.at) {
+            self.halted[idx] = true;
+            return;
+        }
+        match &event.kind {
+            EventKind::Deliver { bytes, .. } => {
+                let handles = self.node_handles[node.index()];
+                self.metrics.incr_handle(handles.deliveries, 1);
+                self.metrics
+                    .incr_handle(handles.delivered_bytes, *bytes as u64);
+            }
+            EventKind::Timer { .. } => {
+                self.metrics
+                    .incr_handle(self.node_handles[node.index()].timers, 1);
+            }
+            _ => {}
+        }
+        self.log[entry].ran = true;
+        let mut actor = match self.actors[idx].take() {
+            Some(a) => a,
+            None => return,
+        };
+        let mut ops = std::mem::take(&mut self.ops_scratch);
+        debug_assert!(ops.is_empty());
+        {
+            let mut ctx = Context {
+                now: event.at,
+                node,
+                node_count: self.node_count_total,
+                link_free_at: self.network.link_free_at(node),
+                timers: &mut self.timers[idx],
+                ops: &mut ops,
+                rng: &mut self.rngs[idx],
+                metrics: &mut self.metrics,
+            };
+            match event.kind {
+                EventKind::Start | EventKind::Revive => actor.on_start(&mut ctx),
+                EventKind::Deliver { from, msg, .. } => actor.on_message(&mut ctx, from, msg),
+                EventKind::Timer { tag, .. } => actor.on_timer(&mut ctx, tag),
+                EventKind::Crash => unreachable!("handled above"),
+            }
+        }
+        self.actors[idx] = Some(actor);
+        let effects_before = self.effects.len();
+        self.apply_ops(event.at, node, &mut ops);
+        self.log[entry].effects = (self.effects.len() - effects_before) as u32;
+        self.ops_scratch = ops;
+    }
+
+    fn apply_ops(&mut self, at: SimTime, node: NodeId, ops: &mut Vec<Op<M>>) {
+        for op in ops.drain(..) {
+            match op {
+                Op::Send { to, msg, bytes } => {
+                    debug_assert_eq!(
+                        bytes,
+                        msg.wire_size(),
+                        "cached wire size diverged from recomputed size"
+                    );
+                    if to.index() >= self.node_count_total as usize {
+                        self.metrics.incr_handle(self.net_handles.messages, 1);
+                        self.metrics
+                            .incr_handle(self.net_handles.bytes, bytes as u64);
+                        self.record_drop(node, to, bytes);
+                        continue;
+                    }
+                    let sched = self
+                        .network
+                        .schedule(at, node, to, bytes, &mut self.net_rng);
+                    self.metrics.incr_handle(self.net_handles.messages, 1);
+                    self.metrics
+                        .incr_handle(self.net_handles.bytes, bytes as u64);
+                    if !self.faults.delivers(node, to, at, &mut self.net_rng) {
+                        self.record_drop(node, to, bytes);
+                        continue;
+                    }
+                    self.push_event(
+                        sched.arrives,
+                        to,
+                        EventKind::Deliver {
+                            from: node,
+                            msg,
+                            bytes,
+                        },
+                    );
+                }
+                Op::SetTimer { id, fire_at, tag } => {
+                    let epoch = self.epochs[self.local[node.index()] as usize];
+                    self.push_event(fire_at, node, EventKind::Timer { id, tag, epoch });
+                }
+                Op::CancelTimer { id } => {
+                    self.timers[self.local[node.index()] as usize].cancel(id);
+                }
+                Op::Halt => {
+                    self.halted[self.local[node.index()] as usize] = true;
+                }
+            }
+        }
+    }
+
+    /// Stages an event locally when it provably belongs to this partition's
+    /// current window; otherwise parks it in the outbox for the barrier to
+    /// sequence and route. Staying inside the window is what lets the
+    /// provisional sequence numbers resolve before any later window runs.
+    fn push_event(&mut self, at: SimTime, to: NodeId, kind: EventKind<M>) {
+        if self.owner[to.index()] == self.id && at <= self.pop_horizon {
+            let seq = PROVISIONAL_BASE + self.staged_count;
+            self.staged_count += 1;
+            self.effects.push(Effect::StagedSeq);
+            self.wheel.push(Event {
+                at,
+                seq,
+                node: to,
+                kind,
+            });
+        } else {
+            self.effects
+                .push(Effect::OutboxSeq(self.outbox.len() as u32));
+            self.outbox.push(Event {
+                at,
+                seq: 0, // patched by the barrier's OutboxSeq replay
+                node: to,
+                kind,
+            });
+        }
+    }
+
+    /// Partition-local half of the sequential engine's `record_drop`: the
+    /// metric increments happen here on the forked sink; the trace-ring
+    /// record (which needs the global sequence counter) is deferred to the
+    /// barrier as an [`Effect::Drop`].
+    fn record_drop(&mut self, from: NodeId, to: NodeId, bytes: usize) {
+        self.metrics.incr_handle(self.net_handles.dropped, 1);
+        self.metrics
+            .incr_handle(self.net_handles.dropped_bytes, bytes as u64);
+        match self.node_handles.get(to.index()) {
+            Some(handles) => self.metrics.incr_handle(handles.drops, 1),
+            None => self
+                .metrics
+                .incr_labeled("node.drops", Labels::node(to.index() as u64), 1),
+        }
+        self.effects.push(Effect::Drop { from, to, bytes });
+    }
+}
+
+/// A partitioning of the node set plus its lookahead window.
+struct Plan {
+    owner: Vec<u32>,
+    local: Vec<u32>,
+    parts: Vec<Vec<u32>>,
+    lookahead: SimDuration,
+}
+
+/// Partitions the node set for `sim.threads` workers.
+///
+/// Affinity comes from [`Sim::set_partition_hint`] when present (each hint
+/// group stays whole; unmentioned nodes become singletons); otherwise nodes
+/// group by region under a regional latency model and are free under a
+/// uniform one. Groups pack greedy largest-first onto the least-loaded
+/// worker. The lookahead is the minimum one-way propagation latency between
+/// any two nodes in different partitions — the window length under which a
+/// cross-partition send can never land in the window that produced it.
+///
+/// Returns `None` (sequential fallback) when fewer than two partitions
+/// materialize or the lookahead is zero.
+fn plan_partitions<M: Payload>(sim: &Sim<M>) -> Option<Plan> {
+    let n = sim.actors.len();
+    if n < 2 {
+        return None;
+    }
+    let mut groups: Vec<Vec<u32>> = Vec::new();
+    if let Some(hint) = &sim.partition_hint {
+        let mut seen = vec![false; n];
+        for hint_group in hint {
+            let mut group = Vec::new();
+            for node in hint_group {
+                let i = node.index();
+                if i < n && !seen[i] {
+                    seen[i] = true;
+                    group.push(i as u32);
+                }
+            }
+            if !group.is_empty() {
+                groups.push(group);
+            }
+        }
+        for (i, seen) in seen.iter().enumerate() {
+            if !seen {
+                groups.push(vec![i as u32]);
+            }
+        }
+    } else {
+        match sim.network.latency_model() {
+            LatencyModel::Regional { .. } => {
+                let mut by_region: BTreeMap<Region, Vec<u32>> = BTreeMap::new();
+                for i in 0..n {
+                    let region = sim.network.link_config(NodeId(i as u32)).region;
+                    by_region.entry(region).or_default().push(i as u32);
+                }
+                groups.extend(by_region.into_values());
+            }
+            LatencyModel::Uniform(_) => groups.extend((0..n).map(|i| vec![i as u32])),
+        }
+    }
+    let bins = sim.threads.min(groups.len());
+    if bins < 2 {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..groups.len()).collect();
+    order.sort_by_key(|&g| std::cmp::Reverse(groups[g].len()));
+    let mut parts: Vec<Vec<u32>> = vec![Vec::new(); bins];
+    for g in order {
+        let bin = (0..bins)
+            .min_by_key(|&b| parts[b].len())
+            .expect("bins >= 2");
+        parts[bin].extend(&groups[g]);
+    }
+    for part in &mut parts {
+        part.sort_unstable();
+    }
+    debug_assert!(parts.iter().all(|p| !p.is_empty()));
+    let mut owner = vec![0u32; n];
+    let mut local = vec![0u32; n];
+    for (p, part) in parts.iter().enumerate() {
+        for (l, &g) in part.iter().enumerate() {
+            owner[g as usize] = p as u32;
+            local[g as usize] = l as u32;
+        }
+    }
+    let model = sim.network.latency_model();
+    let regions: Vec<Vec<Region>> = parts
+        .iter()
+        .map(|part| {
+            let mut rs: Vec<Region> = part
+                .iter()
+                .map(|&g| sim.network.link_config(NodeId(g)).region)
+                .collect();
+            rs.sort_unstable();
+            rs.dedup();
+            rs
+        })
+        .collect();
+    let mut lookahead: Option<SimDuration> = None;
+    for p in 0..parts.len() {
+        for q in 0..parts.len() {
+            if p == q {
+                continue;
+            }
+            for &a in &regions[p] {
+                for &b in &regions[q] {
+                    let d = model.latency(a, b);
+                    if lookahead.is_none_or(|cur| d < cur) {
+                        lookahead = Some(d);
+                    }
+                }
+            }
+        }
+    }
+    let lookahead = lookahead?;
+    if lookahead.is_zero() {
+        return None;
+    }
+    Some(Plan {
+        owner,
+        local,
+        parts,
+        lookahead,
+    })
+}
+
+/// The window end clipped to the run horizon, *exclusive* of the window end
+/// itself: `pop_next` is inclusive, so the last nanosecond of every window
+/// belongs to the next one — which is exactly where a cross-partition send
+/// emitted at the window's first instant can land.
+fn pop_horizon_for(w_start: SimTime, lookahead: SimDuration, horizon: SimTime) -> SimTime {
+    let w_end = w_start + lookahead;
+    SimTime::from_nanos(w_end.as_nanos() - 1).min(horizon)
+}
+
+/// Runs the simulation in parallel up to `horizon`. Returns `false`
+/// (without touching any state) when no viable partitioning exists; the
+/// caller then runs the sequential loop. On `true`, the event stream,
+/// digest, trace, metrics, RNG states, and queue contents are bit-identical
+/// to what the sequential loop would have produced.
+pub(crate) fn run_until_parallel<M: Payload>(sim: &mut Sim<M>, horizon: SimTime) -> bool {
+    if !sim.queue.is_wheel() {
+        return false;
+    }
+    match sim.queue.earliest_lower_bound() {
+        Some(lb) if lb <= horizon => {}
+        _ => return false, // nothing to run; the sequential loop is free
+    }
+    let Some(plan) = plan_partitions(sim) else {
+        return false;
+    };
+    let lookahead = plan.lookahead;
+    let nparts = plan.parts.len();
+    let total = sim.actors.len();
+
+    // ---- Session start: carve the engine into shards. ----
+    let mut shards: Vec<Shard<M>> = plan
+        .parts
+        .iter()
+        .enumerate()
+        .map(|(p, nodes)| Shard {
+            id: p as u32,
+            nodes: nodes.clone(),
+            owner: plan.owner.clone(),
+            local: plan.local.clone(),
+            node_count_total: total as u32,
+            wheel: TimerWheel::new(),
+            actors: Vec::with_capacity(nodes.len()),
+            rngs: Vec::with_capacity(nodes.len()),
+            halted: Vec::with_capacity(nodes.len()),
+            started: Vec::with_capacity(nodes.len()),
+            epochs: Vec::with_capacity(nodes.len()),
+            timers: Vec::with_capacity(nodes.len()),
+            network: sim.network.clone(),
+            faults: sim.faults.clone(),
+            metrics: sim.metrics.fork_for_worker(),
+            net_handles: sim.net_handles,
+            node_handles: sim.node_handles.clone(),
+            net_rng: SmallRng::seed_from_u64(0),
+            ops_scratch: Vec::new(),
+            pop_horizon: SimTime::ZERO,
+            log: Vec::new(),
+            effects: Vec::new(),
+            outbox: Vec::new(),
+            staged_count: 0,
+            log_cursor: 0,
+            effect_cursor: 0,
+            staged_final: Vec::new(),
+        })
+        .collect();
+    for shard in shards.iter_mut() {
+        for i in 0..shard.nodes.len() {
+            let g = shard.nodes[i] as usize;
+            shard.actors.push(sim.actors[g].take());
+            shard.rngs.push(std::mem::replace(
+                &mut sim.node_rngs[g],
+                SmallRng::seed_from_u64(0),
+            ));
+            shard.halted.push(sim.halted[g]);
+            shard.started.push(sim.started[g]);
+            shard.epochs.push(sim.epochs[g]);
+            shard
+                .timers
+                .push(std::mem::replace(&mut sim.timers[g], TimerSlots::new()));
+        }
+    }
+    // Distribute the pending event set; the engine keeps a fresh wheel that
+    // teardown refills with whatever outlives the horizon.
+    let mut old_queue = std::mem::replace(&mut sim.queue, crate::queue::EventQueue::wheel());
+    while let Some(event) = old_queue.pop_next(SimTime::MAX) {
+        let p = plan.owner[event.node.index()] as usize;
+        shards[p].wheel.push(event);
+    }
+
+    // ---- Lockstep window loop. ----
+    let mut counts = vec![0u64; nparts];
+    let first = shards
+        .iter()
+        .filter_map(|s| s.wheel.earliest_lower_bound())
+        .min()
+        .filter(|&t| t <= horizon);
+    let (mut shards, harvests) = if let Some(mut w_start) = first {
+        let mut pop_horizon = pop_horizon_for(w_start, lookahead, horizon);
+        for shard in shards.iter_mut() {
+            shard.pop_horizon = pop_horizon;
+        }
+        run_lockstep(
+            shards,
+            |_p, shard: &mut Shard<M>| shard.run_window(),
+            |shards: &mut Vec<Shard<M>>| {
+                merge_window(sim, shards, &mut counts);
+                if pop_horizon == horizon {
+                    return false;
+                }
+                let lb = shards
+                    .iter()
+                    .filter_map(|s| s.wheel.earliest_lower_bound())
+                    .min();
+                let Some(lb) = lb else { return false };
+                if lb > horizon {
+                    return false;
+                }
+                // Advance one window, or jump straight to the next busy
+                // stretch when every wheel is idle past the window end.
+                let w_end = w_start + lookahead;
+                w_start = lb.max(w_end);
+                pop_horizon = pop_horizon_for(w_start, lookahead, horizon);
+                for shard in shards.iter_mut() {
+                    shard.pop_horizon = pop_horizon;
+                }
+                true
+            },
+            // Harvested on the worker's own thread: payload-stats counters
+            // are thread-local, so this is the only place they are visible.
+            |_p, _shard: &mut Shard<M>| payload_stats::snapshot(),
+        )
+    } else {
+        (shards, Vec::new())
+    };
+
+    // ---- Teardown: move everything back into the engine. ----
+    for stats in harvests {
+        payload_stats::add(stats);
+    }
+    for shard in shards.iter_mut() {
+        for i in 0..shard.nodes.len() {
+            let g = shard.nodes[i] as usize;
+            sim.actors[g] = shard.actors[i].take();
+            std::mem::swap(&mut sim.node_rngs[g], &mut shard.rngs[i]);
+            sim.halted[g] = shard.halted[i];
+            sim.started[g] = shard.started[i];
+            sim.epochs[g] = shard.epochs[i];
+            std::mem::swap(&mut sim.timers[g], &mut shard.timers[i]);
+            sim.network
+                .adopt_link_state(NodeId(g as u32), &shard.network);
+        }
+        debug_assert!(shard.outbox.is_empty() && shard.log.is_empty());
+        while let Some(event) = shard.wheel.pop_next(SimTime::MAX) {
+            debug_assert!(
+                event.seq < PROVISIONAL_BASE,
+                "only finally-sequenced events may outlive a window"
+            );
+            sim.queue.push(event);
+        }
+        sim.metrics
+            .absorb_worker(std::mem::replace(&mut shard.metrics, Metrics::new()));
+    }
+    sim.threads_used = nparts;
+    sim.partition_events = counts;
+    true
+}
+
+/// The barrier: merges every partition's window log back into the global
+/// `(time, seq)` order and replays each dispatch's global side effects —
+/// digest fold, capture, trace ring, sequence assignment — exactly as the
+/// sequential engine interleaved them. Afterwards routes outbox events
+/// (now finally sequenced) to their owners' wheels for the next window.
+fn merge_window<M: Payload>(sim: &mut Sim<M>, shards: &mut [Shard<M>], counts: &mut [u64]) {
+    loop {
+        // Smallest (at, seq) among the shard log heads. A provisional head
+        // resolves through `staged_final`: its creator dispatched earlier in
+        // the same shard's log, so its final seq was already assigned.
+        let mut best: Option<(usize, SimTime, u64)> = None;
+        for (s, shard) in shards.iter().enumerate() {
+            let Some(e) = shard.log.get(shard.log_cursor) else {
+                continue;
+            };
+            let rseq = if e.seq >= PROVISIONAL_BASE {
+                shard.staged_final[(e.seq - PROVISIONAL_BASE) as usize]
+            } else {
+                e.seq
+            };
+            if best.is_none_or(|(_, at, q)| (e.at, rseq) < (at, q)) {
+                best = Some((s, e.at, rseq));
+            }
+        }
+        let Some((s, at, rseq)) = best else { break };
+        let shard = &mut shards[s];
+        let e = shard.log[shard.log_cursor];
+        shard.log_cursor += 1;
+        counts[s] += 1;
+        sim.events_processed += 1;
+        sim.now = at;
+        let canon = CanonEvent {
+            at_nanos: at.as_nanos(),
+            seq: rseq,
+            node: e.node,
+            kind: e.kind,
+            from: e.from,
+            bytes: e.bytes,
+            tag: e.tag,
+        };
+        sim.digest.fold_event(&canon);
+        if let Some(cap) = &mut sim.capture {
+            cap.record(&canon);
+        }
+        if e.ran {
+            if let Some(trace) = &mut sim.trace {
+                let kind = match e.kind {
+                    0 | 4 => TraceKind::Start,
+                    1 => TraceKind::Deliver,
+                    2 => TraceKind::Timer,
+                    _ => unreachable!("crash events never pass the dispatch filters"),
+                };
+                trace.record(TraceEvent {
+                    at,
+                    seq: rseq,
+                    node: NodeId(e.node),
+                    kind,
+                    from: e.from,
+                    bytes: e.bytes as usize,
+                    tag: e.tag,
+                });
+            }
+        }
+        for _ in 0..e.effects {
+            let effect = shard.effects[shard.effect_cursor];
+            shard.effect_cursor += 1;
+            match effect {
+                Effect::StagedSeq => {
+                    let seq = sim.next_seq();
+                    shard.staged_final.push(seq);
+                }
+                Effect::OutboxSeq(i) => {
+                    shard.outbox[i as usize].seq = sim.next_seq();
+                }
+                Effect::Drop { from, to, bytes } => {
+                    if let Some(trace) = &mut sim.trace {
+                        trace.record(TraceEvent {
+                            at,
+                            seq: sim.seq,
+                            node: to,
+                            kind: TraceKind::Drop,
+                            from: Some(from),
+                            bytes,
+                            tag: None,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    for shard in shards.iter_mut() {
+        debug_assert_eq!(shard.effect_cursor, shard.effects.len());
+        shard.log.clear();
+        shard.effects.clear();
+        shard.log_cursor = 0;
+        shard.effect_cursor = 0;
+        shard.staged_final.clear();
+        shard.staged_count = 0;
+    }
+    // Route the freshly sequenced outbox events. Conservative guarantee:
+    // each lands strictly beyond the window that produced it, so no
+    // partition ever receives an event for a window it already ran.
+    for s in 0..shards.len() {
+        let outbox = std::mem::take(&mut shards[s].outbox);
+        let pop_horizon = shards[s].pop_horizon;
+        for event in outbox {
+            debug_assert!(
+                event.at > pop_horizon,
+                "outbox event at {} must land strictly beyond the window ({pop_horizon})",
+                event.at,
+            );
+            debug_assert!(event.seq < PROVISIONAL_BASE, "outbox seq left unpatched");
+            let dest = shards[s].owner[event.node.index()] as usize;
+            shards[dest].wheel.push(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::TimerId;
+    use crate::engine::Sim;
+    use crate::faults::FaultPlan;
+    use crate::net::LinkConfig;
+    use proptest::prelude::*;
+    use rand::Rng;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    enum Msg {
+        Ping(u64),
+        Pong(u64),
+        /// Zero wire size: no serialization delay, so its arrival time is
+        /// exactly `send time + propagation` — the lookahead boundary.
+        Instant,
+    }
+
+    impl Payload for Msg {
+        fn wire_size(&self) -> usize {
+            match self {
+                Msg::Ping(_) | Msg::Pong(_) => 64,
+                Msg::Instant => 0,
+            }
+        }
+    }
+
+    /// Randomized actor whose every decision comes from the node's
+    /// deterministic RNG — identical behaviour under any scheduler that
+    /// replays the same per-node event order.
+    #[derive(Debug, Default)]
+    struct Chaos {
+        held: Vec<TimerId>,
+        budget: u32,
+    }
+
+    impl Chaos {
+        fn act(&mut self, ctx: &mut Context<'_, Msg>) {
+            if self.budget == 0 {
+                return;
+            }
+            self.budget -= 1;
+            match ctx.rng().gen_range(0..6u32) {
+                0 => {
+                    let n = ctx.node_count();
+                    let to = NodeId(ctx.rng().gen_range(0..n));
+                    ctx.send(to, Msg::Ping(self.budget as u64));
+                }
+                1 => {
+                    let all: Vec<NodeId> = (0..ctx.node_count()).map(NodeId).collect();
+                    ctx.multicast(all, Msg::Pong(self.budget as u64));
+                }
+                2 | 3 => {
+                    let delay = SimDuration::from_millis(ctx.rng().gen_range(1..400));
+                    let id = ctx.set_timer(delay, TimerTag::of_kind(2));
+                    if ctx.rng().gen_bool(0.5) {
+                        self.held.push(id);
+                    }
+                }
+                4 => {
+                    if let Some(id) = self.held.pop() {
+                        ctx.cancel_timer(id);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    impl Actor<Msg> for Chaos {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            self.budget += 40;
+            self.act(ctx);
+            self.act(ctx);
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _: NodeId, _: Msg) {
+            self.act(ctx);
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _: TimerTag) {
+            self.act(ctx);
+            self.act(ctx);
+        }
+    }
+
+    fn chaos_sim(
+        seed: u64,
+        nodes: u32,
+        crash_node: u32,
+        regional: bool,
+        threads: usize,
+    ) -> Sim<Msg> {
+        let model = if regional {
+            LatencyModel::cn_wan()
+        } else {
+            LatencyModel::lan()
+        };
+        let net = Network::new(model, SimDuration::ZERO);
+        let mut sim = Sim::new(seed, net);
+        sim.set_sim_threads(threads);
+        sim.enable_trace(1 << 14);
+        for i in 0..nodes {
+            let region = Region(if regional { (i % 4) as u8 } else { 0 });
+            // The last node joins late to exercise unstarted delivery.
+            let start = if i == nodes - 1 {
+                SimTime::from_millis(700)
+            } else {
+                SimTime::ZERO
+            };
+            sim.add_node(
+                LinkConfig::paper_default().in_region(region),
+                Box::<Chaos>::default(),
+                start,
+            );
+        }
+        let mut faults = FaultPlan::none();
+        faults.crash_for(
+            NodeId(crash_node % nodes),
+            SimTime::from_millis(500),
+            SimTime::from_millis(1500),
+        );
+        sim.set_faults(faults);
+        sim
+    }
+
+    /// Asserts that two sims which ran the same workload are in
+    /// byte-identical observable state.
+    fn assert_equivalent(par: &Sim<Msg>, seq: &Sim<Msg>) {
+        assert_eq!(par.events_processed(), seq.events_processed());
+        assert_eq!(
+            par.fingerprint(),
+            seq.fingerprint(),
+            "fingerprints diverged"
+        );
+        let (pt, st) = (par.trace().unwrap(), seq.trace().unwrap());
+        assert_eq!(pt.total, st.total);
+        assert_eq!(pt.deliveries, st.deliveries);
+        assert_eq!(pt.timers, st.timers);
+        assert_eq!(pt.drops, st.drops);
+        assert_eq!(pt.delivered_bytes, st.delivered_bytes);
+        let pe: Vec<_> = pt.events().collect();
+        let se: Vec<_> = st.events().collect();
+        assert_eq!(pe, se, "retained trace windows diverged");
+        assert!(
+            par.metrics().counters() == seq.metrics().counters(),
+            "counter cells diverged"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+        #[test]
+        fn parallel_replays_sequential_exactly(
+            seed in 0u64..1_000_000,
+            nodes in 3u32..8,
+            crash_node in 0u32..8,
+            regional in proptest::bool::ANY,
+            threads in 2usize..9,
+        ) {
+            let mut par = chaos_sim(seed, nodes, crash_node, regional, threads);
+            let mut seq = chaos_sim(seed, nodes, crash_node, regional, 1);
+            // Split the run so queue and RNG state carry across parallel
+            // sessions (teardown/rebuild is exercised three times).
+            let mut prev_events = 0;
+            for h in [1u64, 2, 4] {
+                par.run_until(SimTime::from_secs(h));
+                seq.run_until(SimTime::from_secs(h));
+                // Per-partition counts are per-session: they must sum to the
+                // events this session dispatched.
+                prop_assert_eq!(
+                    par.partition_event_counts().iter().sum::<u64>(),
+                    par.events_processed() - prev_events,
+                    "partition counts must sum to the session total"
+                );
+                prev_events = par.events_processed();
+                if h == 1 {
+                    // The first second is always busy (start events, chaos
+                    // budget); later sessions may drain the queue and fall
+                    // back to the trivially sequential path.
+                    prop_assert!(par.threads_used() > 1, "parallel engine never engaged");
+                }
+            }
+            prop_assert_eq!(seq.threads_used(), 1);
+            prop_assert_eq!(par.fingerprint(), seq.fingerprint(), "fingerprints diverged");
+            prop_assert_eq!(par.events_processed(), seq.events_processed());
+            let pe: Vec<_> = par.trace().unwrap().events().collect();
+            let se: Vec<_> = seq.trace().unwrap().events().collect();
+            prop_assert_eq!(pe, se, "retained trace windows diverged");
+            prop_assert!(
+                par.metrics().counters() == seq.metrics().counters(),
+                "counter cells diverged"
+            );
+        }
+    }
+
+    /// A message dispatched at a window's first instant whose arrival is
+    /// *exactly* `send + lookahead` lands on the lookahead horizon — the
+    /// first nanosecond of the next window, the tightest legal landing
+    /// spot for a cross-partition send. It must be routed at the barrier
+    /// and dispatched there, never inside the window that produced it.
+    #[test]
+    fn cross_partition_send_on_the_lookahead_horizon() {
+        #[derive(Debug)]
+        struct Boundary;
+        impl Actor<Msg> for Boundary {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                if ctx.node() == NodeId(0) {
+                    ctx.send(NodeId(1), Msg::Instant);
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, _: Msg) {
+                // Bounce once so the reply crosses back the other way.
+                if ctx.node() == NodeId(1) {
+                    ctx.send(from, Msg::Ping(1));
+                }
+            }
+        }
+        let build = |threads: usize| {
+            let net = Network::new(LatencyModel::lan(), SimDuration::ZERO);
+            let mut sim = Sim::new(7, net);
+            sim.set_sim_threads(threads);
+            sim.enable_trace(64);
+            for _ in 0..2 {
+                sim.add_node(
+                    LinkConfig::paper_default(),
+                    Box::new(Boundary),
+                    SimTime::ZERO,
+                );
+            }
+            sim.set_partition_hint(vec![vec![NodeId(0)], vec![NodeId(1)]]);
+            sim.run_until(SimTime::from_secs(1));
+            sim
+        };
+        let par = build(2);
+        let seq = build(1);
+        assert_eq!(par.threads_used(), 2);
+        // The zero-size send departs at t=0 and arrives at exactly the
+        // 25 ms lookahead: both deliveries must have happened.
+        assert_eq!(par.trace().unwrap().deliveries, 2);
+        assert_equivalent(&par, &seq);
+    }
+
+    /// An entire partition (a "zone") crashes mid-window and revives later:
+    /// its workers keep popping (and discarding) traffic for the dead
+    /// nodes, and the merged stream must still be byte-identical.
+    #[test]
+    fn fully_crashed_partition_mid_window() {
+        let build = |threads: usize| {
+            let mut sim = chaos_sim(11, 6, 0, false, threads);
+            sim.set_partition_hint(vec![
+                vec![NodeId(0), NodeId(1), NodeId(2)],
+                vec![NodeId(3), NodeId(4), NodeId(5)],
+            ]);
+            let mut faults = FaultPlan::none();
+            for n in [3u32, 4, 5] {
+                // 512.3 ms sits strictly inside a 25 ms-aligned window.
+                faults.crash_for(
+                    NodeId(n),
+                    SimTime::from_nanos(512_300_000),
+                    SimTime::from_millis(1200),
+                );
+            }
+            sim.set_faults(faults);
+            sim.run_until(SimTime::from_secs(2));
+            sim
+        };
+        let par = build(2);
+        let seq = build(1);
+        assert_eq!(par.threads_used(), 2);
+        assert_equivalent(&par, &seq);
+    }
+
+    /// More threads than partitions: a hint that globs every node into one
+    /// group leaves nothing to parallelize, so the engine must fall back
+    /// to the sequential scheduler — and still match it exactly.
+    #[test]
+    fn single_partition_config_falls_back_to_sequential() {
+        let build = |threads: usize, hint: bool| {
+            let mut sim = chaos_sim(13, 4, 1, false, threads);
+            if hint {
+                sim.set_partition_hint(vec![(0..4).map(NodeId).collect()]);
+            }
+            sim.run_until(SimTime::from_secs(2));
+            sim
+        };
+        let par = build(8, true);
+        let seq = build(1, false);
+        assert_eq!(par.threads_used(), 1, "one partition cannot run parallel");
+        assert!(par.partition_event_counts().is_empty());
+        assert_equivalent(&par, &seq);
+    }
+
+    /// Region-grouped planning under the paper's WAN matrix: partitions
+    /// never split a region (absent a hint), and the lookahead is the
+    /// minimum off-diagonal latency of the matrix (10 ms for CN).
+    #[test]
+    fn planner_groups_regions_and_derives_lookahead() {
+        let net = Network::new(LatencyModel::cn_wan(), SimDuration::ZERO);
+        let mut sim: Sim<Msg> = Sim::new(3, net);
+        sim.set_sim_threads(8);
+        for i in 0..12u32 {
+            sim.add_node(
+                LinkConfig::paper_default().in_region(Region((i % 4) as u8)),
+                Box::<Chaos>::default(),
+                SimTime::ZERO,
+            );
+        }
+        let plan = plan_partitions(&sim).expect("12 nodes over 4 regions must partition");
+        assert_eq!(plan.parts.len(), 4, "one partition per region");
+        for part in &plan.parts {
+            let r = sim.network().link_config(NodeId(part[0])).region;
+            assert!(
+                part.iter()
+                    .all(|&g| sim.network().link_config(NodeId(g)).region == r),
+                "regions must not be split across partitions"
+            );
+        }
+        assert_eq!(plan.lookahead, SimDuration::from_millis(10));
+    }
+
+    /// Uniform model, free packing: lookahead is the uniform latency and
+    /// nodes spread across all requested workers.
+    #[test]
+    fn planner_packs_uniform_nodes_freely() {
+        let net = Network::new(LatencyModel::lan(), SimDuration::ZERO);
+        let mut sim: Sim<Msg> = Sim::new(3, net);
+        sim.set_sim_threads(3);
+        for _ in 0..7 {
+            sim.add_node(
+                LinkConfig::paper_default(),
+                Box::<Chaos>::default(),
+                SimTime::ZERO,
+            );
+        }
+        let plan = plan_partitions(&sim).expect("uniform nodes must partition");
+        assert_eq!(plan.parts.len(), 3);
+        assert_eq!(plan.lookahead, SimDuration::from_millis(25));
+        let sizes: Vec<usize> = plan.parts.iter().map(Vec::len).collect();
+        assert!(sizes.iter().all(|&s| s >= 2), "balanced packing: {sizes:?}");
+    }
+}

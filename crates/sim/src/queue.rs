@@ -174,6 +174,40 @@ impl<M> TimerWheel<M> {
         self.occupied[level] |= 1 << slot;
     }
 
+    /// A cheap lower bound on the earliest stored event's time, or `None`
+    /// when empty. The current tick's heap and the far heap report exact
+    /// head times; wheel buckets report their base tick (every event in a
+    /// bucket fires at or after it), so the bound may undershoot by at most
+    /// one bucket span. The parallel engine uses this to skip idle windows
+    /// without draining anything.
+    pub(crate) fn earliest_lower_bound(&self) -> Option<SimTime> {
+        let mut best: Option<u64> = None;
+        let mut fold = |nanos: u64| {
+            if best.is_none_or(|b| nanos < b) {
+                best = Some(nanos);
+            }
+        };
+        if let Some(Reverse(head)) = self.current.peek() {
+            fold(head.at.as_nanos());
+        }
+        for level in 0..LEVELS {
+            let digit = (self.cur_tick >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1);
+            let ahead = self.occupied[level] & ((!0u64 << digit) << 1);
+            if ahead == 0 {
+                continue;
+            }
+            let slot = u64::from(ahead.trailing_zeros());
+            let width = SLOT_BITS * level as u32;
+            let span = (1u64 << (width + SLOT_BITS)) - 1;
+            let base = (self.cur_tick & !span) | (slot << width);
+            fold(base << TICK_BITS);
+        }
+        if let Some(Reverse(head)) = self.far.peek() {
+            fold(head.at.as_nanos());
+        }
+        best.map(SimTime::from_nanos)
+    }
+
     /// Pops the next event with `at <= horizon`, in exact `(at, seq)`
     /// order, or `None` (leaving the cursor untouched past the horizon).
     pub(crate) fn pop_next(&mut self, horizon: SimTime) -> Option<Event<M>> {
@@ -334,6 +368,27 @@ impl<M> EventQueue<M> {
             EventQueue::Wheel(w) => w.len(),
             #[cfg(test)]
             EventQueue::Classic(h) => h.len(),
+        }
+    }
+
+    /// Whether this queue is the production wheel. The parallel engine
+    /// rebuilds the queue from per-shard wheels at session teardown, so it
+    /// only engages when the run started on a wheel (the classic heap is a
+    /// test-only ordering oracle and must stay a heap end to end).
+    pub(crate) fn is_wheel(&self) -> bool {
+        match self {
+            EventQueue::Wheel(_) => true,
+            #[cfg(test)]
+            EventQueue::Classic(_) => false,
+        }
+    }
+
+    /// See [`TimerWheel::earliest_lower_bound`].
+    pub(crate) fn earliest_lower_bound(&self) -> Option<SimTime> {
+        match self {
+            EventQueue::Wheel(w) => w.earliest_lower_bound(),
+            #[cfg(test)]
+            EventQueue::Classic(h) => h.heap.peek().map(|Reverse(e)| e.at),
         }
     }
 }

@@ -211,6 +211,27 @@ impl Counters {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// A zeroed copy that preserves the interning table, so every
+    /// [`CounterHandle`] issued by `self` stays valid in the fork. Used by
+    /// the parallel simulation engine to hand each partition worker its own
+    /// counter sink.
+    pub fn fork_zeroed(&self) -> Counters {
+        Counters {
+            index: self.index.clone(),
+            cells: vec![0; self.cells.len()],
+            touched: vec![false; self.touched.len()],
+        }
+    }
+
+    /// Folds every written cell of `other` into `self` by `(name, labels)`
+    /// key (addition). Handles interned only in `other` are re-interned
+    /// here, so absorbing a fork that grew new cells is safe.
+    pub fn absorb(&mut self, other: &Counters) {
+        for (name, labels, value) in other.iter() {
+            self.incr(name, labels, value);
+        }
+    }
 }
 
 /// Logical equality: the same written cells with the same values,

@@ -174,6 +174,27 @@ impl Timelines {
         self.map.iter()
     }
 
+    /// The per-store bundle cap.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Re-marks every stamp of `other` into `self` (earliest observation
+    /// still wins per stage) and carries over its dropped count. Used to
+    /// fold partition-worker span stores back into the main store; because
+    /// stamps are simulated-time values, the merged result is independent
+    /// of which worker observed a stage first.
+    pub fn absorb(&mut self, other: &Timelines) {
+        for (key, timeline) in other.iter() {
+            for stage in Stage::ALL {
+                if let Some(ns) = timeline.get(stage) {
+                    self.mark(*key, stage, ns);
+                }
+            }
+        }
+        self.dropped += other.dropped;
+    }
+
     /// Streams every timeline as one JSON line per bundle, in deterministic
     /// key order: `{"producer":p,"chain":c,"height":h,"stages":{...}}` with
     /// only the recorded stages present (nanosecond stamps).

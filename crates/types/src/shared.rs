@@ -289,6 +289,16 @@ pub mod payload_stats {
         BYTES.with(|c| c.set(0));
         COMPUTED.with(|c| c.set(0));
     }
+
+    /// Adds a snapshot taken on another thread into this thread's counters.
+    /// The parallel simulation engine harvests each partition worker's
+    /// counts at session teardown and folds them into the driving thread,
+    /// so per-run totals stay exact regardless of thread count.
+    pub fn add(stats: PayloadStats) {
+        CLONES.with(|c| c.set(c.get() + stats.payload_clones));
+        BYTES.with(|c| c.set(c.get() + stats.bytes_cloned));
+        COMPUTED.with(|c| c.set(c.get() + stats.wire_size_computed));
+    }
 }
 
 #[cfg(test)]
