@@ -20,20 +20,35 @@ use crate::sweep::{Runner, SweepOutcome, SweepPoint};
 
 /// Version of the artifact schema; part of the default file name so stale
 /// baselines fail loudly instead of comparing apples to oranges.
-pub const BENCH_SCHEMA_VERSION: u64 = 7;
+pub const BENCH_SCHEMA_VERSION: u64 = 8;
 
 /// Oldest schema version [`BenchArtifact::from_json`] still reads. Version 2
 /// artifacts lack the `payload_clones` field, versions before 5 lack the
-/// nested `perf` block, versions before 6 lack the `fingerprint` field, and
+/// nested `perf` block, versions before 6 lack the `fingerprint` field,
 /// versions before 7 lack the `engine` block (threads / per-partition event
-/// counts). Missing fields default on read (0 / empty / 1 thread), so an old
-/// baseline still diffs against a new run.
+/// counts), and versions before 8 lack the `mem` block (peak actor
+/// footprint). Missing fields default on read (0 / empty / 1 thread), so an
+/// old baseline still diffs against a new run.
 pub const BENCH_SCHEMA_MIN_SUPPORTED: u64 = 2;
 
-/// The default artifact file name, `BENCH_7.json`.
+/// The default artifact file name, `BENCH_8.json`.
 pub fn bench_file_name() -> String {
     format!("BENCH_{BENCH_SCHEMA_VERSION}.json")
 }
+
+/// How much `mem.bytes_per_node` may grow over the baseline before
+/// [`BenchArtifact::diff`] flags a memory regression. Fixed (not the CLI
+/// threshold): allocator capacity rounding gives the estimate a little
+/// step-function noise, but a >20% jump means a container stopped being
+/// retired or a per-node map came back.
+pub const MEM_REGRESSION_PCT: f64 = 20.0;
+
+/// Absolute per-node memory budget for mega-scale (fig9) runs, bytes.
+/// `bench_all` fails a fig9 run whose `mem.bytes_per_node` exceeds it: at
+/// 10^5 full nodes the whole fleet must fit in ~400 MB of actor state, so
+/// each struct-of-arrays `MultiZoneNode` (plus its amortized share of the
+/// zone roster) has to stay under 4 KiB.
+pub const MEM_BYTES_PER_NODE_BUDGET: u64 = 4_096;
 
 /// Headline numbers of one benchmark run.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,6 +91,16 @@ pub struct BenchEntry {
     /// Load-balance diagnostics only — excluded from determinism
     /// comparisons for the same reason as `threads`.
     pub partition_events: Vec<u64>,
+    /// Peak Σ `Actor::approx_bytes` over all live actors
+    /// (`mem.resident_bytes` meta; 0 for pre-v8 artifacts). A footprint
+    /// *estimate* — capacities, not live bytes — so it is excluded from
+    /// [`BenchArtifact::identical_modulo_wall`] like the `engine` block,
+    /// but it gates memory regressions in [`BenchArtifact::diff`].
+    pub mem_resident_bytes: u64,
+    /// `mem.resident_bytes / node count` (`mem.bytes_per_node` meta) — the
+    /// number the mega-scale (fig9) absolute budget and the >20% memory
+    /// regression gate read.
+    pub mem_bytes_per_node: u64,
     /// Wall-clock milliseconds the run took (machine-dependent; excluded
     /// from determinism and regression comparisons).
     pub wall_ms: u64,
@@ -98,8 +123,8 @@ impl BenchEntry {
                 report.require_metric("p50_latency_ms"),
                 report.require_metric("p99_latency_ms"),
             ),
-            Runner::Topology(_) => {
-                // Fig. 7 measures capacity, not client latency; take the
+            Runner::Topology(_) | Runner::MegaScale(_) => {
+                // Figs. 7/9 measure capacity, not client latency; take the
                 // client-latency histogram when present (ns -> ms), else 0.
                 let (p50, p99) = report
                     .histogram("client_latency")
@@ -142,6 +167,16 @@ impl BenchEntry {
                 .get("engine.partition_events")
                 .map(|s| s.split(',').filter_map(|t| t.parse().ok()).collect())
                 .unwrap_or_default(),
+            mem_resident_bytes: report
+                .meta
+                .get("mem.resident_bytes")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0),
+            mem_bytes_per_node: report
+                .meta
+                .get("mem.bytes_per_node")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0),
             wall_ms: outcome.wall_ms,
         }
     }
@@ -212,6 +247,13 @@ impl BenchArtifact {
                                         e.partition_events.iter().map(|&n| Json::U64(n)).collect(),
                                     ),
                                 ),
+                            ]),
+                        ),
+                        (
+                            "mem".into(),
+                            Json::Obj(vec![
+                                ("resident_bytes".into(), Json::U64(e.mem_resident_bytes)),
+                                ("bytes_per_node".into(), Json::U64(e.mem_bytes_per_node)),
                             ]),
                         ),
                         ("wall_ms".into(), Json::U64(e.wall_ms)),
@@ -293,6 +335,17 @@ impl BenchArtifact {
                         .and_then(Json::as_arr)
                         .map(|a| a.iter().filter_map(Json::as_u64).collect())
                         .unwrap_or_default(),
+                    // The `mem` block is absent before schema 8.
+                    mem_resident_bytes: run
+                        .get("mem")
+                        .and_then(|p| p.get("resident_bytes"))
+                        .and_then(Json::as_u64)
+                        .unwrap_or(0),
+                    mem_bytes_per_node: run
+                        .get("mem")
+                        .and_then(|p| p.get("bytes_per_node"))
+                        .and_then(Json::as_u64)
+                        .unwrap_or(0),
                     wall_ms: int("wall_ms")?,
                 },
             );
@@ -320,9 +373,11 @@ impl BenchArtifact {
     /// beyond `threshold_pct` percent.
     ///
     /// A regression is: a run that disappeared, throughput that dropped by
-    /// more than the threshold, or p99 latency that grew by more than the
-    /// threshold (when the baseline measured a nonzero p99). Added runs and
-    /// sub-threshold drift are reported as informational lines.
+    /// more than the threshold, p99 latency that grew by more than the
+    /// threshold (when the baseline measured a nonzero p99), or per-node
+    /// memory (`mem.bytes_per_node`) that grew by more than
+    /// [`MEM_REGRESSION_PCT`] when both artifacts recorded it. Added runs
+    /// and sub-threshold drift are reported as informational lines.
     pub fn diff(&self, new: &BenchArtifact, threshold_pct: f64) -> Vec<DiffLine> {
         let mut lines = Vec::new();
         let pct = |old: f64, new: f64| {
@@ -359,6 +414,19 @@ impl BenchArtifact {
                     ),
                     regression: true,
                 });
+            }
+            if old.mem_bytes_per_node > 0 && cur.mem_bytes_per_node > 0 {
+                let mem_delta = pct(old.mem_bytes_per_node as f64, cur.mem_bytes_per_node as f64);
+                if mem_delta > MEM_REGRESSION_PCT {
+                    lines.push(DiffLine {
+                        message: format!(
+                            "{name}: per-node memory {} -> {} B ({mem_delta:+.1}%, limit \
+                             +{MEM_REGRESSION_PCT}%)",
+                            old.mem_bytes_per_node, cur.mem_bytes_per_node
+                        ),
+                        regression: true,
+                    });
+                }
             }
             if tps_delta.abs() > f64::EPSILON && tps_delta >= -threshold_pct {
                 lines.push(DiffLine {
@@ -482,6 +550,8 @@ mod tests {
             fingerprint: "00112233445566778899aabbccddeeff".to_string(),
             threads: 2,
             partition_events: vec![4_500, 4_500],
+            mem_resident_bytes: 1_000_000,
+            mem_bytes_per_node: 2_048,
             wall_ms: wall,
         }
     }
@@ -547,6 +617,53 @@ mod tests {
         // Pre-v7 artifacts carry no engine block; they were sequential.
         assert_eq!(back.runs["a"].threads, 1);
         assert!(back.runs["a"].partition_events.is_empty());
+        // Pre-v8 artifacts carry no mem block; the footprint defaults to 0.
+        assert_eq!(back.runs["a"].mem_resident_bytes, 0);
+        assert_eq!(back.runs["a"].mem_bytes_per_node, 0);
+    }
+
+    #[test]
+    fn identical_modulo_wall_ignores_mem_footprint() {
+        // The mem block is a capacity estimate, not a workload property:
+        // like `engine`, it must never read as a determinism break.
+        let a = artifact(&[("a", entry(10_000.0, 100.0, 1))]);
+        let mut b = artifact(&[("a", entry(10_000.0, 100.0, 9))]);
+        b.runs.get_mut("a").unwrap().mem_resident_bytes = 9_999_999;
+        b.runs.get_mut("a").unwrap().mem_bytes_per_node = 9_999;
+        assert!(a.identical_modulo_wall(&b).is_empty());
+    }
+
+    #[test]
+    fn diff_flags_per_node_memory_regressions() {
+        let base = artifact(&[("fig9_z10_fulls500", entry(10_000.0, 100.0, 1))]);
+        // +25% per-node memory: over the fixed 20% bound.
+        let mut grown = base.clone();
+        grown
+            .runs
+            .get_mut("fig9_z10_fulls500")
+            .unwrap()
+            .mem_bytes_per_node = 2_560;
+        let lines = base.diff(&grown, 10.0);
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.regression && l.message.contains("per-node memory")),
+            "{lines:?}"
+        );
+        // +10% stays informationally silent; a baseline without mem data
+        // (pre-v8) never trips the gate.
+        let mut mild = base.clone();
+        mild.runs
+            .get_mut("fig9_z10_fulls500")
+            .unwrap()
+            .mem_bytes_per_node = 2_252;
+        assert!(base.diff(&mild, 10.0).iter().all(|l| !l.regression));
+        let mut old = base.clone();
+        old.runs
+            .get_mut("fig9_z10_fulls500")
+            .unwrap()
+            .mem_bytes_per_node = 0;
+        assert!(old.diff(&grown, 10.0).iter().all(|l| !l.regression));
     }
 
     #[test]

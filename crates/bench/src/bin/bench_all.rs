@@ -7,7 +7,8 @@
 //! CI exploits that by running the suite twice and diffing with
 //! `compare_bench --identical`.
 //!
-//! Usage: `bench_all [--quick] [--only PREFIX] [--threads N] [--out PATH]`
+//! Usage: `bench_all [--quick] [--only PREFIX] [--threads N] [--out PATH]
+//! [--mem-warn-only]`
 //!
 //! * `--quick`   — the scaled-down grids (what CI runs).
 //! * `--only P`  — restrict to points whose name starts with `P`
@@ -16,6 +17,8 @@
 //!   `PREDIS_THREADS`).
 //! * `--out`     — artifact path (default
 //!   `results/bench_all/BENCH_<schema>.json`).
+//! * `--mem-warn-only` — downgrade the mega-scale per-node memory budget
+//!   to a warning (PR builds warn, main builds gate).
 //!
 //! All outputs live under `results/bench_all/`; an unfiltered run clears
 //! that directory's stale `.json` reports first, so a renamed or removed
@@ -29,7 +32,7 @@ use std::time::Instant;
 
 use predis_bench::{
     bench_file_name, f0, f1, print_table, report_with_perf, suite, suite_dir, sweep, BenchArtifact,
-    Runner, SweepOutcome, SweepPoint,
+    Runner, SweepOutcome, SweepPoint, MEM_BYTES_PER_NODE_BUDGET,
 };
 use predis_parallel::Pool;
 
@@ -73,9 +76,49 @@ fn check_payload_clones(point: &SweepPoint, outcome: &SweepOutcome) -> Result<()
     Ok(())
 }
 
+/// The mega-scale memory gate: every fig9 run must record a
+/// `mem.bytes_per_node` under the absolute budget. The estimate is a
+/// deterministic function of container capacities, so a budget breach is a
+/// real structural regression (a per-node map came back, or block state
+/// stopped being retired), not runner noise.
+fn check_mem_budget(point: &SweepPoint, outcome: &SweepOutcome) -> Result<(), String> {
+    if !matches!(point.runner, Runner::MegaScale(_)) {
+        return Ok(()); // the budget is calibrated for the fig9 node mix
+    }
+    if point.name.starts_with("fig9_crowd") {
+        // The flash-crowd point doubles the offered *rate*, and in-flight
+        // block state is legitimately proportional to the bundle rate.
+        // The budget guards against per-node state growing with the
+        // *fleet size*, which the steady-rate grid points cover.
+        return Ok(());
+    }
+    let bytes_per_node: u64 = outcome
+        .report
+        .meta
+        .get("mem.bytes_per_node")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    if bytes_per_node == 0 {
+        return Err(format!(
+            "{}: no mem.bytes_per_node recorded — the engine's actor-footprint \
+             sampling is disconnected",
+            point.name
+        ));
+    }
+    if bytes_per_node > MEM_BYTES_PER_NODE_BUDGET {
+        return Err(format!(
+            "{}: {bytes_per_node} B/node > budget {MEM_BYTES_PER_NODE_BUDGET} B — \
+             per-node state is no longer O(1) in the fleet size",
+            point.name
+        ));
+    }
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let mem_warn_only = args.iter().any(|a| a == "--mem-warn-only");
     let flag_value = |flag: &str| {
         args.iter()
             .position(|a| a == flag)
@@ -208,6 +251,25 @@ fn main() {
             eprintln!("zero-copy gate: {v}");
         }
         std::process::exit(1);
+    }
+
+    // The absolute per-node memory budget for mega-scale runs.
+    // `--mem-warn-only` downgrades it to a warning (PR builds warn, main
+    // builds gate — same policy as the baseline comparison).
+    let mem_violations: Vec<String> = points
+        .iter()
+        .zip(&outcomes)
+        .filter_map(|(p, o)| check_mem_budget(p, o).err())
+        .collect();
+    if !mem_violations.is_empty() {
+        for v in &mem_violations {
+            eprintln!("memory gate: {v}");
+        }
+        if mem_warn_only {
+            eprintln!("memory gate: --mem-warn-only set, not failing the run");
+        } else {
+            std::process::exit(1);
+        }
     }
 
     let artifact = BenchArtifact::from_sweep(&points, &outcomes);

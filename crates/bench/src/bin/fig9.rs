@@ -1,0 +1,72 @@
+//! Fig. 9 — mega-scale Multi-Zone dissemination: 10^3 to 10^5 full nodes.
+//!
+//! Per-zone client swarms model millions of users as aggregate Poisson
+//! arrival processes; consensus nodes serve one stripe per zone, so their
+//! upload bytes stay flat as `zone_size` grows, and every full node is a
+//! struct-of-arrays `MultiZoneNode` whose resident footprint (the engine's
+//! `mem.bytes_per_node` estimate) must stay under the 4 KiB CI budget.
+//!
+//! Usage: `cargo run -p predis-bench --release --bin fig9 [--quick] [--trace]`
+
+use predis_bench::{
+    emit_showcases, f0, fig_opts, metric_or_nan, print_table, run_figure, suite,
+    MEM_BYTES_PER_NODE_BUDGET,
+};
+
+fn main() {
+    let opts = fig_opts("fig9");
+    let points = suite::fig9_points(opts.quick);
+    let outcomes = run_figure(&points);
+
+    let mem_cell = |o: &predis_bench::SweepOutcome| {
+        o.report
+            .meta
+            .get("mem.bytes_per_node")
+            .cloned()
+            .unwrap_or_else(|| "-".into())
+    };
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .zip(&outcomes)
+        .filter(|(p, _)| p.section == 0)
+        .map(|(p, o)| {
+            let mut row = p.labels.clone();
+            row.push(f0(metric_or_nan(&o.report, "throughput_tps")));
+            let upload = metric_or_nan(&o.report, "consensus_upload_bytes");
+            row.push(((upload as u64) / 1_000_000).to_string());
+            row.push(mem_cell(o));
+            row
+        })
+        .collect();
+    print_table(
+        "Fig.9 mega-scale Multi-Zone (upload flat in full_nodes; B/node bounded)",
+        &[
+            "zones",
+            "zone_size",
+            "full_nodes",
+            "tps",
+            "consensus_upload_MB",
+            "B/node",
+        ],
+        &rows,
+    );
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .zip(&outcomes)
+        .filter(|(p, _)| p.section == 1)
+        .map(|(p, o)| {
+            let mut row = p.labels.clone();
+            row.push(f0(metric_or_nan(&o.report, "throughput_tps")));
+            row.push(mem_cell(o));
+            row
+        })
+        .collect();
+    print_table(
+        "Fig.9 (cont.) flash crowd: offered rate doubles over a 2 s ramp",
+        &["zones", "zone_size", "full_nodes", "tps", "B/node"],
+        &rows,
+    );
+    println!("\nper-node memory budget: {MEM_BYTES_PER_NODE_BUDGET} B (gated by bench_all/CI)");
+    emit_showcases(&opts.dir, &points, &outcomes);
+}

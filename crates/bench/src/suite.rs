@@ -7,8 +7,8 @@
 //! that is what `bench_all` runs and what CI gates on.
 
 use predis::experiments::{
-    DistMode, FaultSpec, NetEnv, PropagationSetup, Protocol, ThroughputSetup, Topology,
-    TopologySetup,
+    DistMode, FaultSpec, MegaScaleSetup, NetEnv, PropagationSetup, Protocol, ThroughputSetup,
+    Topology, TopologySetup,
 };
 use predis::multizone::FegConfig;
 use predis::sim::{LatencyModel, SimDuration};
@@ -321,6 +321,67 @@ pub fn fig8_points(quick: bool) -> Vec<SweepPoint> {
     points
 }
 
+/// Fig. 9 — mega-scale Multi-Zone dissemination.
+///
+/// Holds the zone count fixed while `zone_size` grows, so a flat
+/// `consensus_upload_bytes` across a row demonstrates O(zones) upload
+/// cost, independent of the full-node population. The quick tier tops out
+/// at 10^4 full nodes (what CI runs under the `mem.bytes_per_node` gate);
+/// the full tier adds the 10^5-node points. One extra point exercises the
+/// flash-crowd ramp of the per-zone client swarms.
+pub fn fig9_points(quick: bool) -> Vec<SweepPoint> {
+    let secs = if quick { 8 } else { 12 };
+    let grid: &[(usize, usize)] = if quick {
+        &[(10, 50), (10, 250), (10, 1_000)]
+    } else {
+        &[(10, 50), (10, 250), (10, 1_000), (20, 1_250), (20, 5_000)]
+    };
+    let setup = |zones: usize, zone_size: usize| MegaScaleSetup {
+        zones,
+        zone_size,
+        duration_secs: secs,
+        warmup_secs: secs / 3,
+        seed: 9,
+        ..Default::default()
+    };
+
+    let mut points = Vec::new();
+    for &(zones, zone_size) in grid {
+        let fulls = zones * zone_size;
+        let mut point = SweepPoint::megascale(
+            format!("fig9_z{zones}_fulls{fulls}"),
+            setup(zones, zone_size),
+        )
+        .section(0)
+        .labels(vec![
+            zones.to_string(),
+            zone_size.to_string(),
+            fulls.to_string(),
+        ]);
+        if (zones, zone_size) == *grid.last().unwrap() {
+            point = point.showcase();
+        }
+        points.push(point);
+    }
+    // Flash crowd: the aggregate arrival rate doubles over a 2 s linear
+    // ramp right after warm-up — throughput must follow the offered load
+    // without destabilizing dissemination.
+    points.push(
+        SweepPoint::megascale(
+            "fig9_crowd_fulls2500",
+            MegaScaleSetup {
+                crowd_at_secs: (secs / 3).max(1),
+                crowd_ramp_secs: 2,
+                crowd_peak_mult: 2.0,
+                ..setup(10, 250)
+            },
+        )
+        .section(1)
+        .labels(vec!["10".into(), "250".into(), "2500".into()]),
+    );
+    points
+}
+
 /// Ablation sweeps (the simulated part of `bin/ablation.rs`).
 ///
 /// Section 0: bandwidth-model ablation (PBFT vs P-PBFT over uplink Mbps).
@@ -397,6 +458,7 @@ pub fn suite(quick: bool) -> Vec<SweepPoint> {
     points.extend(fig6_points(quick));
     points.extend(fig7_points(quick));
     points.extend(fig8_points(quick));
+    points.extend(fig9_points(quick));
     points.extend(ablation_points(quick));
     points
 }
@@ -431,14 +493,22 @@ mod tests {
     #[test]
     fn quick_suite_covers_every_figure() {
         let points = quick_suite();
-        for prefix in ["fig4_", "fig5_", "fig6_", "fig7_", "fig8_", "ablation_"] {
+        for prefix in [
+            "fig4_",
+            "fig5_",
+            "fig6_",
+            "fig7_",
+            "fig8_",
+            "fig9_",
+            "ablation_",
+        ] {
             assert!(
                 points.iter().any(|p| p.name.starts_with(prefix)),
                 "no {prefix} points"
             );
         }
         let showcases = points.iter().filter(|p| p.showcase).count();
-        assert_eq!(showcases, 6, "one showcase per figure/ablation");
+        assert_eq!(showcases, 7, "one showcase per figure/ablation");
     }
 
     #[test]

@@ -15,7 +15,9 @@
 
 use std::time::Instant;
 
-use predis::experiments::{PropagationSetup, ThroughputSetup, Topology, TopologySetup};
+use predis::experiments::{
+    MegaScaleSetup, PropagationSetup, ThroughputSetup, Topology, TopologySetup,
+};
 use predis_parallel::Pool;
 use predis_telemetry::RunReport;
 
@@ -28,6 +30,8 @@ pub enum Runner {
     Topology(TopologySetup),
     /// A pure block-propagation run (Fig. 8).
     Propagation(PropagationSetup, Topology),
+    /// A mega-scale Multi-Zone dissemination run (Fig. 9).
+    MegaScale(MegaScaleSetup),
 }
 
 /// One independent grid point of a figure.
@@ -85,6 +89,17 @@ impl SweepPoint {
         }
     }
 
+    /// A mega-scale (Fig. 9) grid point.
+    pub fn megascale(name: impl Into<String>, setup: MegaScaleSetup) -> SweepPoint {
+        SweepPoint {
+            name: name.into(),
+            section: 0,
+            labels: Vec::new(),
+            showcase: false,
+            runner: Runner::MegaScale(setup),
+        }
+    }
+
     /// Assigns the point to a table section.
     pub fn section(mut self, section: usize) -> SweepPoint {
         self.section = section;
@@ -116,6 +131,10 @@ impl SweepPoint {
             }
             Runner::Propagation(setup, topology) => {
                 let (result, sim) = setup.run_with_sim_named(topology, &self.name);
+                setup.report(&result, &sim, &self.name)
+            }
+            Runner::MegaScale(setup) => {
+                let (result, sim) = setup.run_with_sim_named(&self.name);
                 setup.report(&result, &sim, &self.name)
             }
         }

@@ -31,7 +31,7 @@ pub mod plane;
 pub mod planes;
 
 pub use byzantine::{EquivocatingProducer, SilentNode};
-pub use client::{ClientCore, CLIENT_LATENCY};
+pub use client::{ClientCore, ClientSwarm, FlashCrowd, OpenLoop, CLIENT_LATENCY};
 pub use config::{timers, ConsensusConfig, Roster};
 pub use hotstuff::HotStuffNode;
 pub use msg::{ConsMsg, HsBlockMsg, MicroBlock, Qc};

@@ -1,0 +1,318 @@
+//! The mega-scale dissemination experiment (Fig. 9): Multi-Zone fan-out
+//! pushed to 10^5 full nodes, with per-zone [`ClientSwarm`]s standing in
+//! for millions of users as aggregate arrival processes.
+//!
+//! Two properties are on trial as `zones x zone_size` grows:
+//!
+//! * **flat consensus upload** — each consensus node serves one stripe to
+//!   at most `max_children` relayers per zone, so its upload cost is a
+//!   function of the *zone count*, not the full-node population;
+//! * **bounded per-node memory** — every full node is a struct-of-arrays
+//!   [`MultiZoneNode`] sharing its zone roster behind one `Arc`, and the
+//!   engine's `mem.bytes_per_node` metric (peak Σ `Actor::approx_bytes`
+//!   over live actors, divided by the actor count) must stay under the CI
+//!   budget (4 KiB) at every grid point.
+
+use std::sync::Arc;
+
+use predis_consensus::planes::PredisPlane;
+use predis_consensus::{ClientSwarm, ConsMsg, ConsensusConfig, FlashCrowd, PbftNode, Roster};
+use predis_multizone::{MultiZoneNode, NetMsg, SubCap, ZoneConfig, ZoneSource};
+use predis_sim::prelude::*;
+use predis_telemetry::RunReport;
+use predis_types::{payload_stats, ClientId};
+use serde::{Deserialize, Serialize};
+
+use crate::experiments::topology::FlowConsensusNode;
+use crate::msg::FlowMsg;
+
+/// Parameters of one Fig. 9 run.
+///
+/// # Examples
+///
+/// ```no_run
+/// use predis::experiments::MegaScaleSetup;
+///
+/// let r = MegaScaleSetup {
+///     zones: 10,
+///     zone_size: 1_000,
+///     ..Default::default()
+/// }
+/// .run();
+/// println!(
+///     "{} full nodes at {:.0} tx/s, {} B/node resident",
+///     r.full_nodes, r.throughput_tps, r.bytes_per_node
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MegaScaleSetup {
+    /// Committee size.
+    pub n_c: usize,
+    /// Number of zones; consensus upload scales with this, not with the
+    /// full-node count.
+    pub zones: usize,
+    /// Full nodes per zone (total full nodes = `zones * zone_size`).
+    pub zone_size: usize,
+    /// Users modeled by each zone's [`ClientSwarm`] arrival process.
+    pub users_per_zone: u64,
+    /// Mean offered rate per user, tx/s (aggregate per zone =
+    /// `users_per_zone * per_user_tps`).
+    pub per_user_tps: f64,
+    /// Draw per-tick arrivals from a Poisson distribution instead of the
+    /// deterministic fractional accumulator.
+    pub poisson: bool,
+    /// Flash-crowd start, simulated seconds (0 disables the ramp).
+    pub crowd_at_secs: u64,
+    /// Flash-crowd ramp length, seconds (rate climbs linearly).
+    pub crowd_ramp_secs: u64,
+    /// Flash-crowd peak rate multiplier.
+    pub crowd_peak_mult: f64,
+    /// Transaction size in bytes.
+    pub tx_size: usize,
+    /// Transactions per bundle. Larger bundles than the paper's 50-tx
+    /// default keep the *simulation* tractable at 10^5 nodes: total event
+    /// count scales with `bundle rate x full_nodes`, and the bundle rate
+    /// is `offered tps / bundle_txs`.
+    pub bundle_txs: usize,
+    /// Upload bandwidth per node, Mbps. Consensus uplinks carry bundle
+    /// multicast *and* stripe serving to every zone, and a relayer with a
+    /// full child list forwards its stripe at `max_children x` the stripe
+    /// rate, so the mega-scale default is a datacenter-grade 2 Gbps
+    /// rather than fig7's 100 Mbps.
+    pub mbps: u64,
+    /// Measurement horizon, simulated seconds.
+    pub duration_secs: u64,
+    /// Warm-up excluded from throughput.
+    pub warmup_secs: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MegaScaleSetup {
+    fn default() -> Self {
+        MegaScaleSetup {
+            n_c: 4,
+            zones: 10,
+            zone_size: 100,
+            users_per_zone: 100_000,
+            per_user_tps: 0.02,
+            poisson: true,
+            crowd_at_secs: 0,
+            crowd_ramp_secs: 2,
+            crowd_peak_mult: 1.0,
+            tx_size: 512,
+            bundle_txs: 400,
+            mbps: 2_000,
+            duration_secs: 10,
+            warmup_secs: 3,
+            seed: 9,
+        }
+    }
+}
+
+/// Result of a Fig. 9 run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MegaScaleResult {
+    /// Sustained consensus throughput, tx/s.
+    pub throughput_tps: f64,
+    /// Bytes the consensus layer uploaded during the run (must stay flat
+    /// in `zone_size`).
+    pub consensus_upload_bytes: u64,
+    /// Total full nodes simulated (`zones * zone_size`).
+    pub full_nodes: usize,
+    /// Peak Σ `Actor::approx_bytes` over all live actors.
+    pub peak_actor_bytes: u64,
+    /// `peak_actor_bytes` divided by the actor count — the number the CI
+    /// memory gate bounds.
+    pub bytes_per_node: u64,
+}
+
+impl MegaScaleSetup {
+    /// Total full nodes of the grid point.
+    pub fn full_nodes(&self) -> usize {
+        self.zones * self.zone_size
+    }
+
+    /// Builds, runs, and summarizes the experiment.
+    pub fn run(&self) -> MegaScaleResult {
+        let (result, _) = self.run_with_sim_named("");
+        result
+    }
+
+    /// Snapshots a finished Fig. 9 simulation into a [`RunReport`].
+    pub fn report(&self, result: &MegaScaleResult, sim: &Sim<FlowMsg>, name: &str) -> RunReport {
+        let mut report = sim.metrics().run_report(name);
+        report.meta.insert("n_c".into(), self.n_c.to_string());
+        report.meta.insert("zones".into(), self.zones.to_string());
+        report
+            .meta
+            .insert("zone_size".into(), self.zone_size.to_string());
+        report
+            .meta
+            .insert("full_nodes".into(), result.full_nodes.to_string());
+        report.meta.insert(
+            "users".into(),
+            (self.users_per_zone * self.zones as u64).to_string(),
+        );
+        report.meta.insert("seed".into(), self.seed.to_string());
+        if result.throughput_tps.is_finite() {
+            report.set_metric("throughput_tps", result.throughput_tps);
+        }
+        report.set_metric(
+            "consensus_upload_bytes",
+            result.consensus_upload_bytes as f64,
+        );
+        let stats = payload_stats::snapshot();
+        report.set_metric("msg.payload_clones", stats.payload_clones as f64);
+        report.set_metric("msg.bytes_cloned", stats.bytes_cloned as f64);
+        report.set_metric("wire_size.computed", stats.wire_size_computed as f64);
+        report.set_metric("engine.events_processed", sim.events_processed() as f64);
+        sim.stamp_observability(&mut report);
+        report
+    }
+
+    /// Like [`MegaScaleSetup::run`] but also returns the finished
+    /// simulation, applying the observability environment for a run named
+    /// `name` first (pass `""` to skip the env switches).
+    pub fn run_with_sim_named(&self, name: &str) -> (MegaScaleResult, Sim<FlowMsg>) {
+        payload_stats::reset();
+        let network = Network::new(LatencyModel::lan(), SimDuration::ZERO);
+        let mut sim: Sim<FlowMsg> = Sim::new(self.seed, network);
+        let link = LinkConfig::paper_default().with_mbps(self.mbps);
+        let full_nodes = self.full_nodes();
+        let cons: Vec<NodeId> = (0..self.n_c as u32).map(NodeId).collect();
+        // One swarm actor per zone stands in for that zone's user base.
+        let swarm_ids: Vec<NodeId> = ((self.n_c + full_nodes) as u32
+            ..(self.n_c + full_nodes + self.zones) as u32)
+            .map(NodeId)
+            .collect();
+        let roster = Roster::new(cons.clone(), swarm_ids.clone());
+        // Large bundles and a relaxed ack heartbeat keep the bundle rate
+        // demand-bound: every bundle fans out to all `zones x zone_size`
+        // full nodes, so the bundle rate — not the tx rate — is what the
+        // simulation's event count scales with.
+        let cfg = ConsensusConfig {
+            bundle_size: self.bundle_txs,
+            heartbeat: SimDuration::from_millis(100),
+            ..ConsensusConfig::default()
+        }
+        .paced_production(self.n_c, self.tx_size, self.mbps * 1_000_000);
+        let zcfg = ZoneConfig {
+            n_c: self.n_c,
+            f: roster.f(),
+            max_children: 24,
+            alive_interval: SimDuration::from_millis(250),
+            digest_interval: SimDuration::from_secs(1),
+            consensus: cons.clone(),
+            // The fig9 consensus duty streams bundles but never sends
+            // block announcements, so full nodes must retire decoded
+            // blocks on their own or grow O(blocks) in-flight state.
+            retire_unannounced: true,
+        };
+
+        // Consensus nodes, always with the Multi-Zone stripe-serving duty.
+        for me in 0..self.n_c {
+            let shell = PbftNode::new(
+                me,
+                roster.clone(),
+                cfg.clone(),
+                PredisPlane::new(me, roster.clone(), cfg.clone()),
+            );
+            // The per-zone cap keeps the join storm off the consensus
+            // uplink: at most two direct subscribers per zone per source
+            // (Algorithm 2's shedding trims toward one in steady state);
+            // the rest are redirected into the zone tree.
+            let source = ZoneSource::new(me as u32, zcfg.clone(), None).with_sub_cap(SubCap {
+                base: self.n_c as u32,
+                zone_size: self.zone_size as u32,
+                per_zone: 2,
+            });
+            let node = FlowConsensusNode::zone(shell, source);
+            sim.add_node(link, Box::new(node), SimTime::ZERO);
+        }
+
+        // Full nodes: contiguous id blocks per zone, each zone sharing one
+        // `Arc<[NodeId]>` roster — membership costs O(1) amortized per node.
+        // Joins are staggered over ~2 simulated seconds (wrapping at 400
+        // slots so a 10^5-node fleet does not take 8 minutes to assemble).
+        let mut zone_members: Vec<Arc<[NodeId]>> = Vec::with_capacity(self.zones);
+        for z in 0..self.zones {
+            let base = self.n_c + z * self.zone_size;
+            let members: Vec<NodeId> = (base as u32..(base + self.zone_size) as u32)
+                .map(NodeId)
+                .collect();
+            zone_members.push(members.into());
+        }
+        for (z, members) in zone_members.iter().enumerate() {
+            for (i, &fnode) in members.iter().enumerate() {
+                let j = z * self.zone_size + i;
+                sim.add_node(
+                    link,
+                    Box::new(ActorOf::<_, NetMsg>::new(MultiZoneNode::in_zone(
+                        zcfg.clone(),
+                        j as u64,
+                        members.clone(),
+                        fnode,
+                    ))),
+                    SimTime::from_millis(5 * (j % 400) as u64),
+                );
+            }
+        }
+
+        // Client swarms: one open-loop arrival process per zone.
+        for z in 0..self.zones {
+            let mut swarm = ClientSwarm::new(
+                ClientId(z as u32),
+                roster.clone(),
+                self.users_per_zone,
+                self.per_user_tps,
+                self.tx_size as u32,
+            );
+            if self.poisson {
+                swarm = swarm.poisson_arrivals();
+            }
+            if self.crowd_at_secs > 0 && self.crowd_peak_mult > 1.0 {
+                swarm = swarm.with_flash_crowd(FlashCrowd {
+                    at: SimTime::from_secs(self.crowd_at_secs),
+                    ramp: SimDuration::from_secs(self.crowd_ramp_secs.max(1)),
+                    peak_mult: self.crowd_peak_mult,
+                });
+            }
+            sim.add_node(
+                link,
+                Box::new(ActorOf::<_, ConsMsg>::new(swarm)),
+                SimTime::ZERO,
+            );
+        }
+
+        // Partition affinity: consensus + swarms on one worker, each zone
+        // on its own — only stripe serving crosses partitions.
+        let mut affinity: Vec<Vec<NodeId>> = Vec::with_capacity(self.zones + 1);
+        let mut core_group = cons.clone();
+        core_group.extend(swarm_ids.iter().copied());
+        affinity.push(core_group);
+        affinity.extend(zone_members.iter().map(|m| m.to_vec()));
+        sim.set_partition_hint(affinity);
+
+        if !name.is_empty() {
+            sim.apply_observability_env(name);
+        }
+        sim.run_until(SimTime::from_secs(self.duration_secs));
+        sim.finish_observability();
+        let from = SimTime::from_secs(self.warmup_secs);
+        let to = SimTime::from_secs(self.duration_secs);
+        let consensus_upload_bytes = cons.iter().map(|&n| sim.network().bytes_sent(n)).sum();
+        let actors = self.n_c + full_nodes + self.zones;
+        let peak = sim.peak_actor_bytes();
+        (
+            MegaScaleResult {
+                throughput_tps: sim.metrics().throughput_tps(from, to),
+                consensus_upload_bytes,
+                full_nodes,
+                peak_actor_bytes: peak,
+                bytes_per_node: peak / actors as u64,
+            },
+            sim,
+        )
+    }
+}

@@ -4,11 +4,15 @@
 //!   injection (Fig. 6);
 //! * [`topology`] — combined consensus + dissemination throughput (Fig. 7);
 //! * block propagation latency (Fig. 8) lives in
-//!   [`predis_multizone::PropagationSetup`], re-exported here.
+//!   [`predis_multizone::PropagationSetup`], re-exported here;
+//! * [`megascale`] — Multi-Zone dissemination at up to 10^5 full nodes
+//!   with per-zone client swarms (Fig. 9).
 
+pub mod megascale;
 pub mod throughput;
 pub mod topology;
 
+pub use megascale::{MegaScaleResult, MegaScaleSetup};
 pub use predis_multizone::{PropagationResult, PropagationSetup, Topology};
 pub use throughput::{FaultSpec, NetEnv, Protocol, ThroughputSetup};
 pub use topology::{DistMode, FlowConsensusNode, TopologyResult, TopologySetup};

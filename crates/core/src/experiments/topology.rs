@@ -39,7 +39,9 @@ pub struct FlowConsensusNode {
 #[derive(Debug)]
 enum Duty {
     Star { assigned: Vec<NodeId> },
-    Zone { source: ZoneSource },
+    // Boxed: a ZoneSource (stripe buffers, subscriber lists, interned
+    // handles) dwarfs the star variant.
+    Zone { source: Box<ZoneSource> },
 }
 
 impl FlowConsensusNode {
@@ -55,7 +57,9 @@ impl FlowConsensusNode {
     pub fn zone(shell: PbftNode<PredisPlane>, source: ZoneSource) -> FlowConsensusNode {
         FlowConsensusNode {
             shell,
-            duty: Duty::Zone { source },
+            duty: Duty::Zone {
+                source: Box::new(source),
+            },
         }
     }
 
@@ -109,6 +113,22 @@ impl FlowConsensusNode {
 }
 
 impl Actor<FlowMsg> for FlowConsensusNode {
+    fn on_attach(&mut self, _me: NodeId, metrics: &mut Metrics) {
+        // The zone duty embeds a ZoneSource directly (not via ActorOf), so
+        // its hot-path counter handles are interned here.
+        if let Duty::Zone { source } = &mut self.duty {
+            source.attach_metrics(metrics);
+        }
+    }
+
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + match &self.duty {
+                Duty::Star { assigned } => assigned.capacity() * std::mem::size_of::<NodeId>(),
+                Duty::Zone { source } => source.approx_size(),
+            }
+    }
+
     fn on_start(&mut self, ctx: &mut Context<'_, FlowMsg>) {
         self.shell.start(&mut ctx.narrow::<ConsMsg>());
         self.drain_produced(ctx);
@@ -283,6 +303,7 @@ impl TopologySetup {
             alive_interval: SimDuration::from_millis(250),
             digest_interval: SimDuration::from_secs(1),
             consensus: cons.clone(),
+            retire_unannounced: false,
         };
 
         // Consensus nodes with their dissemination duty.

@@ -1,0 +1,88 @@
+//! Mega-scale (Fig. 9) integration tests: memory bounds, flat consensus
+//! upload, and steady-state retirement of per-block dissemination state.
+
+use predis::experiments::MegaScaleSetup;
+use predis::multizone::{MultiZoneNode, NetMsg};
+use predis::sim::{ActorOf, NodeId};
+
+fn setup(zones: usize, zone_size: usize, duration_secs: u64) -> MegaScaleSetup {
+    MegaScaleSetup {
+        zones,
+        zone_size,
+        duration_secs,
+        warmup_secs: 2,
+        seed: 9,
+        ..Default::default()
+    }
+}
+
+/// Offered load in tx/s — what the open-loop client swarms inject.
+fn offered_tps(s: &MegaScaleSetup) -> f64 {
+    s.zones as f64 * s.users_per_zone as f64 * s.per_user_tps
+}
+
+#[test]
+fn megascale_sustains_offered_load_within_memory_budget() {
+    let s = setup(4, 50, 6);
+    let r = s.run();
+    let offered = offered_tps(&s);
+    assert!(
+        r.throughput_tps >= 0.9 * offered,
+        "throughput {:.0} tps fell below 90% of the offered {:.0} tps",
+        r.throughput_tps,
+        offered
+    );
+    assert!(
+        r.bytes_per_node <= 4096,
+        "peak footprint {} B/node exceeds the 4 KiB mega-scale budget",
+        r.bytes_per_node
+    );
+}
+
+#[test]
+fn consensus_upload_flat_in_full_node_count() {
+    // Fig. 9's enabling property: each source serves a bounded number of
+    // direct subscribers per zone, so consensus upload is a function of
+    // the zone count — not of how many full nodes each zone holds.
+    let small = setup(4, 25, 6).run();
+    let big = setup(4, 100, 6).run();
+    assert_eq!(big.full_nodes, 4 * small.full_nodes);
+    let ratio = big.consensus_upload_bytes as f64 / small.consensus_upload_bytes.max(1) as f64;
+    assert!(
+        ratio < 1.5,
+        "4x the full nodes grew consensus upload {ratio:.2}x (want ~flat: {} -> {} bytes)",
+        small.consensus_upload_bytes,
+        big.consensus_upload_bytes
+    );
+}
+
+#[test]
+fn per_block_state_retires_in_steady_state() {
+    // A full node's in-flight block table tracks the bundle *rate*, not
+    // the run length: doubling the duration must not accumulate state.
+    let end_inflight = |duration: u64| -> (usize, usize) {
+        let s = setup(2, 40, duration);
+        let (_, sim) = s.run_with_sim_named("");
+        let (mut max, mut sum, mut n) = (0usize, 0usize, 0usize);
+        for id in s.n_c as u32..(s.n_c + s.zones * s.zone_size) as u32 {
+            if let Some(a) = sim.actor_as::<ActorOf<MultiZoneNode, NetMsg>>(NodeId(id)) {
+                let inflight = a.core().inflight_blocks();
+                max = max.max(inflight);
+                sum += inflight;
+                n += 1;
+            }
+        }
+        (max, sum / n.max(1))
+    };
+    let (short_max, short_mean) = end_inflight(5);
+    let (long_max, long_mean) = end_inflight(12);
+    assert!(
+        long_max <= 64,
+        "a node ended a 12s run holding {long_max} in-flight blocks"
+    );
+    assert!(
+        long_max <= short_max + 8 && long_mean <= short_mean + 4,
+        "in-flight state grew with run length: 5s max/mean {short_max}/{short_mean}, \
+         12s max/mean {long_max}/{long_mean}"
+    );
+}

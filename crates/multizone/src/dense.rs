@@ -1,0 +1,984 @@
+//! Dense, cache-friendly containers backing the Multi-Zone node plane.
+//!
+//! [`crate::zone::MultiZoneNode`] used to carry ~12 `BTreeMap`/`HashMap`s
+//! per node; at 10^5 simulated full nodes the pointer-chasing and
+//! per-entry overhead of those maps dominates resident memory. The
+//! containers here replace them with flat arrays and interned handles
+//! while preserving the *exact* iteration orders of the maps they
+//! replace (ascending stripe / ascending `NodeId` / ascending block),
+//! because iteration order decides message emission order and therefore
+//! the run's trace fingerprint:
+//!
+//! * [`StripeTable`] — stripe-keyed map as a fixed `n_stripes` array.
+//! * [`StripeSet`] — stripe set as one `u64` bitmask (`n_c ≤ 64`).
+//! * [`PeerMap`] — `NodeId`-keyed map with interned dense handles (the
+//!   counter-interning trick applied to actors): each peer is assigned a
+//!   small index on first contact, values live in a dense vector, and a
+//!   sorted handle list keeps `BTreeMap`-compatible ascending iteration.
+//! * [`U64Set`] / [`U64Map`] — sorted-vector set/map for sparse `u64`
+//!   keys (block numbers are *hashes* in the fig7 consensus world, so
+//!   they cannot index an array directly): 8 bytes per entry instead of
+//!   a tree node per entry.
+//! * [`BlockTable`] — a compact slot ring for per-bundle in-flight state
+//!   (stripes held, decoded/whole bits, pull attempts, announcement
+//!   metadata). Slots are recycled when a block completes, so steady
+//!   state holds only the blocks actually in flight.
+//!
+//! Every container reports [`approx_bytes`](StripeTable::approx_bytes)
+//! so the engine's `mem.*` accounting can gate the footprint.
+
+use predis_sim::{NodeId, SimTime};
+use rand::Rng;
+
+// ---------------------------------------------------------------------
+// StripeTable
+// ---------------------------------------------------------------------
+
+/// A map keyed by stripe index `0..n_stripes`, stored as a fixed array.
+///
+/// Iteration is ascending by stripe, matching the `BTreeMap<u32, T>` it
+/// replaces. Out-of-range keys (impossible with honest peers, whose
+/// stripes all come from `0..n_c`) are ignored rather than panicking.
+#[derive(Debug, Clone)]
+pub struct StripeTable<T> {
+    slots: Box<[Option<T>]>,
+    live: usize,
+}
+
+impl<T: Copy> StripeTable<T> {
+    /// An empty table over `n_stripes` stripes.
+    pub fn new(n_stripes: usize) -> StripeTable<T> {
+        StripeTable {
+            slots: vec![None; n_stripes].into_boxed_slice(),
+            live: 0,
+        }
+    }
+
+    /// Inserts, returning the previous value.
+    pub fn insert(&mut self, stripe: u32, value: T) -> Option<T> {
+        match self.slots.get_mut(stripe as usize) {
+            Some(slot) => {
+                let old = slot.replace(value);
+                if old.is_none() {
+                    self.live += 1;
+                }
+                old
+            }
+            None => None,
+        }
+    }
+
+    /// The value for `stripe`, if any.
+    pub fn get(&self, stripe: u32) -> Option<T> {
+        self.slots.get(stripe as usize).copied().flatten()
+    }
+
+    /// Removes and returns the value for `stripe`.
+    pub fn remove(&mut self, stripe: u32) -> Option<T> {
+        let old = self.slots.get_mut(stripe as usize).and_then(Option::take);
+        if old.is_some() {
+            self.live -= 1;
+        }
+        old
+    }
+
+    /// Whether `stripe` has a value.
+    pub fn contains(&self, stripe: u32) -> bool {
+        self.get(stripe).is_some()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no entry is set.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        for slot in self.slots.iter_mut() {
+            *slot = None;
+        }
+        self.live = 0;
+    }
+
+    /// Live entries in ascending stripe order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, T)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.map(|v| (i as u32, v)))
+    }
+
+    /// Live values in ascending stripe order.
+    pub fn values(&self) -> impl Iterator<Item = T> + '_ {
+        self.iter().map(|(_, v)| v)
+    }
+
+    /// Approximate heap footprint in bytes (the inline struct is counted
+    /// by the owner).
+    pub fn approx_bytes(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<Option<T>>()
+    }
+}
+
+// ---------------------------------------------------------------------
+// StripeSet
+// ---------------------------------------------------------------------
+
+/// A set of stripe indices as a single `u64` bitmask.
+///
+/// Iteration is ascending, matching the `BTreeSet<u32>` it replaces.
+/// Requires `n_c ≤ 64` (asserted at node construction); out-of-range
+/// inserts are ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StripeSet(u64);
+
+impl FromIterator<u32> for StripeSet {
+    fn from_iter<I: IntoIterator<Item = u32>>(stripes: I) -> StripeSet {
+        let mut set = StripeSet::EMPTY;
+        for s in stripes {
+            set.insert(s);
+        }
+        set
+    }
+}
+
+impl StripeSet {
+    /// The empty set.
+    pub const EMPTY: StripeSet = StripeSet(0);
+
+    /// Inserts `stripe`; true if it was not present.
+    pub fn insert(&mut self, stripe: u32) -> bool {
+        if stripe >= 64 {
+            return false;
+        }
+        let mask = 1u64 << stripe;
+        let fresh = self.0 & mask == 0;
+        self.0 |= mask;
+        fresh
+    }
+
+    /// Removes `stripe`; true if it was present.
+    pub fn remove(&mut self, stripe: u32) -> bool {
+        if stripe >= 64 {
+            return false;
+        }
+        let mask = 1u64 << stripe;
+        let had = self.0 & mask != 0;
+        self.0 &= !mask;
+        had
+    }
+
+    /// Membership test.
+    pub fn contains(self, stripe: u32) -> bool {
+        stripe < 64 && self.0 >> stripe & 1 == 1
+    }
+
+    /// Number of stripes in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True when empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set intersection.
+    pub fn intersection(self, other: StripeSet) -> StripeSet {
+        StripeSet(self.0 & other.0)
+    }
+
+    /// Set union.
+    pub fn union(self, other: StripeSet) -> StripeSet {
+        StripeSet(self.0 | other.0)
+    }
+
+    /// Smallest member, if any.
+    pub fn first(self) -> Option<u32> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros())
+        }
+    }
+
+    /// Members in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = u32> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                return None;
+            }
+            let s = bits.trailing_zeros();
+            bits &= bits - 1;
+            Some(s)
+        })
+    }
+
+    /// Members in ascending order, collected.
+    pub fn to_vec(self) -> Vec<u32> {
+        self.iter().collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// PeerMap
+// ---------------------------------------------------------------------
+
+/// A `NodeId`-keyed map with interned dense handles.
+///
+/// Each distinct peer is assigned a small dense index on first insert;
+/// values live in `vals[handle]` and a sorted handle list preserves the
+/// ascending-`NodeId` iteration order of the `BTreeMap` it replaces.
+/// Removal clears the value but keeps the handle interned, so the
+/// footprint is bounded by the number of *distinct* peers ever seen
+/// (zone-local, small) rather than churn volume.
+#[derive(Debug, Clone, Default)]
+pub struct PeerMap<V> {
+    /// handle -> peer id, in interning order.
+    ids: Vec<NodeId>,
+    /// handle -> live value.
+    vals: Vec<Option<V>>,
+    /// Handles sorted by `NodeId`, for ordered iteration and lookup.
+    order: Vec<u32>,
+    live: usize,
+}
+
+impl<V> PeerMap<V> {
+    /// An empty map.
+    pub fn new() -> PeerMap<V> {
+        PeerMap {
+            ids: Vec::new(),
+            vals: Vec::new(),
+            order: Vec::new(),
+            live: 0,
+        }
+    }
+
+    fn lookup(&self, id: NodeId) -> Result<usize, usize> {
+        self.order
+            .binary_search_by_key(&id, |&h| self.ids[h as usize])
+    }
+
+    /// Inserts, returning the previous value for `id`.
+    pub fn insert(&mut self, id: NodeId, value: V) -> Option<V> {
+        match self.lookup(id) {
+            Ok(pos) => {
+                let h = self.order[pos] as usize;
+                let old = self.vals[h].replace(value);
+                if old.is_none() {
+                    self.live += 1;
+                }
+                old
+            }
+            Err(pos) => {
+                let h = self.ids.len() as u32;
+                self.ids.push(id);
+                self.vals.push(Some(value));
+                self.order.insert(pos, h);
+                self.live += 1;
+                None
+            }
+        }
+    }
+
+    /// The value for `id`, if live.
+    pub fn get(&self, id: NodeId) -> Option<&V> {
+        let pos = self.lookup(id).ok()?;
+        self.vals[self.order[pos] as usize].as_ref()
+    }
+
+    /// Removes and returns the value for `id` (the handle stays interned).
+    pub fn remove(&mut self, id: NodeId) -> Option<V> {
+        let pos = self.lookup(id).ok()?;
+        let old = self.vals[self.order[pos] as usize].take();
+        if old.is_some() {
+            self.live -= 1;
+        }
+        old
+    }
+
+    /// Whether `id` has a live value.
+    pub fn contains_key(&self, id: NodeId) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no entry is live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Live entries in ascending `NodeId` order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &V)> + '_ {
+        self.order.iter().filter_map(move |&h| {
+            self.vals[h as usize]
+                .as_ref()
+                .map(|v| (self.ids[h as usize], v))
+        })
+    }
+
+    /// Live values in ascending `NodeId` order.
+    pub fn values(&self) -> impl Iterator<Item = &V> + '_ {
+        self.iter().map(|(_, v)| v)
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.ids.capacity() * std::mem::size_of::<NodeId>()
+            + self.vals.capacity() * std::mem::size_of::<Option<V>>()
+            + self.order.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+// ---------------------------------------------------------------------
+// U64Set / U64Map
+// ---------------------------------------------------------------------
+
+/// A sorted-vector set of `u64` keys (8 bytes per entry).
+///
+/// Iteration via [`U64Set::as_slice`] is ascending, matching the
+/// `BTreeSet<u64>` it replaces.
+#[derive(Debug, Clone, Default)]
+pub struct U64Set(Vec<u64>);
+
+impl U64Set {
+    /// An empty set.
+    pub fn new() -> U64Set {
+        U64Set(Vec::new())
+    }
+
+    /// Inserts `key`; true if it was not present.
+    pub fn insert(&mut self, key: u64) -> bool {
+        match self.0.binary_search(&key) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.0.insert(pos, key);
+                true
+            }
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, key: u64) -> bool {
+        self.0.binary_search(&key).is_ok()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// All members in ascending order.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.0
+    }
+
+    /// Releases capacity slack left over from a transient burst.
+    pub fn shrink_to_fit(&mut self) {
+        self.0.shrink_to_fit();
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.0.capacity() * 8
+    }
+}
+
+/// A sorted-vector map from `u64` keys to values.
+///
+/// Iteration is ascending by key, matching the maps it replaces.
+#[derive(Debug, Clone, Default)]
+pub struct U64Map<V> {
+    keys: Vec<u64>,
+    vals: Vec<V>,
+}
+
+impl<V> U64Map<V> {
+    /// An empty map.
+    pub fn new() -> U64Map<V> {
+        U64Map {
+            keys: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Inserts, returning the previous value for `key`.
+    pub fn insert(&mut self, key: u64, value: V) -> Option<V> {
+        match self.keys.binary_search(&key) {
+            Ok(pos) => Some(std::mem::replace(&mut self.vals[pos], value)),
+            Err(pos) => {
+                self.keys.insert(pos, key);
+                self.vals.insert(pos, value);
+                None
+            }
+        }
+    }
+
+    /// The value for `key`, if any.
+    pub fn get(&self, key: u64) -> Option<&V> {
+        let pos = self.keys.binary_search(&key).ok()?;
+        Some(&self.vals[pos])
+    }
+
+    /// The value for `key`, inserting `default` first when absent.
+    pub fn entry_or(&mut self, key: u64, default: V) -> &mut V {
+        let pos = match self.keys.binary_search(&key) {
+            Ok(pos) => pos,
+            Err(pos) => {
+                self.keys.insert(pos, key);
+                self.vals.insert(pos, default);
+                pos
+            }
+        };
+        &mut self.vals[pos]
+    }
+
+    /// Removes and returns the value for `key`.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        let pos = self.keys.binary_search(&key).ok()?;
+        self.keys.remove(pos);
+        Some(self.vals.remove(pos))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Entries in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> + '_ {
+        self.keys.iter().copied().zip(self.vals.iter())
+    }
+
+    /// Releases capacity slack left over from a transient burst.
+    pub fn shrink_to_fit(&mut self) {
+        self.keys.shrink_to_fit();
+        self.vals.shrink_to_fit();
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.keys.capacity() * 8 + self.vals.capacity() * std::mem::size_of::<V>()
+    }
+}
+
+// ---------------------------------------------------------------------
+// BlockTable / BlockSlot
+// ---------------------------------------------------------------------
+
+/// Per-block in-flight bundle state: which stripes of each bundle are
+/// held, which bundles decoded / held whole, recovery pull attempts, and
+/// the block announcement (bundle count + arrival time) once seen.
+///
+/// One `BlockSlot` replaces what used to be entries in five separate
+/// maps (`stripes_have`, `decoded`, `whole_bundles`, `pull_attempts`,
+/// `pending_blocks` + `ann_seen_at`).
+#[derive(Debug, Clone, Default)]
+pub struct BlockSlot {
+    bundles: Option<u32>,
+    ann_at: Option<SimTime>,
+    /// When the first stripe (or pulled bundle) of the block arrived —
+    /// the age reference for expiring never-announced slots.
+    touched: Option<SimTime>,
+    /// Per bundle index: bitmask of stripes held (`n_c ≤ 64`).
+    stripe_words: Vec<u64>,
+    /// Bitset over bundle indices: bundle decoded.
+    decoded: Vec<u64>,
+    /// Bitset over bundle indices: bundle held whole (servable).
+    whole: Vec<u64>,
+    /// Per bundle index: recovery pull attempts (saturating).
+    pulls: Vec<u8>,
+}
+
+fn bit_get(words: &[u64], idx: u32) -> bool {
+    words
+        .get(idx as usize / 64)
+        .is_some_and(|w| w >> (idx % 64) & 1 == 1)
+}
+
+fn bit_set(words: &mut Vec<u64>, idx: u32) -> bool {
+    let word = idx as usize / 64;
+    if words.len() <= word {
+        // Exact growth: `resize` alone reserves amortized (min capacity
+        // 4), and with thousands of single-bundle slots live at once the
+        // slack is what the memory gate ends up measuring.
+        words.reserve_exact(word + 1 - words.len());
+        words.resize(word + 1, 0);
+    }
+    let mask = 1u64 << (idx % 64);
+    let fresh = words[word] & mask == 0;
+    words[word] |= mask;
+    fresh
+}
+
+impl BlockSlot {
+    /// The announced bundle count, if the block is pending.
+    pub fn pending(&self) -> Option<u32> {
+        self.bundles
+    }
+
+    /// When the announcement arrived, if pending.
+    pub fn ann_at(&self) -> Option<SimTime> {
+        self.ann_at
+    }
+
+    /// Records the first data arrival for the block (later calls are
+    /// no-ops).
+    pub fn note_touch(&mut self, at: SimTime) {
+        self.touched.get_or_insert(at);
+    }
+
+    /// When the block's first data arrived, if any did.
+    pub fn first_touch(&self) -> Option<SimTime> {
+        self.touched
+    }
+
+    /// Records one stripe of bundle `idx`. Returns `None` on a
+    /// duplicate, else the number of distinct stripes now held.
+    pub fn add_stripe(&mut self, idx: u32, stripe: u32) -> Option<u32> {
+        if stripe >= 64 {
+            return None;
+        }
+        let i = idx as usize;
+        if self.stripe_words.len() <= i {
+            self.stripe_words
+                .reserve_exact(i + 1 - self.stripe_words.len());
+            self.stripe_words.resize(i + 1, 0);
+        }
+        let word = &mut self.stripe_words[i];
+        let mask = 1u64 << stripe;
+        if *word & mask != 0 {
+            return None;
+        }
+        *word |= mask;
+        Some(word.count_ones())
+    }
+
+    /// Marks bundle `idx` decoded; true if newly set.
+    pub fn mark_decoded(&mut self, idx: u32) -> bool {
+        bit_set(&mut self.decoded, idx)
+    }
+
+    /// Whether bundle `idx` is decoded.
+    pub fn is_decoded(&self, idx: u32) -> bool {
+        bit_get(&self.decoded, idx)
+    }
+
+    /// Marks bundle `idx` held whole.
+    pub fn mark_whole(&mut self, idx: u32) {
+        bit_set(&mut self.whole, idx);
+    }
+
+    /// Whether bundle `idx` is held whole.
+    pub fn is_whole(&self, idx: u32) -> bool {
+        bit_get(&self.whole, idx)
+    }
+
+    /// Whether every bundle that has received at least one stripe is
+    /// decoded. With no announcement there is no authoritative bundle
+    /// count, so "all bundles seen so far" is the strongest completion
+    /// signal available (the ann-less retirement condition).
+    pub fn all_decoded(&self) -> bool {
+        self.stripe_words
+            .iter()
+            .enumerate()
+            .all(|(i, &w)| w == 0 || bit_get(&self.decoded, i as u32))
+    }
+
+    /// Whether every bundle seen holds all `n_c` stripes. Once true, the
+    /// stripe plane has nothing further to deliver for this block —
+    /// retiring the slot earlier (at `k` of `n_c` stripes) would let the
+    /// remaining stripes resurrect it as a new, never-decodable slot.
+    pub fn holds_all_stripes(&self, n_c: u32) -> bool {
+        !self.stripe_words.is_empty() && self.stripe_words.iter().all(|w| w.count_ones() >= n_c)
+    }
+
+    /// Increments bundle `idx`'s pull-attempt counter, returning the new
+    /// value (saturating at 255 — only the `≤ 2` threshold matters).
+    pub fn bump_pull(&mut self, idx: u32) -> u32 {
+        let i = idx as usize;
+        if self.pulls.len() <= i {
+            self.pulls.reserve_exact(i + 1 - self.pulls.len());
+            self.pulls.resize(i + 1, 0);
+        }
+        self.pulls[i] = self.pulls[i].saturating_add(1);
+        self.pulls[i] as u32
+    }
+
+    fn reset(&mut self) {
+        // Fresh vectors, not `clear()`: a recycled slot keeping its peak
+        // capacity would pin the startup-chaos footprint forever, and
+        // `approx_bytes` (the memory gate's input) counts capacity.
+        *self = BlockSlot::default();
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.stripe_words.capacity() * 8
+            + self.decoded.capacity() * 8
+            + self.whole.capacity() * 8
+            + self.pulls.capacity()
+    }
+}
+
+/// The slot ring: block number → recycled [`BlockSlot`].
+///
+/// Slots are created on first touch, retired (cleared and returned to a
+/// free list) when the block completes, so live size tracks the blocks
+/// actually in flight. Iteration over pending blocks is ascending by
+/// block number, matching the `BTreeMap` recovery order it replaces.
+#[derive(Debug, Clone, Default)]
+pub struct BlockTable {
+    index: U64Map<u32>,
+    slots: Vec<BlockSlot>,
+    free: Vec<u32>,
+    pending: usize,
+}
+
+impl BlockTable {
+    /// An empty table.
+    pub fn new() -> BlockTable {
+        BlockTable::default()
+    }
+
+    /// The slot for `block`, if tracked.
+    pub fn get(&self, block: u64) -> Option<&BlockSlot> {
+        let &h = self.index.get(block)?;
+        Some(&self.slots[h as usize])
+    }
+
+    /// The slot for `block`, creating it (from the free list if
+    /// possible) when absent.
+    pub fn slot_mut(&mut self, block: u64) -> &mut BlockSlot {
+        let h = match self.index.get(block) {
+            Some(&h) => h,
+            None => {
+                let h = match self.free.pop() {
+                    Some(h) => h,
+                    None => {
+                        self.slots.push(BlockSlot::default());
+                        (self.slots.len() - 1) as u32
+                    }
+                };
+                self.index.insert(block, h);
+                h
+            }
+        };
+        &mut self.slots[h as usize]
+    }
+
+    /// Marks `block` pending with `bundles` bundles, announced at `at`.
+    pub fn set_pending(&mut self, block: u64, bundles: u32, at: SimTime) {
+        let slot = self.slot_mut(block);
+        let was_pending = slot.bundles.is_some();
+        slot.bundles = Some(bundles);
+        slot.ann_at = Some(at);
+        if !was_pending {
+            self.pending += 1;
+        }
+    }
+
+    /// Drops every trace of `block`, recycling its slot.
+    pub fn retire(&mut self, block: u64) {
+        if let Some(h) = self.index.remove(block) {
+            let slot = &mut self.slots[h as usize];
+            if slot.bundles.is_some() {
+                self.pending -= 1;
+            }
+            slot.reset();
+            self.free.push(h);
+        }
+    }
+
+    /// Number of pending (announced, incomplete) blocks.
+    pub fn pending_count(&self) -> usize {
+        self.pending
+    }
+
+    /// Number of tracked blocks (pending or merely receiving stripes).
+    pub fn live_len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Every tracked block (pending or not) in ascending block order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &BlockSlot)> + '_ {
+        self.index
+            .iter()
+            .map(move |(block, &h)| (block, &self.slots[h as usize]))
+    }
+
+    /// Pending blocks in ascending block order.
+    pub fn pending_iter(&self) -> impl Iterator<Item = (u64, &BlockSlot)> + '_ {
+        self.index.iter().filter_map(move |(block, &h)| {
+            let slot = &self.slots[h as usize];
+            slot.bundles.is_some().then_some((block, slot))
+        })
+    }
+
+    /// Rebuilds the table densely, dropping free-list slack and index
+    /// capacity left over from a transient burst (ascending block order —
+    /// and with it iteration determinism — is preserved).
+    pub fn shrink_to_fit(&mut self) {
+        if self.free.is_empty() && self.slots.capacity() == self.slots.len() {
+            return;
+        }
+        let mut slots = Vec::with_capacity(self.index.len());
+        let mut index = U64Map::new();
+        for (block, &h) in self.index.iter() {
+            index.insert(block, slots.len() as u32);
+            slots.push(std::mem::take(&mut self.slots[h as usize]));
+        }
+        self.slots = slots;
+        self.index = index;
+        self.free = Vec::new();
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.index.approx_bytes()
+            + self.slots.capacity() * std::mem::size_of::<BlockSlot>()
+            + self.slots.iter().map(BlockSlot::heap_bytes).sum::<usize>()
+            + self.free.capacity() * 4
+    }
+}
+
+// ---------------------------------------------------------------------
+// ZoneRoster
+// ---------------------------------------------------------------------
+
+/// Zone membership, shared between all members of a zone.
+///
+/// The full member list lives in one `Arc<[NodeId]>` per zone instead of
+/// one owned `Vec` per node (which alone would blow a 4 KiB/node budget
+/// at zone size 1000). `my_pos` marks this node's own slot so peer
+/// iteration and random peer choice skip it — with *exactly* the same
+/// RNG draw as `choose` on the old exclusive list: one
+/// `gen_range(0..len-1)` call, mapped over the gap.
+#[derive(Debug, Clone)]
+pub struct ZoneRoster {
+    list: std::sync::Arc<[NodeId]>,
+    /// This node's index in `list`, or `u32::MAX` when the list already
+    /// excludes it (the legacy constructor).
+    my_pos: u32,
+}
+
+impl ZoneRoster {
+    /// A roster from a list that excludes this node (legacy form; each
+    /// node owns its allocation).
+    pub fn exclusive(peers: Vec<NodeId>) -> ZoneRoster {
+        ZoneRoster {
+            list: peers.into(),
+            my_pos: u32::MAX,
+        }
+    }
+
+    /// A roster sharing one full zone list (including `me`) across all
+    /// members.
+    pub fn shared(zone: std::sync::Arc<[NodeId]>, me: NodeId) -> ZoneRoster {
+        let my_pos = zone
+            .iter()
+            .position(|&n| n == me)
+            .map_or(u32::MAX, |p| p as u32);
+        ZoneRoster { list: zone, my_pos }
+    }
+
+    /// Number of fellow members (self excluded).
+    pub fn peer_count(&self) -> usize {
+        self.list.len() - usize::from(self.my_pos != u32::MAX)
+    }
+
+    /// Fellow members in list order (self excluded).
+    pub fn peers(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.list
+            .iter()
+            .enumerate()
+            .filter(move |&(i, _)| i as u32 != self.my_pos)
+            .map(|(_, &n)| n)
+    }
+
+    /// A uniformly random fellow member, drawing exactly one
+    /// `gen_range(0..peer_count)` — identical to `SliceRandom::choose`
+    /// on the exclusive peer list.
+    pub fn choose_other<R: Rng>(&self, rng: &mut R) -> Option<NodeId> {
+        let n = self.peer_count();
+        if n == 0 {
+            return None;
+        }
+        let i = rng.gen_range(0..n);
+        let skip = usize::from(self.my_pos != u32::MAX && i as u32 >= self.my_pos);
+        Some(self.list[i + skip])
+    }
+
+    /// Approximate heap footprint in bytes, amortizing the shared list
+    /// over its current reference count.
+    pub fn approx_bytes(&self) -> usize {
+        let shared = self.list.len() * std::mem::size_of::<NodeId>();
+        shared / std::sync::Arc::strong_count(&self.list).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripe_table_orders_and_counts() {
+        let mut t: StripeTable<u32> = StripeTable::new(8);
+        assert!(t.is_empty());
+        t.insert(5, 50);
+        t.insert(1, 10);
+        t.insert(5, 55);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(5), Some(55));
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![(1, 10), (5, 55)]);
+        assert_eq!(t.remove(1), Some(10));
+        assert_eq!(t.remove(1), None);
+        assert_eq!(t.len(), 1);
+        // Out-of-range keys are ignored.
+        t.insert(99, 1);
+        assert_eq!(t.len(), 1);
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn stripe_set_matches_btreeset_order() {
+        let mut s = StripeSet::EMPTY;
+        assert!(s.insert(3));
+        assert!(s.insert(0));
+        assert!(!s.insert(3));
+        assert_eq!(s.to_vec(), vec![0, 3]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.first(), Some(0));
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert_eq!(s.first(), Some(3));
+        let other = StripeSet::from_iter([3, 5]);
+        assert_eq!(s.intersection(other).to_vec(), vec![3]);
+        assert_eq!(s.union(other).to_vec(), vec![3, 5]);
+    }
+
+    #[test]
+    fn peer_map_iterates_ascending_and_recycles_handles() {
+        let mut m: PeerMap<&str> = PeerMap::new();
+        assert_eq!(m.insert(NodeId(9), "nine"), None);
+        assert_eq!(m.insert(NodeId(2), "two"), None);
+        assert_eq!(m.insert(NodeId(9), "NINE"), Some("nine"));
+        assert_eq!(m.len(), 2);
+        let order: Vec<NodeId> = m.iter().map(|(n, _)| n).collect();
+        assert_eq!(order, vec![NodeId(2), NodeId(9)]);
+        assert_eq!(m.remove(NodeId(2)), Some("two"));
+        assert!(!m.contains_key(NodeId(2)));
+        assert_eq!(m.len(), 1);
+        // Re-inserting a removed peer reuses its interned handle.
+        m.insert(NodeId(2), "again");
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(NodeId(2)), Some(&"again"));
+    }
+
+    #[test]
+    fn u64_set_and_map_stay_sorted() {
+        let mut s = U64Set::new();
+        assert!(s.insert(7));
+        assert!(s.insert(3));
+        assert!(!s.insert(7));
+        assert_eq!(s.as_slice(), &[3, 7]);
+        assert!(s.contains(3) && !s.contains(4));
+
+        let mut m: U64Map<u64> = U64Map::new();
+        m.insert(10, 1);
+        *m.entry_or(4, 0) += 5;
+        *m.entry_or(4, 0) += 5;
+        assert_eq!(m.get(4), Some(&10));
+        assert_eq!(
+            m.iter().map(|(k, &v)| (k, v)).collect::<Vec<_>>(),
+            vec![(4, 10), (10, 1)]
+        );
+        assert_eq!(m.remove(10), Some(1));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn block_table_tracks_and_retires() {
+        let mut t = BlockTable::new();
+        assert_eq!(t.slot_mut(5).add_stripe(0, 2), Some(1));
+        assert_eq!(t.slot_mut(5).add_stripe(0, 2), None);
+        assert_eq!(t.slot_mut(5).add_stripe(0, 4), Some(2));
+        t.set_pending(5, 2, SimTime::ZERO);
+        assert_eq!(t.pending_count(), 1);
+        assert!(t.slot_mut(5).mark_decoded(0));
+        assert!(!t.slot_mut(5).mark_decoded(0));
+        t.slot_mut(5).mark_whole(0);
+        assert!(t.get(5).unwrap().is_whole(0));
+        assert!(!t.get(5).unwrap().is_decoded(1));
+        // Bundle 0 (the only one with stripes) is decoded.
+        assert!(t.get(5).unwrap().all_decoded());
+        assert_eq!(t.slot_mut(5).add_stripe(1, 0), Some(1));
+        assert!(!t.get(5).unwrap().all_decoded());
+        assert_eq!(t.slot_mut(5).bump_pull(1), 1);
+        assert_eq!(t.slot_mut(5).bump_pull(1), 2);
+        // A second block, then retire the first: its slot is recycled.
+        t.set_pending(9, 1, SimTime::ZERO);
+        t.retire(5);
+        assert_eq!(t.pending_count(), 1);
+        assert_eq!(t.live_len(), 1);
+        assert!(t.get(5).is_none());
+        let slot = t.slot_mut(5);
+        assert!(slot.pending().is_none());
+        assert_eq!(t.live_len(), 2);
+        // Pending iteration is ascending by block.
+        let blocks: Vec<u64> = t.pending_iter().map(|(b, _)| b).collect();
+        assert_eq!(blocks, vec![9]);
+    }
+
+    #[test]
+    fn roster_skips_self_with_one_draw() {
+        use rand::rngs::SmallRng;
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+
+        let full: std::sync::Arc<[NodeId]> =
+            vec![NodeId(1), NodeId(4), NodeId(7), NodeId(9)].into();
+        let shared = ZoneRoster::shared(full.clone(), NodeId(7));
+        let exclusive = ZoneRoster::exclusive(vec![NodeId(1), NodeId(4), NodeId(9)]);
+        assert_eq!(shared.peer_count(), 3);
+        assert_eq!(exclusive.peer_count(), 3);
+        assert_eq!(
+            shared.peers().collect::<Vec<_>>(),
+            vec![NodeId(1), NodeId(4), NodeId(9)]
+        );
+        // Same seed -> same peer as `choose` on the exclusive list.
+        let old_list = [NodeId(1), NodeId(4), NodeId(9)];
+        for seed in 0..64u64 {
+            let mut a = SmallRng::seed_from_u64(seed);
+            let mut b = SmallRng::seed_from_u64(seed);
+            let mut c = SmallRng::seed_from_u64(seed);
+            let want = *old_list.as_slice().choose(&mut a).unwrap();
+            assert_eq!(shared.choose_other(&mut b), Some(want), "seed {seed}");
+            assert_eq!(exclusive.choose_other(&mut c), Some(want), "seed {seed}");
+        }
+        // A roster whose "shared" list does not contain the node behaves
+        // like the exclusive form.
+        let not_in = ZoneRoster::shared(full, NodeId(100));
+        assert_eq!(not_in.peer_count(), 4);
+    }
+}

@@ -243,6 +243,7 @@ impl PropagationSetup {
                     alive_interval: SimDuration::from_millis(250),
                     digest_interval: SimDuration::from_secs(1),
                     consensus: cons.clone(),
+                    retire_unannounced: false,
                 };
                 for i in 0..self.n_c {
                     sim.add_node(

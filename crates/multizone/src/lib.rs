@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod dense;
 pub mod experiment;
 pub mod msg;
 pub mod random;
@@ -36,4 +37,4 @@ pub use experiment::{PropagationResult, PropagationSetup, Topology};
 pub use msg::{net_timers, BundleId, NetMsg, RelayerInfo};
 pub use random::{FegConfig, FegNode, RandomSource};
 pub use star::{BlockSink, StarSource};
-pub use zone::{MultiZoneNode, SyntheticLoad, ZoneConfig, ZoneSource};
+pub use zone::{MultiZoneNode, SubCap, SyntheticLoad, ZoneConfig, ZoneSource};

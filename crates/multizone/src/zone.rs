@@ -8,17 +8,23 @@
 //! [`ZoneSource`] implements the consensus-node side: it serves exactly its
 //! own stripe index to its subscribers, keeping the consensus layer's
 //! dissemination cost at O(n_c) regardless of the full-node count.
-
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+//!
+//! Per-node state lives in the dense containers of [`crate::dense`]
+//! (fixed stripe arrays, interned peer handles, one shared roster per
+//! zone, a recycled block-slot table) rather than per-node `BTreeMap`s,
+//! so 10^5 simulated full nodes fit in a few GB. Every container
+//! preserves the iteration order of the map it replaced, keeping message
+//! emission — and therefore run fingerprints — bit-identical.
 
 use predis_sim::{
-    BundleKey, Codec, Labels, NarrowContext, NodeId, ProtocolCore, SimDuration, SimTime, Stage,
-    TimerTag,
+    BundleKey, Codec, CounterHandle, Labels, Metrics, NarrowContext, NodeId, ProtocolCore,
+    SimDuration, SimTime, Stage, TimerTag,
 };
 use predis_types::Shared;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
+use crate::dense::{BlockTable, PeerMap, StripeSet, StripeTable, U64Map, U64Set, ZoneRoster};
 use crate::msg::{net_timers, BundleId, NetMsg, RelayerInfo};
 
 /// Static parameters of a Multi-Zone deployment.
@@ -37,6 +43,15 @@ pub struct ZoneConfig {
     pub digest_interval: SimDuration,
     /// The consensus (stripe source) nodes, indexed by stripe.
     pub consensus: Vec<NodeId>,
+    /// Forget a block's in-flight slot as soon as every bundle seen so
+    /// far is decoded, without waiting for an announcement. Only sound
+    /// in open-loop worlds that never send [`NetMsg::BlockAnn`] (the
+    /// fig7/fig9 consensus duty): with announcements on the wire, a node
+    /// can hold every stripe *before* a slow announcement arrives, and
+    /// forgetting the slot would resurrect it as new work. Off by
+    /// default; without it an ann-less node's in-flight table grows with
+    /// every block ever streamed.
+    pub retire_unannounced: bool,
 }
 
 impl ZoneConfig {
@@ -87,6 +102,32 @@ impl SyntheticLoad {
     }
 }
 
+/// Caps direct consensus subscriptions per zone (mega-scale worlds).
+///
+/// A full node's zone is derived from its contiguous id block:
+/// `zone = (id - base) / zone_size`. Once a zone holds `per_zone` direct
+/// subscribers on a source, further joiners from that zone are redirected
+/// (`RejectSub` listing the zone's existing subscribers) so they deepen
+/// the zone tree instead of widening the source fanout. Without the cap a
+/// join storm — thousands of nodes running Algorithm 1 before any
+/// `RelayerAlive` has propagated — subscribes *en masse* to the source,
+/// saturating the consensus uplink and stalling block production.
+#[derive(Debug, Clone, Copy)]
+pub struct SubCap {
+    /// First full-node id (ids below this are consensus nodes).
+    pub base: u32,
+    /// Full nodes per zone.
+    pub zone_size: u32,
+    /// Direct subscribers allowed per zone on each source.
+    pub per_zone: usize,
+}
+
+impl SubCap {
+    fn zone_of(&self, n: NodeId) -> u32 {
+        (n.index() as u32).saturating_sub(self.base) / self.zone_size.max(1)
+    }
+}
+
 /// The consensus-node side of Multi-Zone: serves stripe `idx` of every
 /// bundle to its subscribers and forwards block announcements.
 #[derive(Debug)]
@@ -94,12 +135,18 @@ pub struct ZoneSource {
     idx: u32,
     cfg: ZoneConfig,
     load: Option<SyntheticLoad>,
+    sub_cap: Option<SubCap>,
     subscribers: Vec<NodeId>,
     /// Last heartbeat per subscriber (§IV-E: silent subscribers are
     /// disconnected so the uplink stops carrying their stripes).
-    sub_last_seen: BTreeMap<NodeId, SimTime>,
+    sub_last_seen: PeerMap<SimTime>,
     current_block: u64,
     bundle_in_block: u32,
+    /// Interned at attach: `zone.rs_encodes` / `zone.stripe_sends` for
+    /// this stripe's chain label, so the per-bundle hot path is a dense
+    /// array add instead of a string-keyed map walk.
+    enc_h: Option<CounterHandle>,
+    send_h: Option<CounterHandle>,
 }
 
 impl ZoneSource {
@@ -111,16 +158,44 @@ impl ZoneSource {
             idx,
             cfg,
             load,
+            sub_cap: None,
             subscribers: Vec::new(),
-            sub_last_seen: BTreeMap::new(),
+            sub_last_seen: PeerMap::new(),
             current_block: 0,
             bundle_in_block: 0,
+            enc_h: None,
+            send_h: None,
         }
     }
 
     /// Current subscribers (for tests).
     pub fn subscriber_count(&self) -> usize {
         self.subscribers.len()
+    }
+
+    /// Enables the per-zone direct-subscription cap (see [`SubCap`]).
+    pub fn with_sub_cap(mut self, cap: SubCap) -> ZoneSource {
+        self.sub_cap = Some(cap);
+        self
+    }
+
+    /// Interns this source's hot-path counter handles against `metrics`.
+    /// Called from [`ProtocolCore::attach`] (and directly by embedders
+    /// like the fig7 consensus duty wrapper, which implements `Actor`
+    /// itself).
+    pub fn attach_metrics(&mut self, metrics: &mut Metrics) {
+        self.enc_h =
+            Some(metrics.counter_handle("zone.rs_encodes", Labels::chain(self.idx as u64)));
+        self.send_h =
+            Some(metrics.counter_handle("zone.stripe_sends", Labels::chain(self.idx as u64)));
+    }
+
+    /// Approximate resident footprint (for `mem.*` accounting).
+    pub fn approx_size(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.subscribers.capacity() * std::mem::size_of::<NodeId>()
+            + self.sub_last_seen.approx_bytes()
+            + self.cfg.consensus.capacity() * std::mem::size_of::<NodeId>()
     }
 
     /// Sends this source's stripe of the given bundle to all subscribers.
@@ -138,15 +213,25 @@ impl ZoneSource {
             k,
             bytes: stripe_bytes,
         };
-        let subs = self.subscribers.clone();
-        let fanout = subs.len() as u64;
-        ctx.multicast(subs, msg);
+        let fanout = self.subscribers.len() as u64;
+        ctx.multicast(self.subscribers.iter().copied(), msg);
         let now = ctx.now();
-        ctx.metrics()
-            .incr_labeled("zone.rs_encodes", Labels::chain(self.idx as u64), 1);
+        match self.enc_h {
+            Some(h) => ctx.metrics().incr_handle(h, 1),
+            None => {
+                ctx.metrics()
+                    .incr_labeled("zone.rs_encodes", Labels::chain(self.idx as u64), 1)
+            }
+        }
         if fanout > 0 {
-            ctx.metrics()
-                .incr_labeled("zone.stripe_sends", Labels::chain(self.idx as u64), fanout);
+            match self.send_h {
+                Some(h) => ctx.metrics().incr_handle(h, fanout),
+                None => ctx.metrics().incr_labeled(
+                    "zone.stripe_sends",
+                    Labels::chain(self.idx as u64),
+                    fanout,
+                ),
+            }
         }
         ctx.metrics().timeline_mark(
             BundleKey {
@@ -167,9 +252,8 @@ impl ZoneSource {
         bundles: u32,
         ann_wire: u32,
     ) {
-        let subs = self.subscribers.clone();
         ctx.multicast(
-            subs,
+            self.subscribers.iter().copied(),
             NetMsg::BlockAnn {
                 block,
                 bundles,
@@ -206,6 +290,14 @@ impl ZoneSource {
 }
 
 impl ProtocolCore<NetMsg> for ZoneSource {
+    fn attach(&mut self, _me: NodeId, metrics: &mut Metrics) {
+        self.attach_metrics(metrics);
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.approx_size()
+    }
+
     fn start<M: Codec<NetMsg>>(&mut self, ctx: &mut NarrowContext<'_, '_, M, NetMsg>) {
         if let Some(load) = &self.load {
             let start = load.start_at;
@@ -229,17 +321,39 @@ impl ProtocolCore<NetMsg> for ZoneSource {
             NetMsg::Subscribe { stripes } => {
                 // A consensus node serves exactly its own stripe.
                 if stripes.contains(&self.idx) {
-                    if !self.subscribers.contains(&from) {
-                        self.subscribers.push(from);
+                    let full_zone = self.sub_cap.filter(|_| !self.subscribers.contains(&from));
+                    let redirect = full_zone.and_then(|cap| {
+                        let zone = cap.zone_of(from);
+                        let peers: Vec<NodeId> = self
+                            .subscribers
+                            .iter()
+                            .copied()
+                            .filter(|&n| cap.zone_of(n) == zone)
+                            .collect();
+                        (peers.len() >= cap.per_zone).then_some(peers)
+                    });
+                    if let Some(children) = redirect {
+                        ctx.metrics().incr("zone.source_subs_capped", 1);
+                        ctx.send(
+                            from,
+                            NetMsg::RejectSub {
+                                stripes: vec![self.idx],
+                                children,
+                            },
+                        );
+                    } else {
+                        if !self.subscribers.contains(&from) {
+                            self.subscribers.push(from);
+                        }
+                        let now = ctx.now();
+                        self.sub_last_seen.insert(from, now);
+                        ctx.send(
+                            from,
+                            NetMsg::AcceptSub {
+                                stripes: vec![self.idx],
+                            },
+                        );
                     }
-                    let now = ctx.now();
-                    self.sub_last_seen.insert(from, now);
-                    ctx.send(
-                        from,
-                        NetMsg::AcceptSub {
-                            stripes: vec![self.idx],
-                        },
-                    );
                 }
                 let rejected: Vec<u32> = stripes.into_iter().filter(|&s| s != self.idx).collect();
                 if !rejected.is_empty() {
@@ -290,7 +404,7 @@ impl ProtocolCore<NetMsg> for ZoneSource {
                 let cutoff = self.cfg.alive_interval * 8;
                 let before = self.subscribers.len();
                 let seen = &self.sub_last_seen;
-                self.subscribers.retain(|n| {
+                self.subscribers.retain(|&n| {
                     seen.get(n)
                         .is_some_and(|&t| now.saturating_since(t) <= cutoff)
                 });
@@ -308,6 +422,15 @@ impl ProtocolCore<NetMsg> for ZoneSource {
     }
 }
 
+/// A known relayer of this zone: join order, advertised stripes, last
+/// alive time.
+#[derive(Debug, Clone, Copy)]
+struct RelayerState {
+    join_seq: u64,
+    stripes: StripeSet,
+    seen: SimTime,
+}
+
 /// The full-node side of Multi-Zone (ordinary node or relayer — the role is
 /// dynamic, per Algorithms 1 and 2).
 #[derive(Debug)]
@@ -315,55 +438,59 @@ pub struct MultiZoneNode {
     cfg: ZoneConfig,
     /// This node's join order (smaller = earlier).
     join_seq: u64,
-    /// Fellow members of this node's zone (static membership knowledge; in
-    /// a permissioned chain the registry is on-ledger).
-    zone_members: Vec<NodeId>,
+    /// Zone membership (static knowledge; in a permissioned chain the
+    /// registry is on-ledger). One shared list per zone.
+    roster: ZoneRoster,
     /// Backup connections into neighbouring zones.
     backup_peers: Vec<NodeId>,
     /// Leave the network at this time, if set (churn experiments).
     leave_at: Option<SimTime>,
 
-    // ---- stripe routing ----
-    /// stripe -> current provider. Ordered so that iteration (and thus
-    /// message emission) is deterministic.
-    upstream: BTreeMap<u32, NodeId>,
+    // ---- stripe routing (fixed n_c-length tables; iteration — and thus
+    // message emission — is ascending by stripe, as the BTreeMaps were) ----
+    /// stripe -> current provider.
+    upstream: StripeTable<NodeId>,
     /// Stripes with no provider yet.
-    desired: BTreeSet<u32>,
+    desired: StripeSet,
     /// Stripes requested from some node, awaiting an answer.
-    pending_sub: BTreeMap<u32, NodeId>,
+    pending_sub: StripeTable<NodeId>,
     /// Make-before-break provider switches: stripe -> old provider to drop
     /// once the new subscription is accepted.
-    switching: BTreeMap<u32, NodeId>,
-    /// stripe -> downstream subscribers (ordered for determinism).
-    children: BTreeMap<u32, Vec<NodeId>>,
+    switching: StripeTable<NodeId>,
+    /// stripe -> downstream subscribers (insertion-ordered per stripe).
+    children: Box<[Vec<NodeId>]>,
     /// Stripes received directly from consensus nodes (relayer-ness).
-    relaying: BTreeSet<u32>,
-    /// Known relayers of this zone.
-    zone_relayers: BTreeMap<NodeId, (u64, BTreeSet<u32>, SimTime)>,
+    relaying: StripeSet,
+    /// Known relayers of this zone (interned peer handles, ascending
+    /// `NodeId` iteration).
+    zone_relayers: PeerMap<RelayerState>,
 
     // ---- data state ----
-    stripes_have: HashMap<BundleId, BTreeSet<u32>>,
-    decoded: HashSet<BundleId>,
-    /// block -> bundle count (ordered: recovery iterates it).
-    pending_blocks: BTreeMap<u64, u32>,
-    completed: BTreeSet<u64>,
-    block_sizes: HashMap<u64, u64>,
-    ann_forwarded: HashSet<u64>,
-    pulled: HashSet<u64>,
-    last_data: HashMap<u32, SimTime>,
+    /// Per-block in-flight bundle state: stripes held, decoded/whole
+    /// bits, pull attempts, announcement metadata. Slots are recycled on
+    /// completion.
+    inflight: BlockTable,
+    completed: U64Set,
+    block_sizes: U64Map<u64>,
+    ann_forwarded: U64Set,
+    pulled: U64Set,
+    /// stripe -> last time data arrived on it.
+    last_data: StripeTable<SimTime>,
     /// Per-block bundle payload size (learned from stripes), for serving
-    /// bundle pulls.
-    bundle_bytes_hint: HashMap<u64, u32>,
-    /// When each pending block's announcement arrived (recovery trigger).
-    ann_seen_at: HashMap<u64, SimTime>,
-    /// Bundles served to others or recovered whole (for pull answers).
-    whole_bundles: HashSet<BundleId>,
+    /// bundle pulls. Survives completion by design.
+    bundle_bytes_hint: U64Map<u32>,
     /// Last heartbeat (or any message) per child, for §IV-E disconnects.
-    child_last_seen: BTreeMap<NodeId, SimTime>,
-    /// Recovery attempts per missing bundle; after a few zone-local tries
-    /// the pull falls back to a consensus node (§IV-F: "can still connect
-    /// to other consensus nodes for data pulling").
-    pull_attempts: HashMap<BundleId, u32>,
+    child_last_seen: PeerMap<SimTime>,
+    /// Ring of recently retired blocks (ann-less worlds only): absorbs
+    /// late duplicate stripes that would otherwise resurrect a retired
+    /// slot, at a fixed cost instead of O(blocks) tombstones.
+    retired_ring: std::collections::VecDeque<u64>,
+
+    /// Interned at attach, one per stripe: `zone.stripe_sends` for this
+    /// node. Minted against the parent metrics before the run starts, so
+    /// the handles survive parallel-engine shard forks (forked counters
+    /// share the interning index).
+    stripe_send_h: Vec<CounterHandle>,
 
     /// Number of blocks fully reconstructed (ann + all bundles decoded).
     pub completed_blocks: u64,
@@ -373,33 +500,51 @@ impl MultiZoneNode {
     /// Creates a full node in a zone. `zone_members` are the other nodes of
     /// the same zone (any order); `join_seq` is this node's join order.
     pub fn new(cfg: ZoneConfig, join_seq: u64, zone_members: Vec<NodeId>) -> MultiZoneNode {
-        let desired = (0..cfg.n_c as u32).collect();
+        MultiZoneNode::with_roster(cfg, join_seq, ZoneRoster::exclusive(zone_members))
+    }
+
+    /// Creates a full node sharing one zone-wide member list (including
+    /// `me`) across all members of the zone — the mega-scale form, where
+    /// membership costs O(1) amortized per node instead of O(zone size).
+    pub fn in_zone(
+        cfg: ZoneConfig,
+        join_seq: u64,
+        zone: std::sync::Arc<[NodeId]>,
+        me: NodeId,
+    ) -> MultiZoneNode {
+        MultiZoneNode::with_roster(cfg, join_seq, ZoneRoster::shared(zone, me))
+    }
+
+    fn with_roster(cfg: ZoneConfig, join_seq: u64, roster: ZoneRoster) -> MultiZoneNode {
+        assert!(
+            cfg.n_c <= 64,
+            "Multi-Zone supports at most 64 stripes (n_c = {})",
+            cfg.n_c
+        );
+        let n_c = cfg.n_c;
         MultiZoneNode {
             cfg,
             join_seq,
-            zone_members,
+            roster,
             backup_peers: Vec::new(),
             leave_at: None,
-            upstream: BTreeMap::new(),
-            desired,
-            pending_sub: BTreeMap::new(),
-            switching: BTreeMap::new(),
-            children: BTreeMap::new(),
-            relaying: BTreeSet::new(),
-            zone_relayers: BTreeMap::new(),
-            stripes_have: HashMap::new(),
-            decoded: HashSet::new(),
-            pending_blocks: BTreeMap::new(),
-            completed: BTreeSet::new(),
-            block_sizes: HashMap::new(),
-            ann_forwarded: HashSet::new(),
-            pulled: HashSet::new(),
-            last_data: HashMap::new(),
-            bundle_bytes_hint: HashMap::new(),
-            ann_seen_at: HashMap::new(),
-            whole_bundles: HashSet::new(),
-            child_last_seen: BTreeMap::new(),
-            pull_attempts: HashMap::new(),
+            upstream: StripeTable::new(n_c),
+            desired: StripeSet::from_iter(0..n_c as u32),
+            pending_sub: StripeTable::new(n_c),
+            switching: StripeTable::new(n_c),
+            children: vec![Vec::new(); n_c].into_boxed_slice(),
+            relaying: StripeSet::EMPTY,
+            zone_relayers: PeerMap::new(),
+            inflight: BlockTable::new(),
+            completed: U64Set::new(),
+            block_sizes: U64Map::new(),
+            ann_forwarded: U64Set::new(),
+            pulled: U64Set::new(),
+            last_data: StripeTable::new(n_c),
+            bundle_bytes_hint: U64Map::new(),
+            child_last_seen: PeerMap::new(),
+            retired_ring: std::collections::VecDeque::new(),
+            stripe_send_h: Vec::new(),
             completed_blocks: 0,
         }
     }
@@ -423,7 +568,7 @@ impl MultiZoneNode {
 
     /// The stripes this node receives directly from consensus nodes.
     pub fn relayed_stripes(&self) -> Vec<u32> {
-        self.relaying.iter().copied().collect()
+        self.relaying.to_vec()
     }
 
     /// The number of distinct relayers this node believes its zone has.
@@ -438,17 +583,96 @@ impl MultiZoneNode {
 
     /// Blocks announced but not yet reconstructed.
     pub fn pending_block_count(&self) -> usize {
-        self.pending_blocks.len()
+        self.inflight.pending_count()
+    }
+
+    /// Blocks with any in-flight tracking state (pending or merely
+    /// receiving stripes) — bounded in steady state because completed
+    /// blocks retire their slots.
+    pub fn inflight_blocks(&self) -> usize {
+        self.inflight.live_len()
+    }
+
+    /// Approximate resident footprint (for `mem.*` accounting).
+    pub fn approx_size(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.roster.approx_bytes()
+            + self.backup_peers.capacity() * std::mem::size_of::<NodeId>()
+            + self.cfg.consensus.capacity() * std::mem::size_of::<NodeId>()
+            + self.upstream.approx_bytes()
+            + self.pending_sub.approx_bytes()
+            + self.switching.approx_bytes()
+            + self.last_data.approx_bytes()
+            + self
+                .children
+                .iter()
+                .map(|kids| std::mem::size_of::<Vec<NodeId>>() + kids.capacity() * 4)
+                .sum::<usize>()
+            + self.zone_relayers.approx_bytes()
+            + self.child_last_seen.approx_bytes()
+            + self.inflight.approx_bytes()
+            + self.completed.approx_bytes()
+            + self.block_sizes.approx_bytes()
+            + self.ann_forwarded.approx_bytes()
+            + self.pulled.approx_bytes()
+            + self.bundle_bytes_hint.approx_bytes()
+            + self.retired_ring.capacity() * 8
+            + self.stripe_send_h.capacity() * std::mem::size_of::<CounterHandle>()
+    }
+
+    /// Diagnostic: per-component footprint, for memory-budget tuning.
+    pub fn approx_breakdown(&self) -> Vec<(&'static str, usize)> {
+        vec![
+            ("self", std::mem::size_of::<Self>()),
+            ("roster", self.roster.approx_bytes()),
+            ("consensus", self.cfg.consensus.capacity() * 4),
+            ("upstream", self.upstream.approx_bytes()),
+            ("pending_sub", self.pending_sub.approx_bytes()),
+            ("switching", self.switching.approx_bytes()),
+            ("last_data", self.last_data.approx_bytes()),
+            (
+                "children",
+                self.children
+                    .iter()
+                    .map(|kids| std::mem::size_of::<Vec<NodeId>>() + kids.capacity() * 4)
+                    .sum::<usize>(),
+            ),
+            ("zone_relayers", self.zone_relayers.approx_bytes()),
+            ("child_last_seen", self.child_last_seen.approx_bytes()),
+            ("inflight", self.inflight.approx_bytes()),
+            ("completed", self.completed.approx_bytes()),
+            ("block_sizes", self.block_sizes.approx_bytes()),
+            ("ann_forwarded", self.ann_forwarded.approx_bytes()),
+            ("pulled", self.pulled.approx_bytes()),
+            ("bundle_bytes_hint", self.bundle_bytes_hint.approx_bytes()),
+            ("retired_ring", self.retired_ring.capacity() * 8),
+            ("stripe_send_h", self.stripe_send_h.capacity() * 8),
+        ]
+    }
+
+    /// How many retired blocks the dup-absorbing ring remembers: 63, the
+    /// largest count a 64-slot `VecDeque` allocation holds (its capacity
+    /// rounds to a power of two). That covers over half a second of
+    /// blocks even at flash-crowd bundle rates (~100/s) — longer than any
+    /// make-before-break overlap window — for half a kilobyte per node.
+    const RETIRED_RING: usize = 63;
+
+    /// Records an ann-less retirement so late duplicates of the block
+    /// are dropped instead of resurrecting a slot.
+    fn note_retired(&mut self, block: u64) {
+        if self.retired_ring.len() == Self::RETIRED_RING {
+            self.retired_ring.pop_front();
+        }
+        self.retired_ring.push_back(block);
     }
 
     /// Diagnostic: per pending block, how many bundles are still missing.
     pub fn missing_summary(&self) -> Vec<(u64, u32, u32)> {
-        self.pending_blocks
-            .iter()
-            .map(|(&block, &bundles)| {
-                let missing = (0..bundles)
-                    .filter(|&idx| !self.decoded.contains(&BundleId { block, idx }))
-                    .count() as u32;
+        self.inflight
+            .pending_iter()
+            .map(|(block, slot)| {
+                let bundles = slot.pending().unwrap_or(0);
+                let missing = (0..bundles).filter(|&idx| !slot.is_decoded(idx)).count() as u32;
                 (block, bundles, missing)
             })
             .collect()
@@ -459,25 +683,33 @@ impl MultiZoneNode {
         self.ann_forwarded.len()
     }
 
+    /// Diagnostic: last data arrival per stripe.
+    pub fn last_data_at(&self) -> Vec<(u32, SimTime)> {
+        self.last_data.iter().collect()
+    }
+
     /// Diagnostic: the provider of every covered stripe.
     pub fn upstreams(&self) -> Vec<(u32, NodeId)> {
-        let mut v: Vec<(u32, NodeId)> = self.upstream.iter().map(|(&s, &n)| (s, n)).collect();
+        let mut v: Vec<(u32, NodeId)> = self.upstream.iter().collect();
         v.sort_unstable();
         v
     }
 
     /// Diagnostic: children per stripe.
     pub fn children_of(&self, stripe: u32) -> Vec<NodeId> {
-        self.children.get(&stripe).cloned().unwrap_or_default()
+        self.children
+            .get(stripe as usize)
+            .cloned()
+            .unwrap_or_default()
     }
 
     fn total_children(&self) -> usize {
-        self.children.values().map(Vec::len).sum()
+        self.children.iter().map(Vec::len).sum()
     }
 
     fn unique_children(&self) -> Vec<NodeId> {
         let mut set: Vec<NodeId> = Vec::new();
-        for kids in self.children.values() {
+        for kids in self.children.iter() {
             for &kid in kids {
                 if !set.contains(&kid) {
                     set.push(kid);
@@ -509,14 +741,14 @@ impl MultiZoneNode {
         ctx: &mut NarrowContext<'_, '_, M, NetMsg>,
         stripe: u32,
     ) {
-        if self.pending_sub.contains_key(&stripe) || self.upstream.contains_key(&stripe) {
+        if self.pending_sub.contains(stripe) || self.upstream.contains(stripe) {
             return;
         }
         let relayer = self
             .zone_relayers
             .iter()
-            .find(|(_, (_, stripes, _))| stripes.contains(&stripe))
-            .map(|(&n, _)| n);
+            .find(|(_, r)| r.stripes.contains(stripe))
+            .map(|(n, _)| n);
         let provider = relayer.unwrap_or(self.cfg.consensus[stripe as usize]);
         self.subscribe(ctx, provider, vec![stripe]);
     }
@@ -525,10 +757,9 @@ impl MultiZoneNode {
         let msg = NetMsg::RelayerAlive {
             join_seq: self.join_seq,
             // Built once; the zone-wide multicast shares the allocation.
-            stripes: Shared::new(self.relaying.iter().copied().collect()),
+            stripes: Shared::new(self.relaying.to_vec()),
         };
-        let members = self.zone_members.clone();
-        ctx.multicast(members, msg);
+        ctx.multicast(self.roster.peers(), msg);
     }
 
     /// Algorithm 2 core: redundancy shedding. For every stripe two
@@ -544,7 +775,7 @@ impl MultiZoneNode {
         ctx: &mut NarrowContext<'_, '_, M, NetMsg>,
         other: NodeId,
         other_join: u64,
-        other_stripes: &BTreeSet<u32>,
+        other_stripes: StripeSet,
     ) {
         if self.relaying.is_empty() {
             return;
@@ -556,12 +787,12 @@ impl MultiZoneNode {
         if !keeper_is_other {
             return; // they shed when they process our relayerAlive
         }
-        let overlap: Vec<u32> = self.relaying.intersection(other_stripes).copied().collect();
+        let overlap: Vec<u32> = self.relaying.intersection(other_stripes).to_vec();
         if overlap.is_empty() {
             return;
         }
         for &s in &overlap {
-            self.relaying.remove(&s);
+            self.relaying.remove(s);
             // Make-before-break: keep receiving from the consensus source
             // until the new provider accepts, so no bundle is dropped.
             let src = self.cfg.consensus[s as usize];
@@ -585,11 +816,13 @@ impl MultiZoneNode {
         ctx: &mut NarrowContext<'_, '_, M, NetMsg>,
         block: u64,
     ) {
-        let Some(&bundles) = self.pending_blocks.get(&block) else {
+        let Some(slot) = self.inflight.get(block) else {
             return;
         };
-        let all = (0..bundles).all(|idx| self.decoded.contains(&BundleId { block, idx }));
-        if !all {
+        let Some(bundles) = slot.pending() else {
+            return;
+        };
+        if !(0..bundles).all(|idx| slot.is_decoded(idx)) {
             return;
         }
         let now = ctx.now();
@@ -604,15 +837,10 @@ impl MultiZoneNode {
                 now,
             );
         }
-        self.pending_blocks.remove(&block);
-        self.ann_seen_at.remove(&block);
         self.mark_complete(ctx, block);
-        // Free the stripe bookkeeping of this block (the byte hint stays so
+        // Free the block's in-flight bookkeeping (the byte hint stays so
         // bundle pulls can still be served).
-        self.stripes_have.retain(|b, _| b.block != block);
-        self.decoded.retain(|b| b.block != block);
-        self.whole_bundles.retain(|b| b.block != block);
-        self.pull_attempts.retain(|b, _| b.block != block);
+        self.inflight.retire(block);
     }
 
     fn mark_complete<M: Codec<NetMsg>>(
@@ -634,7 +862,7 @@ impl MultiZoneNode {
         ctx: &mut NarrowContext<'_, '_, M, NetMsg>,
         gone: NodeId,
     ) {
-        for kids in self.children.values_mut() {
+        for kids in self.children.iter_mut() {
             kids.retain(|&n| n != gone);
         }
         self.on_provider_lost(ctx, gone);
@@ -648,17 +876,17 @@ impl MultiZoneNode {
         ctx: &mut NarrowContext<'_, '_, M, NetMsg>,
         gone: NodeId,
     ) {
-        let was_relayer = self.zone_relayers.remove(&gone).is_some();
+        let was_relayer = self.zone_relayers.remove(gone).is_some();
         let lost: Vec<u32> = self
             .upstream
             .iter()
-            .filter(|&(_, &p)| p == gone)
-            .map(|(&s, _)| s)
+            .filter(|&(_, p)| p == gone)
+            .map(|(s, _)| s)
             .collect();
         for s in lost {
-            self.upstream.remove(&s);
+            self.upstream.remove(s);
             self.desired.insert(s);
-            self.pending_sub.remove(&s);
+            self.pending_sub.remove(s);
             if was_relayer {
                 // §IV-E: a departing relayer's subscriber takes over by
                 // subscribing to the consensus node directly.
@@ -677,8 +905,8 @@ impl MultiZoneNode {
         let stale: Vec<NodeId> = self
             .zone_relayers
             .iter()
-            .filter(|(_, &(_, _, seen))| now.saturating_since(seen) > stale_cut)
-            .map(|(&n, _)| n)
+            .filter(|(_, r)| now.saturating_since(r.seen) > stale_cut)
+            .map(|(n, _)| n)
             .collect();
         for n in stale {
             self.on_provider_lost(ctx, n);
@@ -690,8 +918,7 @@ impl MultiZoneNode {
         let retry: Vec<u32> = self
             .desired
             .iter()
-            .copied()
-            .filter(|s| !self.upstream.contains_key(s))
+            .filter(|&s| !self.upstream.contains(s))
             .collect();
         self.pending_sub.clear();
         for s in retry {
@@ -704,12 +931,11 @@ impl MultiZoneNode {
         // multi-stripe relayers until the zone holds n_c single-stripe
         // relayers.
         if !self.is_relayer() && self.known_relayer_count() < self.cfg.n_c {
-            let relayed: BTreeSet<u32> = self
+            let relayed = self
                 .zone_relayers
                 .values()
-                .flat_map(|(_, s, _)| s.iter().copied())
-                .collect();
-            let orphan = (0..self.cfg.n_c as u32).find(|s| !relayed.contains(s));
+                .fold(StripeSet::EMPTY, |acc, r| acc.union(r.stripes));
+            let orphan = (0..self.cfg.n_c as u32).find(|&s| !relayed.contains(s));
             // Deterministic preference (join order modulo stripe count)
             // breaks simultaneous-volunteer collisions; a small random
             // fallback preserves liveness when the preferred claimant is
@@ -726,42 +952,52 @@ impl MultiZoneNode {
                 orphan.or_else(|| {
                     self.zone_relayers
                         .values()
-                        .filter(|(_, s, _)| s.len() > 1)
-                        .max_by_key(|(_, s, _)| s.len())
-                        .and_then(|(_, s, _)| s.iter().next().copied())
+                        .filter(|r| r.stripes.len() > 1)
+                        .max_by_key(|r| r.stripes.len())
+                        .and_then(|r| r.stripes.first())
                 })
             };
             if let Some(stripe) = target {
                 let src = self.cfg.consensus[stripe as usize];
                 // Re-route the stripe to its consensus source,
                 // make-before-break.
-                if let Some(&old) = self.upstream.get(&stripe) {
+                if let Some(old) = self.upstream.get(stripe) {
                     self.switching.insert(stripe, old);
                 }
-                self.pending_sub.remove(&stripe);
+                self.pending_sub.remove(stripe);
                 self.subscribe(ctx, src, vec![stripe]);
             }
         }
         // A provider that has gone silent while blocks are pending is
         // presumed dead: re-route its stripes (make-before-break).
-        if !self.pending_blocks.is_empty() {
-            let silence = self.cfg.alive_interval * 4;
+        // Without announcements there are no pending blocks, so the
+        // ann-less worlds (opt-in) substitute "some other stripe is still
+        // flowing": if any feed is fresh the zone is under load, and a
+        // silent stripe means its subscription path lost the source
+        // (churn, or a cycle that predates the subscribe-time guard).
+        let silence = self.cfg.alive_interval * 4;
+        let reroute_silent = self.inflight.pending_count() > 0
+            || (self.cfg.retire_unannounced
+                && self
+                    .last_data
+                    .values()
+                    .any(|t| now.saturating_since(t) <= silence));
+        if reroute_silent {
             let dead: Vec<(u32, NodeId)> = self
                 .upstream
                 .iter()
-                .filter(|&(&st, _)| {
+                .filter(|&(st, _)| {
                     self.last_data
-                        .get(&st)
-                        .is_none_or(|&t| now.saturating_since(t) > silence)
+                        .get(st)
+                        .is_none_or(|t| now.saturating_since(t) > silence)
                 })
-                .map(|(&st, &p)| (st, p))
                 .collect();
             for (st, old) in dead {
                 self.switching.insert(st, old);
-                self.upstream.remove(&st);
-                self.relaying.remove(&st);
+                self.upstream.remove(st);
+                self.relaying.remove(st);
                 self.desired.insert(st);
-                self.pending_sub.remove(&st);
+                self.pending_sub.remove(st);
                 self.acquire(ctx, st);
             }
         }
@@ -770,15 +1006,15 @@ impl MultiZoneNode {
         // pull the missing bundles from random zone members.
         let overdue = self.cfg.alive_interval * 2;
         let mut wanted: Vec<BundleId> = Vec::new();
-        for (&block, &bundles) in &self.pending_blocks {
-            let seen = self.ann_seen_at.get(&block).copied().unwrap_or(now);
+        for (block, slot) in self.inflight.pending_iter() {
+            let bundles = slot.pending().unwrap_or(0);
+            let seen = slot.ann_at().unwrap_or(now);
             if now.saturating_since(seen) < overdue {
                 continue;
             }
             for idx in 0..bundles {
-                let b = BundleId { block, idx };
-                if !self.decoded.contains(&b) {
-                    wanted.push(b);
+                if !slot.is_decoded(idx) {
+                    wanted.push(BundleId { block, idx });
                     if wanted.len() >= 64 {
                         break;
                     }
@@ -787,16 +1023,11 @@ impl MultiZoneNode {
         }
         if !wanted.is_empty() {
             for b in wanted {
-                let attempts = self.pull_attempts.entry(b).or_insert(0);
-                *attempts += 1;
+                let attempts = self.inflight.slot_mut(b.block).bump_pull(b.idx);
                 // First tries stay zone-local; if the zone itself lost the
                 // bundle (e.g. relayer churn mid-stream), go to the source.
-                let peer = if *attempts <= 2 && !self.zone_members.is_empty() {
-                    *self
-                        .zone_members
-                        .as_slice()
-                        .choose(ctx.rng())
-                        .expect("non-empty")
+                let peer = if attempts <= 2 && self.roster.peer_count() > 0 {
+                    self.roster.choose_other(ctx.rng()).expect("non-empty")
                 } else {
                     *self
                         .cfg
@@ -809,20 +1040,66 @@ impl MultiZoneNode {
             }
             ctx.metrics().incr("zone.bundle_pulls", 1);
         }
+        // Ann-less expiry (opt-in): a block that went stale without ever
+        // being announced will never complete — no announcement means no
+        // recovery pulls either (see above: recovery is ann-driven). The
+        // prompt retirement in the stripe handler already reaps decoded
+        // blocks; this sweep bounds the stragglers that lost a stripe to
+        // subscription churn, keeping in-flight state O(rate x window)
+        // instead of O(blocks ever streamed).
+        if self.cfg.retire_unannounced {
+            let expiry = self.cfg.alive_interval * 2;
+            let stale: Vec<u64> = self
+                .inflight
+                .iter()
+                .filter(|(_, slot)| {
+                    slot.pending().is_none()
+                        && slot
+                            .first_touch()
+                            .is_some_and(|t| now.saturating_since(t) >= expiry)
+                })
+                .map(|(block, _)| block)
+                .collect();
+            for block in stale {
+                self.inflight.retire(block);
+                self.block_sizes.remove(block);
+                self.bundle_bytes_hint.remove(block);
+                self.note_retired(block);
+            }
+            // `approx_bytes` counts *capacity*, and the startup burst
+            // (before the subscription tree settles) pins each node's
+            // vectors at their worst-case size. Compact once per sweep so
+            // steady-state residency reflects steady-state load.
+            self.inflight.shrink_to_fit();
+            self.block_sizes.shrink_to_fit();
+            self.bundle_bytes_hint.shrink_to_fit();
+        }
         let interval = self.cfg.alive_interval;
         ctx.set_timer(interval, TimerTag::of_kind(net_timers::ZONE_MAINTAIN));
     }
 }
 
 impl ProtocolCore<NetMsg> for MultiZoneNode {
+    fn attach(&mut self, me: NodeId, metrics: &mut Metrics) {
+        let node = me.index() as u64;
+        self.stripe_send_h = (0..self.cfg.n_c as u32)
+            .map(|s| {
+                metrics.counter_handle("zone.stripe_sends", Labels::node(node).and_chain(s as u64))
+            })
+            .collect();
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.approx_size()
+    }
+
     fn start<M: Codec<NetMsg>>(&mut self, ctx: &mut NarrowContext<'_, '_, M, NetMsg>) {
         // Algorithm 1: learn the zone's relayers, then subscribe. The
         // bootstrap is the earliest-joined fellow zone member.
         let me = ctx.node();
         let bootstrap = self
-            .zone_members
-            .iter()
-            .copied()
+            .roster
+            .peers()
             .filter(|n| n.index() < me.index())
             .min_by_key(|n| n.index());
         if let Some(bootstrap) = bootstrap {
@@ -833,7 +1110,7 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
             );
         } else {
             // First node of the zone: everything comes from consensus.
-            let all: Vec<u32> = self.desired.iter().copied().collect();
+            let all: Vec<u32> = self.desired.iter().collect();
             for s in all {
                 let src = self.cfg.consensus[s as usize];
                 self.subscribe(ctx, src, vec![s]);
@@ -865,53 +1142,89 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
                 k,
                 bytes,
             } => {
-                self.last_data.insert(stripe, ctx.now());
-                if self.completed.contains(&bundle.block) {
+                if stripe as usize >= self.cfg.n_c {
+                    return; // unreachable with honest peers
+                }
+                let now = ctx.now();
+                self.last_data.insert(stripe, now);
+                if self.completed.contains(bundle.block) {
                     return;
                 }
-                let have = self.stripes_have.entry(bundle).or_default();
-                if !have.insert(stripe) {
-                    return; // duplicate
+                if self.cfg.retire_unannounced && self.retired_ring.contains(&bundle.block) {
+                    // A retired block held all stripes, so this can only
+                    // be a duplicate (switch-overlap delivery) — relaying
+                    // it would cascade the duplicate down the tree.
+                    return;
                 }
-                let have_count = have.len();
+                let slot = self.inflight.slot_mut(bundle.block);
+                slot.note_touch(now);
+                let Some(have_count) = slot.add_stripe(bundle.idx, stripe) else {
+                    return; // duplicate
+                };
                 // Forward down the subscription tree. The child list is
                 // borrowed, not cloned: `self.children` and `ctx` are
                 // disjoint, and multicast takes any NodeId iterator.
-                if let Some(kids) = self.children.get(&stripe) {
-                    let fanout = kids.len() as u64;
-                    ctx.multicast(
-                        kids.iter().copied(),
-                        NetMsg::Stripe {
-                            bundle,
-                            stripe,
-                            k,
-                            bytes,
-                        },
-                    );
-                    if fanout > 0 {
-                        // Name-based increment, deliberately not a cached
-                        // CounterHandle: handles minted inside a callback
-                        // would be interned against a partition worker's
-                        // forked metrics under the parallel engine and go
-                        // stale once the run ends.
-                        let me = ctx.node().index() as u64;
-                        ctx.metrics().incr_labeled(
-                            "zone.stripe_sends",
-                            Labels::node(me).and_chain(stripe as u64),
-                            fanout,
-                        );
+                let kids = &self.children[stripe as usize];
+                let fanout = kids.len() as u64;
+                ctx.multicast(
+                    kids.iter().copied(),
+                    NetMsg::Stripe {
+                        bundle,
+                        stripe,
+                        k,
+                        bytes,
+                    },
+                );
+                if fanout > 0 {
+                    // Interned at attach (parent metrics, pre-run), so the
+                    // handle stays valid across parallel-engine shard
+                    // forks; the name-based form is only a fallback for
+                    // cores never attached.
+                    match self.stripe_send_h.get(stripe as usize) {
+                        Some(&h) => ctx.metrics().incr_handle(h, fanout),
+                        None => {
+                            let me = ctx.node().index() as u64;
+                            ctx.metrics().incr_labeled(
+                                "zone.stripe_sends",
+                                Labels::node(me).and_chain(stripe as u64),
+                                fanout,
+                            );
+                        }
                     }
                 }
-                if have_count >= k as usize && self.decoded.insert(bundle) {
-                    let me = ctx.node().index() as u64;
-                    ctx.metrics()
-                        .incr_labeled("zone.rs_decodes", Labels::node(me), 1);
-                    *self.block_sizes.entry(bundle.block).or_insert(0) += bytes as u64 * k as u64;
-                    self.bundle_bytes_hint
-                        .entry(bundle.block)
-                        .or_insert(bytes * k);
-                    self.whole_bundles.insert(bundle);
-                    self.try_complete(ctx, bundle.block);
+                if have_count as usize >= k as usize {
+                    let slot = self.inflight.slot_mut(bundle.block);
+                    if slot.mark_decoded(bundle.idx) {
+                        slot.mark_whole(bundle.idx);
+                        let me = ctx.node().index() as u64;
+                        ctx.metrics()
+                            .incr_labeled("zone.rs_decodes", Labels::node(me), 1);
+                        *self.block_sizes.entry_or(bundle.block, 0) += bytes as u64 * k as u64;
+                        if self.bundle_bytes_hint.get(bundle.block).is_none() {
+                            self.bundle_bytes_hint.insert(bundle.block, bytes * k);
+                        }
+                        self.try_complete(ctx, bundle.block);
+                    }
+                }
+                // Ann-less steady state (opt-in): no announcement will
+                // ever arrive to drive `try_complete`, so once every
+                // bundle is decoded AND all `n_c` stripes have landed
+                // (retiring at `k` would let the remaining stripes
+                // resurrect the slot) it is dead weight — drop it and its
+                // size bookkeeping. Deliberately no events, counters, or
+                // `completed` insert: per-block tombstones would
+                // themselves grow O(blocks).
+                if self.cfg.retire_unannounced
+                    && self.inflight.get(bundle.block).is_some_and(|s| {
+                        s.pending().is_none()
+                            && s.all_decoded()
+                            && s.holds_all_stripes(self.cfg.n_c as u32)
+                    })
+                {
+                    self.inflight.retire(bundle.block);
+                    self.block_sizes.remove(bundle.block);
+                    self.bundle_bytes_hint.remove(bundle.block);
+                    self.note_retired(bundle.block);
                 }
             }
             NetMsg::BlockAnn {
@@ -928,26 +1241,28 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
                         wire,
                     },
                 );
-                if !self.completed.contains(&block) {
-                    self.pending_blocks.insert(block, bundles);
+                if !self.completed.contains(block) {
                     let now = ctx.now();
-                    self.ann_seen_at.insert(block, now);
+                    self.inflight.set_pending(block, bundles, now);
                     self.try_complete(ctx, block);
                 }
             }
             NetMsg::FullBlock { block, bytes } => {
                 self.block_sizes.insert(block, bytes);
-                self.pending_blocks.remove(&block);
                 self.mark_complete(ctx, block);
+                // Retire the whole in-flight slot (not just the pending
+                // mark): completion makes stripe/pull bookkeeping for the
+                // block dead weight.
+                self.inflight.retire(block);
             }
             NetMsg::GetRelayers => {
                 let mut relayers: Vec<RelayerInfo> = self
                     .zone_relayers
                     .iter()
-                    .map(|(&node, (seq, stripes, _))| RelayerInfo {
+                    .map(|(node, r)| RelayerInfo {
                         node,
-                        join_seq: *seq,
-                        stripes: stripes.iter().copied().collect(),
+                        join_seq: r.join_seq,
+                        stripes: r.stripes.to_vec(),
                     })
                     .collect();
                 if self.is_relayer() {
@@ -975,7 +1290,11 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
                     }
                     self.zone_relayers.insert(
                         r.node,
-                        (r.join_seq, r.stripes.iter().copied().collect(), now),
+                        RelayerState {
+                            join_seq: r.join_seq,
+                            stripes: StripeSet::from_iter(r.stripes.iter().copied()),
+                            seen: now,
+                        },
                     );
                 }
                 for r in relayers.iter() {
@@ -987,7 +1306,7 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
                         .stripes
                         .iter()
                         .copied()
-                        .filter(|s| self.desired.contains(s) && !self.pending_sub.contains_key(s))
+                        .filter(|&s| self.desired.contains(s) && !self.pending_sub.contains(s))
                         .take(max)
                         .collect();
                     self.subscribe(ctx, r.node, wanted);
@@ -995,8 +1314,7 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
                 let leftovers: Vec<u32> = self
                     .desired
                     .iter()
-                    .copied()
-                    .filter(|s| !self.pending_sub.contains_key(s))
+                    .filter(|&s| !self.pending_sub.contains(s))
                     .collect();
                 for s in leftovers {
                     let src = self.cfg.consensus[s as usize];
@@ -1007,10 +1325,15 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
                 let mut granted = Vec::new();
                 let mut rejected = Vec::new();
                 for s in stripes {
-                    let have_source = self.relaying.contains(&s) || self.upstream.contains_key(&s);
+                    let have_source = self.relaying.contains(s) || self.upstream.contains(s);
                     let capacity = self.total_children() < self.cfg.max_children;
-                    if have_source && capacity {
-                        let kids = self.children.entry(s).or_default();
+                    // Granting our own provider would form a two-node
+                    // cycle detached from the source; in ann-less worlds
+                    // (no recovery pulls) such a cycle starves both
+                    // subtrees forever, so refuse outright.
+                    let cycle = self.cfg.retire_unannounced && self.upstream.get(s) == Some(from);
+                    if have_source && capacity && !cycle {
+                        let kids = &mut self.children[s as usize];
                         if !kids.contains(&from) {
                             kids.push(from);
                         }
@@ -1039,14 +1362,14 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
             NetMsg::AcceptSub { stripes } => {
                 let mut became_relayer = false;
                 for s in stripes {
-                    self.pending_sub.remove(&s);
-                    if let Some(old) = self.switching.remove(&s) {
+                    self.pending_sub.remove(s);
+                    if let Some(old) = self.switching.remove(s) {
                         if old != from {
                             ctx.send(old, NetMsg::Unsubscribe { stripes: vec![s] });
                         }
                     }
                     self.upstream.insert(s, from);
-                    self.desired.remove(&s);
+                    self.desired.remove(s);
                     if self.cfg.consensus.contains(&from) {
                         became_relayer |= self.relaying.insert(s);
                     }
@@ -1058,19 +1381,19 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
             }
             NetMsg::RejectSub { stripes, children } => {
                 for s in stripes {
-                    self.pending_sub.remove(&s);
+                    self.pending_sub.remove(s);
                     // A shed that was rejected is reverted: keep relaying
                     // from the consensus source (otherwise the stripe would
                     // silently keep flowing without being advertised, and
                     // volunteers would pile extra consensus subscriptions).
-                    if let Some(old) = self.switching.remove(&s) {
+                    if let Some(old) = self.switching.remove(s) {
                         if self.cfg.consensus.contains(&old) {
                             self.relaying.insert(s);
                             self.announce_alive(ctx);
                         }
                         continue;
                     }
-                    if self.upstream.contains_key(&s) {
+                    if self.upstream.contains(s) {
                         continue;
                     }
                     let me = ctx.node();
@@ -1095,27 +1418,32 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
             }
             NetMsg::Unsubscribe { stripes } => {
                 for s in stripes {
-                    if let Some(kids) = self.children.get_mut(&s) {
+                    if let Some(kids) = self.children.get_mut(s as usize) {
                         kids.retain(|&n| n != from);
                     }
                 }
             }
             NetMsg::RelayerAlive { join_seq, stripes } => {
                 if stripes.is_empty() {
-                    self.zone_relayers.remove(&from);
+                    self.zone_relayers.remove(from);
                     return;
                 }
-                let set: BTreeSet<u32> = stripes.iter().copied().collect();
+                let set = StripeSet::from_iter(stripes.iter().copied());
                 let now = ctx.now();
-                self.zone_relayers
-                    .insert(from, (join_seq, set.clone(), now));
-                self.shed_overlap(ctx, from, join_seq, &set);
+                self.zone_relayers.insert(
+                    from,
+                    RelayerState {
+                        join_seq,
+                        stripes: set,
+                        seen: now,
+                    },
+                );
+                self.shed_overlap(ctx, from, join_seq, set);
                 // An ordinary node missing stripes subscribes to the newly
                 // announced relayer.
                 let wanted: Vec<u32> = set
                     .iter()
-                    .copied()
-                    .filter(|s| self.desired.contains(s) && !self.pending_sub.contains_key(s))
+                    .filter(|&s| self.desired.contains(s) && !self.pending_sub.contains(s))
                     .collect();
                 self.subscribe(ctx, from, wanted);
             }
@@ -1126,38 +1454,42 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
             }
             NetMsg::Digest { blocks } => {
                 for &block in blocks.iter() {
-                    if !self.completed.contains(&block)
-                        && !self.pending_blocks.contains_key(&block)
-                        && self.pulled.insert(block)
-                    {
+                    let pending = self
+                        .inflight
+                        .get(block)
+                        .is_some_and(|slot| slot.pending().is_some());
+                    if !self.completed.contains(block) && !pending && self.pulled.insert(block) {
                         ctx.send(from, NetMsg::Pull { block });
                     }
                 }
             }
-            NetMsg::Pull { block } if self.completed.contains(&block) => {
-                let bytes = self.block_sizes.get(&block).copied().unwrap_or(0);
+            NetMsg::Pull { block } if self.completed.contains(block) => {
+                let bytes = self.block_sizes.get(block).copied().unwrap_or(0);
                 ctx.send(from, NetMsg::FullBlock { block, bytes });
             }
             NetMsg::BundlePull { bundle } => {
                 ctx.metrics().incr("zone.bundle_pulls_received", 1);
-                let have =
-                    self.whole_bundles.contains(&bundle) || self.completed.contains(&bundle.block);
+                let have = self
+                    .inflight
+                    .get(bundle.block)
+                    .is_some_and(|slot| slot.is_whole(bundle.idx))
+                    || self.completed.contains(bundle.block);
                 #[cfg(feature = "pull-debug")]
                 if !have {
                     eprintln!(
-                        "[{}] node {} cannot serve pull {:?}: completed={:?} whole={}",
+                        "[{}] node {} cannot serve pull {:?}: completed={:?} inflight={}",
                         ctx.now(),
                         ctx.node(),
                         bundle,
-                        self.completed,
-                        self.whole_bundles.len()
+                        self.completed.as_slice(),
+                        self.inflight.live_len()
                     );
                 }
                 if have {
                     ctx.metrics().incr("zone.bundle_pulls_served", 1);
                     let bytes = self
                         .bundle_bytes_hint
-                        .get(&bundle.block)
+                        .get(bundle.block)
                         .copied()
                         .unwrap_or(25_600);
                     ctx.send(from, NetMsg::FullBundle { bundle, bytes });
@@ -1165,12 +1497,15 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
             }
             NetMsg::FullBundle { bundle, bytes } => {
                 ctx.metrics().incr("zone.full_bundles_received", 1);
-                if self.completed.contains(&bundle.block) {
+                if self.completed.contains(bundle.block) {
                     return;
                 }
-                if self.decoded.insert(bundle) {
-                    *self.block_sizes.entry(bundle.block).or_insert(0) += bytes as u64;
-                    self.whole_bundles.insert(bundle);
+                let now = ctx.now();
+                let slot = self.inflight.slot_mut(bundle.block);
+                slot.note_touch(now);
+                if slot.mark_decoded(bundle.idx) {
+                    slot.mark_whole(bundle.idx);
+                    *self.block_sizes.entry_or(bundle.block, 0) += bytes as u64;
                     self.try_complete(ctx, bundle.block);
                 }
             }
@@ -1191,8 +1526,7 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
                 let missing: Vec<u32> = self
                     .desired
                     .iter()
-                    .copied()
-                    .filter(|s| !self.pending_sub.contains_key(s) && !self.upstream.contains_key(s))
+                    .filter(|&s| !self.pending_sub.contains(s) && !self.upstream.contains(s))
                     .collect();
                 for s in missing {
                     self.acquire(ctx, s);
@@ -1201,7 +1535,7 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
             net_timers::HEARTBEAT => {
                 // §IV-E: prove liveness to the nodes serving us...
                 let providers: Vec<NodeId> = {
-                    let mut v: Vec<NodeId> = self.upstream.values().copied().collect();
+                    let mut v: Vec<NodeId> = self.upstream.values().collect();
                     v.sort_unstable();
                     v.dedup();
                     v
@@ -1221,11 +1555,11 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
                     .child_last_seen
                     .iter()
                     .filter(|(_, &seen)| now.saturating_since(seen) > cutoff)
-                    .map(|(&n, _)| n)
+                    .map(|(n, _)| n)
                     .collect();
                 for n in dead {
-                    self.child_last_seen.remove(&n);
-                    for kids in self.children.values_mut() {
+                    self.child_last_seen.remove(n);
+                    for kids in self.children.iter_mut() {
                         kids.retain(|&k| k != n);
                     }
                     ctx.metrics().incr("zone.children_reaped", 1);
@@ -1234,7 +1568,14 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
                 ctx.set_timer(interval, TimerTag::of_kind(net_timers::HEARTBEAT));
             }
             net_timers::DIGEST => {
-                let recent: Vec<u64> = self.completed.iter().rev().take(8).copied().collect();
+                let recent: Vec<u64> = self
+                    .completed
+                    .as_slice()
+                    .iter()
+                    .rev()
+                    .take(8)
+                    .copied()
+                    .collect();
                 if !recent.is_empty() {
                     let peers = self.backup_peers.clone();
                     ctx.multicast(
@@ -1250,7 +1591,7 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
             net_timers::LEAVE => {
                 // §IV-E departure: tell children and providers, then halt.
                 let mut notify = self.unique_children();
-                for &p in self.upstream.values() {
+                for p in self.upstream.values() {
                     if !notify.contains(&p) {
                         notify.push(p);
                     }
@@ -1277,6 +1618,7 @@ mod tests {
             alive_interval: SimDuration::from_millis(250),
             digest_interval: SimDuration::from_secs(1),
             consensus,
+            retire_unannounced: false,
         }
     }
 
@@ -1349,6 +1691,8 @@ mod tests {
                 .core();
             assert_eq!(core.covered_stripes(), 4, "{node}");
             assert_eq!(core.completed_blocks, 2, "{node}");
+            // Completed blocks retire their in-flight slots.
+            assert_eq!(core.inflight_blocks(), 0, "{node}");
         }
         // Sources accepted at most the two nodes each.
         for i in 0..4u32 {

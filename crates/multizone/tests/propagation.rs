@@ -40,6 +40,7 @@ fn multizone_relayers_converge_to_nc_per_zone() {
         alive_interval: SimDuration::from_millis(250),
         digest_interval: SimDuration::from_secs(1),
         consensus: cons.clone(),
+        retire_unannounced: false,
     };
     for i in 0..s.n_c {
         sim.add_node(
@@ -233,6 +234,7 @@ fn crashed_subscribers_are_reaped_by_heartbeat_timeout() {
         alive_interval: SimDuration::from_millis(250),
         digest_interval: SimDuration::from_secs(1),
         consensus: cons.clone(),
+        retire_unannounced: false,
     };
     let mut load = SyntheticLoad::for_block_size(1_000_000, 40, SimDuration::from_secs(2));
     load.blocks = 0; // unlimited stream

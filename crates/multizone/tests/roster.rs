@@ -1,0 +1,109 @@
+//! Shared-roster equivalence: a world built with the O(1)-membership
+//! `MultiZoneNode::in_zone` constructor (one `Arc<[NodeId]>` per zone)
+//! must be trace-identical to the same world built with per-node member
+//! vectors (`MultiZoneNode::new`), including under randomized join
+//! times, relayer switching, and mid-run churn.
+
+use std::sync::Arc;
+
+use predis_multizone::{MultiZoneNode, NetMsg, SyntheticLoad, ZoneConfig, ZoneSource};
+use predis_sim::prelude::*;
+
+/// Seed-deterministic LCG so both worlds draw identical "random" choices
+/// without pulling a rand dependency into the test.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+fn run_world(seed: u64, shared_roster: bool) -> (String, u64) {
+    let n_c = 4usize;
+    let zones = 2usize;
+    let per_zone = 12usize;
+    let cons: Vec<NodeId> = (0..n_c as u32).map(NodeId).collect();
+    let zcfg = ZoneConfig {
+        n_c,
+        f: 1,
+        max_children: 8,
+        alive_interval: SimDuration::from_millis(250),
+        digest_interval: SimDuration::from_secs(1),
+        consensus: cons.clone(),
+        retire_unannounced: true,
+    };
+    let network = Network::new(LatencyModel::lan(), SimDuration::ZERO);
+    let mut sim: Sim<NetMsg> = Sim::new(seed, network);
+    let mut load = SyntheticLoad::for_block_size(400_000, 10, SimDuration::from_millis(500));
+    load.start_at = SimDuration::from_secs(2);
+    load.blocks = 10;
+    for i in 0..n_c {
+        sim.add_node(
+            LinkConfig::paper_default(),
+            Box::new(ActorOf::<_, NetMsg>::new(ZoneSource::new(
+                i as u32,
+                zcfg.clone(),
+                Some(load.clone()),
+            ))),
+            SimTime::ZERO,
+        );
+    }
+    let mut rng = Lcg(seed ^ 0x9e37);
+    for z in 0..zones {
+        let base = n_c + z * per_zone;
+        let members: Vec<NodeId> = (base..base + per_zone).map(|i| NodeId(i as u32)).collect();
+        let zone: Arc<[NodeId]> = members.clone().into();
+        for (j, &me) in members.iter().enumerate() {
+            // Randomized (but seed-deterministic) staggered joins; every
+            // fifth node churns out mid-run, forcing its children to
+            // switch providers.
+            let join_ms = 20 * j as u64 + rng.next() % 200;
+            let node = if shared_roster {
+                MultiZoneNode::in_zone(zcfg.clone(), j as u64, Arc::clone(&zone), me)
+            } else {
+                let mates: Vec<NodeId> = members.iter().copied().filter(|&n| n != me).collect();
+                MultiZoneNode::new(zcfg.clone(), j as u64, mates)
+            };
+            let node = if j % 5 == 3 {
+                node.leaving_at(SimTime::from_millis(4_000 + rng.next() % 2_000))
+            } else {
+                node
+            };
+            sim.add_node(
+                LinkConfig::paper_default(),
+                Box::new(ActorOf::<_, NetMsg>::new(node)),
+                SimTime::from_millis(join_ms),
+            );
+        }
+    }
+    sim.run_until(SimTime::from_secs(10));
+    let mut completed = 0u64;
+    for id in n_c as u32..(n_c + zones * per_zone) as u32 {
+        if let Some(a) = sim.actor_as::<ActorOf<MultiZoneNode, NetMsg>>(NodeId(id)) {
+            completed += a.core().completed_blocks;
+        }
+    }
+    (sim.fingerprint(), completed)
+}
+
+#[test]
+fn shared_roster_world_is_trace_identical_to_exclusive() {
+    for seed in [11u64, 23, 47] {
+        let (fp_exclusive, done_exclusive) = run_world(seed, false);
+        let (fp_shared, done_shared) = run_world(seed, true);
+        assert_eq!(
+            fp_exclusive, fp_shared,
+            "seed {seed}: shared-roster trace diverged from exclusive"
+        );
+        assert_eq!(done_exclusive, done_shared, "seed {seed}");
+        assert!(
+            done_exclusive > 0,
+            "seed {seed}: no blocks completed — the world never carried load"
+        );
+    }
+}

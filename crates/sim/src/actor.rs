@@ -306,6 +306,15 @@ impl<'b, 'a, M: Codec<T>, T> NarrowContext<'b, 'a, M, T> {
 /// engine move whole partitions (actors included) onto worker threads for
 /// the span of a lookahead window.
 pub trait Actor<M>: std::any::Any + Send {
+    /// Called once when the node is added to the simulation, before any
+    /// event runs, with the node's id and the metrics sink. Actors use this
+    /// to intern counter handles against the *parent* metrics: handles
+    /// minted here survive parallel-engine shard forks, because forked
+    /// counter sets share the parent's interning index.
+    fn on_attach(&mut self, me: NodeId, metrics: &mut Metrics) {
+        let _ = (me, metrics);
+    }
+
     /// Called once when the simulation starts (or when the node joins).
     fn on_start(&mut self, ctx: &mut Context<'_, M>) {
         let _ = ctx;
@@ -328,6 +337,19 @@ pub trait Actor<M>: std::any::Any + Send {
     fn kind_name(&self) -> &'static str {
         std::any::type_name::<Self>()
     }
+
+    /// Approximate resident bytes of this actor's state, for the engine's
+    /// `mem.bytes_per_node` / `mem.resident_bytes` report metrics.
+    ///
+    /// The default counts the actor's own struct (which, via
+    /// monomorphization, is the concrete size even through `Box<dyn
+    /// Actor>`); actors holding heap containers should add their heap
+    /// footprint. Accuracy to the byte is not required — the metric gates
+    /// the *scaling shape* (bytes per node at mega-scale), not an exact
+    /// allocator measurement.
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of_val(self)
+    }
 }
 
 /// A protocol state machine over its own message type `T`.
@@ -336,6 +358,18 @@ pub trait Actor<M>: std::any::Any + Send {
 /// them into an [`Actor`] for any envelope `M: Codec<T>` (which requires
 /// cores to be `Send`, like every [`Actor`]).
 pub trait ProtocolCore<T>: Send + 'static {
+    /// Called once when the node is added, before any event runs. See
+    /// [`Actor::on_attach`].
+    fn attach(&mut self, me: NodeId, metrics: &mut Metrics) {
+        let _ = (me, metrics);
+    }
+
+    /// Approximate resident bytes of this core's state. See
+    /// [`Actor::approx_bytes`].
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of_val(self)
+    }
+
     /// Called once when the simulation starts.
     fn start<M: Codec<T>>(&mut self, ctx: &mut NarrowContext<'_, '_, M, T>) {
         let _ = ctx;
@@ -387,6 +421,10 @@ where
     T: 'static,
     C: ProtocolCore<T>,
 {
+    fn on_attach(&mut self, me: NodeId, metrics: &mut Metrics) {
+        self.core.attach(me, metrics);
+    }
+
     fn on_start(&mut self, ctx: &mut Context<'_, M>) {
         self.core.start(&mut ctx.narrow());
     }
@@ -399,6 +437,10 @@ where
 
     fn on_timer(&mut self, ctx: &mut Context<'_, M>, tag: TimerTag) {
         self.core.timer(&mut ctx.narrow(), tag);
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.core.approx_bytes()
     }
 }
 

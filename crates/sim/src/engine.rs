@@ -99,6 +99,10 @@ pub struct Sim<M> {
     pub(crate) threads_used: usize,
     /// Events dispatched per partition during the most recent parallel run.
     pub(crate) partition_events: Vec<u64>,
+    /// Peak of Σ [`Actor::approx_bytes`] over all live actors, sampled at
+    /// the end of every `run_until` call. Powers the `mem.*` report metrics
+    /// that gate the per-node memory footprint at mega-scale.
+    pub(crate) peak_actor_bytes: u64,
 }
 
 impl<M: Payload> Sim<M> {
@@ -152,6 +156,7 @@ impl<M: Payload> Sim<M> {
             partition_hint: None,
             threads_used: 1,
             partition_events: Vec::new(),
+            peak_actor_bytes: 0,
         }
     }
 
@@ -279,6 +284,16 @@ impl<M: Payload> Sim<M> {
                 .meta
                 .insert("engine.partition_events".into(), counts.join(","));
         }
+        if self.peak_actor_bytes > 0 && !self.actors.is_empty() {
+            report.meta.insert(
+                "mem.resident_bytes".into(),
+                self.peak_actor_bytes.to_string(),
+            );
+            report.meta.insert(
+                "mem.bytes_per_node".into(),
+                (self.peak_actor_bytes / self.actors.len() as u64).to_string(),
+            );
+        }
         if let Some(p) = &self.profile {
             p.stamp(&self.kind_names, report);
         }
@@ -333,12 +348,15 @@ impl<M: Payload> Sim<M> {
     pub fn add_node(
         &mut self,
         link: LinkConfig,
-        actor: Box<dyn Actor<M>>,
+        mut actor: Box<dyn Actor<M>>,
         start_at: SimTime,
     ) -> NodeId {
         let id = self.network.add_link(link);
         debug_assert_eq!(id.index(), self.actors.len());
         let kind = short_type_name(actor.kind_name());
+        // Pre-run attach: lets the actor intern counter handles against the
+        // parent metrics, where they survive parallel-engine shard forks.
+        actor.on_attach(id, &mut self.metrics);
         self.actors.push(Some(actor));
         let node_seed =
             self.net_rng.gen::<u64>() ^ (id.0 as u64).wrapping_mul(0x2545_f491_4f6c_dd1d);
@@ -470,6 +488,7 @@ impl<M: Payload> Sim<M> {
         self.schedule_crashes();
         if self.try_run_parallel(horizon) {
             self.now = horizon;
+            self.sample_memory();
             return;
         }
         self.threads_used = 1;
@@ -484,6 +503,27 @@ impl<M: Payload> Sim<M> {
             }
         }
         self.now = horizon;
+        self.sample_memory();
+    }
+
+    /// Samples Σ [`Actor::approx_bytes`] over all live actors and folds it
+    /// into the peak. Runs once per `run_until` (experiments that advance
+    /// the clock in steps get one sample per step — "periodic" at the
+    /// caller's cadence) so the O(nodes) walk never sits on the event hot
+    /// path. Deterministic: it reads actor state, never wall-clock RSS.
+    fn sample_memory(&mut self) {
+        let total: u64 = self
+            .actors
+            .iter()
+            .filter_map(|a| a.as_deref())
+            .map(|a| a.approx_bytes() as u64)
+            .sum();
+        self.peak_actor_bytes = self.peak_actor_bytes.max(total);
+    }
+
+    /// Peak of the summed actor footprint so far (0 before any run).
+    pub fn peak_actor_bytes(&self) -> u64 {
+        self.peak_actor_bytes
     }
 
     /// Attempts the conservative parallel run; `false` means the caller

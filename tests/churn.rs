@@ -20,6 +20,7 @@ fn build(seed: u64, leavers: &[usize], crashers: &[usize]) -> Sim<NetMsg> {
         alive_interval: SimDuration::from_millis(250),
         digest_interval: SimDuration::from_millis(500),
         consensus: cons.clone(),
+        retire_unannounced: false,
     };
     let mut load = SyntheticLoad::for_block_size(2_000_000, 40, SimDuration::from_secs(2));
     load.blocks = 8;
