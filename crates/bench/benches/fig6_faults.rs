@@ -24,6 +24,7 @@ fn bench(c: &mut Criterion) {
     let silent = mini(FaultSpec {
         silent: vec![7],
         selective: vec![],
+        ..FaultSpec::none()
     })
     .run();
     eprintln!(
@@ -39,6 +40,7 @@ fn bench(c: &mut Criterion) {
             mini(FaultSpec {
                 silent: vec![7],
                 selective: vec![],
+                ..FaultSpec::none()
             })
             .run()
         })

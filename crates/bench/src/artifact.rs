@@ -20,7 +20,12 @@ use crate::sweep::{Runner, SweepOutcome, SweepPoint};
 
 /// Version of the artifact schema; part of the default file name so stale
 /// baselines fail loudly instead of comparing apples to oranges.
-pub const BENCH_SCHEMA_VERSION: u64 = 8;
+///
+/// Version 9 adds no per-run fields; it marks the arrival of the scenario
+/// plane (`scenario_*` runs), whose entries may legitimately measure no
+/// client latency (p50/p99 = 0) — see [`BenchArtifact::diff`]'s
+/// zero-baseline rules.
+pub const BENCH_SCHEMA_VERSION: u64 = 9;
 
 /// Oldest schema version [`BenchArtifact::from_json`] still reads. Version 2
 /// artifacts lack the `payload_clones` field, versions before 5 lack the
@@ -31,7 +36,7 @@ pub const BENCH_SCHEMA_VERSION: u64 = 8;
 /// old baseline still diffs against a new run.
 pub const BENCH_SCHEMA_MIN_SUPPORTED: u64 = 2;
 
-/// The default artifact file name, `BENCH_8.json`.
+/// The default artifact file name, `BENCH_9.json`.
 pub fn bench_file_name() -> String {
     format!("BENCH_{BENCH_SCHEMA_VERSION}.json")
 }
@@ -137,6 +142,17 @@ impl BenchEntry {
                 report.require_metric("to_50_ms"),
                 report.require_metric("to_100_ms"),
             ),
+            Runner::Scenario(_) => {
+                // Scenario runs assert their own liveness/safety checks
+                // in-runner; a dissemination-world scenario legitimately
+                // commits no client transactions, so nothing is required
+                // here — absent numbers record as 0.
+                let (p50, p99) = report
+                    .histogram("client_latency")
+                    .map(|h| (h.summary.p50 as f64 / 1e6, h.summary.p99 as f64 / 1e6))
+                    .unwrap_or((0.0, 0.0));
+                (report.metric("throughput_tps").unwrap_or(0.0), p50, p99)
+            }
         };
         let events_processed = report.metric("engine.events_processed").unwrap_or(0.0) as u64;
         let events_per_sec = if outcome.wall_ms > 0 {
@@ -374,10 +390,16 @@ impl BenchArtifact {
     ///
     /// A regression is: a run that disappeared, throughput that dropped by
     /// more than the threshold, p99 latency that grew by more than the
-    /// threshold (when the baseline measured a nonzero p99), or per-node
-    /// memory (`mem.bytes_per_node`) that grew by more than
+    /// threshold (when the baseline measured a nonzero p99), a metric the
+    /// baseline measured that the new run no longer does (nonzero → 0), or
+    /// per-node memory (`mem.bytes_per_node`) that grew by more than
     /// [`MEM_REGRESSION_PCT`] when both artifacts recorded it. Added runs
     /// and sub-threshold drift are reported as informational lines.
+    ///
+    /// Zero baselines never produce a percentage: a metric that appears
+    /// (0 → nonzero) is reported as an informational "new metric" line and
+    /// a metric that vanishes (nonzero → 0) as a "no longer measured"
+    /// regression, so no `inf`/`NaN` relative delta ever reaches a CI log.
     pub fn diff(&self, new: &BenchArtifact, threshold_pct: f64) -> Vec<DiffLine> {
         let mut lines = Vec::new();
         let pct = |old: f64, new: f64| {
@@ -397,7 +419,23 @@ impl BenchArtifact {
             };
             let tps_delta = pct(old.tps, cur.tps);
             let p99_delta = pct(old.p99_ms, cur.p99_ms);
-            if tps_delta < -threshold_pct {
+            if old.tps == 0.0 && cur.tps > 0.0 {
+                lines.push(DiffLine {
+                    message: format!(
+                        "{name}: throughput new metric 0 -> {:.0} tx/s (baseline 0, not gated)",
+                        cur.tps
+                    ),
+                    regression: false,
+                });
+            } else if old.tps > 0.0 && cur.tps == 0.0 {
+                lines.push(DiffLine {
+                    message: format!(
+                        "{name}: throughput {:.0} tx/s no longer measured (now 0)",
+                        old.tps
+                    ),
+                    regression: true,
+                });
+            } else if tps_delta < -threshold_pct {
                 lines.push(DiffLine {
                     message: format!(
                         "{name}: throughput {:.0} -> {:.0} tx/s ({tps_delta:+.1}%)",
@@ -406,13 +444,38 @@ impl BenchArtifact {
                     regression: true,
                 });
             }
-            if old.p99_ms > 0.0 && p99_delta > threshold_pct {
+            if old.p99_ms == 0.0 && cur.p99_ms > 0.0 {
+                lines.push(DiffLine {
+                    message: format!(
+                        "{name}: p99 latency new metric 0 -> {:.1} ms (baseline 0, not gated)",
+                        cur.p99_ms
+                    ),
+                    regression: false,
+                });
+            } else if old.p99_ms > 0.0 && cur.p99_ms == 0.0 {
+                lines.push(DiffLine {
+                    message: format!(
+                        "{name}: p99 latency {:.1} ms no longer measured (now 0)",
+                        old.p99_ms
+                    ),
+                    regression: true,
+                });
+            } else if old.p99_ms > 0.0 && p99_delta > threshold_pct {
                 lines.push(DiffLine {
                     message: format!(
                         "{name}: p99 latency {:.1} -> {:.1} ms ({p99_delta:+.1}%)",
                         old.p99_ms, cur.p99_ms
                     ),
                     regression: true,
+                });
+            }
+            if (old.mem_bytes_per_node > 0) != (cur.mem_bytes_per_node > 0) {
+                lines.push(DiffLine {
+                    message: format!(
+                        "{name}: per-node memory measured on one side only ({} -> {} B, not gated)",
+                        old.mem_bytes_per_node, cur.mem_bytes_per_node
+                    ),
+                    regression: false,
                 });
             }
             if old.mem_bytes_per_node > 0 && cur.mem_bytes_per_node > 0 {
@@ -715,6 +778,52 @@ mod tests {
         assert!(lines
             .iter()
             .any(|l| !l.regression && l.message.starts_with("added")));
+    }
+
+    #[test]
+    fn diff_zero_baselines_report_new_and_removed_metrics_without_nan() {
+        // A scenario entry may legitimately measure no throughput/latency:
+        // a 0 on either side must never become an inf/NaN percentage.
+        let mut zeroed = entry(0.0, 0.0, 1);
+        zeroed.mem_bytes_per_node = 0;
+        let base = artifact(&[("scenario_x", zeroed)]);
+        let new = artifact(&[("scenario_x", entry(5_000.0, 80.0, 1))]);
+        let lines = base.diff(&new, 10.0);
+        // Metrics appearing from a zero baseline are informational.
+        assert!(lines.iter().all(|l| !l.regression), "{lines:?}");
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.message.contains("throughput new metric")),
+            "{lines:?}"
+        );
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.message.contains("p99 latency new metric")),
+            "{lines:?}"
+        );
+        // Metrics vanishing to zero are regressions with explicit wording.
+        let back = new.diff(&base, 10.0);
+        assert!(
+            back.iter().any(|l| l.regression
+                && l.message.contains("throughput")
+                && l.message.contains("no longer measured")),
+            "{back:?}"
+        );
+        assert!(
+            back.iter().any(|l| l.regression
+                && l.message.contains("p99")
+                && l.message.contains("no longer measured")),
+            "{back:?}"
+        );
+        for l in lines.iter().chain(&back) {
+            assert!(
+                !l.message.contains("inf") && !l.message.contains("NaN"),
+                "{}",
+                l.message
+            );
+        }
     }
 
     #[test]

@@ -173,6 +173,7 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut spans_dropped = Vec::new();
+    let mut capture_errors = Vec::new();
     let mut profile_run_ns = 0u64;
     let mut profile_attr_ns = 0u64;
     for (point, outcome) in points.iter().zip(&outcomes) {
@@ -185,6 +186,10 @@ fn main() {
             .unwrap_or(0.0);
         if dropped > 0.0 {
             spans_dropped.push(format!("{}: {dropped:.0} spans", point.name));
+        }
+        let trace_errors = outcome.report.counter_total("trace.capture_errors");
+        if trace_errors > 0 {
+            capture_errors.push(format!("{}: {trace_errors} error(s)", point.name));
         }
         profile_run_ns += outcome.report.profile_run_ns;
         profile_attr_ns += outcome.report.profile_attributed_ns();
@@ -220,6 +225,21 @@ fn main() {
             spans_dropped.len()
         );
         for s in &spans_dropped {
+            eprintln!("  {s}");
+        }
+    }
+
+    // A latched trace-capture IO error means the on-disk event capture is
+    // truncated even though the run itself (and its in-memory fingerprint)
+    // completed fine — warn loudly so a forensic capture is not trusted
+    // silently.
+    if !capture_errors.is_empty() {
+        eprintln!(
+            "\nWARNING: trace capture hit IO errors in {} run(s); the written \
+             .trace.jsonl files are incomplete:",
+            capture_errors.len()
+        );
+        for s in &capture_errors {
             eprintln!("  {s}");
         }
     }

@@ -7,10 +7,10 @@
 //! that is what `bench_all` runs and what CI gates on.
 
 use predis::experiments::{
-    DistMode, FaultSpec, MegaScaleSetup, NetEnv, PropagationSetup, Protocol, ThroughputSetup,
-    Topology, TopologySetup,
+    Check, DistMode, FaultSpec, Injection, MegaScaleSetup, NetEnv, PropagationSetup, Protocol,
+    ScenarioSetup, ThroughputSetup, Topology, TopologySetup, World, ZoneWorld,
 };
-use predis::multizone::FegConfig;
+use predis::multizone::{FegConfig, StripeFault};
 use predis::sim::{LatencyModel, SimDuration};
 
 use crate::f0;
@@ -181,6 +181,7 @@ pub fn fig6_points(quick: bool) -> Vec<SweepPoint> {
                 setup(FaultSpec {
                     silent: (8 - f..8).collect(),
                     selective: vec![],
+                    ..FaultSpec::none()
                 }),
             )
             .labels(vec!["case1-silent".into(), f.to_string()]),
@@ -192,6 +193,7 @@ pub fn fig6_points(quick: bool) -> Vec<SweepPoint> {
                 setup(FaultSpec {
                     silent: vec![],
                     selective: (8 - f..8).collect(),
+                    ..FaultSpec::none()
                 }),
             )
             .labels(vec!["case2-selective".into(), f.to_string()]),
@@ -450,7 +452,199 @@ pub fn ablation_points(quick: bool) -> Vec<SweepPoint> {
     points
 }
 
-/// The full suite: every figure's grid plus the ablations.
+/// The scenario plane — config-driven fault & adversary runs.
+///
+/// Every point here is pure data: a [`ScenarioSetup`] whose injections
+/// compile onto one of three worlds (consensus committee, Multi-Zone
+/// dissemination, mega-scale) and whose checks are asserted in-runner, so
+/// a dead scenario fails the sweep instead of writing a hollow artifact.
+/// `fig_scenarios` runs the same list after a JSON round trip.
+pub fn scenario_points(quick: bool) -> Vec<SweepPoint> {
+    let secs = if quick { 10 } else { 16 };
+    let consensus = |seed: u64| ThroughputSetup {
+        protocol: Protocol::PPbft,
+        n_c: 4,
+        clients: 8,
+        offered_tps: 8_000.0,
+        env: NetEnv::Lan,
+        duration_secs: secs,
+        warmup_secs: 2,
+        seed,
+        ..Default::default()
+    };
+    let zone = |seed: u64| ZoneWorld {
+        n_c: 4,
+        zones: 3,
+        full_nodes: if quick { 18 } else { 36 },
+        block_bytes: 500_000,
+        blocks: if quick { 3 } else { 6 },
+        interval_ms: 1_500,
+        mbps: 100,
+        max_children: 24,
+        seed,
+    };
+    let zone_blocks = if quick { 3 } else { 6 };
+
+    let scenarios = vec![
+        // Regional outage + rejoin: replica 3 is down for 3 s mid-run and
+        // must catch up after reviving; nobody gets banned for crashing.
+        ScenarioSetup {
+            name: "outage_rejoin".into(),
+            world: World::Consensus(consensus(101)),
+            injections: vec![Injection::Outage {
+                nodes: vec![3],
+                from_ms: 3_000,
+                until_ms: 6_000,
+            }],
+            checks: vec![
+                Check::ThroughputResumesAfter {
+                    after_ms: 6_000,
+                    min_tps: 4_000.0,
+                },
+                Check::MinCommittedTxs { txs: 20_000 },
+                Check::CounterZero {
+                    counter: "ban.hits".into(),
+                },
+            ],
+        },
+        // WAN weather: up to 20 ms of random propagation jitter on every
+        // link. The engine falls back to its sequential scheduler, so the
+        // run stays thread-count invariant by construction.
+        ScenarioSetup {
+            name: "wan_jitter".into(),
+            world: World::Consensus(ThroughputSetup {
+                env: NetEnv::Wan,
+                ..consensus(102)
+            }),
+            injections: vec![Injection::Jitter { max_ms: 20 }],
+            checks: vec![
+                Check::MinThroughputTps { tps: 4_000.0 },
+                Check::MinCommittedTxs { txs: 20_000 },
+            ],
+        },
+        // Relayer churn storm: two full nodes (relayer candidates in
+        // distinct zones) crash and rejoin repeatedly; announcements must
+        // drive re-fetch so dissemination still completes every block.
+        ScenarioSetup {
+            name: "churn_storm".into(),
+            world: World::Zone(zone(103)),
+            injections: vec![Injection::ChurnStorm {
+                nodes: vec![4, 5],
+                first_ms: 2_500,
+                down_ms: 800,
+                up_ms: 1_200,
+                cycles: 3,
+            }],
+            checks: vec![Check::MinCompleteBlocks {
+                blocks: zone_blocks,
+            }],
+        },
+        // Byzantine relayers withholding stripes: subscribers detect the
+        // silent provider and reroute/pull; all blocks still complete.
+        ScenarioSetup {
+            name: "byz_withhold".into(),
+            world: World::Zone(zone(104)),
+            injections: vec![Injection::ByzantineRelayers {
+                count: 2,
+                fault: StripeFault::Withhold,
+            }],
+            checks: vec![Check::MinCompleteBlocks {
+                blocks: zone_blocks,
+            }],
+        },
+        // Byzantine relayers corrupting stripes: Merkle verification must
+        // reject the forgeries (counted) and recovery must still complete
+        // every block.
+        ScenarioSetup {
+            name: "byz_corrupt".into(),
+            world: World::Zone(zone(105)),
+            injections: vec![Injection::ByzantineRelayers {
+                count: 2,
+                fault: StripeFault::Corrupt,
+            }],
+            checks: vec![
+                Check::CounterAtLeast {
+                    counter: "zone.stripes_rejected".into(),
+                    min: 1,
+                },
+                Check::MinCompleteBlocks {
+                    blocks: zone_blocks,
+                },
+            ],
+        },
+        // Equivocation storm: producer 3 forks its bundle chain every
+        // height. Honest planes must detect the conflict, ban the producer
+        // network-wide, and keep committing.
+        ScenarioSetup {
+            name: "equivocation".into(),
+            world: World::Consensus(consensus(106)),
+            injections: vec![Injection::EquivocationStorm { producers: vec![3] }],
+            checks: vec![
+                Check::BanListEngaged,
+                Check::MinCommittedTxs { txs: 20_000 },
+            ],
+        },
+        // Slow leader: the initial leader's uplink is throttled to
+        // 10 Mbps. Predis's decoupled data path must keep the pipeline
+        // moving despite the straggler.
+        ScenarioSetup {
+            name: "slow_leader".into(),
+            world: World::Consensus(consensus(107)),
+            injections: vec![Injection::Straggler { node: 0, mbps: 10 }],
+            checks: vec![
+                Check::MinThroughputTps { tps: 2_000.0 },
+                Check::MinCommittedTxs { txs: 20_000 },
+            ],
+        },
+        // Flash crowd at mega scale: aggregate arrival rate doubles over a
+        // 2 s ramp; dissemination must absorb the spike with zero stripe
+        // rejections (nobody is Byzantine here).
+        ScenarioSetup {
+            name: "flash_crowd".into(),
+            world: World::MegaScale(MegaScaleSetup {
+                zones: 4,
+                zone_size: 50,
+                duration_secs: if quick { 8 } else { 12 },
+                warmup_secs: 2,
+                seed: 108,
+                ..Default::default()
+            }),
+            injections: vec![Injection::FlashCrowd {
+                at_secs: 3,
+                ramp_secs: 2,
+                peak_mult: 2.0,
+            }],
+            checks: vec![
+                Check::MinThroughputTps { tps: 100.0 },
+                Check::CounterZero {
+                    counter: "zone.stripes_rejected".into(),
+                },
+            ],
+        },
+    ];
+
+    scenarios
+        .into_iter()
+        .enumerate()
+        .map(|(i, scenario)| {
+            let name = format!("scenario_{}", scenario.name);
+            let world = match &scenario.world {
+                World::Consensus(_) => "consensus",
+                World::Zone(_) => "zone",
+                World::MegaScale(_) => "megascale",
+            };
+            let mut point = SweepPoint::scenario(name, scenario.clone())
+                .labels(vec![scenario.name.clone(), world.to_string()]);
+            if i == 0 {
+                point = point.showcase();
+            }
+            point
+        })
+        .collect()
+}
+
+/// The full suite: every figure's grid plus the ablations and the
+/// scenario plane.
 pub fn suite(quick: bool) -> Vec<SweepPoint> {
     let mut points = Vec::new();
     points.extend(fig4_points(quick));
@@ -460,6 +654,7 @@ pub fn suite(quick: bool) -> Vec<SweepPoint> {
     points.extend(fig8_points(quick));
     points.extend(fig9_points(quick));
     points.extend(ablation_points(quick));
+    points.extend(scenario_points(quick));
     points
 }
 
@@ -501,6 +696,7 @@ mod tests {
             "fig8_",
             "fig9_",
             "ablation_",
+            "scenario_",
         ] {
             assert!(
                 points.iter().any(|p| p.name.starts_with(prefix)),
@@ -508,7 +704,35 @@ mod tests {
             );
         }
         let showcases = points.iter().filter(|p| p.showcase).count();
-        assert_eq!(showcases, 7, "one showcase per figure/ablation");
+        assert_eq!(showcases, 8, "one showcase per figure/ablation/plane");
+    }
+
+    #[test]
+    fn scenario_plane_is_config_driven_and_checked() {
+        use crate::sweep::Runner;
+        for quick in [true, false] {
+            let points = scenario_points(quick);
+            assert!(
+                points.len() >= 6,
+                "need >= 6 scenarios, got {}",
+                points.len()
+            );
+            for p in &points {
+                let Runner::Scenario(scenario) = &p.runner else {
+                    panic!("{} is not a scenario point", p.name);
+                };
+                assert!(
+                    !scenario.checks.is_empty(),
+                    "{} has no liveness/safety check",
+                    p.name
+                );
+                // Every scenario must survive the JSON round trip
+                // `fig_scenarios` performs — config-driven, not hand-wired.
+                let back = ScenarioSetup::from_json(&scenario.to_json())
+                    .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+                assert_eq!(&back, scenario, "{} JSON round trip", p.name);
+            }
+        }
     }
 
     #[test]

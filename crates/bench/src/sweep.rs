@@ -16,7 +16,7 @@
 use std::time::Instant;
 
 use predis::experiments::{
-    MegaScaleSetup, PropagationSetup, ThroughputSetup, Topology, TopologySetup,
+    MegaScaleSetup, PropagationSetup, ScenarioSetup, ThroughputSetup, Topology, TopologySetup,
 };
 use predis_parallel::Pool;
 use predis_telemetry::RunReport;
@@ -32,6 +32,8 @@ pub enum Runner {
     Propagation(PropagationSetup, Topology),
     /// A mega-scale Multi-Zone dissemination run (Fig. 9).
     MegaScale(MegaScaleSetup),
+    /// A config-driven fault/adversary scenario (the scenario plane).
+    Scenario(ScenarioSetup),
 }
 
 /// One independent grid point of a figure.
@@ -100,6 +102,17 @@ impl SweepPoint {
         }
     }
 
+    /// A scenario-plane grid point.
+    pub fn scenario(name: impl Into<String>, setup: ScenarioSetup) -> SweepPoint {
+        SweepPoint {
+            name: name.into(),
+            section: 0,
+            labels: Vec::new(),
+            showcase: false,
+            runner: Runner::Scenario(setup),
+        }
+    }
+
     /// Assigns the point to a table section.
     pub fn section(mut self, section: usize) -> SweepPoint {
         self.section = section;
@@ -137,6 +150,7 @@ impl SweepPoint {
                 let (result, sim) = setup.run_with_sim_named(&self.name);
                 setup.report(&result, &sim, &self.name)
             }
+            Runner::Scenario(setup) => setup.run_report(&self.name),
         }
     }
 }

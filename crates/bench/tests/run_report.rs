@@ -38,6 +38,7 @@ fn idle_run() -> RunReport {
         faults: FaultSpec {
             silent: vec![1, 2, 3],
             selective: vec![],
+            ..FaultSpec::none()
         },
         ..Default::default()
     }

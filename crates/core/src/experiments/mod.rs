@@ -6,13 +6,17 @@
 //! * block propagation latency (Fig. 8) lives in
 //!   [`predis_multizone::PropagationSetup`], re-exported here;
 //! * [`megascale`] — Multi-Zone dissemination at up to 10^5 full nodes
-//!   with per-zone client swarms (Fig. 9).
+//!   with per-zone client swarms (Fig. 9);
+//! * [`scenario`] — the config-driven fault & adversary DSL layered on the
+//!   worlds above (the `fig_scenarios` suite).
 
 pub mod megascale;
+pub mod scenario;
 pub mod throughput;
 pub mod topology;
 
 pub use megascale::{MegaScaleResult, MegaScaleSetup};
 pub use predis_multizone::{PropagationResult, PropagationSetup, Topology};
+pub use scenario::{Check, Injection, ScenarioSetup, World, ZoneWorld};
 pub use throughput::{FaultSpec, NetEnv, Protocol, ThroughputSetup};
 pub use topology::{DistMode, FlowConsensusNode, TopologyResult, TopologySetup};

@@ -1,0 +1,1184 @@
+//! The scenario plane: a config-driven fault & adversary DSL.
+//!
+//! A [`ScenarioSetup`] is plain data — a world to build, a list of
+//! [`Injection`]s to compile onto it, and a list of [`Check`]s to assert
+//! after the run. Nothing in a scenario is hand-wired code: the `scenarios`
+//! bench suite and the `fig_scenarios` binary drive every scenario from the
+//! same serialized structs (see [`ScenarioSetup::to_json`] /
+//! [`ScenarioSetup::from_json`]), so adding a scenario is adding data, not
+//! adding a runner.
+//!
+//! # Determinism rules
+//!
+//! Every injection compiles down to machinery that is already deterministic
+//! and thread-count invariant:
+//!
+//! * crash-shaped injections ([`Injection::Outage`],
+//!   [`Injection::ChurnStorm`]) become [`FaultPlan`] crash windows —
+//!   time-deterministic, and the parallel engine replays the revive-tick
+//!   boundary bit-identically at any `PREDIS_SIM_THREADS`;
+//! * link-shaped injections ([`Injection::Partition`]) become `FaultPlan`
+//!   link blocks — also time-deterministic;
+//! * [`Injection::Jitter`] randomizes propagation, which forces the
+//!   engine's sequential scheduler at *every* thread count, so jittered
+//!   runs stay fingerprint-identical too;
+//! * adversary injections ([`Injection::ByzantineRelayers`],
+//!   [`Injection::EquivocationStorm`]) and load shaping
+//!   ([`Injection::Straggler`], [`Injection::FlashCrowd`]) are pure actor /
+//!   topology configuration with no scheduling side channel.
+//!
+//! Checks are evaluated on the run's deterministic metrics, so a check that
+//! passes once passes at every thread count or it is an engine bug.
+
+use predis_multizone::{MultiZoneNode, NetMsg, StripeFault, SyntheticLoad, ZoneConfig, ZoneSource};
+use predis_sim::prelude::*;
+use predis_sim::{FaultPlan, Metrics};
+use predis_telemetry::{Json, RunReport};
+use predis_types::payload_stats;
+use serde::{Deserialize, Serialize};
+
+use crate::experiments::megascale::MegaScaleSetup;
+use crate::experiments::throughput::ThroughputSetup;
+
+/// The world a scenario runs in.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum World {
+    /// A consensus committee with open-loop clients
+    /// ([`ThroughputSetup`]): node ids `0..n_c` are replicas, clients
+    /// follow.
+    Consensus(ThroughputSetup),
+    /// A Multi-Zone dissemination network with announcements *on*
+    /// ([`ZoneWorld`]): node ids `0..n_c` are stripe sources, full nodes
+    /// follow in zone round-robin order.
+    Zone(ZoneWorld),
+    /// The mega-scale Fig. 9 world ([`MegaScaleSetup`]).
+    MegaScale(MegaScaleSetup),
+}
+
+/// A self-contained Multi-Zone world for dissemination scenarios.
+///
+/// Unlike the Fig. 8 propagation experiment this world always announces
+/// blocks (`ZoneSource` carries a [`SyntheticLoad`]), so full nodes can
+/// detect overdue blocks and re-fetch — the recovery paths the Byzantine
+/// and churn scenarios exercise.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZoneWorld {
+    /// Consensus committee size (= stripe sources).
+    pub n_c: usize,
+    /// Number of zones; full nodes are assigned round-robin.
+    pub zones: usize,
+    /// Number of full nodes (ids `n_c..n_c + full_nodes`).
+    pub full_nodes: usize,
+    /// Block size in bytes.
+    pub block_bytes: u64,
+    /// Blocks to produce.
+    pub blocks: u64,
+    /// Block interval, milliseconds.
+    pub interval_ms: u64,
+    /// Upload bandwidth per node, Mbps.
+    pub mbps: u64,
+    /// Per-node subscriber cap.
+    pub max_children: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ZoneWorld {
+    fn default() -> Self {
+        ZoneWorld {
+            n_c: 4,
+            zones: 3,
+            full_nodes: 30,
+            block_bytes: 1_000_000,
+            blocks: 4,
+            interval_ms: 2_000,
+            mbps: 100,
+            max_children: 24,
+            seed: 13,
+        }
+    }
+}
+
+/// One fault or adversary to compile onto the world.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Injection {
+    /// Crash `nodes` during `[from_ms, until_ms)`; they revive with state
+    /// intact and re-run `on_start` (rejoin). Compiles to
+    /// [`FaultPlan::crash_for`].
+    Outage {
+        /// Node ids to crash (world-specific id layout, see [`World`]).
+        nodes: Vec<u32>,
+        /// Crash time, ms.
+        from_ms: u64,
+        /// Revive time, ms (exclusive — the revive tick is up).
+        until_ms: u64,
+    },
+    /// Repeated crash/rejoin cycles: each node crashes at
+    /// `first_ms + k * (down_ms + up_ms)` for `down_ms`, `cycles` times.
+    /// Compiles to multi-window [`FaultPlan`] churn.
+    ChurnStorm {
+        /// Node ids that churn.
+        nodes: Vec<u32>,
+        /// First crash time, ms.
+        first_ms: u64,
+        /// Downtime per cycle, ms.
+        down_ms: u64,
+        /// Uptime between cycles, ms.
+        up_ms: u64,
+        /// Number of crash/rejoin cycles.
+        cycles: u32,
+    },
+    /// Symmetric partition between node sets `a` and `b` during
+    /// `[from_ms, until_ms)`. Compiles to [`FaultPlan::partition`].
+    Partition {
+        /// One side of the cut.
+        a: Vec<u32>,
+        /// The other side.
+        b: Vec<u32>,
+        /// Partition start, ms.
+        from_ms: u64,
+        /// Partition end, ms (exclusive).
+        until_ms: u64,
+    },
+    /// Uniform random propagation jitter up to `max_ms` on every link (a
+    /// WAN weather model). Forces the sequential scheduler, keeping the
+    /// run thread-count invariant.
+    Jitter {
+        /// Jitter bound, ms.
+        max_ms: u64,
+    },
+    /// Throttle one node's uplink to `mbps` (slow leader / straggler).
+    Straggler {
+        /// The throttled node.
+        node: u32,
+        /// Its uplink bandwidth, Mbps.
+        mbps: u64,
+    },
+    /// The first `count` full nodes become Byzantine relayers with the
+    /// given stripe fault (withhold or corrupt). Zone world only.
+    ByzantineRelayers {
+        /// How many full nodes turn Byzantine.
+        count: u32,
+        /// What they do to the stripes they relay.
+        fault: StripeFault,
+    },
+    /// Committee members `producers` run the §III-E forking attacker
+    /// (two conflicting bundles per height). Consensus world only.
+    EquivocationStorm {
+        /// Equivocating committee indices.
+        producers: Vec<u32>,
+    },
+    /// The per-zone client swarms ramp to `peak_mult` times their base
+    /// rate starting at `at_secs`. MegaScale world only.
+    FlashCrowd {
+        /// Ramp start, simulated seconds.
+        at_secs: u64,
+        /// Ramp length, seconds.
+        ramp_secs: u64,
+        /// Peak rate multiplier.
+        peak_mult: f64,
+    },
+}
+
+/// A liveness or safety assertion evaluated after the run. A failing check
+/// panics with the scenario name, so a scenario sweep fails loudly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Check {
+    /// `throughput_tps` over the stable window must reach `tps`.
+    MinThroughputTps {
+        /// Minimum sustained throughput, tx/s.
+        tps: f64,
+    },
+    /// Commit progress must resume after a disruption: throughput over
+    /// `[after_ms, horizon)` must reach `min_tps`.
+    ThroughputResumesAfter {
+        /// Window start, ms (set to the disruption's end).
+        after_ms: u64,
+        /// Minimum throughput over the window, tx/s.
+        min_tps: f64,
+    },
+    /// Total committed transactions over the whole run must reach `txs`.
+    MinCommittedTxs {
+        /// Minimum committed transactions.
+        txs: u64,
+    },
+    /// At least `blocks` blocks must have propagated to 100% of full
+    /// nodes (Zone world).
+    MinCompleteBlocks {
+        /// Minimum fully propagated blocks.
+        blocks: u64,
+    },
+    /// A counter total must reach `min` (e.g. `zone.stripes_rejected`).
+    CounterAtLeast {
+        /// Counter name.
+        counter: String,
+        /// Minimum total.
+        min: u64,
+    },
+    /// A counter total must be exactly zero (e.g. no rejected stripes in
+    /// an honest run).
+    CounterZero {
+        /// Counter name.
+        counter: String,
+    },
+    /// The ban list must have engaged: `ban.hits >= 1` (an equivocator
+    /// was detected, proven, and banned).
+    BanListEngaged,
+}
+
+/// One scenario: a world, the injections to compile onto it, and the
+/// checks that must hold afterwards.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSetup {
+    /// Short scenario name, used in check-failure panics and report meta.
+    pub name: String,
+    /// The world to build.
+    pub world: World,
+    /// Faults and adversaries to inject.
+    pub injections: Vec<Injection>,
+    /// Assertions evaluated after the run.
+    pub checks: Vec<Check>,
+}
+
+impl ScenarioSetup {
+    /// Builds the world, compiles and applies every injection, runs to the
+    /// world's horizon, evaluates every check, and snapshots a
+    /// [`RunReport`] named `run_name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an injection is not supported by the world (see each
+    /// [`Injection`] variant) or if any [`Check`] fails.
+    pub fn run_report(&self, run_name: &str) -> RunReport {
+        let mut report = match &self.world {
+            World::Consensus(setup) => self.run_consensus(setup.clone(), run_name),
+            World::Zone(world) => self.run_zone(world, run_name),
+            World::MegaScale(setup) => self.run_megascale(setup.clone(), run_name),
+        };
+        report.meta.insert("scenario".into(), self.name.clone());
+        report.set_metric("scenario.checks_passed", self.checks.len() as f64);
+        report
+    }
+
+    fn unsupported(&self, inj: &Injection) -> ! {
+        panic!(
+            "scenario `{}`: injection {inj:?} is not supported by this world",
+            self.name
+        );
+    }
+
+    /// Crash/link injections shared by the Consensus and Zone worlds.
+    fn fault_plan_of(&self, inj: &Injection, plan: &mut FaultPlan) -> bool {
+        match inj {
+            Injection::Outage {
+                nodes,
+                from_ms,
+                until_ms,
+            } => {
+                for &n in nodes {
+                    plan.crash_for(
+                        NodeId(n),
+                        SimTime::from_millis(*from_ms),
+                        SimTime::from_millis(*until_ms),
+                    );
+                }
+                true
+            }
+            Injection::ChurnStorm {
+                nodes,
+                first_ms,
+                down_ms,
+                up_ms,
+                cycles,
+            } => {
+                for &n in nodes {
+                    for k in 0..*cycles as u64 {
+                        let at = first_ms + k * (down_ms + up_ms);
+                        plan.crash_for(
+                            NodeId(n),
+                            SimTime::from_millis(at),
+                            SimTime::from_millis(at + down_ms),
+                        );
+                    }
+                }
+                true
+            }
+            Injection::Partition {
+                a,
+                b,
+                from_ms,
+                until_ms,
+            } => {
+                let a: Vec<NodeId> = a.iter().map(|&n| NodeId(n)).collect();
+                let b: Vec<NodeId> = b.iter().map(|&n| NodeId(n)).collect();
+                plan.partition(
+                    &a,
+                    &b,
+                    SimTime::from_millis(*from_ms),
+                    SimTime::from_millis(*until_ms),
+                );
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn run_consensus(&self, mut setup: ThroughputSetup, run_name: &str) -> RunReport {
+        let mut plan = FaultPlan::none();
+        for inj in &self.injections {
+            if self.fault_plan_of(inj, &mut plan) {
+                continue;
+            }
+            match inj {
+                Injection::Jitter { max_ms } => setup.jitter_ms = *max_ms,
+                Injection::Straggler { node, mbps } => {
+                    if setup.per_node_mbps.is_empty() {
+                        setup.per_node_mbps = vec![setup.mbps; setup.n_c];
+                    }
+                    setup.per_node_mbps[*node as usize] = *mbps;
+                }
+                Injection::EquivocationStorm { producers } => {
+                    setup
+                        .faults
+                        .equivocators
+                        .extend(producers.iter().map(|&p| p as usize));
+                }
+                other => self.unsupported(other),
+            }
+        }
+        let mut sim = setup.build_sim_named(run_name);
+        sim.set_faults(plan);
+        let horizon = SimTime::from_secs(setup.duration_secs);
+        sim.run_until(horizon);
+        sim.finish_observability();
+        let report = setup.report(&sim, run_name);
+        self.eval_checks(sim.metrics(), &report, horizon, run_name);
+        report
+    }
+
+    fn run_megascale(&self, mut setup: MegaScaleSetup, run_name: &str) -> RunReport {
+        for inj in &self.injections {
+            match inj {
+                Injection::FlashCrowd {
+                    at_secs,
+                    ramp_secs,
+                    peak_mult,
+                } => {
+                    setup.crowd_at_secs = *at_secs;
+                    setup.crowd_ramp_secs = *ramp_secs;
+                    setup.crowd_peak_mult = *peak_mult;
+                }
+                other => self.unsupported(other),
+            }
+        }
+        let (result, sim) = setup.run_with_sim_named(run_name);
+        let report = setup.report(&result, &sim, run_name);
+        let horizon = SimTime::from_secs(setup.duration_secs);
+        self.eval_checks(sim.metrics(), &report, horizon, run_name);
+        report
+    }
+
+    fn run_zone(&self, world: &ZoneWorld, run_name: &str) -> RunReport {
+        let mut plan = FaultPlan::none();
+        let mut jitter_ms = 0u64;
+        let mut byz: Option<(u32, StripeFault)> = None;
+        let mut slow: Vec<(u32, u64)> = Vec::new();
+        for inj in &self.injections {
+            if self.fault_plan_of(inj, &mut plan) {
+                continue;
+            }
+            match inj {
+                Injection::Jitter { max_ms } => jitter_ms = *max_ms,
+                Injection::Straggler { node, mbps } => slow.push((*node, *mbps)),
+                Injection::ByzantineRelayers { count, fault } => byz = Some((*count, *fault)),
+                other => self.unsupported(other),
+            }
+        }
+
+        payload_stats::reset();
+        let network = Network::new(LatencyModel::lan(), SimDuration::from_millis(jitter_ms));
+        let mut sim: Sim<NetMsg> = Sim::new(world.seed, network);
+        let link = LinkConfig::paper_default().with_mbps(world.mbps);
+        let interval = SimDuration::from_millis(world.interval_ms);
+        let bundles = (world.block_bytes / 25_600).clamp(1, 160) as u32;
+        let mut load = SyntheticLoad::for_block_size(world.block_bytes, bundles, interval);
+        load.blocks = world.blocks;
+        let warmup = load.start_at;
+        let cons: Vec<NodeId> = (0..world.n_c as u32).map(NodeId).collect();
+        let fulls: Vec<NodeId> = (world.n_c as u32..(world.n_c + world.full_nodes) as u32)
+            .map(NodeId)
+            .collect();
+        let zcfg = ZoneConfig {
+            n_c: world.n_c,
+            f: (world.n_c - 1) / 3,
+            max_children: world.max_children,
+            alive_interval: SimDuration::from_millis(250),
+            digest_interval: SimDuration::from_secs(1),
+            consensus: cons.clone(),
+            retire_unannounced: false,
+        };
+        let node_link = |id: u32| {
+            let mbps = slow
+                .iter()
+                .find(|&&(n, _)| n == id)
+                .map(|&(_, m)| m)
+                .unwrap_or(world.mbps);
+            link.with_mbps(mbps)
+        };
+        for i in 0..world.n_c {
+            sim.add_node(
+                node_link(i as u32),
+                Box::new(ActorOf::<_, NetMsg>::new(ZoneSource::new(
+                    i as u32,
+                    zcfg.clone(),
+                    Some(load.clone()),
+                ))),
+                SimTime::ZERO,
+            );
+        }
+        // Zone membership: round-robin, joins staggered so subscription
+        // trees build deterministically. The first `count` full nodes turn
+        // Byzantine; round-robin membership spreads them across zones.
+        let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); world.zones];
+        for (j, &fnode) in fulls.iter().enumerate() {
+            members[j % world.zones].push(fnode);
+        }
+        for (j, &fnode) in fulls.iter().enumerate() {
+            let zone = j % world.zones;
+            let mates: Vec<NodeId> = members[zone]
+                .iter()
+                .copied()
+                .filter(|n| *n != fnode)
+                .collect();
+            let backups: Vec<NodeId> = members[(zone + 1) % world.zones]
+                .iter()
+                .copied()
+                .take(2)
+                .collect();
+            let mut node = MultiZoneNode::new(zcfg.clone(), j as u64, mates).with_backups(backups);
+            if let Some((count, fault)) = byz {
+                if (j as u32) < count {
+                    node = node.with_stripe_fault(fault);
+                }
+            }
+            sim.add_node(
+                node_link(fnode.0),
+                Box::new(ActorOf::<_, NetMsg>::new(node)),
+                SimTime::from_millis(10 * j as u64),
+            );
+        }
+        let mut affinity: Vec<Vec<NodeId>> = vec![cons];
+        affinity.extend(members.into_iter().filter(|m| !m.is_empty()));
+        sim.set_partition_hint(affinity);
+
+        let horizon =
+            SimTime::ZERO + warmup + interval * (world.blocks + 3) + SimDuration::from_secs(30);
+        if !run_name.is_empty() {
+            sim.apply_observability_env(run_name);
+        }
+        sim.set_faults(plan);
+        sim.run_until(horizon);
+        sim.finish_observability();
+
+        // Per-block full-coverage propagation, as in the Fig. 8 runner.
+        let tick = interval / load.bundles_per_block as u64;
+        let mut complete = 0u64;
+        let mut to_100_sum = 0f64;
+        for block in 0..world.blocks {
+            let origin = SimTime::ZERO + warmup + interval * (block + 1) - tick;
+            if let Some(d) =
+                sim.metrics()
+                    .propagation_to_fraction(block, origin, world.full_nodes, 1.0)
+            {
+                complete += 1;
+                to_100_sum += d.as_millis_f64();
+            }
+        }
+        let mut report = sim.metrics().run_report(run_name);
+        report.meta.insert("n_c".into(), world.n_c.to_string());
+        report.meta.insert("zones".into(), world.zones.to_string());
+        report
+            .meta
+            .insert("full_nodes".into(), world.full_nodes.to_string());
+        report.meta.insert("seed".into(), world.seed.to_string());
+        report.set_metric("complete_blocks", complete as f64);
+        report.set_metric("produced_blocks", world.blocks as f64);
+        if complete > 0 {
+            report.set_metric("to_100_ms", to_100_sum / complete as f64);
+        }
+        let stats = payload_stats::snapshot();
+        report.set_metric("msg.payload_clones", stats.payload_clones as f64);
+        report.set_metric("msg.bytes_cloned", stats.bytes_cloned as f64);
+        report.set_metric("wire_size.computed", stats.wire_size_computed as f64);
+        report.set_metric("engine.events_processed", sim.events_processed() as f64);
+        sim.stamp_observability(&mut report);
+        self.eval_checks(sim.metrics(), &report, horizon, run_name);
+        report
+    }
+
+    fn eval_checks(&self, metrics: &Metrics, report: &RunReport, horizon: SimTime, run_name: &str) {
+        for check in &self.checks {
+            let fail = |got: String, want: String| -> ! {
+                panic!(
+                    "scenario `{}` [{run_name}]: check {check:?} failed: got {got}, want {want}",
+                    self.name
+                );
+            };
+            match check {
+                Check::MinThroughputTps { tps } => {
+                    let got = report.metric("throughput_tps").unwrap_or(0.0);
+                    if got < *tps {
+                        fail(format!("{got:.0} tx/s"), format!(">= {tps:.0} tx/s"));
+                    }
+                }
+                Check::ThroughputResumesAfter { after_ms, min_tps } => {
+                    let got = metrics.throughput_tps(SimTime::from_millis(*after_ms), horizon);
+                    if got < *min_tps {
+                        fail(
+                            format!("{got:.0} tx/s after {after_ms} ms"),
+                            format!(">= {min_tps:.0} tx/s"),
+                        );
+                    }
+                }
+                Check::MinCommittedTxs { txs } => {
+                    let got = metrics.committed_txs_in(SimTime::ZERO, horizon);
+                    if got < *txs {
+                        fail(format!("{got} txs"), format!(">= {txs} txs"));
+                    }
+                }
+                Check::MinCompleteBlocks { blocks } => {
+                    let got = report.metric("complete_blocks").unwrap_or(0.0) as u64;
+                    if got < *blocks {
+                        fail(format!("{got} blocks"), format!(">= {blocks} blocks"));
+                    }
+                }
+                Check::CounterAtLeast { counter, min } => {
+                    let got = report.counter_total(counter);
+                    if got < *min {
+                        fail(format!("{counter} = {got}"), format!(">= {min}"));
+                    }
+                }
+                Check::CounterZero { counter } => {
+                    let got = report.counter_total(counter);
+                    if got != 0 {
+                        fail(format!("{counter} = {got}"), "0".into());
+                    }
+                }
+                Check::BanListEngaged => {
+                    let got = report.counter_total("ban.hits");
+                    if got == 0 {
+                        fail("ban.hits = 0".into(), ">= 1".into());
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON round trip. serde in this tree is derive-only (no live serializer),
+// so the DSL carries its own explicit, schema-stable encoding on top of
+// `predis_telemetry::Json` — which is also what makes scenarios loadable
+// from config files.
+// ---------------------------------------------------------------------------
+
+fn ids(v: &[u32]) -> Json {
+    Json::Arr(v.iter().map(|&n| Json::U64(n as u64)).collect())
+}
+
+fn ids_back(v: &Json, key: &str) -> Result<Vec<u32>, String> {
+    v.get(key)
+        .and_then(Json::as_arr)
+        .map(|a| {
+            a.iter()
+                .filter_map(Json::as_u64)
+                .map(|n| n as u32)
+                .collect()
+        })
+        .ok_or_else(|| format!("injection missing `{key}` id array"))
+}
+
+fn obj1(kind: &str, body: Vec<(String, Json)>) -> Json {
+    Json::Obj(vec![(kind.to_string(), Json::Obj(body))])
+}
+
+fn u64_of(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing `{key}`"))
+}
+
+fn f64_of(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing `{key}`"))
+}
+
+fn str_of<'j>(v: &'j Json, key: &str) -> Result<&'j str, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing `{key}`"))
+}
+
+impl ScenarioSetup {
+    /// Serializes the scenario to deterministic pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("world".into(), world_json(&self.world)),
+            (
+                "injections".into(),
+                Json::Arr(self.injections.iter().map(injection_json).collect()),
+            ),
+            (
+                "checks".into(),
+                Json::Arr(self.checks.iter().map(check_json).collect()),
+            ),
+        ])
+        .to_pretty_string()
+    }
+
+    /// Parses a scenario written by [`ScenarioSetup::to_json`] (or by
+    /// hand — the encoding is the DSL's config-file format).
+    pub fn from_json(text: &str) -> Result<ScenarioSetup, String> {
+        let v = Json::parse(text)?;
+        let world = v.get("world").ok_or("scenario missing `world`")?;
+        let injections = v
+            .get("injections")
+            .and_then(Json::as_arr)
+            .ok_or("scenario missing `injections` array")?;
+        let checks = v
+            .get("checks")
+            .and_then(Json::as_arr)
+            .ok_or("scenario missing `checks` array")?;
+        Ok(ScenarioSetup {
+            name: str_of(&v, "name")?.to_string(),
+            world: world_back(world)?,
+            injections: injections
+                .iter()
+                .map(injection_back)
+                .collect::<Result<_, _>>()?,
+            checks: checks.iter().map(check_back).collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+fn world_json(world: &World) -> Json {
+    match world {
+        World::Consensus(s) => obj1(
+            "consensus",
+            vec![
+                ("protocol".into(), Json::Str(s.protocol.name().into())),
+                ("n_c".into(), Json::U64(s.n_c as u64)),
+                ("clients".into(), Json::U64(s.clients as u64)),
+                ("offered_tps".into(), Json::F64(s.offered_tps)),
+                ("tx_size".into(), Json::U64(s.tx_size as u64)),
+                ("bundle_size".into(), Json::U64(s.bundle_size as u64)),
+                ("batch_size".into(), Json::U64(s.batch_size as u64)),
+                (
+                    "env".into(),
+                    Json::Str(format!("{:?}", s.env).to_lowercase()),
+                ),
+                ("jitter_ms".into(), Json::U64(s.jitter_ms)),
+                ("mbps".into(), Json::U64(s.mbps)),
+                ("duration_secs".into(), Json::U64(s.duration_secs)),
+                ("warmup_secs".into(), Json::U64(s.warmup_secs)),
+                ("seed".into(), Json::U64(s.seed)),
+                ("pipeline".into(), Json::U64(s.pipeline as u64)),
+            ],
+        ),
+        World::Zone(w) => obj1(
+            "zone",
+            vec![
+                ("n_c".into(), Json::U64(w.n_c as u64)),
+                ("zones".into(), Json::U64(w.zones as u64)),
+                ("full_nodes".into(), Json::U64(w.full_nodes as u64)),
+                ("block_bytes".into(), Json::U64(w.block_bytes)),
+                ("blocks".into(), Json::U64(w.blocks)),
+                ("interval_ms".into(), Json::U64(w.interval_ms)),
+                ("mbps".into(), Json::U64(w.mbps)),
+                ("max_children".into(), Json::U64(w.max_children as u64)),
+                ("seed".into(), Json::U64(w.seed)),
+            ],
+        ),
+        World::MegaScale(s) => obj1(
+            "megascale",
+            vec![
+                ("n_c".into(), Json::U64(s.n_c as u64)),
+                ("zones".into(), Json::U64(s.zones as u64)),
+                ("zone_size".into(), Json::U64(s.zone_size as u64)),
+                ("users_per_zone".into(), Json::U64(s.users_per_zone)),
+                ("per_user_tps".into(), Json::F64(s.per_user_tps)),
+                ("poisson".into(), Json::Bool(s.poisson)),
+                ("tx_size".into(), Json::U64(s.tx_size as u64)),
+                ("bundle_txs".into(), Json::U64(s.bundle_txs as u64)),
+                ("mbps".into(), Json::U64(s.mbps)),
+                ("duration_secs".into(), Json::U64(s.duration_secs)),
+                ("warmup_secs".into(), Json::U64(s.warmup_secs)),
+                ("seed".into(), Json::U64(s.seed)),
+            ],
+        ),
+    }
+}
+
+fn world_back(v: &Json) -> Result<World, String> {
+    if let Some(s) = v.get("consensus") {
+        use crate::experiments::throughput::{NetEnv, Protocol};
+        let protocol = match str_of(s, "protocol")? {
+            "PBFT" => Protocol::Pbft,
+            "P-PBFT" => Protocol::PPbft,
+            "HotStuff" => Protocol::HotStuff,
+            "P-HS" => Protocol::PHs,
+            "Narwhal" => Protocol::Narwhal,
+            "Stratus" => Protocol::Stratus,
+            other => return Err(format!("unknown protocol `{other}`")),
+        };
+        let env = match str_of(s, "env")? {
+            "lan" => NetEnv::Lan,
+            "wan" => NetEnv::Wan,
+            other => return Err(format!("unknown env `{other}`")),
+        };
+        return Ok(World::Consensus(ThroughputSetup {
+            protocol,
+            n_c: u64_of(s, "n_c")? as usize,
+            clients: u64_of(s, "clients")? as usize,
+            offered_tps: f64_of(s, "offered_tps")?,
+            tx_size: u64_of(s, "tx_size")? as usize,
+            bundle_size: u64_of(s, "bundle_size")? as usize,
+            batch_size: u64_of(s, "batch_size")? as usize,
+            env,
+            jitter_ms: u64_of(s, "jitter_ms")?,
+            mbps: u64_of(s, "mbps")?,
+            duration_secs: u64_of(s, "duration_secs")?,
+            warmup_secs: u64_of(s, "warmup_secs")?,
+            seed: u64_of(s, "seed")?,
+            pipeline: u64_of(s, "pipeline")? as usize,
+            ..Default::default()
+        }));
+    }
+    if let Some(w) = v.get("zone") {
+        return Ok(World::Zone(ZoneWorld {
+            n_c: u64_of(w, "n_c")? as usize,
+            zones: u64_of(w, "zones")? as usize,
+            full_nodes: u64_of(w, "full_nodes")? as usize,
+            block_bytes: u64_of(w, "block_bytes")?,
+            blocks: u64_of(w, "blocks")?,
+            interval_ms: u64_of(w, "interval_ms")?,
+            mbps: u64_of(w, "mbps")?,
+            max_children: u64_of(w, "max_children")? as usize,
+            seed: u64_of(w, "seed")?,
+        }));
+    }
+    if let Some(s) = v.get("megascale") {
+        let poisson = matches!(s.get("poisson"), Some(Json::Bool(true)));
+        return Ok(World::MegaScale(MegaScaleSetup {
+            n_c: u64_of(s, "n_c")? as usize,
+            zones: u64_of(s, "zones")? as usize,
+            zone_size: u64_of(s, "zone_size")? as usize,
+            users_per_zone: u64_of(s, "users_per_zone")?,
+            per_user_tps: f64_of(s, "per_user_tps")?,
+            poisson,
+            tx_size: u64_of(s, "tx_size")? as usize,
+            bundle_txs: u64_of(s, "bundle_txs")? as usize,
+            mbps: u64_of(s, "mbps")?,
+            duration_secs: u64_of(s, "duration_secs")?,
+            warmup_secs: u64_of(s, "warmup_secs")?,
+            seed: u64_of(s, "seed")?,
+            ..Default::default()
+        }));
+    }
+    Err("world must be one of `consensus`, `zone`, `megascale`".into())
+}
+
+fn injection_json(inj: &Injection) -> Json {
+    match inj {
+        Injection::Outage {
+            nodes,
+            from_ms,
+            until_ms,
+        } => obj1(
+            "outage",
+            vec![
+                ("nodes".into(), ids(nodes)),
+                ("from_ms".into(), Json::U64(*from_ms)),
+                ("until_ms".into(), Json::U64(*until_ms)),
+            ],
+        ),
+        Injection::ChurnStorm {
+            nodes,
+            first_ms,
+            down_ms,
+            up_ms,
+            cycles,
+        } => obj1(
+            "churn_storm",
+            vec![
+                ("nodes".into(), ids(nodes)),
+                ("first_ms".into(), Json::U64(*first_ms)),
+                ("down_ms".into(), Json::U64(*down_ms)),
+                ("up_ms".into(), Json::U64(*up_ms)),
+                ("cycles".into(), Json::U64(*cycles as u64)),
+            ],
+        ),
+        Injection::Partition {
+            a,
+            b,
+            from_ms,
+            until_ms,
+        } => obj1(
+            "partition",
+            vec![
+                ("a".into(), ids(a)),
+                ("b".into(), ids(b)),
+                ("from_ms".into(), Json::U64(*from_ms)),
+                ("until_ms".into(), Json::U64(*until_ms)),
+            ],
+        ),
+        Injection::Jitter { max_ms } => obj1("jitter", vec![("max_ms".into(), Json::U64(*max_ms))]),
+        Injection::Straggler { node, mbps } => obj1(
+            "straggler",
+            vec![
+                ("node".into(), Json::U64(*node as u64)),
+                ("mbps".into(), Json::U64(*mbps)),
+            ],
+        ),
+        Injection::ByzantineRelayers { count, fault } => obj1(
+            "byzantine_relayers",
+            vec![
+                ("count".into(), Json::U64(*count as u64)),
+                (
+                    "fault".into(),
+                    Json::Str(match fault {
+                        StripeFault::Withhold => "withhold".into(),
+                        StripeFault::Corrupt => "corrupt".into(),
+                    }),
+                ),
+            ],
+        ),
+        Injection::EquivocationStorm { producers } => obj1(
+            "equivocation_storm",
+            vec![("producers".into(), ids(producers))],
+        ),
+        Injection::FlashCrowd {
+            at_secs,
+            ramp_secs,
+            peak_mult,
+        } => obj1(
+            "flash_crowd",
+            vec![
+                ("at_secs".into(), Json::U64(*at_secs)),
+                ("ramp_secs".into(), Json::U64(*ramp_secs)),
+                ("peak_mult".into(), Json::F64(*peak_mult)),
+            ],
+        ),
+    }
+}
+
+fn injection_back(v: &Json) -> Result<Injection, String> {
+    if let Some(o) = v.get("outage") {
+        return Ok(Injection::Outage {
+            nodes: ids_back(o, "nodes")?,
+            from_ms: u64_of(o, "from_ms")?,
+            until_ms: u64_of(o, "until_ms")?,
+        });
+    }
+    if let Some(o) = v.get("churn_storm") {
+        return Ok(Injection::ChurnStorm {
+            nodes: ids_back(o, "nodes")?,
+            first_ms: u64_of(o, "first_ms")?,
+            down_ms: u64_of(o, "down_ms")?,
+            up_ms: u64_of(o, "up_ms")?,
+            cycles: u64_of(o, "cycles")? as u32,
+        });
+    }
+    if let Some(o) = v.get("partition") {
+        return Ok(Injection::Partition {
+            a: ids_back(o, "a")?,
+            b: ids_back(o, "b")?,
+            from_ms: u64_of(o, "from_ms")?,
+            until_ms: u64_of(o, "until_ms")?,
+        });
+    }
+    if let Some(o) = v.get("jitter") {
+        return Ok(Injection::Jitter {
+            max_ms: u64_of(o, "max_ms")?,
+        });
+    }
+    if let Some(o) = v.get("straggler") {
+        return Ok(Injection::Straggler {
+            node: u64_of(o, "node")? as u32,
+            mbps: u64_of(o, "mbps")?,
+        });
+    }
+    if let Some(o) = v.get("byzantine_relayers") {
+        let fault = match str_of(o, "fault")? {
+            "withhold" => StripeFault::Withhold,
+            "corrupt" => StripeFault::Corrupt,
+            other => return Err(format!("unknown stripe fault `{other}`")),
+        };
+        return Ok(Injection::ByzantineRelayers {
+            count: u64_of(o, "count")? as u32,
+            fault,
+        });
+    }
+    if let Some(o) = v.get("equivocation_storm") {
+        return Ok(Injection::EquivocationStorm {
+            producers: ids_back(o, "producers")?,
+        });
+    }
+    if let Some(o) = v.get("flash_crowd") {
+        return Ok(Injection::FlashCrowd {
+            at_secs: u64_of(o, "at_secs")?,
+            ramp_secs: u64_of(o, "ramp_secs")?,
+            peak_mult: f64_of(o, "peak_mult")?,
+        });
+    }
+    Err(format!("unknown injection {v:?}"))
+}
+
+fn check_json(check: &Check) -> Json {
+    match check {
+        Check::MinThroughputTps { tps } => {
+            obj1("min_throughput_tps", vec![("tps".into(), Json::F64(*tps))])
+        }
+        Check::ThroughputResumesAfter { after_ms, min_tps } => obj1(
+            "throughput_resumes_after",
+            vec![
+                ("after_ms".into(), Json::U64(*after_ms)),
+                ("min_tps".into(), Json::F64(*min_tps)),
+            ],
+        ),
+        Check::MinCommittedTxs { txs } => {
+            obj1("min_committed_txs", vec![("txs".into(), Json::U64(*txs))])
+        }
+        Check::MinCompleteBlocks { blocks } => obj1(
+            "min_complete_blocks",
+            vec![("blocks".into(), Json::U64(*blocks))],
+        ),
+        Check::CounterAtLeast { counter, min } => obj1(
+            "counter_at_least",
+            vec![
+                ("counter".into(), Json::Str(counter.clone())),
+                ("min".into(), Json::U64(*min)),
+            ],
+        ),
+        Check::CounterZero { counter } => obj1(
+            "counter_zero",
+            vec![("counter".into(), Json::Str(counter.clone()))],
+        ),
+        Check::BanListEngaged => obj1("ban_list_engaged", vec![]),
+    }
+}
+
+fn check_back(v: &Json) -> Result<Check, String> {
+    if let Some(o) = v.get("min_throughput_tps") {
+        return Ok(Check::MinThroughputTps {
+            tps: f64_of(o, "tps")?,
+        });
+    }
+    if let Some(o) = v.get("throughput_resumes_after") {
+        return Ok(Check::ThroughputResumesAfter {
+            after_ms: u64_of(o, "after_ms")?,
+            min_tps: f64_of(o, "min_tps")?,
+        });
+    }
+    if let Some(o) = v.get("min_committed_txs") {
+        return Ok(Check::MinCommittedTxs {
+            txs: u64_of(o, "txs")?,
+        });
+    }
+    if let Some(o) = v.get("min_complete_blocks") {
+        return Ok(Check::MinCompleteBlocks {
+            blocks: u64_of(o, "blocks")?,
+        });
+    }
+    if let Some(o) = v.get("counter_at_least") {
+        return Ok(Check::CounterAtLeast {
+            counter: str_of(o, "counter")?.to_string(),
+            min: u64_of(o, "min")?,
+        });
+    }
+    if let Some(o) = v.get("counter_zero") {
+        return Ok(Check::CounterZero {
+            counter: str_of(o, "counter")?.to_string(),
+        });
+    }
+    if v.get("ban_list_engaged").is_some() {
+        return Ok(Check::BanListEngaged);
+    }
+    Err(format!("unknown check {v:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::throughput::{NetEnv, Protocol};
+
+    fn every_variant_scenario() -> ScenarioSetup {
+        ScenarioSetup {
+            name: "kitchen_sink".into(),
+            world: World::Consensus(ThroughputSetup {
+                protocol: Protocol::PPbft,
+                n_c: 4,
+                env: NetEnv::Lan,
+                offered_tps: 1_234.5,
+                ..Default::default()
+            }),
+            injections: vec![
+                Injection::Outage {
+                    nodes: vec![3],
+                    from_ms: 2_000,
+                    until_ms: 4_000,
+                },
+                Injection::ChurnStorm {
+                    nodes: vec![5, 6],
+                    first_ms: 1_000,
+                    down_ms: 500,
+                    up_ms: 1_500,
+                    cycles: 3,
+                },
+                Injection::Partition {
+                    a: vec![0],
+                    b: vec![1, 2],
+                    from_ms: 100,
+                    until_ms: 200,
+                },
+                Injection::Jitter { max_ms: 10 },
+                Injection::Straggler { node: 0, mbps: 25 },
+                Injection::ByzantineRelayers {
+                    count: 2,
+                    fault: StripeFault::Corrupt,
+                },
+                Injection::EquivocationStorm { producers: vec![3] },
+                Injection::FlashCrowd {
+                    at_secs: 4,
+                    ramp_secs: 2,
+                    peak_mult: 2.5,
+                },
+            ],
+            checks: vec![
+                Check::MinThroughputTps { tps: 100.0 },
+                Check::ThroughputResumesAfter {
+                    after_ms: 4_000,
+                    min_tps: 50.0,
+                },
+                Check::MinCommittedTxs { txs: 10 },
+                Check::MinCompleteBlocks { blocks: 2 },
+                Check::CounterAtLeast {
+                    counter: "zone.stripes_rejected".into(),
+                    min: 1,
+                },
+                Check::CounterZero {
+                    counter: "zone.stripes_rejected".into(),
+                },
+                Check::BanListEngaged,
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_covers_every_variant() {
+        let scenario = every_variant_scenario();
+        let text = scenario.to_json();
+        let back = ScenarioSetup::from_json(&text).expect("parse");
+        assert_eq!(back, scenario);
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn zone_and_megascale_worlds_round_trip() {
+        for world in [
+            World::Zone(ZoneWorld::default()),
+            World::MegaScale(MegaScaleSetup {
+                zones: 3,
+                zone_size: 10,
+                ..Default::default()
+            }),
+        ] {
+            let scenario = ScenarioSetup {
+                name: "w".into(),
+                world,
+                injections: vec![],
+                checks: vec![],
+            };
+            let back = ScenarioSetup::from_json(&scenario.to_json()).expect("parse");
+            assert_eq!(back, scenario);
+        }
+    }
+
+    fn tiny_consensus(duration_secs: u64) -> ThroughputSetup {
+        ThroughputSetup {
+            protocol: Protocol::PPbft,
+            n_c: 4,
+            clients: 4,
+            offered_tps: 1_000.0,
+            env: NetEnv::Lan,
+            duration_secs,
+            warmup_secs: 1,
+            seed: 77,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn outage_scenario_commits_resume_after_revival() {
+        let report = ScenarioSetup {
+            name: "unit_outage".into(),
+            world: World::Consensus(tiny_consensus(6)),
+            injections: vec![Injection::Outage {
+                nodes: vec![3],
+                from_ms: 2_000,
+                until_ms: 4_000,
+            }],
+            checks: vec![
+                Check::ThroughputResumesAfter {
+                    after_ms: 4_000,
+                    min_tps: 100.0,
+                },
+                Check::MinCommittedTxs { txs: 500 },
+            ],
+        }
+        .run_report("scenario_unit_outage");
+        assert_eq!(report.meta.get("scenario").unwrap(), "unit_outage");
+        assert_eq!(report.metric("scenario.checks_passed"), Some(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "scenario `unit_fails`")]
+    fn failing_check_panics_with_scenario_name() {
+        ScenarioSetup {
+            name: "unit_fails".into(),
+            world: World::Consensus(tiny_consensus(2)),
+            injections: vec![],
+            checks: vec![Check::MinThroughputTps { tps: 1e9 }],
+        }
+        .run_report("scenario_unit_fails");
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported by this world")]
+    fn unsupported_injection_is_rejected() {
+        ScenarioSetup {
+            name: "unit_bad".into(),
+            world: World::Consensus(tiny_consensus(2)),
+            injections: vec![Injection::ByzantineRelayers {
+                count: 1,
+                fault: StripeFault::Withhold,
+            }],
+            checks: vec![],
+        }
+        .run_report("scenario_unit_bad");
+    }
+
+    #[test]
+    fn equivocation_scenario_engages_the_ban_list() {
+        let report = ScenarioSetup {
+            name: "unit_equiv".into(),
+            world: World::Consensus(tiny_consensus(4)),
+            injections: vec![Injection::EquivocationStorm { producers: vec![3] }],
+            checks: vec![Check::BanListEngaged, Check::MinCommittedTxs { txs: 100 }],
+        }
+        .run_report("scenario_unit_equiv");
+        assert!(report.counter_total("ban.hits") >= 1);
+    }
+}

@@ -6,8 +6,8 @@
 
 use predis_consensus::planes::{AckRule, BatchPlane, MicroPlane, PredisPlane};
 use predis_consensus::{
-    ClientCore, ConsMsg, ConsensusConfig, HotStuffNode, PbftNode, Roster, SilentNode,
-    CLIENT_LATENCY,
+    ClientCore, ConsMsg, ConsensusConfig, EquivocatingProducer, HotStuffNode, PbftNode, Roster,
+    SilentNode, CLIENT_LATENCY,
 };
 use predis_sim::prelude::*;
 use predis_sim::RunSummary;
@@ -79,6 +79,11 @@ pub struct FaultSpec {
     /// Committee indices that produce bundles to only `n_c − f − 1` random
     /// peers and never vote (case 2). Only meaningful for Predis planes.
     pub selective: Vec<usize>,
+    /// Committee indices running the §III-E forking attacker
+    /// ([`EquivocatingProducer`]): two conflicting bundles per height, each
+    /// sent to a disjoint half of the committee. Honest Predis planes must
+    /// detect the conflict, gossip the proof, and ban the producer.
+    pub equivocators: Vec<usize>,
 }
 
 impl FaultSpec {
@@ -89,7 +94,9 @@ impl FaultSpec {
 
     /// True if the committee index is faulty in any way.
     pub fn is_faulty(&self, idx: usize) -> bool {
-        self.silent.contains(&idx) || self.selective.contains(&idx)
+        self.silent.contains(&idx)
+            || self.selective.contains(&idx)
+            || self.equivocators.contains(&idx)
     }
 }
 
@@ -106,7 +113,7 @@ impl FaultSpec {
 ///     n_c: 8,
 ///     offered_tps: 40_000.0,
 ///     env: NetEnv::Lan,
-///     faults: FaultSpec { silent: vec![6, 7], selective: vec![] },
+///     faults: FaultSpec { silent: vec![6, 7], ..FaultSpec::none() },
 ///     ..Default::default()
 /// }
 /// .run();
@@ -130,6 +137,11 @@ pub struct ThroughputSetup {
     pub batch_size: usize,
     /// LAN or WAN.
     pub env: NetEnv,
+    /// Random propagation jitter bound, milliseconds (0 = deterministic
+    /// propagation, the default). Nonzero jitter also forces the engine's
+    /// sequential scheduler, so jittered runs stay bit-identical across
+    /// `PREDIS_SIM_THREADS` settings.
+    pub jitter_ms: u64,
     /// Upload bandwidth per node, Mbps (paper: 100).
     pub mbps: u64,
     /// Measurement horizon (simulated seconds).
@@ -158,6 +170,7 @@ impl Default for ThroughputSetup {
             bundle_size: 50,
             batch_size: 800,
             env: NetEnv::Wan,
+            jitter_ms: 0,
             mbps: 100,
             duration_secs: 15,
             warmup_secs: 5,
@@ -186,10 +199,22 @@ impl ThroughputSetup {
     /// environment (`PREDIS_PROFILE`, `PREDIS_TRACE_DIR`) for a run named
     /// `name` before running. Pass `""` to skip the env switches.
     pub fn run_sim_named(&self, name: &str) -> Sim<ConsMsg> {
+        let mut sim = self.build_sim_named(name);
+        sim.run_until(SimTime::from_secs(self.duration_secs));
+        sim.finish_observability();
+        sim
+    }
+
+    /// Builds the fully wired simulation without running it, so callers
+    /// (the scenario runner) can install a [`predis_sim::FaultPlan`] or
+    /// other engine-level configuration between construction and
+    /// `run_until`. [`ThroughputSetup::run_sim_named`] is exactly this plus
+    /// the run to `duration_secs` and the observability flush.
+    pub fn build_sim_named(&self, name: &str) -> Sim<ConsMsg> {
         // Pool workers are reused between grid points; zero the thread-local
         // payload counters so this run's report sees only its own clones.
         payload_stats::reset();
-        let network = Network::new(self.env.latency(), SimDuration::ZERO);
+        let network = Network::new(self.env.latency(), SimDuration::from_millis(self.jitter_ms));
         let mut sim: Sim<ConsMsg> = Sim::new(self.seed, network);
         // Entry-replica submission spreads clients over the committee, so
         // every replica needs at least one client to have bundles to pack.
@@ -254,8 +279,6 @@ impl ThroughputSetup {
         if !name.is_empty() {
             sim.apply_observability_env(name);
         }
-        sim.run_until(SimTime::from_secs(self.duration_secs));
-        sim.finish_observability();
         sim
     }
 
@@ -267,6 +290,13 @@ impl ThroughputSetup {
     ) -> Box<dyn Actor<ConsMsg>> {
         if self.faults.silent.contains(&me) {
             return Box::new(SilentNode);
+        }
+        if self.faults.equivocators.contains(&me) {
+            return Box::new(ActorOf::<_, ConsMsg>::new(EquivocatingProducer::new(
+                me,
+                roster.clone(),
+                cfg.clone(),
+            )));
         }
         let selective = self.faults.selective.contains(&me);
         let subset = self.n_c - roster.f() - 1;

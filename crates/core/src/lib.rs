@@ -42,8 +42,8 @@ pub mod model;
 pub mod msg;
 
 pub use experiments::{
-    DistMode, FaultSpec, NetEnv, PropagationResult, PropagationSetup, Protocol, ThroughputSetup,
-    Topology, TopologyResult, TopologySetup,
+    Check, DistMode, FaultSpec, Injection, NetEnv, PropagationResult, PropagationSetup, Protocol,
+    ScenarioSetup, ThroughputSetup, Topology, TopologyResult, TopologySetup, World, ZoneWorld,
 };
 pub use msg::FlowMsg;
 

@@ -75,6 +75,7 @@ mod tests {
             stripe: 0,
             k: 3,
             bytes: 100,
+            corrupt: false,
         };
         let wrapped = <FlowMsg as Codec<NetMsg>>::wrap(n.clone());
         assert_eq!(wrapped.wire_size(), n.wire_size());

@@ -6,14 +6,18 @@
 //! voters reject Predis blocks referencing them, so an equivocator's
 //! bundles stop entering blocks network-wide.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use predis_types::{ChainId, ConflictProof};
 
 /// Tracks banned bundle producers together with the evidence.
+///
+/// Ordered storage on purpose: anything that iterates the ban list (gossip
+/// re-broadcast, report dumps) must see a deterministic order, or run
+/// fingerprints would depend on hash-map layout.
 #[derive(Debug, Clone, Default)]
 pub struct BanList {
-    banned: HashMap<ChainId, ConflictProof>,
+    banned: BTreeMap<ChainId, ConflictProof>,
 }
 
 impl BanList {

@@ -37,4 +37,4 @@ pub use experiment::{PropagationResult, PropagationSetup, Topology};
 pub use msg::{net_timers, BundleId, NetMsg, RelayerInfo};
 pub use random::{FegConfig, FegNode, RandomSource};
 pub use star::{BlockSink, StarSource};
-pub use zone::{MultiZoneNode, SubCap, SyntheticLoad, ZoneConfig, ZoneSource};
+pub use zone::{MultiZoneNode, StripeFault, SubCap, SyntheticLoad, ZoneConfig, ZoneSource};

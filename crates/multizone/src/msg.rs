@@ -42,6 +42,11 @@ pub enum NetMsg {
         k: u32,
         /// Stripe payload bytes.
         bytes: u32,
+        /// Modelling flag for Byzantine relayers: the payload does not match
+        /// its Merkle proof, so an honest receiver's integrity check fails
+        /// and the stripe is rejected. Not a wire field — a real corrupted
+        /// stripe is byte-for-byte the same size.
+        corrupt: bool,
     },
     /// A Predis block announcement: constant-size metadata from which a
     /// node that holds the bundles reconstructs the block.
@@ -224,6 +229,7 @@ mod tests {
             stripe: 0,
             k: 6,
             bytes: 4267,
+            corrupt: false,
         };
         assert!(s.wire_size() > 4267);
         assert!(s.wire_size() < 4267 + 300);
@@ -252,6 +258,7 @@ mod tests {
                     stripe: 0,
                     k: 6,
                     bytes: 4267,
+                    corrupt: false,
                 },
                 4439,
             ),

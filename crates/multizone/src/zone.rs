@@ -61,6 +61,20 @@ impl ZoneConfig {
     }
 }
 
+/// Byzantine dissemination behaviour of a relayer toward its subscription
+/// children (the Raptr attack shapes). Honest nodes defend with the
+/// integrity check (corrupt stripes are rejected and counted as
+/// `zone.stripes_rejected`) and the §IV-E silent-provider reroute — either
+/// way the faulty provider eventually looks silent and is replaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum StripeFault {
+    /// Forward nothing down the tree: children silently starve.
+    Withhold,
+    /// Forward stripes whose payload does not match the Merkle proof:
+    /// children reject them on the integrity check.
+    Corrupt,
+}
+
 /// Synthetic block/bundle generation for propagation experiments: the data
 /// of one `block_bytes`-sized block is produced as `bundles_per_block`
 /// bundles spread evenly over `interval`, matching Predis's continuous
@@ -212,6 +226,7 @@ impl ZoneSource {
             stripe: self.idx,
             k,
             bytes: stripe_bytes,
+            corrupt: false,
         };
         let fanout = self.subscribers.len() as u64;
         ctx.multicast(self.subscribers.iter().copied(), msg);
@@ -445,6 +460,8 @@ pub struct MultiZoneNode {
     backup_peers: Vec<NodeId>,
     /// Leave the network at this time, if set (churn experiments).
     leave_at: Option<SimTime>,
+    /// Byzantine forwarding behaviour toward children (None = honest).
+    byz: Option<StripeFault>,
 
     // ---- stripe routing (fixed n_c-length tables; iteration — and thus
     // message emission — is ascending by stripe, as the BTreeMaps were) ----
@@ -528,6 +545,7 @@ impl MultiZoneNode {
             roster,
             backup_peers: Vec::new(),
             leave_at: None,
+            byz: None,
             upstream: StripeTable::new(n_c),
             desired: StripeSet::from_iter(0..n_c as u32),
             pending_sub: StripeTable::new(n_c),
@@ -558,6 +576,13 @@ impl MultiZoneNode {
     /// Schedules a voluntary departure (churn experiments).
     pub fn leaving_at(mut self, at: SimTime) -> MultiZoneNode {
         self.leave_at = Some(at);
+        self
+    }
+
+    /// Makes this node a Byzantine relayer: it participates normally as a
+    /// subscriber but attacks its own children with the given fault.
+    pub fn with_stripe_fault(mut self, fault: StripeFault) -> MultiZoneNode {
+        self.byz = Some(fault);
         self
     }
 
@@ -1141,9 +1166,22 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
                 stripe,
                 k,
                 bytes,
+                corrupt,
             } => {
                 if stripe as usize >= self.cfg.n_c {
                     return; // unreachable with honest peers
+                }
+                if corrupt {
+                    // Integrity check: the payload does not verify against
+                    // the Merkle proof in the bundle header. Reject it
+                    // *before* touching `last_data`, so the corrupting
+                    // provider looks silent on this stripe and the §IV-E
+                    // reroute replaces it; the bundle itself recovers via
+                    // the overdue-pull path.
+                    let me = ctx.node().index() as u64;
+                    ctx.metrics()
+                        .incr_labeled("zone.stripes_rejected", Labels::node(me), 1);
+                    return;
                 }
                 let now = ctx.now();
                 self.last_data.insert(stripe, now);
@@ -1163,18 +1201,27 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
                 };
                 // Forward down the subscription tree. The child list is
                 // borrowed, not cloned: `self.children` and `ctx` are
-                // disjoint, and multicast takes any NodeId iterator.
+                // disjoint, and multicast takes any NodeId iterator. A
+                // Byzantine relayer withholds the forward entirely or
+                // poisons it; it still decodes for itself either way.
                 let kids = &self.children[stripe as usize];
-                let fanout = kids.len() as u64;
-                ctx.multicast(
-                    kids.iter().copied(),
-                    NetMsg::Stripe {
-                        bundle,
-                        stripe,
-                        k,
-                        bytes,
-                    },
-                );
+                let fanout = match self.byz {
+                    Some(StripeFault::Withhold) => 0,
+                    byz => {
+                        let fanout = kids.len() as u64;
+                        ctx.multicast(
+                            kids.iter().copied(),
+                            NetMsg::Stripe {
+                                bundle,
+                                stripe,
+                                k,
+                                bytes,
+                                corrupt: byz == Some(StripeFault::Corrupt),
+                            },
+                        );
+                        fanout
+                    }
+                };
                 if fanout > 0 {
                     // Interned at attach (parent metrics, pre-run), so the
                     // handle stays valid across parallel-engine shard
@@ -1749,5 +1796,169 @@ mod tests {
         let p = sim.actor_as::<Probe>(NodeId(1)).unwrap();
         assert_eq!(p.accepted, vec![0]);
         assert_eq!(p.rejected, vec![1, 2]);
+    }
+
+    /// Builds the Byzantine-relayer victim topology: four loaded sources,
+    /// one early-joining relayer with the given fault, one honest child
+    /// that bootstraps through it. Returns the sim plus (relayer, child).
+    fn byz_world(fault: Option<StripeFault>, seed: u64) -> (Sim<NetMsg>, NodeId, NodeId) {
+        let network = Network::new(LatencyModel::lan(), SimDuration::ZERO);
+        let mut sim: Sim<NetMsg> = Sim::new(seed, network);
+        let cons: Vec<NodeId> = vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)];
+        let cfg = zcfg(cons.clone());
+        let mut load = SyntheticLoad::for_block_size(25_600, 1, SimDuration::from_millis(500));
+        load.blocks = 2;
+        load.start_at = SimDuration::from_secs(2);
+        for i in 0..4u32 {
+            sim.add_node(
+                LinkConfig::paper_default(),
+                Box::new(ActorOf::<_, NetMsg>::new(ZoneSource::new(
+                    i,
+                    cfg.clone(),
+                    Some(load.clone()),
+                ))),
+                SimTime::ZERO,
+            );
+        }
+        let relayer = NodeId(4);
+        let child = NodeId(5);
+        let mut r = MultiZoneNode::new(cfg.clone(), 0, vec![child]);
+        if let Some(f) = fault {
+            r = r.with_stripe_fault(f);
+        }
+        sim.add_node(
+            LinkConfig::paper_default(),
+            Box::new(ActorOf::<_, NetMsg>::new(r)),
+            SimTime::ZERO,
+        );
+        // Joins after the relayer has claimed every stripe, so its feeds
+        // all run through the Byzantine node at first.
+        sim.add_node(
+            LinkConfig::paper_default(),
+            Box::new(ActorOf::<_, NetMsg>::new(MultiZoneNode::new(
+                cfg.clone(),
+                1,
+                vec![relayer],
+            ))),
+            SimTime::from_millis(600),
+        );
+        (sim, relayer, child)
+    }
+
+    fn zone_core(sim: &Sim<NetMsg>, node: NodeId) -> &MultiZoneNode {
+        sim.actor_as::<ActorOf<MultiZoneNode, NetMsg>>(node)
+            .unwrap()
+            .core()
+    }
+
+    /// A corrupting relayer's stripes fail the integrity check: the child
+    /// counts the rejections, never decodes from poisoned data, and still
+    /// completes every block through re-fetch — no deadlocked slot.
+    #[test]
+    fn corrupt_stripes_are_rejected_and_blocks_refetched() {
+        let (mut sim, relayer, child) = byz_world(Some(StripeFault::Corrupt), 21);
+        sim.run_until(SimTime::from_secs(8));
+        let rejected = sim
+            .metrics()
+            .labeled_counter("zone.stripes_rejected", Labels::node(child.index() as u64));
+        assert!(rejected > 0, "child saw no corrupt stripes to reject");
+        // The Byzantine node itself decodes fine (it receives honest data).
+        assert_eq!(zone_core(&sim, relayer).completed_blocks, 2);
+        // Liveness: the child recovered every block despite the poisoning.
+        let c = zone_core(&sim, child);
+        assert_eq!(c.completed_blocks, 2, "child failed to recover blocks");
+        assert_eq!(c.inflight_blocks(), 0, "a block slot deadlocked");
+        assert!(
+            sim.metrics().counter("zone.bundle_pulls") > 0,
+            "recovery should have gone through the pull path"
+        );
+    }
+
+    /// A withholding relayer forwards nothing: the child starves, reroutes
+    /// off the silent provider, and recovers — again without rejections
+    /// (nothing corrupt ever arrives) or stuck slots.
+    #[test]
+    fn withheld_stripes_starve_then_reroute() {
+        let (mut sim, relayer, child) = byz_world(Some(StripeFault::Withhold), 22);
+        sim.run_until(SimTime::from_secs(8));
+        let rejected = sim
+            .metrics()
+            .labeled_counter("zone.stripes_rejected", Labels::node(child.index() as u64));
+        assert_eq!(rejected, 0, "withholding sends nothing to reject");
+        assert_eq!(zone_core(&sim, relayer).completed_blocks, 2);
+        let c = zone_core(&sim, child);
+        assert_eq!(c.completed_blocks, 2, "child failed to recover blocks");
+        assert_eq!(c.inflight_blocks(), 0, "a block slot deadlocked");
+    }
+
+    /// Control: the same topology with an honest relayer completes without
+    /// a single rejection, so the counter isolates Byzantine behaviour.
+    #[test]
+    fn honest_relayer_causes_no_rejections() {
+        let (mut sim, _, child) = byz_world(None, 23);
+        sim.run_until(SimTime::from_secs(8));
+        assert_eq!(
+            sim.metrics()
+                .labeled_counter("zone.stripes_rejected", Labels::node(child.index() as u64)),
+            0
+        );
+        assert_eq!(zone_core(&sim, child).completed_blocks, 2);
+    }
+
+    /// Retired-ring interaction (PR 8): in the ann-less mode a fully
+    /// decoded block retires its slot; a late honest duplicate is absorbed
+    /// by the ring, while a late *corrupt* stripe is rejected and counted —
+    /// neither resurrects the slot.
+    #[test]
+    fn retired_block_absorbs_duplicates_and_rejects_corrupt() {
+        let network = Network::new(LatencyModel::lan(), SimDuration::ZERO);
+        let mut sim: Sim<NetMsg> = Sim::new(3, network);
+        let mut cfg = zcfg(vec![NodeId(10), NodeId(11), NodeId(12), NodeId(13)]);
+        cfg.retire_unannounced = true;
+        let n = sim.add_node(
+            LinkConfig::paper_default(),
+            Box::new(ActorOf::<_, NetMsg>::new(MultiZoneNode::new(
+                cfg,
+                0,
+                Vec::new(),
+            ))),
+            SimTime::ZERO,
+        );
+        let bundle = BundleId { block: 1, idx: 0 };
+        let stripe = |s: u32, corrupt: bool| NetMsg::Stripe {
+            bundle,
+            stripe: s,
+            k: 3,
+            bytes: 100,
+            corrupt,
+        };
+        let from = NodeId(9); // sender identity is irrelevant to the handler
+        for (i, s) in [0u32, 1, 2, 3].into_iter().enumerate() {
+            sim.inject(
+                n,
+                from,
+                stripe(s, false),
+                SimTime::from_millis(100 + i as u64 * 10),
+            );
+        }
+        sim.run_until(SimTime::from_millis(200));
+        let core = zone_core(&sim, n);
+        assert_eq!(core.inflight_blocks(), 0, "decoded block must retire");
+        // Late honest duplicate: absorbed by the retired ring.
+        sim.inject(n, from, stripe(2, false), SimTime::from_millis(210));
+        // Late corrupt duplicate: rejected before the ring is consulted.
+        sim.inject(n, from, stripe(1, true), SimTime::from_millis(220));
+        sim.run_until(SimTime::from_millis(300));
+        let core = zone_core(&sim, n);
+        assert_eq!(
+            core.inflight_blocks(),
+            0,
+            "a duplicate resurrected the slot"
+        );
+        assert_eq!(
+            sim.metrics()
+                .labeled_counter("zone.stripes_rejected", Labels::node(n.index() as u64)),
+            1
+        );
     }
 }

@@ -64,6 +64,11 @@ pub struct Sim<M> {
     pub(crate) faults: FaultPlan,
     pub(crate) metrics: Metrics,
     pub(crate) halted: Vec<bool>,
+    /// True only when `halted` was set by the fault plan (crash event or
+    /// in-window check), never by a voluntary [`Op::Halt`]. Plan-driven
+    /// revival consults this so it can bring a crashed node back up at the
+    /// revive tick without ever resurrecting a node that chose to leave.
+    pub(crate) crash_halted: Vec<bool>,
     pub(crate) started: Vec<bool>,
     /// Incremented on revival: timers armed in an older epoch are dead.
     pub(crate) epochs: Vec<u32>,
@@ -138,6 +143,7 @@ impl<M: Payload> Sim<M> {
             faults: FaultPlan::none(),
             metrics,
             halted: Vec::new(),
+            crash_halted: Vec::new(),
             started: Vec::new(),
             epochs: Vec::new(),
             timers: Vec::new(),
@@ -258,7 +264,14 @@ impl<M: Payload> Sim<M> {
                         );
                     }
                 }
-                Err(e) => eprintln!("warning: trace capture {} failed: {e}", path.display()),
+                Err(e) => {
+                    // Latched IO failures would otherwise vanish into
+                    // stderr; the counter surfaces them in the run report
+                    // so `bench_all` can warn about silently truncated
+                    // captures.
+                    self.metrics.incr("trace.capture_errors", 1);
+                    eprintln!("warning: trace capture {} failed: {e}", path.display());
+                }
             }
         }
     }
@@ -362,6 +375,7 @@ impl<M: Payload> Sim<M> {
             self.net_rng.gen::<u64>() ^ (id.0 as u64).wrapping_mul(0x2545_f491_4f6c_dd1d);
         self.node_rngs.push(SmallRng::seed_from_u64(node_seed));
         self.halted.push(false);
+        self.crash_halted.push(false);
         self.started.push(false);
         self.epochs.push(0);
         self.timers.push(TimerSlots::new());
@@ -460,21 +474,26 @@ impl<M: Payload> Sim<M> {
             if self.crash_scheduled[idx] {
                 continue;
             }
-            if let Some(t) = self.faults.crash_time(NodeId(idx as u32)) {
-                self.crash_scheduled[idx] = true;
+            let node = NodeId(idx as u32);
+            let windows: Vec<_> = self.faults.crash_windows(node).collect();
+            if windows.is_empty() {
+                continue;
+            }
+            self.crash_scheduled[idx] = true;
+            for (at, until) in windows {
                 let seq = self.next_seq();
                 self.queue.push(Event {
-                    at: t,
+                    at,
                     seq,
-                    node: NodeId(idx as u32),
+                    node,
                     kind: EventKind::Crash,
                 });
-                if let Some(r) = self.faults.revive_time(NodeId(idx as u32)) {
+                if let Some(r) = until {
                     let seq = self.next_seq();
                     self.queue.push(Event {
                         at: r,
                         seq,
-                        node: NodeId(idx as u32),
+                        node,
                         kind: EventKind::Revive,
                     });
                 }
@@ -620,11 +639,33 @@ impl<M: Payload> Sim<M> {
         if let EventKind::Revive = event.kind {
             // Crash-recovery: the node resumes with its state intact; its
             // pre-crash timers belong to the old epoch and are dead, and
-            // the actor's on_start re-arms what it needs.
+            // the actor's on_start re-arms what it needs. A node that
+            // already revived inline (below), or that halted voluntarily
+            // rather than by plan, stays as it is — the bookkeeping event
+            // is a no-op for it.
+            if !self.crash_halted[idx] {
+                return;
+            }
             self.halted[idx] = false;
+            self.crash_halted[idx] = false;
             self.epochs[idx] += 1;
         } else if self.halted[idx] {
-            return;
+            // Revival is plan-driven, not event-driven: the crash window is
+            // `[at, until)`, so a crash-halted node whose window has closed
+            // is up *now*, even when this event's queue position beat the
+            // bookkeeping revive event's. Without this, a deliver staged at
+            // exactly the revive tick with a smaller sequence number would
+            // be silently dropped.
+            if self.crash_halted[idx] && !self.faults.is_crashed(node, self.now) {
+                self.halted[idx] = false;
+                self.crash_halted[idx] = false;
+                self.epochs[idx] += 1;
+                if self.started[idx] {
+                    self.run_on_start(node);
+                }
+            } else {
+                return;
+            }
         }
         match event.kind {
             // A node only participates once its Start event has run; traffic
@@ -633,6 +674,7 @@ impl<M: Payload> Sim<M> {
             _ if !self.started[idx] => return,
             EventKind::Crash => {
                 self.halted[idx] = true;
+                self.crash_halted[idx] = true;
                 return;
             }
             EventKind::Timer { .. } if !timer_live => return,
@@ -641,6 +683,7 @@ impl<M: Payload> Sim<M> {
         }
         if self.faults.is_crashed(node, self.now) {
             self.halted[idx] = true;
+            self.crash_halted[idx] = true;
             return;
         }
 
@@ -704,6 +747,35 @@ impl<M: Payload> Sim<M> {
         self.actors[idx] = Some(actor);
         self.apply_ops(node, &mut ops);
         // Return the (now empty) buffer to the pool, keeping its capacity.
+        self.ops_scratch = ops;
+    }
+
+    /// Runs the actor's `on_start` outside a Start/Revive event — the
+    /// inline-revival path when a crash window closes before the
+    /// bookkeeping revive event has dispatched.
+    fn run_on_start(&mut self, node: NodeId) {
+        let idx = node.index();
+        let mut actor = match self.actors[idx].take() {
+            Some(a) => a,
+            None => return,
+        };
+        let mut ops = std::mem::take(&mut self.ops_scratch);
+        debug_assert!(ops.is_empty());
+        {
+            let mut ctx = Context {
+                now: self.now,
+                node,
+                node_count: self.actors.len() as u32,
+                link_free_at: self.network.link_free_at(node),
+                timers: &mut self.timers[idx],
+                ops: &mut ops,
+                rng: &mut self.node_rngs[idx],
+                metrics: &mut self.metrics,
+            };
+            actor.on_start(&mut ctx);
+        }
+        self.actors[idx] = Some(actor);
+        self.apply_ops(node, &mut ops);
         self.ops_scratch = ops;
     }
 
@@ -1085,6 +1157,110 @@ mod tests {
         assert_eq!(after, before + 1, "exactly the post-revival ping arrives");
     }
 
+    /// Counts starts and messages; never re-arms anything.
+    #[derive(Debug, Default)]
+    struct Counter {
+        starts: u32,
+        messages: u32,
+    }
+    impl Actor<Msg> for Counter {
+        fn on_start(&mut self, _: &mut Context<'_, Msg>) {
+            self.starts += 1;
+        }
+        fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {
+            self.messages += 1;
+        }
+    }
+
+    #[test]
+    fn deliver_at_revive_tick_is_processed_despite_earlier_seq() {
+        let net = Network::new(LatencyModel::lan(), SimDuration::ZERO);
+        let mut sim: Sim<Msg> = Sim::new(8, net);
+        let n = sim.add_node(
+            LinkConfig::paper_default(),
+            Box::new(Counter::default()),
+            SimTime::ZERO,
+        );
+        let mut faults = FaultPlan::none();
+        faults.crash_for(n, SimTime::from_secs(2), SimTime::from_secs(3));
+        sim.set_faults(faults);
+        // Injected before the first run, so its sequence number precedes the
+        // bookkeeping revive event's — the scheduler pops it first at t=3s.
+        sim.inject(n, n, Msg::Ping(1), SimTime::from_secs(3));
+        sim.run_until(SimTime::from_secs(4));
+        let c = sim.actor_as::<Counter>(n).unwrap();
+        assert_eq!(
+            c.messages, 1,
+            "a deliver at exactly the revive tick must be processed"
+        );
+        // Inline revival ran on_start once; the later bookkeeping revive
+        // event must not run it again.
+        assert_eq!(c.starts, 2, "initial start + exactly one revival");
+    }
+
+    #[test]
+    fn voluntary_halt_is_not_resurrected_by_revive() {
+        #[derive(Debug, Default)]
+        struct Leaver {
+            starts: u32,
+            fired: u32,
+        }
+        impl Actor<Msg> for Leaver {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                self.starts += 1;
+                ctx.set_timer(SimDuration::from_secs(1), TimerTag::of_kind(1));
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _: TimerTag) {
+                self.fired += 1;
+                ctx.halt(); // leaves the network for good
+            }
+        }
+        let net = Network::new(LatencyModel::lan(), SimDuration::ZERO);
+        let mut sim: Sim<Msg> = Sim::new(9, net);
+        let n = sim.add_node(
+            LinkConfig::paper_default(),
+            Box::new(Leaver::default()),
+            SimTime::ZERO,
+        );
+        // A crash window scheduled after the voluntary departure: its revive
+        // event must not bring the node back.
+        let mut faults = FaultPlan::none();
+        faults.crash_for(n, SimTime::from_secs(2), SimTime::from_secs(3));
+        sim.set_faults(faults);
+        sim.inject(n, n, Msg::Ping(1), SimTime::from_millis(3500));
+        sim.run_until(SimTime::from_secs(5));
+        let l = sim.actor_as::<Leaver>(n).unwrap();
+        assert_eq!(l.starts, 1, "revive must not re-start a voluntary leaver");
+        assert_eq!(l.fired, 1);
+    }
+
+    #[test]
+    fn churn_windows_crash_and_revive_repeatedly() {
+        let net = Network::new(LatencyModel::lan(), SimDuration::ZERO);
+        let mut sim: Sim<Msg> = Sim::new(10, net);
+        let n = sim.add_node(
+            LinkConfig::paper_default(),
+            Box::new(Ticker::with_period(SimDuration::from_millis(100))),
+            SimTime::ZERO,
+        );
+        let mut faults = FaultPlan::none();
+        faults
+            .crash_for(n, SimTime::from_secs(1), SimTime::from_secs(2))
+            .crash_for(n, SimTime::from_secs(3), SimTime::from_secs(4));
+        sim.set_faults(faults);
+        sim.run_until(SimTime::from_secs(5));
+        let t = sim.actor_as::<Ticker>(n).unwrap();
+        // Initial start plus one revival per window.
+        assert_eq!(t.starts, 3);
+        // ~10 fires per live second, three live seconds, one chain.
+        assert!(
+            (26..=32).contains(&t.fired),
+            "expected ~30 fires across two outages, got {}",
+            t.fired
+        );
+    }
+
     #[test]
     fn sends_to_unknown_nodes_account_full_drop_metrics() {
         #[derive(Debug)]
@@ -1219,6 +1395,30 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    #[test]
+    fn capture_io_errors_surface_as_a_counter() {
+        // /dev/full accepts the open but fails every flushed write with
+        // ENOSPC — a deterministic stand-in for a disk filling up mid-run.
+        if !std::path::Path::new("/dev/full").exists() {
+            return; // non-Linux dev machine; CI (Linux) always runs this
+        }
+        let mut sim = build(3, 21);
+        sim.enable_capture("/dev/full").expect("open capture");
+        sim.run_until(SimTime::from_secs(1));
+        sim.finish_observability();
+        let report = sim.metrics().run_report("capture_errors");
+        assert_eq!(report.counter_total("trace.capture_errors"), 1);
+        // A healthy capture never touches the counter.
+        let dir = std::env::temp_dir().join(format!("predis-engine-ok-{}", std::process::id()));
+        let mut ok = build(3, 21);
+        ok.enable_capture(dir.join("ok.trace.jsonl")).expect("open");
+        ok.run_until(SimTime::from_secs(1));
+        ok.finish_observability();
+        let report = ok.metrics().run_report("capture_ok");
+        assert_eq!(report.counter_total("trace.capture_errors"), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     /// The differential-determinism suite: a chaotic workload (sends,
     /// multicasts, timers, cancels, crashes, revivals, omission loss) run
     /// under the production wheel and the classic global heap must produce
@@ -1308,15 +1508,32 @@ mod tests {
                 sim.add_node(LinkConfig::paper_default(), Box::<Chaos>::default(), start);
             }
             let mut faults = FaultPlan::none();
-            faults.crash_for(
-                NodeId(crash_node % nodes),
-                SimTime::from_millis(500),
-                SimTime::from_millis(1500),
-            );
+            // Two windows on one node: churn, not a single crash-recovery.
+            faults
+                .crash_for(
+                    NodeId(crash_node % nodes),
+                    SimTime::from_millis(500),
+                    SimTime::from_millis(1500),
+                )
+                .crash_for(
+                    NodeId(crash_node % nodes),
+                    SimTime::from_millis(2500),
+                    SimTime::from_millis(3000),
+                );
             if omit {
                 faults.omit_outgoing(NodeId((crash_node + 1) % nodes), 0.1);
             }
             sim.set_faults(faults);
+            // Regression (revive boundary): this deliver lands at exactly the
+            // revive tick and was sequenced *before* the bookkeeping revive
+            // event (crash/revive seqs are allocated at the first run). It
+            // must be processed, and identically by every scheduler.
+            sim.inject(
+                NodeId(crash_node % nodes),
+                NodeId((crash_node + 1) % nodes),
+                Msg::Ping(77),
+                SimTime::from_millis(1500),
+            );
             sim
         }
 

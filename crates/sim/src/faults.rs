@@ -23,14 +23,29 @@ struct LinkBlock {
 }
 
 /// Per-node fault configuration.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 struct NodeFaults {
-    crash_at: Option<SimTime>,
-    /// When a crashed node recovers, if ever.
-    revive_at: Option<SimTime>,
+    /// Crash windows `[at, until)`, kept sorted by start and non-overlapping;
+    /// `until == None` is a fail-stop (never revives) and must be last.
+    /// Multiple windows model churn: a node that crashes and rejoins
+    /// repeatedly over one run.
+    windows: Vec<(SimTime, Option<SimTime>)>,
     /// Probability that any *outgoing* message is silently dropped
     /// (bandwidth is still consumed — the bytes leave the NIC and die).
     omission_prob: f64,
+}
+
+impl NodeFaults {
+    fn push_window(&mut self, at: SimTime, until: Option<SimTime>) {
+        self.windows.push((at, until));
+        self.windows.sort_by_key(|&(a, _)| a);
+        for pair in self.windows.windows(2) {
+            let (_, u0) = pair[0];
+            let (a1, _) = pair[1];
+            let end = u0.expect("a fail-stop crash window must be the node's last");
+            assert!(end <= a1, "crash windows on one node must not overlap");
+        }
+    }
 }
 
 /// A declarative fault plan applied by the engine while scheduling messages.
@@ -69,30 +84,54 @@ impl FaultPlan {
     }
 
     /// Crashes `node` at `at`: it stops sending, receiving and firing timers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fail-stop overlaps or precedes an existing window for
+    /// the node (a fail-stop must be its last window).
     pub fn crash(&mut self, node: NodeId, at: SimTime) -> &mut Self {
-        self.node_mut(node).crash_at = Some(at);
+        self.node_mut(node).push_window(at, None);
         self
     }
 
     /// Crashes `node` during `[at, until)` and revives it afterwards with
     /// its state intact (a crash-recovery fault). The engine re-runs the
     /// actor's `on_start` at revival; timers armed before the crash are
-    /// invalidated.
+    /// invalidated. The boundary is half-open on both sides of the engine:
+    /// a message delivered at exactly `until` is processed normally, no
+    /// matter how its queue position interleaves with the bookkeeping
+    /// revive event. Call repeatedly with disjoint windows to model churn.
     ///
     /// # Panics
     ///
-    /// Panics if `until <= at`.
+    /// Panics if `until <= at` or the window overlaps an existing one.
     pub fn crash_for(&mut self, node: NodeId, at: SimTime, until: SimTime) -> &mut Self {
         assert!(until > at, "revival must come after the crash");
-        let nf = self.node_mut(node);
-        nf.crash_at = Some(at);
-        nf.revive_at = Some(until);
+        self.node_mut(node).push_window(at, Some(until));
         self
     }
 
-    /// The time `node` revives, if a recovery is scheduled.
+    /// The time `node` first revives, if a recovery is scheduled.
     pub fn revive_time(&self, node: NodeId) -> Option<SimTime> {
-        self.nodes.get(node.index()).and_then(|n| n.revive_at)
+        self.nodes
+            .get(node.index())
+            .and_then(|n| n.windows.first())
+            .and_then(|&(_, until)| until)
+    }
+
+    /// All crash windows for `node` as `(at, until)` pairs, sorted by start;
+    /// `until == None` means fail-stop. The engine schedules one
+    /// crash/revive event pair per window.
+    pub fn crash_windows(
+        &self,
+        node: NodeId,
+    ) -> impl Iterator<Item = (SimTime, Option<SimTime>)> + '_ {
+        self.nodes
+            .get(node.index())
+            .map(|n| n.windows.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .copied()
     }
 
     /// Drops each outgoing message of `node` independently with probability
@@ -142,21 +181,24 @@ impl FaultPlan {
         self
     }
 
-    /// The time `node` crashes, if any.
+    /// The time `node` first crashes, if any.
     pub fn crash_time(&self, node: NodeId) -> Option<SimTime> {
-        self.nodes.get(node.index()).and_then(|n| n.crash_at)
+        self.nodes
+            .get(node.index())
+            .and_then(|n| n.windows.first())
+            .map(|&(at, _)| at)
     }
 
-    /// True if the node is crashed at time `at` (inside its crash window).
+    /// True if the node is crashed at time `at` (inside any crash window
+    /// `[at, until)` — the revive tick itself is *up*).
     pub fn is_crashed(&self, node: NodeId, at: SimTime) -> bool {
         let Some(nf) = self.nodes.get(node.index()) else {
             return false;
         };
-        match (nf.crash_at, nf.revive_at) {
-            (Some(c), Some(r)) => at >= c && at < r,
-            (Some(c), None) => at >= c,
-            _ => false,
-        }
+        nf.windows.iter().any(|&(c, r)| match r {
+            Some(r) => at >= c && at < r,
+            None => at >= c,
+        })
     }
 
     /// Decides whether a message sent now from `from` to `to` is delivered.
@@ -267,5 +309,68 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn omission_rejects_bad_probability() {
         FaultPlan::none().omit_outgoing(NodeId(0), 1.5);
+    }
+
+    #[test]
+    fn crash_window_is_half_open() {
+        let mut plan = FaultPlan::none();
+        plan.crash_for(NodeId(2), SimTime::from_secs(4), SimTime::from_secs(6));
+        assert!(!plan.is_crashed(NodeId(2), SimTime::from_millis(3_999)));
+        assert!(plan.is_crashed(NodeId(2), SimTime::from_secs(4)));
+        assert!(plan.is_crashed(NodeId(2), SimTime::from_millis(5_999)));
+        // The revive tick itself is up: `until` is exclusive.
+        assert!(!plan.is_crashed(NodeId(2), SimTime::from_secs(6)));
+        assert_eq!(plan.crash_time(NodeId(2)), Some(SimTime::from_secs(4)));
+        assert_eq!(plan.revive_time(NodeId(2)), Some(SimTime::from_secs(6)));
+    }
+
+    #[test]
+    fn multiple_windows_model_churn() {
+        let mut plan = FaultPlan::none();
+        plan.crash_for(NodeId(1), SimTime::from_secs(2), SimTime::from_secs(3))
+            .crash_for(NodeId(1), SimTime::from_secs(5), SimTime::from_secs(7));
+        assert!(plan.is_crashed(NodeId(1), SimTime::from_secs(2)));
+        assert!(!plan.is_crashed(NodeId(1), SimTime::from_secs(3)));
+        assert!(!plan.is_crashed(NodeId(1), SimTime::from_secs(4)));
+        assert!(plan.is_crashed(NodeId(1), SimTime::from_secs(6)));
+        assert!(!plan.is_crashed(NodeId(1), SimTime::from_secs(7)));
+        let windows: Vec<_> = plan.crash_windows(NodeId(1)).collect();
+        assert_eq!(
+            windows,
+            vec![
+                (SimTime::from_secs(2), Some(SimTime::from_secs(3))),
+                (SimTime::from_secs(5), Some(SimTime::from_secs(7))),
+            ]
+        );
+        // Windows sort regardless of insertion order.
+        let mut rev = FaultPlan::none();
+        rev.crash_for(NodeId(0), SimTime::from_secs(5), SimTime::from_secs(7))
+            .crash_for(NodeId(0), SimTime::from_secs(2), SimTime::from_secs(3));
+        assert_eq!(rev.crash_time(NodeId(0)), Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn final_window_may_be_fail_stop() {
+        let mut plan = FaultPlan::none();
+        plan.crash_for(NodeId(3), SimTime::from_secs(1), SimTime::from_secs(2))
+            .crash(NodeId(3), SimTime::from_secs(10));
+        assert!(!plan.is_crashed(NodeId(3), SimTime::from_secs(5)));
+        assert!(plan.is_crashed(NodeId(3), SimTime::from_secs(100)));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_windows_are_rejected() {
+        FaultPlan::none()
+            .crash_for(NodeId(0), SimTime::from_secs(1), SimTime::from_secs(5))
+            .crash_for(NodeId(0), SimTime::from_secs(4), SimTime::from_secs(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "fail-stop")]
+    fn window_after_fail_stop_is_rejected() {
+        FaultPlan::none()
+            .crash(NodeId(0), SimTime::from_secs(1))
+            .crash_for(NodeId(0), SimTime::from_secs(4), SimTime::from_secs(6));
     }
 }

@@ -122,6 +122,9 @@ struct Shard<M> {
     actors: Vec<Option<Box<dyn Actor<M>>>>,
     rngs: Vec<SmallRng>,
     halted: Vec<bool>,
+    /// Mirror of `Sim::crash_halted`: plan-driven halts only, so inline
+    /// revival never resurrects a voluntary `Op::Halt`.
+    crash_halted: Vec<bool>,
     started: Vec<bool>,
     epochs: Vec<u32>,
     timers: Vec<TimerSlots>,
@@ -184,21 +187,44 @@ impl<M: Payload> Shard<M> {
         });
         let node = event.node;
         let idx = self.local[node.index()] as usize;
+        // Effects emitted from here on (including an inline revival's
+        // `on_start` ops) belong to this log entry, so the barrier replays
+        // them inside this event's slot.
+        let effects_before = self.effects.len();
         let timer_live = match event.kind {
             EventKind::Timer { id, .. } => self.timers[idx].resolve(id),
             _ => true,
         };
         if let EventKind::Revive = event.kind {
+            if !self.crash_halted[idx] {
+                return;
+            }
             self.halted[idx] = false;
+            self.crash_halted[idx] = false;
             self.epochs[idx] += 1;
         } else if self.halted[idx] {
-            return;
+            // Plan-driven revival, exactly as in the sequential engine: the
+            // window `[at, until)` has closed, so the node is up at `until`
+            // regardless of how this event's seq interleaves with the
+            // bookkeeping revive event's.
+            if self.crash_halted[idx] && !self.faults.is_crashed(node, event.at) {
+                self.halted[idx] = false;
+                self.crash_halted[idx] = false;
+                self.epochs[idx] += 1;
+                if self.started[idx] {
+                    self.run_on_start(event.at, node);
+                    self.log[entry].effects = (self.effects.len() - effects_before) as u32;
+                }
+            } else {
+                return;
+            }
         }
         match event.kind {
             EventKind::Start => self.started[idx] = true,
             _ if !self.started[idx] => return,
             EventKind::Crash => {
                 self.halted[idx] = true;
+                self.crash_halted[idx] = true;
                 return;
             }
             EventKind::Timer { .. } if !timer_live => return,
@@ -207,6 +233,7 @@ impl<M: Payload> Shard<M> {
         }
         if self.faults.is_crashed(node, event.at) {
             self.halted[idx] = true;
+            self.crash_halted[idx] = true;
             return;
         }
         match &event.kind {
@@ -248,9 +275,35 @@ impl<M: Payload> Shard<M> {
             }
         }
         self.actors[idx] = Some(actor);
-        let effects_before = self.effects.len();
         self.apply_ops(event.at, node, &mut ops);
         self.log[entry].effects = (self.effects.len() - effects_before) as u32;
+        self.ops_scratch = ops;
+    }
+
+    /// Partition-local twin of `Sim::run_on_start` (inline revival).
+    fn run_on_start(&mut self, at: SimTime, node: NodeId) {
+        let idx = self.local[node.index()] as usize;
+        let mut actor = match self.actors[idx].take() {
+            Some(a) => a,
+            None => return,
+        };
+        let mut ops = std::mem::take(&mut self.ops_scratch);
+        debug_assert!(ops.is_empty());
+        {
+            let mut ctx = Context {
+                now: at,
+                node,
+                node_count: self.node_count_total,
+                link_free_at: self.network.link_free_at(node),
+                timers: &mut self.timers[idx],
+                ops: &mut ops,
+                rng: &mut self.rngs[idx],
+                metrics: &mut self.metrics,
+            };
+            actor.on_start(&mut ctx);
+        }
+        self.actors[idx] = Some(actor);
+        self.apply_ops(at, node, &mut ops);
         self.ops_scratch = ops;
     }
 
@@ -518,6 +571,7 @@ pub(crate) fn run_until_parallel<M: Payload>(sim: &mut Sim<M>, horizon: SimTime)
             actors: Vec::with_capacity(nodes.len()),
             rngs: Vec::with_capacity(nodes.len()),
             halted: Vec::with_capacity(nodes.len()),
+            crash_halted: Vec::with_capacity(nodes.len()),
             started: Vec::with_capacity(nodes.len()),
             epochs: Vec::with_capacity(nodes.len()),
             timers: Vec::with_capacity(nodes.len()),
@@ -547,6 +601,7 @@ pub(crate) fn run_until_parallel<M: Payload>(sim: &mut Sim<M>, horizon: SimTime)
                 SmallRng::seed_from_u64(0),
             ));
             shard.halted.push(sim.halted[g]);
+            shard.crash_halted.push(sim.crash_halted[g]);
             shard.started.push(sim.started[g]);
             shard.epochs.push(sim.epochs[g]);
             shard
@@ -618,6 +673,7 @@ pub(crate) fn run_until_parallel<M: Payload>(sim: &mut Sim<M>, horizon: SimTime)
             sim.actors[g] = shard.actors[i].take();
             std::mem::swap(&mut sim.node_rngs[g], &mut shard.rngs[i]);
             sim.halted[g] = shard.halted[i];
+            sim.crash_halted[g] = shard.crash_halted[i];
             sim.started[g] = shard.started[i];
             sim.epochs[g] = shard.epochs[i];
             std::mem::swap(&mut sim.timers[g], &mut shard.timers[i]);
@@ -874,12 +930,28 @@ mod tests {
             );
         }
         let mut faults = FaultPlan::none();
-        faults.crash_for(
+        // Two windows on one node: churn, not a single crash-recovery.
+        faults
+            .crash_for(
+                NodeId(crash_node % nodes),
+                SimTime::from_millis(500),
+                SimTime::from_millis(1500),
+            )
+            .crash_for(
+                NodeId(crash_node % nodes),
+                SimTime::from_millis(2500),
+                SimTime::from_millis(3000),
+            );
+        sim.set_faults(faults);
+        // Regression (revive boundary): a deliver at exactly the revive tick
+        // sequenced before the bookkeeping revive event must be processed,
+        // identically at every thread count.
+        sim.inject(
             NodeId(crash_node % nodes),
-            SimTime::from_millis(500),
+            NodeId((crash_node + 1) % nodes),
+            Msg::Ping(77),
             SimTime::from_millis(1500),
         );
-        sim.set_faults(faults);
         sim
     }
 
@@ -1028,6 +1100,29 @@ mod tests {
         let seq = build(1);
         assert_eq!(par.threads_used(), 2);
         assert_equivalent(&par, &seq);
+    }
+
+    /// The revive-boundary regression under partitioning: the crashed
+    /// node's partition revives it inline when the deliver at the revive
+    /// tick pops before the bookkeeping revive event, and the merged
+    /// stream must still be byte-identical to the sequential engine's.
+    #[test]
+    fn deliver_at_revive_tick_is_thread_count_invariant() {
+        let build = |threads: usize| {
+            let mut sim = chaos_sim(17, 6, 2, false, threads);
+            sim.set_partition_hint(vec![
+                vec![NodeId(0), NodeId(1), NodeId(2)],
+                vec![NodeId(3), NodeId(4), NodeId(5)],
+            ]);
+            sim.run_until(SimTime::from_secs(4));
+            sim
+        };
+        let par = build(2);
+        let eight = build(8);
+        let seq = build(1);
+        assert_eq!(par.threads_used(), 2);
+        assert_equivalent(&par, &seq);
+        assert_equivalent(&eight, &seq);
     }
 
     /// More threads than partitions: a hint that globs every node into one

@@ -237,6 +237,21 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_stripe_reconstructions_fail_verification() {
+        // Erasure-decoding with a corrupted stripe yields a byte-level
+        // different tx vector — reordered, truncated, or mutated — and any
+        // such difference moves the Merkle root off `header.tx_root`.
+        let good = bundle(0, 1, Hash::ZERO, 0);
+        assert!(good.verify());
+        let mut reordered = good.clone();
+        reordered.txs.swap(0, 1);
+        assert!(!reordered.verify());
+        let mut truncated = good.clone();
+        truncated.txs.pop();
+        assert!(!truncated.verify());
+    }
+
+    #[test]
     fn tampered_header_fails_signature() {
         let mut b = bundle(0, 1, Hash::ZERO, 0);
         b.header.height = Height(2);

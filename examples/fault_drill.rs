@@ -37,7 +37,7 @@ fn main() {
     let silent = ThroughputSetup {
         faults: FaultSpec {
             silent: vec![6, 7],
-            selective: vec![],
+            ..FaultSpec::none()
         },
         ..base.clone()
     }
@@ -50,8 +50,8 @@ fn main() {
     );
     let selective = ThroughputSetup {
         faults: FaultSpec {
-            silent: vec![],
             selective: vec![6, 7],
+            ..FaultSpec::none()
         },
         ..base
     }

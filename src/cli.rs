@@ -229,9 +229,11 @@ fn cmd_throughput(flags: &Flags) -> Result<String, CliError> {
         faults: FaultSpec {
             silent: flags.num_list("silent")?,
             selective: flags.num_list("selective")?,
+            ..FaultSpec::none()
         },
         per_node_mbps: flags.num_list("per-node-mbps")?,
         pipeline: flags.num("pipeline", 8usize)?,
+        ..Default::default()
     };
     if setup.n_c < 1 {
         return err("--nc must be at least 1");
