@@ -25,18 +25,26 @@ use crate::sweep::{Runner, SweepOutcome, SweepPoint};
 /// plane (`scenario_*` runs), whose entries may legitimately measure no
 /// client latency (p50/p99 = 0) — see [`BenchArtifact::diff`]'s
 /// zero-baseline rules.
-pub const BENCH_SCHEMA_VERSION: u64 = 9;
+///
+/// Version 10 adds `engine.windows`: the number of lockstep window barriers
+/// the parallel engine crossed (0 when the run was sequential). Like the
+/// rest of the `engine` block it records *how* the run executed, not what
+/// it computed, so it is excluded from determinism comparisons — the
+/// adaptive window policy legitimately crosses far fewer barriers than the
+/// fixed-stride policy while dispatching the identical event stream.
+pub const BENCH_SCHEMA_VERSION: u64 = 10;
 
 /// Oldest schema version [`BenchArtifact::from_json`] still reads. Version 2
 /// artifacts lack the `payload_clones` field, versions before 5 lack the
 /// nested `perf` block, versions before 6 lack the `fingerprint` field,
 /// versions before 7 lack the `engine` block (threads / per-partition event
-/// counts), and versions before 8 lack the `mem` block (peak actor
-/// footprint). Missing fields default on read (0 / empty / 1 thread), so an
-/// old baseline still diffs against a new run.
+/// counts), versions before 8 lack the `mem` block (peak actor footprint),
+/// and versions before 10 lack `engine.windows` (barrier count). Missing
+/// fields default on read (0 / empty / 1 thread), so an old baseline still
+/// diffs against a new run.
 pub const BENCH_SCHEMA_MIN_SUPPORTED: u64 = 2;
 
-/// The default artifact file name, `BENCH_9.json`.
+/// The default artifact file name, `BENCH_10.json`.
 pub fn bench_file_name() -> String {
     format!("BENCH_{BENCH_SCHEMA_VERSION}.json")
 }
@@ -96,6 +104,13 @@ pub struct BenchEntry {
     /// Load-balance diagnostics only — excluded from determinism
     /// comparisons for the same reason as `threads`.
     pub partition_events: Vec<u64>,
+    /// Lockstep window barriers the parallel engine crossed over the run
+    /// (`engine.windows` meta; 0 when the run executed sequentially or the
+    /// artifact predates schema 10). Execution-strategy telemetry like
+    /// `threads` — the adaptive window policy's whole point is to shrink
+    /// this number without changing the event stream — so it is excluded
+    /// from [`BenchArtifact::identical_modulo_wall`].
+    pub windows: u64,
     /// Peak Σ `Actor::approx_bytes` over all live actors
     /// (`mem.resident_bytes` meta; 0 for pre-v8 artifacts). A footprint
     /// *estimate* — capacities, not live bytes — so it is excluded from
@@ -183,6 +198,11 @@ impl BenchEntry {
                 .get("engine.partition_events")
                 .map(|s| s.split(',').filter_map(|t| t.parse().ok()).collect())
                 .unwrap_or_default(),
+            windows: report
+                .meta
+                .get("engine.windows")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0),
             mem_resident_bytes: report
                 .meta
                 .get("mem.resident_bytes")
@@ -263,6 +283,7 @@ impl BenchArtifact {
                                         e.partition_events.iter().map(|&n| Json::U64(n)).collect(),
                                     ),
                                 ),
+                                ("windows".into(), Json::U64(e.windows)),
                             ]),
                         ),
                         (
@@ -351,6 +372,12 @@ impl BenchArtifact {
                         .and_then(Json::as_arr)
                         .map(|a| a.iter().filter_map(Json::as_u64).collect())
                         .unwrap_or_default(),
+                    // `engine.windows` is absent before schema 10.
+                    windows: run
+                        .get("engine")
+                        .and_then(|p| p.get("windows"))
+                        .and_then(Json::as_u64)
+                        .unwrap_or(0),
                     // The `mem` block is absent before schema 8.
                     mem_resident_bytes: run
                         .get("mem")
@@ -613,6 +640,7 @@ mod tests {
             fingerprint: "00112233445566778899aabbccddeeff".to_string(),
             threads: 2,
             partition_events: vec![4_500, 4_500],
+            windows: 120,
             mem_resident_bytes: 1_000_000,
             mem_bytes_per_node: 2_048,
             wall_ms: wall,
@@ -680,6 +708,8 @@ mod tests {
         // Pre-v7 artifacts carry no engine block; they were sequential.
         assert_eq!(back.runs["a"].threads, 1);
         assert!(back.runs["a"].partition_events.is_empty());
+        // Pre-v10 artifacts carry no barrier count; it defaults to 0.
+        assert_eq!(back.runs["a"].windows, 0);
         // Pre-v8 artifacts carry no mem block; the footprint defaults to 0.
         assert_eq!(back.runs["a"].mem_resident_bytes, 0);
         assert_eq!(back.runs["a"].mem_bytes_per_node, 0);
@@ -738,6 +768,9 @@ mod tests {
         let mut b = artifact(&[("a", entry(10_000.0, 100.0, 77))]);
         b.runs.get_mut("a").unwrap().threads = 8;
         b.runs.get_mut("a").unwrap().partition_events = vec![1, 2, 3];
+        // The barrier count depends on thread count and window policy, not
+        // on the workload — never a determinism break either.
+        b.runs.get_mut("a").unwrap().windows = 7;
         assert!(a.identical_modulo_wall(&b).is_empty());
     }
 

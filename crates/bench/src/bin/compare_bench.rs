@@ -14,6 +14,10 @@
 //!   event throughput (total `events_processed` / total `wall_ms`) and
 //!   exits 1 if the new artifact is more than PCT percent slower than the
 //!   baseline. Machine-dependent, so pair it with a generous threshold.
+//!   Also prints a per-point events/sec table (with barrier counts when
+//!   recorded) so a suite-level slowdown can be attributed to a specific
+//!   run without re-running anything — the aggregate alone hides a single
+//!   run regressing 5x behind many unchanged ones.
 //! * `--warn-only` — print everything but always exit 0 (PR builds warn,
 //!   main builds gate).
 
@@ -78,6 +82,43 @@ fn main() {
         };
         let (base_events, _, base_eps) = aggregate(&baseline);
         let (new_events, _, new_eps) = aggregate(&new);
+        // Per-point breakdown first: name every run present on either side
+        // with its own events/sec so an aggregate slowdown is attributable.
+        println!(
+            "{:<28} {:>14} {:>14} {:>8} {:>9}",
+            "run", "base ev/s", "new ev/s", "delta", "windows"
+        );
+        let names: std::collections::BTreeSet<&String> =
+            baseline.runs.keys().chain(new.runs.keys()).collect();
+        for name in names {
+            let eps = |e: &predis_bench::BenchEntry| e.events_per_sec;
+            let b = baseline.runs.get(name);
+            let n = new.runs.get(name);
+            let fmt = |v: Option<f64>| match v {
+                Some(v) => format!("{v:.0}"),
+                None => "-".to_string(),
+            };
+            let delta = match (b.map(eps), n.map(eps)) {
+                (Some(bv), Some(nv)) if bv > 0.0 => {
+                    format!("{:+.1}%", (nv - bv) / bv * 100.0)
+                }
+                _ => "-".to_string(),
+            };
+            // Barrier counts: `old -> new` when either side recorded any
+            // (sequential runs and pre-v10 artifacts record 0, shown as -).
+            let windows = |e: Option<&predis_bench::BenchEntry>| match e.map(|e| e.windows) {
+                Some(w) if w > 0 => w.to_string(),
+                _ => "-".to_string(),
+            };
+            println!(
+                "{:<28} {:>14} {:>14} {:>8} {:>9}",
+                name,
+                fmt(b.map(eps)),
+                fmt(n.map(eps)),
+                delta,
+                format!("{}->{}", windows(b), windows(n)),
+            );
+        }
         let delta_pct = if base_eps > 0.0 {
             (new_eps - base_eps) / base_eps * 100.0
         } else {

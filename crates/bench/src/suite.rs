@@ -508,8 +508,10 @@ pub fn scenario_points(quick: bool) -> Vec<SweepPoint> {
             ],
         },
         // WAN weather: up to 20 ms of random propagation jitter on every
-        // link. The engine falls back to its sequential scheduler, so the
-        // run stays thread-count invariant by construction.
+        // link. Jitter draws come from counter-keyed per-link streams
+        // (hash of stream seed, link, draw index), so the run executes in
+        // parallel and stays thread-count invariant: only a link's owning
+        // shard draws on it, in the same order the sequential engine would.
         ScenarioSetup {
             name: "wan_jitter".into(),
             world: World::Consensus(ThroughputSetup {

@@ -19,9 +19,10 @@
 //!   boundary bit-identically at any `PREDIS_SIM_THREADS`;
 //! * link-shaped injections ([`Injection::Partition`]) become `FaultPlan`
 //!   link blocks — also time-deterministic;
-//! * [`Injection::Jitter`] randomizes propagation, which forces the
-//!   engine's sequential scheduler at *every* thread count, so jittered
-//!   runs stay fingerprint-identical too;
+//! * [`Injection::Jitter`] randomizes propagation via counter-keyed
+//!   per-link streams (each draw is a hash of stream seed, link, and the
+//!   link's draw index), so jittered runs execute in parallel and still
+//!   stay fingerprint-identical at any thread count;
 //! * adversary injections ([`Injection::ByzantineRelayers`],
 //!   [`Injection::EquivocationStorm`]) and load shaping
 //!   ([`Injection::Straggler`], [`Injection::FlashCrowd`]) are pure actor /
@@ -141,8 +142,8 @@ pub enum Injection {
         until_ms: u64,
     },
     /// Uniform random propagation jitter up to `max_ms` on every link (a
-    /// WAN weather model). Forces the sequential scheduler, keeping the
-    /// run thread-count invariant.
+    /// WAN weather model). Draws come from counter-keyed per-link streams,
+    /// so the run parallelizes and stays thread-count invariant anyway.
     Jitter {
         /// Jitter bound, ms.
         max_ms: u64,

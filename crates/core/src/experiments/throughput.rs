@@ -138,9 +138,9 @@ pub struct ThroughputSetup {
     /// LAN or WAN.
     pub env: NetEnv,
     /// Random propagation jitter bound, milliseconds (0 = deterministic
-    /// propagation, the default). Nonzero jitter also forces the engine's
-    /// sequential scheduler, so jittered runs stay bit-identical across
-    /// `PREDIS_SIM_THREADS` settings.
+    /// propagation, the default). Jitter draws are counter-keyed per-link
+    /// streams, so nonzero jitter still runs on the parallel engine and
+    /// stays bit-identical across `PREDIS_SIM_THREADS` settings.
     pub jitter_ms: u64,
     /// Upload bandwidth per node, Mbps (paper: 100).
     pub mbps: u64,

@@ -9,7 +9,9 @@
 
 use std::collections::{HashMap, HashSet};
 
-use predis_sim::{Codec, NarrowContext, NodeId, ProtocolCore, SimDuration, TimerTag};
+use predis_sim::{
+    CachedCounter, Codec, Labels, NarrowContext, NodeId, ProtocolCore, SimDuration, TimerTag,
+};
 use predis_types::Shared;
 use rand::seq::SliceRandom;
 
@@ -150,6 +152,9 @@ pub struct RandomSource {
     cfg: FegConfig,
     load: SyntheticLoad,
     next_block: u64,
+    /// Per-tick counter cache: survives migration between the sequential
+    /// engine's metrics sink and partition-worker forks.
+    blocks_sent_c: CachedCounter,
 }
 
 impl RandomSource {
@@ -160,6 +165,7 @@ impl RandomSource {
             cfg,
             load,
             next_block: 0,
+            blocks_sent_c: CachedCounter::default(),
         }
     }
 }
@@ -213,7 +219,12 @@ impl ProtocolCore<NetMsg> for RandomSource {
                 blocks: Shared::new(vec![block]),
             },
         );
-        ctx.metrics().incr("random.blocks_sent", 1);
+        ctx.metrics().incr_cached(
+            &mut self.blocks_sent_c,
+            "random.blocks_sent",
+            Labels::GLOBAL,
+            1,
+        );
         self.next_block += 1;
         let interval = self.load.interval;
         ctx.set_timer(interval, TimerTag::of_kind(net_timers::SOURCE_TICK));

@@ -17,8 +17,8 @@
 //! emission — and therefore run fingerprints — bit-identical.
 
 use predis_sim::{
-    BundleKey, Codec, CounterHandle, Labels, Metrics, NarrowContext, NodeId, ProtocolCore,
-    SimDuration, SimTime, Stage, TimerTag,
+    BundleKey, CachedCounter, Codec, CounterHandle, Labels, Metrics, NarrowContext, NodeId,
+    ProtocolCore, SimDuration, SimTime, Stage, TimerTag,
 };
 use predis_types::Shared;
 use rand::seq::SliceRandom;
@@ -508,6 +508,15 @@ pub struct MultiZoneNode {
     /// the handles survive parallel-engine shard forks (forked counters
     /// share the interning index).
     stripe_send_h: Vec<CounterHandle>,
+    /// Generation-checked handle caches for hot per-node counters that
+    /// cannot be interned at attach (their first write may happen on a
+    /// partition worker's forked sink, whose cell indices the parent sink
+    /// does not know). One tree lookup per sink migration, an array add
+    /// otherwise.
+    redundancy_shed_c: CachedCounter,
+    stripes_rejected_c: CachedCounter,
+    rs_decodes_c: CachedCounter,
+    heartbeats_c: CachedCounter,
 
     /// Number of blocks fully reconstructed (ann + all bundles decoded).
     pub completed_blocks: u64,
@@ -563,6 +572,10 @@ impl MultiZoneNode {
             child_last_seen: PeerMap::new(),
             retired_ring: std::collections::VecDeque::new(),
             stripe_send_h: Vec::new(),
+            redundancy_shed_c: CachedCounter::default(),
+            stripes_rejected_c: CachedCounter::default(),
+            rs_decodes_c: CachedCounter::default(),
+            heartbeats_c: CachedCounter::default(),
             completed_blocks: 0,
         }
     }
@@ -824,7 +837,8 @@ impl MultiZoneNode {
             self.switching.insert(s, src);
         }
         let me = ctx.node().index() as u64;
-        ctx.metrics().incr_labeled(
+        ctx.metrics().incr_cached(
+            &mut self.redundancy_shed_c,
             "zone.redundancy_shed",
             Labels::node(me),
             overlap.len() as u64,
@@ -1179,8 +1193,12 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
                     // reroute replaces it; the bundle itself recovers via
                     // the overdue-pull path.
                     let me = ctx.node().index() as u64;
-                    ctx.metrics()
-                        .incr_labeled("zone.stripes_rejected", Labels::node(me), 1);
+                    ctx.metrics().incr_cached(
+                        &mut self.stripes_rejected_c,
+                        "zone.stripes_rejected",
+                        Labels::node(me),
+                        1,
+                    );
                     return;
                 }
                 let now = ctx.now();
@@ -1244,8 +1262,12 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
                     if slot.mark_decoded(bundle.idx) {
                         slot.mark_whole(bundle.idx);
                         let me = ctx.node().index() as u64;
-                        ctx.metrics()
-                            .incr_labeled("zone.rs_decodes", Labels::node(me), 1);
+                        ctx.metrics().incr_cached(
+                            &mut self.rs_decodes_c,
+                            "zone.rs_decodes",
+                            Labels::node(me),
+                            1,
+                        );
                         *self.block_sizes.entry_or(bundle.block, 0) += bytes as u64 * k as u64;
                         if self.bundle_bytes_hint.get(bundle.block).is_none() {
                             self.bundle_bytes_hint.insert(bundle.block, bytes * k);
@@ -1591,8 +1613,12 @@ impl ProtocolCore<NetMsg> for MultiZoneNode {
                 ctx.multicast(providers, NetMsg::Heartbeat);
                 if hb_fanout > 0 {
                     let me = ctx.node().index() as u64;
-                    ctx.metrics()
-                        .incr_labeled("zone.heartbeats", Labels::node(me), hb_fanout);
+                    ctx.metrics().incr_cached(
+                        &mut self.heartbeats_c,
+                        "zone.heartbeats",
+                        Labels::node(me),
+                        hb_fanout,
+                    );
                 }
                 // ...and disconnect children whose heartbeats timed out
                 // (stop wasting uplink on crashed subscribers).

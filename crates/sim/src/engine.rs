@@ -22,6 +22,7 @@ use crate::actor::{Actor, Context, NodeId, Op};
 use crate::faults::FaultPlan;
 use crate::metrics::{CounterHandle, Labels, Metrics};
 use crate::net::{LinkConfig, Network};
+use crate::parallel::WindowPolicy;
 use crate::profile::{
     short_type_name, DispatchProfile, BUCKET_DELIVER, BUCKET_OTHER, BUCKET_START, BUCKET_TIMER,
 };
@@ -104,6 +105,14 @@ pub struct Sim<M> {
     pub(crate) threads_used: usize,
     /// Events dispatched per partition during the most recent parallel run.
     pub(crate) partition_events: Vec<u64>,
+    /// Lookahead windows (barrier merges) executed by the parallel engine,
+    /// cumulative over the run. Zero when every `run_until` ran
+    /// sequentially.
+    pub(crate) windows: u64,
+    /// How the parallel engine advances window boundaries (adaptive
+    /// per-pair lookahead by default; fixed global-min stride for
+    /// differential testing).
+    pub(crate) window_policy: WindowPolicy,
     /// Peak of Σ [`Actor::approx_bytes`] over all live actors, sampled at
     /// the end of every `run_until` call. Powers the `mem.*` report metrics
     /// that gate the per-node memory footprint at mega-scale.
@@ -124,7 +133,11 @@ impl<M: Payload> Sim<M> {
         Sim::with_queue(seed, network, EventQueue::classic())
     }
 
-    fn with_queue(seed: u64, network: Network, queue: EventQueue<M>) -> Self {
+    fn with_queue(seed: u64, mut network: Network, queue: EventQueue<M>) -> Self {
+        // Seed the per-link counter-keyed random streams (jitter, fault
+        // omission) from the simulation seed, decorrelated from the node
+        // and engine RNG streams.
+        network.set_stream_seed(seed.wrapping_mul(0xff51_afd7_ed55_8ccd) ^ 0x5851_f42d_4c95_7f2d);
         let mut metrics = Metrics::new();
         let net_handles = NetHandles {
             messages: metrics.counter_handle("net.messages", Labels::GLOBAL),
@@ -162,6 +175,8 @@ impl<M: Payload> Sim<M> {
             partition_hint: None,
             threads_used: 1,
             partition_events: Vec::new(),
+            windows: 0,
+            window_policy: window_policy_from_env(),
             peak_actor_bytes: 0,
         }
     }
@@ -297,6 +312,11 @@ impl<M: Payload> Sim<M> {
                 .meta
                 .insert("engine.partition_events".into(), counts.join(","));
         }
+        if self.windows > 0 {
+            report
+                .meta
+                .insert("engine.windows".into(), self.windows.to_string());
+        }
         if self.peak_actor_bytes > 0 && !self.actors.is_empty() {
             report.meta.insert(
                 "mem.resident_bytes".into(),
@@ -322,11 +342,32 @@ impl<M: Payload> Sim<M> {
     /// [`Sim::run_until`] calls (clamped to at least 1; the construction
     /// default comes from `PREDIS_SIM_THREADS`). The engine silently falls
     /// back to the sequential scheduler whenever a parallel run could
-    /// perturb determinism or cannot help: profiling enabled, network
-    /// jitter, randomized message omission, fewer than two partitions, or a
-    /// zero lookahead. Results are bit-identical either way.
+    /// perturb determinism or cannot help: profiling enabled (its
+    /// wall-clock attribution is per-thread), fewer than two partitions, or
+    /// a zero lookahead. Network jitter and randomized message omission run
+    /// fine in parallel — their randomness comes from per-link
+    /// counter-keyed streams, not global draw order. Results are
+    /// bit-identical either way.
     pub fn set_sim_threads(&mut self, threads: usize) {
         self.threads = threads.max(1);
+    }
+
+    /// Selects how the parallel engine advances lookahead windows (default
+    /// [`WindowPolicy::Adaptive`]; construction reads
+    /// `PREDIS_WINDOW_POLICY=fixed` to start on [`WindowPolicy::FixedMinL`]).
+    /// `FixedMinL` reproduces the fixed global-minimum stride and exists
+    /// for differential tests and barrier-count comparisons — compare the
+    /// `engine.windows` meta of two otherwise-identical runs; both policies
+    /// produce bit-identical event streams.
+    pub fn set_window_policy(&mut self, policy: WindowPolicy) {
+        self.window_policy = policy;
+    }
+
+    /// Lookahead windows (barrier merges) the parallel engine has executed
+    /// so far, cumulative over the simulation's lifetime. Zero when every
+    /// run was sequential.
+    pub fn windows_run(&self) -> u64 {
+        self.windows
     }
 
     /// The requested worker count (see [`Sim::set_sim_threads`]).
@@ -548,16 +589,14 @@ impl<M: Payload> Sim<M> {
     /// Attempts the conservative parallel run; `false` means the caller
     /// must fall back to the sequential scheduler. Parallelism is only
     /// engaged when it provably cannot change the event stream: no
-    /// profiler (its wall-clock attribution is per-thread), no network
-    /// jitter and no randomized omission (both draw from RNGs in global
-    /// event order), and the planner found a real partitioning with a
-    /// positive lookahead.
+    /// profiler (its wall-clock attribution is per-thread), and the
+    /// planner found a real partitioning with a positive lookahead.
+    /// Jitter and randomized omission are *not* fallbacks: their draws
+    /// come from per-link counter-keyed streams whose values depend only
+    /// on each link's own send count, so any thread interleaving replays
+    /// them exactly.
     fn try_run_parallel(&mut self, horizon: SimTime) -> bool {
-        if self.threads <= 1
-            || self.profile.is_some()
-            || !self.network.jitter().is_zero()
-            || self.faults.has_random_omission()
-        {
+        if self.threads <= 1 || self.profile.is_some() {
             return false;
         }
         crate::parallel::run_until_parallel(self, horizon)
@@ -803,16 +842,19 @@ impl<M: Payload> Sim<M> {
                         self.record_drop(node, to, bytes);
                         continue;
                     }
-                    let sched = self
-                        .network
-                        .schedule(self.now, node, to, bytes, &mut self.net_rng);
+                    let sched = self.network.schedule(self.now, node, to, bytes);
                     self.metrics.incr_handle(self.net_handles.messages, 1);
                     self.metrics
                         .incr_handle(self.net_handles.bytes, bytes as u64);
                     // Omission/crash/partition checks happen at send time
                     // (bandwidth is consumed either way; the bytes die in
-                    // flight).
-                    if !self.faults.delivers(node, to, self.now, &mut self.net_rng) {
+                    // flight). Omission randomness comes from the sender
+                    // link's counter-keyed stream.
+                    let network = &mut self.network;
+                    if !self
+                        .faults
+                        .delivers(node, to, self.now, || network.next_draw(node))
+                    {
                         self.record_drop(node, to, bytes);
                         continue;
                     }
@@ -886,6 +928,17 @@ fn sim_threads_from_env() -> usize {
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n >= 1)
         .unwrap_or(1)
+}
+
+/// The construction-time window policy: `PREDIS_WINDOW_POLICY=fixed` (or
+/// `fixed_min_l`) selects the legacy fixed-stride windows, anything else the
+/// adaptive default. A diagnostic knob for barrier-count comparisons — the
+/// event stream is bit-identical under both (see [`Sim::set_window_policy`]).
+fn window_policy_from_env() -> WindowPolicy {
+    match std::env::var("PREDIS_WINDOW_POLICY").as_deref() {
+        Ok("fixed") | Ok("fixed_min_l") => WindowPolicy::FixedMinL,
+        _ => WindowPolicy::Adaptive,
+    }
 }
 
 /// The profiler bucket an event kind is charged to.

@@ -7,9 +7,6 @@
 //! this module covers everything the network itself can do to honest
 //! protocol traffic.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
-
 use crate::actor::NodeId;
 use crate::time::SimTime;
 
@@ -202,8 +199,18 @@ impl FaultPlan {
     }
 
     /// Decides whether a message sent now from `from` to `to` is delivered.
-    /// Randomized omission consumes `rng`.
-    pub fn delivers(&self, from: NodeId, to: NodeId, now: SimTime, rng: &mut SmallRng) -> bool {
+    /// Randomized omission pulls one word from `draw` — the caller supplies
+    /// the sender link's counter-keyed stream — and converts it to a
+    /// uniform f64 in `[0, 1)` by the standard 53-bit mantissa mapping.
+    /// `draw` is invoked only when the sender has a nonzero omission rate,
+    /// so fault-free sends never advance any stream.
+    pub fn delivers(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        now: SimTime,
+        draw: impl FnOnce() -> u64,
+    ) -> bool {
         if self.is_crashed(from, now) || self.is_crashed(to, now) {
             return false;
         }
@@ -218,15 +225,18 @@ impl FaultPlan {
             .nodes
             .get(from.index())
             .map_or(0.0, |n| n.omission_prob);
-        if p > 0.0 && rng.gen::<f64>() < p {
-            return false;
+        if p > 0.0 {
+            let sample = (draw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            if sample < p {
+                return false;
+            }
         }
         true
     }
 
     /// True if any node has a probabilistic omission rate, i.e.
-    /// [`FaultPlan::delivers`] may draw from the RNG. Crash/revive schedules
-    /// and link blocks are time-deterministic and do not count.
+    /// [`FaultPlan::delivers`] may consume a random word. Crash/revive
+    /// schedules and link blocks are time-deterministic and never draw.
     pub fn has_random_omission(&self) -> bool {
         self.nodes.iter().any(|n| n.omission_prob > 0.0)
     }
@@ -235,26 +245,31 @@ impl FaultPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use rand::rngs::SmallRng;
+    use rand::{RngCore, SeedableRng};
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(1)
     }
 
+    /// Deterministic `delivers` paths must not consume randomness at all.
+    fn no_draw() -> u64 {
+        unreachable!("deterministic delivery decision must not draw")
+    }
+
     #[test]
     fn no_faults_delivers() {
         let plan = FaultPlan::none();
-        assert!(plan.delivers(NodeId(0), NodeId(1), SimTime::ZERO, &mut rng()));
+        assert!(plan.delivers(NodeId(0), NodeId(1), SimTime::ZERO, no_draw));
     }
 
     #[test]
     fn crash_stops_both_directions() {
         let mut plan = FaultPlan::none();
         plan.crash(NodeId(1), SimTime::from_secs(5));
-        let mut r = rng();
-        assert!(plan.delivers(NodeId(0), NodeId(1), SimTime::from_secs(4), &mut r));
-        assert!(!plan.delivers(NodeId(0), NodeId(1), SimTime::from_secs(5), &mut r));
-        assert!(!plan.delivers(NodeId(1), NodeId(0), SimTime::from_secs(6), &mut r));
+        assert!(plan.delivers(NodeId(0), NodeId(1), SimTime::from_secs(4), no_draw));
+        assert!(!plan.delivers(NodeId(0), NodeId(1), SimTime::from_secs(5), no_draw));
+        assert!(!plan.delivers(NodeId(1), NodeId(0), SimTime::from_secs(6), no_draw));
         assert!(plan.is_crashed(NodeId(1), SimTime::from_secs(5)));
         assert!(!plan.is_crashed(NodeId(0), SimTime::from_secs(5)));
     }
@@ -268,13 +283,12 @@ mod tests {
             SimTime::from_secs(1),
             SimTime::from_secs(2),
         );
-        let mut r = rng();
-        assert!(plan.delivers(NodeId(0), NodeId(1), SimTime::ZERO, &mut r));
-        assert!(!plan.delivers(NodeId(0), NodeId(1), SimTime::from_secs(1), &mut r));
+        assert!(plan.delivers(NodeId(0), NodeId(1), SimTime::ZERO, no_draw));
+        assert!(!plan.delivers(NodeId(0), NodeId(1), SimTime::from_secs(1), no_draw));
         // Reverse direction unaffected.
-        assert!(plan.delivers(NodeId(1), NodeId(0), SimTime::from_secs(1), &mut r));
+        assert!(plan.delivers(NodeId(1), NodeId(0), SimTime::from_secs(1), no_draw));
         // Window end is exclusive.
-        assert!(plan.delivers(NodeId(0), NodeId(1), SimTime::from_secs(2), &mut r));
+        assert!(plan.delivers(NodeId(0), NodeId(1), SimTime::from_secs(2), no_draw));
     }
 
     #[test]
@@ -286,10 +300,9 @@ mod tests {
             SimTime::ZERO,
             SimTime::from_secs(10),
         );
-        let mut r = rng();
-        assert!(!plan.delivers(NodeId(0), NodeId(2), SimTime::from_secs(1), &mut r));
-        assert!(!plan.delivers(NodeId(2), NodeId(0), SimTime::from_secs(1), &mut r));
-        assert!(plan.delivers(NodeId(1), NodeId(2), SimTime::from_secs(1), &mut r));
+        assert!(!plan.delivers(NodeId(0), NodeId(2), SimTime::from_secs(1), no_draw));
+        assert!(!plan.delivers(NodeId(2), NodeId(0), SimTime::from_secs(1), no_draw));
+        assert!(plan.delivers(NodeId(1), NodeId(2), SimTime::from_secs(1), no_draw));
     }
 
     #[test]
@@ -298,11 +311,11 @@ mod tests {
         plan.omit_outgoing(NodeId(0), 0.5);
         let mut r = rng();
         let delivered = (0..10_000)
-            .filter(|_| plan.delivers(NodeId(0), NodeId(1), SimTime::ZERO, &mut r))
+            .filter(|_| plan.delivers(NodeId(0), NodeId(1), SimTime::ZERO, || r.next_u64()))
             .count();
         assert!((4_000..6_000).contains(&delivered), "got {delivered}");
-        // Other nodes unaffected.
-        assert!((0..100).all(|_| plan.delivers(NodeId(1), NodeId(0), SimTime::ZERO, &mut r)));
+        // Other nodes unaffected — and they never draw.
+        assert!((0..100).all(|_| plan.delivers(NodeId(1), NodeId(0), SimTime::ZERO, no_draw)));
     }
 
     #[test]

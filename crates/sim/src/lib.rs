@@ -67,9 +67,11 @@ pub use actor::{
 pub use engine::Sim;
 pub use faults::FaultPlan;
 pub use metrics::{
-    BundleKey, CommitEvent, CounterHandle, Labels, Metrics, RunReport, RunSummary, Stage,
+    BundleKey, CachedCounter, CommitEvent, CounterHandle, Labels, Metrics, RunReport, RunSummary,
+    Stage,
 };
 pub use net::{LatencyModel, LinkConfig, Network, Region, Scheduled};
+pub use parallel::WindowPolicy;
 pub use profile::{DispatchProfile, PROFILE_EVENTS};
 pub use time::{SimDuration, SimTime};
 pub use trace::{CanonEvent, Trace, TraceCapture, TraceDigest, TraceEvent, TraceKind, CANON_KINDS};

@@ -14,7 +14,7 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-pub use predis_telemetry::{BundleKey, CounterHandle, Labels, RunReport, Stage};
+pub use predis_telemetry::{BundleKey, CachedCounter, CounterHandle, Labels, RunReport, Stage};
 use predis_telemetry::{Counters, LogHistogram, Timelines};
 
 use crate::time::{SimDuration, SimTime};
@@ -89,6 +89,22 @@ impl Metrics {
     #[inline]
     pub fn incr_handle(&mut self, handle: CounterHandle, n: u64) {
         self.counters.incr_by_handle(handle, n);
+    }
+
+    /// Adds `n` through a caller-owned [`CachedCounter`] — the hot-path
+    /// form for actors, whose metrics sink changes identity when they
+    /// migrate between the sequential engine and partition workers. Costs
+    /// one interning lookup per sink migration, a dense-array add
+    /// otherwise.
+    #[inline]
+    pub fn incr_cached(
+        &mut self,
+        cache: &mut CachedCounter,
+        name: &'static str,
+        labels: Labels,
+        n: u64,
+    ) {
+        self.counters.incr_cached(cache, name, labels, n);
     }
 
     /// Reads one labeled cell (zero if never written).

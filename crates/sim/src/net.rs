@@ -7,8 +7,6 @@
 //! makes Predis's constant-size proposals and Multi-Zone's O(n_c) relayer
 //! fan-out measurable.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::actor::NodeId;
@@ -125,6 +123,14 @@ pub(crate) struct LinkState {
     pub busy_until: SimTime,
     /// Total bytes ever enqueued on the link (bandwidth accounting).
     pub bytes_sent: u64,
+    /// How many random words this link has drawn from its stream. Jitter
+    /// and fault-omission randomness are *counter-keyed*: the `i`-th draw
+    /// on a link is a pure hash of `(stream_seed, link, i)`, so the value
+    /// depends only on how many sends that link has made — not on the
+    /// global interleaving of sends across links. That is what lets the
+    /// parallel engine replay jittered runs bit-identically: each
+    /// partition owns its nodes' links and therefore their draw counters.
+    pub draws: u64,
 }
 
 /// The simulated network: computes departure and arrival times for sends.
@@ -133,6 +139,9 @@ pub struct Network {
     latency: LatencyModel,
     /// Random jitter added to each propagation, up to this bound.
     jitter: SimDuration,
+    /// Seed for the per-link counter-keyed random streams (derived from
+    /// the simulation seed at `Sim` construction).
+    stream_seed: u64,
     links: Vec<LinkState>,
 }
 
@@ -152,8 +161,15 @@ impl Network {
         Network {
             latency,
             jitter,
+            stream_seed: 0,
             links: Vec::new(),
         }
+    }
+
+    /// Seeds the per-link counter-keyed random streams. Called once by
+    /// `Sim` construction with a value derived from the simulation seed.
+    pub(crate) fn set_stream_seed(&mut self, seed: u64) {
+        self.stream_seed = seed;
     }
 
     /// Registers a node's link; returns its [`NodeId`].
@@ -164,6 +180,7 @@ impl Network {
             config,
             busy_until: SimTime::ZERO,
             bytes_sent: 0,
+            draws: 0,
         });
         id
     }
@@ -193,16 +210,30 @@ impl Network {
         self.latency.latency(a, b)
     }
 
+    /// The next word of `from`'s counter-keyed random stream: a pure hash
+    /// of `(stream_seed, from, draw_index)` (SplitMix64-style finalizer),
+    /// advancing the link's draw counter. Because the value depends only
+    /// on the link and its own draw count, the stream is invariant under
+    /// any interleaving of *other* links' activity — the property the
+    /// parallel engine relies on for bit-identical jittered replay.
+    pub(crate) fn next_draw(&mut self, from: NodeId) -> u64 {
+        let link = &mut self.links[from.index()];
+        let idx = link.draws;
+        link.draws += 1;
+        let mut z = self
+            .stream_seed
+            .wrapping_add((from.0 as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .wrapping_add(idx.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
     /// Schedules a message of `bytes` from `from` to `to` at time `now`:
-    /// serializes on the sender's upload link, then propagates.
-    pub fn schedule(
-        &mut self,
-        now: SimTime,
-        from: NodeId,
-        to: NodeId,
-        bytes: usize,
-        rng: &mut SmallRng,
-    ) -> Scheduled {
+    /// serializes on the sender's upload link, then propagates. When the
+    /// jitter bound is nonzero, one word is drawn from the sender link's
+    /// counter-keyed stream; zero jitter draws nothing.
+    pub fn schedule(&mut self, now: SimTime, from: NodeId, to: NodeId, bytes: usize) -> Scheduled {
         let link = &mut self.links[from.index()];
         let start = now.max(link.busy_until);
         let departs = start + {
@@ -215,7 +246,16 @@ impl Network {
         let jitter = if self.jitter.is_zero() {
             SimDuration::ZERO
         } else {
-            SimDuration::from_nanos(rng.gen_range(0..=self.jitter.as_nanos()))
+            let bound = self.jitter.as_nanos();
+            let word = self.next_draw(from);
+            // Uniform in [0, bound]; the `bound == u64::MAX` span is the
+            // degenerate full-range case (never hit in practice).
+            let nanos = if bound == u64::MAX {
+                word
+            } else {
+                word % (bound + 1)
+            };
+            SimDuration::from_nanos(nanos)
         };
         let arrives = departs + self.propagation(from, to) + jitter;
         Scheduled { departs, arrives }
@@ -241,33 +281,29 @@ impl Network {
         &self.latency
     }
 
-    /// The propagation-jitter bound (zero means fully deterministic
-    /// scheduling that never draws from the RNG).
+    /// The propagation-jitter bound (zero disables jitter draws entirely).
     pub fn jitter(&self) -> SimDuration {
         self.jitter
     }
 
-    /// Copies `node`'s mutable link state (busy-until, bytes-sent) from a
-    /// forked network back into this one. The parallel engine clones the
-    /// network per partition — each partition only ever schedules sends
-    /// *from* its own nodes, so writing those nodes' links back restores the
-    /// exact single-threaded state.
+    /// Copies `node`'s mutable link state (busy-until, bytes-sent, draw
+    /// counter) from a forked network back into this one. The parallel
+    /// engine clones the network per partition — each partition only ever
+    /// schedules sends *from* its own nodes, so writing those nodes' links
+    /// back restores the exact single-threaded state, including the
+    /// position of each link's counter-keyed random stream.
     pub(crate) fn adopt_link_state(&mut self, node: NodeId, from: &Network) {
         let theirs = &from.links[node.index()];
         let ours = &mut self.links[node.index()];
         ours.busy_until = theirs.busy_until;
         ours.bytes_sent = theirs.bytes_sent;
+        ours.draws = theirs.draws;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-
-    fn rng() -> SmallRng {
-        SmallRng::seed_from_u64(7)
-    }
 
     #[test]
     fn tx_delay_is_size_over_bandwidth() {
@@ -285,9 +321,8 @@ mod tests {
         let a = net.add_link(LinkConfig::paper_default());
         let b = net.add_link(LinkConfig::paper_default());
         let c = net.add_link(LinkConfig::paper_default());
-        let mut r = rng();
-        let s1 = net.schedule(SimTime::ZERO, a, b, 12_500_000, &mut r);
-        let s2 = net.schedule(SimTime::ZERO, a, c, 12_500_000, &mut r);
+        let s1 = net.schedule(SimTime::ZERO, a, b, 12_500_000);
+        let s2 = net.schedule(SimTime::ZERO, a, c, 12_500_000);
         // Second copy waits for the first to drain: multicast costs 2x.
         assert_eq!(s1.departs, SimTime::from_secs(1));
         assert_eq!(s2.departs, SimTime::from_secs(2));
@@ -306,9 +341,8 @@ mod tests {
         let mut net = Network::new(LatencyModel::lan(), SimDuration::ZERO);
         let a = net.add_link(LinkConfig::paper_default());
         let b = net.add_link(LinkConfig::paper_default());
-        let mut r = rng();
-        let s1 = net.schedule(SimTime::ZERO, a, b, 12_500_000, &mut r);
-        let s2 = net.schedule(SimTime::ZERO, b, a, 12_500_000, &mut r);
+        let s1 = net.schedule(SimTime::ZERO, a, b, 12_500_000);
+        let s2 = net.schedule(SimTime::ZERO, b, a, 12_500_000);
         assert_eq!(s1.departs, s2.departs);
     }
 
@@ -335,9 +369,8 @@ mod tests {
         let mut net = Network::new(LatencyModel::lan(), SimDuration::ZERO);
         let a = net.add_link(LinkConfig::paper_default());
         let b = net.add_link(LinkConfig::paper_default());
-        let mut r = rng();
-        net.schedule(SimTime::ZERO, a, b, 1000, &mut r);
-        net.schedule(SimTime::ZERO, a, b, 500, &mut r);
+        net.schedule(SimTime::ZERO, a, b, 1000);
+        net.schedule(SimTime::ZERO, a, b, 500);
         assert_eq!(net.bytes_sent(a), 1500);
         assert_eq!(net.bytes_sent(b), 0);
     }
@@ -346,15 +379,51 @@ mod tests {
     fn jitter_stays_within_bound() {
         let bound = SimDuration::from_millis(2);
         let mut net = Network::new(LatencyModel::lan(), bound);
+        net.set_stream_seed(7);
         let a = net.add_link(LinkConfig::paper_default());
         let b = net.add_link(LinkConfig::paper_default());
-        let mut r = rng();
         for _ in 0..100 {
-            let s = net.schedule(SimTime::ZERO, a, b, 0, &mut r);
+            let s = net.schedule(SimTime::ZERO, a, b, 0);
             let base = net.propagation(a, b);
             let extra = s.arrives.saturating_since(SimTime::ZERO + base);
             assert!(extra <= bound, "jitter {extra} exceeds bound {bound}");
         }
+    }
+
+    /// The property the parallel engine leans on: a link's jitter draws
+    /// depend only on the link's own draw count, never on when other links
+    /// send. Interleaving sends from `b` must not perturb `a`'s stream.
+    #[test]
+    fn jitter_draws_are_counter_keyed_per_link() {
+        let bound = SimDuration::from_millis(5);
+        let mk = || {
+            let mut net = Network::new(LatencyModel::lan(), bound);
+            net.set_stream_seed(42);
+            let a = net.add_link(LinkConfig::paper_default());
+            let b = net.add_link(LinkConfig::paper_default());
+            (net, a, b)
+        };
+        // Run 1: `a` sends 10 times back-to-back.
+        let (mut n1, a1, b1) = mk();
+        let solo: Vec<SimTime> = (0..10)
+            .map(|_| n1.schedule(SimTime::ZERO, a1, b1, 0).arrives)
+            .collect();
+        // Run 2: `b`'s sends interleave with `a`'s.
+        let (mut n2, a2, b2) = mk();
+        let mut interleaved = Vec::new();
+        for _ in 0..10 {
+            n2.schedule(SimTime::ZERO, b2, a2, 0);
+            interleaved.push(n2.schedule(SimTime::ZERO, a2, b2, 0).arrives);
+        }
+        assert_eq!(solo, interleaved);
+        // And the draw counter survives a fork/adopt round-trip.
+        let forked = n1.clone();
+        let mut main = n1;
+        main.adopt_link_state(a1, &forked);
+        let x = main.schedule(SimTime::ZERO, a1, b1, 0).arrives;
+        let mut forked = forked;
+        let y = forked.schedule(SimTime::ZERO, a1, b1, 0).arrives;
+        assert_eq!(x, y);
     }
 
     #[test]

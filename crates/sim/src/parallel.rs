@@ -4,34 +4,52 @@
 //! stream. This module splits the node set into partitions — one worker
 //! thread each — and lets every partition advance its **own** timer wheel
 //! concurrently, exploiting the classic conservative-PDES observation: a
-//! message from another partition cannot arrive sooner than the minimum
-//! cross-partition propagation latency, the **lookahead** `L`. Execution
-//! therefore proceeds in lockstep windows of length `L`:
+//! message from another partition cannot arrive sooner than the
+//! cross-partition propagation latency, the **lookahead**. Execution
+//! proceeds in lockstep windows:
 //!
-//! 1. **Window (parallel)** — each worker drains its wheel up to the window
-//!    end. Events it generates stay local (provisionally sequenced) when
-//!    they land inside the window on an owned node; everything else goes to
-//!    a per-window outbox.
+//! 1. **Window (parallel)** — each worker drains its wheel up to the shared
+//!    pop horizon. Events it generates stay local (provisionally sequenced)
+//!    when they land inside the window on an owned node; everything else
+//!    goes to a per-window outbox.
 //! 2. **Barrier (sequential)** — the driver merges the per-partition
-//!    dispatch logs back into the single global `(time, seq)` order,
-//!    replaying sequence-number assignment, the canonical [`TraceDigest`]
-//!    fold, capture, and the debug trace ring exactly as the sequential
-//!    engine would have; then it routes outbox events (which provably land
-//!    beyond the window) to their owners' wheels and picks the next window,
-//!    skipping idle stretches via [`TimerWheel::earliest_lower_bound`].
+//!    dispatch logs back into the single global `(time, seq)` order with a
+//!    loser-tree k-way merge (the logs are already sorted), replaying
+//!    sequence-number assignment, the canonical [`TraceDigest`] fold,
+//!    capture, and the debug trace ring exactly as the sequential engine
+//!    would have; then it routes outbox events (which provably land beyond
+//!    the window) to their owners' wheels, batched per destination, and
+//!    picks the next window.
+//!
+//! Window boundaries come from a [`WindowPolicy`]. The default **adaptive**
+//! policy closes each window at `min over partitions p with pending events
+//! of (p's exact next event time + p's minimum outgoing cross-partition
+//! latency) − 1` — a per-partition-pair lookahead matrix plus a
+//! next-event-time bound. Sparse or bursty topologies therefore run long
+//! windows with few barriers: an idle stretch is crossed in one hop to the
+//! true next event ([`TimerWheel::earliest_event_time`]), not crawled
+//! through in fixed strides from a coarse wheel-bucket bound. The
+//! **fixed-min-L** policy reproduces the original single global
+//! `L = min cross-partition latency` stride for differential tests and
+//! barrier-count comparisons.
 //!
 //! Because everything order-sensitive — sequencing, digest, trace, RNG
 //! draws — is either partition-local or replayed at the barrier in merged
 //! order, the result is **bit-identical** to the sequential engine for any
-//! thread count. The differential tests at the bottom of this file and the
-//! CI determinism matrix hold the engine to that: same fingerprint, same
-//! counters, same retained events, at 1, 2, or 8 threads.
+//! thread count and either policy. Randomized network jitter and fault
+//! omission hold too: their draws come from per-link counter-keyed streams
+//! (`hash(stream_seed, link, draw_index)`), each link is drawn only by the
+//! partition that owns its sender, and a partition dispatches its nodes'
+//! events in exactly the sequential order — so every link observes the
+//! sequential draw sequence regardless of thread interleaving. The
+//! differential tests at the bottom of this file and the CI determinism
+//! matrix hold the engine to that: same fingerprint, same counters, same
+//! retained events, at 1, 2, or 8 threads, jittered or not.
 //!
 //! Parallelism silently disengages (the caller falls back to the sequential
-//! loop) whenever it could not be equivalent or could not help: network
-//! jitter or randomized omission (both consume RNG words in global event
-//! order), profiling (wall-clock attribution is per-thread), fewer than two
-//! partitions, or zero lookahead.
+//! loop) only when it could not be equivalent or could not help: profiling
+//! (wall-clock attribution is per-thread), fewer than two partitions, or
+//! zero lookahead.
 
 use std::collections::BTreeMap;
 
@@ -57,6 +75,33 @@ use predis_types::payload_stats;
 /// window always sequences after every event that already existed when the
 /// window began.
 const PROVISIONAL_BASE: u64 = 1 << 63;
+
+/// How the lockstep driver picks each window's shared pop horizon.
+///
+/// Both policies produce the exact same event stream (the conservative
+/// guarantee — no cross-partition arrival inside a window — holds for
+/// either); they differ only in how many barriers it takes to get there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WindowPolicy {
+    /// Close each window at the latest provably-safe instant:
+    /// `min over partitions p with pending events of (p's exact next event
+    /// time + p's minimum outgoing cross-partition latency) − 1`.
+    ///
+    /// No message sent from `p` during the window can land at or before
+    /// that instant, and the bound is tight: one nanosecond later could
+    /// admit one. Because the per-partition term uses the *exact* next
+    /// event time (`TimerWheel::earliest_event_time`), an idle stretch is
+    /// crossed in a single window regardless of length — barrier counts
+    /// track event density, not the latency floor.
+    #[default]
+    Adaptive,
+    /// The original fixed stride: every window is exactly
+    /// `L = min cross-partition latency` long, starting from the earliest
+    /// pending wheel lower bound. Kept as the differential baseline for
+    /// barrier-count comparisons; strictly never fewer barriers than
+    /// [`WindowPolicy::Adaptive`].
+    FixedMinL,
+}
 
 /// One entry of a partition's per-window dispatch log: the canonical
 /// pre-filter record of a popped event (everything [`CanonEvent`] needs),
@@ -134,9 +179,6 @@ struct Shard<M> {
     metrics: Metrics,
     net_handles: NetHandles,
     node_handles: Vec<NodeHandles>,
-    /// Never drawn from: the parallel gate guarantees zero jitter and no
-    /// randomized omission, the only consumers of the net RNG in dispatch.
-    net_rng: SmallRng,
     ops_scratch: Vec<Op<M>>,
     // Window state.
     pop_horizon: SimTime,
@@ -323,13 +365,20 @@ impl<M: Payload> Shard<M> {
                         self.record_drop(node, to, bytes);
                         continue;
                     }
-                    let sched = self
-                        .network
-                        .schedule(at, node, to, bytes, &mut self.net_rng);
+                    // Jitter and omission draws come from the sender's
+                    // counter-keyed link stream. Only this partition ever
+                    // draws on this link, and it dispatches its nodes'
+                    // events in exactly the sequential order, so the draw
+                    // counter advances identically at every thread count.
+                    let sched = self.network.schedule(at, node, to, bytes);
                     self.metrics.incr_handle(self.net_handles.messages, 1);
                     self.metrics
                         .incr_handle(self.net_handles.bytes, bytes as u64);
-                    if !self.faults.delivers(node, to, at, &mut self.net_rng) {
+                    let network = &mut self.network;
+                    if !self
+                        .faults
+                        .delivers(node, to, at, || network.next_draw(node))
+                    {
                         self.record_drop(node, to, bytes);
                         continue;
                     }
@@ -402,12 +451,21 @@ impl<M: Payload> Shard<M> {
     }
 }
 
-/// A partitioning of the node set plus its lookahead window.
+/// A partitioning of the node set plus its lookahead structure.
 struct Plan {
     owner: Vec<u32>,
     local: Vec<u32>,
     parts: Vec<Vec<u32>>,
-    lookahead: SimDuration,
+    /// Row minima of the pairwise lookahead matrix: `out_min[p]` is the
+    /// minimum one-way propagation latency from any node in partition `p`
+    /// to any node in a *different* partition — the earliest any send from
+    /// `p` can cross a partition boundary. The adaptive window bound only
+    /// ever needs these row minima (the shared pop horizon is a min over
+    /// receivers anyway), so the full matrix is not retained.
+    out_min: Vec<SimDuration>,
+    /// Global minimum of the matrix: the fixed window stride of
+    /// [`WindowPolicy::FixedMinL`].
+    l_min: SimDuration,
 }
 
 /// Partitions the node set for `sim.threads` workers.
@@ -416,12 +474,12 @@ struct Plan {
 /// group stays whole; unmentioned nodes become singletons); otherwise nodes
 /// group by region under a regional latency model and are free under a
 /// uniform one. Groups pack greedy largest-first onto the least-loaded
-/// worker. The lookahead is the minimum one-way propagation latency between
-/// any two nodes in different partitions — the window length under which a
-/// cross-partition send can never land in the window that produced it.
+/// worker. Lookahead is computed as a per-partition-pair matrix — the
+/// minimum one-way propagation latency between the two partitions' region
+/// sets — folded into per-partition outgoing minima and a global minimum.
 ///
 /// Returns `None` (sequential fallback) when fewer than two partitions
-/// materialize or the lookahead is zero.
+/// materialize or the global minimum lookahead is zero.
 fn plan_partitions<M: Payload>(sim: &Sim<M>) -> Option<Plan> {
     let n = sim.actors.len();
     if n < 2 {
@@ -499,31 +557,46 @@ fn plan_partitions<M: Payload>(sim: &Sim<M>) -> Option<Plan> {
             rs
         })
         .collect();
-    let mut lookahead: Option<SimDuration> = None;
-    for p in 0..parts.len() {
-        for q in 0..parts.len() {
+    // Pairwise lookahead matrix over the partitions' region sets. The
+    // diagonal is meaningless (intra-partition traffic never crosses a
+    // barrier) and stays at the `None` placeholder.
+    let nparts = parts.len();
+    let mut direct: Vec<Vec<Option<SimDuration>>> = vec![vec![None; nparts]; nparts];
+    for p in 0..nparts {
+        for q in 0..nparts {
             if p == q {
                 continue;
             }
             for &a in &regions[p] {
                 for &b in &regions[q] {
                     let d = model.latency(a, b);
-                    if lookahead.is_none_or(|cur| d < cur) {
-                        lookahead = Some(d);
+                    if direct[p][q].is_none_or(|cur| d < cur) {
+                        direct[p][q] = Some(d);
                     }
                 }
             }
         }
     }
-    let lookahead = lookahead?;
-    if lookahead.is_zero() {
+    let out_min: Vec<SimDuration> = (0..nparts)
+        .map(|p| {
+            direct[p]
+                .iter()
+                .flatten()
+                .min()
+                .copied()
+                .expect("at least two non-empty partitions")
+        })
+        .collect();
+    let l_min = *out_min.iter().min().expect("at least two partitions");
+    if l_min.is_zero() {
         return None;
     }
     Some(Plan {
         owner,
         local,
         parts,
-        lookahead,
+        out_min,
+        l_min,
     })
 }
 
@@ -534,6 +607,46 @@ fn plan_partitions<M: Payload>(sim: &Sim<M>) -> Option<Plan> {
 fn pop_horizon_for(w_start: SimTime, lookahead: SimDuration, horizon: SimTime) -> SimTime {
     let w_end = w_start + lookahead;
     SimTime::from_nanos(w_end.as_nanos() - 1).min(horizon)
+}
+
+/// The [`WindowPolicy::Adaptive`] pop horizon:
+/// `min over partitions p with pending events of (p's exact next event time
+/// + out_min[p]) − 1`, clipped to the run horizon.
+///
+/// Safety: every cross-partition arrival produced inside the window departs
+/// at some dispatch time `t ≥ exact_p` on its partition `p` and lands no
+/// earlier than `t + out_min[p]`, i.e. strictly beyond the returned pop
+/// horizon — so routing it at the barrier is never late. Progress: the
+/// bound is at least `min_p exact_p + l_min − 1 ≥ min_p exact_p`, so the
+/// globally earliest event always falls inside the window; no separate
+/// progress floor is needed. Idle partitions contribute nothing (a
+/// partition with no pending events cannot originate a send).
+///
+/// Returns `None` when no partition has an event at or before `horizon`.
+fn adaptive_pop_horizon<M: Payload>(
+    shards: &[Shard<M>],
+    out_min: &[SimDuration],
+    horizon: SimTime,
+) -> Option<SimTime> {
+    let mut earliest: Option<SimTime> = None;
+    let mut bound: Option<u64> = None;
+    for (p, shard) in shards.iter().enumerate() {
+        let Some(t) = shard.wheel.earliest_event_time() else {
+            continue;
+        };
+        if earliest.is_none_or(|cur| t < cur) {
+            earliest = Some(t);
+        }
+        let b = t.as_nanos().saturating_add(out_min[p].as_nanos());
+        if bound.is_none_or(|cur| b < cur) {
+            bound = Some(b);
+        }
+    }
+    if earliest? > horizon {
+        return None;
+    }
+    let bound = bound.expect("bound is set whenever earliest is");
+    Some(SimTime::from_nanos(bound - 1).min(horizon))
 }
 
 /// Runs the simulation in parallel up to `horizon`. Returns `false`
@@ -552,7 +665,8 @@ pub(crate) fn run_until_parallel<M: Payload>(sim: &mut Sim<M>, horizon: SimTime)
     let Some(plan) = plan_partitions(sim) else {
         return false;
     };
-    let lookahead = plan.lookahead;
+    let l_min = plan.l_min;
+    let policy = sim.window_policy;
     let nparts = plan.parts.len();
     let total = sim.actors.len();
 
@@ -580,7 +694,6 @@ pub(crate) fn run_until_parallel<M: Payload>(sim: &mut Sim<M>, horizon: SimTime)
             metrics: sim.metrics.fork_for_worker(),
             net_handles: sim.net_handles,
             node_handles: sim.node_handles.clone(),
-            net_rng: SmallRng::seed_from_u64(0),
             ops_scratch: Vec::new(),
             pop_horizon: SimTime::ZERO,
             log: Vec::new(),
@@ -619,13 +732,27 @@ pub(crate) fn run_until_parallel<M: Payload>(sim: &mut Sim<M>, horizon: SimTime)
 
     // ---- Lockstep window loop. ----
     let mut counts = vec![0u64; nparts];
-    let first = shards
-        .iter()
-        .filter_map(|s| s.wheel.earliest_lower_bound())
-        .min()
-        .filter(|&t| t <= horizon);
-    let (mut shards, harvests) = if let Some(mut w_start) = first {
-        let mut pop_horizon = pop_horizon_for(w_start, lookahead, horizon);
+    let mut scratch: MergeScratch<M> = MergeScratch {
+        tree: Vec::new(),
+        keys: Vec::new(),
+        winners: Vec::new(),
+        routes: (0..nparts).map(|_| Vec::new()).collect(),
+    };
+    // FixedMinL stride state; unused (and untouched) under Adaptive.
+    let mut w_start = SimTime::ZERO;
+    let first_pop = match policy {
+        WindowPolicy::Adaptive => adaptive_pop_horizon(&shards, &plan.out_min, horizon),
+        WindowPolicy::FixedMinL => shards
+            .iter()
+            .filter_map(|s| s.wheel.earliest_lower_bound())
+            .min()
+            .filter(|&t| t <= horizon)
+            .map(|first| {
+                w_start = first;
+                pop_horizon_for(first, l_min, horizon)
+            }),
+    };
+    let (mut shards, harvests) = if let Some(mut pop_horizon) = first_pop {
         for shard in shards.iter_mut() {
             shard.pop_horizon = pop_horizon;
         }
@@ -633,23 +760,28 @@ pub(crate) fn run_until_parallel<M: Payload>(sim: &mut Sim<M>, horizon: SimTime)
             shards,
             |_p, shard: &mut Shard<M>| shard.run_window(),
             |shards: &mut Vec<Shard<M>>| {
-                merge_window(sim, shards, &mut counts);
+                merge_window(sim, shards, &mut counts, &mut scratch);
                 if pop_horizon == horizon {
                     return false;
                 }
-                let lb = shards
-                    .iter()
-                    .filter_map(|s| s.wheel.earliest_lower_bound())
-                    .min();
-                let Some(lb) = lb else { return false };
-                if lb > horizon {
-                    return false;
-                }
-                // Advance one window, or jump straight to the next busy
-                // stretch when every wheel is idle past the window end.
-                let w_end = w_start + lookahead;
-                w_start = lb.max(w_end);
-                pop_horizon = pop_horizon_for(w_start, lookahead, horizon);
+                let next = match policy {
+                    WindowPolicy::Adaptive => adaptive_pop_horizon(shards, &plan.out_min, horizon),
+                    WindowPolicy::FixedMinL => shards
+                        .iter()
+                        .filter_map(|s| s.wheel.earliest_lower_bound())
+                        .min()
+                        .filter(|&lb| lb <= horizon)
+                        .map(|lb| {
+                            // Advance one stride, or jump straight to the
+                            // next busy stretch when every wheel is idle
+                            // past the window end.
+                            let w_end = w_start + l_min;
+                            w_start = lb.max(w_end);
+                            pop_horizon_for(w_start, l_min, horizon)
+                        }),
+                };
+                let Some(next) = next else { return false };
+                pop_horizon = next;
                 for shard in shards.iter_mut() {
                     shard.pop_horizon = pop_horizon;
                 }
@@ -696,31 +828,98 @@ pub(crate) fn run_until_parallel<M: Payload>(sim: &mut Sim<M>, horizon: SimTime)
     true
 }
 
-/// The barrier: merges every partition's window log back into the global
-/// `(time, seq)` order and replays each dispatch's global side effects —
-/// digest fold, capture, trace ring, sequence assignment — exactly as the
-/// sequential engine interleaved them. Afterwards routes outbox events
-/// (now finally sequenced) to their owners' wheels for the next window.
-fn merge_window<M: Payload>(sim: &mut Sim<M>, shards: &mut [Shard<M>], counts: &mut [u64]) {
-    loop {
-        // Smallest (at, seq) among the shard log heads. A provisional head
-        // resolves through `staged_final`: its creator dispatched earlier in
-        // the same shard's log, so its final seq was already assigned.
-        let mut best: Option<(usize, SimTime, u64)> = None;
-        for (s, shard) in shards.iter().enumerate() {
-            let Some(e) = shard.log.get(shard.log_cursor) else {
-                continue;
-            };
+/// Driver-owned scratch reused across every barrier of a parallel session:
+/// the loser-tree state and the per-destination outbox routing buffers.
+/// Pooling these (plus the shards' own log/effect/outbox vectors, which are
+/// cleared rather than dropped) makes the steady-state barrier
+/// allocation-free.
+struct MergeScratch<M> {
+    /// `tree[i]`, `i >= 1`: the shard that *lost* the match at internal
+    /// node `i`; `tree[0]`: the overall winner.
+    tree: Vec<u32>,
+    /// Per-shard resolved `(at_nanos, seq)` log-head key;
+    /// `(u64::MAX, u64::MAX)` once the shard's log is exhausted.
+    keys: Vec<(u64, u64)>,
+    /// Build-time winner propagation (leaf-initialized, internal nodes
+    /// filled bottom-up).
+    winners: Vec<u32>,
+    /// Outbox events grouped by destination shard, drained into the
+    /// destination wheels once per barrier.
+    routes: Vec<Vec<Event<M>>>,
+}
+
+/// Sentinel key for an exhausted shard log. Never collides with a real
+/// entry: resolved sequence numbers stay below [`PROVISIONAL_BASE`].
+const MERGE_DONE: (u64, u64) = (u64::MAX, u64::MAX);
+
+/// Resolved `(at_nanos, seq)` of a shard's current log head. A provisional
+/// head resolves through `staged_final`: its creator dispatched earlier in
+/// the same shard's log (staging is a side effect of an earlier local
+/// dispatch), so its final seq was already assigned by the time the head
+/// can win the merge.
+fn head_key<M: Payload>(shard: &Shard<M>) -> (u64, u64) {
+    match shard.log.get(shard.log_cursor) {
+        Some(e) => {
             let rseq = if e.seq >= PROVISIONAL_BASE {
                 shard.staged_final[(e.seq - PROVISIONAL_BASE) as usize]
             } else {
                 e.seq
             };
-            if best.is_none_or(|(_, at, q)| (e.at, rseq) < (at, q)) {
-                best = Some((s, e.at, rseq));
-            }
+            (e.at.as_nanos(), rseq)
         }
-        let Some((s, at, rseq)) = best else { break };
+        None => MERGE_DONE,
+    }
+}
+
+/// The barrier: merges every partition's window log back into the global
+/// `(time, seq)` order and replays each dispatch's global side effects —
+/// digest fold, capture, trace ring, sequence assignment — exactly as the
+/// sequential engine interleaved them. Afterwards routes outbox events
+/// (now finally sequenced) to their owners' wheels for the next window.
+///
+/// The logs are already sorted (each shard dispatches its slice of the
+/// global order in order), so the merge is a loser-tree k-way merge:
+/// selecting each next event costs one leaf-to-root path of `log2(k)`
+/// comparisons instead of a full `k`-way scan.
+fn merge_window<M: Payload>(
+    sim: &mut Sim<M>,
+    shards: &mut [Shard<M>],
+    counts: &mut [u64],
+    scratch: &mut MergeScratch<M>,
+) {
+    sim.windows += 1;
+    let k = shards.len();
+    scratch.keys.clear();
+    scratch.keys.extend(shards.iter().map(head_key));
+    // Build the loser tree bottom-up. Leaf `j` (shard `j`) sits below
+    // internal node `(k + j) / 2`; node 1 is the root; `tree[0]` holds the
+    // winner of the whole bracket.
+    scratch.tree.clear();
+    scratch.tree.resize(k, 0);
+    scratch.winners.clear();
+    scratch.winners.resize(2 * k, 0);
+    for j in 0..k {
+        scratch.winners[k + j] = j as u32;
+    }
+    for i in (1..k).rev() {
+        let a = scratch.winners[2 * i];
+        let b = scratch.winners[2 * i + 1];
+        let (w, l) = if scratch.keys[a as usize] <= scratch.keys[b as usize] {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        scratch.winners[i] = w;
+        scratch.tree[i] = l;
+    }
+    scratch.tree[0] = if k == 1 { 0 } else { scratch.winners[1] };
+    loop {
+        let s = scratch.tree[0] as usize;
+        let (at_nanos, rseq) = scratch.keys[s];
+        if (at_nanos, rseq) == MERGE_DONE {
+            break;
+        }
+        let at = SimTime::from_nanos(at_nanos);
         let shard = &mut shards[s];
         let e = shard.log[shard.log_cursor];
         shard.log_cursor += 1;
@@ -785,6 +984,21 @@ fn merge_window<M: Payload>(sim: &mut Sim<M>, shards: &mut [Shard<M>], counts: &
                 }
             }
         }
+        // Re-seed the winner's leaf and replay its matches up to the root:
+        // the running champion swaps with any stored loser that now beats
+        // it. Strict `<` keeps ties (only the exhausted sentinel can tie —
+        // resolved seqs are unique) with the incumbent, which is arbitrary
+        // but consistent.
+        scratch.keys[s] = head_key(&shards[s]);
+        let mut cur = s as u32;
+        let mut node = (k + s) / 2;
+        while node >= 1 {
+            if scratch.keys[scratch.tree[node] as usize] < scratch.keys[cur as usize] {
+                std::mem::swap(&mut scratch.tree[node], &mut cur);
+            }
+            node /= 2;
+        }
+        scratch.tree[0] = cur;
     }
     for shard in shards.iter_mut() {
         debug_assert_eq!(shard.effect_cursor, shard.effects.len());
@@ -795,21 +1009,32 @@ fn merge_window<M: Payload>(sim: &mut Sim<M>, shards: &mut [Shard<M>], counts: &
         shard.staged_final.clear();
         shard.staged_count = 0;
     }
-    // Route the freshly sequenced outbox events. Conservative guarantee:
-    // each lands strictly beyond the window that produced it, so no
-    // partition ever receives an event for a window it already ran.
-    for s in 0..shards.len() {
-        let outbox = std::mem::take(&mut shards[s].outbox);
-        let pop_horizon = shards[s].pop_horizon;
-        for event in outbox {
+    // Route the freshly sequenced outbox events, grouped per destination
+    // shard so each wheel is touched once. (Insertion order is irrelevant:
+    // the wheel pops by `(at, seq)` and sequence numbers are unique.)
+    // Conservative guarantee: each event lands strictly beyond the window
+    // that produced it, so no partition ever receives an event for a
+    // window it already ran. Draining in place (instead of moving the
+    // vectors) keeps the outbox and route allocations warm across windows.
+    for shard in shards.iter_mut() {
+        let mut outbox = std::mem::take(&mut shard.outbox);
+        let pop_horizon = shard.pop_horizon;
+        for event in outbox.drain(..) {
             debug_assert!(
                 event.at > pop_horizon,
                 "outbox event at {} must land strictly beyond the window ({pop_horizon})",
                 event.at,
             );
             debug_assert!(event.seq < PROVISIONAL_BASE, "outbox seq left unpatched");
-            let dest = shards[s].owner[event.node.index()] as usize;
-            shards[dest].wheel.push(event);
+            let dest = shard.owner[event.node.index()] as usize;
+            scratch.routes[dest].push(event);
+        }
+        shard.outbox = outbox;
+    }
+    for (dest, route) in scratch.routes.iter_mut().enumerate() {
+        let wheel = &mut shards[dest].wheel;
+        for event in route.drain(..) {
+            wheel.push(event);
         }
     }
 }
@@ -904,6 +1129,8 @@ mod tests {
         nodes: u32,
         crash_node: u32,
         regional: bool,
+        jitter_ms: u64,
+        omit: bool,
         threads: usize,
     ) -> Sim<Msg> {
         let model = if regional {
@@ -911,7 +1138,7 @@ mod tests {
         } else {
             LatencyModel::lan()
         };
-        let net = Network::new(model, SimDuration::ZERO);
+        let net = Network::new(model, SimDuration::from_millis(jitter_ms));
         let mut sim = Sim::new(seed, net);
         sim.set_sim_threads(threads);
         sim.enable_trace(1 << 14);
@@ -930,6 +1157,11 @@ mod tests {
             );
         }
         let mut faults = FaultPlan::none();
+        if omit {
+            // Randomized omission on one sender: exercises the
+            // counter-keyed fault draws alongside the crash churn.
+            faults.omit_outgoing(NodeId((crash_node + 1) % nodes), 0.2);
+        }
         // Two windows on one node: churn, not a single crash-recovery.
         faults
             .crash_for(
@@ -989,8 +1221,8 @@ mod tests {
             regional in proptest::bool::ANY,
             threads in 2usize..9,
         ) {
-            let mut par = chaos_sim(seed, nodes, crash_node, regional, threads);
-            let mut seq = chaos_sim(seed, nodes, crash_node, regional, 1);
+            let mut par = chaos_sim(seed, nodes, crash_node, regional, 0, false, threads);
+            let mut seq = chaos_sim(seed, nodes, crash_node, regional, 0, false, 1);
             // Split the run so queue and RNG state carry across parallel
             // sessions (teardown/rebuild is exercised three times).
             let mut prev_events = 0;
@@ -1078,7 +1310,7 @@ mod tests {
     #[test]
     fn fully_crashed_partition_mid_window() {
         let build = |threads: usize| {
-            let mut sim = chaos_sim(11, 6, 0, false, threads);
+            let mut sim = chaos_sim(11, 6, 0, false, 0, false, threads);
             sim.set_partition_hint(vec![
                 vec![NodeId(0), NodeId(1), NodeId(2)],
                 vec![NodeId(3), NodeId(4), NodeId(5)],
@@ -1109,7 +1341,7 @@ mod tests {
     #[test]
     fn deliver_at_revive_tick_is_thread_count_invariant() {
         let build = |threads: usize| {
-            let mut sim = chaos_sim(17, 6, 2, false, threads);
+            let mut sim = chaos_sim(17, 6, 2, false, 0, false, threads);
             sim.set_partition_hint(vec![
                 vec![NodeId(0), NodeId(1), NodeId(2)],
                 vec![NodeId(3), NodeId(4), NodeId(5)],
@@ -1131,7 +1363,7 @@ mod tests {
     #[test]
     fn single_partition_config_falls_back_to_sequential() {
         let build = |threads: usize, hint: bool| {
-            let mut sim = chaos_sim(13, 4, 1, false, threads);
+            let mut sim = chaos_sim(13, 4, 1, false, 0, false, threads);
             if hint {
                 sim.set_partition_hint(vec![(0..4).map(NodeId).collect()]);
             }
@@ -1162,15 +1394,23 @@ mod tests {
         }
         let plan = plan_partitions(&sim).expect("12 nodes over 4 regions must partition");
         assert_eq!(plan.parts.len(), 4, "one partition per region");
-        for part in &plan.parts {
+        // Row minima of the CN matrix (min off-diagonal entry per region).
+        let expected_out_min = [16u64, 14, 10, 10];
+        for (p, part) in plan.parts.iter().enumerate() {
             let r = sim.network().link_config(NodeId(part[0])).region;
             assert!(
                 part.iter()
                     .all(|&g| sim.network().link_config(NodeId(g)).region == r),
                 "regions must not be split across partitions"
             );
+            assert_eq!(
+                plan.out_min[p],
+                SimDuration::from_millis(expected_out_min[r.0 as usize]),
+                "outgoing lookahead for region {}",
+                r.0
+            );
         }
-        assert_eq!(plan.lookahead, SimDuration::from_millis(10));
+        assert_eq!(plan.l_min, SimDuration::from_millis(10));
     }
 
     /// Uniform model, free packing: lookahead is the uniform latency and
@@ -1189,8 +1429,99 @@ mod tests {
         }
         let plan = plan_partitions(&sim).expect("uniform nodes must partition");
         assert_eq!(plan.parts.len(), 3);
-        assert_eq!(plan.lookahead, SimDuration::from_millis(25));
+        assert_eq!(plan.l_min, SimDuration::from_millis(25));
+        assert!(
+            plan.out_min
+                .iter()
+                .all(|&d| d == SimDuration::from_millis(25)),
+            "uniform model: every pairwise lookahead is the uniform latency"
+        );
         let sizes: Vec<usize> = plan.parts.iter().map(Vec::len).collect();
         assert!(sizes.iter().all(|&s| s >= 2), "balanced packing: {sizes:?}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        /// The adaptive window policy must produce the exact event stream
+        /// of the fixed min-L stride — in fewer (or equal) barriers. The
+        /// stepwise argument (each adaptive pop horizon dominates the
+        /// fixed one from the same frontier) makes `<=` structural, so any
+        /// violation is a real safety or bookkeeping bug.
+        #[test]
+        fn adaptive_matches_fixed_min_l_with_fewer_barriers(
+            seed in 0u64..1_000_000,
+            nodes in 3u32..8,
+            crash_node in 0u32..8,
+            regional in proptest::bool::ANY,
+            threads in 2usize..9,
+        ) {
+            let run = |policy: WindowPolicy| {
+                let mut sim = chaos_sim(seed, nodes, crash_node, regional, 0, false, threads);
+                sim.set_window_policy(policy);
+                sim.run_until(SimTime::from_secs(4));
+                sim
+            };
+            let adaptive = run(WindowPolicy::Adaptive);
+            let fixed = run(WindowPolicy::FixedMinL);
+            prop_assert!(adaptive.threads_used() > 1, "adaptive run never engaged");
+            prop_assert_eq!(
+                adaptive.fingerprint(),
+                fixed.fingerprint(),
+                "window policy must not change the event stream"
+            );
+            prop_assert_eq!(adaptive.events_processed(), fixed.events_processed());
+            prop_assert!(
+                adaptive.metrics().counters() == fixed.metrics().counters(),
+                "counter cells diverged across window policies"
+            );
+            prop_assert!(adaptive.windows_run() > 0, "no barriers counted");
+            prop_assert!(
+                adaptive.windows_run() <= fixed.windows_run(),
+                "adaptive took {} barriers, fixed min-L {}",
+                adaptive.windows_run(),
+                fixed.windows_run()
+            );
+        }
+
+        /// Jittered (and randomly omitting) runs no longer fall back to the
+        /// sequential engine: the counter-keyed per-link draw streams must
+        /// make them bit-identical at every thread count.
+        #[test]
+        fn jittered_runs_are_thread_count_invariant(
+            seed in 0u64..1_000_000,
+            nodes in 3u32..8,
+            crash_node in 0u32..8,
+            jitter_ms in 1u64..10,
+            omit in proptest::bool::ANY,
+        ) {
+            let run = |threads: usize| {
+                let mut sim = chaos_sim(seed, nodes, crash_node, false, jitter_ms, omit, threads);
+                sim.run_until(SimTime::from_secs(3));
+                sim
+            };
+            let seq = run(1);
+            let two = run(2);
+            let eight = run(8);
+            prop_assert_eq!(seq.threads_used(), 1);
+            prop_assert!(
+                two.threads_used() > 1,
+                "a jittered run must engage the parallel engine"
+            );
+            for par in [&two, &eight] {
+                prop_assert_eq!(
+                    par.fingerprint(),
+                    seq.fingerprint(),
+                    "jittered fingerprints diverged from sequential"
+                );
+                prop_assert_eq!(par.events_processed(), seq.events_processed());
+                let pe: Vec<_> = par.trace().unwrap().events().collect();
+                let se: Vec<_> = seq.trace().unwrap().events().collect();
+                prop_assert_eq!(pe, se, "retained trace windows diverged");
+                prop_assert!(
+                    par.metrics().counters() == seq.metrics().counters(),
+                    "counter cells diverged"
+                );
+            }
+        }
     }
 }

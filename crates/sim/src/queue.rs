@@ -208,6 +208,41 @@ impl<M> TimerWheel<M> {
         best.map(SimTime::from_nanos)
     }
 
+    /// The *exact* earliest stored event time, or `None` when empty.
+    ///
+    /// Costs one scan of the first-ahead bucket per level (the earliest
+    /// event always lives in its level's first occupied slot: any earlier
+    /// slot of the same level holds only strictly earlier ticks). The
+    /// parallel engine's adaptive window policy calls this at barriers so
+    /// idle jumps land on the true next event instead of crawling from a
+    /// coarse bucket base in lookahead-sized steps.
+    pub(crate) fn earliest_event_time(&self) -> Option<SimTime> {
+        let mut best: Option<u64> = None;
+        let mut fold = |nanos: u64| {
+            if best.is_none_or(|b| nanos < b) {
+                best = Some(nanos);
+            }
+        };
+        if let Some(Reverse(head)) = self.current.peek() {
+            fold(head.at.as_nanos());
+        }
+        for level in 0..LEVELS {
+            let digit = (self.cur_tick >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1);
+            let ahead = self.occupied[level] & ((!0u64 << digit) << 1);
+            if ahead == 0 {
+                continue;
+            }
+            let slot = ahead.trailing_zeros() as usize;
+            for event in &self.slots[level * SLOTS + slot] {
+                fold(event.at.as_nanos());
+            }
+        }
+        if let Some(Reverse(head)) = self.far.peek() {
+            fold(head.at.as_nanos());
+        }
+        best.map(SimTime::from_nanos)
+    }
+
     /// Pops the next event with `at <= horizon`, in exact `(at, seq)`
     /// order, or `None` (leaving the cursor untouched past the horizon).
     pub(crate) fn pop_next(&mut self, horizon: SimTime) -> Option<Event<M>> {
@@ -525,6 +560,40 @@ mod tests {
     fn wheel_matches_heap_including_far_heap() {
         // Offsets beyond the wheel horizon exercise the far fallback.
         differential(3, TICK_BITS + WHEEL_BITS + 6);
+    }
+
+    /// The exact earliest-event query must agree with the true pending
+    /// minimum at every point of a randomized push/pop interleaving —
+    /// including when events sit mid-bucket in coarse levels, where the
+    /// cheap lower bound undershoots.
+    #[test]
+    fn earliest_event_time_matches_true_minimum() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut wheel = TimerWheel::new();
+        let mut heap = ClassicHeap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        for _ in 0..200 {
+            for _ in 0..rng.gen_range(0..6u32) {
+                let at = now + rng.gen_range(0..(1u64 << (TICK_BITS + WHEEL_BITS - 2)));
+                wheel.push(ev(at, seq));
+                heap.push(ev(at, seq));
+                seq += 1;
+            }
+            let expect = heap.heap.peek().map(|Reverse(e)| e.at);
+            assert_eq!(wheel.earliest_event_time(), expect);
+            if let Some(at) = expect {
+                assert!(wheel.earliest_lower_bound().unwrap() <= at);
+            }
+            let horizon = SimTime::from_nanos(now + rng.gen_range(0..(1u64 << 28)));
+            while let Some(e) = wheel.pop_next(horizon) {
+                let h = heap.pop_next(horizon).expect("heap matches wheel");
+                assert_eq!((e.at, e.seq), (h.at, h.seq));
+                now = now.max(e.at.as_nanos());
+            }
+            assert!(heap.pop_next(horizon).is_none());
+            now = now.max(horizon.as_nanos());
+        }
     }
 
     #[test]

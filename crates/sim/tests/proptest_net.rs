@@ -2,8 +2,6 @@
 //! and propagation bounds.
 
 use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 use predis_sim::{LatencyModel, LinkConfig, Network, NodeId, SimDuration, SimTime};
 
@@ -20,11 +18,10 @@ proptest! {
         let mut net = Network::new(LatencyModel::lan(), SimDuration::ZERO);
         let a = net.add_link(LinkConfig::paper_default().with_mbps(mbps));
         let b = net.add_link(LinkConfig::paper_default().with_mbps(mbps));
-        let mut rng = SmallRng::seed_from_u64(7);
         let mut last_depart = SimTime::ZERO;
         let mut total_bits = 0u128;
         for &s in &sizes {
-            let sched = net.schedule(SimTime::ZERO, a, b, s, &mut rng);
+            let sched = net.schedule(SimTime::ZERO, a, b, s);
             prop_assert!(sched.departs >= last_depart, "FIFO violated");
             last_depart = sched.departs;
             total_bits += s as u128 * 8;
@@ -47,11 +44,10 @@ proptest! {
         let nodes: Vec<NodeId> = (0..n)
             .map(|_| net.add_link(LinkConfig::paper_default()))
             .collect();
-        let mut rng = SmallRng::seed_from_u64(1);
         let mut departs = Vec::new();
         for i in 0..n {
             let dst = nodes[(i + 1) % n];
-            departs.push(net.schedule(SimTime::ZERO, nodes[i], dst, size, &mut rng).departs);
+            departs.push(net.schedule(SimTime::ZERO, nodes[i], dst, size).departs);
         }
         // Every sender's first transmission departs at the same time.
         for d in &departs {
@@ -67,10 +63,9 @@ proptest! {
         let mut net = Network::new(LatencyModel::lan(), bound);
         let a = net.add_link(LinkConfig::paper_default());
         let b = net.add_link(LinkConfig::paper_default());
-        let mut rng = SmallRng::seed_from_u64(3);
         for _ in 0..20 {
             let now = net.link_free_at(a);
-            let s = net.schedule(now, a, b, size, &mut rng);
+            let s = net.schedule(now, a, b, size);
             let base = s.departs + net.propagation(a, b);
             prop_assert!(s.arrives >= base);
             prop_assert!(s.arrives.saturating_since(base) <= bound);

@@ -11,6 +11,18 @@
 //! [`Counters::iter`], so pre-registering handles does not change reports.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-global source of [`Counters`] generation ids. Each id tags one
+/// handle-compatibility domain: two `Counters` share a generation only if
+/// every [`CounterHandle`] minted by one indexes the same cell in the
+/// other (clones share; zeroed worker forks do not, since forks can intern
+/// cells the original lacks).
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_generation() -> u64 {
+    NEXT_GENERATION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Dimension labels for a counter cell. Unset dimensions mean "global".
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -115,8 +127,19 @@ impl Labels {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CounterHandle(u32);
 
+/// A caller-owned, lazily (re-)interned counter handle for hot sites that
+/// cannot pre-register one — typically an actor field, since actors migrate
+/// between the engine's main metrics sink and per-partition worker forks.
+///
+/// The cache remembers which [`Counters`] generation minted its handle;
+/// [`Counters::incr_cached`] re-interns (one tree lookup) on the first use
+/// against a different generation and is a dense-array add afterwards. A
+/// given cache must always be used with the same `(name, labels)` key.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CachedCounter(Option<(u64, CounterHandle)>);
+
 /// A deterministic map of labeled counter/gauge cells.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Counters {
     /// Deterministic (name, labels) → cell index. Interning order does not
     /// matter; reports walk this tree in key order.
@@ -126,6 +149,20 @@ pub struct Counters {
     /// Whether the cell was ever written. Interned-but-unwritten cells are
     /// skipped by `iter`/`len` so pre-registered handles leave no trace.
     touched: Vec<bool>,
+    /// Handle-compatibility domain for [`CachedCounter`]; see
+    /// [`NEXT_GENERATION`].
+    generation: u64,
+}
+
+impl Default for Counters {
+    fn default() -> Self {
+        Counters {
+            index: BTreeMap::new(),
+            cells: Vec::new(),
+            touched: Vec::new(),
+            generation: fresh_generation(),
+        }
+    }
 }
 
 impl Counters {
@@ -166,6 +203,29 @@ impl Counters {
         let idx = handle.0 as usize;
         self.cells[idx] += by;
         self.touched[idx] = true;
+    }
+
+    /// Adds `by` through a caller-owned [`CachedCounter`]: a dense-array
+    /// add when the cache was minted by this instance's generation, one
+    /// re-interning tree lookup otherwise (first use, or first use after
+    /// the caller migrated to a different sink).
+    #[inline]
+    pub fn incr_cached(
+        &mut self,
+        cache: &mut CachedCounter,
+        name: &'static str,
+        labels: Labels,
+        by: u64,
+    ) {
+        let handle = match cache.0 {
+            Some((generation, handle)) if generation == self.generation => handle,
+            _ => {
+                let handle = self.handle(name, labels);
+                cache.0 = Some((self.generation, handle));
+                handle
+            }
+        };
+        self.incr_by_handle(handle, by);
     }
 
     /// Overwrites the cell — gauge semantics.
@@ -216,11 +276,17 @@ impl Counters {
     /// [`CounterHandle`] issued by `self` stays valid in the fork. Used by
     /// the parallel simulation engine to hand each partition worker its own
     /// counter sink.
+    ///
+    /// The fork gets a *fresh* generation: it may intern cells `self` never
+    /// sees, so a [`CachedCounter`] minted on the fork must not be trusted
+    /// back on `self` (or on the next window's forks) — the generation
+    /// mismatch forces those caches to re-intern instead.
     pub fn fork_zeroed(&self) -> Counters {
         Counters {
             index: self.index.clone(),
             cells: vec![0; self.cells.len()],
             touched: vec![false; self.touched.len()],
+            generation: fresh_generation(),
         }
     }
 
@@ -321,6 +387,42 @@ mod tests {
 
         b.incr("y", Labels::node(1), 1);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn cached_counters_survive_sink_migration() {
+        let mut main = Counters::new();
+        let mut cache = CachedCounter::default();
+        main.incr_cached(&mut cache, "zone.heartbeats", Labels::node(3), 2);
+        main.incr_cached(&mut cache, "zone.heartbeats", Labels::node(3), 1);
+        assert_eq!(main.get("zone.heartbeats", Labels::node(3)), 3);
+
+        // Migrate to a worker fork, which immediately grows a brand-new
+        // cell: a stale trusted handle would now alias the wrong index.
+        let mut fork = main.fork_zeroed();
+        fork.incr("zone.fresh", Labels::GLOBAL, 1);
+        fork.incr_cached(&mut cache, "zone.heartbeats", Labels::node(3), 5);
+        assert_eq!(fork.get("zone.heartbeats", Labels::node(3)), 5);
+
+        // And back to the main sink after absorption.
+        main.absorb(&fork);
+        main.incr_cached(&mut cache, "zone.heartbeats", Labels::node(3), 1);
+        assert_eq!(main.get("zone.heartbeats", Labels::node(3)), 9);
+    }
+
+    #[test]
+    fn cached_counter_minted_on_fork_reinterns_on_main() {
+        let mut main = Counters::new();
+        let mut fork = main.fork_zeroed();
+        let mut cache = CachedCounter::default();
+        // The cell exists only on the fork when the cache is minted; its
+        // index is out of bounds for `main`'s (empty) cell array.
+        fork.incr_cached(&mut cache, "zone.rs_decodes", Labels::node(1), 2);
+        main.absorb(&fork);
+        // The generation mismatch forces a re-intern instead of trusting
+        // the fork-minted index.
+        main.incr_cached(&mut cache, "zone.rs_decodes", Labels::node(1), 1);
+        assert_eq!(main.get("zone.rs_decodes", Labels::node(1)), 3);
     }
 
     #[test]

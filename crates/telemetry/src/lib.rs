@@ -32,7 +32,7 @@ pub mod json;
 pub mod report;
 pub mod timeline;
 
-pub use counters::{CounterHandle, Counters, Labels};
+pub use counters::{CachedCounter, CounterHandle, Counters, Labels};
 pub use hist::{HistogramSummary, LogHistogram};
 pub use json::Json;
 pub use report::{CounterEntry, HistogramEntry, ProfileEntry, RunReport, StageEntry};
